@@ -1,0 +1,87 @@
+// Command benchtab regenerates the paper's evaluation artifacts: Table I
+// (device list), Table II (bug detection), Figure 3 (probing), Figure 4
+// (coverage vs Syzkaller), Figure 5 (coverage vs Difuze and DroidFuzz-D),
+// and Table III (ablations).
+//
+// Usage:
+//
+//	benchtab -all                # everything at full scale
+//	benchtab -table 2 -quick     # one artifact at the quick scale
+//	benchtab -figure 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"droidfuzz/internal/bench"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate table 1, 2, or 3")
+		figure = flag.Int("figure", 0, "regenerate figure 3, 4, or 5")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		quick  = flag.Bool("quick", false, "use the reduced quick scale")
+	)
+	flag.Parse()
+
+	sc := bench.DefaultScale()
+	if *quick {
+		sc = bench.QuickScale()
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(sc, *table, *figure, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sc bench.Scale, table, figure int, all bool) error {
+	if all || table == 1 {
+		fmt.Println(bench.Table1())
+	}
+	if all || figure == 3 {
+		for _, dev := range []string{"A1", "A2"} {
+			r, err := bench.RunFigure3(dev)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+		}
+	}
+	if all || table == 2 {
+		r, err := bench.RunTable2(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if all || figure == 4 {
+		r, err := bench.RunFigure4(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if all || figure == 5 {
+		r, err := bench.RunFigure5(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	if all || table == 3 {
+		r, err := bench.RunTable3(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Command devsim boots a virtual device, runs the probing pass, and serves
+// its execution broker over TCP using the ADB-stand-in transport, so a
+// remote host process can execute DSL programs against it — the deployment
+// split of paper §IV-A (host-side engine, device-side broker).
+//
+// Usage:
+//
+//	devsim -device A1 -listen 127.0.0.1:7045
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/probe"
+)
+
+func main() {
+	var (
+		deviceID = flag.String("device", "A1", "device model ID")
+		listen   = flag.String("listen", "127.0.0.1:7045", "TCP listen address")
+	)
+	flag.Parse()
+
+	if err := run(*deviceID, *listen); err != nil {
+		fmt.Fprintln(os.Stderr, "devsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deviceID, listen string) error {
+	model, err := device.ModelByID(deviceID)
+	if err != nil {
+		return err
+	}
+	dev := device.New(model)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		return err
+	}
+	pr, err := probe.Run(dev, probe.Options{})
+	if err != nil {
+		return err
+	}
+	target, err = target.Extend(pr.Interfaces...)
+	if err != nil {
+		return err
+	}
+	broker := adb.NewBroker(dev, target)
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("devsim: %s (%s) with %d callable interfaces listening on %s\n",
+		model.ID, model.Name, len(target.Calls()), ln.Addr())
+	return adb.ServeTCP(ln, broker)
+}

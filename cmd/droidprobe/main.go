@@ -1,0 +1,91 @@
+// Command droidprobe runs the pre-testing HAL driver probing pass on a
+// device model and prints everything it extracts: services, reflected
+// interfaces with argument syntax, normalized-occurrence weights, and the
+// distilled workload seed programs (paper §IV-B, Fig. 3).
+//
+// Usage:
+//
+//	droidprobe -device A1 [-seeds] [-ifaces]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/probe"
+)
+
+func main() {
+	var (
+		deviceID   = flag.String("device", "A1", "device model ID")
+		showSeeds  = flag.Bool("seeds", false, "print distilled workload seed programs")
+		showIfaces = flag.Bool("ifaces", true, "print the extracted interface table")
+		outFile    = flag.String("o", "", "write the extracted descriptions to a Syzlang-lite file")
+	)
+	flag.Parse()
+
+	if err := run(*deviceID, *showSeeds, *showIfaces, *outFile); err != nil {
+		fmt.Fprintln(os.Stderr, "droidprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deviceID string, showSeeds, showIfaces bool, outFile string) error {
+	model, err := device.ModelByID(deviceID)
+	if err != nil {
+		return err
+	}
+	dev := device.New(model)
+	res, err := probe.Run(dev, probe.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("probed device %s: %d services, %d interfaces, %d workload seeds\n\n",
+		model.ID, len(res.Services), len(res.Interfaces), len(res.Seeds))
+	for _, s := range res.Services {
+		fmt.Printf("%-44s methods=%2d trial-syscalls=%d\n",
+			s.Descriptor, s.Methods, s.TrialEvents)
+	}
+
+	if showIfaces {
+		fmt.Println("\nextracted interfaces (weight = normalized occurrence):")
+		ifaces := append([]*dsl.CallDesc(nil), res.Interfaces...)
+		sort.Slice(ifaces, func(i, j int) bool {
+			if ifaces[i].Weight != ifaces[j].Weight {
+				return ifaces[i].Weight > ifaces[j].Weight
+			}
+			return ifaces[i].Name < ifaces[j].Name
+		})
+		for _, d := range ifaces {
+			fmt.Printf("  %.2f %-50s", d.Weight, d.Name)
+			for _, a := range d.Args {
+				fmt.Printf(" %s:%s", a.Name, a.Type.Kind)
+			}
+			if d.Ret != "" {
+				fmt.Printf(" -> %s", d.Ret)
+			}
+			fmt.Println()
+		}
+	}
+
+	if showSeeds {
+		fmt.Println("\ndistilled workload seeds:")
+		for i, s := range res.Seeds {
+			fmt.Printf("--- seed %d ---\n%s", i, s.String())
+		}
+	}
+
+	if outFile != "" {
+		text := dsl.FormatDescs(res.Interfaces)
+		if err := os.WriteFile(outFile, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d descriptions to %s\n", len(res.Interfaces), outFile)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package droidfuzz_test
+
+import (
+	"strings"
+	"testing"
+
+	"droidfuzz"
+)
+
+// TestPublicAPIQuickstart exercises the documented public flow end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dev, err := droidfuzz.NewDevice("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := droidfuzz.NewFuzzer(dev, droidfuzz.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz.Run(2000)
+	st := fz.Stats()
+	if st.KernelCov == 0 || st.CorpusSize == 0 {
+		t.Fatalf("no progress: %+v", st)
+	}
+	if out := droidfuzz.BugTable(fz.Dedup().Records()); !strings.Contains(out, "Bug Info") {
+		t.Fatalf("bug table malformed:\n%s", out)
+	}
+}
+
+func TestPublicAPIModels(t *testing.T) {
+	if len(droidfuzz.Models()) != 7 {
+		t.Fatal("expected the 7 Table I models")
+	}
+	if _, err := droidfuzz.NewDevice("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestPublicAPIProbe(t *testing.T) {
+	dev, err := droidfuzz.NewDevice("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := droidfuzz.Probe(dev, droidfuzz.ProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Interfaces) == 0 || len(pr.Seeds) == 0 {
+		t.Fatal("probe extracted nothing")
+	}
+}
+
+func TestPublicAPICampaignAndBaselines(t *testing.T) {
+	res, err := droidfuzz.RunCampaign(droidfuzz.CampaignConfig{
+		ModelID: "D", Fuzzer: droidfuzz.KindSyzkallerLike, Iters: 300, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelCov == 0 {
+		t.Fatal("no coverage")
+	}
+
+	dev, _ := droidfuzz.NewDevice("D")
+	dz, err := droidfuzz.NewDifuzeBaseline(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz.Run(100)
+	if dz.Execs() != 100 {
+		t.Fatal("difuze baseline did not run")
+	}
+}
+
+func TestPublicAPIDaemon(t *testing.T) {
+	d := droidfuzz.NewDaemon()
+	if err := d.AddDevice("B", droidfuzz.Config{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(200, false)
+	if d.Stats()["B"].Execs == 0 {
+		t.Fatal("daemon idle")
+	}
+}
+
+func TestPublicAPITable1(t *testing.T) {
+	if !strings.Contains(droidfuzz.Table1(), "Raspberry Pi") {
+		t.Fatal("table 1 wrong")
+	}
+}

@@ -1,0 +1,45 @@
+// Ablation: compare full DroidFuzz against its two ablations (DF-NoRel,
+// DF-NoHCov) and the Syzkaller baseline on one device — a single-device
+// slice of the paper's Table III.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"droidfuzz"
+)
+
+func main() {
+	const (
+		model = "A2"
+		iters = 8000
+		reps  = 3
+	)
+	kinds := []droidfuzz.FuzzerKind{
+		droidfuzz.KindDroidFuzz,
+		droidfuzz.KindDroidFuzzNoRel,
+		droidfuzz.KindDroidFuzzNoHCov,
+		droidfuzz.KindSyzkallerLike,
+	}
+
+	fmt.Printf("ablation on device %s, %d iterations x %d repetitions\n\n", model, iters, reps)
+	fmt.Printf("%-14s %-10s %-10s %s\n", "fuzzer", "kernelcov", "signal", "bugs")
+	for _, kind := range kinds {
+		var cov, sig, bugs float64
+		for r := 0; r < reps; r++ {
+			res, err := droidfuzz.RunCampaign(droidfuzz.CampaignConfig{
+				ModelID: model, Fuzzer: kind, Iters: iters,
+				Seed: int64(40 + r),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cov += float64(res.KernelCov) / reps
+			sig += float64(res.TotalSignal) / reps
+			bugs += float64(len(res.Bugs)) / reps
+		}
+		fmt.Printf("%-14s %-10.0f %-10.0f %.1f\n", kind, cov, sig, bugs)
+	}
+	fmt.Println("\nexpected shape (paper Table III): DroidFuzz > ablations > Syzkaller")
+}

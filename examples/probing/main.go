@@ -1,0 +1,79 @@
+// Probing: a close look at the pre-testing HAL driver probing pass
+// (paper §IV-B, Fig. 3) and the cross-boundary feedback it enables. The
+// example probes a device, prints the extracted interface syntax and
+// weights, then executes one distilled framework workload through the
+// ADB-stand-in transport and shows the HAL-origin syscall trace that
+// directional coverage is built from.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sort"
+
+	"droidfuzz"
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/dsl"
+)
+
+func main() {
+	dev, err := droidfuzz.NewDevice("C1") // the Sunmi commercial tablet
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pr, err := droidfuzz.Probe(dev, droidfuzz.ProbeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probing %s: %d services, %d interfaces, %d workload seeds\n\n",
+		dev.Model.ID, len(pr.Services), len(pr.Interfaces), len(pr.Seeds))
+
+	// Interfaces sorted by normalized-occurrence weight.
+	ifaces := append([]*dsl.CallDesc(nil), pr.Interfaces...)
+	sort.Slice(ifaces, func(i, j int) bool {
+		if ifaces[i].Weight != ifaces[j].Weight {
+			return ifaces[i].Weight > ifaces[j].Weight
+		}
+		return ifaces[i].Name < ifaces[j].Name
+	})
+	fmt.Println("highest-weighted interfaces:")
+	for _, d := range ifaces[:6] {
+		fmt.Printf("  %.2f %s\n", d.Weight, d.Name)
+	}
+
+	// Build the combined syscall+HAL target and a broker, served over an
+	// in-memory transport exactly like the TCP deployment.
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err = target.Extend(pr.Interfaces...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	broker := adb.NewBroker(dev, target)
+
+	host, devSide := net.Pipe()
+	go func() { _ = adb.Serve(devSide, broker) }()
+	conn := adb.Dial(host)
+	if err := conn.Ping(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Execute the first distilled workload seed remotely.
+	seed := pr.Seeds[0]
+	fmt.Printf("\nexecuting distilled workload over the transport:\n%s\n", seed.String())
+	res, err := conn.Exec(adb.ExecRequest{ProgText: seed.String()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("kernel coverage: %d PCs\n", len(res.KernelCov))
+	fmt.Printf("HAL-origin syscall trace (%d events) — the raw material of directional coverage:\n",
+		len(res.HALTrace))
+	for _, ev := range res.HALTrace {
+		fmt.Printf("  pid=%d %-6s %-14s arg=%#x\n", ev.PID, ev.NR, ev.Path, ev.Arg)
+	}
+}

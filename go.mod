@@ -1,0 +1,3 @@
+module droidfuzz
+
+go 1.24

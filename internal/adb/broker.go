@@ -1,0 +1,295 @@
+package adb
+
+import (
+	"fmt"
+	"sync"
+
+	"droidfuzz/internal/binder"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/ebpf"
+	"droidfuzz/internal/vkernel"
+)
+
+// Executor runs programs on a device and returns cross-boundary feedback.
+// Both the in-process Broker and the transport-backed Conn implement it.
+type Executor interface {
+	Exec(req ExecRequest) (*ExecResult, error)
+}
+
+// Broker is the device-side execution broker: it parses incoming programs,
+// dispatches each element to the Native or HAL executor by class, brackets
+// the run with coverage and trace collection, and bonds the feedback into a
+// uniform result (paper §IV-A).
+type Broker struct {
+	mu        sync.Mutex
+	dev       *device.Device
+	target    *dsl.Target
+	probe     *ebpf.Probe
+	ioctlOnly bool
+	execs     uint64
+}
+
+// NewBroker attaches a broker to the device. The target must contain every
+// call description programs may use; extend it after probing with SetTarget.
+func NewBroker(dev *device.Device, target *dsl.Target) *Broker {
+	b := &Broker{dev: dev, target: target}
+	b.probe = dev.Hub.Attach(ebpf.OriginFilter(vkernel.OriginHAL), 0)
+	return b
+}
+
+// Target returns the broker's current call-description target.
+func (b *Broker) Target() *dsl.Target {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.target
+}
+
+// SetTarget replaces the call-description target (after HAL probing).
+func (b *Broker) SetTarget(t *dsl.Target) {
+	b.mu.Lock()
+	b.target = t
+	b.mu.Unlock()
+}
+
+// SetIoctlOnly enables the DROIDFUZZ-D gate: the native executor only runs
+// open/close/ioctl calls, and HAL-origin read/write/mmap syscalls are
+// blocked in the kernel (paper §V-C2).
+func (b *Broker) SetIoctlOnly(on bool) {
+	b.mu.Lock()
+	b.ioctlOnly = on
+	b.mu.Unlock()
+	b.applyGate()
+}
+
+func (b *Broker) applyGate() {
+	b.mu.Lock()
+	on := b.ioctlOnly
+	k := b.dev.K
+	b.mu.Unlock()
+	if !on {
+		k.SetSyscallGate(nil)
+		return
+	}
+	k.SetSyscallGate(func(origin vkernel.Origin, nr string) bool {
+		switch nr {
+		case "open", "close", "ioctl":
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+// Reboot restarts the device and re-applies broker-side kernel
+// configuration; the harness calls it after any crash.
+func (b *Broker) Reboot() {
+	b.dev.Reboot()
+	b.applyGate()
+}
+
+// Device returns the attached device.
+func (b *Broker) Device() *device.Device { return b.dev }
+
+// Execs reports the number of programs executed since attach; the harness
+// uses it as the device's virtual-time clock.
+func (b *Broker) Execs() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.execs
+}
+
+// Exec implements Executor: parse, run, collect.
+func (b *Broker) Exec(req ExecRequest) (*ExecResult, error) {
+	b.mu.Lock()
+	target := b.target
+	b.execs++
+	b.mu.Unlock()
+
+	prog, err := dsl.ParseProg(target, req.ProgText)
+	if err != nil {
+		return nil, fmt.Errorf("adb: bad program: %w", err)
+	}
+	return b.ExecProg(prog)
+}
+
+// ExecProg runs an already-parsed program (the in-process fast path the
+// fuzzing engine uses; the transport path goes through Exec).
+func (b *Broker) ExecProg(prog *dsl.Prog) (*ExecResult, error) {
+	k := b.dev.K
+	k.Cov.Reset()
+	k.Cov.Enable()
+	defer k.Cov.Disable()
+	b.probe.Reset()
+
+	res := &ExecResult{Calls: make([]CallResult, len(prog.Calls))}
+	resources := make(map[int]uint64, len(prog.Calls))
+
+	for i, call := range prog.Calls {
+		if k.Wedged() {
+			break // remaining calls never execute, like a dead device
+		}
+		mark := k.Cov.Mark()
+		var cr CallResult
+		if call.Desc.IsHAL() {
+			cr = b.execHAL(call, resources)
+		} else {
+			cr = b.execNative(call, resources)
+		}
+		cr.Executed = true
+		cr.Cover = k.Cov.Slice(mark)
+		if call.Desc.Ret != "" && cr.Errno == "OK" {
+			resources[i] = cr.Ret
+		}
+		res.Calls[i] = cr
+	}
+
+	res.KernelCov = k.Cov.Trace()
+	for _, ev := range b.probe.Take() {
+		res.HALTrace = append(res.HALTrace, TraceEvent{
+			Seq: ev.Seq, PID: ev.PID, NR: ev.NR, Path: ev.Path, Arg: ev.Arg,
+		})
+	}
+	for _, c := range k.TakeCrashes() {
+		res.Crashes = append(res.Crashes, CrashRecord{
+			Kind: c.Kind.String(), Title: c.Title, Detail: c.Detail,
+			Component: "kernel",
+		})
+	}
+	for _, c := range b.dev.TakeHALCrashes() {
+		res.HALDead = true
+		res.Crashes = append(res.Crashes, CrashRecord{
+			Kind: "HALCRASH", Title: c.Title(), Detail: c.String(),
+			Component: c.Label,
+		})
+	}
+	res.Wedged = k.Wedged()
+	if len(res.Crashes) > 0 {
+		res.Dmesg = k.DmesgTail(32)
+	}
+	return res, nil
+}
+
+// resolve returns the concrete value for a resource argument: the producing
+// call's recorded result, or a deliberately bogus handle when invalid.
+func resolve(resources map[int]uint64, a dsl.Arg) uint64 {
+	if a.Ref < 0 {
+		return 0xbadf00d
+	}
+	v, ok := resources[a.Ref]
+	if !ok {
+		return 0xbadf00d
+	}
+	return v
+}
+
+// execNative runs one syscall-class call against the kernel.
+func (b *Broker) execNative(call *dsl.Call, resources map[int]uint64) CallResult {
+	k := b.dev.K
+	d := call.Desc
+	if b.isIoctlOnly() {
+		switch d.Syscall {
+		case "open", "close", "ioctl":
+		default:
+			return CallResult{Errno: "BLOCKED"}
+		}
+	}
+	switch d.Syscall {
+	case "open":
+		fd, err := k.Open(device.NativePID, vkernel.OriginNative, call.Args[0].Str, 0)
+		return CallResult{Errno: vkernel.ErrnoName(err), Ret: uint64(fd)}
+	case "close":
+		fd := int(resolve(resources, call.Args[0]))
+		err := k.Close(device.NativePID, vkernel.OriginNative, fd)
+		return CallResult{Errno: vkernel.ErrnoName(err)}
+	case "ioctl":
+		fd := int(resolve(resources, call.Args[0]))
+		req := call.Args[1].Val
+		payload := encodePayload(call, resources)
+		ret, _, err := k.Ioctl(device.NativePID, vkernel.OriginNative, fd, req, payload)
+		return CallResult{Errno: vkernel.ErrnoName(err), Ret: ret}
+	case "read":
+		fd := int(resolve(resources, call.Args[0]))
+		n := int(call.Args[1].Val)
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		data, err := k.Read(device.NativePID, vkernel.OriginNative, fd, n)
+		return CallResult{Errno: vkernel.ErrnoName(err), Ret: uint64(len(data))}
+	case "write":
+		fd := int(resolve(resources, call.Args[0]))
+		n, err := k.Write(device.NativePID, vkernel.OriginNative, fd, call.Args[1].Data)
+		return CallResult{Errno: vkernel.ErrnoName(err), Ret: uint64(n)}
+	case "mmap":
+		fd := int(resolve(resources, call.Args[0]))
+		cookie, err := k.Mmap(device.NativePID, vkernel.OriginNative, fd, call.Args[1].Val)
+		return CallResult{Errno: vkernel.ErrnoName(err), Ret: cookie}
+	default:
+		return CallResult{Errno: "ENOSYS"}
+	}
+}
+
+func (b *Broker) isIoctlOnly() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ioctlOnly
+}
+
+// encodePayload builds the ioctl argument buffer from the call's payload
+// fields (everything after fd and request): scalars as little-endian u64 in
+// order, then at most one trailing raw buffer.
+func encodePayload(call *dsl.Call, resources map[int]uint64) []byte {
+	var out []byte
+	var tail []byte
+	for i := 2; i < len(call.Args); i++ {
+		f := call.Desc.Args[i]
+		a := call.Args[i]
+		switch f.Type.Kind {
+		case dsl.KindBuffer:
+			tail = append(tail, a.Data...)
+		case dsl.KindString, dsl.KindFilename:
+			tail = append(tail, a.Str...)
+			tail = append(tail, 0)
+		case dsl.KindResource:
+			out = putU64(out, resolve(resources, a))
+		default:
+			out = putU64(out, a.Val)
+		}
+	}
+	return append(out, tail...)
+}
+
+func putU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// execHAL runs one HAL interface invocation through Binder.
+func (b *Broker) execHAL(call *dsl.Call, resources map[int]uint64) CallResult {
+	d := call.Desc
+	in, out := binder.NewParcel(), binder.NewParcel()
+	for i, f := range d.Args {
+		a := call.Args[i]
+		switch f.Type.Kind {
+		case dsl.KindBuffer:
+			in.WriteBytes(a.Data)
+		case dsl.KindString, dsl.KindFilename:
+			in.WriteString(a.Str)
+		case dsl.KindResource:
+			in.WriteUint64(resolve(resources, a))
+		default:
+			in.WriteUint64(a.Val)
+		}
+	}
+	st := b.dev.SM.Call(d.Service, d.MethodCode, in, out)
+	cr := CallResult{Errno: st.String()}
+	if st == binder.StatusOK {
+		cr.Errno = "OK"
+		if d.Ret != "" {
+			if v, err := out.ReadUint64(); err == nil {
+				cr.Ret = v
+			}
+		}
+	}
+	return cr
+}

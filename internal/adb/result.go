@@ -1,0 +1,75 @@
+// Package adb implements the host↔device execution path: the device-side
+// Execution Broker with its HAL and Native executors (paper §IV-A), the
+// execution result types carrying cross-boundary feedback, and a
+// message-framed transport standing in for the Android Debug Bridge.
+package adb
+
+// ExecRequest asks the broker to run one program.
+type ExecRequest struct {
+	// ProgText is the program in DSL text form.
+	ProgText string
+}
+
+// CallResult is the outcome of one call in the program.
+type CallResult struct {
+	// Executed reports whether the call ran (false after a fatal crash
+	// aborted the program).
+	Executed bool
+	// Errno is the symbolic errno ("OK", "EINVAL", ...) for syscalls, or
+	// the Binder status name for HAL calls.
+	Errno string
+	// Ret is the scalar result (fd, ioctl return, HAL reply handle).
+	Ret uint64
+	// Cover is the kernel PC trace attributed to this call, including PCs
+	// hit by HAL-origin syscalls it triggered.
+	Cover []uint32
+}
+
+// TraceEvent is one HAL-origin syscall observation from the eBPF probe, the
+// raw material of directional coverage (paper §IV-D).
+type TraceEvent struct {
+	Seq  uint64
+	PID  int
+	NR   string
+	Path string
+	Arg  uint64
+}
+
+// CrashRecord is one incident observed during an execution.
+type CrashRecord struct {
+	// Kind is "WARNING", "BUG", "KASAN", "HANG", or "HALCRASH".
+	Kind string
+	// Title is the dedup title (Table II "Bug Info" shape).
+	Title string
+	// Detail is the splat / tombstone body.
+	Detail string
+	// Component is "kernel" or the HAL label ("Graphics", ...).
+	Component string
+}
+
+// ExecResult is the broker's reply for one program execution.
+type ExecResult struct {
+	Calls []CallResult
+	// KernelCov is the full ordered kcov trace of the execution.
+	KernelCov []uint32
+	// HALTrace is the ordered HAL-origin syscall trace.
+	HALTrace []TraceEvent
+	// Crashes lists incidents raised during the execution.
+	Crashes []CrashRecord
+	// Dmesg is the tail of the kernel console ring, attached when the
+	// execution crashed (the log-recovery step of the paper's triage).
+	Dmesg []string
+	// Wedged reports that the kernel is dead and the device needs a
+	// reboot before further executions.
+	Wedged bool
+	// HALDead reports that at least one HAL process crashed.
+	HALDead bool
+}
+
+// Crashed reports whether any incident was observed.
+func (r *ExecResult) Crashed() bool { return len(r.Crashes) > 0 }
+
+// NeedsReboot reports whether the harness must reboot the device before the
+// next execution (fatal kernel state or a dead HAL process, per the paper's
+// reboot-on-bug configuration).
+func (r *ExecResult) NeedsReboot() bool { return r.Wedged || r.HALDead }

@@ -1,0 +1,134 @@
+package adb
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The transport stands in for ADB: a message-framed, gob-encoded
+// request/reply channel between the host-side fuzzing engine and the
+// device-side broker. It runs over any io.ReadWriter — net.Pipe in-process,
+// or a TCP loopback socket for the CLI tools.
+
+type rpcRequest struct {
+	Exec *ExecRequest
+	Ping bool
+}
+
+type rpcReply struct {
+	Result *ExecResult
+	Pong   bool
+	Err    string
+}
+
+// Conn is the host side of a transport connection; it implements Executor.
+type Conn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
+	rwc io.ReadWriter
+}
+
+// Dial wraps an established byte stream as the host end.
+func Dial(rw io.ReadWriter) *Conn {
+	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), rwc: rw}
+}
+
+// DialTCP connects to a broker served on a TCP address.
+func DialTCP(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("adb: dial %s: %w", addr, err)
+	}
+	return Dial(c), nil
+}
+
+// Exec implements Executor over the transport.
+func (c *Conn) Exec(req ExecRequest) (*ExecResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(rpcRequest{Exec: &req}); err != nil {
+		return nil, fmt.Errorf("adb: send: %w", err)
+	}
+	var rep rpcReply
+	if err := c.dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("adb: recv: %w", err)
+	}
+	if rep.Err != "" {
+		return nil, errors.New(rep.Err)
+	}
+	if rep.Result == nil {
+		return nil, errors.New("adb: empty reply")
+	}
+	return rep.Result, nil
+}
+
+// Ping round-trips a liveness check.
+func (c *Conn) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(rpcRequest{Ping: true}); err != nil {
+		return fmt.Errorf("adb: send: %w", err)
+	}
+	var rep rpcReply
+	if err := c.dec.Decode(&rep); err != nil {
+		return fmt.Errorf("adb: recv: %w", err)
+	}
+	if !rep.Pong {
+		return errors.New("adb: bad pong")
+	}
+	return nil
+}
+
+// Serve runs the device side of the protocol over rw until the stream ends,
+// dispatching execution requests to the broker. It returns nil on a clean
+// EOF.
+func Serve(rw io.ReadWriter, b *Broker) error {
+	enc := gob.NewEncoder(rw)
+	dec := gob.NewDecoder(rw)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("adb: serve decode: %w", err)
+		}
+		var rep rpcReply
+		switch {
+		case req.Ping:
+			rep.Pong = true
+		case req.Exec != nil:
+			res, err := b.Exec(*req.Exec)
+			if err != nil {
+				rep.Err = err.Error()
+			} else {
+				rep.Result = res
+			}
+		default:
+			rep.Err = "adb: empty request"
+		}
+		if err := enc.Encode(rep); err != nil {
+			return fmt.Errorf("adb: serve encode: %w", err)
+		}
+	}
+}
+
+// ServeTCP listens on addr and serves each accepted connection until the
+// listener is closed. It is used by the standalone device daemon binary.
+func ServeTCP(ln net.Listener, b *Broker) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer c.Close()
+			_ = Serve(c, b)
+		}()
+	}
+}

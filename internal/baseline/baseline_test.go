@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/relation"
+)
+
+func boot(t *testing.T, id string) *device.Device {
+	t.Helper()
+	m, err := device.ModelByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return device.New(m)
+}
+
+func TestDroidFuzzConstructionSeedsCorpus(t *testing.T) {
+	eng, err := NewDroidFuzz(boot(t, "A1"), relation.New(), crash.NewDedup(), engine.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distilled framework workloads pre-populate the corpus before
+	// the first fuzzing step.
+	if eng.Corpus().Len() == 0 {
+		t.Fatal("corpus not seeded")
+	}
+	if eng.Execs() == 0 {
+		t.Fatal("seeds were not executed")
+	}
+	// And the probing pass extended the target with HAL interfaces.
+	hal := 0
+	for _, d := range eng.Gen().Target().Calls() {
+		if d.IsHAL() {
+			hal++
+		}
+	}
+	if hal == 0 {
+		t.Fatal("no HAL interfaces in target")
+	}
+}
+
+func TestSyzkallerLikeIsSyscallOnly(t *testing.T) {
+	eng, err := NewSyzkallerLike(boot(t, "A1"), engine.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range eng.Gen().Target().Calls() {
+		if d.IsHAL() {
+			t.Fatalf("HAL interface %s in Syzkaller target", d.Name)
+		}
+	}
+	eng.Run(300)
+	st := eng.Stats()
+	if st.KernelCov == 0 {
+		t.Fatal("no coverage")
+	}
+	// kcov-only feedback: total signal equals kernel coverage.
+	if st.TotalSignal != st.KernelCov {
+		t.Fatalf("signal %d != kernel %d (HAL coverage leaked in)",
+			st.TotalSignal, st.KernelCov)
+	}
+}
+
+func TestDifuzeExtractionAndRun(t *testing.T) {
+	dev := boot(t, "A1")
+	f, err := NewDifuze(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ExtractedInterfaces() < 50 {
+		t.Fatalf("extracted = %d", f.ExtractedInterfaces())
+	}
+	for _, d := range ExtractIoctlInterfaces(dev) {
+		if !strings.HasPrefix(d.Name, "open$") && !strings.HasPrefix(d.Name, "ioctl$") {
+			t.Fatalf("non-ioctl interface extracted: %s", d.Name)
+		}
+	}
+	f.Run(400)
+	if f.Execs() != 400 {
+		t.Fatalf("execs = %d (Difuze is generation-only, one exec per iter)", f.Execs())
+	}
+	if f.Accumulator().KernelTotal() == 0 {
+		t.Fatal("no coverage measured")
+	}
+	// Generation-only: no directional signal ever.
+	if f.Accumulator().Total() != f.Accumulator().KernelTotal() {
+		t.Fatal("difuze accumulated directional signal")
+	}
+}
+
+func TestDroidFuzzDGateActive(t *testing.T) {
+	eng, err := NewDroidFuzzD(boot(t, "A1"), engine.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(200)
+	if eng.Accumulator().KernelTotal() == 0 {
+		t.Fatal("no coverage under the ioctl gate")
+	}
+}
+
+func TestVariantCoverageOrderingSmoke(t *testing.T) {
+	// At a modest budget the full system should not lose to the
+	// syscall-only baseline on joint signal.
+	df, err := NewDroidFuzz(boot(t, "A2"), relation.New(), crash.NewDedup(), engine.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syz, err := NewSyzkallerLike(boot(t, "A2"), engine.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df.Run(1500)
+	syz.Run(1500)
+	if df.Accumulator().Total() <= syz.Accumulator().Total() {
+		t.Fatalf("joint signal: DF %d <= Syz %d",
+			df.Accumulator().Total(), syz.Accumulator().Total())
+	}
+}

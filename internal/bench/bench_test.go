@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"droidfuzz/internal/bugs"
+)
+
+func TestTable1ListsAllDevices(t *testing.T) {
+	out := Table1()
+	for _, id := range []string{"A1", "A2", "B", "C1", "C2", "D", "E"} {
+		if !strings.Contains(out, id+" ") {
+			t.Fatalf("table 1 missing %s:\n%s", id, out)
+		}
+	}
+	for _, vendor := range []string{"Xiaomi", "Raspberry Pi", "Sunmi", "EmbedFire", "AAEON"} {
+		if !strings.Contains(out, vendor) {
+			t.Fatalf("table 1 missing vendor %s", vendor)
+		}
+	}
+}
+
+func TestRunCampaignEveryKind(t *testing.T) {
+	kinds := []FuzzerKind{
+		DroidFuzz, DroidFuzzNoRel, DroidFuzzNoHCov,
+		DroidFuzzD, SyzkallerLike, DifuzeLike,
+	}
+	for _, k := range kinds {
+		res, err := RunCampaign(CampaignConfig{
+			ModelID: "B", Fuzzer: k, Iters: 300, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.KernelCov == 0 {
+			t.Fatalf("%v: no coverage", k)
+		}
+		if len(res.Kernel.T) == 0 {
+			t.Fatalf("%v: no history", k)
+		}
+		if len(res.PerDriver) == 0 {
+			t.Fatalf("%v: no per-driver accounting", k)
+		}
+		if k == DifuzeLike && res.ExtractedIfaces == 0 {
+			t.Fatal("difuze extraction count missing")
+		}
+	}
+	if _, err := RunCampaign(CampaignConfig{ModelID: "Z9", Fuzzer: DroidFuzz, Iters: 1}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunRepeatedVariesSeeds(t *testing.T) {
+	runs, err := RunRepeated(CampaignConfig{
+		ModelID: "B", Fuzzer: SyzkallerLike, Iters: 300, Seed: 1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	finals := FinalKernel(runs)
+	if len(finals) != 2 || finals[0] == 0 {
+		t.Fatalf("finals = %v", finals)
+	}
+}
+
+func TestFigure3Render(t *testing.T) {
+	r, err := RunFigure3("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "android.hardware.graphics.composer") {
+		t.Fatalf("figure 3 missing services:\n%s", out)
+	}
+	if r.Interfaces == 0 || r.Seeds == 0 {
+		t.Fatalf("probing stats empty: %+v", r)
+	}
+	if len(r.TopWeighted) == 0 {
+		t.Fatal("no weighted interfaces")
+	}
+	for i := 1; i < len(r.TopWeighted); i++ {
+		if r.TopWeighted[i-1].Weight < r.TopWeighted[i].Weight {
+			t.Fatal("top-weighted not sorted")
+		}
+	}
+}
+
+func TestTable2QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns take seconds")
+	}
+	sc := Scale{FigureIters: 500, Table2Iters: 4000, Reps: 1, SeedBase: 21}
+	r, err := RunTable2(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DFBugs) <= len(r.SyzBugs) {
+		t.Fatalf("DF %d bugs vs Syz %d: headline shape lost",
+			len(r.DFBugs), len(r.SyzBugs))
+	}
+	// Syzkaller must only find kernel bugs (never the HAL crashes).
+	for id := range r.SyzBugs {
+		switch id {
+		case bugs.GraphicsHALCrash, bugs.MediaHALCrash, bugs.CameraHALCrash:
+			t.Fatalf("Syzkaller found HAL bug %v", id)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "total") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	curves := map[string]struct {
+		T []uint64
+		V []float64
+	}{}
+	_ = curves
+	out := asciiPlot("empty", nil, nil, 40, 8)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+}

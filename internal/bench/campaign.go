@@ -1,0 +1,184 @@
+// Package bench is the experiment harness: it runs scaled-down campaigns
+// of every fuzzer variant against the virtual devices and regenerates each
+// table and figure of the paper's evaluation (Table I, Table II, Figure 4,
+// Figure 5, Table III). Wall-clock hours are replaced by iteration budgets
+// on the virtual-time clock; the reproduction target is the *shape* of the
+// results, not absolute magnitudes (see DESIGN.md).
+package bench
+
+import (
+	"fmt"
+
+	"droidfuzz/internal/baseline"
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/relation"
+	"droidfuzz/internal/stats"
+)
+
+// FuzzerKind selects the campaign fuzzer.
+type FuzzerKind int
+
+// Fuzzer kinds.
+const (
+	DroidFuzz FuzzerKind = iota
+	DroidFuzzNoRel
+	DroidFuzzNoHCov
+	DroidFuzzD
+	SyzkallerLike
+	DifuzeLike
+)
+
+// String names the kind as the paper does.
+func (k FuzzerKind) String() string {
+	switch k {
+	case DroidFuzz:
+		return "DroidFuzz"
+	case DroidFuzzNoRel:
+		return "DF-NoRel"
+	case DroidFuzzNoHCov:
+		return "DF-NoHCov"
+	case DroidFuzzD:
+		return "DroidFuzz-D"
+	case SyzkallerLike:
+		return "Syzkaller"
+	case DifuzeLike:
+		return "Difuze"
+	default:
+		return fmt.Sprintf("FuzzerKind(%d)", int(k))
+	}
+}
+
+// CampaignConfig describes one run.
+type CampaignConfig struct {
+	ModelID string
+	Fuzzer  FuzzerKind
+	// Iters is the iteration budget (the "hours" of the experiment).
+	Iters int
+	Seed  int64
+}
+
+// CampaignResult carries everything the tables and figures consume.
+type CampaignResult struct {
+	ModelID string
+	Fuzzer  FuzzerKind
+	// Kernel is the kernel-coverage-over-virtual-time curve.
+	Kernel stats.Series
+	// KernelCov and TotalSignal are the final accumulated counts.
+	KernelCov   int
+	TotalSignal int
+	// PerDriver is the final distinct-PC count per driver module.
+	PerDriver map[string]int
+	// Bugs are the unique findings.
+	Bugs []*crash.Record
+	// BugIDs marks which injected Table II bugs were rediscovered.
+	BugIDs map[bugs.ID]bool
+	// Execs is the consumed virtual time.
+	Execs uint64
+	// ExtractedIfaces is Difuze's static extraction count (0 otherwise).
+	ExtractedIfaces int
+}
+
+// maxCoverSite bounds per-module cover-site enumeration for the PC index.
+const maxCoverSite = 512
+
+// RunCampaign boots a fresh device and runs one campaign.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	model, err := device.ModelByID(cfg.ModelID)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.New(model)
+
+	var f baseline.Fuzzer
+	ecfg := engine.Config{Seed: cfg.Seed}
+	switch cfg.Fuzzer {
+	case DroidFuzz:
+		f, err = baseline.NewDroidFuzz(dev, relation.New(), crash.NewDedup(), ecfg)
+	case DroidFuzzNoRel:
+		ecfg.NoRelations = true
+		f, err = baseline.NewDroidFuzz(dev, relation.New(), crash.NewDedup(), ecfg)
+	case DroidFuzzNoHCov:
+		ecfg.NoHALCov = true
+		f, err = baseline.NewDroidFuzz(dev, relation.New(), crash.NewDedup(), ecfg)
+	case DroidFuzzD:
+		f, err = baseline.NewDroidFuzzD(dev, ecfg)
+	case SyzkallerLike:
+		f, err = baseline.NewSyzkallerLike(dev, ecfg)
+	case DifuzeLike:
+		f, err = baseline.NewDifuze(dev, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("bench: unknown fuzzer kind %v", cfg.Fuzzer)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	f.Run(cfg.Iters)
+
+	res := &CampaignResult{
+		ModelID:     cfg.ModelID,
+		Fuzzer:      cfg.Fuzzer,
+		KernelCov:   f.Accumulator().KernelTotal(),
+		TotalSignal: f.Accumulator().Total(),
+		Bugs:        f.Dedup().Records(),
+		BugIDs:      make(map[bugs.ID]bool),
+		Execs:       f.Execs(),
+		PerDriver:   make(map[string]int),
+	}
+	for _, pt := range f.Accumulator().History() {
+		res.Kernel.T = append(res.Kernel.T, pt.VTime)
+		res.Kernel.V = append(res.Kernel.V, float64(pt.Kernel))
+	}
+	idx := dev.PCIndex(maxCoverSite)
+	for _, pc := range f.Accumulator().KernelPCs() {
+		if mod, ok := idx[pc]; ok {
+			res.PerDriver[mod]++
+		}
+	}
+	for _, r := range res.Bugs {
+		if id, ok := bugs.TitleToID(r.Title); ok {
+			res.BugIDs[id] = true
+		}
+	}
+	if d, ok := f.(*baseline.Difuze); ok {
+		res.ExtractedIfaces = d.ExtractedInterfaces()
+	}
+	return res, nil
+}
+
+// RunRepeated runs reps campaigns with consecutive seeds and returns all
+// results (the paper repeats each experiment 10 times).
+func RunRepeated(cfg CampaignConfig, reps int) ([]*CampaignResult, error) {
+	out := make([]*CampaignResult, 0, reps)
+	for r := 0; r < reps; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)*7919
+		res, err := RunCampaign(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// KernelSeries extracts the kernel-coverage curves of several runs.
+func KernelSeries(runs []*CampaignResult) []stats.Series {
+	out := make([]stats.Series, len(runs))
+	for i, r := range runs {
+		out[i] = r.Kernel
+	}
+	return out
+}
+
+// FinalKernel extracts the final kernel coverage of each run.
+func FinalKernel(runs []*CampaignResult) []float64 {
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = float64(r.KernelCov)
+	}
+	return out
+}

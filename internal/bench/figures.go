@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/probe"
+	"droidfuzz/internal/stats"
+)
+
+// Figure3Result summarizes the probing pass (Fig. 3's process) per device.
+type Figure3Result struct {
+	ModelID    string
+	Services   []probe.ServiceReport
+	Interfaces int
+	Seeds      int
+	// TopWeighted lists the highest-weighted interfaces (name, weight).
+	TopWeighted []struct {
+		Name   string
+		Weight float64
+	}
+}
+
+// RunFigure3 executes the probing pass on one device and reports what it
+// extracted: services, interfaces, trial kernel interactions, occurrence
+// weights, and distilled workload seeds.
+func RunFigure3(modelID string) (*Figure3Result, error) {
+	model, err := device.ModelByID(modelID)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.New(model)
+	pr, err := probe.Run(dev, probe.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure3Result{
+		ModelID:    modelID,
+		Services:   pr.Services,
+		Interfaces: len(pr.Interfaces),
+		Seeds:      len(pr.Seeds),
+	}
+	type wi struct {
+		name   string
+		weight float64
+	}
+	ws := make([]wi, 0, len(pr.Interfaces))
+	for _, d := range pr.Interfaces {
+		ws = append(ws, wi{d.Name, d.Weight})
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].weight != ws[j].weight {
+			return ws[i].weight > ws[j].weight
+		}
+		return ws[i].name < ws[j].name
+	})
+	for i := 0; i < len(ws) && i < 8; i++ {
+		out.TopWeighted = append(out.TopWeighted, struct {
+			Name   string
+			Weight float64
+		}{ws[i].name, ws[i].weight})
+	}
+	return out, nil
+}
+
+// Render prints the probing summary.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 (probing process) on device %s:\n", r.ModelID)
+	fmt.Fprintf(&b, "  services probed: %d, interfaces extracted: %d, workload seeds: %d\n",
+		len(r.Services), r.Interfaces, r.Seeds)
+	for _, s := range r.Services {
+		fmt.Fprintf(&b, "  %-42s methods=%2d trial-syscalls=%d\n",
+			s.Descriptor, s.Methods, s.TrialEvents)
+	}
+	b.WriteString("  top-weighted interfaces (normalized occurrence):\n")
+	for _, tw := range r.TopWeighted {
+		fmt.Fprintf(&b, "    %-48s %.2f\n", tw.Name, tw.Weight)
+	}
+	return b.String()
+}
+
+// Figure4Result carries the DroidFuzz-vs-Syzkaller coverage curves.
+type Figure4Result struct {
+	// Devices plotted (the paper shows A1, A2, B, C1).
+	Devices []string
+	// Curves maps device -> fuzzer name -> mean coverage series.
+	Curves map[string]map[string]stats.Series
+	// FinalGainPct maps device -> percent DroidFuzz leads Syzkaller at the
+	// end of the run.
+	FinalGainPct map[string]float64
+	// PerDriverGainPct is the average per-driver kernel coverage gain
+	// across all plotted devices (the paper's §I claim of +17%).
+	PerDriverGainPct float64
+}
+
+// figure4Devices mirrors the paper's plotted subset.
+var figure4Devices = []string{"A1", "A2", "B", "C1"}
+
+// RunFigure4 reproduces Figure 4: mean kernel coverage over virtual time of
+// DroidFuzz vs Syzkaller on devices A1, A2, B, C1, averaged over Reps runs.
+func RunFigure4(sc Scale) (*Figure4Result, error) {
+	out := &Figure4Result{
+		Devices:      figure4Devices,
+		Curves:       make(map[string]map[string]stats.Series),
+		FinalGainPct: make(map[string]float64),
+	}
+	var gainSum float64
+	var gainN int
+	for _, dev := range figure4Devices {
+		out.Curves[dev] = make(map[string]stats.Series)
+		var finals [2]float64
+		perDriver := make(map[string][2]float64)
+		for i, fk := range []FuzzerKind{DroidFuzz, SyzkallerLike} {
+			runs, err := RunRepeated(CampaignConfig{
+				ModelID: dev, Fuzzer: fk, Iters: sc.FigureIters,
+				Seed: sc.SeedBase,
+			}, sc.Reps)
+			if err != nil {
+				return nil, err
+			}
+			maxT := uint64(0)
+			for _, r := range runs {
+				if r.Execs > maxT {
+					maxT = r.Execs
+				}
+			}
+			out.Curves[dev][fk.String()] = stats.MeanSeries(KernelSeries(runs), 32, maxT)
+			finals[i] = stats.Mean(FinalKernel(runs))
+			for _, r := range runs {
+				for mod, cov := range r.PerDriver {
+					v := perDriver[mod]
+					v[i] += float64(cov) / float64(len(runs))
+					perDriver[mod] = v
+				}
+			}
+		}
+		if finals[1] > 0 {
+			out.FinalGainPct[dev] = 100 * (finals[0] - finals[1]) / finals[1]
+		}
+		for _, v := range perDriver {
+			if v[1] > 0 {
+				gainSum += 100 * (v[0] - v[1]) / v[1]
+				gainN++
+			}
+		}
+	}
+	if gainN > 0 {
+		out.PerDriverGainPct = gainSum / float64(gainN)
+	}
+	return out, nil
+}
+
+// Render prints the four coverage plots and the per-driver gain summary.
+func (r *Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Coverage comparison between DroidFuzz and Syzkaller (48h budget)\n\n")
+	for _, dev := range r.Devices {
+		names := []string{DroidFuzz.String(), SyzkallerLike.String()}
+		b.WriteString(asciiPlot("Device "+dev, names, r.Curves[dev], 64, 12))
+		fmt.Fprintf(&b, "        DroidFuzz final lead over Syzkaller: %+.1f%%\n\n",
+			r.FinalGainPct[dev])
+	}
+	fmt.Fprintf(&b, "Average per-driver kernel coverage gain (paper: +17%%): %+.1f%%\n",
+		r.PerDriverGainPct)
+	return b.String()
+}
+
+// Figure5Result carries the Difuze comparison curves.
+type Figure5Result struct {
+	Devices []string
+	Curves  map[string]map[string]stats.Series
+	// Extracted maps device -> Difuze's extracted interface count (the
+	// paper reports 285 and 232 on its A1/A2 firmwares).
+	Extracted map[string]int
+	// DFDLeadPct maps device -> percent DroidFuzz-D leads Difuze at the
+	// end (the paper reports 34%).
+	DFDLeadPct map[string]float64
+}
+
+// figure5Devices mirrors the paper (Difuze was only adapted to A1 and A2).
+var figure5Devices = []string{"A1", "A2"}
+
+// RunFigure5 reproduces Figure 5: DroidFuzz, DroidFuzz-D (ioctl-gated), and
+// Difuze on devices A1 and A2.
+func RunFigure5(sc Scale) (*Figure5Result, error) {
+	out := &Figure5Result{
+		Devices:    figure5Devices,
+		Curves:     make(map[string]map[string]stats.Series),
+		Extracted:  make(map[string]int),
+		DFDLeadPct: make(map[string]float64),
+	}
+	for _, dev := range figure5Devices {
+		out.Curves[dev] = make(map[string]stats.Series)
+		finals := make(map[FuzzerKind]float64)
+		for _, fk := range []FuzzerKind{DroidFuzz, DroidFuzzD, DifuzeLike} {
+			runs, err := RunRepeated(CampaignConfig{
+				ModelID: dev, Fuzzer: fk, Iters: sc.FigureIters,
+				Seed: sc.SeedBase,
+			}, sc.Reps)
+			if err != nil {
+				return nil, err
+			}
+			maxT := uint64(0)
+			for _, r := range runs {
+				if r.Execs > maxT {
+					maxT = r.Execs
+				}
+				if r.ExtractedIfaces > 0 {
+					out.Extracted[dev] = r.ExtractedIfaces
+				}
+			}
+			out.Curves[dev][fk.String()] = stats.MeanSeries(KernelSeries(runs), 32, maxT)
+			finals[fk] = stats.Mean(FinalKernel(runs))
+		}
+		if finals[DifuzeLike] > 0 {
+			out.DFDLeadPct[dev] = 100 * (finals[DroidFuzzD] - finals[DifuzeLike]) / finals[DifuzeLike]
+		}
+	}
+	return out, nil
+}
+
+// Render prints the Figure 5 plots and headline numbers.
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Coverage comparison between DroidFuzz, Difuze, and DroidFuzz-D\n\n")
+	for _, dev := range r.Devices {
+		names := []string{DroidFuzz.String(), DroidFuzzD.String(), DifuzeLike.String()}
+		b.WriteString(asciiPlot("Device "+dev, names, r.Curves[dev], 64, 12))
+		fmt.Fprintf(&b, "        Difuze extracted %d driver interfaces; DroidFuzz-D leads Difuze by %+.1f%% (paper: +34%%)\n\n",
+			r.Extracted[dev], r.DFDLeadPct[dev])
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"droidfuzz/internal/stats"
+)
+
+// plotMarks are assigned to series in insertion order.
+var plotMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// asciiPlot renders coverage-over-virtual-time curves as a text chart, the
+// stand-in for the paper's line figures. Series are drawn in the order of
+// the names slice.
+func asciiPlot(title string, names []string, curves map[string]stats.Series, width, height int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 14
+	}
+	var maxV float64
+	var maxT uint64
+	for _, s := range curves {
+		for i, v := range s.V {
+			if v > maxV {
+				maxV = v
+			}
+			if s.T[i] > maxT {
+				maxT = s.T[i]
+			}
+		}
+	}
+	if maxV == 0 || maxT == 0 {
+		return title + ": (no data)\n"
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range names {
+		s, ok := curves[name]
+		if !ok {
+			continue
+		}
+		mark := plotMarks[si%len(plotMarks)]
+		for x := 0; x < width; x++ {
+			t := maxT * uint64(x+1) / uint64(width)
+			v := s.At(t)
+			y := int(v / maxV * float64(height-1))
+			if y >= height {
+				y = height - 1
+			}
+			row := height - 1 - y
+			grid[row][x] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: kernel coverage, max %.0f; x: virtual time, %d execs)\n",
+		title, maxV, maxT)
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.0f ", maxV)
+		} else if i == height-1 {
+			label = "      0 "
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	legend := make([]string, 0, len(names))
+	for si, name := range names {
+		final := 0.0
+		if s, ok := curves[name]; ok && len(s.V) > 0 {
+			final = s.V[len(s.V)-1]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s (final %.0f)",
+			plotMarks[si%len(plotMarks)], name, final))
+	}
+	b.WriteString("        " + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}
+
+// sortedKeys returns map keys sorted, for deterministic rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

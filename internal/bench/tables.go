@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/stats"
+)
+
+// Scale sets the iteration and repetition budgets of the experiments. The
+// paper's 48-hour and 144-hour wall-clock campaigns become virtual-time
+// iteration budgets at a 1:3 ratio.
+type Scale struct {
+	// FigureIters is the 48 h analog used by Figures 4/5 and Table III.
+	FigureIters int
+	// Table2Iters is the 144 h analog used by the bug-detection table.
+	Table2Iters int
+	// Reps is the number of repetitions (the paper uses 10).
+	Reps int
+	// SeedBase offsets campaign seeds.
+	SeedBase int64
+}
+
+// DefaultScale is the full evaluation budget (minutes of wall clock).
+func DefaultScale() Scale {
+	return Scale{FigureIters: 20000, Table2Iters: 60000, Reps: 10, SeedBase: 1000}
+}
+
+// QuickScale is a reduced budget for tests and smoke runs.
+func QuickScale() Scale {
+	return Scale{FigureIters: 2500, Table2Iters: 6000, Reps: 3, SeedBase: 1000}
+}
+
+// Table1 renders the Table I device listing from the device models.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table I: List of Embedded Android Devices Tested\n")
+	fmt.Fprintf(&b, "%-4s %-18s %-13s %-8s %-5s %s\n",
+		"ID", "Device", "Vendor", "Arch.", "AOSP", "Kernel")
+	for _, m := range device.Models() {
+		fmt.Fprintf(&b, "%-4s %-18s %-13s %-8s %-5d %s\n",
+			m.ID, m.Name, m.Vendor, m.Arch, m.AOSP, m.Kernel)
+	}
+	return b.String()
+}
+
+// Table2Result carries the bug-detection experiment outcome.
+type Table2Result struct {
+	// DFRecords are DroidFuzz's unique findings across all devices.
+	DFRecords []*crash.Record
+	// DFBugs / SyzBugs mark which injected Table II bugs each fuzzer
+	// rediscovered (union over devices).
+	DFBugs, SyzBugs map[bugs.ID]bool
+	// PerDevice maps model ID -> bug ids DroidFuzz found there.
+	PerDevice map[string][]bugs.ID
+}
+
+// RunTable2 reproduces Table II: DroidFuzz fuzzes every device at the 144 h
+// budget; Syzkaller runs the same devices for the comparison count ("where
+// Syzkaller was only able to find 2, both of which are from the kernel").
+func RunTable2(sc Scale) (*Table2Result, error) {
+	out := &Table2Result{
+		DFBugs:    make(map[bugs.ID]bool),
+		SyzBugs:   make(map[bugs.ID]bool),
+		PerDevice: make(map[string][]bugs.ID),
+	}
+	for i, m := range device.Models() {
+		// Each device's 144 h campaign is an independent run.
+		seed := sc.SeedBase + int64(i)*31
+		df, err := RunCampaign(CampaignConfig{
+			ModelID: m.ID, Fuzzer: DroidFuzz, Iters: sc.Table2Iters,
+			Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.DFRecords = append(out.DFRecords, df.Bugs...)
+		var ids []bugs.ID
+		for id := range df.BugIDs {
+			out.DFBugs[id] = true
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out.PerDevice[m.ID] = ids
+
+		syz, err := RunCampaign(CampaignConfig{
+			ModelID: m.ID, Fuzzer: SyzkallerLike, Iters: sc.Table2Iters,
+			Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for id := range syz.BugIDs {
+			out.SyzBugs[id] = true
+		}
+	}
+	return out, nil
+}
+
+// Render prints the Table II analog plus the found/missed summary.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II: List of All New Bugs Found By DroidFuzz\n")
+	b.WriteString(crash.Table(r.DFRecords))
+	fmt.Fprintf(&b, "\nInjected-bug recall (paper: DroidFuzz 12, Syzkaller 2):\n")
+	fmt.Fprintf(&b, "%-4s %-55s %-10s %s\n", "No", "Bug", "DroidFuzz", "Syzkaller")
+	df, syz := 0, 0
+	for _, id := range bugs.All() {
+		mark := func(m map[bugs.ID]bool) string {
+			if m[id] {
+				return "FOUND"
+			}
+			return "-"
+		}
+		if r.DFBugs[id] {
+			df++
+		}
+		if r.SyzBugs[id] {
+			syz++
+		}
+		fmt.Fprintf(&b, "%-4d %-55s %-10s %s\n", int(id), id.String(),
+			mark(r.DFBugs), mark(r.SyzBugs))
+	}
+	fmt.Fprintf(&b, "total%51s %-10d %d\n", "", df, syz)
+	return b.String()
+}
+
+// Table3Result carries the ablation experiment outcome.
+type Table3Result struct {
+	// Devices in Table I order.
+	Devices []string
+	// Mean final kernel coverage per device per fuzzer.
+	Mean map[string]map[FuzzerKind]float64
+	// Std per device per fuzzer.
+	Std map[string]map[FuzzerKind]float64
+	// PvsDF is the Mann-Whitney p-value of each variant against DroidFuzz.
+	PvsDF map[string]map[FuzzerKind]float64
+}
+
+// table3Fuzzers are the Table III columns.
+var table3Fuzzers = []FuzzerKind{DroidFuzz, DroidFuzzNoRel, DroidFuzzNoHCov, SyzkallerLike}
+
+// RunTable3 reproduces Table III: 48 h-budget campaigns of DroidFuzz, the
+// two ablations, and Syzkaller on all seven devices, repeated Reps times,
+// with Mann-Whitney significance against full DroidFuzz.
+func RunTable3(sc Scale) (*Table3Result, error) {
+	out := &Table3Result{
+		Mean:  make(map[string]map[FuzzerKind]float64),
+		Std:   make(map[string]map[FuzzerKind]float64),
+		PvsDF: make(map[string]map[FuzzerKind]float64),
+	}
+	for _, m := range device.Models() {
+		out.Devices = append(out.Devices, m.ID)
+		out.Mean[m.ID] = make(map[FuzzerKind]float64)
+		out.Std[m.ID] = make(map[FuzzerKind]float64)
+		out.PvsDF[m.ID] = make(map[FuzzerKind]float64)
+		finals := make(map[FuzzerKind][]float64)
+		for _, fk := range table3Fuzzers {
+			runs, err := RunRepeated(CampaignConfig{
+				ModelID: m.ID, Fuzzer: fk, Iters: sc.FigureIters,
+				Seed: sc.SeedBase,
+			}, sc.Reps)
+			if err != nil {
+				return nil, err
+			}
+			finals[fk] = FinalKernel(runs)
+			out.Mean[m.ID][fk] = stats.Mean(finals[fk])
+			out.Std[m.ID][fk] = stats.StdDev(finals[fk])
+		}
+		for _, fk := range table3Fuzzers[1:] {
+			_, p := stats.MannWhitneyU(finals[DroidFuzz], finals[fk])
+			out.PvsDF[m.ID][fk] = p
+		}
+	}
+	return out, nil
+}
+
+// Render prints the Table III analog; variants whose difference from
+// DroidFuzz is not significant at α=0.05 are marked with '†', as the paper
+// labels non-significant groups explicitly.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III: Coverage Statistics for Ablation Tests (48h budget)\n")
+	fmt.Fprintf(&b, "%-7s", "Device")
+	for _, fk := range table3Fuzzers {
+		fmt.Fprintf(&b, " %14s", fk)
+	}
+	b.WriteString("\n")
+	for _, dev := range r.Devices {
+		fmt.Fprintf(&b, "%-7s", dev)
+		for _, fk := range table3Fuzzers {
+			cell := fmt.Sprintf("%.0f", r.Mean[dev][fk])
+			if fk != DroidFuzz && r.PvsDF[dev][fk] >= 0.05 {
+				cell += "†"
+			}
+			fmt.Fprintf(&b, " %14s", cell)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("† not statistically significant vs DroidFuzz (Mann-Whitney U, α=0.05)\n")
+	return b.String()
+}

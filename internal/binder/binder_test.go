@@ -1,0 +1,200 @@
+package binder
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParcelRoundTrip(t *testing.T) {
+	p := NewParcel()
+	p.WriteUint32(42)
+	p.WriteUint64(1 << 40)
+	p.WriteInt32(-7)
+	p.WriteString("hello")
+	p.WriteBytes([]byte{1, 2, 3})
+
+	q := FromBytes(p.Bytes())
+	if v, _ := q.ReadUint32(); v != 42 {
+		t.Fatalf("u32 = %d", v)
+	}
+	if v, _ := q.ReadUint64(); v != 1<<40 {
+		t.Fatalf("u64 = %d", v)
+	}
+	if v, _ := q.ReadInt32(); v != -7 {
+		t.Fatalf("i32 = %d", v)
+	}
+	if s, _ := q.ReadString(); s != "hello" {
+		t.Fatalf("str = %q", s)
+	}
+	if b, _ := q.ReadBytes(); !reflect.DeepEqual(b, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", b)
+	}
+	if q.Remaining() != 0 {
+		t.Fatalf("remaining = %d", q.Remaining())
+	}
+}
+
+func TestParcelShortReads(t *testing.T) {
+	p := FromBytes([]byte{1, 2})
+	if _, err := p.ReadUint32(); err != ErrShortParcel {
+		t.Fatal("short u32 not detected")
+	}
+	q := NewParcel()
+	q.WriteUint32(100) // claims 100-byte string with no payload
+	if _, err := q.ReadString(); err != ErrShortParcel {
+		t.Fatal("short string not detected")
+	}
+	r := NewParcel()
+	r.WriteUint32(10)
+	if _, err := r.ReadBytes(); err != ErrShortParcel {
+		t.Fatal("short bytes not detected")
+	}
+}
+
+func TestParcelRewind(t *testing.T) {
+	p := NewParcel()
+	p.WriteUint32(9)
+	p.ReadUint32()
+	p.Rewind()
+	if v, _ := p.ReadUint32(); v != 9 {
+		t.Fatal("rewind broken")
+	}
+}
+
+func TestMethodSigRoundTripProperty(t *testing.T) {
+	f := func(names []string, codes []uint32, rets []string) bool {
+		n := len(names)
+		if len(codes) < n {
+			n = len(codes)
+		}
+		if len(rets) < n {
+			n = len(rets)
+		}
+		in := make([]MethodSig, 0, n)
+		for i := 0; i < n; i++ {
+			in = append(in, MethodSig{
+				Name: names[i], Code: codes[i], Ret: rets[i],
+				Args: []ArgSig{
+					{Name: "a", Kind: "int", Min: uint64(i), Max: uint64(i) + 10},
+					{Name: "b", Kind: "flags", Choices: []uint64{1, 2, uint64(i)}},
+					{Name: "c", Kind: "buffer", BufLen: 32},
+					{Name: "d", Kind: "string", StrChoices: []string{"x", names[i]}},
+					{Name: "e", Kind: "resource", Res: rets[i]},
+				},
+			})
+		}
+		p := NewParcel()
+		MarshalMethods(p, in)
+		out, err := UnmarshalMethods(FromBytes(p.Bytes()))
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	p := NewParcel()
+	MarshalMethods(p, []MethodSig{{Name: "m", Code: 1}})
+	raw := p.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := UnmarshalMethods(FromBytes(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+type fakeService struct {
+	desc  string
+	calls int
+}
+
+func (s *fakeService) Descriptor() string { return s.desc }
+
+func (s *fakeService) Transact(code uint32, in, out *Parcel) Status {
+	s.calls++
+	out.WriteUint32(code)
+	return StatusOK
+}
+
+func TestServiceManager(t *testing.T) {
+	sm := NewServiceManager()
+	svc := &fakeService{desc: "android.hardware.test"}
+	sm.Register(svc)
+	if sm.Get("android.hardware.test") != svc {
+		t.Fatal("get failed")
+	}
+	if sm.Get("nope") != nil {
+		t.Fatal("phantom service")
+	}
+	if got := sm.List(); len(got) != 1 || got[0] != "android.hardware.test" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestServiceManagerDuplicatePanics(t *testing.T) {
+	sm := NewServiceManager()
+	sm.Register(&fakeService{desc: "dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	sm.Register(&fakeService{desc: "dup"})
+}
+
+func TestCallRoutingAndObserver(t *testing.T) {
+	sm := NewServiceManager()
+	svc := &fakeService{desc: "svc"}
+	sm.Register(svc)
+
+	var seenDesc string
+	var seenCode uint32
+	var seenLen int
+	sm.SetObserver(func(d string, c uint32, payload []byte) {
+		seenDesc, seenCode, seenLen = d, c, len(payload)
+	})
+
+	in, out := NewParcel(), NewParcel()
+	in.WriteUint64(5)
+	if st := sm.Call("svc", 3, in, out); st != StatusOK {
+		t.Fatalf("status = %v", st)
+	}
+	if svc.calls != 1 {
+		t.Fatal("service not invoked")
+	}
+	if seenDesc != "svc" || seenCode != 3 || seenLen != 8 {
+		t.Fatalf("observer saw %q/%d/%d", seenDesc, seenCode, seenLen)
+	}
+
+	if st := sm.Call("gone", 1, in, out); st != StatusDeadObject {
+		t.Fatalf("unknown service status = %v", st)
+	}
+	sm.SetObserver(nil)
+	sm.Call("svc", 4, NewParcel(), NewParcel())
+	if seenCode != 3 {
+		t.Fatal("observer fired after removal")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		StatusOK:                 "OK",
+		StatusBadValue:           "BAD_VALUE",
+		StatusUnknownTransaction: "UNKNOWN_TRANSACTION",
+		StatusDeadObject:         "DEAD_OBJECT",
+		StatusFailed:             "FAILED_TRANSACTION",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d = %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package binder
+
+// Observer is notified of every transaction routed through a
+// ServiceManager-mediated call, receiving the raw request payload. The
+// probing pass installs one to count interface occurrences and harvest the
+// actual IPC argument values while the framework exercises high-level APIs
+// (paper §IV-B: "extracts the actual IPC data between the HAL and the Poke
+// App, and filters out relevant interfaces and arguments").
+type Observer func(descriptor string, code uint32, payload []byte)
+
+// SetObserver installs the transaction observer (nil to remove).
+func (sm *ServiceManager) SetObserver(o Observer) {
+	sm.mu.Lock()
+	sm.observer = o
+	sm.mu.Unlock()
+}
+
+func (sm *ServiceManager) notify(descriptor string, code uint32, payload []byte) {
+	sm.mu.Lock()
+	o := sm.observer
+	sm.mu.Unlock()
+	if o != nil {
+		o(descriptor, code, payload)
+	}
+}
+
+// Call routes one transaction to the named service, the way a client
+// process transacts through a binder handle obtained from ServiceManager.
+// It returns StatusDeadObject for unknown descriptors (the handle the
+// client held no longer resolves).
+func (sm *ServiceManager) Call(descriptor string, code uint32, in, out *Parcel) Status {
+	svc := sm.Get(descriptor)
+	if svc == nil {
+		return StatusDeadObject
+	}
+	sm.notify(descriptor, code, in.Bytes())
+	return svc.Transact(code, in, out)
+}

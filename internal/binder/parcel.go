@@ -1,0 +1,131 @@
+// Package binder models the Android Binder IPC substrate: Parcel
+// marshaling, a ServiceManager registry, and transaction dispatch to HAL
+// services. The probing pass (paper §IV-B, Fig. 3) observes this layer:
+// the Poke application marshals trial parameters through ServiceManager
+// reflection, and the prober extracts the actual IPC data exchanged with
+// each HAL.
+package binder
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortParcel is returned when a read runs past the parcel payload.
+var ErrShortParcel = errors.New("binder: parcel too short")
+
+// Parcel is a Binder data container with sequential typed reads and writes,
+// little-endian like the real thing.
+type Parcel struct {
+	buf []byte
+	r   int
+}
+
+// NewParcel returns an empty parcel.
+func NewParcel() *Parcel { return &Parcel{} }
+
+// FromBytes wraps raw payload bytes for reading.
+func FromBytes(b []byte) *Parcel {
+	return &Parcel{buf: append([]byte(nil), b...)}
+}
+
+// Bytes returns the raw payload.
+func (p *Parcel) Bytes() []byte { return p.buf }
+
+// Len returns the payload length.
+func (p *Parcel) Len() int { return len(p.buf) }
+
+// Remaining returns the number of unread bytes.
+func (p *Parcel) Remaining() int { return len(p.buf) - p.r }
+
+// Rewind resets the read cursor.
+func (p *Parcel) Rewind() { p.r = 0 }
+
+// WriteUint32 appends a 32-bit value.
+func (p *Parcel) WriteUint32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	p.buf = append(p.buf, b[:]...)
+}
+
+// WriteUint64 appends a 64-bit value.
+func (p *Parcel) WriteUint64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.buf = append(p.buf, b[:]...)
+}
+
+// WriteInt32 appends a signed 32-bit value.
+func (p *Parcel) WriteInt32(v int32) { p.WriteUint32(uint32(v)) }
+
+// WriteString appends a length-prefixed UTF-8 string.
+func (p *Parcel) WriteString(s string) {
+	p.WriteUint32(uint32(len(s)))
+	p.buf = append(p.buf, s...)
+}
+
+// WriteBytes appends a length-prefixed byte blob.
+func (p *Parcel) WriteBytes(b []byte) {
+	p.WriteUint32(uint32(len(b)))
+	p.buf = append(p.buf, b...)
+}
+
+// ReadUint32 consumes a 32-bit value.
+func (p *Parcel) ReadUint32() (uint32, error) {
+	if p.Remaining() < 4 {
+		return 0, ErrShortParcel
+	}
+	v := binary.LittleEndian.Uint32(p.buf[p.r:])
+	p.r += 4
+	return v, nil
+}
+
+// ReadUint64 consumes a 64-bit value.
+func (p *Parcel) ReadUint64() (uint64, error) {
+	if p.Remaining() < 8 {
+		return 0, ErrShortParcel
+	}
+	v := binary.LittleEndian.Uint64(p.buf[p.r:])
+	p.r += 8
+	return v, nil
+}
+
+// ReadInt32 consumes a signed 32-bit value.
+func (p *Parcel) ReadInt32() (int32, error) {
+	v, err := p.ReadUint32()
+	return int32(v), err
+}
+
+// ReadString consumes a length-prefixed string.
+func (p *Parcel) ReadString() (string, error) {
+	n, err := p.ReadUint32()
+	if err != nil {
+		return "", err
+	}
+	if uint32(p.Remaining()) < n {
+		return "", ErrShortParcel
+	}
+	s := string(p.buf[p.r : p.r+int(n)])
+	p.r += int(n)
+	return s, nil
+}
+
+// ReadBytes consumes a length-prefixed blob.
+func (p *Parcel) ReadBytes() ([]byte, error) {
+	n, err := p.ReadUint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(p.Remaining()) < n {
+		return nil, ErrShortParcel
+	}
+	b := append([]byte(nil), p.buf[p.r:p.r+int(n)]...)
+	p.r += int(n)
+	return b, nil
+}
+
+// String summarizes the parcel for logs.
+func (p *Parcel) String() string {
+	return fmt.Sprintf("binder.Parcel(%d bytes, cursor %d)", len(p.buf), p.r)
+}

@@ -1,0 +1,220 @@
+package binder
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Status is a Binder transaction status code.
+type Status int32
+
+const (
+	// StatusOK is a successful transaction.
+	StatusOK Status = 0
+	// StatusBadValue signals rejected arguments (BAD_VALUE).
+	StatusBadValue Status = -22
+	// StatusUnknownTransaction signals an unhandled code.
+	StatusUnknownTransaction Status = -74
+	// StatusDeadObject signals the remote process died (DEAD_OBJECT).
+	StatusDeadObject Status = -32
+	// StatusFailed is a generic failure (FAILED_TRANSACTION).
+	StatusFailed Status = -29
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusBadValue:
+		return "BAD_VALUE"
+	case StatusUnknownTransaction:
+		return "UNKNOWN_TRANSACTION"
+	case StatusDeadObject:
+		return "DEAD_OBJECT"
+	case StatusFailed:
+		return "FAILED_TRANSACTION"
+	default:
+		return fmt.Sprintf("Status(%d)", int32(s))
+	}
+}
+
+// InterfaceTransaction is the reserved code through which a service reports
+// its method table, mirroring Android's INTERFACE_TRANSACTION reflection
+// that the Poke application requests via ServiceManager (paper Fig. 3).
+const InterfaceTransaction uint32 = 0x5f4e5446 // '_NTF'
+
+// Service is a Binder-reachable HAL service endpoint.
+type Service interface {
+	// Descriptor returns the interface descriptor, e.g.
+	// "android.hardware.graphics.composer".
+	Descriptor() string
+	// Transact dispatches one transaction. Implementations may panic to
+	// model native crashes; the hosting process wrapper recovers.
+	Transact(code uint32, in, out *Parcel) Status
+}
+
+// ServiceManager is the device-wide service registry, the analog of
+// Android's servicemanager/hwservicemanager that lshal enumerates.
+type ServiceManager struct {
+	mu       sync.Mutex
+	services map[string]Service
+	observer Observer
+}
+
+// NewServiceManager returns an empty registry.
+func NewServiceManager() *ServiceManager {
+	return &ServiceManager{services: make(map[string]Service)}
+}
+
+// Register adds a service under its descriptor; duplicates panic (the
+// device's service tree is static per boot).
+func (sm *ServiceManager) Register(s Service) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := s.Descriptor()
+	if _, dup := sm.services[d]; dup {
+		panic(fmt.Sprintf("binder: duplicate service %q", d))
+	}
+	sm.services[d] = s
+}
+
+// Get returns the service registered under the descriptor, or nil.
+func (sm *ServiceManager) Get(descriptor string) Service {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.services[descriptor]
+}
+
+// List returns the sorted registered descriptors; the lshal analog.
+func (sm *ServiceManager) List() []string {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]string, 0, len(sm.services))
+	for d := range sm.services {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArgSig is the reflected syntax of one method argument as exposed through
+// InterfaceTransaction. Kind strings match dsl kinds: "int", "flags",
+// "buffer", "string", "resource".
+type ArgSig struct {
+	Name       string
+	Kind       string
+	Min, Max   uint64
+	Choices    []uint64
+	BufLen     uint32
+	Res        string
+	StrChoices []string
+}
+
+// MethodSig is the reflected signature of one service method.
+type MethodSig struct {
+	Name string
+	Code uint32
+	Args []ArgSig
+	Ret  string // resource kind produced, "" if none
+}
+
+// MarshalMethods encodes a method table into the reply parcel of an
+// InterfaceTransaction.
+func MarshalMethods(out *Parcel, methods []MethodSig) {
+	out.WriteUint32(uint32(len(methods)))
+	for _, m := range methods {
+		out.WriteString(m.Name)
+		out.WriteUint32(m.Code)
+		out.WriteString(m.Ret)
+		out.WriteUint32(uint32(len(m.Args)))
+		for _, a := range m.Args {
+			out.WriteString(a.Name)
+			out.WriteString(a.Kind)
+			out.WriteUint64(a.Min)
+			out.WriteUint64(a.Max)
+			out.WriteUint32(a.BufLen)
+			out.WriteString(a.Res)
+			out.WriteUint32(uint32(len(a.Choices)))
+			for _, c := range a.Choices {
+				out.WriteUint64(c)
+			}
+			out.WriteUint32(uint32(len(a.StrChoices)))
+			for _, s := range a.StrChoices {
+				out.WriteString(s)
+			}
+		}
+	}
+}
+
+// UnmarshalMethods decodes a method table from a reflection reply.
+func UnmarshalMethods(in *Parcel) ([]MethodSig, error) {
+	n, err := in.ReadUint32()
+	if err != nil {
+		return nil, err
+	}
+	methods := make([]MethodSig, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var m MethodSig
+		if m.Name, err = in.ReadString(); err != nil {
+			return nil, err
+		}
+		if m.Code, err = in.ReadUint32(); err != nil {
+			return nil, err
+		}
+		if m.Ret, err = in.ReadString(); err != nil {
+			return nil, err
+		}
+		argc, err := in.ReadUint32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < argc; j++ {
+			var a ArgSig
+			if a.Name, err = in.ReadString(); err != nil {
+				return nil, err
+			}
+			if a.Kind, err = in.ReadString(); err != nil {
+				return nil, err
+			}
+			if a.Min, err = in.ReadUint64(); err != nil {
+				return nil, err
+			}
+			if a.Max, err = in.ReadUint64(); err != nil {
+				return nil, err
+			}
+			if a.BufLen, err = in.ReadUint32(); err != nil {
+				return nil, err
+			}
+			if a.Res, err = in.ReadString(); err != nil {
+				return nil, err
+			}
+			nc, err := in.ReadUint32()
+			if err != nil {
+				return nil, err
+			}
+			for k := uint32(0); k < nc; k++ {
+				c, err := in.ReadUint64()
+				if err != nil {
+					return nil, err
+				}
+				a.Choices = append(a.Choices, c)
+			}
+			ns, err := in.ReadUint32()
+			if err != nil {
+				return nil, err
+			}
+			for k := uint32(0); k < ns; k++ {
+				s, err := in.ReadString()
+				if err != nil {
+					return nil, err
+				}
+				a.StrChoices = append(a.StrChoices, s)
+			}
+			m.Args = append(m.Args, a)
+		}
+		methods = append(methods, m)
+	}
+	return methods, nil
+}

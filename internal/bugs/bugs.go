@@ -1,0 +1,102 @@
+// Package bugs enumerates the injected defects reproducing Table II of the
+// paper. Each virtual device model enables the subset of bugs the paper
+// found on the corresponding physical device; drivers and HAL services gate
+// their buggy paths on membership in the device's Set.
+package bugs
+
+// ID identifies one injected bug. The numbering follows Table II.
+type ID int
+
+const (
+	// TCPCProbe is №1: "WARNING in rt1711_i2c_probe" (A1, kernel driver,
+	// logic error).
+	TCPCProbe ID = iota + 1
+	// GraphicsHALCrash is №2: native crash in the Graphics HAL (A1, HAL,
+	// memory related).
+	GraphicsHALCrash
+	// LockdepSubclass is №3: "BUG: looking up invalid subclass: NUM"
+	// (A1, kernel subsystem, logic error).
+	LockdepSubclass
+	// TCPCVbus is №4: "WARNING in tcpc" (A1, kernel driver, logic error).
+	TCPCVbus
+	// AudioHang is №5: infinite loop in driver (A2, kernel driver, logic
+	// error).
+	AudioHang
+	// MediaHALCrash is №6: native crash in the Media HAL (A2, HAL,
+	// memory related).
+	MediaHALCrash
+	// HCICodecs is №7: "KASAN: invalid-access in
+	// hci_read_supported_codecs" (A2, kernel driver, memory related).
+	HCICodecs
+	// L2capDisconn is №8: "WARNING in l2cap_send_disconn_req" (B, kernel
+	// subsystem, logic error).
+	L2capDisconn
+	// CameraHALCrash is №9: native crash in the Camera HAL (C1, HAL,
+	// memory related).
+	CameraHALCrash
+	// RateInit is №10: "WARNING in rate_control_rate_init" (C2, kernel
+	// driver, logic error).
+	RateInit
+	// BTAcceptUnlink is №11: "KASAN: slab-use-after-free Read in
+	// bt_accept_unlink" (D, kernel driver, memory related).
+	BTAcceptUnlink
+	// V4LQuerycap is №12: "WARNING in v4l_querycap" (E, kernel driver,
+	// logic error).
+	V4LQuerycap
+)
+
+// String returns the Table II "Bug Info" column text.
+func (id ID) String() string {
+	switch id {
+	case TCPCProbe:
+		return "WARNING in rt1711_i2c_probe"
+	case GraphicsHALCrash:
+		return "Native crash in Graphics HAL"
+	case LockdepSubclass:
+		return "BUG: looking up invalid subclass: NUM"
+	case TCPCVbus:
+		return "WARNING in tcpc"
+	case AudioHang:
+		return "Infinite Loop in driver"
+	case MediaHALCrash:
+		return "Native crash in Media HAL"
+	case HCICodecs:
+		return "KASAN: invalid-access in hci_read_supported_codecs"
+	case L2capDisconn:
+		return "WARNING in l2cap_send_disconn_req"
+	case CameraHALCrash:
+		return "Native crash in Camera HAL"
+	case RateInit:
+		return "WARNING in rate_control_rate_init"
+	case BTAcceptUnlink:
+		return "KASAN: slab-use-after-free Read in bt_accept_unlink"
+	case V4LQuerycap:
+		return "WARNING in v4l_querycap"
+	default:
+		return "unknown bug"
+	}
+}
+
+// Set is the collection of bugs enabled on one device model.
+type Set map[ID]bool
+
+// NewSet builds a set from ids.
+func NewSet(ids ...ID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Has reports whether the bug is enabled.
+func (s Set) Has(id ID) bool { return s != nil && s[id] }
+
+// All returns every Table II bug id in order.
+func All() []ID {
+	return []ID{
+		TCPCProbe, GraphicsHALCrash, LockdepSubclass, TCPCVbus,
+		AudioHang, MediaHALCrash, HCICodecs, L2capDisconn,
+		CameraHALCrash, RateInit, BTAcceptUnlink, V4LQuerycap,
+	}
+}

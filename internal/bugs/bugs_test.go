@@ -1,0 +1,66 @@
+package bugs
+
+import "testing"
+
+func TestAllTwelveBugs(t *testing.T) {
+	ids := All()
+	if len(ids) != 12 {
+		t.Fatalf("bugs = %d, want 12 (Table II)", len(ids))
+	}
+	seen := make(map[ID]bool)
+	for i, id := range ids {
+		if int(id) != i+1 {
+			t.Fatalf("bug %d has id %d; Table II numbering broken", i+1, id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+		if id.String() == "unknown bug" {
+			t.Fatalf("id %d has no description", id)
+		}
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := NewSet(TCPCProbe, AudioHang)
+	if !s.Has(TCPCProbe) || !s.Has(AudioHang) {
+		t.Fatal("membership lost")
+	}
+	if s.Has(RateInit) {
+		t.Fatal("phantom membership")
+	}
+	var nilSet Set
+	if nilSet.Has(TCPCProbe) {
+		t.Fatal("nil set claims membership")
+	}
+}
+
+func TestTitleToIDRoundTrips(t *testing.T) {
+	// Every runtime title shape must map back to its Table II id.
+	cases := map[string]ID{
+		"WARNING in rt1711_i2c_probe":                                  TCPCProbe,
+		"Native crash in Graphics HAL":                                 GraphicsHALCrash,
+		"BUG: looking up invalid subclass: NUM":                        LockdepSubclass,
+		"BUG: looking up invalid subclass: 9":                          LockdepSubclass,
+		"WARNING in tcpc_vbus_regulator":                               TCPCVbus,
+		"INFO: task hung in audio_pcm_drain":                           AudioHang,
+		"Native crash in Media HAL":                                    MediaHALCrash,
+		"KASAN: invalid-access Read in hci_read_supported_codecs":      HCICodecs,
+		"KASAN: slab-use-after-free Read in hci_read_supported_codecs": HCICodecs,
+		"WARNING in l2cap_send_disconn_req":                            L2capDisconn,
+		"Native crash in Camera HAL":                                   CameraHALCrash,
+		"WARNING in rate_control_rate_init":                            RateInit,
+		"KASAN: slab-use-after-free Read in bt_accept_unlink":          BTAcceptUnlink,
+		"WARNING in v4l_querycap":                                      V4LQuerycap,
+	}
+	for title, want := range cases {
+		got, ok := TitleToID(title)
+		if !ok || got != want {
+			t.Errorf("TitleToID(%q) = %v/%v, want %v", title, got, ok, want)
+		}
+	}
+	if _, ok := TitleToID("WARNING in something_else"); ok {
+		t.Fatal("unrelated title matched")
+	}
+}

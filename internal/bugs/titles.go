@@ -1,0 +1,34 @@
+package bugs
+
+import "strings"
+
+// titleMarkers maps a distinctive substring of each runtime crash title to
+// its Table II bug id; used by the harness to check which injected bugs a
+// campaign rediscovered.
+var titleMarkers = []struct {
+	marker string
+	id     ID
+}{
+	{"rt1711_i2c_probe", TCPCProbe},
+	{"Graphics HAL", GraphicsHALCrash},
+	{"looking up invalid subclass", LockdepSubclass},
+	{"tcpc_vbus_regulator", TCPCVbus},
+	{"audio_pcm_drain", AudioHang},
+	{"Media HAL", MediaHALCrash},
+	{"hci_read_supported_codecs", HCICodecs},
+	{"l2cap_send_disconn_req", L2capDisconn},
+	{"Camera HAL", CameraHALCrash},
+	{"rate_control_rate_init", RateInit},
+	{"bt_accept_unlink", BTAcceptUnlink},
+	{"v4l_querycap", V4LQuerycap},
+}
+
+// TitleToID maps a runtime crash title back to its Table II bug id.
+func TitleToID(title string) (ID, bool) {
+	for _, m := range titleMarkers {
+		if strings.Contains(title, m.marker) {
+			return m.id, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,152 @@
+// Package corpus maintains the seed corpus of interesting programs: test
+// cases that contributed new cross-boundary signal, kept for mutation and
+// persisted as DSL text (paper §IV-A: the Daemon "maintains persistent
+// data, such as the seed corpus").
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"droidfuzz/internal/dsl"
+)
+
+// Entry is one corpus program with its bookkeeping.
+type Entry struct {
+	Prog *dsl.Prog
+	// Signal is the number of signal elements the program contributed
+	// when admitted (its selection priority).
+	Signal int
+	// Hits counts how often it was picked for mutation.
+	Hits uint64
+}
+
+// Corpus is a prioritized seed set. Safe for concurrent use.
+type Corpus struct {
+	mu      sync.Mutex
+	entries []*Entry
+	seen    map[string]bool // dedup by serialized text
+	adds    uint64
+}
+
+// New returns an empty corpus.
+func New() *Corpus {
+	return &Corpus{seen: make(map[string]bool)}
+}
+
+// Add admits a program with its contributed-signal score, deduplicating by
+// canonical text. It reports whether the program was new.
+func (c *Corpus) Add(p *dsl.Prog, signal int) bool {
+	text := p.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen[text] {
+		return false
+	}
+	c.seen[text] = true
+	c.entries = append(c.entries, &Entry{Prog: p.Clone(), Signal: signal})
+	c.adds++
+	return true
+}
+
+// Len reports the number of programs.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Adds reports lifetime admissions.
+func (c *Corpus) Adds() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.adds
+}
+
+// Pick draws a seed for mutation. Half the draws are uniform — keeping
+// rare, low-signal seeds alive — and half are biased toward entries with
+// higher contributed signal (prio ∝ signal+1). Returns nil on an empty
+// corpus.
+func (c *Corpus) Pick(rng *rand.Rand) *dsl.Prog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) == 0 {
+		return nil
+	}
+	if rng.Intn(2) == 0 {
+		e := c.entries[rng.Intn(len(c.entries))]
+		e.Hits++
+		return e.Prog.Clone()
+	}
+	total := 0
+	for _, e := range c.entries {
+		total += e.Signal + 1
+	}
+	x := rng.Intn(total)
+	for _, e := range c.entries {
+		x -= e.Signal + 1
+		if x < 0 {
+			e.Hits++
+			return e.Prog.Clone()
+		}
+	}
+	e := c.entries[len(c.entries)-1]
+	e.Hits++
+	return e.Prog.Clone()
+}
+
+// Entries returns a snapshot of the corpus ordered by descending signal.
+func (c *Corpus) Entries() []*Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Entry, len(c.entries))
+	copy(out, c.entries)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Signal > out[j].Signal })
+	return out
+}
+
+// Save writes every program as a numbered .prog file under dir.
+func (c *Corpus) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.entries {
+		path := filepath.Join(dir, fmt.Sprintf("%06d.prog", i))
+		if err := os.WriteFile(path, []byte(e.Prog.String()), 0o644); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads every .prog file under dir, parsing against the target;
+// unparseable files are skipped (descriptions may have changed), and the
+// number of loaded programs is returned.
+func (c *Corpus) Load(dir string, target *dsl.Target) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.prog"))
+	if err != nil {
+		return 0, fmt.Errorf("corpus: %w", err)
+	}
+	sort.Strings(matches)
+	n := 0
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return n, fmt.Errorf("corpus: %w", err)
+		}
+		p, err := dsl.ParseProg(target, string(data))
+		if err != nil {
+			continue
+		}
+		if c.Add(p, 1) {
+			n++
+		}
+	}
+	return n, nil
+}

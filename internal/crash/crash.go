@@ -1,0 +1,190 @@
+// Package crash handles incident triage: classification into the paper's
+// component taxonomy (kernel driver / kernel subsystem / HAL), title-based
+// deduplication, and reproducer bookkeeping — the processing behind
+// Table II.
+package crash
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/dsl"
+)
+
+// numRE matches standalone integers in crash titles; they carry instance
+// data (a subclass, an address), not identity, so dedup replaces them with
+// NUM — the convention the paper's Table II also uses ("looking up invalid
+// subclass: NUM").
+var numRE = regexp.MustCompile(`\b\d+\b`)
+
+// NormalizeTitle canonicalizes a crash title for deduplication.
+func NormalizeTitle(title string) string {
+	return numRE.ReplaceAllString(title, "NUM")
+}
+
+// Component is the Table II "Component" column.
+type Component string
+
+// Component values.
+const (
+	KernelDriver    Component = "Kernel Driver"
+	KernelSubsystem Component = "Kernel Subsystem"
+	HAL             Component = "HAL"
+)
+
+// BugType is the Table II "Bug Type" column.
+type BugType string
+
+// BugType values.
+const (
+	LogicError BugType = "Logic Error"
+	MemoryBug  BugType = "Memory Related Bug"
+)
+
+// Record is one deduplicated bug finding with its reproducer.
+type Record struct {
+	Title     string
+	Kind      string // WARNING / BUG / KASAN / HANG / HALCRASH
+	Component Component
+	Type      BugType
+	Device    string // model ID
+	Detail    string
+	// Repro is the program that first triggered the bug, replaced by the
+	// minimized reproducer once triage confirms it.
+	Repro *dsl.Prog
+	// Reproducible reports that Repro re-triggers the bug on a freshly
+	// rebooted device (the paper reproduces all findings).
+	Reproducible bool
+	// FoundAt is the virtual time (executions) of first discovery.
+	FoundAt uint64
+	// Count is how many times the same title re-triggered.
+	Count int
+}
+
+// subsystemMarkers identify kernel incidents that live in shared subsystems
+// rather than a specific device driver (Table II rows 3 and 8).
+var subsystemMarkers = []string{
+	"l2cap_",                      // Bluetooth L2CAP core
+	"looking up invalid subclass", // lockdep
+}
+
+// Classify maps a broker crash record to its component and bug type.
+func Classify(cr adb.CrashRecord) (Component, BugType) {
+	if cr.Kind == "HALCRASH" {
+		return HAL, MemoryBug
+	}
+	comp := KernelDriver
+	for _, m := range subsystemMarkers {
+		if strings.Contains(cr.Title, m) {
+			comp = KernelSubsystem
+			break
+		}
+	}
+	switch cr.Kind {
+	case "KASAN":
+		return comp, MemoryBug
+	default: // WARNING, BUG, HANG: logic errors in the paper's taxonomy
+		return comp, LogicError
+	}
+}
+
+// Dedup collects unique findings by title. Safe for concurrent use.
+type Dedup struct {
+	mu      sync.Mutex
+	records map[string]*Record
+	order   []string
+}
+
+// NewDedup returns an empty collector.
+func NewDedup() *Dedup {
+	return &Dedup{records: make(map[string]*Record)}
+}
+
+// Add records an incident; repro may be nil. It returns the record and
+// whether the title was new.
+func (d *Dedup) Add(deviceID string, cr adb.CrashRecord, repro *dsl.Prog, vtime uint64) (*Record, bool) {
+	title := NormalizeTitle(cr.Title)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.records[title]; ok {
+		r.Count++
+		return r, false
+	}
+	comp, typ := Classify(cr)
+	r := &Record{
+		Title: title, Kind: cr.Kind, Component: comp, Type: typ,
+		Device: deviceID, Detail: cr.Detail, FoundAt: vtime, Count: 1,
+	}
+	if repro != nil {
+		r.Repro = repro.Clone()
+	}
+	d.records[title] = r
+	d.order = append(d.order, title)
+	return r, true
+}
+
+// UpdateRepro replaces a finding's reproducer after triage. Safe against
+// concurrent engines sharing the collector.
+func (d *Dedup) UpdateRepro(title string, p *dsl.Prog, reproducible bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.records[NormalizeTitle(title)]
+	if !ok {
+		return
+	}
+	r.Reproducible = reproducible
+	if p != nil {
+		r.Repro = p.Clone()
+	}
+}
+
+// Len reports the number of unique findings.
+func (d *Dedup) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.records)
+}
+
+// Records returns the unique findings in discovery order.
+func (d *Dedup) Records() []*Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Record, 0, len(d.order))
+	for _, title := range d.order {
+		out = append(out, d.records[title])
+	}
+	return out
+}
+
+// ByComponent partitions findings and returns counts per component.
+func (d *Dedup) ByComponent() map[Component]int {
+	out := make(map[Component]int)
+	for _, r := range d.Records() {
+		out[r.Component]++
+	}
+	return out
+}
+
+// Table renders the findings as a Table II style listing.
+func Table(records []*Record) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-4s %-8s %-55s %-20s %s\n",
+		"No", "Device", "Bug Info", "Bug Type", "Component"))
+	sorted := make([]*Record, len(records))
+	copy(sorted, records)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Device != sorted[j].Device {
+			return sorted[i].Device < sorted[j].Device
+		}
+		return sorted[i].FoundAt < sorted[j].FoundAt
+	})
+	for i, r := range sorted {
+		b.WriteString(fmt.Sprintf("%-4d %-8s %-55s %-20s %s\n",
+			i+1, r.Device, r.Title, r.Type, r.Component))
+	}
+	return b.String()
+}

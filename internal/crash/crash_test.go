@@ -1,0 +1,116 @@
+package crash
+
+import (
+	"strings"
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/drivers"
+	"droidfuzz/internal/dsl"
+)
+
+func TestNormalizeTitle(t *testing.T) {
+	cases := map[string]string{
+		"BUG: looking up invalid subclass: 13":  "BUG: looking up invalid subclass: NUM",
+		"WARNING in rt1711_i2c_probe":           "WARNING in rt1711_i2c_probe", // digits inside identifiers stay
+		"WARNING in l2cap_send_disconn_req":     "WARNING in l2cap_send_disconn_req",
+		"task hung after 128 ticks in foo":      "task hung after NUM ticks in foo",
+		"KASAN: slab-use-after-free Read in f3": "KASAN: slab-use-after-free Read in f3",
+	}
+	for in, want := range cases {
+		if got := NormalizeTitle(in); got != want {
+			t.Errorf("NormalizeTitle(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		cr       adb.CrashRecord
+		wantComp Component
+		wantType BugType
+	}{
+		{adb.CrashRecord{Kind: "WARNING", Title: "WARNING in rt1711_i2c_probe"}, KernelDriver, LogicError},
+		{adb.CrashRecord{Kind: "WARNING", Title: "WARNING in l2cap_send_disconn_req"}, KernelSubsystem, LogicError},
+		{adb.CrashRecord{Kind: "BUG", Title: "BUG: looking up invalid subclass: 9"}, KernelSubsystem, LogicError},
+		{adb.CrashRecord{Kind: "KASAN", Title: "KASAN: slab-use-after-free Read in bt_accept_unlink"}, KernelDriver, MemoryBug},
+		{adb.CrashRecord{Kind: "HANG", Title: "INFO: task hung in audio_pcm_drain"}, KernelDriver, LogicError},
+		{adb.CrashRecord{Kind: "HALCRASH", Title: "Native crash in Graphics HAL"}, HAL, MemoryBug},
+	}
+	for _, c := range cases {
+		comp, typ := Classify(c.cr)
+		if comp != c.wantComp || typ != c.wantType {
+			t.Errorf("Classify(%q) = %v/%v, want %v/%v",
+				c.cr.Title, comp, typ, c.wantComp, c.wantType)
+		}
+	}
+}
+
+func TestDedupByNormalizedTitle(t *testing.T) {
+	d := NewDedup()
+	r1, new1 := d.Add("A1", adb.CrashRecord{Kind: "BUG", Title: "BUG: looking up invalid subclass: 9"}, nil, 10)
+	_, new2 := d.Add("A1", adb.CrashRecord{Kind: "BUG", Title: "BUG: looking up invalid subclass: 12"}, nil, 20)
+	if !new1 || new2 {
+		t.Fatal("normalized dedup failed")
+	}
+	if r1.Count != 2 {
+		t.Fatalf("count = %d", r1.Count)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if r1.FoundAt != 10 {
+		t.Fatal("first-found time overwritten")
+	}
+}
+
+func TestDedupRecordsOrderAndComponents(t *testing.T) {
+	d := NewDedup()
+	d.Add("A1", adb.CrashRecord{Kind: "WARNING", Title: "WARNING in tcpc_vbus_regulator"}, nil, 1)
+	d.Add("A2", adb.CrashRecord{Kind: "HALCRASH", Title: "Native crash in Media HAL"}, nil, 2)
+	recs := d.Records()
+	if len(recs) != 2 || recs[0].Device != "A1" || recs[1].Device != "A2" {
+		t.Fatalf("records = %+v", recs)
+	}
+	by := d.ByComponent()
+	if by[KernelDriver] != 1 || by[HAL] != 1 {
+		t.Fatalf("by component = %v", by)
+	}
+}
+
+func TestUpdateRepro(t *testing.T) {
+	target, err := dsl.NewTarget(drivers.TCPCDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dsl.ParseProg(target, `r0 = open$tcpc(path="/dev/tcpc0")`+"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDedup()
+	d.Add("A1", adb.CrashRecord{Kind: "WARNING", Title: "WARNING in x: 5"}, nil, 1)
+	d.UpdateRepro("WARNING in x: 7", p, true) // same normalized title
+	r := d.Records()[0]
+	if !r.Reproducible || r.Repro == nil {
+		t.Fatalf("update missed: %+v", r)
+	}
+	// Unknown titles are ignored.
+	d.UpdateRepro("WARNING in other", p, true)
+	if d.Len() != 1 {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	d := NewDedup()
+	d.Add("E", adb.CrashRecord{Kind: "WARNING", Title: "WARNING in v4l_querycap"}, nil, 5)
+	d.Add("A1", adb.CrashRecord{Kind: "HALCRASH", Title: "Native crash in Graphics HAL"}, nil, 9)
+	out := Table(d.Records())
+	if !strings.Contains(out, "v4l_querycap") || !strings.Contains(out, "Graphics HAL") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	// Sorted by device: A1 row before E row.
+	if strings.Index(out, "A1") > strings.Index(out, "E ") {
+		t.Fatalf("table not sorted:\n%s", out)
+	}
+}

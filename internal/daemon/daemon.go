@@ -1,0 +1,201 @@
+// Package daemon implements DroidFuzz's root process (paper §IV-A): it
+// spawns one fuzzing engine per target device, owns the persistent shared
+// state — the relation table, the global crash dedup, and corpus
+// persistence — and coordinates the engines' runs.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"droidfuzz/internal/baseline"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/relation"
+)
+
+// Daemon coordinates engines across devices.
+type Daemon struct {
+	mu sync.Mutex
+	// graph is the shared relation table: relations learned on one device
+	// inform generation on the others (interfaces overlap across models).
+	graph   *relation.Graph
+	dedup   *crash.Dedup
+	engines map[string]*engine.Engine
+	devices map[string]*device.Device
+	order   []string
+}
+
+// New returns an empty daemon with fresh shared state.
+func New() *Daemon {
+	return &Daemon{
+		graph:   relation.New(),
+		dedup:   crash.NewDedup(),
+		engines: make(map[string]*engine.Engine),
+		devices: make(map[string]*device.Device),
+	}
+}
+
+// Graph exposes the shared relation table.
+func (d *Daemon) Graph() *relation.Graph { return d.graph }
+
+// Dedup exposes the global unique-bug collector.
+func (d *Daemon) Dedup() *crash.Dedup { return d.dedup }
+
+// AddDevice boots the model, runs the probing pass, and attaches an engine.
+// cfg.Seed should differ per device for independent exploration.
+func (d *Daemon) AddDevice(modelID string, cfg engine.Config) error {
+	model, err := device.ModelByID(modelID)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.engines[modelID]; dup {
+		return fmt.Errorf("daemon: device %s already attached", modelID)
+	}
+	dev := device.New(model)
+	eng, err := baseline.NewDroidFuzz(dev, d.graph, d.dedup, cfg)
+	if err != nil {
+		return fmt.Errorf("daemon: attach %s: %w", modelID, err)
+	}
+	d.engines[modelID] = eng
+	d.devices[modelID] = dev
+	d.order = append(d.order, modelID)
+	return nil
+}
+
+// Engine returns the engine attached for the model, or nil.
+func (d *Daemon) Engine(modelID string) *engine.Engine {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.engines[modelID]
+}
+
+// Devices returns the attached model IDs in attach order.
+func (d *Daemon) Devices() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Run executes iters fuzzing iterations on every attached engine. With
+// parallel set, engines run concurrently (one goroutine per device, the
+// deployment shape of §IV-A); otherwise serially in attach order, which is
+// deterministic for a fixed set of seeds.
+func (d *Daemon) Run(iters int, parallel bool) {
+	d.mu.Lock()
+	engines := make([]*engine.Engine, 0, len(d.order))
+	for _, id := range d.order {
+		engines = append(engines, d.engines[id])
+	}
+	d.mu.Unlock()
+
+	if !parallel {
+		for _, e := range engines {
+			e.Run(iters)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, e := range engines {
+		wg.Add(1)
+		go func(e *engine.Engine) {
+			defer wg.Done()
+			e.Run(iters)
+		}(e)
+	}
+	wg.Wait()
+}
+
+// Stats snapshots all engines' counters keyed by model ID.
+func (d *Daemon) Stats() map[string]engine.Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]engine.Stats, len(d.engines))
+	for id, e := range d.engines {
+		out[id] = e.Stats()
+	}
+	return out
+}
+
+// SaveCorpora persists every engine's corpus under dir/<modelID>/.
+func (d *Daemon) SaveCorpora(dir string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, len(d.order))
+	copy(ids, d.order)
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := d.engines[id].Corpus().Save(filepath.Join(dir, id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bugs returns the global unique findings in discovery order.
+func (d *Daemon) Bugs() []*crash.Record { return d.dedup.Records() }
+
+// statusReport is the JSON shape of WriteStatus.
+type statusReport struct {
+	Devices   map[string]engine.Stats `json:"devices"`
+	Relations struct {
+		Vertices int    `json:"vertices"`
+		Edges    int    `json:"edges"`
+		Learned  uint64 `json:"learned"`
+	} `json:"relations"`
+	Bugs []bugSummary `json:"bugs"`
+}
+
+type bugSummary struct {
+	Title     string `json:"title"`
+	Device    string `json:"device"`
+	Component string `json:"component"`
+	Type      string `json:"type"`
+	FoundAt   uint64 `json:"found_at"`
+	Count     int    `json:"count"`
+}
+
+// WriteStatus emits a machine-readable status snapshot as JSON, the feed a
+// monitoring dashboard would poll.
+func (d *Daemon) WriteStatus(w io.Writer) error {
+	rep := statusReport{Devices: d.Stats()}
+	rep.Relations.Vertices = d.graph.Len()
+	rep.Relations.Edges = d.graph.Edges()
+	rep.Relations.Learned = d.graph.Learns()
+	for _, r := range d.Bugs() {
+		rep.Bugs = append(rep.Bugs, bugSummary{
+			Title: r.Title, Device: r.Device,
+			Component: string(r.Component), Type: string(r.Type),
+			FoundAt: r.FoundAt, Count: r.Count,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// LoadCorpora restores previously saved corpora from dir/<modelID>/ into
+// the matching engines, returning per-device load counts.
+func (d *Daemon) LoadCorpora(dir string) (map[string]int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int)
+	for _, id := range d.order {
+		eng := d.engines[id]
+		n, err := eng.Corpus().Load(filepath.Join(dir, id), eng.Gen().Target())
+		if err != nil {
+			return out, err
+		}
+		out[id] = n
+	}
+	return out, nil
+}

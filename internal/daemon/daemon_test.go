@@ -1,0 +1,127 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"droidfuzz/internal/engine"
+)
+
+func TestDaemonLifecycle(t *testing.T) {
+	d := New()
+	if err := d.AddDevice("A1", engine.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDevice("B", engine.Config{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDevice("A1", engine.Config{Seed: 3}); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+	if err := d.AddDevice("Z9", engine.Config{Seed: 4}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if got := d.Devices(); len(got) != 2 || got[0] != "A1" || got[1] != "B" {
+		t.Fatalf("devices = %v", got)
+	}
+	if d.Engine("A1") == nil || d.Engine("Z9") != nil {
+		t.Fatal("engine lookup wrong")
+	}
+
+	d.Run(300, false)
+	st := d.Stats()
+	for id, s := range st {
+		if s.Execs == 0 || s.KernelCov == 0 {
+			t.Fatalf("%s made no progress: %+v", id, s)
+		}
+	}
+}
+
+func TestDaemonParallelRun(t *testing.T) {
+	d := New()
+	for _, id := range []string{"A1", "B", "D"} {
+		if err := d.AddDevice(id, engine.Config{Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Run(300, true)
+	for id, s := range d.Stats() {
+		if s.Execs == 0 {
+			t.Fatalf("%s idle", id)
+		}
+	}
+	// The shared relation table accumulated edges from all engines.
+	if d.Graph().Edges() == 0 {
+		t.Fatal("shared relation table empty")
+	}
+}
+
+func TestDaemonSaveCorpora(t *testing.T) {
+	d := New()
+	if err := d.AddDevice("B", engine.Config{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(200, false)
+	dir := t.TempDir()
+	if err := d.SaveCorpora(dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "B", "*.prog"))
+	if len(matches) == 0 {
+		t.Fatal("no corpus files written")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "B")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonWriteStatusJSON(t *testing.T) {
+	d := New()
+	if err := d.AddDevice("B", engine.Config{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(200, false)
+	var buf bytes.Buffer
+	if err := d.WriteStatus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	devs, ok := rep["devices"].(map[string]any)
+	if !ok || devs["B"] == nil {
+		t.Fatalf("devices missing: %s", buf.String())
+	}
+	if rep["relations"] == nil {
+		t.Fatal("relations missing")
+	}
+}
+
+func TestDaemonLoadCorpora(t *testing.T) {
+	dir := t.TempDir()
+	d := New()
+	if err := d.AddDevice("B", engine.Config{Seed: 10}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(200, false)
+	if err := d.SaveCorpora(dir); err != nil {
+		t.Fatal(err)
+	}
+	saved := d.Engine("B").Corpus().Len()
+
+	fresh := New()
+	if err := fresh.AddDevice("B", engine.Config{Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := fresh.LoadCorpora(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["B"] == 0 {
+		t.Fatalf("nothing loaded (saved %d)", saved)
+	}
+}

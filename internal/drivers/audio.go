@@ -1,0 +1,270 @@
+package drivers
+
+import (
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// Audio PCM ioctl request codes (ALSA-like).
+const (
+	PCMHwParams uint64 = 0xa501
+	PCMPrepare  uint64 = 0xa502
+	PCMStart    uint64 = 0xa503
+	PCMStop     uint64 = 0xa504
+	PCMDrain    uint64 = 0xa505
+	PCMGetPos   uint64 = 0xa506
+	PCMSetVol   uint64 = 0xa507
+	PCMPause    uint64 = 0xa508
+)
+
+// AudioLowLatencyMagic is the vendor's undocumented hw_params flag enabling
+// the raw low-latency path that skips period validation. The Media HAL uses
+// it for its fast mixer; a blind fuzzer is unlikely to guess it, which gates
+// bug №5 behind realistic HAL-originated configuration.
+const AudioLowLatencyMagic uint64 = 0x5aa5
+
+type pcmState int
+
+const (
+	pcmOpen pcmState = iota
+	pcmSetup
+	pcmPrepared
+	pcmRunning
+	pcmPaused
+)
+
+// AudioDriver models a PCM playback device. Bug №5 is the drain loop that
+// never terminates when the vendor low-latency path allowed a zero period
+// size: the soft-lockup watchdog reports an infinite loop in the driver.
+type AudioDriver struct {
+	bugs bugs.Set
+
+	mu       sync.Mutex
+	state    pcmState
+	rate     uint64
+	channels uint64
+	period   uint64
+	buffered uint64
+	volume   uint64
+	pos      uint64
+}
+
+// NewAudio returns the driver with the given enabled bug set.
+func NewAudio(b bugs.Set) *AudioDriver { return &AudioDriver{bugs: b, volume: 80} }
+
+// Name implements vkernel.Driver.
+func (d *AudioDriver) Name() string { return "audio" }
+
+// Open implements vkernel.Driver.
+func (d *AudioDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("audio", 1)
+	return &audioConn{d: d}, nil
+}
+
+type audioConn struct {
+	vkernel.BaseConn
+	d *AudioDriver
+}
+
+func (c *audioConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case PCMHwParams:
+		ctx.Cover("audio", 10)
+		if d.state == pcmRunning {
+			ctx.Cover("audio", 11)
+			return 0, nil, vkernel.EBUSY
+		}
+		rate, channels, period, flags := ArgU64(arg, 0), ArgU64(arg, 1), ArgU64(arg, 2), ArgU64(arg, 3)
+		switch rate {
+		case 8000, 16000, 44100, 48000, 96000, 192000:
+		default:
+			ctx.Cover("audio", 12)
+			return 0, nil, vkernel.EINVAL
+		}
+		if channels == 0 || channels > 8 {
+			ctx.Cover("audio", 13)
+			return 0, nil, vkernel.EINVAL
+		}
+		if flags == AudioLowLatencyMagic {
+			// Vendor low-latency path: skips the period validation the
+			// mainline path performs (bug №5 gate).
+			ctx.Cover("audio", 14)
+			if period == 0 {
+				if !d.bugs.Has(bugs.AudioHang) {
+					return 0, nil, vkernel.EINVAL
+				}
+				ctx.Cover("audio", 200) // zero-period fast-mixer config
+			}
+		} else if period == 0 || period > 65536 {
+			ctx.Cover("audio", 15)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.rate, d.channels, d.period = rate, channels, period
+		d.state = pcmSetup
+		ctx.Logf("pcm0", "hw_params rate=%d ch=%d period=%d", rate, channels, period)
+		ctx.Cover("audio", 16+bucket(rate/8000, 24)+bucket(channels, 8)*3)
+		return 0, nil, nil
+
+	case PCMPrepare:
+		ctx.Cover("audio", 50)
+		if d.state != pcmSetup && d.state != pcmPrepared {
+			ctx.Cover("audio", 51)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.state = pcmPrepared
+		d.buffered = 0
+		d.pos = 0
+		ctx.Cover("audio", 52)
+		return 0, nil, nil
+
+	case PCMStart:
+		ctx.Cover("audio", 60)
+		if d.state != pcmPrepared {
+			ctx.Cover("audio", 61)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.state = pcmRunning
+		ctx.Cover("audio", 62)
+		return 0, nil, nil
+
+	case PCMStop:
+		ctx.Cover("audio", 70)
+		if d.state != pcmRunning && d.state != pcmPaused {
+			ctx.Cover("audio", 71)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.state = pcmSetup
+		d.buffered = 0
+		ctx.Cover("audio", 72)
+		return 0, nil, nil
+
+	case PCMPause:
+		ctx.Cover("audio", 80)
+		switch d.state {
+		case pcmRunning:
+			d.state = pcmPaused
+			ctx.Cover("audio", 81)
+		case pcmPaused:
+			d.state = pcmRunning
+			ctx.Cover("audio", 82)
+		default:
+			ctx.Cover("audio", 83)
+			return 0, nil, vkernel.EINVAL
+		}
+		return 0, nil, nil
+
+	case PCMDrain:
+		ctx.Cover("audio", 90)
+		if d.state != pcmRunning {
+			ctx.Cover("audio", 91)
+			return 0, nil, vkernel.EINVAL
+		}
+		// Drain consumes buffered frames one period at a time. With the
+		// buggy zero period (bug №5) the loop makes no progress and the
+		// watchdog declares the stall.
+		ctx.Cover("audio", 92)
+		for d.buffered > 0 {
+			if !ctx.Step("audio_pcm_drain") {
+				return 0, nil, vkernel.EIO
+			}
+			if d.period >= d.buffered {
+				d.buffered = 0
+			} else {
+				d.buffered -= d.period
+			}
+			d.pos += d.period
+		}
+		d.state = pcmPrepared
+		ctx.Cover("audio", 93)
+		ctx.Cover("audio", 300+logBucket(d.pos/1024, 12)) // DMA pointer wrap paths
+		return 0, nil, nil
+
+	case PCMGetPos:
+		ctx.Cover("audio", 100)
+		out := PutU64(nil, d.pos)
+		out = PutU64(out, d.buffered)
+		return 0, out, nil
+
+	case PCMSetVol:
+		ctx.Cover("audio", 110)
+		vol := ArgU64(arg, 0)
+		if vol > 100 {
+			ctx.Cover("audio", 111)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.volume = vol
+		ctx.Cover("audio", 112+bucket(vol/10, 11))
+		if d.state == pcmRunning {
+			// Live volume changes ramp through the fade engine.
+			ctx.Cover("audio", 450+bucket(vol, 16))
+		}
+		return 0, nil, nil
+
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "audio", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("audio", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+// Write queues playback frames.
+func (c *audioConn) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("audio", 130)
+	if d.state != pcmRunning && d.state != pcmPrepared {
+		ctx.Cover("audio", 131)
+		return 0, vkernel.EINVAL
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	d.buffered += uint64(len(p))
+	ctx.Cover("audio", 132+bucket(uint64(len(p))/256, 12))
+	if d.state == pcmRunning {
+		// The running DMA engine takes rate- and channel-specific copy
+		// paths that the prepared state never touches.
+		ctx.Cover("audio", 400+bucket(d.rate/8000, 24)+bucket(d.channels, 4)*24)
+	}
+	if d.buffered > 1<<20 {
+		ctx.Cover("audio", 150) // backpressure path
+		d.buffered = 1 << 20
+		return len(p), vkernel.EAGAIN
+	}
+	return len(p), nil
+}
+
+// Read captures from the loopback.
+func (c *audioConn) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("audio", 160)
+	if d.state != pcmRunning {
+		return nil, vkernel.EAGAIN
+	}
+	ctx.Cover("audio", 161)
+	if n > 1024 {
+		n = 1024
+	}
+	return make([]byte, n), nil
+}
+
+func (c *audioConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("audio", 2)
+	d := c.d
+	d.mu.Lock()
+	if d.state == pcmRunning || d.state == pcmPaused {
+		d.state = pcmSetup
+	}
+	d.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package drivers implements the virtual kernel driver families the 7
+// device models expose under /dev. Each driver is a stateful ioctl-driven
+// state machine with branch-level cover points (what kcov would see) and,
+// where the device model enables them, the injected Table II bugs.
+//
+// Payload convention: ioctl argument buffers are sequences of little-endian
+// 64-bit scalars, optionally followed by raw bytes for buffer fields — the
+// same layout the DSL executor produces from call descriptions.
+package drivers
+
+import (
+	"encoding/binary"
+
+	"droidfuzz/internal/vkernel"
+)
+
+// ArgU64 decodes the idx-th little-endian u64 scalar from an ioctl payload,
+// returning 0 for out-of-range reads (drivers treat short payloads as
+// zero-filled, like copy_from_user of a short user buffer).
+func ArgU64(arg []byte, idx int) uint64 {
+	off := idx * 8
+	if off+8 > len(arg) {
+		// Partial tail bytes are decoded zero-extended.
+		if off >= len(arg) {
+			return 0
+		}
+		var b [8]byte
+		copy(b[:], arg[off:])
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return binary.LittleEndian.Uint64(arg[off:])
+}
+
+// ArgBytes returns the raw payload after nScalars leading u64 scalars.
+func ArgBytes(arg []byte, nScalars int) []byte {
+	off := nScalars * 8
+	if off >= len(arg) {
+		return nil
+	}
+	return arg[off:]
+}
+
+// PutU64 appends v little-endian to b and returns the extended slice.
+func PutU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// bucket quantizes a value into at most n coverage buckets; used to expose
+// parameter-dependent cover points, giving coverage the long-tail growth of
+// real driver code.
+func bucket(v uint64, n uint32) uint32 {
+	if n == 0 {
+		return 0
+	}
+	return uint32(v % uint64(n))
+}
+
+// ChaffReqBase is the low-byte offset where each driver family's legacy
+// and diagnostic ioctls live (reqs base|0x80 ... base|0x8f). Real vendor
+// drivers carry dozens of such entry points; they parse trivially, touch
+// almost no code, and mostly return stub values — budget spent on them is
+// budget wasted, which is precisely what interface weighting and relation
+// learning let a fuzzer avoid.
+const ChaffReqBase = 0x80
+
+// ChaffIoctl services a legacy/diagnostic request: a couple of shared
+// dispatch sites, a stub result. Returns false if req is not in the chaff
+// window.
+func ChaffIoctl(ctx *vkernel.Ctx, module string, req uint64) (uint64, []byte, error, bool) {
+	low := req & 0xff
+	if low < ChaffReqBase || low >= ChaffReqBase+16 {
+		return 0, nil, nil, false
+	}
+	// All sixteen legacy entry points share four trivial dispatch sites.
+	ctx.Cover(module, 500+bucket(low-ChaffReqBase, 4))
+	if low%3 == 0 {
+		return 0, nil, vkernel.EINVAL, true
+	}
+	return 0xdead0000 | low, nil, nil, true
+}
+
+// logBucket maps a monotonically growing counter to log2 milestones
+// (1, 2, 4, 8, ...), capped at max. Sustained valid operation within one
+// boot unlocks successive milestones without flooding the corpus with
+// one-per-increment novelty.
+func logBucket(v uint64, max uint32) uint32 {
+	var b uint32
+	for v > 1 && b < max {
+		v >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,372 @@
+package drivers
+
+import (
+	"fmt"
+	"strings"
+
+	"droidfuzz/internal/dsl"
+)
+
+// This file carries the DSL system-call descriptions for every driver
+// family — the analog of the Syzlang descriptions the paper borrows from
+// Syzkaller. Naming follows Syzkaller conventions: open$tcpc,
+// ioctl$TCPC_SET_MODE, write$hci, ...
+//
+// Payload convention (must match the drivers' ArgU64/ArgBytes decoding):
+// after the fd and request arguments, scalar fields are encoded as
+// little-endian u64 in order, and at most one trailing buffer field is
+// appended raw.
+
+// Device paths for each driver family.
+const (
+	PathTCPC    = "/dev/tcpc0"
+	PathHCI     = "/dev/hci0"
+	PathL2CAP   = "/dev/l2cap0"
+	PathVideo   = "/dev/video0"
+	PathPCM     = "/dev/pcm0"
+	PathGPU     = "/dev/gpu0"
+	PathWLAN    = "/dev/wlan0"
+	PathIIO     = "/dev/iio0"
+	PathNFC     = "/dev/nfc0"
+	PathThermal = "/dev/thermal0"
+)
+
+func openDesc(family, path, res string) *dsl.CallDesc {
+	return &dsl.CallDesc{
+		Name: "open$" + family, Class: dsl.ClassSyscall, Syscall: "open",
+		Args:        []dsl.Field{{Name: "path", Type: dsl.Filename(path)}},
+		Ret:         res,
+		Weight:      0.30,
+		CriticalArg: -1,
+	}
+}
+
+func closeDesc(family, res string) *dsl.CallDesc {
+	return &dsl.CallDesc{
+		Name: "close$" + family, Class: dsl.ClassSyscall, Syscall: "close",
+		Args:        []dsl.Field{{Name: "fd", Type: dsl.Resource(res)}},
+		Weight:      0.10,
+		CriticalArg: -1,
+	}
+}
+
+func readDesc(family, res string) *dsl.CallDesc {
+	return &dsl.CallDesc{
+		Name: "read$" + family, Class: dsl.ClassSyscall, Syscall: "read",
+		Args: []dsl.Field{
+			{Name: "fd", Type: dsl.Resource(res)},
+			{Name: "n", Type: dsl.Int(0, 4096)},
+		},
+		Weight:      0.20,
+		CriticalArg: -1,
+	}
+}
+
+func writeDesc(family, res string, bufLen int) *dsl.CallDesc {
+	return &dsl.CallDesc{
+		Name: "write$" + family, Class: dsl.ClassSyscall, Syscall: "write",
+		Args: []dsl.Field{
+			{Name: "fd", Type: dsl.Resource(res)},
+			{Name: "data", Type: dsl.Buffer(bufLen)},
+		},
+		Weight:      0.30,
+		CriticalArg: -1,
+	}
+}
+
+func mmapDesc(family, res string) *dsl.CallDesc {
+	return &dsl.CallDesc{
+		Name: "mmap$" + family, Class: dsl.ClassSyscall, Syscall: "mmap",
+		Args: []dsl.Field{
+			{Name: "fd", Type: dsl.Resource(res)},
+			{Name: "length", Type: dsl.Int(0, 1<<20)},
+		},
+		Weight:      0.15,
+		CriticalArg: -1,
+	}
+}
+
+// ioctlDesc builds an ioctl description; payload lists the fields after fd
+// and request.
+func ioctlDesc(name, res string, req uint64, weight float64, ret string, payload ...dsl.Field) *dsl.CallDesc {
+	args := []dsl.Field{
+		{Name: "fd", Type: dsl.Resource(res)},
+		{Name: "req", Type: dsl.Const(req)},
+	}
+	args = append(args, payload...)
+	return &dsl.CallDesc{
+		Name: "ioctl$" + name, Class: dsl.ClassSyscall, Syscall: "ioctl",
+		Args:        args,
+		Ret:         ret,
+		Weight:      weight,
+		CriticalArg: 1,
+	}
+}
+
+// chaffDescs generates the legacy/diagnostic ioctl descriptions of one
+// family (reqs base|0x80..): syntactically ordinary entries whose kernel
+// footprint is nearly empty. Their presence mirrors real vendor headers,
+// where most of the command list is dead weight the fuzzer should learn
+// not to spend budget on.
+func chaffDescs(family, res string, reqBase uint64, n int) []*dsl.CallDesc {
+	var out []*dsl.CallDesc
+	for i := 0; i < n; i++ {
+		req := reqBase | (ChaffReqBase + uint64(i))
+		name := fmt.Sprintf("%s_DBG%d", strings.ToUpper(family), i)
+		out = append(out, ioctlDesc(name, res, req, 0.30, "",
+			dsl.Field{Name: "arg", Type: dsl.Int(0, 1<<32)}))
+	}
+	return out
+}
+
+// TCPCDescs describes the Type-C port controller surface.
+func TCPCDescs() []*dsl.CallDesc {
+	const res = "fd_tcpc"
+	descs := []*dsl.CallDesc{
+		openDesc("tcpc", PathTCPC, res),
+		closeDesc("tcpc", res),
+		readDesc("tcpc", res),
+		ioctlDesc("TCPC_RESET", res, TCPCReset, 0.4, ""),
+		ioctlDesc("TCPC_SET_MODE", res, TCPCSetMode, 0.7, "",
+			dsl.Field{Name: "mode", Type: dsl.Flags(TCPCModeOff, TCPCModeUFP, TCPCModeDFP, TCPCModeDRP)}),
+		ioctlDesc("TCPC_SET_VOLTAGE", res, TCPCSetVoltage, 0.6, "",
+			dsl.Field{Name: "mv", Type: dsl.Int(0, 21000)}),
+		ioctlDesc("TCPC_ENABLE_TOGGLE", res, TCPCEnableToggle, 0.5, ""),
+		ioctlDesc("TCPC_GET_STATUS", res, TCPCGetStatus, 0.3, ""),
+		ioctlDesc("TCPC_I2C_XFER", res, TCPCI2CXfer, 0.5, "",
+			dsl.Field{Name: "addr", Type: dsl.Flags(RT1711Addr, 0x22, 0x10)},
+			dsl.Field{Name: "reg", Type: dsl.Int(0, 0x120)},
+			dsl.Field{Name: "val", Type: dsl.Int(0, 0xff)}),
+		ioctlDesc("TCPC_PROBE", res, TCPCProbeChip, 0.5, "",
+			dsl.Field{Name: "addr", Type: dsl.Flags(RT1711Addr, 0x22, 0x10)}),
+		ioctlDesc("TCPC_SET_ALERT", res, TCPCSetAlert, 0.4, "",
+			dsl.Field{Name: "mask", Type: dsl.Int(0, 0xffff)}),
+		ioctlDesc("TCPC_ATTACH", res, TCPCAttach, 0.5, ""),
+		ioctlDesc("TCPC_DETACH", res, TCPCDetach, 0.3, ""),
+		ioctlDesc("TCPC_VBUS_ON", res, TCPCVbusOn, 0.5, ""),
+		ioctlDesc("TCPC_VBUS_OFF", res, TCPCVbusOff, 0.3, ""),
+	}
+	return append(descs, chaffDescs("tcpc", "fd_tcpc", 0xa100, 10)...)
+}
+
+// HCIDescs describes the Bluetooth HCI surface.
+func HCIDescs() []*dsl.CallDesc {
+	const res = "fd_hci"
+	descs := []*dsl.CallDesc{
+		openDesc("hci", PathHCI, res),
+		closeDesc("hci", res),
+		readDesc("hci", res),
+		writeDesc("hci", res, 64),
+		ioctlDesc("HCI_UP", res, HCIUp, 0.7, ""),
+		ioctlDesc("HCI_DOWN", res, HCIDown, 0.4, ""),
+		ioctlDesc("HCI_RESET", res, HCIResetCmd, 0.3, ""),
+		ioctlDesc("HCI_READ_CODECS", res, HCIReadCodecs, 0.5, ""),
+		ioctlDesc("HCI_SET_SCAN", res, HCISetScan, 0.5, "",
+			dsl.Field{Name: "mode", Type: dsl.Flags(0, HCIScanPage, HCIScanInquiry, HCIScanPage|HCIScanInquiry)}),
+		ioctlDesc("HCI_CREATE_CONN", res, HCICreateConn, 0.6, "hci_handle",
+			dsl.Field{Name: "peer", Type: dsl.Int(1, 0xffff)},
+			dsl.Field{Name: "flags", Type: dsl.Int(0, 0x10000)}),
+		ioctlDesc("HCI_ACCEPT", res, HCIAcceptConn, 0.5, "hci_handle"),
+		ioctlDesc("HCI_DISCONN", res, HCIDisconn, 0.4, "",
+			dsl.Field{Name: "handle", Type: dsl.Resource("hci_handle")}),
+		ioctlDesc("HCI_SET_NAME", res, HCISetName, 0.3, "",
+			dsl.Field{Name: "name", Type: dsl.Buffer(64)}),
+		ioctlDesc("HCI_INQUIRY", res, HCIInquiry, 0.4, ""),
+	}
+	return append(descs, chaffDescs("hci", "fd_hci", 0xa200, 10)...)
+}
+
+// L2CAPDescs describes the L2CAP channel surface.
+func L2CAPDescs() []*dsl.CallDesc {
+	const res = "fd_l2cap"
+	descs := []*dsl.CallDesc{
+		openDesc("l2cap", PathL2CAP, res),
+		closeDesc("l2cap", res),
+		readDesc("l2cap", res),
+		writeDesc("l2cap", res, 256),
+		ioctlDesc("L2CAP_CONNECT", res, L2capConnect, 0.6, "",
+			dsl.Field{Name: "psm", Type: dsl.Int(0, 0x10001)}),
+		ioctlDesc("L2CAP_CONFIG", res, L2capConfig, 0.5, "",
+			dsl.Field{Name: "flags", Type: dsl.Int(0, 0xff)}),
+		ioctlDesc("L2CAP_DISCONNECT", res, L2capDisconnect, 0.5, ""),
+		ioctlDesc("L2CAP_SET_MTU", res, L2capSetMTU, 0.4, "",
+			dsl.Field{Name: "mtu", Type: dsl.Int(0, 70000)}),
+		ioctlDesc("L2CAP_GET_INFO", res, L2capGetInfo, 0.3, ""),
+	}
+	return append(descs, chaffDescs("l2cap", "fd_l2cap", 0xa300, 10)...)
+}
+
+// V4L2Descs describes the video-capture surface.
+func V4L2Descs() []*dsl.CallDesc {
+	const res = "fd_video"
+	descs := []*dsl.CallDesc{
+		openDesc("video", PathVideo, res),
+		closeDesc("video", res),
+		readDesc("video", res),
+		mmapDesc("video", res),
+		ioctlDesc("VIDIOC_QUERYCAP", res, VidiocQuerycap, 0.5, "",
+			dsl.Field{Name: "reserved", Type: dsl.Int(0, 4)}),
+		ioctlDesc("VIDIOC_S_FMT", res, VidiocSFmt, 0.7, "",
+			dsl.Field{Name: "width", Type: dsl.Int(0, 9000)},
+			dsl.Field{Name: "height", Type: dsl.Int(0, 9000)},
+			dsl.Field{Name: "pixfmt", Type: dsl.Flags(PixFmtYUYV, PixFmtNV12, PixFmtMJPG, PixFmtRGB3, 0)}),
+		ioctlDesc("VIDIOC_G_FMT", res, VidiocGFmt, 0.3, ""),
+		ioctlDesc("VIDIOC_REQBUFS", res, VidiocReqbufs, 0.6, "",
+			dsl.Field{Name: "count", Type: dsl.Int(0, 40)}),
+		ioctlDesc("VIDIOC_QBUF", res, VidiocQbuf, 0.6, "",
+			dsl.Field{Name: "index", Type: dsl.Int(0, 40)}),
+		ioctlDesc("VIDIOC_DQBUF", res, VidiocDqbuf, 0.5, ""),
+		ioctlDesc("VIDIOC_STREAMON", res, VidiocStreamon, 0.6, ""),
+		ioctlDesc("VIDIOC_STREAMOFF", res, VidiocStreamoff, 0.4, ""),
+		ioctlDesc("VIDIOC_S_CTRL", res, VidiocSCtrl, 0.4, "",
+			dsl.Field{Name: "id", Type: dsl.Int(0, 70)},
+			dsl.Field{Name: "val", Type: dsl.Int(0, 1<<32)}),
+		ioctlDesc("VIDIOC_S_PARM", res, VidiocSParm, 0.3, "",
+			dsl.Field{Name: "fps", Type: dsl.Int(0, 260)}),
+	}
+	return append(descs, chaffDescs("video", "fd_video", 0xa400, 10)...)
+}
+
+// AudioDescs describes the PCM surface.
+func AudioDescs() []*dsl.CallDesc {
+	const res = "fd_pcm"
+	descs := []*dsl.CallDesc{
+		openDesc("pcm", PathPCM, res),
+		closeDesc("pcm", res),
+		readDesc("pcm", res),
+		writeDesc("pcm", res, 1024),
+		ioctlDesc("PCM_HW_PARAMS", res, PCMHwParams, 0.7, "",
+			dsl.Field{Name: "rate", Type: dsl.Flags(8000, 16000, 44100, 48000, 96000, 192000, 11025)},
+			dsl.Field{Name: "channels", Type: dsl.Int(0, 10)},
+			dsl.Field{Name: "period", Type: dsl.Int(0, 70000)},
+			dsl.Field{Name: "flags", Type: dsl.Int(0, 1<<17)}),
+		ioctlDesc("PCM_PREPARE", res, PCMPrepare, 0.6, ""),
+		ioctlDesc("PCM_START", res, PCMStart, 0.6, ""),
+		ioctlDesc("PCM_STOP", res, PCMStop, 0.4, ""),
+		ioctlDesc("PCM_DRAIN", res, PCMDrain, 0.5, ""),
+		ioctlDesc("PCM_GET_POS", res, PCMGetPos, 0.3, ""),
+		ioctlDesc("PCM_SET_VOL", res, PCMSetVol, 0.3, "",
+			dsl.Field{Name: "vol", Type: dsl.Int(0, 110)}),
+		ioctlDesc("PCM_PAUSE", res, PCMPause, 0.3, ""),
+	}
+	return append(descs, chaffDescs("pcm", "fd_pcm", 0xa500, 10)...)
+}
+
+// GPUDescs describes the render-node surface.
+func GPUDescs() []*dsl.CallDesc {
+	const res = "fd_gpu"
+	descs := []*dsl.CallDesc{
+		openDesc("gpu", PathGPU, res),
+		closeDesc("gpu", res),
+		mmapDesc("gpu", res),
+		ioctlDesc("GPU_ALLOC", res, GPUAlloc, 0.7, "gpu_handle",
+			dsl.Field{Name: "size", Type: dsl.Int(0, 1<<24+4096)}),
+		ioctlDesc("GPU_FREE", res, GPUFree, 0.4, "",
+			dsl.Field{Name: "handle", Type: dsl.Resource("gpu_handle")}),
+		ioctlDesc("GPU_MAP", res, GPUMapBuf, 0.5, "",
+			dsl.Field{Name: "handle", Type: dsl.Resource("gpu_handle")}),
+		ioctlDesc("GPU_SUBMIT", res, GPUSubmit, 0.7, "gpu_fence",
+			dsl.Field{Name: "handle", Type: dsl.Resource("gpu_handle")},
+			dsl.Field{Name: "stream", Type: dsl.Buffer(64)}),
+		ioctlDesc("GPU_WAIT", res, GPUWait, 0.4, "",
+			dsl.Field{Name: "fence", Type: dsl.Resource("gpu_fence")}),
+		ioctlDesc("GPU_GET_PARAM", res, GPUGetParam, 0.3, "",
+			dsl.Field{Name: "param", Type: dsl.Int(0, 6)}),
+		ioctlDesc("GPU_SET_CTX", res, GPUSetCtx, 0.3, "",
+			dsl.Field{Name: "prio", Type: dsl.Int(0, 5)}),
+	}
+	return append(descs, chaffDescs("gpu", "fd_gpu", 0xa600, 10)...)
+}
+
+// WLANDescs describes the Wi-Fi station surface.
+func WLANDescs() []*dsl.CallDesc {
+	const res = "fd_wlan"
+	descs := []*dsl.CallDesc{
+		openDesc("wlan", PathWLAN, res),
+		closeDesc("wlan", res),
+		readDesc("wlan", res),
+		writeDesc("wlan", res, 2304),
+		ioctlDesc("WLAN_SCAN", res, WlanScan, 0.6, ""),
+		ioctlDesc("WLAN_ASSOC", res, WlanAssoc, 0.6, "",
+			dsl.Field{Name: "bssid", Type: dsl.Int(0, 1<<32)}),
+		ioctlDesc("WLAN_DISASSOC", res, WlanDisassoc, 0.4, ""),
+		ioctlDesc("WLAN_SET_RATE", res, WlanSetRate, 0.5, "",
+			dsl.Field{Name: "mask", Type: dsl.Int(0, 0x10010)}),
+		ioctlDesc("WLAN_GET_LINK", res, WlanGetLink, 0.3, ""),
+		ioctlDesc("WLAN_SET_POWER", res, WlanSetPower, 0.3, "",
+			dsl.Field{Name: "dbm", Type: dsl.Int(0, 40)}),
+		ioctlDesc("WLAN_SET_CHAN", res, WlanSetChan, 0.4, "",
+			dsl.Field{Name: "chan", Type: dsl.Int(0, 16)}),
+	}
+	return append(descs, chaffDescs("wlan", "fd_wlan", 0xa700, 10)...)
+}
+
+// SensorDescs describes the IIO sensor-hub surface.
+func SensorDescs() []*dsl.CallDesc {
+	const res = "fd_iio"
+	descs := []*dsl.CallDesc{
+		openDesc("iio", PathIIO, res),
+		closeDesc("iio", res),
+		readDesc("iio", res),
+		ioctlDesc("IIO_ENABLE", res, IIOEnable, 0.6, "",
+			dsl.Field{Name: "chan", Type: dsl.Int(0, 10)}),
+		ioctlDesc("IIO_DISABLE", res, IIODisable, 0.4, "",
+			dsl.Field{Name: "chan", Type: dsl.Int(0, 10)}),
+		ioctlDesc("IIO_SET_FREQ", res, IIOSetFreq, 0.5, "",
+			dsl.Field{Name: "hz", Type: dsl.Int(0, 1100)}),
+		ioctlDesc("IIO_TRIGGER", res, IIOTrigger, 0.5, ""),
+		ioctlDesc("IIO_GET_INFO", res, IIOGetInfo, 0.3, ""),
+	}
+	return append(descs, chaffDescs("iio", "fd_iio", 0xa800, 10)...)
+}
+
+// NFCDescs describes the NFC controller surface.
+func NFCDescs() []*dsl.CallDesc {
+	const res = "fd_nfc"
+	descs := []*dsl.CallDesc{
+		openDesc("nfc", PathNFC, res),
+		closeDesc("nfc", res),
+		ioctlDesc("NFC_POWER", res, NFCPower, 0.6, "",
+			dsl.Field{Name: "on", Type: dsl.Int(0, 2)}),
+		ioctlDesc("NFC_FW_DNLD", res, NFCFwDnld, 0.4, "",
+			dsl.Field{Name: "fw", Type: dsl.Buffer(128)}),
+		ioctlDesc("NFC_RAW_XFER", res, NFCRawXfer, 0.5, "",
+			dsl.Field{Name: "frame", Type: dsl.Buffer(260)}),
+		ioctlDesc("NFC_GET_INFO", res, NFCGetInfo, 0.3, ""),
+	}
+	return append(descs, chaffDescs("nfc", "fd_nfc", 0xa900, 10)...)
+}
+
+// ThermalDescs describes the thermal-zone surface.
+func ThermalDescs() []*dsl.CallDesc {
+	const res = "fd_thermal"
+	descs := []*dsl.CallDesc{
+		openDesc("thermal", PathThermal, res),
+		closeDesc("thermal", res),
+		ioctlDesc("THERMAL_GET_TEMP", res, ThermalGetTemp, 0.4, "",
+			dsl.Field{Name: "zone", Type: dsl.Int(0, 6)}),
+		ioctlDesc("THERMAL_SET_TRIP", res, ThermalSetTrip, 0.4, "",
+			dsl.Field{Name: "zone", Type: dsl.Int(0, 6)},
+			dsl.Field{Name: "temp", Type: dsl.Int(0, 130000)}),
+		ioctlDesc("THERMAL_SET_POLICY", res, ThermalSetPolicy, 0.3, "",
+			dsl.Field{Name: "policy", Type: dsl.Int(0, 4)}),
+	}
+	return append(descs, chaffDescs("thermal", "fd_thermal", 0xaa00, 10)...)
+}
+
+// AllDescs returns the syscall descriptions for every driver family, the
+// full static description set a device target starts from.
+func AllDescs() []*dsl.CallDesc {
+	var out []*dsl.CallDesc
+	out = append(out, TCPCDescs()...)
+	out = append(out, HCIDescs()...)
+	out = append(out, L2CAPDescs()...)
+	out = append(out, V4L2Descs()...)
+	out = append(out, AudioDescs()...)
+	out = append(out, GPUDescs()...)
+	out = append(out, WLANDescs()...)
+	out = append(out, SensorDescs()...)
+	out = append(out, NFCDescs()...)
+	out = append(out, ThermalDescs()...)
+	return out
+}

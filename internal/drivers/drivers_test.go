@@ -1,0 +1,626 @@
+package drivers
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// rig wires one driver into a fresh kernel and opens it.
+type rig struct {
+	t  *testing.T
+	k  *vkernel.Kernel
+	fd int
+}
+
+func newRig(t *testing.T, path string, drv vkernel.Driver) *rig {
+	t.Helper()
+	k := vkernel.New()
+	k.RegisterDevice(path, drv)
+	fd, err := k.Open(1, vkernel.OriginNative, path, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return &rig{t: t, k: k, fd: fd}
+}
+
+func (r *rig) ioctl(req uint64, args ...uint64) (uint64, []byte, error) {
+	var payload []byte
+	for _, a := range args {
+		payload = PutU64(payload, a)
+	}
+	return r.k.Ioctl(1, vkernel.OriginNative, r.fd, req, payload)
+}
+
+func (r *rig) ioctlBuf(req uint64, scalars []uint64, tail []byte) (uint64, []byte, error) {
+	var payload []byte
+	for _, a := range scalars {
+		payload = PutU64(payload, a)
+	}
+	payload = append(payload, tail...)
+	return r.k.Ioctl(1, vkernel.OriginNative, r.fd, req, payload)
+}
+
+// mustOK fails the test unless the ioctl succeeded.
+func (r *rig) mustOK(req uint64, args ...uint64) uint64 {
+	r.t.Helper()
+	ret, _, err := r.ioctl(req, args...)
+	if err != nil {
+		r.t.Fatalf("ioctl %#x%v: %v", req, args, err)
+	}
+	return ret
+}
+
+// mustErr fails the test unless the ioctl returned the given errno.
+func (r *rig) mustErr(want error, req uint64, args ...uint64) {
+	r.t.Helper()
+	if _, _, err := r.ioctl(req, args...); !errors.Is(err, want) {
+		r.t.Fatalf("ioctl %#x%v err = %v, want %v", req, args, err, want)
+	}
+}
+
+func (r *rig) crashTitles() []string {
+	var out []string
+	for _, c := range r.k.TakeCrashes() {
+		out = append(out, c.Title)
+	}
+	return out
+}
+
+func hasTitle(titles []string, sub string) bool {
+	for _, t := range titles {
+		if strings.Contains(t, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- helpers shared across payload tests ----
+
+func TestArgHelpers(t *testing.T) {
+	p := PutU64(nil, 0x1122334455667788)
+	p = PutU64(p, 7)
+	p = append(p, 0xaa, 0xbb)
+	if ArgU64(p, 0) != 0x1122334455667788 {
+		t.Fatal("ArgU64(0) wrong")
+	}
+	if ArgU64(p, 1) != 7 {
+		t.Fatal("ArgU64(1) wrong")
+	}
+	if ArgU64(p, 2) != 0xbbaa { // partial tail zero-extended
+		t.Fatalf("ArgU64(2) = %#x", ArgU64(p, 2))
+	}
+	if ArgU64(p, 5) != 0 {
+		t.Fatal("out of range should be 0")
+	}
+	if got := ArgBytes(p, 2); len(got) != 2 || got[0] != 0xaa {
+		t.Fatalf("ArgBytes = %v", got)
+	}
+	if ArgBytes(p, 9) != nil {
+		t.Fatal("ArgBytes beyond end should be nil")
+	}
+}
+
+func TestLogBucketMilestones(t *testing.T) {
+	cases := map[uint64]uint32{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 8: 3, 1024: 10}
+	for v, want := range cases {
+		if got := logBucket(v, 16); got != want {
+			t.Errorf("logBucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if logBucket(1<<40, 12) != 12 {
+		t.Fatal("cap not applied")
+	}
+}
+
+// ---- TCPC ----
+
+func TestTCPCStateMachine(t *testing.T) {
+	r := newRig(t, PathTCPC, NewTCPC(nil))
+	r.mustErr(vkernel.EINVAL, TCPCSetMode, 9)
+	r.mustErr(vkernel.EBUSY, TCPCSetVoltage, 5000) // mode off
+	r.mustOK(TCPCSetMode, TCPCModeDFP)
+	r.mustOK(TCPCSetVoltage, 5000)
+	r.mustErr(vkernel.EINVAL, TCPCSetVoltage, 25000)
+	r.mustErr(vkernel.EINVAL, TCPCEnableToggle) // needs DRP
+	r.mustOK(TCPCSetMode, TCPCModeDRP)
+	r.mustOK(TCPCEnableToggle)
+	r.mustErr(vkernel.EBUSY, TCPCVbusOn) // not attached
+	r.mustOK(TCPCAttach)
+	r.mustOK(TCPCVbusOn)
+	_, out, err := r.ioctl(TCPCGetStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ArgU64(out, 0) != TCPCModeDRP || ArgU64(out, 1) != 5000 {
+		t.Fatalf("status = %v", out)
+	}
+	if ArgU64(out, 2)&7 != 7 { // attached|vbus|toggling
+		t.Fatalf("flags = %#x", ArgU64(out, 2))
+	}
+	r.mustOK(TCPCReset)
+	_, out, _ = r.ioctl(TCPCGetStatus)
+	if ArgU64(out, 0) != TCPCModeOff || ArgU64(out, 2) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestTCPCI2CAndProbeValidation(t *testing.T) {
+	r := newRig(t, PathTCPC, NewTCPC(nil))
+	r.mustErr(vkernel.ENODEV, TCPCI2CXfer, 0x10, 0, 0)
+	r.mustErr(vkernel.EINVAL, TCPCI2CXfer, RT1711Addr, 0x100, 0)
+	if ret := r.mustOK(TCPCI2CXfer, RT1711Addr, 0x18, 0x5a); ret != 0x5a {
+		t.Fatalf("i2c readback = %#x", ret)
+	}
+	r.mustErr(vkernel.ENODEV, TCPCProbeChip, 0x22)
+	r.mustOK(TCPCProbeChip, RT1711Addr)
+}
+
+// tcpcProbeSetup drives the full bug №1 precondition chain.
+func tcpcProbeSetup(r *rig) {
+	r.mustOK(TCPCSetMode, TCPCModeDRP)
+	r.mustOK(TCPCSetVoltage, 9000)
+	r.mustOK(TCPCEnableToggle)
+	r.mustOK(TCPCI2CXfer, RT1711Addr, RT1711InitReg, uint64(RT1711InitVal))
+}
+
+func TestTCPCBug1ProbeWarn(t *testing.T) {
+	r := newRig(t, PathTCPC, NewTCPC(bugs.NewSet(bugs.TCPCProbe)))
+	tcpcProbeSetup(r)
+	if _, _, err := r.ioctl(TCPCProbeChip, RT1711Addr); !errors.Is(err, vkernel.EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !hasTitle(r.crashTitles(), "rt1711_i2c_probe") {
+		t.Fatal("bug №1 did not fire")
+	}
+}
+
+func TestTCPCBug1RequiresEveryGate(t *testing.T) {
+	// Missing init register: no warning.
+	r := newRig(t, PathTCPC, NewTCPC(bugs.NewSet(bugs.TCPCProbe)))
+	r.mustOK(TCPCSetMode, TCPCModeDRP)
+	r.mustOK(TCPCSetVoltage, 9000)
+	r.mustOK(TCPCEnableToggle)
+	r.mustOK(TCPCProbeChip, RT1711Addr)
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired without init handshake")
+	}
+	// Bug disabled: full chain is harmless.
+	r = newRig(t, PathTCPC, NewTCPC(nil))
+	tcpcProbeSetup(r)
+	r.mustOK(TCPCProbeChip, RT1711Addr)
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired with bug disabled")
+	}
+}
+
+func TestTCPCBug4VbusWarn(t *testing.T) {
+	r := newRig(t, PathTCPC, NewTCPC(bugs.NewSet(bugs.TCPCVbus)))
+	r.mustOK(TCPCSetMode, TCPCModeUFP)
+	r.mustOK(TCPCSetVoltage, 5000)
+	r.mustOK(TCPCSetAlert, 0x8)
+	r.mustOK(TCPCAttach)
+	if _, _, err := r.ioctl(TCPCVbusOn); !errors.Is(err, vkernel.EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !hasTitle(r.crashTitles(), "tcpc_vbus_regulator") {
+		t.Fatal("bug №4 did not fire")
+	}
+	// Wrong voltage: harmless.
+	r = newRig(t, PathTCPC, NewTCPC(bugs.NewSet(bugs.TCPCVbus)))
+	r.mustOK(TCPCSetMode, TCPCModeUFP)
+	r.mustOK(TCPCSetVoltage, 9000)
+	r.mustOK(TCPCSetAlert, 0x8)
+	r.mustOK(TCPCAttach)
+	r.mustOK(TCPCVbusOn)
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired at wrong voltage")
+	}
+}
+
+// ---- HCI ----
+
+func TestHCIUpDownCodecs(t *testing.T) {
+	r := newRig(t, PathHCI, NewHCI(nil))
+	r.mustErr(vkernel.ENODEV, HCIDown)
+	r.mustOK(HCIUp)
+	r.mustErr(vkernel.EBUSY, HCIUp)
+	_, codecs, err := r.ioctl(HCIReadCodecs)
+	if err != nil || len(codecs) != 16 {
+		t.Fatalf("codecs = %v/%v", codecs, err)
+	}
+	r.mustOK(HCIDown)
+	r.mustErr(vkernel.ENODEV, HCIReadCodecs) // table cleared on clean down
+}
+
+func TestHCIBug7StaleCodecTable(t *testing.T) {
+	r := newRig(t, PathHCI, NewHCI(bugs.NewSet(bugs.HCICodecs)))
+	r.mustOK(HCIUp)
+	r.mustOK(HCISetScan, HCIScanInquiry)
+	// The inquiry must go down as a real HCI command packet.
+	op := HCIOpInquiry
+	pkt := []byte{byte(op), byte(op >> 8), 0x33}
+	if _, err := r.k.Write(1, vkernel.OriginNative, r.fd, pkt); err != nil {
+		t.Fatal(err)
+	}
+	r.mustOK(HCIDown)
+	if _, _, err := r.ioctl(HCIReadCodecs); !errors.Is(err, vkernel.EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !r.k.Wedged() {
+		t.Fatal("KASAN should wedge")
+	}
+	if !hasTitle(r.crashTitles(), "hci_read_supported_codecs") {
+		t.Fatal("bug №7 did not fire")
+	}
+}
+
+func TestHCIBug7NeedsInquiryPacket(t *testing.T) {
+	r := newRig(t, PathHCI, NewHCI(bugs.NewSet(bugs.HCICodecs)))
+	r.mustOK(HCIUp)
+	r.mustOK(HCISetScan, HCIScanInquiry)
+	// No inquiry command packet: down clears the table correctly.
+	r.mustOK(HCIDown)
+	r.mustErr(vkernel.ENODEV, HCIReadCodecs)
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired without inquiry")
+	}
+}
+
+func TestHCIConnLifecycle(t *testing.T) {
+	r := newRig(t, PathHCI, NewHCI(nil))
+	r.mustErr(vkernel.ENODEV, HCICreateConn, 5, 0)
+	r.mustOK(HCIUp)
+	r.mustErr(vkernel.EINVAL, HCICreateConn, 5, 0xffff) // reserved flag bits
+	h := r.mustOK(HCICreateConn, 5, 0)
+	if h == 0 {
+		t.Fatal("no handle")
+	}
+	got := r.mustOK(HCIAcceptConn)
+	if got != h {
+		t.Fatalf("accepted %d, want %d", got, h)
+	}
+	r.mustOK(HCIDisconn, h)
+	r.mustErr(vkernel.ENOENT, HCIDisconn, h)
+	r.mustErr(vkernel.EAGAIN, HCIAcceptConn)
+}
+
+func TestHCIBug11AcceptUnlinkUAF(t *testing.T) {
+	r := newRig(t, PathHCI, NewHCI(bugs.NewSet(bugs.BTAcceptUnlink)))
+	r.mustOK(HCIUp)
+	h := r.mustOK(HCICreateConn, 5, HCIConnSSP)
+	r.mustOK(HCIDisconn, h) // freed but (bug) still queued
+	if _, _, err := r.ioctl(HCIAcceptConn); !errors.Is(err, vkernel.EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !hasTitle(r.crashTitles(), "bt_accept_unlink") {
+		t.Fatal("bug №11 did not fire")
+	}
+}
+
+func TestHCIBug11NeedsSSP(t *testing.T) {
+	r := newRig(t, PathHCI, NewHCI(bugs.NewSet(bugs.BTAcceptUnlink)))
+	r.mustOK(HCIUp)
+	h := r.mustOK(HCICreateConn, 5, 0) // plain connection
+	r.mustOK(HCIDisconn, h)
+	r.mustErr(vkernel.EAGAIN, HCIAcceptConn) // correctly unlinked
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired without SSP flag")
+	}
+}
+
+// ---- L2CAP ----
+
+func TestL2CAPChannelLifecycle(t *testing.T) {
+	r := newRig(t, PathL2CAP, NewL2CAP(nil))
+	r.mustErr(vkernel.EINVAL, L2capConnect, 0)
+	r.mustOK(L2capConnect, 0x1001)
+	r.mustOK(L2capConfig, 0)
+	r.mustErr(vkernel.EBUSY, L2capConnect, 0x1001)
+	if n, err := r.k.Write(1, vkernel.OriginNative, r.fd, make([]byte, 100)); err != nil || n != 100 {
+		t.Fatalf("write = %d/%v", n, err)
+	}
+	r.mustOK(L2capSetMTU, 1024)
+	r.mustErr(vkernel.EINVAL, L2capSetMTU, 10)
+	r.mustOK(L2capDisconnect)
+	r.mustErr(vkernel.ENOENT, L2capDisconnect)
+}
+
+func TestL2CAPBug8DoubleDisconnect(t *testing.T) {
+	r := newRig(t, PathL2CAP, NewL2CAP(bugs.NewSet(bugs.L2capDisconn)))
+	// Shallow: a single disconnect on a closed channel suffices.
+	if _, _, err := r.ioctl(L2capDisconnect); !errors.Is(err, vkernel.EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !hasTitle(r.crashTitles(), "l2cap_send_disconn_req") {
+		t.Fatal("bug №8 did not fire")
+	}
+}
+
+// ---- V4L2 ----
+
+func v4l2StartStreaming(r *rig) {
+	r.mustOK(VidiocSFmt, 640, 480, PixFmtNV12)
+	r.mustOK(VidiocReqbufs, 4)
+	for i := uint64(0); i < 4; i++ {
+		r.mustOK(VidiocQbuf, i)
+	}
+	r.mustOK(VidiocStreamon)
+}
+
+func TestV4L2StreamingPipeline(t *testing.T) {
+	r := newRig(t, PathVideo, NewV4L2(nil))
+	r.mustErr(vkernel.EINVAL, VidiocSFmt, 0, 480, PixFmtNV12)
+	r.mustErr(vkernel.EINVAL, VidiocSFmt, 641, 480, PixFmtNV12) // alignment
+	r.mustErr(vkernel.EINVAL, VidiocSFmt, 640, 480, 0x1234)     // bad fourcc
+	r.mustErr(vkernel.EINVAL, VidiocStreamon)                   // no buffers
+	v4l2StartStreaming(r)
+	r.mustErr(vkernel.EBUSY, VidiocStreamon)
+	r.mustErr(vkernel.EBUSY, VidiocSFmt, 640, 480, PixFmtNV12)
+	idx := r.mustOK(VidiocDqbuf)
+	if idx != 0 {
+		t.Fatalf("dqbuf = %d", idx)
+	}
+	r.mustOK(VidiocQbuf, idx)
+	r.mustOK(VidiocStreamoff)
+	r.mustErr(vkernel.EINVAL, VidiocDqbuf)
+}
+
+func TestV4L2Bug12QuerycapWarn(t *testing.T) {
+	r := newRig(t, PathVideo, NewV4L2(bugs.NewSet(bugs.V4LQuerycap)))
+	v4l2StartStreaming(r)
+	if _, _, err := r.ioctl(VidiocQuerycap, 1); !errors.Is(err, vkernel.EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !hasTitle(r.crashTitles(), "v4l_querycap") {
+		t.Fatal("bug №12 did not fire")
+	}
+	// Zero reserved field: harmless even while streaming.
+	r = newRig(t, PathVideo, NewV4L2(bugs.NewSet(bugs.V4LQuerycap)))
+	v4l2StartStreaming(r)
+	r.mustOK(VidiocQuerycap, 0)
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired with zero reserved")
+	}
+}
+
+// ---- Audio ----
+
+func TestAudioPCMLifecycle(t *testing.T) {
+	r := newRig(t, PathPCM, NewAudio(nil))
+	r.mustErr(vkernel.EINVAL, PCMHwParams, 12345, 2, 1024, 0) // bad rate
+	r.mustErr(vkernel.EINVAL, PCMHwParams, 48000, 0, 1024, 0) // bad channels
+	r.mustErr(vkernel.EINVAL, PCMHwParams, 48000, 2, 0, 0)    // zero period
+	r.mustOK(PCMHwParams, 48000, 2, 1024, 0)
+	r.mustErr(vkernel.EINVAL, PCMStart) // not prepared
+	r.mustOK(PCMPrepare)
+	r.mustOK(PCMStart)
+	if _, err := r.k.Write(1, vkernel.OriginNative, r.fd, make([]byte, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	r.mustOK(PCMDrain)
+	_, out, _ := r.ioctl(PCMGetPos)
+	if ArgU64(out, 1) != 0 {
+		t.Fatal("drain left frames buffered")
+	}
+	r.mustOK(PCMStart)
+	r.mustOK(PCMPause)
+	r.mustOK(PCMPause) // resume
+	r.mustOK(PCMStop)
+}
+
+func TestAudioMagicPathRejectsZeroPeriodWithoutBug(t *testing.T) {
+	r := newRig(t, PathPCM, NewAudio(nil))
+	r.mustErr(vkernel.EINVAL, PCMHwParams, 48000, 2, 0, AudioLowLatencyMagic)
+}
+
+func TestAudioBug5DrainHang(t *testing.T) {
+	r := newRig(t, PathPCM, NewAudio(bugs.NewSet(bugs.AudioHang)))
+	r.k.StepBudget = 1000 // keep the test fast
+	r.mustOK(PCMHwParams, 48000, 2, 0, AudioLowLatencyMagic)
+	r.mustOK(PCMPrepare)
+	r.mustOK(PCMStart)
+	if _, err := r.k.Write(1, vkernel.OriginNative, r.fd, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ioctl(PCMDrain); !errors.Is(err, vkernel.EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !r.k.Wedged() {
+		t.Fatal("hang did not wedge kernel")
+	}
+	if !hasTitle(r.crashTitles(), "audio_pcm_drain") {
+		t.Fatal("bug №5 did not fire")
+	}
+}
+
+// ---- GPU ----
+
+func gpuStream(depth, nCmds byte, ops ...byte) []byte {
+	magic := GPUCmdMagic
+	s := []byte{
+		byte(magic), byte(magic >> 8), byte(magic >> 16), byte(magic >> 24),
+		depth, nCmds, 0, 0,
+	}
+	return append(s, ops...)
+}
+
+func TestGPUBufferAndSubmit(t *testing.T) {
+	r := newRig(t, PathGPU, NewGPU(nil))
+	r.mustErr(vkernel.EINVAL, GPUAlloc, 0)
+	h := r.mustOK(GPUAlloc, 4096)
+	r.mustOK(GPUMapBuf, h)
+	r.mustErr(vkernel.ENOENT, GPUMapBuf, 999)
+
+	// Bad magic is rejected.
+	if _, _, err := r.ioctlBuf(GPUSubmit, []uint64{h}, []byte("XXXXXXXX")); !errors.Is(err, vkernel.EFAULT) {
+		t.Fatalf("bad magic err = %v", err)
+	}
+	fence, _, err := r.ioctlBuf(GPUSubmit, []uint64{h}, gpuStream(2, 2, 1, 2))
+	if err != nil || fence != 1 {
+		t.Fatalf("submit = %d/%v", fence, err)
+	}
+	r.mustOK(GPUWait, fence)
+	r.mustErr(vkernel.EAGAIN, GPUWait, fence+5)
+	r.mustOK(GPUFree, h)
+	r.mustErr(vkernel.ENOENT, GPUFree, h)
+}
+
+func TestGPUDepthClampWithoutBug(t *testing.T) {
+	r := newRig(t, PathGPU, NewGPU(nil))
+	h := r.mustOK(GPUAlloc, 4096)
+	if _, _, err := r.ioctlBuf(GPUSubmit, []uint64{h}, gpuStream(8, 0)); !errors.Is(err, vkernel.EINVAL) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("clamped depth crashed")
+	}
+}
+
+func TestGPUBug3LockdepSubclass(t *testing.T) {
+	r := newRig(t, PathGPU, NewGPU(bugs.NewSet(bugs.LockdepSubclass)))
+	h := r.mustOK(GPUAlloc, 4096)
+	if _, _, err := r.ioctlBuf(GPUSubmit, []uint64{h}, gpuStream(9, 0)); !errors.Is(err, vkernel.EINVAL) {
+		t.Fatalf("err = %v", err)
+	}
+	if !r.k.Wedged() {
+		t.Fatal("BUG did not wedge")
+	}
+	if !hasTitle(r.crashTitles(), "looking up invalid subclass: 9") {
+		t.Fatal("bug №3 did not fire")
+	}
+}
+
+// ---- WLAN ----
+
+func TestWLANAssociationFlow(t *testing.T) {
+	r := newRig(t, PathWLAN, NewWLAN(nil))
+	r.mustErr(vkernel.EAGAIN, WlanAssoc, 0x42) // must scan first
+	r.mustOK(WlanScan)
+	r.mustErr(vkernel.EINVAL, WlanAssoc, 0)
+	r.mustOK(WlanAssoc, 0x42)
+	r.mustErr(vkernel.EBUSY, WlanAssoc, 0x42)
+	r.mustErr(vkernel.EBUSY, WlanSetChan, 6) // busy while associated
+	if _, err := r.k.Write(1, vkernel.OriginNative, r.fd, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	r.mustOK(WlanDisassoc)
+	r.mustOK(WlanSetChan, 6)
+}
+
+func TestWLANBug10ReassocRateInit(t *testing.T) {
+	// Any mask with the basic-rate nibble empty triggers on reassoc.
+	for _, mask := range []uint64{0, 0xf0, 0xab0} {
+		r := newRig(t, PathWLAN, NewWLAN(bugs.NewSet(bugs.RateInit)))
+		r.mustOK(WlanScan)
+		r.mustOK(WlanAssoc, 0x42)
+		r.mustOK(WlanDisassoc)
+		r.mustOK(WlanSetRate, mask)
+		if _, _, err := r.ioctl(WlanAssoc, 0x42); !errors.Is(err, vkernel.EIO) {
+			t.Fatalf("mask %#x err = %v", mask, err)
+		}
+		if !hasTitle(r.crashTitles(), "rate_control_rate_init") {
+			t.Fatalf("bug №10 did not fire for mask %#x", mask)
+		}
+	}
+	// Masks including a basic rate reassociate cleanly.
+	r := newRig(t, PathWLAN, NewWLAN(bugs.NewSet(bugs.RateInit)))
+	r.mustOK(WlanScan)
+	r.mustOK(WlanAssoc, 0x42)
+	r.mustOK(WlanDisassoc)
+	r.mustOK(WlanSetRate, 0xf1)
+	r.mustOK(WlanAssoc, 0x42)
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired with basic rates present")
+	}
+}
+
+func TestWLANBug10NeedsReassoc(t *testing.T) {
+	r := newRig(t, PathWLAN, NewWLAN(bugs.NewSet(bugs.RateInit)))
+	r.mustOK(WlanScan)
+	r.mustOK(WlanSetRate, 0xf0)
+	// First-time association takes the validated path: plain EINVAL.
+	r.mustErr(vkernel.EINVAL, WlanAssoc, 0x42)
+	if len(r.crashTitles()) != 0 {
+		t.Fatal("fired on first association")
+	}
+}
+
+// ---- Sensors / NFC / Thermal ----
+
+func TestSensorHub(t *testing.T) {
+	r := newRig(t, PathIIO, NewSensor(nil))
+	r.mustErr(vkernel.EINVAL, IIOEnable, 9)
+	r.mustErr(vkernel.EINVAL, IIOTrigger) // nothing enabled
+	r.mustOK(IIOEnable, 2)
+	r.mustOK(IIOSetFreq, 100)
+	r.mustErr(vkernel.EINVAL, IIOSetFreq, 0)
+	if n := r.mustOK(IIOTrigger); n != 1 {
+		t.Fatalf("trigger count = %d", n)
+	}
+	if data, err := r.k.Read(1, vkernel.OriginNative, r.fd, 16); err != nil || len(data) != 16 {
+		t.Fatalf("read = %v/%v", data, err)
+	}
+	r.mustOK(IIODisable, 2)
+	if _, err := r.k.Read(1, vkernel.OriginNative, r.fd, 16); !errors.Is(err, vkernel.EAGAIN) {
+		t.Fatal("read with all channels off should EAGAIN")
+	}
+}
+
+func TestNFCController(t *testing.T) {
+	r := newRig(t, PathNFC, NewNFC(nil))
+	r.mustErr(vkernel.ENODEV, NFCRawXfer) // powered off
+	r.mustOK(NFCPower, 1)
+	r.mustErr(vkernel.EBUSY, NFCFwDnld) // powered on
+	if _, _, err := r.ioctlBuf(NFCRawXfer, nil, []byte{0x00, 0xa4}); err != nil {
+		t.Fatal(err)
+	}
+	r.mustOK(NFCPower, 0)
+	if _, _, err := r.ioctlBuf(NFCFwDnld, nil, []byte{0x4e, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ioctlBuf(NFCFwDnld, nil, []byte{0xff, 1, 2, 3}); !errors.Is(err, vkernel.EINVAL) {
+		t.Fatal("bad fw header accepted")
+	}
+}
+
+func TestThermalZones(t *testing.T) {
+	r := newRig(t, PathThermal, NewThermal(nil))
+	temp := r.mustOK(ThermalGetTemp, 0)
+	if temp == 0 {
+		t.Fatal("zero temperature")
+	}
+	r.mustErr(vkernel.EINVAL, ThermalGetTemp, 9)
+	r.mustOK(ThermalSetTrip, 1, 85000)
+	r.mustErr(vkernel.EINVAL, ThermalSetTrip, 1, 500000)
+	r.mustOK(ThermalSetPolicy, 2)
+	r.mustErr(vkernel.EINVAL, ThermalSetPolicy, 7)
+}
+
+// ---- Descriptions ----
+
+func TestAllDescsValid(t *testing.T) {
+	for _, d := range AllDescs() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestDescsRequestCodesUnique(t *testing.T) {
+	seen := make(map[uint64]string)
+	for _, d := range AllDescs() {
+		if d.Syscall != "ioctl" {
+			continue
+		}
+		req := d.Args[1].Type.Val
+		if prev, dup := seen[req]; dup {
+			t.Errorf("request %#x shared by %s and %s", req, prev, d.Name)
+		}
+		seen[req] = d.Name
+	}
+}

@@ -1,0 +1,228 @@
+package drivers
+
+import (
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// GPU ioctl request codes (DRM-like render node).
+const (
+	GPUAlloc    uint64 = 0xa601
+	GPUFree     uint64 = 0xa602
+	GPUMapBuf   uint64 = 0xa603
+	GPUSubmit   uint64 = 0xa604
+	GPUWait     uint64 = 0xa605
+	GPUGetParam uint64 = 0xa606
+	GPUSetCtx   uint64 = 0xa607
+)
+
+// GPUCmdMagic is the command-stream header magic ("GPUC"); the graphics HAL
+// emits well-formed streams, which is what makes the deep submit paths —
+// including the lockdep bug №3 — reachable mainly through HAL interaction.
+const GPUCmdMagic uint32 = 0x43555047
+
+// GPUDriver models a render-node GPU: buffer-object management on the KASAN
+// heap, command-stream submission, and a per-submit lockdep-validated
+// reservation lock whose subclass derives from the stream's nesting depth
+// (bug №3: "BUG: looking up invalid subclass: NUM").
+type GPUDriver struct {
+	bugs bugs.Set
+
+	mu       sync.Mutex
+	buffers  map[uint64]uint64 // handle -> heap object
+	sizes    map[uint64]uint64
+	nextBuf  uint64
+	fence    uint64
+	ctxPrio  uint64
+	submits  uint64
+	mapCount uint64
+}
+
+// NewGPU returns the driver with the given enabled bug set.
+func NewGPU(b bugs.Set) *GPUDriver {
+	return &GPUDriver{
+		bugs:    b,
+		buffers: make(map[uint64]uint64),
+		sizes:   make(map[uint64]uint64),
+		nextBuf: 1,
+	}
+}
+
+// Name implements vkernel.Driver.
+func (d *GPUDriver) Name() string { return "gpu" }
+
+// Open implements vkernel.Driver.
+func (d *GPUDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("gpu", 1)
+	return &gpuConn{d: d}, nil
+}
+
+type gpuConn struct {
+	vkernel.BaseConn
+	d *GPUDriver
+}
+
+func (c *gpuConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case GPUAlloc:
+		ctx.Cover("gpu", 10)
+		size := ArgU64(arg, 0)
+		if size == 0 || size > 1<<24 {
+			ctx.Cover("gpu", 11)
+			return 0, nil, vkernel.EINVAL
+		}
+		h := d.nextBuf
+		d.nextBuf++
+		d.buffers[h] = ctx.Heap().Alloc(int(size%(1<<16)+64), "gpu_bo_create")
+		d.sizes[h] = size
+		ctx.Cover("gpu", 12+bucket(size/4096, 16))
+		return h, nil, nil
+
+	case GPUFree:
+		ctx.Cover("gpu", 30)
+		h := ArgU64(arg, 0)
+		obj, ok := d.buffers[h]
+		if !ok {
+			ctx.Cover("gpu", 31)
+			return 0, nil, vkernel.ENOENT
+		}
+		delete(d.buffers, h)
+		delete(d.sizes, h)
+		if !ctx.CheckFree(obj, "gpu_bo_destroy") {
+			return 0, nil, vkernel.EIO
+		}
+		ctx.Cover("gpu", 32)
+		return 0, nil, nil
+
+	case GPUMapBuf:
+		ctx.Cover("gpu", 40)
+		h := ArgU64(arg, 0)
+		obj, ok := d.buffers[h]
+		if !ok {
+			ctx.Cover("gpu", 41)
+			return 0, nil, vkernel.ENOENT
+		}
+		// Touch the first cacheline through the KASAN heap.
+		if _, ok := ctx.CheckLoad(obj, 0, 8, "gpu_bo_map"); !ok {
+			return 0, nil, vkernel.EIO
+		}
+		d.mapCount++
+		ctx.Cover("gpu", 42)
+		return 0x7f80000000 + h<<12, nil, nil
+
+	case GPUSubmit:
+		ctx.Cover("gpu", 50)
+		h := ArgU64(arg, 0)
+		stream := ArgBytes(arg, 1)
+		if _, ok := d.buffers[h]; !ok {
+			ctx.Cover("gpu", 51)
+			return 0, nil, vkernel.ENOENT
+		}
+		if len(stream) < 8 {
+			ctx.Cover("gpu", 52)
+			return 0, nil, vkernel.EINVAL
+		}
+		magic := uint32(stream[0]) | uint32(stream[1])<<8 | uint32(stream[2])<<16 | uint32(stream[3])<<24
+		if magic != GPUCmdMagic {
+			ctx.Cover("gpu", 53)
+			return 0, nil, vkernel.EFAULT
+		}
+		ctx.Cover("gpu", 54) // validated command stream
+		depth := uint64(stream[4])
+		nCmds := uint64(stream[5])
+		// Reservation locking: the nesting subclass comes straight from
+		// the stream's depth field. Depths beyond the lockdep limit hit
+		// bug №3 when the vendor tree (which dropped the clamp) is used.
+		if !d.bugs.Has(bugs.LockdepSubclass) && depth >= vkernel.MaxLockdepSubclasses {
+			ctx.Cover("gpu", 55)
+			return 0, nil, vkernel.EINVAL
+		}
+		if err := ctx.Kernel().LockAcquire(ctx, "gpu_reservation", depth); err != nil {
+			return 0, nil, err
+		}
+		ctx.Cover("gpu", 56+bucket(depth, 8))
+		// Per-command execution paths; the scheduler lane depends on the
+		// context priority, multiplying the reachable dispatch states.
+		for i := uint64(0); i < nCmds && i < 16; i++ {
+			idx := 8 + int(i)
+			if idx >= len(stream) {
+				break
+			}
+			op := stream[idx]
+			ctx.Cover("gpu", 70+bucket(uint64(op), 24))
+			ctx.Cover("gpu", 160+bucket(uint64(op), 24)+uint32(d.ctxPrio)*24)
+		}
+		d.submits++
+		d.fence++
+		// Ring-buffer wrap and scheduler paths change as submissions
+		// accumulate within one boot.
+		ctx.Cover("gpu", 300+logBucket(d.submits, 12))
+		return d.fence, nil, nil
+
+	case GPUWait:
+		ctx.Cover("gpu", 110)
+		f := ArgU64(arg, 0)
+		if f > d.fence {
+			ctx.Cover("gpu", 111)
+			return 0, nil, vkernel.EAGAIN
+		}
+		ctx.Cover("gpu", 112)
+		return 0, nil, nil
+
+	case GPUGetParam:
+		ctx.Cover("gpu", 120)
+		p := ArgU64(arg, 0)
+		switch p {
+		case 1: // chip id
+			return 0x8086, nil, nil
+		case 2: // fence counter
+			return d.fence, nil, nil
+		case 3: // live buffers
+			return uint64(len(d.buffers)), nil, nil
+		default:
+			ctx.Cover("gpu", 121)
+			return 0, nil, vkernel.EINVAL
+		}
+
+	case GPUSetCtx:
+		ctx.Cover("gpu", 130)
+		prio := ArgU64(arg, 0)
+		if prio > 3 {
+			ctx.Cover("gpu", 131)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.ctxPrio = prio
+		ctx.Cover("gpu", 132+uint32(prio))
+		return 0, nil, nil
+
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "gpu", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("gpu", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+// Mmap maps a previously allocated buffer by length cookie.
+func (c *gpuConn) Mmap(ctx *vkernel.Ctx, length uint64) (uint64, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("gpu", 140)
+	if length == 0 || length > 1<<24 {
+		return 0, vkernel.EINVAL
+	}
+	ctx.Cover("gpu", 141+bucket(length/65536, 8))
+	return 0x7fc0000000 + length, nil
+}
+
+func (c *gpuConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("gpu", 2)
+	return nil
+}

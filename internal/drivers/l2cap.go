@@ -1,0 +1,180 @@
+package drivers
+
+import (
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// L2CAP ioctl request codes (Bluetooth logical link control).
+const (
+	L2capConnect    uint64 = 0xa301
+	L2capDisconnect uint64 = 0xa302
+	L2capSetMTU     uint64 = 0xa303
+	L2capGetInfo    uint64 = 0xa304
+	L2capConfig     uint64 = 0xa305
+)
+
+type l2capState int
+
+const (
+	l2capClosed l2capState = iota
+	l2capConfigPending
+	l2capConnected
+)
+
+// L2CAPDriver models the L2CAP channel layer as a character device. Bug №8
+// (double-disconnect WARN in l2cap_send_disconn_req) is intentionally
+// shallow — reachable by a plain syscall fuzzer, matching the paper's
+// finding that Syzkaller discovers 2 kernel bugs.
+type L2CAPDriver struct {
+	bugs bugs.Set
+	mu   sync.Mutex
+}
+
+// NewL2CAP returns the driver with the given enabled bug set.
+func NewL2CAP(b bugs.Set) *L2CAPDriver { return &L2CAPDriver{bugs: b} }
+
+// Name implements vkernel.Driver.
+func (d *L2CAPDriver) Name() string { return "l2cap" }
+
+// Open implements vkernel.Driver.
+func (d *L2CAPDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("l2cap", 1)
+	return &l2capChan{d: d, mtu: 672}, nil
+}
+
+// l2capChan is one channel; state is per-fd, as for a real socket.
+type l2capChan struct {
+	vkernel.BaseConn
+	d          *l2capDriverRef
+	state      l2capState
+	psm        uint64
+	mtu        uint64
+	disconnReq bool // a disconn request is already in flight
+	txCount    uint64
+}
+
+// l2capDriverRef is an alias to keep the channel struct self-documenting.
+type l2capDriverRef = L2CAPDriver
+
+func (c *l2capChan) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	c.d.mu.Lock()
+	defer c.d.mu.Unlock()
+	switch req {
+	case L2capConnect:
+		ctx.Cover("l2cap", 10)
+		psm := ArgU64(arg, 0)
+		if psm == 0 || psm > 0xffff {
+			ctx.Cover("l2cap", 11)
+			return 0, nil, vkernel.EINVAL
+		}
+		if c.state == l2capConnected {
+			ctx.Cover("l2cap", 12)
+			return 0, nil, vkernel.EBUSY
+		}
+		c.psm = psm
+		c.state = l2capConfigPending
+		ctx.Cover("l2cap", 13+bucket(psm, 16))
+		return 0, nil, nil
+
+	case L2capConfig:
+		ctx.Cover("l2cap", 30)
+		if c.state != l2capConfigPending {
+			ctx.Cover("l2cap", 31)
+			return 0, nil, vkernel.EINVAL
+		}
+		flags := ArgU64(arg, 0)
+		c.state = l2capConnected
+		c.disconnReq = false
+		ctx.Cover("l2cap", 32+bucket(flags, 8))
+		return 0, nil, nil
+
+	case L2capDisconnect:
+		ctx.Cover("l2cap", 50)
+		// Bug №8: sending a disconnect request for a channel that is not
+		// connected (or already has one in flight) trips the WARN in
+		// l2cap_send_disconn_req. Two back-to-back disconnects suffice.
+		if c.bugGate() && (c.state != l2capConnected || c.disconnReq) {
+			ctx.Cover("l2cap", 51)
+			ctx.Warn("l2cap_send_disconn_req",
+				"disconn request on channel not in connected state")
+			return 0, nil, vkernel.EIO
+		}
+		if c.state != l2capConnected {
+			ctx.Cover("l2cap", 52)
+			return 0, nil, vkernel.ENOENT
+		}
+		c.disconnReq = true
+		c.state = l2capClosed
+		ctx.Cover("l2cap", 53)
+		return 0, nil, nil
+
+	case L2capSetMTU:
+		ctx.Cover("l2cap", 60)
+		mtu := ArgU64(arg, 0)
+		if mtu < 48 || mtu > 65535 {
+			ctx.Cover("l2cap", 61)
+			return 0, nil, vkernel.EINVAL
+		}
+		c.mtu = mtu
+		ctx.Cover("l2cap", 62+bucket(mtu/1024, 16))
+		return 0, nil, nil
+
+	case L2capGetInfo:
+		ctx.Cover("l2cap", 80)
+		out := PutU64(nil, uint64(c.state))
+		out = PutU64(out, c.psm)
+		out = PutU64(out, c.mtu)
+		return 0, out, nil
+
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "l2cap", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("l2cap", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+func (c *l2capChan) bugGate() bool { return c.d.bugs.Has(bugs.L2capDisconn) }
+
+func (c *l2capChan) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
+	c.d.mu.Lock()
+	defer c.d.mu.Unlock()
+	ctx.Cover("l2cap", 90)
+	if c.state != l2capConnected {
+		ctx.Cover("l2cap", 91)
+		return 0, vkernel.ENOTTY
+	}
+	if uint64(len(p)) > c.mtu {
+		ctx.Cover("l2cap", 92)
+		return 0, vkernel.EINVAL
+	}
+	c.txCount++
+	ctx.Cover("l2cap", 300+logBucket(c.txCount, 12)) // flow-control window paths
+	ctx.Cover("l2cap", 93+bucket(uint64(len(p))/64, 12))
+	// Per-PSM protocol handlers on the transmit path.
+	ctx.Cover("l2cap", 400+bucket(c.psm, 16))
+	return len(p), nil
+}
+
+func (c *l2capChan) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
+	c.d.mu.Lock()
+	defer c.d.mu.Unlock()
+	ctx.Cover("l2cap", 110)
+	if c.state != l2capConnected {
+		return nil, vkernel.EAGAIN
+	}
+	ctx.Cover("l2cap", 111)
+	if n > int(c.mtu) {
+		n = int(c.mtu)
+	}
+	return make([]byte, n), nil
+}
+
+func (c *l2capChan) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("l2cap", 2)
+	return nil
+}

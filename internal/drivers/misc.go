@@ -1,0 +1,312 @@
+package drivers
+
+import (
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// IIO (sensor hub) ioctl request codes.
+const (
+	IIOEnable  uint64 = 0xa801
+	IIODisable uint64 = 0xa802
+	IIOSetFreq uint64 = 0xa803
+	IIOTrigger uint64 = 0xa804
+	IIOGetInfo uint64 = 0xa805
+)
+
+// SensorDriver models an IIO sensor hub with 8 channels.
+type SensorDriver struct {
+	bugs bugs.Set
+
+	mu       sync.Mutex
+	enabled  [8]bool
+	freq     uint64
+	triggers uint64
+}
+
+// NewSensor returns the driver with the given enabled bug set.
+func NewSensor(b bugs.Set) *SensorDriver { return &SensorDriver{bugs: b, freq: 50} }
+
+// Name implements vkernel.Driver.
+func (d *SensorDriver) Name() string { return "iio" }
+
+// Open implements vkernel.Driver.
+func (d *SensorDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("iio", 1)
+	return &sensorConn{d: d}, nil
+}
+
+type sensorConn struct {
+	vkernel.BaseConn
+	d *SensorDriver
+}
+
+func (c *sensorConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case IIOEnable:
+		ctx.Cover("iio", 10)
+		ch := ArgU64(arg, 0)
+		if ch >= 8 {
+			ctx.Cover("iio", 11)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.enabled[ch] = true
+		ctx.Cover("iio", 12+uint32(ch))
+		return 0, nil, nil
+	case IIODisable:
+		ctx.Cover("iio", 30)
+		ch := ArgU64(arg, 0)
+		if ch >= 8 {
+			ctx.Cover("iio", 31)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.enabled[ch] = false
+		ctx.Cover("iio", 32)
+		return 0, nil, nil
+	case IIOSetFreq:
+		ctx.Cover("iio", 40)
+		hz := ArgU64(arg, 0)
+		if hz == 0 || hz > 1000 {
+			ctx.Cover("iio", 41)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.freq = hz
+		ctx.Cover("iio", 42+bucket(hz/50, 20))
+		return 0, nil, nil
+	case IIOTrigger:
+		ctx.Cover("iio", 70)
+		any := false
+		for ch, on := range d.enabled {
+			if on {
+				any = true
+				ctx.Cover("iio", 71+uint32(ch))
+			}
+		}
+		if !any {
+			ctx.Cover("iio", 80)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.triggers++
+		return d.triggers, nil, nil
+	case IIOGetInfo:
+		ctx.Cover("iio", 90)
+		out := PutU64(nil, d.freq)
+		out = PutU64(out, d.triggers)
+		return 0, out, nil
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "iio", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("iio", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+func (c *sensorConn) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("iio", 100)
+	any := false
+	for _, on := range d.enabled {
+		if on {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, vkernel.EAGAIN
+	}
+	ctx.Cover("iio", 101)
+	if n > 256 {
+		n = 256
+	}
+	return make([]byte, n), nil
+}
+
+func (c *sensorConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("iio", 2)
+	return nil
+}
+
+// NFC ioctl request codes.
+const (
+	NFCPower   uint64 = 0xa901
+	NFCFwDnld  uint64 = 0xa902
+	NFCRawXfer uint64 = 0xa903
+	NFCGetInfo uint64 = 0xa904
+)
+
+// NFCDriver models an NFC controller with a firmware-download path.
+type NFCDriver struct {
+	bugs bugs.Set
+
+	mu      sync.Mutex
+	powered bool
+	fwLen   uint64
+}
+
+// NewNFC returns the driver with the given enabled bug set.
+func NewNFC(b bugs.Set) *NFCDriver { return &NFCDriver{bugs: b} }
+
+// Name implements vkernel.Driver.
+func (d *NFCDriver) Name() string { return "nfc" }
+
+// Open implements vkernel.Driver.
+func (d *NFCDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("nfc", 1)
+	return &nfcConn{d: d}, nil
+}
+
+type nfcConn struct {
+	vkernel.BaseConn
+	d *NFCDriver
+}
+
+func (c *nfcConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case NFCPower:
+		ctx.Cover("nfc", 10)
+		on := ArgU64(arg, 0)
+		if on > 1 {
+			ctx.Cover("nfc", 11)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.powered = on == 1
+		ctx.Logf("nfc0", "power %d", on)
+		ctx.Cover("nfc", 12+uint32(on))
+		return 0, nil, nil
+	case NFCFwDnld:
+		ctx.Cover("nfc", 20)
+		if d.powered {
+			ctx.Cover("nfc", 21)
+			return 0, nil, vkernel.EBUSY
+		}
+		fw := ArgBytes(arg, 0)
+		if len(fw) < 4 || fw[0] != 0x4e { // 'N' header
+			ctx.Cover("nfc", 22)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.fwLen = uint64(len(fw))
+		ctx.Cover("nfc", 23+bucket(d.fwLen/16, 12))
+		return 0, nil, nil
+	case NFCRawXfer:
+		ctx.Cover("nfc", 40)
+		if !d.powered {
+			ctx.Cover("nfc", 41)
+			return 0, nil, vkernel.ENODEV
+		}
+		frame := ArgBytes(arg, 0)
+		if len(frame) == 0 || len(frame) > 255 {
+			ctx.Cover("nfc", 42)
+			return 0, nil, vkernel.EINVAL
+		}
+		ctx.Cover("nfc", 43+bucket(uint64(frame[0]), 16))
+		return uint64(len(frame)), nil, nil
+	case NFCGetInfo:
+		ctx.Cover("nfc", 60)
+		out := PutU64(nil, boolU64(d.powered))
+		out = PutU64(out, d.fwLen)
+		return 0, out, nil
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "nfc", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("nfc", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+func (c *nfcConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("nfc", 2)
+	return nil
+}
+
+// Thermal ioctl request codes.
+const (
+	ThermalGetTemp   uint64 = 0xaa01
+	ThermalSetTrip   uint64 = 0xaa02
+	ThermalSetPolicy uint64 = 0xaa03
+)
+
+// ThermalDriver models a thermal-zone controller with 4 zones.
+type ThermalDriver struct {
+	bugs bugs.Set
+
+	mu     sync.Mutex
+	trips  [4]uint64
+	policy uint64
+}
+
+// NewThermal returns the driver with the given enabled bug set.
+func NewThermal(b bugs.Set) *ThermalDriver { return &ThermalDriver{bugs: b} }
+
+// Name implements vkernel.Driver.
+func (d *ThermalDriver) Name() string { return "thermal" }
+
+// Open implements vkernel.Driver.
+func (d *ThermalDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("thermal", 1)
+	return &thermalConn{d: d}, nil
+}
+
+type thermalConn struct {
+	vkernel.BaseConn
+	d *ThermalDriver
+}
+
+func (c *thermalConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case ThermalGetTemp:
+		ctx.Cover("thermal", 10)
+		zone := ArgU64(arg, 0)
+		if zone >= 4 {
+			ctx.Cover("thermal", 11)
+			return 0, nil, vkernel.EINVAL
+		}
+		ctx.Cover("thermal", 12+uint32(zone))
+		return 35000 + zone*1500, nil, nil
+	case ThermalSetTrip:
+		ctx.Cover("thermal", 20)
+		zone, temp := ArgU64(arg, 0), ArgU64(arg, 1)
+		if zone >= 4 || temp > 120000 {
+			ctx.Cover("thermal", 21)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.trips[zone] = temp
+		ctx.Cover("thermal", 22+uint32(zone)*4+bucket(temp/30000, 4))
+		return 0, nil, nil
+	case ThermalSetPolicy:
+		ctx.Cover("thermal", 40)
+		p := ArgU64(arg, 0)
+		if p > 2 {
+			ctx.Cover("thermal", 41)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.policy = p
+		ctx.Cover("thermal", 42+uint32(p))
+		return 0, nil, nil
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "thermal", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("thermal", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+func (c *thermalConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("thermal", 2)
+	return nil
+}

@@ -1,0 +1,304 @@
+package drivers
+
+import (
+	"fmt"
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// TCPC ioctl request codes (USB Type-C port controller with an rt1711h-like
+// I2C interface chip).
+const (
+	TCPCReset        uint64 = 0xa101
+	TCPCSetMode      uint64 = 0xa102
+	TCPCSetVoltage   uint64 = 0xa103
+	TCPCEnableToggle uint64 = 0xa104
+	TCPCGetStatus    uint64 = 0xa105
+	TCPCI2CXfer      uint64 = 0xa106
+	TCPCProbeChip    uint64 = 0xa107
+	TCPCSetAlert     uint64 = 0xa108
+	TCPCVbusOn       uint64 = 0xa109
+	TCPCVbusOff      uint64 = 0xa10a
+	TCPCAttach       uint64 = 0xa10b
+	TCPCDetach       uint64 = 0xa10c
+)
+
+// TCPC port roles.
+const (
+	TCPCModeOff uint64 = 0
+	TCPCModeUFP uint64 = 1
+	TCPCModeDFP uint64 = 2
+	TCPCModeDRP uint64 = 3
+)
+
+// RT1711Addr is the I2C address of the rt1711h interface chip; probing it in
+// the wrong port state reproduces bug №1.
+const RT1711Addr uint64 = 0x4e
+
+// RT1711InitReg/RT1711InitVal is the vendor init handshake the USB HAL
+// writes before re-probing the chip. The value is proprietary: it appears in
+// no public description, so only HAL-mediated traffic establishes it.
+const (
+	RT1711InitReg uint64 = 0x18
+	RT1711InitVal byte   = 0x5a
+)
+
+// TCPCDriver is the Type-C port controller driver. Adapter state is shared
+// across all open fds, as the real single-port hardware would be.
+type TCPCDriver struct {
+	bugs bugs.Set
+
+	mu        sync.Mutex
+	mode      uint64
+	voltageMV uint64
+	toggling  bool
+	attached  bool
+	alertMask uint64
+	vbusOn    bool
+	probed    bool
+	i2cRegs   [256]byte
+	opens     int
+}
+
+// NewTCPC returns the driver with the given enabled bug set.
+func NewTCPC(b bugs.Set) *TCPCDriver { return &TCPCDriver{bugs: b} }
+
+// Name implements vkernel.Driver.
+func (d *TCPCDriver) Name() string { return "tcpc" }
+
+// Open implements vkernel.Driver.
+func (d *TCPCDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	d.mu.Lock()
+	d.opens++
+	d.mu.Unlock()
+	ctx.Cover("tcpc", 1)
+	return &tcpcConn{d: d}, nil
+}
+
+type tcpcConn struct {
+	vkernel.BaseConn
+	d *TCPCDriver
+}
+
+func (c *tcpcConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("tcpc", 2)
+	c.d.mu.Lock()
+	c.d.opens--
+	c.d.mu.Unlock()
+	return nil
+}
+
+func (c *tcpcConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case TCPCReset:
+		ctx.Cover("tcpc", 10)
+		d.mode = TCPCModeOff
+		d.voltageMV = 0
+		d.toggling = false
+		d.attached = false
+		d.alertMask = 0
+		d.vbusOn = false
+		d.probed = false
+		return 0, nil, nil
+
+	case TCPCSetMode:
+		ctx.Cover("tcpc", 11)
+		mode := ArgU64(arg, 0)
+		if mode > TCPCModeDRP {
+			ctx.Cover("tcpc", 12)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.mode = mode
+		ctx.Logf("tcpc0", "port role set to %d", mode)
+		ctx.Cover("tcpc", 13+uint32(mode)) // 13..16: per-role path
+		if mode == TCPCModeDRP {
+			ctx.Cover("tcpc", 17) // dual-role init path
+		}
+		return 0, nil, nil
+
+	case TCPCSetVoltage:
+		ctx.Cover("tcpc", 20)
+		mv := ArgU64(arg, 0)
+		if mv > 20000 {
+			ctx.Cover("tcpc", 21)
+			return 0, nil, vkernel.EINVAL
+		}
+		if d.mode == TCPCModeOff {
+			ctx.Cover("tcpc", 22)
+			return 0, nil, vkernel.EBUSY
+		}
+		if d.vbusOn {
+			// Live PD renegotiation: stepping the contract while VBUS is
+			// up walks per-tier regulator reprogramming paths.
+			ctx.Cover("tcpc", 300+bucket(mv/500, 40))
+		}
+		d.voltageMV = mv
+		// PD contract negotiation paths depend on the voltage tier.
+		ctx.Cover("tcpc", 24+bucket(mv/500, 40))
+		if mv >= 9000 {
+			ctx.Cover("tcpc", 70) // high-voltage contract path
+		}
+		return 0, nil, nil
+
+	case TCPCEnableToggle:
+		ctx.Cover("tcpc", 80)
+		if d.mode != TCPCModeDRP {
+			ctx.Cover("tcpc", 81)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.toggling = true
+		ctx.Cover("tcpc", 82)
+		return 0, nil, nil
+
+	case TCPCGetStatus:
+		ctx.Cover("tcpc", 90)
+		out := PutU64(nil, d.mode)
+		out = PutU64(out, d.voltageMV)
+		var flags uint64
+		if d.attached {
+			flags |= 1
+		}
+		if d.vbusOn {
+			flags |= 2
+		}
+		if d.toggling {
+			flags |= 4
+		}
+		out = PutU64(out, flags)
+		return 0, out, nil
+
+	case TCPCI2CXfer:
+		ctx.Cover("tcpc", 100)
+		addr := ArgU64(arg, 0)
+		reg := ArgU64(arg, 1)
+		val := ArgU64(arg, 2)
+		if addr != RT1711Addr && addr != 0x22 {
+			ctx.Cover("tcpc", 101)
+			return 0, nil, vkernel.ENODEV
+		}
+		if reg > 0xff {
+			ctx.Cover("tcpc", 102)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.i2cRegs[reg] = byte(val)
+		ctx.Cover("tcpc", 104+bucket(reg, 24))
+		if d.probed {
+			// Post-probe, register writes reprogram live chip blocks.
+			ctx.Cover("tcpc", 230+bucket(reg, 24))
+		}
+		if d.attached && d.vbusOn {
+			// PD-message register window during an active contract.
+			ctx.Cover("tcpc", 260+bucket(reg, 12))
+		}
+		return uint64(d.i2cRegs[reg]), nil, nil
+
+	case TCPCProbeChip:
+		ctx.Cover("tcpc", 130)
+		addr := ArgU64(arg, 0)
+		if addr != RT1711Addr {
+			ctx.Cover("tcpc", 131)
+			return 0, nil, vkernel.ENODEV
+		}
+		// Bug №1: re-probing the rt1711h — after the vendor init
+		// handshake register is armed — while a dual-role port is
+		// actively toggling under a high-voltage contract trips the
+		// probe-path WARN (the chip is re-initialized mid-negotiation).
+		if d.bugs.Has(bugs.TCPCProbe) && d.mode == TCPCModeDRP &&
+			d.toggling && d.voltageMV >= 9000 &&
+			d.i2cRegs[RT1711InitReg] == RT1711InitVal {
+			ctx.Cover("tcpc", 132)
+			ctx.Warn("rt1711_i2c_probe",
+				fmt.Sprintf("rt1711h re-probe during active DRP toggle (vbus=%dmV)", d.voltageMV))
+			return 0, nil, vkernel.EIO
+		}
+		d.probed = true
+		ctx.Cover("tcpc", 133)
+		return 0, nil, nil
+
+	case TCPCSetAlert:
+		ctx.Cover("tcpc", 140)
+		d.alertMask = ArgU64(arg, 0)
+		ctx.Cover("tcpc", 141+bucket(d.alertMask, 16))
+		return 0, nil, nil
+
+	case TCPCAttach:
+		ctx.Cover("tcpc", 160)
+		if d.mode == TCPCModeOff {
+			ctx.Cover("tcpc", 161)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.attached = true
+		ctx.Cover("tcpc", 162+uint32(d.mode))
+		return 0, nil, nil
+
+	case TCPCDetach:
+		ctx.Cover("tcpc", 170)
+		d.attached = false
+		d.vbusOn = false
+		return 0, nil, nil
+
+	case TCPCVbusOn:
+		ctx.Cover("tcpc", 180)
+		if !d.attached {
+			ctx.Cover("tcpc", 181)
+			return 0, nil, vkernel.EBUSY
+		}
+		// Bug №4: enabling VBUS on an attached UFP port at the default
+		// 5 V contract with the overcurrent alert (bit 3) masked trips
+		// the regulator WARN — a sink must not source power while OC
+		// reporting is off. The exact 5000 mV contract is what the
+		// vendor HAL negotiates; a fuzzer sweeping the voltage range
+		// almost never lands on it.
+		if d.bugs.Has(bugs.TCPCVbus) && d.mode == TCPCModeUFP &&
+			d.alertMask&0x8 != 0 && d.voltageMV == 5000 {
+			ctx.Cover("tcpc", 182)
+			ctx.Warn("tcpc_vbus_regulator",
+				"UFP sourcing VBUS with overcurrent alert masked")
+			return 0, nil, vkernel.EIO
+		}
+		d.vbusOn = true
+		ctx.Logf("tcpc0", "vbus enabled at %d mV", d.voltageMV)
+		ctx.Cover("tcpc", 183)
+		if d.voltageMV >= 9000 {
+			ctx.Cover("tcpc", 184) // high-power enable path
+		}
+		return 0, nil, nil
+
+	case TCPCVbusOff:
+		ctx.Cover("tcpc", 190)
+		d.vbusOn = false
+		return 0, nil, nil
+
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "tcpc", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("tcpc", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+func (c *tcpcConn) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
+	ctx.Cover("tcpc", 200)
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.attached {
+		return nil, vkernel.EAGAIN
+	}
+	ctx.Cover("tcpc", 201)
+	// CC-line event stream: one status byte per event.
+	if n > 16 {
+		n = 16
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(d.mode)<<4 | byte(d.alertMask&0xf)
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package drivers
+
+import (
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/vkernel"
+)
+
+// Touch controller ioctl request codes (evdev-adjacent vendor interface).
+const (
+	TouchCalibrate uint64 = 0xab01
+	TouchSetMode   uint64 = 0xab02
+	TouchFwUpdate  uint64 = 0xab03
+	TouchSelfTest  uint64 = 0xab04
+	TouchGetInfo   uint64 = 0xab05
+	TouchSetGrid   uint64 = 0xab06
+)
+
+// Touch reporting modes.
+const (
+	TouchModeOff     uint64 = 0
+	TouchModeFinger  uint64 = 1
+	TouchModeStylus  uint64 = 2
+	TouchModeGesture uint64 = 3
+)
+
+// PathTouch is the touch controller's device node.
+const PathTouch = "/dev/touch0"
+
+// TouchDriver models a capacitive touch controller: calibration, reporting
+// modes, a firmware-update path with a vendor header, and an event stream.
+// Injected events arrive via write() as (x, y, pressure) triples.
+type TouchDriver struct {
+	bugs bugs.Set
+
+	mu         sync.Mutex
+	calibrated bool
+	mode       uint64
+	gridW      uint64
+	gridH      uint64
+	fwVersion  uint64
+	events     uint64
+	selfTests  uint64
+}
+
+// NewTouch returns the driver with the given enabled bug set.
+func NewTouch(b bugs.Set) *TouchDriver {
+	return &TouchDriver{bugs: b, gridW: 1080, gridH: 1920, fwVersion: 0x0100}
+}
+
+// Name implements vkernel.Driver.
+func (d *TouchDriver) Name() string { return "touch" }
+
+// Open implements vkernel.Driver.
+func (d *TouchDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("touch", 1)
+	return &touchConn{d: d}, nil
+}
+
+type touchConn struct {
+	vkernel.BaseConn
+	d *TouchDriver
+}
+
+func (c *touchConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case TouchCalibrate:
+		ctx.Cover("touch", 10)
+		refX, refY := ArgU64(arg, 0), ArgU64(arg, 1)
+		if refX >= d.gridW || refY >= d.gridH {
+			ctx.Cover("touch", 11)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.calibrated = true
+		ctx.Logf("touch0", "calibrated at (%d,%d)", refX, refY)
+		ctx.Cover("touch", 12+bucket(refX/128, 10))
+		return 0, nil, nil
+
+	case TouchSetMode:
+		ctx.Cover("touch", 30)
+		mode := ArgU64(arg, 0)
+		if mode > TouchModeGesture {
+			ctx.Cover("touch", 31)
+			return 0, nil, vkernel.EINVAL
+		}
+		if mode != TouchModeOff && !d.calibrated {
+			ctx.Cover("touch", 32)
+			return 0, nil, vkernel.EAGAIN
+		}
+		d.mode = mode
+		ctx.Cover("touch", 33+uint32(mode))
+		return 0, nil, nil
+
+	case TouchFwUpdate:
+		ctx.Cover("touch", 50)
+		if d.mode != TouchModeOff {
+			ctx.Cover("touch", 51)
+			return 0, nil, vkernel.EBUSY
+		}
+		img := ArgBytes(arg, 0)
+		// Vendor header: 'T','P' + version word.
+		if len(img) < 4 || img[0] != 'T' || img[1] != 'P' {
+			ctx.Cover("touch", 52)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.fwVersion = uint64(img[2]) | uint64(img[3])<<8
+		d.calibrated = false // new firmware needs recalibration
+		ctx.Cover("touch", 53+bucket(d.fwVersion, 8))
+		return d.fwVersion, nil, nil
+
+	case TouchSelfTest:
+		ctx.Cover("touch", 70)
+		if !d.calibrated {
+			ctx.Cover("touch", 71)
+			return 0, nil, vkernel.EAGAIN
+		}
+		d.selfTests++
+		ctx.Cover("touch", 72+uint32(d.selfTests%4))
+		return 1, nil, nil // pass
+
+	case TouchGetInfo:
+		ctx.Cover("touch", 80)
+		out := PutU64(nil, d.fwVersion)
+		out = PutU64(out, d.mode)
+		out = PutU64(out, d.events)
+		return 0, out, nil
+
+	case TouchSetGrid:
+		ctx.Cover("touch", 90)
+		w, h := ArgU64(arg, 0), ArgU64(arg, 1)
+		if w == 0 || h == 0 || w > 4096 || h > 4096 {
+			ctx.Cover("touch", 91)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.gridW, d.gridH = w, h
+		d.calibrated = false
+		ctx.Cover("touch", 92+bucket(w/512, 8))
+		return 0, nil, nil
+
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "touch", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("touch", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+// Write injects touch events: 6-byte records of x, y, pressure (LE u16).
+func (c *touchConn) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("touch", 110)
+	if d.mode == TouchModeOff {
+		ctx.Cover("touch", 111)
+		return 0, vkernel.EINVAL
+	}
+	if len(p)%6 != 0 || len(p) == 0 {
+		ctx.Cover("touch", 112)
+		return 0, vkernel.EINVAL
+	}
+	n := len(p) / 6
+	for i := 0; i < n; i++ {
+		x := uint64(p[i*6]) | uint64(p[i*6+1])<<8
+		y := uint64(p[i*6+2]) | uint64(p[i*6+3])<<8
+		if x >= d.gridW || y >= d.gridH {
+			ctx.Cover("touch", 113)
+			return i * 6, vkernel.EFAULT
+		}
+		d.events++
+	}
+	ctx.Cover("touch", 300+logBucket(d.events, 12)) // event-stream ramp
+	ctx.Cover("touch", 114+bucket(uint64(n), 8))
+	return len(p), nil
+}
+
+// Read drains pending event reports.
+func (c *touchConn) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("touch", 130)
+	if d.mode == TouchModeOff {
+		return nil, vkernel.EAGAIN
+	}
+	ctx.Cover("touch", 131)
+	if n > 64 {
+		n = 64
+	}
+	return make([]byte, n), nil
+}
+
+func (c *touchConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("touch", 2)
+	return nil
+}
+
+// TouchDescs describes the touch controller surface.
+func TouchDescs() []*dsl.CallDesc {
+	const res = "fd_touch"
+	descs := []*dsl.CallDesc{
+		openDesc("touch", PathTouch, res),
+		closeDesc("touch", res),
+		readDesc("touch", res),
+		writeDesc("touch", res, 36),
+		ioctlDesc("TOUCH_CALIBRATE", res, TouchCalibrate, 0.6, "",
+			dsl.Field{Name: "refx", Type: dsl.Int(0, 4100)},
+			dsl.Field{Name: "refy", Type: dsl.Int(0, 4100)}),
+		ioctlDesc("TOUCH_SET_MODE", res, TouchSetMode, 0.6, "",
+			dsl.Field{Name: "mode", Type: dsl.Flags(TouchModeOff, TouchModeFinger, TouchModeStylus, TouchModeGesture)}),
+		ioctlDesc("TOUCH_FW_UPDATE", res, TouchFwUpdate, 0.4, "",
+			dsl.Field{Name: "image", Type: dsl.Buffer(64)}),
+		ioctlDesc("TOUCH_SELF_TEST", res, TouchSelfTest, 0.4, ""),
+		ioctlDesc("TOUCH_GET_INFO", res, TouchGetInfo, 0.3, ""),
+		ioctlDesc("TOUCH_SET_GRID", res, TouchSetGrid, 0.4, "",
+			dsl.Field{Name: "width", Type: dsl.Int(0, 4200)},
+			dsl.Field{Name: "height", Type: dsl.Int(0, 4200)}),
+	}
+	return append(descs, chaffDescs("touch", res, 0xab00, 10)...)
+}

@@ -1,0 +1,78 @@
+package drivers
+
+import (
+	"errors"
+	"testing"
+
+	"droidfuzz/internal/vkernel"
+)
+
+func TestTouchLifecycle(t *testing.T) {
+	r := newRig(t, PathTouch, NewTouch(nil))
+	// Reporting requires calibration first.
+	r.mustErr(vkernel.EAGAIN, TouchSetMode, TouchModeFinger)
+	r.mustErr(vkernel.EINVAL, TouchCalibrate, 5000, 0)
+	r.mustOK(TouchCalibrate, 540, 960)
+	r.mustOK(TouchSetMode, TouchModeFinger)
+	r.mustErr(vkernel.EINVAL, TouchSetMode, 9)
+
+	// Event injection: aligned records within the grid.
+	ev := []byte{0x10, 0x00, 0x20, 0x00, 0x40, 0x00}
+	if n, err := r.k.Write(1, vkernel.OriginNative, r.fd, ev); err != nil || n != 6 {
+		t.Fatalf("write = %d/%v", n, err)
+	}
+	// Misaligned stream rejected.
+	if _, err := r.k.Write(1, vkernel.OriginNative, r.fd, ev[:5]); !errors.Is(err, vkernel.EINVAL) {
+		t.Fatal("misaligned event accepted")
+	}
+	// Out-of-grid coordinate faults.
+	bad := []byte{0xff, 0xff, 0x20, 0x00, 0x40, 0x00}
+	if _, err := r.k.Write(1, vkernel.OriginNative, r.fd, bad); !errors.Is(err, vkernel.EFAULT) {
+		t.Fatal("out-of-grid event accepted")
+	}
+
+	if ok := r.mustOK(TouchSelfTest); ok != 1 {
+		t.Fatal("self test failed")
+	}
+	_, out, _ := r.ioctl(TouchGetInfo)
+	if ArgU64(out, 2) != 1 {
+		t.Fatalf("event count = %d", ArgU64(out, 2))
+	}
+}
+
+func TestTouchFirmwareUpdate(t *testing.T) {
+	r := newRig(t, PathTouch, NewTouch(nil))
+	r.mustOK(TouchCalibrate, 100, 100)
+	r.mustOK(TouchSetMode, TouchModeFinger)
+	// Update refused while reporting.
+	r.mustErr(vkernel.EBUSY, TouchFwUpdate)
+	r.mustOK(TouchSetMode, TouchModeOff)
+	// Bad header rejected.
+	if _, _, err := r.ioctlBuf(TouchFwUpdate, nil, []byte{'X', 'X', 2, 0}); !errors.Is(err, vkernel.EINVAL) {
+		t.Fatal("bad fw header accepted")
+	}
+	ver, _, err := r.ioctlBuf(TouchFwUpdate, nil, []byte{'T', 'P', 0x34, 0x12})
+	if err != nil || ver != 0x1234 {
+		t.Fatalf("fw update = %#x/%v", ver, err)
+	}
+	// New firmware invalidates calibration.
+	r.mustErr(vkernel.EAGAIN, TouchSetMode, TouchModeFinger)
+}
+
+func TestTouchGridReconfigure(t *testing.T) {
+	r := newRig(t, PathTouch, NewTouch(nil))
+	r.mustOK(TouchCalibrate, 100, 100)
+	r.mustErr(vkernel.EINVAL, TouchSetGrid, 0, 100)
+	r.mustErr(vkernel.EINVAL, TouchSetGrid, 100, 9000)
+	r.mustOK(TouchSetGrid, 2048, 2048)
+	// Grid change invalidates calibration too.
+	r.mustErr(vkernel.EAGAIN, TouchSetMode, TouchModeStylus)
+}
+
+func TestTouchDescsValid(t *testing.T) {
+	for _, d := range TouchDescs() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}

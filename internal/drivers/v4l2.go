@@ -1,0 +1,297 @@
+package drivers
+
+import (
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// V4L2 ioctl request codes (video capture device).
+const (
+	VidiocQuerycap  uint64 = 0xa401
+	VidiocSFmt      uint64 = 0xa402
+	VidiocReqbufs   uint64 = 0xa403
+	VidiocQbuf      uint64 = 0xa404
+	VidiocDqbuf     uint64 = 0xa405
+	VidiocStreamon  uint64 = 0xa406
+	VidiocStreamoff uint64 = 0xa407
+	VidiocSCtrl     uint64 = 0xa408
+	VidiocGFmt      uint64 = 0xa409
+	VidiocSParm     uint64 = 0xa40a
+)
+
+// Recognized pixel formats (fourcc-like codes).
+const (
+	PixFmtYUYV uint64 = 0x56595559
+	PixFmtNV12 uint64 = 0x3231564e
+	PixFmtMJPG uint64 = 0x47504a4d
+	PixFmtRGB3 uint64 = 0x33424752
+)
+
+// V4L2Driver models a camera capture pipeline: format negotiation, buffer
+// queue management, and streaming. Bug №12 (WARN in v4l_querycap during
+// streaming with nonzero reserved field) is moderately shallow so that
+// syscall-only fuzzing can reach it, matching Table II.
+type V4L2Driver struct {
+	bugs bugs.Set
+
+	mu        sync.Mutex
+	width     uint64
+	height    uint64
+	pixfmt    uint64
+	nbufs     uint64
+	queued    []uint64
+	streaming bool
+	frames    uint64
+	ctrls     map[uint64]uint64
+}
+
+// NewV4L2 returns the driver with the given enabled bug set.
+func NewV4L2(b bugs.Set) *V4L2Driver {
+	return &V4L2Driver{bugs: b, ctrls: make(map[uint64]uint64)}
+}
+
+// Name implements vkernel.Driver.
+func (d *V4L2Driver) Name() string { return "v4l2" }
+
+// Open implements vkernel.Driver.
+func (d *V4L2Driver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("v4l2", 1)
+	return &v4l2Conn{d: d}, nil
+}
+
+type v4l2Conn struct {
+	vkernel.BaseConn
+	d *V4L2Driver
+}
+
+func (c *v4l2Conn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case VidiocQuerycap:
+		ctx.Cover("v4l2", 10)
+		reserved := ArgU64(arg, 0)
+		// Bug №12: querying capabilities mid-stream with a nonzero
+		// reserved field takes the unvalidated legacy path and WARNs.
+		if d.bugs.Has(bugs.V4LQuerycap) && d.streaming && reserved != 0 {
+			ctx.Cover("v4l2", 11)
+			ctx.Warn("v4l_querycap",
+				"querycap with nonzero reserved field while streaming")
+			return 0, nil, vkernel.EIO
+		}
+		if d.streaming {
+			ctx.Cover("v4l2", 12)
+		}
+		out := PutU64(nil, 0x84000001) // caps: VIDEO_CAPTURE|STREAMING
+		out = PutU64(out, d.frames)
+		ctx.Cover("v4l2", 13)
+		return 0, out, nil
+
+	case VidiocSFmt:
+		ctx.Cover("v4l2", 20)
+		if d.streaming {
+			ctx.Cover("v4l2", 21)
+			return 0, nil, vkernel.EBUSY
+		}
+		w, h, fmt := ArgU64(arg, 0), ArgU64(arg, 1), ArgU64(arg, 2)
+		if w == 0 || h == 0 || w > 8192 || h > 8192 {
+			ctx.Cover("v4l2", 22)
+			return 0, nil, vkernel.EINVAL
+		}
+		if w%16 != 0 || h%16 != 0 {
+			// The capture pipeline requires macroblock alignment.
+			ctx.Cover("v4l2", 260)
+			return 0, nil, vkernel.EINVAL
+		}
+		switch fmt {
+		case PixFmtYUYV, PixFmtNV12, PixFmtMJPG, PixFmtRGB3:
+		default:
+			ctx.Cover("v4l2", 23)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.width, d.height, d.pixfmt = w, h, fmt
+		ctx.Cover("v4l2", 24+bucket(fmt, 4)*8+bucket(w/640, 8))
+		return 0, nil, nil
+
+	case VidiocGFmt:
+		ctx.Cover("v4l2", 60)
+		out := PutU64(nil, d.width)
+		out = PutU64(out, d.height)
+		out = PutU64(out, d.pixfmt)
+		return 0, out, nil
+
+	case VidiocReqbufs:
+		ctx.Cover("v4l2", 70)
+		if d.streaming {
+			ctx.Cover("v4l2", 71)
+			return 0, nil, vkernel.EBUSY
+		}
+		n := ArgU64(arg, 0)
+		if n > 32 {
+			ctx.Cover("v4l2", 72)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.nbufs = n
+		d.queued = nil
+		ctx.Cover("v4l2", 73+bucket(n, 8))
+		return n, nil, nil
+
+	case VidiocQbuf:
+		ctx.Cover("v4l2", 90)
+		i := ArgU64(arg, 0)
+		if i >= d.nbufs {
+			ctx.Cover("v4l2", 91)
+			return 0, nil, vkernel.EINVAL
+		}
+		for _, q := range d.queued {
+			if q == i {
+				ctx.Cover("v4l2", 92)
+				return 0, nil, vkernel.EBUSY
+			}
+		}
+		d.queued = append(d.queued, i)
+		if d.streaming {
+			// Requeue during streaming walks the per-slot fast path.
+			ctx.Cover("v4l2", 440+bucket(i, 8)+bucket(uint64(len(d.queued)), 4)*8)
+			ctx.Cover("v4l2", 93)
+		}
+		ctx.Cover("v4l2", 94+bucket(i, 8))
+		return 0, nil, nil
+
+	case VidiocDqbuf:
+		ctx.Cover("v4l2", 110)
+		if !d.streaming {
+			ctx.Cover("v4l2", 111)
+			return 0, nil, vkernel.EINVAL
+		}
+		if len(d.queued) == 0 {
+			ctx.Cover("v4l2", 112)
+			return 0, nil, vkernel.EAGAIN
+		}
+		i := d.queued[0]
+		d.queued = d.queued[1:]
+		d.frames++
+		if d.pixfmt == PixFmtMJPG {
+			ctx.Cover("v4l2", 113) // compressed-frame completion path
+		}
+		// Sustained capture walks the buffer-rotation and timestamping
+		// paths; each additional frame milestone is new driver code.
+		ctx.Cover("v4l2", 300+logBucket(d.frames, 16))
+		return i, nil, nil
+
+	case VidiocStreamon:
+		ctx.Cover("v4l2", 130)
+		if d.nbufs == 0 {
+			ctx.Cover("v4l2", 131)
+			return 0, nil, vkernel.EINVAL
+		}
+		if d.width == 0 {
+			ctx.Cover("v4l2", 132)
+			return 0, nil, vkernel.EINVAL
+		}
+		if d.streaming {
+			ctx.Cover("v4l2", 133)
+			return 0, nil, vkernel.EBUSY
+		}
+		d.streaming = true
+		ctx.Logf("video0", "stream on %dx%d fourcc=%#x", d.width, d.height, d.pixfmt)
+		ctx.Cover("v4l2", 134+bucket(d.pixfmt, 4))
+		return 0, nil, nil
+
+	case VidiocStreamoff:
+		ctx.Cover("v4l2", 150)
+		d.streaming = false
+		d.queued = nil
+		ctx.Cover("v4l2", 151)
+		return 0, nil, nil
+
+	case VidiocSCtrl:
+		ctx.Cover("v4l2", 160)
+		id, val := ArgU64(arg, 0), ArgU64(arg, 1)
+		if id == 0 || id > 64 {
+			ctx.Cover("v4l2", 161)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.ctrls[id] = val
+		ctx.Cover("v4l2", 162+bucket(id, 32))
+		if id == 13 && (val/90)%2 == 1 {
+			// Transposed rotations (90°/270°) switch the pipeline to the
+			// swapped-stride buffer layout.
+			ctx.Cover("v4l2", 220)
+		}
+		if d.streaming {
+			// Live updates take a per-control reprogramming path while
+			// the pipeline runs; a live switch to a transposed rotation
+			// additionally walks the swapped-stride relayout code.
+			extra := uint32(0)
+			if id == 13 && (val/90)%2 == 1 {
+				extra = 32
+			}
+			ctx.Cover("v4l2", 400+bucket(id, 32)+extra)
+		}
+		return 0, nil, nil
+
+	case VidiocSParm:
+		ctx.Cover("v4l2", 210)
+		fps := ArgU64(arg, 0)
+		if fps == 0 || fps > 240 {
+			ctx.Cover("v4l2", 211)
+			return 0, nil, vkernel.EINVAL
+		}
+		if d.streaming {
+			// Live frame-interval changes retune the sensor per target
+			// rate without a pipeline restart.
+			ctx.Cover("v4l2", 470+bucket(fps/15, 16))
+		}
+		ctx.Cover("v4l2", 212+bucket(fps/15, 16))
+		return 0, nil, nil
+
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "v4l2", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("v4l2", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+// Read returns captured frame bytes while streaming.
+func (c *v4l2Conn) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("v4l2", 230)
+	if !d.streaming {
+		return nil, vkernel.EAGAIN
+	}
+	ctx.Cover("v4l2", 231)
+	if n > 4096 {
+		n = 4096
+	}
+	return make([]byte, n), nil
+}
+
+// Mmap maps a capture buffer.
+func (c *v4l2Conn) Mmap(ctx *vkernel.Ctx, length uint64) (uint64, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("v4l2", 240)
+	if d.nbufs == 0 {
+		return 0, vkernel.EINVAL
+	}
+	if length == 0 || length > 1<<26 {
+		ctx.Cover("v4l2", 241)
+		return 0, vkernel.EINVAL
+	}
+	ctx.Cover("v4l2", 242+bucket(length/4096, 8))
+	return 0x7f000000 + length, nil
+}
+
+func (c *v4l2Conn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("v4l2", 2)
+	return nil
+}

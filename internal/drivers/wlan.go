@@ -1,0 +1,234 @@
+package drivers
+
+import (
+	"sync"
+
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/vkernel"
+)
+
+// WLAN ioctl request codes (mac80211-like station interface).
+const (
+	WlanScan     uint64 = 0xa701
+	WlanAssoc    uint64 = 0xa702
+	WlanDisassoc uint64 = 0xa703
+	WlanSetRate  uint64 = 0xa704
+	WlanGetLink  uint64 = 0xa705
+	WlanSetPower uint64 = 0xa706
+	WlanSetChan  uint64 = 0xa707
+)
+
+// WLANDriver models a Wi-Fi station: scan, associate, rate control. Bug №10
+// is the rate_control_rate_init WARN when association proceeds with an
+// all-zero configured rate mask after a completed scan.
+type WLANDriver struct {
+	bugs bugs.Set
+
+	mu       sync.Mutex
+	scanned  bool
+	assoc    bool
+	wasAssoc bool // a previous association completed (reassoc path)
+	bssid    uint64
+	rateMask uint64
+	channel  uint64
+	power    uint64
+	txFrames uint64
+}
+
+// NewWLAN returns the driver with the given enabled bug set.
+func NewWLAN(b bugs.Set) *WLANDriver {
+	return &WLANDriver{bugs: b, rateMask: 0xff, channel: 1}
+}
+
+// Name implements vkernel.Driver.
+func (d *WLANDriver) Name() string { return "wlan" }
+
+// Open implements vkernel.Driver.
+func (d *WLANDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
+	ctx.Cover("wlan", 1)
+	return &wlanConn{d: d}, nil
+}
+
+type wlanConn struct {
+	vkernel.BaseConn
+	d *WLANDriver
+}
+
+func (c *wlanConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req {
+	case WlanScan:
+		ctx.Cover("wlan", 10)
+		if d.assoc {
+			ctx.Cover("wlan", 11) // background scan while associated
+		}
+		d.scanned = true
+		ctx.Cover("wlan", 12+bucket(d.channel, 14))
+		return 3, nil, nil // pretend 3 BSSes found
+
+	case WlanAssoc:
+		ctx.Cover("wlan", 30)
+		if !d.scanned {
+			ctx.Cover("wlan", 31)
+			return 0, nil, vkernel.EAGAIN
+		}
+		if d.assoc {
+			ctx.Cover("wlan", 32)
+			return 0, nil, vkernel.EBUSY
+		}
+		bssid := ArgU64(arg, 0)
+		if bssid == 0 {
+			ctx.Cover("wlan", 33)
+			return 0, nil, vkernel.EINVAL
+		}
+		// Bug №10: rate_control_rate_init re-runs on the reassociation
+		// path; a mask sharing no basic rates (low nibble empty) leaves
+		// it without any usable rate there and WARNs. First-time
+		// associations take the validated path, so the trigger needs a
+		// full assoc→disassoc→assoc cycle with the basic rates masked
+		// out in between.
+		if d.bugs.Has(bugs.RateInit) && d.rateMask&0xf == 0 && d.wasAssoc {
+			ctx.Cover("wlan", 34)
+			ctx.Warn("rate_control_rate_init",
+				"reassociation with no basic rates in configured mask")
+			return 0, nil, vkernel.EIO
+		}
+		if d.rateMask&0xf == 0 {
+			ctx.Cover("wlan", 35)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.assoc = true
+		d.bssid = bssid
+		ctx.Logf("wlan0", "associated with bssid=%#x rates=%#x", bssid, d.rateMask)
+		if d.wasAssoc {
+			ctx.Cover("wlan", 55) // reassociation fast path
+		}
+		ctx.Cover("wlan", 36+bucket(bssid, 16))
+		return 0, nil, nil
+
+	case WlanDisassoc:
+		ctx.Cover("wlan", 60)
+		if !d.assoc {
+			ctx.Cover("wlan", 61)
+			return 0, nil, vkernel.ENOENT
+		}
+		d.assoc = false
+		d.wasAssoc = true
+		ctx.Cover("wlan", 62)
+		return 0, nil, nil
+
+	case WlanSetRate:
+		ctx.Cover("wlan", 70)
+		mask := ArgU64(arg, 0)
+		if mask > 0xffff {
+			ctx.Cover("wlan", 71)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.rateMask = mask
+		ctx.Cover("wlan", 72+bucket(mask, 16))
+		if d.assoc {
+			ctx.Cover("wlan", 90) // live rate reconfiguration
+		}
+		return 0, nil, nil
+
+	case WlanGetLink:
+		ctx.Cover("wlan", 100)
+		out := PutU64(nil, boolU64(d.assoc))
+		out = PutU64(out, d.bssid)
+		out = PutU64(out, d.rateMask)
+		return 0, out, nil
+
+	case WlanSetPower:
+		ctx.Cover("wlan", 110)
+		p := ArgU64(arg, 0)
+		if p > 30 {
+			ctx.Cover("wlan", 111)
+			return 0, nil, vkernel.EINVAL
+		}
+		d.power = p
+		ctx.Cover("wlan", 112+bucket(p, 10))
+		return 0, nil, nil
+
+	case WlanSetChan:
+		ctx.Cover("wlan", 120)
+		ch := ArgU64(arg, 0)
+		if ch == 0 || ch > 14 {
+			ctx.Cover("wlan", 121)
+			return 0, nil, vkernel.EINVAL
+		}
+		if d.assoc {
+			ctx.Cover("wlan", 122)
+			return 0, nil, vkernel.EBUSY
+		}
+		d.channel = ch
+		ctx.Cover("wlan", 123+uint32(ch))
+		if d.wasAssoc {
+			// Channel moves after a completed association prime the
+			// roaming scan tables.
+			ctx.Cover("wlan", 450+uint32(ch))
+		}
+		return 0, nil, nil
+
+	default:
+		if ret, out, err, ok := ChaffIoctl(ctx, "wlan", req); ok {
+			return ret, out, err
+		}
+		ctx.Cover("wlan", 3)
+		return 0, nil, vkernel.ENOTTY
+	}
+}
+
+// Write transmits a frame while associated.
+func (c *wlanConn) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("wlan", 130)
+	if !d.assoc {
+		ctx.Cover("wlan", 131)
+		return 0, vkernel.ENOTTY
+	}
+	if len(p) < 14 || len(p) > 2304 {
+		ctx.Cover("wlan", 132)
+		return 0, vkernel.EINVAL
+	}
+	d.txFrames++
+	ctx.Cover("wlan", 300+logBucket(d.txFrames, 12)) // aggregation ramp-up paths
+	ctx.Cover("wlan", 133+bucket(uint64(len(p))/128, 18))
+	// Rate-controlled transmit paths per configured rate tier.
+	ctx.Cover("wlan", 400+bucket(d.rateMask, 16))
+	if d.power > 0 {
+		ctx.Cover("wlan", 420+bucket(d.power, 10)+bucket(uint64(len(p))/256, 4)*10)
+	}
+	return len(p), nil
+}
+
+// Read receives a frame while associated.
+func (c *wlanConn) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx.Cover("wlan", 150)
+	if !d.assoc {
+		return nil, vkernel.EAGAIN
+	}
+	ctx.Cover("wlan", 151)
+	if n > 2304 {
+		n = 2304
+	}
+	return make([]byte, n), nil
+}
+
+func (c *wlanConn) Close(ctx *vkernel.Ctx) error {
+	ctx.Cover("wlan", 2)
+	return nil
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package dsl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDescFileRoundTrip(t *testing.T) {
+	target := testTarget(t)
+	descs := target.Calls()
+	// Enrich one int arg with hints to cover the hint syntax.
+	descs[1].Args[3].Type.Hints = []uint64{13, 90}
+
+	text := FormatDescs(descs)
+	parsed, err := ParseDescs(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if len(parsed) != len(descs) {
+		t.Fatalf("parsed %d, want %d", len(parsed), len(descs))
+	}
+	byName := make(map[string]*CallDesc)
+	for _, d := range parsed {
+		byName[d.Name] = d
+	}
+	for _, want := range descs {
+		got := byName[want.Name]
+		if got == nil {
+			t.Fatalf("missing %s", want.Name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch for %s:\n got %+v\nwant %+v", want.Name, got, want)
+		}
+	}
+	// Reformatting the parsed set is stable.
+	if FormatDescs(parsed) != text {
+		t.Fatal("format not canonical")
+	}
+}
+
+func TestDescFileCommentsAndBlanks(t *testing.T) {
+	text := "# comment\n\nsyscall open$x = open(path filename[\"/dev/x\"]) -> fd_x weight=0.30\n"
+	descs, err := ParseDescs(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 1 || descs[0].Ret != "fd_x" || descs[0].Weight != 0.30 {
+		t.Fatalf("descs = %+v", descs[0])
+	}
+	if descs[0].CriticalArg != -1 {
+		t.Fatal("default critical arg wrong")
+	}
+}
+
+func TestDescFileHALLine(t *testing.T) {
+	text := `hal hal$usb.setPortRole = android.hardware.usb::setPortRole[3](role flags[0x0,0x1]) weight=0.55` + "\n"
+	descs, err := ParseDescs(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := descs[0]
+	if d.Class != ClassHAL || d.Service != "android.hardware.usb" ||
+		d.Method != "setPortRole" || d.MethodCode != 3 {
+		t.Fatalf("desc = %+v", d)
+	}
+}
+
+func TestDescFileErrors(t *testing.T) {
+	cases := []string{
+		"bogus foo = bar()",
+		"syscall x",                                // no '='
+		"syscall x = open",                         // no parens
+		"syscall x = open(a wat[1])",               // unknown kind
+		"syscall x = open(a int[5])",               // int without range
+		"hal h = svc.method(a int[0:1])",           // missing '::'
+		"hal h = svc::method(a int[0:1])",          // missing [code]
+		"syscall x = open(a resource[])",           // empty resource kind
+		"syscall x = open(a len[data])",            // len without buffer
+		`syscall x = open(a string[unquoted])`,     // bad quoting
+		"syscall x = open(a int[0:1]) crit=9",      // crit out of range
+		"syscall x = open(a int[0:1]) weight=nope", // bad weight
+	}
+	for _, c := range cases {
+		if _, err := ParseDescs(c + "\n"); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestDescFileQuotedCommaInString(t *testing.T) {
+	text := `syscall x = open(a string["x,y","z"]) weight=0.50` + "\n"
+	descs, err := ParseDescs(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := descs[0].Args[0].Type.StrChoices
+	if len(got) != 2 || got[0] != "x,y" {
+		t.Fatalf("choices = %v", got)
+	}
+}
+
+func TestFormatDescsSorted(t *testing.T) {
+	target := testTarget(t)
+	text := FormatDescs(target.Calls())
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for i := 1; i < len(lines); i++ {
+		// Extract names (second field).
+		a := strings.Fields(lines[i-1])[1]
+		b := strings.Fields(lines[i])[1]
+		if a >= b {
+			t.Fatalf("not sorted: %q >= %q", a, b)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package dsl
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The program text form, one call per line:
+//
+//	r0 = open$tcpc(path="/dev/tcpc0")
+//	ioctl$TCPC_SET_MODE(fd=r0, mode=0x3)
+//	hal$graphics.createLayer(display=0x1, w=0x80, h=0x80)
+//
+// Scalars are hex; buffers are b"<hex>"; strings and filenames are quoted;
+// resource arguments are rN (N = producing call index) or nil. A call whose
+// description produces a resource is prefixed with "rI = " where I is its
+// own call index, so labels are stable across serialize/parse round trips.
+
+// String serializes the program to its canonical text form.
+func (p *Prog) String() string {
+	var b strings.Builder
+	for i, c := range p.Calls {
+		if c.Desc.Ret != "" {
+			fmt.Fprintf(&b, "r%d = ", i)
+		}
+		b.WriteString(c.Desc.Name)
+		b.WriteByte('(')
+		for j, f := range c.Desc.Args {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(f.Name)
+			b.WriteByte('=')
+			writeArg(&b, f.Type, c.Args[j])
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+func writeArg(b *strings.Builder, t Type, a Arg) {
+	switch t.Kind {
+	case KindBuffer:
+		b.WriteString(`b"`)
+		b.WriteString(hex.EncodeToString(a.Data))
+		b.WriteByte('"')
+	case KindString, KindFilename:
+		b.WriteString(strconv.Quote(a.Str))
+	case KindResource:
+		if a.Ref < 0 {
+			b.WriteString("nil")
+		} else {
+			fmt.Fprintf(b, "r%d", a.Ref)
+		}
+	default:
+		fmt.Fprintf(b, "%#x", a.Val)
+	}
+}
+
+// ParseProg parses the canonical text form against the target. Unknown call
+// names, malformed arguments, and invalid resource references are errors.
+func ParseProg(target *Target, text string) (*Prog, error) {
+	p := &Prog{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := parseCall(target, line, len(p.Calls))
+		if err != nil {
+			return nil, fmt.Errorf("dsl: line %d: %w", lineNo, err)
+		}
+		p.Calls = append(p.Calls, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dsl: scan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseCall(target *Target, line string, idx int) (*Call, error) {
+	// Optional "rI = " prefix.
+	if eq := strings.Index(line, "="); eq > 0 {
+		head := strings.TrimSpace(line[:eq])
+		if strings.HasPrefix(head, "r") && !strings.Contains(head, "(") {
+			label, err := strconv.Atoi(head[1:])
+			if err != nil {
+				return nil, fmt.Errorf("bad result label %q", head)
+			}
+			if label != idx {
+				return nil, fmt.Errorf("result label r%d does not match call index %d", label, idx)
+			}
+			line = strings.TrimSpace(line[eq+1:])
+		}
+	}
+	open := strings.Index(line, "(")
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("malformed call %q", line)
+	}
+	name := strings.TrimSpace(line[:open])
+	desc := target.Lookup(name)
+	if desc == nil {
+		return nil, fmt.Errorf("unknown call %q", name)
+	}
+	argText := line[open+1 : len(line)-1]
+	parts, err := splitArgs(argText)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(parts) != len(desc.Args) {
+		return nil, fmt.Errorf("%s: got %d args, want %d", name, len(parts), len(desc.Args))
+	}
+	c := &Call{Desc: desc, Args: make([]Arg, len(parts))}
+	for i, part := range parts {
+		f := desc.Args[i]
+		eq := strings.Index(part, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("%s: arg %d missing name", name, i)
+		}
+		argName := strings.TrimSpace(part[:eq])
+		if argName != f.Name {
+			return nil, fmt.Errorf("%s: arg %d named %q, want %q", name, i, argName, f.Name)
+		}
+		a, err := parseArg(f.Type, strings.TrimSpace(part[eq+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("%s: arg %q: %w", name, f.Name, err)
+		}
+		c.Args[i] = a
+	}
+	return c, nil
+}
+
+// splitArgs splits on top-level commas, honoring double-quoted segments.
+func splitArgs(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var parts []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			// A quote is escaped only if preceded by a backslash.
+			if i == 0 || s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ',':
+			if !inQuote {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts, nil
+}
+
+func parseArg(t Type, s string) (Arg, error) {
+	switch t.Kind {
+	case KindBuffer:
+		if !strings.HasPrefix(s, `b"`) || !strings.HasSuffix(s, `"`) {
+			return Arg{}, fmt.Errorf("buffer arg %q not of form b\"<hex>\"", s)
+		}
+		data, err := hex.DecodeString(s[2 : len(s)-1])
+		if err != nil {
+			return Arg{}, fmt.Errorf("buffer hex: %w", err)
+		}
+		return Arg{Data: data}, nil
+	case KindString, KindFilename:
+		str, err := strconv.Unquote(s)
+		if err != nil {
+			return Arg{}, fmt.Errorf("string arg %q: %w", s, err)
+		}
+		return Arg{Str: str}, nil
+	case KindResource:
+		if s == "nil" {
+			return Arg{Ref: -1}, nil
+		}
+		if !strings.HasPrefix(s, "r") {
+			return Arg{}, fmt.Errorf("resource arg %q not rN or nil", s)
+		}
+		ref, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return Arg{}, fmt.Errorf("resource ref %q: %w", s, err)
+		}
+		return Arg{Ref: ref}, nil
+	default:
+		v, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			return Arg{}, fmt.Errorf("scalar %q: %w", s, err)
+		}
+		return Arg{Val: v}, nil
+	}
+}

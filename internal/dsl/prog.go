@@ -1,0 +1,283 @@
+package dsl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arg is one instantiated argument. Exactly one of the value fields is
+// meaningful, selected by the corresponding field's Kind:
+//
+//	Const/Int/Flags/Len -> Val
+//	Buffer              -> Data
+//	String/Filename     -> Str
+//	Resource            -> Ref (producing call index, or -1 for an invalid
+//	                       handle, which executors pass through as a bogus
+//	                       value to also exercise error paths)
+type Arg struct {
+	Val  uint64
+	Data []byte
+	Str  string
+	Ref  int
+}
+
+// Clone deep-copies the argument.
+func (a Arg) Clone() Arg {
+	c := a
+	if a.Data != nil {
+		c.Data = append([]byte(nil), a.Data...)
+	}
+	return c
+}
+
+// Call is one instantiated invocation in a program.
+type Call struct {
+	Desc *CallDesc
+	Args []Arg
+}
+
+// Clone deep-copies the call (the description is shared).
+func (c *Call) Clone() *Call {
+	n := &Call{Desc: c.Desc, Args: make([]Arg, len(c.Args))}
+	for i, a := range c.Args {
+		n.Args[i] = a.Clone()
+	}
+	return n
+}
+
+// CriticalVal returns the value of the call's critical argument and true,
+// or 0 and false if the call has none. Used to build the specialized
+// syscall-ID lookup table (paper §IV-D).
+func (c *Call) CriticalVal() (uint64, bool) {
+	if c.Desc.CriticalArg < 0 || c.Desc.CriticalArg >= len(c.Args) {
+		return 0, false
+	}
+	return c.Args[c.Desc.CriticalArg].Val, true
+}
+
+// Prog is a test case: an ordered sequence of calls with resource flow.
+type Prog struct {
+	Calls []*Call
+}
+
+// Clone deep-copies the program.
+func (p *Prog) Clone() *Prog {
+	n := &Prog{Calls: make([]*Call, len(p.Calls))}
+	for i, c := range p.Calls {
+		n.Calls[i] = c.Clone()
+	}
+	return n
+}
+
+// Len returns the number of calls.
+func (p *Prog) Len() int { return len(p.Calls) }
+
+// Validate checks that every call's arguments match its description and that
+// every resource reference points to an earlier call producing the right
+// resource kind (or is -1, an intentionally invalid handle).
+func (p *Prog) Validate() error {
+	for i, c := range p.Calls {
+		if c.Desc == nil {
+			return fmt.Errorf("dsl: call %d has nil description", i)
+		}
+		if len(c.Args) != len(c.Desc.Args) {
+			return fmt.Errorf("dsl: call %d (%s) has %d args, want %d",
+				i, c.Desc.Name, len(c.Args), len(c.Desc.Args))
+		}
+		for j, f := range c.Desc.Args {
+			a := c.Args[j]
+			switch f.Type.Kind {
+			case KindResource:
+				if a.Ref == -1 {
+					continue
+				}
+				if a.Ref < 0 || a.Ref >= i {
+					return fmt.Errorf("dsl: call %d (%s) arg %q refs call %d (out of range)",
+						i, c.Desc.Name, f.Name, a.Ref)
+				}
+				prod := p.Calls[a.Ref]
+				if prod.Desc.Ret != f.Type.Res {
+					return fmt.Errorf("dsl: call %d (%s) arg %q wants resource %q, call %d produces %q",
+						i, c.Desc.Name, f.Name, f.Type.Res, a.Ref, prod.Desc.Ret)
+				}
+			case KindBuffer:
+				if len(a.Data) > f.Type.BufLen && f.Type.BufLen > 0 {
+					return fmt.Errorf("dsl: call %d (%s) arg %q buffer len %d exceeds %d",
+						i, c.Desc.Name, f.Name, len(a.Data), f.Type.BufLen)
+				}
+			case KindConst:
+				if a.Val != f.Type.Val {
+					return fmt.Errorf("dsl: call %d (%s) arg %q const %#x, want %#x",
+						i, c.Desc.Name, f.Name, a.Val, f.Type.Val)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveCall returns a copy of the program with call idx removed. Resource
+// references to the removed call become invalid (-1); references to later
+// calls are renumbered. Used by minimization.
+func (p *Prog) RemoveCall(idx int) *Prog {
+	n := &Prog{Calls: make([]*Call, 0, len(p.Calls)-1)}
+	for i, c := range p.Calls {
+		if i == idx {
+			continue
+		}
+		nc := c.Clone()
+		for j := range nc.Args {
+			if nc.Desc.Args[j].Type.Kind != KindResource {
+				continue
+			}
+			switch {
+			case nc.Args[j].Ref == idx:
+				nc.Args[j].Ref = -1
+			case nc.Args[j].Ref > idx:
+				nc.Args[j].Ref--
+			}
+		}
+		n.Calls = append(n.Calls, nc)
+	}
+	return n
+}
+
+// InsertCall returns a copy of the program with call c inserted at idx
+// (0 <= idx <= len). Resource references at or beyond idx are renumbered.
+// References held by c itself must already be valid for the new layout.
+func (p *Prog) InsertCall(idx int, c *Call) *Prog {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > len(p.Calls) {
+		idx = len(p.Calls)
+	}
+	n := &Prog{Calls: make([]*Call, 0, len(p.Calls)+1)}
+	for i, old := range p.Calls {
+		if i == idx {
+			n.Calls = append(n.Calls, c)
+		}
+		nc := old.Clone()
+		for j := range nc.Args {
+			if nc.Desc.Args[j].Type.Kind == KindResource && nc.Args[j].Ref >= idx {
+				nc.Args[j].Ref++
+			}
+		}
+		n.Calls = append(n.Calls, nc)
+	}
+	if idx == len(p.Calls) {
+		n.Calls = append(n.Calls, c)
+	}
+	return n
+}
+
+// DefaultArg produces a deterministic minimal argument for the field type:
+// the range minimum, first flag choice, empty buffer, first string choice,
+// or an invalid resource reference.
+func DefaultArg(t Type) Arg {
+	switch t.Kind {
+	case KindConst:
+		return Arg{Val: t.Val}
+	case KindInt:
+		return Arg{Val: t.Min}
+	case KindFlags:
+		if len(t.Choices) > 0 {
+			return Arg{Val: t.Choices[0]}
+		}
+		return Arg{}
+	case KindBuffer:
+		return Arg{Data: []byte{}}
+	case KindString, KindFilename:
+		if len(t.StrChoices) > 0 {
+			return Arg{Str: t.StrChoices[0]}
+		}
+		return Arg{Str: ""}
+	case KindResource:
+		return Arg{Ref: -1}
+	case KindLen:
+		return Arg{}
+	default:
+		return Arg{}
+	}
+}
+
+// RandomArg draws a random argument for the field type from rng. Length
+// fields are fixed up afterwards by FixupLens.
+func RandomArg(t Type, rng *rand.Rand) Arg {
+	switch t.Kind {
+	case KindConst:
+		return Arg{Val: t.Val}
+	case KindInt:
+		if len(t.Hints) > 0 && rng.Intn(2) == 0 {
+			// Replay an observed value — exactly half the time, else
+			// perturbed by ±1 so nearby semantic variants (e.g. the
+			// other rotation parity) are explored too.
+			v := t.Hints[rng.Intn(len(t.Hints))]
+			if rng.Intn(2) == 0 {
+				v += uint64(rng.Intn(3))
+				if v >= 1 {
+					v--
+				}
+			}
+			if v >= t.Min && v <= t.Max {
+				return Arg{Val: v}
+			}
+		}
+		if t.Max <= t.Min {
+			return Arg{Val: t.Min}
+		}
+		span := t.Max - t.Min + 1
+		return Arg{Val: t.Min + uint64(rng.Int63n(int64(span)))}
+	case KindFlags:
+		if len(t.Choices) == 0 {
+			return Arg{Val: uint64(rng.Uint32())}
+		}
+		return Arg{Val: t.Choices[rng.Intn(len(t.Choices))]}
+	case KindBuffer:
+		max := t.BufLen
+		if max <= 0 {
+			max = 64
+		}
+		n := rng.Intn(max + 1)
+		b := make([]byte, n)
+		rng.Read(b)
+		return Arg{Data: b}
+	case KindString:
+		if len(t.StrChoices) > 0 && rng.Intn(4) != 0 {
+			return Arg{Str: t.StrChoices[rng.Intn(len(t.StrChoices))]}
+		}
+		n := rng.Intn(12) + 1
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return Arg{Str: string(b)}
+	case KindFilename:
+		if len(t.StrChoices) == 0 {
+			return Arg{Str: "/dev/null"}
+		}
+		return Arg{Str: t.StrChoices[rng.Intn(len(t.StrChoices))]}
+	case KindResource:
+		return Arg{Ref: -1}
+	case KindLen:
+		return Arg{}
+	default:
+		return Arg{}
+	}
+}
+
+// FixupLens recomputes every KindLen argument of the call from the current
+// length of its target buffer field.
+func FixupLens(c *Call) {
+	for i, f := range c.Desc.Args {
+		if f.Type.Kind != KindLen {
+			continue
+		}
+		for j, g := range c.Desc.Args {
+			if g.Name == f.Type.LenOf {
+				c.Args[i].Val = uint64(len(c.Args[j].Data))
+				break
+			}
+		}
+	}
+}

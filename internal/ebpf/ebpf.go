@@ -1,0 +1,162 @@
+// Package ebpf models the eBPF syscall tracepoints DroidFuzz inserts into
+// the kernel (paper §IV-B and §IV-D). A Hub is installed as the kernel's
+// single tracer; probes attach to the hub with a filter program and collect
+// matching syscall events into per-probe ring buffers, exactly the role the
+// paper's probe utility and HAL executor play: observing Binder/HAL-origin
+// syscalls, their numbers, critical position arguments, and order.
+package ebpf
+
+import (
+	"sync"
+
+	"droidfuzz/internal/vkernel"
+)
+
+// Filter decides whether a probe keeps an event. A nil filter keeps all.
+type Filter func(vkernel.Event) bool
+
+// OriginFilter keeps only events from the given boundary origin.
+func OriginFilter(o vkernel.Origin) Filter {
+	return func(ev vkernel.Event) bool { return ev.Origin == o }
+}
+
+// PIDFilter keeps only events from the given process.
+func PIDFilter(pid int) Filter {
+	return func(ev vkernel.Event) bool { return ev.PID == pid }
+}
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	return func(ev vkernel.Event) bool {
+		for _, f := range fs {
+			if f != nil && !f(ev) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Probe is one attached tracepoint program with its event buffer.
+type Probe struct {
+	hub    *Hub
+	filter Filter
+	mu     sync.Mutex
+	events []vkernel.Event
+	max    int
+	drops  uint64
+}
+
+// DefaultProbeCap bounds a probe's buffered events, like a BPF ring buffer.
+const DefaultProbeCap = 1 << 16
+
+// Events returns a copy of the buffered events in arrival order.
+func (p *Probe) Events() []vkernel.Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]vkernel.Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Take returns and clears the buffered events.
+func (p *Probe) Take() []vkernel.Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.events
+	p.events = nil
+	return out
+}
+
+// Reset clears the buffer without detaching.
+func (p *Probe) Reset() {
+	p.mu.Lock()
+	p.events = nil
+	p.drops = 0
+	p.mu.Unlock()
+}
+
+// Dropped reports ring-buffer overflow drops.
+func (p *Probe) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drops
+}
+
+// Detach removes the probe from its hub; further events are not collected.
+func (p *Probe) Detach() {
+	if p.hub != nil {
+		p.hub.detach(p)
+		p.hub = nil
+	}
+}
+
+func (p *Probe) deliver(ev vkernel.Event) {
+	if p.filter != nil && !p.filter(ev) {
+		return
+	}
+	p.mu.Lock()
+	if len(p.events) < p.max {
+		p.events = append(p.events, ev)
+	} else {
+		p.drops++
+	}
+	p.mu.Unlock()
+}
+
+// Hub fans kernel syscall events out to attached probes. Install it on a
+// kernel with Install; probes may attach and detach at runtime, as the
+// paper's probing pass does around each Poke trial.
+type Hub struct {
+	mu     sync.Mutex
+	probes []*Probe
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{} }
+
+// Install registers the hub as the kernel's tracer.
+func (h *Hub) Install(k *vkernel.Kernel) {
+	k.SetTracer(h.emit)
+}
+
+func (h *Hub) emit(ev vkernel.Event) {
+	h.mu.Lock()
+	probes := make([]*Probe, len(h.probes))
+	copy(probes, h.probes)
+	h.mu.Unlock()
+	for _, p := range probes {
+		p.deliver(ev)
+	}
+}
+
+// Attach creates a probe with the given filter (nil keeps everything) and a
+// buffer of cap events (DefaultProbeCap if cap <= 0).
+func (h *Hub) Attach(filter Filter, capacity int) *Probe {
+	if capacity <= 0 {
+		capacity = DefaultProbeCap
+	}
+	p := &Probe{hub: h, filter: filter, max: capacity}
+	h.mu.Lock()
+	h.probes = append(h.probes, p)
+	h.mu.Unlock()
+	return p
+}
+
+func (h *Hub) detach(p *Probe) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, q := range h.probes {
+		if q == p {
+			h.probes = append(h.probes[:i], h.probes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Attached reports the number of live probes.
+func (h *Hub) Attached() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.probes)
+}

@@ -1,0 +1,101 @@
+package ebpf
+
+import (
+	"testing"
+
+	"droidfuzz/internal/vkernel"
+)
+
+func ev(pid int, origin vkernel.Origin, nr string) vkernel.Event {
+	return vkernel.Event{PID: pid, Origin: origin, NR: nr}
+}
+
+func TestHubFanOut(t *testing.T) {
+	h := NewHub()
+	all := h.Attach(nil, 0)
+	halOnly := h.Attach(OriginFilter(vkernel.OriginHAL), 0)
+	pid7 := h.Attach(PIDFilter(7), 0)
+
+	h.emit(ev(1, vkernel.OriginNative, "open"))
+	h.emit(ev(7, vkernel.OriginHAL, "ioctl"))
+	h.emit(ev(7, vkernel.OriginNative, "close"))
+
+	if len(all.Events()) != 3 {
+		t.Fatalf("all = %d", len(all.Events()))
+	}
+	if got := halOnly.Events(); len(got) != 1 || got[0].NR != "ioctl" {
+		t.Fatalf("halOnly = %v", got)
+	}
+	if len(pid7.Events()) != 2 {
+		t.Fatalf("pid7 = %d", len(pid7.Events()))
+	}
+}
+
+func TestAndFilter(t *testing.T) {
+	h := NewHub()
+	p := h.Attach(And(OriginFilter(vkernel.OriginHAL), PIDFilter(7)), 0)
+	h.emit(ev(7, vkernel.OriginHAL, "a"))
+	h.emit(ev(7, vkernel.OriginNative, "b"))
+	h.emit(ev(8, vkernel.OriginHAL, "c"))
+	if got := p.Events(); len(got) != 1 || got[0].NR != "a" {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	h := NewHub()
+	p := h.Attach(nil, 0)
+	h.emit(ev(1, vkernel.OriginNative, "a"))
+	p.Detach()
+	h.emit(ev(1, vkernel.OriginNative, "b"))
+	if len(p.Events()) != 1 {
+		t.Fatalf("events = %d, want 1", len(p.Events()))
+	}
+	if h.Attached() != 0 {
+		t.Fatal("probe still attached")
+	}
+}
+
+func TestTakeAndReset(t *testing.T) {
+	h := NewHub()
+	p := h.Attach(nil, 0)
+	h.emit(ev(1, vkernel.OriginNative, "a"))
+	if got := p.Take(); len(got) != 1 {
+		t.Fatalf("take = %d", len(got))
+	}
+	if len(p.Events()) != 0 {
+		t.Fatal("take did not clear")
+	}
+	h.emit(ev(1, vkernel.OriginNative, "b"))
+	p.Reset()
+	if len(p.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRingOverflowDrops(t *testing.T) {
+	h := NewHub()
+	p := h.Attach(nil, 2)
+	for i := 0; i < 5; i++ {
+		h.emit(ev(i, vkernel.OriginNative, "x"))
+	}
+	if len(p.Events()) != 2 {
+		t.Fatalf("buffered = %d, want 2", len(p.Events()))
+	}
+	if p.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", p.Dropped())
+	}
+}
+
+func TestInstallOnKernel(t *testing.T) {
+	k := vkernel.New()
+	h := NewHub()
+	h.Install(k)
+	p := h.Attach(nil, 0)
+	// An ENOENT open still produces a trace event.
+	k.Open(1, vkernel.OriginNative, "/dev/none", 0)
+	got := p.Events()
+	if len(got) != 1 || got[0].Errno != "ENOENT" {
+		t.Fatalf("events = %v", got)
+	}
+}

@@ -1,0 +1,392 @@
+// Package engine implements the host-side Fuzzing Engine (paper §IV-A):
+// one per device, it produces test cases (relational generation plus
+// corpus mutation), ships them to the device's execution broker, interprets
+// the cross-boundary feedback, minimizes and admits interesting programs,
+// learns relations, and triages crashes.
+package engine
+
+import (
+	"math/rand"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/corpus"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/feedback"
+	"droidfuzz/internal/gen"
+	"droidfuzz/internal/relation"
+)
+
+// Config tunes one engine.
+type Config struct {
+	// Seed seeds the engine's RNG; campaigns are reproducible.
+	Seed int64
+	// GenerateRatio is the probability of fresh generation vs corpus
+	// mutation (default 0.4; mutation dominates once a corpus exists).
+	GenerateRatio float64
+	// NoRelations is the DF-NoRel ablation: random dependency generation
+	// and no relation learning.
+	NoRelations bool
+	// NoHALCov is the DF-NoHCov ablation: directional HAL coverage is
+	// dropped from the feedback signal.
+	NoHALCov bool
+	// DecayEvery is the period (in executions) of relation-weight decay
+	// (default 400; 0 disables).
+	DecayEvery uint64
+	// DecayFactor multiplies edge weights at each decay (default 0.9).
+	DecayFactor float64
+	// SnapshotEvery is the coverage-history sampling period in executions
+	// (default 25).
+	SnapshotEvery uint64
+	// MinimizeNew enables reproducing-signal minimization before corpus
+	// admission and relation learning (default on; set SkipMinimize to
+	// disable).
+	SkipMinimize bool
+	// MaxMinimizeExecs bounds the extra executions spent per
+	// minimization (default 12).
+	MaxMinimizeExecs int
+	// DirAdmitProb is the probability of admitting a program whose only
+	// novelty is directional (HAL-order) signal (default 0.25). Every
+	// fresh interleaving hashes to new directional elements, so admitting
+	// them all floods the corpus and starves kernel-productive seeds;
+	// subsampling keeps the ordering guidance at a bounded dilution cost.
+	DirAdmitProb float64
+	// Gen forwards generation options.
+	Gen gen.Options
+}
+
+func (c *Config) defaults() {
+	if c.GenerateRatio <= 0 {
+		c.GenerateRatio = 0.4
+	}
+	if c.DecayEvery == 0 {
+		c.DecayEvery = 400
+	}
+	if c.DecayFactor <= 0 || c.DecayFactor >= 1 {
+		c.DecayFactor = 0.9
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 25
+	}
+	if c.MaxMinimizeExecs == 0 {
+		c.MaxMinimizeExecs = 12
+	}
+	if c.DirAdmitProb <= 0 {
+		c.DirAdmitProb = 0.25
+	}
+	c.Gen.NoRelations = c.NoRelations
+}
+
+// Stats are engine counters.
+type Stats struct {
+	Execs       uint64
+	Generated   uint64
+	Mutated     uint64
+	NewSignal   uint64
+	CorpusSize  int
+	Crashes     int
+	UniqueBugs  int
+	Reboots     int
+	KernelCov   int
+	TotalSignal int
+}
+
+// Engine drives fuzzing for one device.
+type Engine struct {
+	broker *adb.Broker
+	gen    *gen.Generator
+	graph  *relation.Graph
+	corpus *corpus.Corpus
+	acc    *feedback.Accumulator
+	spec   *feedback.SpecTable
+	dedup  *crash.Dedup
+	rng    *rand.Rand
+	cfg    Config
+
+	execs     uint64
+	generated uint64
+	mutated   uint64
+	newSig    uint64
+	crashes   int
+}
+
+// New builds an engine over a broker whose target already includes probed
+// HAL interfaces. The relation graph and dedup collector may be shared with
+// other engines (the daemon owns them).
+func New(broker *adb.Broker, graph *relation.Graph, dedup *crash.Dedup, cfg Config) *Engine {
+	cfg.defaults()
+	target := broker.Target()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var spec *feedback.SpecTable
+	if !cfg.NoHALCov {
+		spec = feedback.NewSpecTable(target)
+	}
+	// Seed the relation graph's vertices from the target's descriptions.
+	for _, d := range target.Calls() {
+		graph.AddVertex(d.Name, d.Weight)
+	}
+	return &Engine{
+		broker: broker,
+		gen:    gen.New(target, graph, rng, cfg.Gen),
+		graph:  graph,
+		corpus: corpus.New(),
+		acc:    feedback.NewAccumulator(),
+		spec:   spec,
+		dedup:  dedup,
+		rng:    rng,
+		cfg:    cfg,
+	}
+}
+
+// Corpus exposes the engine's corpus (persistence, tests).
+func (e *Engine) Corpus() *corpus.Corpus { return e.corpus }
+
+// Accumulator exposes the coverage accumulator.
+func (e *Engine) Accumulator() *feedback.Accumulator { return e.acc }
+
+// Dedup exposes the crash collector.
+func (e *Engine) Dedup() *crash.Dedup { return e.dedup }
+
+// Graph exposes the relation graph.
+func (e *Engine) Graph() *relation.Graph { return e.graph }
+
+// Gen exposes the generator (diagnostics, distribution analysis).
+func (e *Engine) Gen() *gen.Generator { return e.gen }
+
+// Rng exposes the engine's RNG (diagnostics; using it perturbs the run).
+func (e *Engine) Rng() *rand.Rand { return e.rng }
+
+// Execs reports executions so far (the virtual-time clock).
+func (e *Engine) Execs() uint64 { return e.execs }
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Execs:       e.execs,
+		Generated:   e.generated,
+		Mutated:     e.mutated,
+		NewSignal:   e.newSig,
+		CorpusSize:  e.corpus.Len(),
+		Crashes:     e.crashes,
+		UniqueBugs:  e.dedup.Len(),
+		Reboots:     e.broker.Device().Reboots(),
+		KernelCov:   e.acc.KernelTotal(),
+		TotalSignal: e.acc.Total(),
+	}
+}
+
+// exec runs one program, bumping virtual time and handling crash fallout.
+func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, feedback.Signal) {
+	res, err := e.broker.ExecProg(p)
+	e.execs++
+	if err != nil {
+		// A malformed program is an engine bug; surface loudly in tests
+		// by treating it as an empty result.
+		return &adb.ExecResult{}, feedback.Signal{}
+	}
+	if len(res.Crashes) > 0 {
+		e.crashes += len(res.Crashes)
+		var fresh []string
+		for _, cr := range res.Crashes {
+			if _, isNew := e.dedup.Add(e.broker.Device().Model.ID, cr, p, e.execs); isNew {
+				fresh = append(fresh, crash.NormalizeTitle(cr.Title))
+			}
+		}
+		// The paper's configuration reboots the target on any bug,
+		// including warnings and HAL errors (§V-A).
+		e.broker.Reboot()
+		// New unique findings are reproduced on a clean boot and their
+		// reproducers minimized ("all bugs triggered were initially
+		// minimized, deduplicated, and reproduced", §V-B).
+		for _, title := range fresh {
+			e.triageCrash(p, title)
+		}
+	}
+	return res, feedback.FromExec(res, e.spec)
+}
+
+// SeedCorpus executes the given programs and admits them to the corpus
+// unminimized, bootstrapping fuzzing with realistic workloads (the distilled
+// framework traces from the probing pass). Relations are learned from their
+// call orders.
+func (e *Engine) SeedCorpus(progs []*dsl.Prog) {
+	for _, p := range progs {
+		_, sig := e.exec(p)
+		newElems := e.acc.NewOf(sig)
+		e.acc.Merge(sig)
+		score := len(newElems)
+		if score == 0 {
+			score = 1
+		}
+		e.corpus.Add(p, score)
+		if !e.cfg.NoRelations {
+			e.learn(p)
+		}
+	}
+}
+
+// Step runs one fuzzing iteration.
+func (e *Engine) Step() {
+	var p *dsl.Prog
+	seed := e.corpus.Pick(e.rng)
+	if seed == nil || e.rng.Float64() < e.cfg.GenerateRatio {
+		p = e.gen.Generate()
+		e.generated++
+	} else {
+		donor := e.corpus.Pick(e.rng)
+		p, _ = e.gen.Mutate(seed, donor)
+		e.mutated++
+	}
+
+	_, sig := e.exec(p)
+	if newElems := e.acc.NewOf(sig); len(newElems) > 0 {
+		e.newSig++
+		admit := newElems.KernelLen() > 0 || e.rng.Float64() < e.cfg.DirAdmitProb
+		if admit {
+			admitted := p
+			if !e.cfg.SkipMinimize {
+				admitted = e.minimize(p, newElems)
+			}
+			e.acc.Merge(sig)
+			e.corpus.Add(admitted, seedScore(newElems))
+			if !e.cfg.NoRelations {
+				e.learn(admitted)
+			}
+		} else {
+			// Direction-only novelty below the subsample: record it as
+			// seen so it stops counting as new, without a corpus entry.
+			e.acc.Merge(sig)
+		}
+	}
+
+	if e.cfg.DecayEvery > 0 && e.execs%e.cfg.DecayEvery == 0 {
+		e.graph.Decay(e.cfg.DecayFactor, 0.01)
+	}
+	if e.execs%e.cfg.SnapshotEvery == 0 {
+		e.acc.Snapshot(e.execs)
+	}
+}
+
+// Run executes n fuzzing iterations.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+	e.acc.Snapshot(e.execs)
+}
+
+// minimize reduces the program to the essential calls that still reproduce
+// all newly found signal elements (paper §IV-C: "minimize the call to the
+// bare bones API and system calls"). Every check runs on a freshly
+// rebooted device: device state persists across programs within a boot, so
+// minimizing in place would keep state-dependent fragments that are
+// useless as standalone seeds and would teach the relation graph
+// accidental adjacencies.
+func (e *Engine) minimize(p *dsl.Prog, want feedback.Signal) *dsl.Prog {
+	// First check the program is self-contained at all.
+	e.broker.Reboot()
+	if !e.coversOnCurrentBoot(p, want) {
+		// The new signal depended on accumulated device state; keep the
+		// raw program (it is still a valid splice donor).
+		e.broker.Reboot()
+		return p
+	}
+	budget := e.cfg.MaxMinimizeExecs
+	cur := p
+	for i := cur.Len() - 1; i >= 0 && budget > 0; i-- {
+		if cur.Len() <= 1 {
+			break
+		}
+		cand := cur.RemoveCall(i)
+		e.broker.Reboot()
+		budget--
+		if e.coversOnCurrentBoot(cand, want) {
+			cur = cand
+		}
+	}
+	e.broker.Reboot()
+	return cur
+}
+
+// coversOnCurrentBoot executes p and reports whether its signal contains
+// every element of want; crashes make the check fail (and the caller
+// reboots before the next candidate anyway).
+func (e *Engine) coversOnCurrentBoot(p *dsl.Prog, want feedback.Signal) bool {
+	res, err := e.broker.ExecProg(p)
+	e.execs++
+	if err != nil || len(res.Crashes) > 0 || res.NeedsReboot() {
+		return false
+	}
+	return covers(feedback.FromExec(res, e.spec), want)
+}
+
+// seedScore prioritizes corpus entries: new kernel coverage is worth far
+// more than new directional (HAL-order) signal. Directional novelty is
+// plentiful — every fresh interleaving hashes differently — so scoring it
+// at parity would let order-novel programs drown out the seeds that still
+// advance kernel state.
+func seedScore(newElems feedback.Signal) int {
+	kernel := newElems.KernelLen()
+	return kernel*8 + (len(newElems) - kernel)
+}
+
+// covers reports whether sig contains every element of want.
+func covers(sig, want feedback.Signal) bool {
+	for e := range want {
+		if _, ok := sig[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// crashTriageBudget bounds the executions spent minimizing one reproducer.
+const crashTriageBudget = 32
+
+// triageCrash reproduces a new finding on a clean boot and minimizes its
+// reproducer, updating the shared record.
+func (e *Engine) triageCrash(p *dsl.Prog, title string) {
+	if !e.crashesWith(p, title) {
+		// State from earlier programs in the same boot was required; the
+		// raw program is kept but marked non-reproducing.
+		e.dedup.UpdateRepro(title, nil, false)
+		e.broker.Reboot()
+		return
+	}
+	e.broker.Reboot()
+	cur := p
+	budget := crashTriageBudget
+	for i := cur.Len() - 1; i >= 0 && budget > 0 && cur.Len() > 1; i-- {
+		cand := cur.RemoveCall(i)
+		budget--
+		if e.crashesWith(cand, title) {
+			cur = cand
+		}
+		e.broker.Reboot()
+	}
+	e.dedup.UpdateRepro(title, cur, true)
+}
+
+// crashesWith executes p and reports whether it raises the given
+// (normalized) crash title. The caller reboots afterwards.
+func (e *Engine) crashesWith(p *dsl.Prog, title string) bool {
+	res, err := e.broker.ExecProg(p)
+	e.execs++
+	if err != nil {
+		return false
+	}
+	for _, cr := range res.Crashes {
+		if crash.NormalizeTitle(cr.Title) == title {
+			return true
+		}
+	}
+	return false
+}
+
+// learn records the adjacent-pair dependencies of a minimized program into
+// the relation graph (paper Eq. (1)).
+func (e *Engine) learn(p *dsl.Prog) {
+	for i := 1; i < p.Len(); i++ {
+		e.graph.Learn(p.Calls[i-1].Desc.Name, p.Calls[i].Desc.Name)
+	}
+}

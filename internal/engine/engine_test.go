@@ -1,0 +1,153 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/probe"
+	"droidfuzz/internal/relation"
+)
+
+// newEngine boots a device model, probes its HALs, and wires a fresh engine.
+func newEngine(t testing.TB, modelID string, cfg engine.Config) *engine.Engine {
+	t.Helper()
+	model, err := device.ModelByID(modelID)
+	if err != nil {
+		t.Fatalf("model %s: %v", modelID, err)
+	}
+	dev := device.New(model)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		t.Fatalf("target: %v", err)
+	}
+	pr, err := probe.Run(dev, probe.Options{})
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	target, err = target.Extend(pr.Interfaces...)
+	if err != nil {
+		t.Fatalf("extend: %v", err)
+	}
+	broker := adb.NewBroker(dev, target)
+	return engine.New(broker, relation.New(), crash.NewDedup(), cfg)
+}
+
+func TestEngineSmoke(t *testing.T) {
+	e := newEngine(t, "A1", engine.Config{Seed: 1})
+	e.Run(300)
+	st := e.Stats()
+	if st.Execs < 300 {
+		t.Fatalf("execs = %d, want >= 300", st.Execs)
+	}
+	if st.KernelCov == 0 {
+		t.Fatal("no kernel coverage collected")
+	}
+	if st.CorpusSize == 0 {
+		t.Fatal("corpus stayed empty")
+	}
+	t.Logf("stats: %+v", st)
+	t.Logf("graph: %v", e.Graph())
+	for _, r := range e.Dedup().Records() {
+		t.Logf("bug: %s (%s, %s)", r.Title, r.Component, r.Type)
+	}
+}
+
+func TestEngineCoverageGrows(t *testing.T) {
+	e := newEngine(t, "A2", engine.Config{Seed: 7})
+	e.Run(150)
+	early := e.Accumulator().Total()
+	e.Run(450)
+	late := e.Accumulator().Total()
+	if late <= early {
+		t.Fatalf("coverage did not grow: early=%d late=%d", early, late)
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	a := newEngine(t, "B", engine.Config{Seed: 42})
+	b := newEngine(t, "B", engine.Config{Seed: 42})
+	a.Run(200)
+	b.Run(200)
+	if a.Accumulator().Total() != b.Accumulator().Total() {
+		t.Fatalf("same seed diverged: %d vs %d",
+			a.Accumulator().Total(), b.Accumulator().Total())
+	}
+	if a.Execs() != b.Execs() {
+		t.Fatalf("exec counts diverged: %d vs %d", a.Execs(), b.Execs())
+	}
+}
+
+func TestSeedCorpusBootstrapsAndLearns(t *testing.T) {
+	e := newEngine(t, "C1", engine.Config{Seed: 5})
+	// NewDroidFuzz is not used here, so seed manually with a parsed
+	// workload-like program.
+	// (The baseline package covers the probed-seed path; this checks the
+	// engine API contract directly.)
+	before := e.Corpus().Len()
+	target := e.Gen().Target()
+	prog, err := dsl.ParseProg(target, `r0 = open$wlan(path="/dev/wlan0")
+ioctl$WLAN_SCAN(fd=r0, req=0xa701)
+ioctl$WLAN_ASSOC(fd=r0, req=0xa702, bssid=0x42)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SeedCorpus([]*dsl.Prog{prog})
+	if e.Corpus().Len() != before+1 {
+		t.Fatal("seed not admitted")
+	}
+	// Adjacent-pair relations from the seed were learned.
+	if e.Graph().EdgeWeight("ioctl$WLAN_SCAN", "ioctl$WLAN_ASSOC") == 0 {
+		t.Fatal("seed relations not learned")
+	}
+}
+
+func TestCrashTriageProducesMinimizedReproducer(t *testing.T) {
+	e := newEngine(t, "B", engine.Config{Seed: 6})
+	target := e.Gen().Target()
+	// A program whose crash (l2cap double disconnect WARN on B) is
+	// self-contained, padded with unrelated calls that minimization
+	// should strip.
+	prog, err := dsl.ParseProg(target, `r0 = open$hci(path="/dev/hci0")
+ioctl$HCI_UP(fd=r0, req=0xa201)
+r2 = open$l2cap(path="/dev/l2cap0")
+ioctl$L2CAP_DISCONNECT(fd=r2, req=0xa302)
+read$hci(fd=r0, n=0x10)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SeedCorpus([]*dsl.Prog{prog})
+	recs := e.Dedup().Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if !strings.Contains(r.Title, "l2cap_send_disconn_req") {
+		t.Fatalf("title = %q", r.Title)
+	}
+	if !r.Reproducible {
+		t.Fatal("self-contained crash not reproduced")
+	}
+	if r.Repro.Len() >= prog.Len() {
+		t.Fatalf("reproducer not minimized: %d calls", r.Repro.Len())
+	}
+	// The minimized reproducer must still contain the essential pair.
+	txt := r.Repro.String()
+	if !strings.Contains(txt, "open$l2cap") || !strings.Contains(txt, "L2CAP_DISCONNECT") {
+		t.Fatalf("essential calls stripped:\n%s", txt)
+	}
+}
+
+func TestEngineHonorsSkipMinimize(t *testing.T) {
+	e := newEngine(t, "B", engine.Config{Seed: 8, SkipMinimize: true})
+	e.Run(200)
+	if e.Corpus().Len() == 0 {
+		t.Fatal("no corpus without minimization")
+	}
+}

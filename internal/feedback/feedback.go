@@ -1,0 +1,273 @@
+// Package feedback implements DroidFuzz's cross-boundary execution state
+// feedback (paper §IV-D). Kernel coverage comes from kcov directly. The
+// closed-source HAL's execution behavior is reflected through *directional*
+// system-call invocation coverage: HAL-origin syscalls are mapped through a
+// specialized-ID lookup table (splitting generic calls like ioctl by their
+// critical argument), and ordered n-grams of those IDs are hashed into
+// signal elements appended to the kernel coverage. Both halves then flow
+// through identical new-signal analysis.
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/dsl"
+)
+
+// SpecTable is the specialized system-call ID lookup table compiled at
+// initialization from the target's descriptions: each (syscall, critical
+// argument) pair — e.g. (ioctl, TCPC_SET_MODE) — gets a unique ID, and
+// generic syscalls without a critical argument get one ID per (syscall,
+// device path) pair.
+type SpecTable struct {
+	mu     sync.Mutex
+	ids    map[string]uint32
+	nextID uint32
+}
+
+// NewSpecTable builds the table from all ioctl request constants found in
+// the target's syscall descriptions, pre-assigning stable IDs.
+func NewSpecTable(target *dsl.Target) *SpecTable {
+	t := &SpecTable{ids: make(map[string]uint32), nextID: 1}
+	// Pre-populate with the specialized ioctls from the descriptions so
+	// IDs are stable across runs regardless of observation order.
+	names := make([]string, 0)
+	for _, d := range target.SyscallCalls() {
+		if d.Syscall != "ioctl" || d.CriticalArg < 0 {
+			continue
+		}
+		req := d.Args[d.CriticalArg].Type.Val
+		names = append(names, specKey("ioctl", "", req))
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, ok := t.ids[k]; !ok {
+			t.ids[k] = t.nextID
+			t.nextID++
+		}
+	}
+	return t
+}
+
+func specKey(nr, path string, arg uint64) string {
+	if nr == "ioctl" {
+		return fmt.Sprintf("ioctl$%#x", arg)
+	}
+	return nr + "$" + path
+}
+
+// ID returns the specialized ID for one observed syscall event, assigning a
+// fresh ID for combinations not seen before (runtime-discovered requests).
+func (t *SpecTable) ID(ev adb.TraceEvent) uint32 {
+	key := specKey(ev.NR, ev.Path, ev.Arg)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[key]; ok {
+		return id
+	}
+	id := t.nextID
+	t.nextID++
+	t.ids[key] = id
+	return id
+}
+
+// Size reports the number of assigned specialized IDs.
+func (t *SpecTable) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ids)
+}
+
+// Sequence maps an ordered HAL trace to its specialized-ID sequence.
+func (t *SpecTable) Sequence(trace []adb.TraceEvent) []uint32 {
+	out := make([]uint32, len(trace))
+	for i, ev := range trace {
+		out[i] = t.ID(ev)
+	}
+	return out
+}
+
+// Signal is a set of 64-bit signal elements: kernel PCs live in the low
+// 32-bit space; directional HAL hashes are offset into a disjoint namespace
+// so the two coverage kinds merge without collisions.
+type Signal map[uint64]struct{}
+
+// halNamespace offsets directional-coverage hashes away from kernel PCs.
+const halNamespace = uint64(1) << 32
+
+// NgramOrders are the n-gram sizes hashed from the specialized-ID sequence;
+// 1-grams capture which specialized calls ran, 2-grams capture pairwise
+// order — the property plain kernel coverage "disregards" (paper §IV-D).
+// Longer windows add little beyond noise: every fresh interleaving mints
+// new hashes, flooding the corpus without improving guidance.
+var NgramOrders = []int{1, 2}
+
+// FromExec builds the joint signal for one execution result: kernel PCs
+// plus directional n-gram hashes of the HAL syscall sequence. A nil table
+// yields kernel-only signal (the DF-NoHCov ablation).
+func FromExec(res *adb.ExecResult, table *SpecTable) Signal {
+	s := make(Signal, len(res.KernelCov))
+	for _, pc := range res.KernelCov {
+		s[uint64(pc)] = struct{}{}
+	}
+	if table == nil {
+		return s
+	}
+	seq := table.Sequence(res.HALTrace)
+	for _, n := range NgramOrders {
+		addNgrams(s, seq, n)
+	}
+	return s
+}
+
+// addNgrams hashes every n-length window of seq into the signal.
+func addNgrams(s Signal, seq []uint32, n int) {
+	if n <= 0 || len(seq) < n {
+		return
+	}
+	for i := 0; i+n <= len(seq); i++ {
+		var h uint64 = 14695981039346656037 // FNV-64 offset basis
+		h ^= uint64(n)
+		h *= 1099511628211
+		for _, id := range seq[i : i+n] {
+			h ^= uint64(id)
+			h *= 1099511628211
+		}
+		s[halNamespace|(h>>32<<16|h&0xffff)] = struct{}{}
+	}
+}
+
+// Len reports the number of signal elements.
+func (s Signal) Len() int { return len(s) }
+
+// KernelLen reports how many elements are kernel PCs (vs directional).
+func (s Signal) KernelLen() int {
+	n := 0
+	for e := range s {
+		if e < halNamespace {
+			n++
+		}
+	}
+	return n
+}
+
+// Accumulator tracks the maximal signal observed across a campaign and
+// answers whether an execution contributed new state.
+type Accumulator struct {
+	mu  sync.Mutex
+	max Signal
+	// history records (virtual time, kernel coverage count) snapshots.
+	history []Point
+}
+
+// Point is one coverage-over-time sample.
+type Point struct {
+	VTime  uint64 // executions so far
+	Kernel int    // distinct kernel PCs
+	Total  int    // total signal elements
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{max: make(Signal)}
+}
+
+// Merge folds a signal into the accumulated maximum, returning the number
+// of new elements it contributed.
+func (a *Accumulator) Merge(s Signal) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	added := 0
+	for e := range s {
+		if _, ok := a.max[e]; !ok {
+			a.max[e] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+// HasNew reports whether s contains elements outside the accumulated
+// maximum, without merging.
+func (a *Accumulator) HasNew(s Signal) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for e := range s {
+		if _, ok := a.max[e]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NewOf returns the subset of s not yet accumulated.
+func (a *Accumulator) NewOf(s Signal) Signal {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := make(Signal)
+	for e := range s {
+		if _, ok := a.max[e]; !ok {
+			d[e] = struct{}{}
+		}
+	}
+	return d
+}
+
+// Total reports the accumulated signal size.
+func (a *Accumulator) Total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.max)
+}
+
+// KernelTotal reports the accumulated count of distinct kernel PCs.
+func (a *Accumulator) KernelTotal() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for e := range a.max {
+		if e < halNamespace {
+			n++
+		}
+	}
+	return n
+}
+
+// KernelPCs returns the accumulated kernel PCs (for per-driver accounting).
+func (a *Accumulator) KernelPCs() []uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]uint32, 0)
+	for e := range a.max {
+		if e < halNamespace {
+			out = append(out, uint32(e))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot appends a coverage-over-time sample at the given virtual time.
+func (a *Accumulator) Snapshot(vtime uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kernel := 0
+	for e := range a.max {
+		if e < halNamespace {
+			kernel++
+		}
+	}
+	a.history = append(a.history, Point{VTime: vtime, Kernel: kernel, Total: len(a.max)})
+}
+
+// History returns the recorded coverage-over-time samples.
+func (a *Accumulator) History() []Point {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Point, len(a.history))
+	copy(out, a.history)
+	return out
+}

@@ -1,0 +1,173 @@
+package feedback
+
+import (
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/drivers"
+	"droidfuzz/internal/dsl"
+)
+
+func specTarget(t *testing.T) *dsl.Target {
+	t.Helper()
+	target, err := dsl.NewTarget(drivers.TCPCDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return target
+}
+
+func TestSpecTableStableIDs(t *testing.T) {
+	a := NewSpecTable(specTarget(t))
+	b := NewSpecTable(specTarget(t))
+	ev := adb.TraceEvent{NR: "ioctl", Path: "/dev/tcpc0", Arg: drivers.TCPCSetMode}
+	if a.ID(ev) != b.ID(ev) {
+		t.Fatal("IDs differ across identical tables")
+	}
+	if a.Size() == 0 {
+		t.Fatal("table empty after init")
+	}
+}
+
+func TestSpecTableSplitsIoctlByRequest(t *testing.T) {
+	tab := NewSpecTable(specTarget(t))
+	a := tab.ID(adb.TraceEvent{NR: "ioctl", Arg: drivers.TCPCSetMode})
+	b := tab.ID(adb.TraceEvent{NR: "ioctl", Arg: drivers.TCPCSetVoltage})
+	if a == b {
+		t.Fatal("different requests share an ID")
+	}
+	if a != tab.ID(adb.TraceEvent{NR: "ioctl", Arg: drivers.TCPCSetMode}) {
+		t.Fatal("ID unstable")
+	}
+}
+
+func TestSpecTableGeneralSyscallsByPath(t *testing.T) {
+	tab := NewSpecTable(specTarget(t))
+	a := tab.ID(adb.TraceEvent{NR: "read", Path: "/dev/tcpc0"})
+	b := tab.ID(adb.TraceEvent{NR: "read", Path: "/dev/hci0"})
+	c := tab.ID(adb.TraceEvent{NR: "write", Path: "/dev/tcpc0"})
+	if a == b || a == c {
+		t.Fatal("general syscall specialization broken")
+	}
+}
+
+func result(events ...adb.TraceEvent) *adb.ExecResult {
+	return &adb.ExecResult{
+		KernelCov: []uint32{100, 200},
+		HALTrace:  events,
+	}
+}
+
+func ev(arg uint64) adb.TraceEvent {
+	return adb.TraceEvent{NR: "ioctl", Path: "/dev/tcpc0", Arg: arg}
+}
+
+// TestDirectionalOrderSensitivity is the core §IV-D property: the same set
+// of HAL syscalls in a different order produces a different signal, which
+// plain kernel coverage cannot distinguish.
+func TestDirectionalOrderSensitivity(t *testing.T) {
+	tab := NewSpecTable(specTarget(t))
+	s1 := FromExec(result(ev(1), ev(2), ev(3)), tab)
+	s2 := FromExec(result(ev(3), ev(2), ev(1)), tab)
+
+	// Kernel part identical.
+	if s1.KernelLen() != s2.KernelLen() {
+		t.Fatal("kernel parts differ")
+	}
+	// Directional parts differ.
+	diff := false
+	for e := range s1 {
+		if _, ok := s2[e]; !ok {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("order change produced identical signal")
+	}
+}
+
+func TestNilTableIsKernelOnly(t *testing.T) {
+	s := FromExec(result(ev(1), ev(2)), nil)
+	if s.Len() != 2 || s.KernelLen() != 2 {
+		t.Fatalf("signal = %d/%d", s.Len(), s.KernelLen())
+	}
+}
+
+func TestNgramCounts(t *testing.T) {
+	tab := NewSpecTable(specTarget(t))
+	// 3 events: 3 unigrams + 2 bigrams = up to 5 directional elements
+	// (dedup may merge repeats) + 2 kernel PCs.
+	s := FromExec(result(ev(1), ev(2), ev(3)), tab)
+	directional := s.Len() - s.KernelLen()
+	if directional != 5 {
+		t.Fatalf("directional elements = %d, want 5", directional)
+	}
+	// A single event yields only its unigram.
+	s = FromExec(result(ev(1)), tab)
+	if s.Len()-s.KernelLen() != 1 {
+		t.Fatal("single-event n-grams wrong")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	acc := NewAccumulator()
+	tab := NewSpecTable(specTarget(t))
+	s1 := FromExec(result(ev(1)), tab)
+	if !acc.HasNew(s1) {
+		t.Fatal("fresh signal not new")
+	}
+	added := acc.Merge(s1)
+	if added != s1.Len() {
+		t.Fatalf("added = %d, want %d", added, s1.Len())
+	}
+	if acc.HasNew(s1) {
+		t.Fatal("merged signal still new")
+	}
+	if len(acc.NewOf(s1)) != 0 {
+		t.Fatal("NewOf after merge nonzero")
+	}
+	s2 := FromExec(result(ev(1), ev(2)), tab)
+	nw := acc.NewOf(s2)
+	if len(nw) == 0 {
+		t.Fatal("extended signal not new")
+	}
+	acc.Merge(s2)
+	if acc.Total() != s2.Len() {
+		t.Fatalf("total = %d, want %d", acc.Total(), s2.Len())
+	}
+	if acc.KernelTotal() != 2 {
+		t.Fatalf("kernel total = %d", acc.KernelTotal())
+	}
+	if len(acc.KernelPCs()) != 2 {
+		t.Fatal("kernel PCs wrong")
+	}
+}
+
+func TestAccumulatorHistory(t *testing.T) {
+	acc := NewAccumulator()
+	acc.Merge(Signal{1: {}, 2: {}})
+	acc.Snapshot(10)
+	acc.Merge(Signal{3: {}})
+	acc.Snapshot(20)
+	h := acc.History()
+	if len(h) != 2 {
+		t.Fatalf("history = %d", len(h))
+	}
+	if h[0].VTime != 10 || h[0].Kernel != 2 || h[1].Kernel != 3 {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestHALNamespaceDisjointFromKernel(t *testing.T) {
+	tab := NewSpecTable(specTarget(t))
+	s := FromExec(&adb.ExecResult{
+		KernelCov: []uint32{0xffffffff}, // max kernel PC
+		HALTrace:  []adb.TraceEvent{ev(1)},
+	}, tab)
+	if s.KernelLen() != 1 {
+		t.Fatal("kernel/hal namespaces collided")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("signal = %d, want 2", s.Len())
+	}
+}

@@ -1,0 +1,417 @@
+// Package gen implements DroidFuzz's kernel–user relational payload
+// generation (paper §IV-C): programs start from a base invocation drawn by
+// vertex weight, grow along the relation graph's learned dependency edges,
+// have unresolved resource arguments satisfied by inserting producer calls
+// as prefixes, and are further evolved by syntax-aware mutation over the
+// corpus.
+package gen
+
+import (
+	"math/rand"
+
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/relation"
+)
+
+// Options tune generation.
+type Options struct {
+	// NoRelations disables graph-guided dependency selection: the DF-NoRel
+	// ablation generates with purely randomized dependencies.
+	NoRelations bool
+	// MaxLen bounds the walk length (default 8); resolution may add
+	// producer calls beyond it up to HardCap.
+	MaxLen int
+	// StopProb is the per-step probability of ending the relation walk
+	// (default 0.25).
+	StopProb float64
+	// InvalidResourceProb is the chance an unresolved resource argument is
+	// deliberately left as an invalid handle to exercise error paths
+	// (default 0.05).
+	InvalidResourceProb float64
+	// Epsilon is the exploration rate of relational generation: the
+	// probability of drawing a uniform random call instead of following
+	// vertex weights or learned edges at each step (default 0.35).
+	// Exploitation without exploration over-concentrates on known chains
+	// and starves argument-space diversity.
+	Epsilon float64
+}
+
+// HardCap bounds total program length after producer insertion.
+const HardCap = 24
+
+func (o *Options) defaults() {
+	if o.MaxLen <= 0 {
+		o.MaxLen = 8
+	}
+	if o.StopProb <= 0 {
+		o.StopProb = 0.25
+	}
+	if o.InvalidResourceProb <= 0 {
+		o.InvalidResourceProb = 0.05
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.35
+	}
+}
+
+// Generator produces and mutates programs for one target.
+type Generator struct {
+	target *dsl.Target
+	graph  *relation.Graph
+	rng    *rand.Rand
+	opts   Options
+}
+
+// New builds a generator. The graph may be shared across engines.
+func New(target *dsl.Target, graph *relation.Graph, rng *rand.Rand, opts Options) *Generator {
+	opts.defaults()
+	return &Generator{target: target, graph: graph, rng: rng, opts: opts}
+}
+
+// Target returns the generator's description target.
+func (g *Generator) Target() *dsl.Target { return g.target }
+
+// instantiate builds a call with randomized arguments.
+func (g *Generator) instantiate(desc *dsl.CallDesc) *dsl.Call {
+	c := &dsl.Call{Desc: desc, Args: make([]dsl.Arg, len(desc.Args))}
+	for i, f := range desc.Args {
+		c.Args[i] = dsl.RandomArg(f.Type, g.rng)
+	}
+	dsl.FixupLens(c)
+	return c
+}
+
+// randomDesc draws a description uniformly.
+func (g *Generator) randomDesc() *dsl.CallDesc {
+	calls := g.target.Calls()
+	if len(calls) == 0 {
+		return nil
+	}
+	return calls[g.rng.Intn(len(calls))]
+}
+
+// pickBase draws a base invocation: with probability Epsilon a uniform
+// random call (exploration), otherwise by vertex weight (exploitation).
+func (g *Generator) pickBase() string {
+	if g.rng.Float64() < g.opts.Epsilon {
+		if d := g.randomDesc(); d != nil {
+			return d.Name
+		}
+	}
+	if base := g.graph.PickBase(g.rng); base != "" {
+		return base
+	}
+	if d := g.randomDesc(); d != nil {
+		return d.Name
+	}
+	return ""
+}
+
+// walk traverses the relation graph from `from`, injecting uniform random
+// detours at rate Epsilon so learned chains stay mixed with fresh calls.
+func (g *Generator) walk(from string, maxLen int) []string {
+	var path []string
+	cur := from
+	for len(path) < maxLen {
+		if g.rng.Float64() < g.opts.StopProb {
+			break
+		}
+		if g.rng.Float64() < g.opts.Epsilon {
+			d := g.randomDesc()
+			if d == nil {
+				break
+			}
+			path = append(path, d.Name)
+			cur = d.Name
+			continue
+		}
+		step := g.graph.Walk(g.rng, cur, 1, 0)
+		if len(step) == 0 {
+			break
+		}
+		path = append(path, step[0])
+		cur = step[0]
+	}
+	return path
+}
+
+// Generate produces a fresh program: base invocation by vertex weight, a
+// relation-graph walk for the dependent calls (or a random tail under
+// NoRelations), then producer resolution.
+func (g *Generator) Generate() *dsl.Prog {
+	var names []string
+	maxLen := g.opts.MaxLen
+	if maxLen > HardCap {
+		maxLen = HardCap
+	}
+	n := 1 + g.rng.Intn(maxLen)
+	if g.opts.NoRelations {
+		// Randomized dependency generation: uniform draws.
+		for i := 0; i < n; i++ {
+			if d := g.randomDesc(); d != nil {
+				names = append(names, d.Name)
+			}
+		}
+	} else {
+		// Relational generation fills the same length budget with
+		// weighted base invocations and graph walks; multiple clusters
+		// share resources through producer resolution, which is how
+		// independent learned chains combine into longer
+		// cross-interface interactions.
+		for len(names) < n {
+			base := g.pickBase()
+			if base == "" {
+				break
+			}
+			names = append(names, base)
+			names = append(names, g.walk(base, n-len(names))...)
+		}
+	}
+	p := &dsl.Prog{}
+	for _, name := range names {
+		d := g.target.Lookup(name)
+		if d == nil {
+			continue
+		}
+		p.Calls = append(p.Calls, g.instantiate(d))
+	}
+	if p.Len() == 0 {
+		if d := g.randomDesc(); d != nil {
+			p.Calls = append(p.Calls, g.instantiate(d))
+		}
+	}
+	return g.Resolve(p)
+}
+
+// Resolve satisfies unresolved resource arguments: link to an earlier
+// producing call when one exists, otherwise instantiate a producer call and
+// insert it as a prefix (paper §IV-C: "find producer calls ... and insert
+// it into the call sequence as a prefix to the current call"). It runs to a
+// fixpoint so producers' own resources resolve transitively.
+func (g *Generator) Resolve(p *dsl.Prog) *dsl.Prog {
+	for pass := 0; pass < HardCap; pass++ {
+		inserted := false
+		for i := 0; i < p.Len(); i++ {
+			c := p.Calls[i]
+			for ai, f := range c.Desc.Args {
+				if f.Type.Kind != dsl.KindResource || c.Args[ai].Ref >= 0 {
+					continue
+				}
+				if g.rng.Float64() < g.opts.InvalidResourceProb {
+					continue // keep the invalid handle on purpose
+				}
+				// Link to an existing earlier producer if any.
+				var cands []int
+				for j := 0; j < i; j++ {
+					if p.Calls[j].Desc.Ret == f.Type.Res {
+						cands = append(cands, j)
+					}
+				}
+				if len(cands) > 0 {
+					c.Args[ai].Ref = cands[g.rng.Intn(len(cands))]
+					continue
+				}
+				prods := g.target.Producers(f.Type.Res)
+				if len(prods) == 0 || p.Len() >= HardCap {
+					continue
+				}
+				prod := g.instantiate(prods[g.rng.Intn(len(prods))])
+				p = p.InsertCall(i, prod)
+				p.Calls[i+1].Args[ai].Ref = i
+				inserted = true
+				break
+			}
+			if inserted {
+				break
+			}
+		}
+		if !inserted {
+			break
+		}
+	}
+	return p
+}
+
+// MutateOp identifies a mutation operator, exposed for stats.
+type MutateOp int
+
+// Mutation operators.
+const (
+	OpMutateArgs MutateOp = iota
+	OpInsertCall
+	OpRemoveCall
+	OpSplice
+	OpAppendWalk
+)
+
+// Mutate evolves a seed program. donor, when non-nil, enables the splice
+// operator. The returned program is always freshly allocated and valid.
+func (g *Generator) Mutate(seed *dsl.Prog, donor *dsl.Prog) (*dsl.Prog, MutateOp) {
+	p := seed.Clone()
+	ops := []MutateOp{OpMutateArgs, OpMutateArgs, OpInsertCall, OpInsertCall, OpRemoveCall}
+	if donor != nil && donor.Len() > 0 {
+		ops = append(ops, OpSplice)
+	}
+	if !g.opts.NoRelations {
+		ops = append(ops, OpAppendWalk, OpAppendWalk)
+	}
+	op := ops[g.rng.Intn(len(ops))]
+	switch op {
+	case OpMutateArgs:
+		p = g.mutateArgs(p)
+	case OpInsertCall:
+		p = g.insertCall(p)
+	case OpRemoveCall:
+		p = g.removeCall(p)
+	case OpSplice:
+		p = g.splice(p, donor)
+	case OpAppendWalk:
+		p = g.appendWalk(p)
+	}
+	p = g.Resolve(p)
+	for _, c := range p.Calls {
+		dsl.FixupLens(c)
+	}
+	return p, op
+}
+
+// mutateArgs re-randomizes one or two mutable arguments of a random call.
+// Resource arguments mutate by redirecting to a different earlier producer
+// of the same kind — the operator that splices independently-grown clusters
+// onto one shared object.
+func (g *Generator) mutateArgs(p *dsl.Prog) *dsl.Prog {
+	if p.Len() == 0 {
+		return p
+	}
+	ci := g.rng.Intn(p.Len())
+	c := p.Calls[ci]
+	mutable := make([]int, 0, len(c.Desc.Args))
+	for i, f := range c.Desc.Args {
+		switch f.Type.Kind {
+		case dsl.KindConst, dsl.KindLen:
+		case dsl.KindResource:
+			if ci > 0 {
+				mutable = append(mutable, i)
+			}
+		default:
+			mutable = append(mutable, i)
+		}
+	}
+	if len(mutable) == 0 {
+		return p
+	}
+	n := 1 + g.rng.Intn(2)
+	for ; n > 0; n-- {
+		i := mutable[g.rng.Intn(len(mutable))]
+		f := c.Desc.Args[i]
+		if f.Type.Kind == dsl.KindResource {
+			var cands []int
+			for j := 0; j < ci; j++ {
+				if p.Calls[j].Desc.Ret == f.Type.Res {
+					cands = append(cands, j)
+				}
+			}
+			if len(cands) > 0 {
+				c.Args[i].Ref = cands[g.rng.Intn(len(cands))]
+			}
+			continue
+		}
+		if f.Type.Kind == dsl.KindBuffer && len(c.Args[i].Data) > 0 && g.rng.Intn(2) == 0 {
+			// Byte-level tweak instead of full regeneration.
+			b := append([]byte(nil), c.Args[i].Data...)
+			b[g.rng.Intn(len(b))] ^= byte(1 << g.rng.Intn(8))
+			c.Args[i].Data = b
+			continue
+		}
+		if f.Type.Kind == dsl.KindInt && g.rng.Intn(3) == 0 {
+			// Boundary values find validation bugs.
+			bounds := []uint64{f.Type.Min, f.Type.Max, 0, f.Type.Max + 1, ^uint64(0)}
+			c.Args[i].Val = bounds[g.rng.Intn(len(bounds))]
+			continue
+		}
+		c.Args[i] = dsl.RandomArg(f.Type, g.rng)
+	}
+	dsl.FixupLens(c)
+	return p
+}
+
+// insertCall adds a call at a random position; with relations enabled, the
+// call is drawn from the graph successors of its predecessor when possible.
+func (g *Generator) insertCall(p *dsl.Prog) *dsl.Prog {
+	if p.Len() >= HardCap {
+		return p
+	}
+	pos := g.rng.Intn(p.Len() + 1)
+	var desc *dsl.CallDesc
+	if !g.opts.NoRelations && pos > 0 {
+		succ := g.graph.Successors(p.Calls[pos-1].Desc.Name)
+		if len(succ) > 0 && g.rng.Float64() < 0.7 {
+			desc = g.target.Lookup(succ[g.rng.Intn(len(succ))].To)
+		}
+	}
+	if desc == nil {
+		desc = g.randomDesc()
+	}
+	if desc == nil {
+		return p
+	}
+	return p.InsertCall(pos, g.instantiate(desc))
+}
+
+// removeCall drops a random call (keeping at least one).
+func (g *Generator) removeCall(p *dsl.Prog) *dsl.Prog {
+	if p.Len() <= 1 {
+		return p
+	}
+	return p.RemoveCall(g.rng.Intn(p.Len()))
+}
+
+// appendWalk extends the program with new calls: a relation-graph walk
+// continuing from the final call when it has successors, otherwise a fresh
+// weighted base invocation (possibly walked further). This is the
+// generation-time traversal of §IV-C applied as a mutation.
+func (g *Generator) appendWalk(p *dsl.Prog) *dsl.Prog {
+	if p.Len() == 0 || p.Len() >= HardCap {
+		return p
+	}
+	last := p.Calls[p.Len()-1].Desc.Name
+	names := g.walk(last, 3)
+	if len(names) == 0 {
+		if base := g.pickBase(); base != "" {
+			names = append(names, base)
+			names = append(names, g.walk(base, 2)...)
+		}
+	}
+	for _, name := range names {
+		d := g.target.Lookup(name)
+		if d == nil || p.Len() >= HardCap {
+			continue
+		}
+		p.Calls = append(p.Calls, g.instantiate(d))
+	}
+	return p
+}
+
+// splice appends the donor's calls (with internal references remapped)
+// after a random prefix of p, truncating to HardCap.
+func (g *Generator) splice(p *dsl.Prog, donor *dsl.Prog) *dsl.Prog {
+	cut := g.rng.Intn(p.Len() + 1)
+	out := &dsl.Prog{}
+	for _, c := range p.Calls[:cut] {
+		out.Calls = append(out.Calls, c.Clone())
+	}
+	offset := len(out.Calls)
+	for _, c := range donor.Calls {
+		if len(out.Calls) >= HardCap {
+			break
+		}
+		nc := c.Clone()
+		for i := range nc.Args {
+			if nc.Desc.Args[i].Type.Kind == dsl.KindResource && nc.Args[i].Ref >= 0 {
+				nc.Args[i].Ref += offset
+			}
+		}
+		out.Calls = append(out.Calls, nc)
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+package hal
+
+import (
+	"fmt"
+
+	"droidfuzz/internal/binder"
+)
+
+// Framework models the Android framework layer the probing pass exercises:
+// a small set of high-level API operations (render a frame, play a clip,
+// take a picture, ...) that each fan out into realistic HAL interface
+// sequences. The probing pass runs these operations and counts which HAL
+// interfaces they trigger to compute the normalized-occurrence weights of
+// paper §IV-B.
+type Framework struct {
+	sm *binder.ServiceManager
+}
+
+// NewFramework wraps the device's ServiceManager.
+func NewFramework(sm *binder.ServiceManager) *Framework {
+	return &Framework{sm: sm}
+}
+
+// Op is one high-level framework operation.
+type Op struct {
+	Name string
+	Run  func() error
+}
+
+// call looks up the method code for the named method via reflection, builds
+// the parcel from the marshal funcs, and transacts — the way framework
+// client stubs call into a HAL.
+func (f *Framework) call(desc, methodName string, marshal func(*binder.Parcel)) (*binder.Parcel, error) {
+	reflIn, reflOut := binder.NewParcel(), binder.NewParcel()
+	if st := f.sm.Call(desc, binder.InterfaceTransaction, reflIn, reflOut); st != binder.StatusOK {
+		return nil, fmt.Errorf("hal: reflect %s: %v", desc, st)
+	}
+	methods, err := binder.UnmarshalMethods(reflOut)
+	if err != nil {
+		return nil, fmt.Errorf("hal: reflect %s: %w", desc, err)
+	}
+	var code uint32
+	found := false
+	for _, m := range methods {
+		if m.Name == methodName {
+			code = m.Code
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("hal: %s has no method %q", desc, methodName)
+	}
+	in, out := binder.NewParcel(), binder.NewParcel()
+	if marshal != nil {
+		marshal(in)
+	}
+	if st := f.sm.Call(desc, code, in, out); st != binder.StatusOK {
+		return nil, fmt.Errorf("hal: %s.%s: %v", desc, methodName, st)
+	}
+	return out, nil
+}
+
+// u64Reply extracts a handle from a method reply.
+func u64Reply(p *binder.Parcel) uint64 {
+	v, err := p.ReadUint64()
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Ops returns the framework operations available on this device, filtered
+// to services that are actually registered.
+func (f *Framework) Ops() []Op {
+	all := []struct {
+		desc string
+		op   Op
+	}{
+		{GraphicsDescriptor, Op{Name: "render_frame", Run: f.renderFrame}},
+		{MediaDescriptor, Op{Name: "play_media", Run: f.playMedia}},
+		{CameraDescriptor, Op{Name: "take_picture", Run: f.takePicture}},
+		{AudioDescriptor, Op{Name: "play_tone", Run: f.playTone}},
+		{BluetoothDescriptor, Op{Name: "bt_pair", Run: f.btPair}},
+		{NFCDescriptor, Op{Name: "nfc_tap", Run: f.nfcTap}},
+		{SensorsDescriptor, Op{Name: "read_sensors", Run: f.readSensors}},
+		{USBDescriptor, Op{Name: "usb_charge", Run: f.usbCharge}},
+		{ThermalDescriptor, Op{Name: "thermal_poll", Run: f.thermalPoll}},
+		{InputDescriptor, Op{Name: "touch_swipe", Run: f.touchSwipe}},
+	}
+	var ops []Op
+	for _, e := range all {
+		if f.sm.Get(e.desc) != nil {
+			ops = append(ops, e.op)
+		}
+	}
+	return ops
+}
+
+func (f *Framework) renderFrame() error {
+	out, err := f.call(GraphicsDescriptor, "createLayer", func(p *binder.Parcel) {
+		p.WriteUint64(1280)
+		p.WriteUint64(720)
+		p.WriteUint64(1)
+	})
+	if err != nil {
+		return err
+	}
+	id := u64Reply(out)
+	if _, err := f.call(GraphicsDescriptor, "setLayerBuffer", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+		p.WriteUint64(0)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(GraphicsDescriptor, "presentDisplay", nil); err != nil {
+		return err
+	}
+	_, err = f.call(GraphicsDescriptor, "destroyLayer", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	})
+	return err
+}
+
+func (f *Framework) playMedia() error {
+	out, err := f.call(MediaDescriptor, "createCodec", func(p *binder.Parcel) {
+		p.WriteString("audio/aac")
+		p.WriteUint64(0)
+		p.WriteUint64(1024)
+	})
+	if err != nil {
+		return err
+	}
+	id := u64Reply(out)
+	for i := 0; i < 2; i++ {
+		if _, err := f.call(MediaDescriptor, "queueBuffer", func(p *binder.Parcel) {
+			p.WriteUint64(id)
+			p.WriteBytes(make([]byte, 256))
+		}); err != nil {
+			return err
+		}
+	}
+	// A seek flushes the codec, then playback resumes.
+	if _, err := f.call(MediaDescriptor, "flush", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(MediaDescriptor, "queueBuffer", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+		p.WriteBytes(make([]byte, 128))
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(MediaDescriptor, "drain", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	}); err != nil {
+		return err
+	}
+	_, err = f.call(MediaDescriptor, "releaseCodec", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	})
+	return err
+}
+
+func (f *Framework) takePicture() error {
+	out, err := f.call(CameraDescriptor, "openStream", func(p *binder.Parcel) {
+		p.WriteUint64(1280)
+		p.WriteUint64(720)
+		p.WriteUint64(0x3231564e) // NV12
+	})
+	if err != nil {
+		return err
+	}
+	id := u64Reply(out)
+	// Portrait orientation: the framework always programs the sensor
+	// rotation before capture.
+	if _, err := f.call(CameraDescriptor, "setParameter", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+		p.WriteUint64(13) // rotation control
+		p.WriteUint64(90)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(CameraDescriptor, "startCapture", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(CameraDescriptor, "captureFrame", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	}); err != nil {
+		return err
+	}
+	// Auto-exposure retunes the sensor continuously while capturing.
+	if _, err := f.call(CameraDescriptor, "setParameter", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+		p.WriteUint64(7) // exposure control
+		p.WriteUint64(50)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(CameraDescriptor, "captureFrame", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(CameraDescriptor, "stopCapture", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	}); err != nil {
+		return err
+	}
+	_, err = f.call(CameraDescriptor, "closeStream", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	})
+	return err
+}
+
+func (f *Framework) playTone() error {
+	out, err := f.call(AudioDescriptor, "openOutput", func(p *binder.Parcel) {
+		p.WriteUint64(48000)
+		p.WriteUint64(2)
+	})
+	if err != nil {
+		return err
+	}
+	id := u64Reply(out)
+	for i := 0; i < 2; i++ {
+		if _, err := f.call(AudioDescriptor, "writeAudio", func(p *binder.Parcel) {
+			p.WriteUint64(id)
+			p.WriteBytes(make([]byte, 512))
+		}); err != nil {
+			return err
+		}
+	}
+	_, err = f.call(AudioDescriptor, "standby", func(p *binder.Parcel) {
+		p.WriteUint64(id)
+	})
+	return err
+}
+
+func (f *Framework) btPair() error {
+	if _, err := f.call(BluetoothDescriptor, "enable", nil); err != nil {
+		return err
+	}
+	if _, err := f.call(BluetoothDescriptor, "startDiscovery", func(p *binder.Parcel) {
+		p.WriteUint64(3)
+	}); err != nil {
+		return err
+	}
+	out, err := f.call(BluetoothDescriptor, "connect", func(p *binder.Parcel) {
+		p.WriteUint64(0x42)
+	})
+	if err != nil {
+		return err
+	}
+	handle := u64Reply(out)
+	if _, err := f.call(BluetoothDescriptor, "acceptConnection", nil); err != nil {
+		return err
+	}
+	if _, err := f.call(BluetoothDescriptor, "disconnect", func(p *binder.Parcel) {
+		p.WriteUint64(handle)
+	}); err != nil {
+		return err
+	}
+	_, err = f.call(BluetoothDescriptor, "disable", nil)
+	return err
+}
+
+func (f *Framework) nfcTap() error {
+	if _, err := f.call(NFCDescriptor, "enable", nil); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.call(NFCDescriptor, "transceive", func(p *binder.Parcel) {
+			p.WriteBytes([]byte{0x00, 0xa4, 0x04, 0x00})
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := f.call(NFCDescriptor, "disable", nil)
+	return err
+}
+
+func (f *Framework) readSensors() error {
+	if _, err := f.call(SensorsDescriptor, "activate", func(p *binder.Parcel) {
+		p.WriteUint64(0)
+		p.WriteUint64(1)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(SensorsDescriptor, "batch", func(p *binder.Parcel) {
+		p.WriteUint64(0)
+		p.WriteUint64(100)
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(SensorsDescriptor, "poll", nil); err != nil {
+		return err
+	}
+	_, err := f.call(SensorsDescriptor, "activate", func(p *binder.Parcel) {
+		p.WriteUint64(0)
+		p.WriteUint64(0)
+	})
+	return err
+}
+
+func (f *Framework) usbCharge() error {
+	if _, err := f.call(USBDescriptor, "setPortRole", func(p *binder.Parcel) {
+		p.WriteUint64(1) // sink
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(USBDescriptor, "enableContract", func(p *binder.Parcel) {
+		p.WriteUint64(5000)
+	}); err != nil {
+		return err
+	}
+	_, err := f.call(USBDescriptor, "queryPortStatus", nil)
+	return err
+}
+
+func (f *Framework) touchSwipe() error {
+	if _, err := f.call(InputDescriptor, "setMode", func(p *binder.Parcel) {
+		p.WriteUint64(1) // finger reporting
+	}); err != nil {
+		return err
+	}
+	if _, err := f.call(InputDescriptor, "injectSwipe", func(p *binder.Parcel) {
+		p.WriteUint64(100)
+		p.WriteUint64(400)
+		p.WriteUint64(4)
+	}); err != nil {
+		return err
+	}
+	_, err := f.call(InputDescriptor, "selfTest", nil)
+	return err
+}
+
+func (f *Framework) thermalPoll() error {
+	for zone := uint64(0); zone < 2; zone++ {
+		if _, err := f.call(ThermalDescriptor, "getTemperature", func(p *binder.Parcel) {
+			p.WriteUint64(zone)
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := f.call(ThermalDescriptor, "setPolicy", func(p *binder.Parcel) {
+		p.WriteUint64(1)
+	})
+	return err
+}

@@ -1,0 +1,280 @@
+// Package hal implements the vendor HAL service layer of the virtual
+// devices. Each service is a stateful, "closed-source" module: the fuzzer
+// never inspects its internals, only its Binder surface (discovered by the
+// probing pass) and the kernel syscall trace it produces (observed via the
+// eBPF layer). Services translate high-level interface invocations into
+// realistic multi-step syscall sequences against the kernel drivers, which
+// is precisely the behavior that makes joint HAL+kernel fuzzing reach
+// driver states a syscall-only fuzzer cannot (paper §III).
+//
+// Three services carry the injected Table II HAL bugs (№2 graphics,
+// №6 media, №9 camera), modeled as native crashes: the service panics, the
+// hosting Process recovers, marks itself dead, and reports the crash.
+package hal
+
+import (
+	"fmt"
+	"sync"
+
+	"droidfuzz/internal/binder"
+	"droidfuzz/internal/vkernel"
+)
+
+// Sys is the syscall facade a HAL service process uses: every call enters
+// the kernel tagged with the service's PID and OriginHAL, which is what the
+// cross-boundary feedback observes.
+type Sys struct {
+	K   *vkernel.Kernel
+	PID int
+}
+
+// Open opens a device path.
+func (s *Sys) Open(path string, flags uint64) (int, error) {
+	return s.K.Open(s.PID, vkernel.OriginHAL, path, flags)
+}
+
+// Close releases an fd.
+func (s *Sys) Close(fd int) error {
+	return s.K.Close(s.PID, vkernel.OriginHAL, fd)
+}
+
+// Ioctl issues an ioctl.
+func (s *Sys) Ioctl(fd int, req uint64, arg []byte) (uint64, []byte, error) {
+	return s.K.Ioctl(s.PID, vkernel.OriginHAL, fd, req, arg)
+}
+
+// Read reads from an fd.
+func (s *Sys) Read(fd int, n int) ([]byte, error) {
+	return s.K.Read(s.PID, vkernel.OriginHAL, fd, n)
+}
+
+// Write writes to an fd.
+func (s *Sys) Write(fd int, p []byte) (int, error) {
+	return s.K.Write(s.PID, vkernel.OriginHAL, fd, p)
+}
+
+// Mmap maps device memory.
+func (s *Sys) Mmap(fd int, length uint64) (uint64, error) {
+	return s.K.Mmap(s.PID, vkernel.OriginHAL, fd, length)
+}
+
+// Val is one decoded transaction argument; the populated field follows the
+// method signature's Kind.
+type Val struct {
+	U uint64
+	B []byte
+	S string
+}
+
+// Handler processes a decoded transaction. Returning a non-OK status maps
+// to a Binder error reply; panicking models a native crash in the service.
+type Handler func(in []Val, reply *binder.Parcel) binder.Status
+
+type method struct {
+	sig binder.MethodSig
+	h   Handler
+}
+
+// Base provides method registration, reflection, and transaction dispatch
+// for concrete services; they embed it and register handlers at
+// construction.
+type Base struct {
+	descriptor string
+	label      string // human label: "Graphics", "Media", ...
+	mu         sync.Mutex
+	methods    []*method
+	byCode     map[uint32]*method
+	nextCode   uint32
+}
+
+// NewBase returns a service base with the given Binder descriptor and human
+// label.
+func NewBase(descriptor, label string) *Base {
+	return &Base{
+		descriptor: descriptor,
+		label:      label,
+		byCode:     make(map[uint32]*method),
+		nextCode:   1,
+	}
+}
+
+// Descriptor implements binder.Service.
+func (b *Base) Descriptor() string { return b.descriptor }
+
+// Label returns the human-readable HAL name used in crash titles.
+func (b *Base) Label() string { return b.label }
+
+// Register adds a method. A zero Code is auto-assigned sequentially, as
+// AIDL-generated stubs number their transactions.
+func (b *Base) Register(sig binder.MethodSig, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sig.Code == 0 {
+		sig.Code = b.nextCode
+	}
+	if _, dup := b.byCode[sig.Code]; dup {
+		panic(fmt.Sprintf("hal: %s duplicate transaction code %d", b.descriptor, sig.Code))
+	}
+	b.nextCode = sig.Code + 1
+	m := &method{sig: sig, h: h}
+	b.methods = append(b.methods, m)
+	b.byCode[sig.Code] = m
+}
+
+// RegisterDiagnostics adds the boilerplate getter surface every AIDL
+// service ships — version, capability, statistics and dump entry points
+// that parse trivially and reach no driver code. Like the legacy ioctls on
+// the kernel side, they model the dead weight of real interface lists:
+// occurrence weighting assigns them the floor weight because no framework
+// workload ever calls them.
+func (b *Base) RegisterDiagnostics() {
+	stub := func(v uint64) Handler {
+		return func(in []Val, reply *binder.Parcel) binder.Status {
+			reply.WriteUint64(v)
+			return binder.StatusOK
+		}
+	}
+	b.Register(sig("getInterfaceVersion", ""), stub(2))
+	b.Register(sig("getCapabilities", ""), stub(0x1f))
+	b.Register(sig("getStatistics", "",
+		argInt("counter", 0, 15)), stub(0))
+	b.Register(sig("debugDump", "",
+		argInt("verbosity", 0, 3)), stub(1))
+}
+
+// Transact implements binder.Service: reflection on InterfaceTransaction,
+// argument decoding per the registered signature, then handler dispatch.
+func (b *Base) Transact(code uint32, in, out *binder.Parcel) binder.Status {
+	if code == binder.InterfaceTransaction {
+		b.mu.Lock()
+		sigs := make([]binder.MethodSig, len(b.methods))
+		for i, m := range b.methods {
+			sigs[i] = m.sig
+		}
+		b.mu.Unlock()
+		binder.MarshalMethods(out, sigs)
+		return binder.StatusOK
+	}
+	b.mu.Lock()
+	m := b.byCode[code]
+	b.mu.Unlock()
+	if m == nil {
+		return binder.StatusUnknownTransaction
+	}
+	vals := make([]Val, len(m.sig.Args))
+	for i, a := range m.sig.Args {
+		switch a.Kind {
+		case "buffer":
+			data, err := in.ReadBytes()
+			if err != nil {
+				return binder.StatusBadValue
+			}
+			vals[i].B = data
+		case "string":
+			s, err := in.ReadString()
+			if err != nil {
+				return binder.StatusBadValue
+			}
+			vals[i].S = s
+		default: // int, flags, resource
+			u, err := in.ReadUint64()
+			if err != nil {
+				return binder.StatusBadValue
+			}
+			vals[i].U = u
+		}
+	}
+	return m.h(vals, out)
+}
+
+// Crash describes a native crash in a HAL service process.
+type Crash struct {
+	Service string // Binder descriptor
+	Label   string // human HAL name
+	Signal  string // "SIGSEGV", "SIGABRT"
+	Site    string // faulting function
+}
+
+// Title renders the Table II style title, e.g. "Native crash in Graphics HAL".
+func (c Crash) Title() string {
+	return fmt.Sprintf("Native crash in %s HAL", c.Label)
+}
+
+// String renders a tombstone-style summary.
+func (c Crash) String() string {
+	return fmt.Sprintf("Fatal signal %s in %s (%s), fault addr in %s",
+		c.Signal, c.Service, c.Label, c.Site)
+}
+
+// segfault models a native memory fault inside service code: it panics with
+// the crash record; the hosting Process recovers it.
+func (b *Base) segfault(site string) {
+	panic(Crash{Service: b.descriptor, Label: b.label, Signal: "SIGSEGV", Site: site})
+}
+
+// Process hosts one HAL service the way init spawns a HAL process: it
+// assigns the PID, recovers native crashes, and refuses transactions while
+// dead (DEAD_OBJECT), until the device reboots and reconstructs it.
+type Process struct {
+	PID     int
+	inner   binder.Service
+	label   string
+	mu      sync.Mutex
+	dead    bool
+	crashes []Crash
+}
+
+// NewProcess wraps a service in a process with the given PID.
+func NewProcess(pid int, svc binder.Service, label string) *Process {
+	return &Process{PID: pid, inner: svc, label: label}
+}
+
+// Descriptor implements binder.Service.
+func (p *Process) Descriptor() string { return p.inner.Descriptor() }
+
+// Label returns the hosted HAL's human name.
+func (p *Process) Label() string { return p.label }
+
+// Dead reports whether the process crashed and has not been restarted.
+func (p *Process) Dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// Transact implements binder.Service with native-crash recovery.
+func (p *Process) Transact(code uint32, in, out *binder.Parcel) (st binder.Status) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return binder.StatusDeadObject
+	}
+	p.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(Crash)
+			if !ok {
+				// Any other panic is an abort in service code.
+				c = Crash{
+					Service: p.inner.Descriptor(), Label: p.label,
+					Signal: "SIGABRT", Site: fmt.Sprint(r),
+				}
+			}
+			p.mu.Lock()
+			p.dead = true
+			p.crashes = append(p.crashes, c)
+			p.mu.Unlock()
+			st = binder.StatusDeadObject
+		}
+	}()
+	return p.inner.Transact(code, in, out)
+}
+
+// TakeCrashes returns and clears recorded native crashes.
+func (p *Process) TakeCrashes() []Crash {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.crashes
+	p.crashes = nil
+	return out
+}

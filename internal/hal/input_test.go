@@ -1,0 +1,71 @@
+package hal
+
+import (
+	"testing"
+
+	"droidfuzz/internal/binder"
+	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/drivers"
+	"droidfuzz/internal/vkernel"
+)
+
+func newInputRig(t *testing.T) *halRig {
+	t.Helper()
+	k := vkernel.New()
+	k.RegisterDevice(drivers.PathTouch, drivers.NewTouch(nil))
+	svc := NewInput(&Sys{K: k, PID: 1000}, bugs.Set(nil))
+	return &halRig{t: t, k: k, proc: NewProcess(1000, svc, "Input")}
+}
+
+func TestInputHALFlow(t *testing.T) {
+	r := newInputRig(t)
+	r.mustCall("calibrate", func(p *binder.Parcel) {
+		p.WriteUint64(540)
+		p.WriteUint64(960)
+	})
+	r.mustCall("setMode", func(p *binder.Parcel) {
+		p.WriteUint64(drivers.TouchModeFinger)
+	})
+	r.mustCall("injectSwipe", func(p *binder.Parcel) {
+		p.WriteUint64(100)
+		p.WriteUint64(200)
+		p.WriteUint64(4)
+	})
+	out := r.mustCall("selfTest", nil)
+	if u64(out) != 1 {
+		t.Fatal("self test failed")
+	}
+	// The HAL sequenced real kernel traffic.
+	if r.k.SyscallCount() == 0 {
+		t.Fatal("no syscalls")
+	}
+}
+
+func TestInputHALFirmwareUpdateSequencesModeOff(t *testing.T) {
+	r := newInputRig(t)
+	r.mustCall("setMode", func(p *binder.Parcel) {
+		p.WriteUint64(drivers.TouchModeFinger)
+	})
+	// The HAL turns reporting off itself before flashing.
+	out := r.mustCall("firmwareUpdate", func(p *binder.Parcel) {
+		p.WriteUint64(0x0205)
+		p.WriteBytes([]byte{1, 2, 3})
+	})
+	if u64(out) != 0x0205 {
+		t.Fatalf("fw version = %#x", u64(out))
+	}
+}
+
+func TestInputHALRejectsBadSwipe(t *testing.T) {
+	r := newInputRig(t)
+	r.mustCall("setMode", func(p *binder.Parcel) {
+		p.WriteUint64(drivers.TouchModeFinger)
+	})
+	if _, st := r.call("injectSwipe", func(p *binder.Parcel) {
+		p.WriteUint64(100)
+		p.WriteUint64(200)
+		p.WriteUint64(0) // zero steps
+	}); st != binder.StatusBadValue {
+		t.Fatalf("status = %v", st)
+	}
+}

@@ -1,0 +1,29 @@
+package hal
+
+import "droidfuzz/internal/binder"
+
+// Signature construction helpers for service method tables.
+
+func argInt(name string, min, max uint64) binder.ArgSig {
+	return binder.ArgSig{Name: name, Kind: "int", Min: min, Max: max}
+}
+
+func argFlags(name string, choices ...uint64) binder.ArgSig {
+	return binder.ArgSig{Name: name, Kind: "flags", Choices: choices}
+}
+
+func argBuf(name string, maxLen uint32) binder.ArgSig {
+	return binder.ArgSig{Name: name, Kind: "buffer", BufLen: maxLen}
+}
+
+func argStr(name string, choices ...string) binder.ArgSig {
+	return binder.ArgSig{Name: name, Kind: "string", StrChoices: choices}
+}
+
+func argRes(name, kind string) binder.ArgSig {
+	return binder.ArgSig{Name: name, Kind: "resource", Res: kind}
+}
+
+func sig(name, ret string, args ...binder.ArgSig) binder.MethodSig {
+	return binder.MethodSig{Name: name, Ret: ret, Args: args}
+}

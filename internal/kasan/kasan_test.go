@@ -1,0 +1,188 @@
+package kasan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocLoadStoreFree(t *testing.T) {
+	h := NewHeap(0)
+	id := h.Alloc(16, "test_alloc")
+	if rep := h.Store(id, 4, []byte{1, 2, 3, 4}, "test_store"); rep != nil {
+		t.Fatalf("store: %v", rep)
+	}
+	data, rep := h.Load(id, 4, 4, "test_load")
+	if rep != nil {
+		t.Fatalf("load: %v", rep)
+	}
+	if data[0] != 1 || data[3] != 4 {
+		t.Fatalf("data = %v", data)
+	}
+	if !h.Live(id) {
+		t.Fatal("object should be live")
+	}
+	if rep := h.Free(id, "test_free"); rep != nil {
+		t.Fatalf("free: %v", rep)
+	}
+	if h.Live(id) {
+		t.Fatal("object should be freed")
+	}
+	allocs, frees := h.Stats()
+	if allocs != 1 || frees != 1 {
+		t.Fatalf("stats = %d/%d", allocs, frees)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	h := NewHeap(0)
+	id := h.Alloc(8, "alloc_site")
+	h.Free(id, "free_site")
+	_, rep := h.Load(id, 0, 4, "bt_accept_unlink")
+	if rep == nil {
+		t.Fatal("UAF not detected")
+	}
+	if rep.Class != UseAfterFree || rep.Access != Read {
+		t.Fatalf("class/access = %v/%v", rep.Class, rep.Access)
+	}
+	want := "KASAN: slab-use-after-free Read in bt_accept_unlink"
+	if rep.Title() != want {
+		t.Fatalf("title = %q, want %q", rep.Title(), want)
+	}
+	if rep.AllocSite != "alloc_site" || rep.FreeSite != "free_site" {
+		t.Fatalf("sites = %q/%q", rep.AllocSite, rep.FreeSite)
+	}
+	if rep2 := h.Store(id, 0, []byte{1}, "w"); rep2 == nil || rep2.Access != Write {
+		t.Fatal("UAF write not detected")
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	h := NewHeap(0)
+	id := h.Alloc(8, "a")
+	if _, rep := h.Load(id, 6, 4, "oob_read"); rep == nil || rep.Class != OutOfBounds {
+		t.Fatal("OOB read not detected")
+	}
+	if rep := h.Store(id, 8, []byte{1}, "oob_write"); rep == nil || rep.Class != OutOfBounds {
+		t.Fatal("OOB write not detected")
+	}
+	if _, rep := h.Load(id, -1, 2, "neg"); rep == nil {
+		t.Fatal("negative offset not detected")
+	}
+	// Boundary access is legal.
+	if _, rep := h.Load(id, 0, 8, "full"); rep != nil {
+		t.Fatalf("full-size load failed: %v", rep)
+	}
+}
+
+func TestDoubleAndInvalidFree(t *testing.T) {
+	h := NewHeap(0)
+	id := h.Alloc(8, "a")
+	h.Free(id, "f1")
+	if rep := h.Free(id, "f2"); rep == nil || rep.Class != DoubleFree {
+		t.Fatal("double free not detected")
+	}
+	if rep := h.Free(0xdead, "f3"); rep == nil || rep.Class != InvalidFree {
+		t.Fatal("invalid free not detected")
+	}
+}
+
+func TestInvalidAccess(t *testing.T) {
+	h := NewHeap(0)
+	_, rep := h.Load(0xdeadbeef, 0, 8, "hci_read_supported_codecs")
+	if rep == nil || rep.Class != InvalidAccess {
+		t.Fatal("invalid access not detected")
+	}
+	if !strings.Contains(rep.Title(), "invalid-access") {
+		t.Fatalf("title = %q", rep.Title())
+	}
+}
+
+func TestQuarantineEviction(t *testing.T) {
+	h := NewHeap(2)
+	a := h.Alloc(8, "a")
+	b := h.Alloc(8, "b")
+	c := h.Alloc(8, "c")
+	h.Free(a, "f")
+	h.Free(b, "f")
+	// a and b are quarantined; freeing c evicts a.
+	h.Free(c, "f")
+	if _, rep := h.Load(a, 0, 1, "r"); rep == nil || rep.Class != InvalidAccess {
+		t.Fatal("evicted object should report invalid access")
+	}
+	if _, rep := h.Load(b, 0, 1, "r"); rep == nil || rep.Class != UseAfterFree {
+		t.Fatal("quarantined object should report UAF")
+	}
+}
+
+func TestReportsAccumulateAndDrain(t *testing.T) {
+	h := NewHeap(0)
+	id := h.Alloc(4, "a")
+	h.Free(id, "f")
+	h.Load(id, 0, 1, "r1")
+	h.Load(id, 0, 1, "r2")
+	if len(h.Reports()) != 2 {
+		t.Fatalf("reports = %d, want 2", len(h.Reports()))
+	}
+	if len(h.TakeReports()) != 2 {
+		t.Fatal("take failed")
+	}
+	if len(h.Reports()) != 0 {
+		t.Fatal("take did not clear")
+	}
+}
+
+// TestNoFalsePositives runs random valid operations against a model and
+// checks the heap never reports a bug for them.
+func TestNoFalsePositives(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHeap(0)
+		type obj struct {
+			id   uint64
+			size int
+		}
+		var live []obj
+		for i := 0; i < 200; i++ {
+			switch {
+			case len(live) == 0 || rng.Intn(3) == 0:
+				size := rng.Intn(64) + 1
+				live = append(live, obj{h.Alloc(size, "a"), size})
+			case rng.Intn(4) == 0:
+				k := rng.Intn(len(live))
+				if rep := h.Free(live[k].id, "f"); rep != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			default:
+				o := live[rng.Intn(len(live))]
+				off := rng.Intn(o.size)
+				n := rng.Intn(o.size - off)
+				if _, rep := h.Load(o.id, off, n, "r"); rep != nil {
+					return false
+				}
+				if rep := h.Store(o.id, off, make([]byte, n), "w"); rep != nil {
+					return false
+				}
+			}
+		}
+		return len(h.Reports()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveObjects(t *testing.T) {
+	h := NewHeap(0)
+	a := h.Alloc(8, "a")
+	h.Alloc(8, "b")
+	if h.LiveObjects() != 2 {
+		t.Fatalf("live = %d, want 2", h.LiveObjects())
+	}
+	h.Free(a, "f")
+	if h.LiveObjects() != 1 {
+		t.Fatalf("live = %d, want 1", h.LiveObjects())
+	}
+}

@@ -1,0 +1,199 @@
+// Package kcov provides a kernel code-coverage collector modeled after the
+// Linux kcov facility. The virtual kernel and its drivers record
+// program-counter hits into a per-execution trace buffer, which the fuzzing
+// harness slices per call and folds into deduplicated coverage sets.
+//
+// Real kcov exposes a ring of PC values written by compiler instrumentation.
+// Here, cover points are declared explicitly by driver code via PC, which
+// derives a stable 32-bit identifier from the (module, site) pair so that
+// coverage is comparable across runs and devices.
+package kcov
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// PC derives a stable program-counter identifier for a cover point. Module is
+// typically a driver name ("tcpc") and site a small integer unique within the
+// module (one per basic block the driver wants to expose).
+func PC(module string, site uint32) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(module))
+	h.Write([]byte{byte(site), byte(site >> 8), byte(site >> 16), byte(site >> 24)})
+	pc := h.Sum32()
+	if pc == 0 { // reserve 0 as "no PC"
+		pc = 1
+	}
+	return pc
+}
+
+// Collector accumulates PC hits for a single execution. It mirrors the
+// per-task kcov buffer: Enable/Disable bracket a traced region, Hit appends,
+// and Trace returns the ordered hit sequence.
+//
+// A Collector is safe for concurrent use; the virtual kernel may be entered
+// from both the native executor and HAL service goroutines.
+type Collector struct {
+	mu      sync.Mutex
+	enabled bool
+	trace   []uint32
+	max     int
+	dropped uint64
+}
+
+// DefaultTraceCap is the default maximum number of PC entries retained per
+// execution, mirroring kcov's fixed-size coverage buffer.
+const DefaultTraceCap = 1 << 16
+
+// NewCollector returns a collector retaining at most max PC hits per
+// execution. If max <= 0, DefaultTraceCap is used.
+func NewCollector(max int) *Collector {
+	if max <= 0 {
+		max = DefaultTraceCap
+	}
+	return &Collector{max: max}
+}
+
+// Enable starts tracing. Hits recorded while disabled are ignored, like
+// KCOV_ENABLE gating in the real facility.
+func (c *Collector) Enable() {
+	c.mu.Lock()
+	c.enabled = true
+	c.mu.Unlock()
+}
+
+// Disable stops tracing without clearing the buffer.
+func (c *Collector) Disable() {
+	c.mu.Lock()
+	c.enabled = false
+	c.mu.Unlock()
+}
+
+// Reset clears the trace buffer, keeping the enabled state.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.trace = c.trace[:0]
+	c.dropped = 0
+	c.mu.Unlock()
+}
+
+// Hit records one cover-point hit if tracing is enabled. Hits beyond the
+// buffer capacity are counted as dropped, matching kcov overflow behavior.
+func (c *Collector) Hit(pc uint32) {
+	c.mu.Lock()
+	if c.enabled {
+		if len(c.trace) < c.max {
+			c.trace = append(c.trace, pc)
+		} else {
+			c.dropped++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Mark returns the current trace length. Together with Slice it lets the
+// executor attribute coverage to individual calls in a program.
+func (c *Collector) Mark() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.trace)
+}
+
+// Slice returns a copy of the trace from mark to the current position.
+func (c *Collector) Slice(mark int) []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mark < 0 || mark > len(c.trace) {
+		return nil
+	}
+	out := make([]uint32, len(c.trace)-mark)
+	copy(out, c.trace[mark:])
+	return out
+}
+
+// Trace returns a copy of the full ordered PC trace for this execution.
+func (c *Collector) Trace() []uint32 {
+	return c.Slice(0)
+}
+
+// Dropped reports how many hits were discarded due to buffer overflow.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Set is a deduplicated coverage signal: the set of distinct PCs observed.
+type Set map[uint32]struct{}
+
+// NewSet builds a Set from a raw trace.
+func NewSet(trace []uint32) Set {
+	s := make(Set, len(trace))
+	for _, pc := range trace {
+		s[pc] = struct{}{}
+	}
+	return s
+}
+
+// Len reports the number of distinct PCs.
+func (s Set) Len() int { return len(s) }
+
+// Has reports whether pc is covered.
+func (s Set) Has(pc uint32) bool {
+	_, ok := s[pc]
+	return ok
+}
+
+// Merge adds all PCs in other to s and returns the number newly added.
+func (s Set) Merge(other Set) int {
+	added := 0
+	for pc := range other {
+		if _, ok := s[pc]; !ok {
+			s[pc] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+// MergeTrace adds all PCs in a raw trace to s, returning the number added.
+func (s Set) MergeTrace(trace []uint32) int {
+	added := 0
+	for _, pc := range trace {
+		if _, ok := s[pc]; !ok {
+			s[pc] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+// Diff returns the PCs present in other but not in s.
+func (s Set) Diff(other Set) Set {
+	d := make(Set)
+	for pc := range other {
+		if _, ok := s[pc]; !ok {
+			d[pc] = struct{}{}
+		}
+	}
+	return d
+}
+
+// Sorted returns the covered PCs in ascending order; useful for stable
+// serialization and tests.
+func (s Set) Sorted() []uint32 {
+	out := make([]uint32, 0, len(s))
+	for pc := range s {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the set for logs.
+func (s Set) String() string {
+	return fmt.Sprintf("kcov.Set(%d pcs)", len(s))
+}

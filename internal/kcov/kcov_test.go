@@ -1,0 +1,134 @@
+package kcov
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPCStableAndNonZero(t *testing.T) {
+	a := PC("tcpc", 10)
+	b := PC("tcpc", 10)
+	if a != b {
+		t.Fatalf("PC not stable: %d != %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("PC returned reserved value 0")
+	}
+	if PC("tcpc", 11) == a {
+		t.Fatal("different sites collided")
+	}
+	if PC("hci", 10) == a {
+		t.Fatal("different modules collided")
+	}
+}
+
+func TestPCNeverZeroProperty(t *testing.T) {
+	f := func(module string, site uint32) bool {
+		return PC(module, site) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorGating(t *testing.T) {
+	c := NewCollector(0)
+	c.Hit(1) // disabled: ignored
+	c.Enable()
+	c.Hit(2)
+	c.Hit(3)
+	c.Disable()
+	c.Hit(4) // disabled again
+	got := c.Trace()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("trace = %v, want [2 3]", got)
+	}
+}
+
+func TestCollectorMarkSlice(t *testing.T) {
+	c := NewCollector(0)
+	c.Enable()
+	c.Hit(1)
+	m := c.Mark()
+	c.Hit(2)
+	c.Hit(3)
+	got := c.Slice(m)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("slice = %v, want [2 3]", got)
+	}
+	if c.Slice(-1) != nil || c.Slice(100) != nil {
+		t.Fatal("out-of-range slice should be nil")
+	}
+}
+
+func TestCollectorOverflow(t *testing.T) {
+	c := NewCollector(4)
+	c.Enable()
+	for i := uint32(0); i < 10; i++ {
+		c.Hit(i + 1)
+	}
+	if len(c.Trace()) != 4 {
+		t.Fatalf("trace len = %d, want 4", len(c.Trace()))
+	}
+	if c.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", c.Dropped())
+	}
+	c.Reset()
+	if len(c.Trace()) != 0 || c.Dropped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet([]uint32{3, 1, 2, 3, 1})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if !s.Has(1) || s.Has(4) {
+		t.Fatal("membership wrong")
+	}
+	other := NewSet([]uint32{3, 4, 5})
+	if added := s.Merge(other); added != 2 {
+		t.Fatalf("merge added %d, want 2", added)
+	}
+	sorted := s.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Fatalf("not sorted: %v", sorted)
+		}
+	}
+}
+
+func TestSetDiffDisjoint(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		sa, sb := NewSet(a), NewSet(b)
+		d := sa.Diff(sb)
+		for pc := range d {
+			if sa.Has(pc) {
+				return false // diff must not contain elements of sa
+			}
+			if !sb.Has(pc) {
+				return false // diff must come from sb
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTraceIdempotent(t *testing.T) {
+	f := func(tr []uint32) bool {
+		s := NewSet(nil)
+		s.MergeTrace(tr)
+		n := s.Len()
+		if added := s.MergeTrace(tr); added != 0 {
+			return false
+		}
+		return s.Len() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

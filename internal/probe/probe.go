@@ -1,0 +1,400 @@
+// Package probe implements DroidFuzz's pre-testing HAL driver probing pass
+// (paper §IV-B, Fig. 3). Release firmware ships no HAL interface
+// descriptions, so the pass reconstructs them by poking the running system:
+//
+//  1. an lshal-style enumeration of registered HAL services through
+//     ServiceManager;
+//  2. a Poke trial of every reflected interface, marshaling minimal
+//     parameters and invoking the method, while
+//  3. eBPF hooks on Binder-adjacent syscalls record the kernel interaction
+//     each interface produces; and
+//  4. normalized-occurrence weighting: the framework's high-level APIs are
+//     exercised and the number of times each interface is triggered becomes
+//     its base-invocation weight.
+//
+// The output is a set of DSL call descriptions for the HAL boundary that
+// the generator treats exactly like syscall descriptions.
+package probe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"droidfuzz/internal/binder"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/ebpf"
+	"droidfuzz/internal/vkernel"
+)
+
+// ServiceReport summarizes probing one HAL service.
+type ServiceReport struct {
+	Descriptor string
+	Methods    int
+	// TrialEvents is the number of HAL-origin syscalls the Poke trials of
+	// this service produced (the eBPF-observed kernel interaction).
+	TrialEvents int
+}
+
+// Result is the probing pass output.
+type Result struct {
+	// Interfaces are the discovered HAL interfaces as DSL descriptions,
+	// weights assigned.
+	Interfaces []*dsl.CallDesc
+	// Services summarizes per-service findings, sorted by descriptor.
+	Services []ServiceReport
+	// Occurrences maps interface DSL names to raw trigger counts from the
+	// framework-API weighting runs.
+	Occurrences map[string]int
+	// Seeds are the observed framework workloads distilled into DSL
+	// programs — one per high-level operation, with the real marshaled
+	// argument values and resource flow reconstructed. They bootstrap the
+	// fuzzer's corpus with realistic interaction sequences.
+	Seeds []*dsl.Prog
+}
+
+// Options tune the probing pass.
+type Options struct {
+	// WeightRounds is how many times each framework operation is run for
+	// occurrence counting (default 3).
+	WeightRounds int
+	// MinWeight and MaxWeight bound the normalized interface weights
+	// (defaults 0.10 and 0.90).
+	MinWeight, MaxWeight float64
+}
+
+func (o *Options) defaults() {
+	if o.WeightRounds <= 0 {
+		o.WeightRounds = 3
+	}
+	if o.MinWeight <= 0 {
+		o.MinWeight = 0.10
+	}
+	if o.MaxWeight <= 0 || o.MaxWeight >= 1 {
+		o.MaxWeight = 0.90
+	}
+}
+
+// shortName compresses a Binder descriptor to the DSL service prefix:
+// "android.hardware.graphics.composer" -> "graphics.composer".
+func shortName(descriptor string) string {
+	return strings.TrimPrefix(descriptor, "android.hardware.")
+}
+
+// DSLName returns the DSL call name for a probed interface.
+func DSLName(descriptor, method string) string {
+	return "hal$" + shortName(descriptor) + "." + method
+}
+
+// Run executes the probing pass against a booted device.
+func Run(dev *device.Device, opts Options) (*Result, error) {
+	opts.defaults()
+	res := &Result{Occurrences: make(map[string]int)}
+
+	// Step 1: enumerate services (lshal through ServiceManager).
+	descriptors := dev.SM.List()
+
+	// Step 2+3: reflect and poke each service under an eBPF probe.
+	for _, desc := range descriptors {
+		report, ifaces, err := pokeService(dev, desc)
+		if err != nil {
+			return nil, err
+		}
+		res.Services = append(res.Services, report)
+		res.Interfaces = append(res.Interfaces, ifaces...)
+	}
+	sort.Slice(res.Services, func(i, j int) bool {
+		return res.Services[i].Descriptor < res.Services[j].Descriptor
+	})
+
+	// The Poke trials may have tripped buggy paths; restore a clean
+	// device before weighting (the pass is pre-testing: a rebooted,
+	// healthy device is its postcondition).
+	if !dev.Healthy() {
+		dev.Reboot()
+	}
+
+	// Step 4: occurrence weighting through high-level framework APIs. The
+	// same observed IPC traffic also yields argument-value hints — the
+	// actual parameters real clients marshal — which generation later
+	// replays with perturbations (historical payloads, §IV-C).
+	counts := make(map[string]int)
+	hints := make(map[string]map[int][]uint64) // iface name -> arg idx -> values
+	codeToDesc := make(map[string]*dsl.CallDesc, len(res.Interfaces))
+	for _, d := range res.Interfaces {
+		codeToDesc[fmt.Sprintf("%s#%d", d.Service, d.MethodCode)] = d
+	}
+	var trace []*dsl.Call // current op's distilled calls; nil = not recording
+	dev.SM.SetObserver(func(descriptor string, code uint32, payload []byte) {
+		if code == binder.InterfaceTransaction {
+			return
+		}
+		d, ok := codeToDesc[fmt.Sprintf("%s#%d", descriptor, code)]
+		if !ok {
+			return
+		}
+		counts[d.Name]++
+		harvestHints(hints, d, payload)
+		if trace != nil {
+			if c := decodeCall(d, payload); c != nil {
+				trace = append(trace, c)
+			}
+		}
+	})
+	for round := 0; round < opts.WeightRounds; round++ {
+		for _, op := range dev.FW.Ops() {
+			record := round == 0
+			if record {
+				trace = []*dsl.Call{}
+			}
+			// Individual operations may fail on a crashed service; the
+			// weighting pass tolerates it and reboots below.
+			_ = op.Run()
+			if record {
+				if seed := distillSeed(trace); seed != nil {
+					res.Seeds = append(res.Seeds, seed)
+				}
+				trace = nil
+			}
+			if !dev.Healthy() {
+				dev.Reboot()
+			}
+		}
+	}
+	dev.SM.SetObserver(nil)
+	// The pass is pre-testing: it always hands fuzzing a freshly booted
+	// device, leaving no trial or workload state behind.
+	dev.Reboot()
+	res.Occurrences = counts
+	applyHints(res.Interfaces, hints)
+
+	// Normalize occurrences into vertex weights in (0,1).
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for _, d := range res.Interfaces {
+		c := counts[d.Name]
+		if maxCount == 0 || c == 0 {
+			d.Weight = opts.MinWeight
+			continue
+		}
+		d.Weight = opts.MinWeight +
+			(opts.MaxWeight-opts.MinWeight)*float64(c)/float64(maxCount)
+	}
+	return res, nil
+}
+
+// maxHints bounds the distinct observed values kept per argument.
+const maxHints = 8
+
+// harvestHints decodes one observed request payload against the
+// interface's signature, recording scalar argument values.
+func harvestHints(hints map[string]map[int][]uint64, d *dsl.CallDesc, payload []byte) {
+	p := binder.FromBytes(payload)
+	for i, f := range d.Args {
+		switch f.Type.Kind {
+		case dsl.KindBuffer:
+			if _, err := p.ReadBytes(); err != nil {
+				return
+			}
+		case dsl.KindString, dsl.KindFilename:
+			if _, err := p.ReadString(); err != nil {
+				return
+			}
+		default:
+			v, err := p.ReadUint64()
+			if err != nil {
+				return
+			}
+			if f.Type.Kind != dsl.KindInt {
+				continue // flags/resources carry no reusable value
+			}
+			byArg := hints[d.Name]
+			if byArg == nil {
+				byArg = make(map[int][]uint64)
+				hints[d.Name] = byArg
+			}
+			seen := false
+			for _, h := range byArg[i] {
+				if h == v {
+					seen = true
+					break
+				}
+			}
+			if !seen && len(byArg[i]) < maxHints {
+				byArg[i] = append(byArg[i], v)
+			}
+		}
+	}
+}
+
+// decodeCall reconstructs one observed invocation from its payload, or nil
+// if the payload does not parse against the signature.
+func decodeCall(d *dsl.CallDesc, payload []byte) *dsl.Call {
+	p := binder.FromBytes(payload)
+	c := &dsl.Call{Desc: d, Args: make([]dsl.Arg, len(d.Args))}
+	for i, f := range d.Args {
+		switch f.Type.Kind {
+		case dsl.KindBuffer:
+			data, err := p.ReadBytes()
+			if err != nil {
+				return nil
+			}
+			c.Args[i] = dsl.Arg{Data: data}
+		case dsl.KindString, dsl.KindFilename:
+			s, err := p.ReadString()
+			if err != nil {
+				return nil
+			}
+			c.Args[i] = dsl.Arg{Str: s}
+		default:
+			v, err := p.ReadUint64()
+			if err != nil {
+				return nil
+			}
+			if f.Type.Kind == dsl.KindResource {
+				c.Args[i] = dsl.Arg{Ref: -1} // linked by distillSeed
+			} else {
+				c.Args[i] = dsl.Arg{Val: v}
+			}
+		}
+	}
+	return c
+}
+
+// distillSeed turns one operation's observed call trace into a program,
+// reconstructing resource flow by linking each resource argument to the
+// most recent earlier call producing its kind.
+func distillSeed(calls []*dsl.Call) *dsl.Prog {
+	if len(calls) == 0 {
+		return nil
+	}
+	p := &dsl.Prog{Calls: calls}
+	for i, c := range p.Calls {
+		for ai, f := range c.Desc.Args {
+			if f.Type.Kind != dsl.KindResource {
+				continue
+			}
+			for j := i - 1; j >= 0; j-- {
+				if p.Calls[j].Desc.Ret == f.Type.Res {
+					c.Args[ai].Ref = j
+					break
+				}
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil
+	}
+	return p
+}
+
+// applyHints attaches the harvested values to the interface descriptions.
+func applyHints(ifaces []*dsl.CallDesc, hints map[string]map[int][]uint64) {
+	for _, d := range ifaces {
+		byArg, ok := hints[d.Name]
+		if !ok {
+			continue
+		}
+		for i := range d.Args {
+			if vals := byArg[i]; len(vals) > 0 {
+				d.Args[i].Type.Hints = vals
+			}
+		}
+	}
+}
+
+// pokeService reflects one service's method table and runs a minimal Poke
+// trial of every method while recording its kernel interaction.
+func pokeService(dev *device.Device, desc string) (ServiceReport, []*dsl.CallDesc, error) {
+	report := ServiceReport{Descriptor: desc}
+
+	reflIn, reflOut := binder.NewParcel(), binder.NewParcel()
+	if st := dev.SM.Call(desc, binder.InterfaceTransaction, reflIn, reflOut); st != binder.StatusOK {
+		return report, nil, fmt.Errorf("probe: reflect %s: %v", desc, st)
+	}
+	methods, err := binder.UnmarshalMethods(reflOut)
+	if err != nil {
+		return report, nil, fmt.Errorf("probe: reflect %s: %w", desc, err)
+	}
+	report.Methods = len(methods)
+
+	// Attach the trial probe: HAL-origin syscalls only.
+	trialProbe := dev.Hub.Attach(ebpf.OriginFilter(vkernel.OriginHAL), 0)
+	defer trialProbe.Detach()
+
+	var ifaces []*dsl.CallDesc
+	for _, m := range methods {
+		in, out := binder.NewParcel(), binder.NewParcel()
+		marshalTrialArgs(in, m.Args)
+		// The trial outcome is irrelevant; BAD_VALUE replies still
+		// confirm the interface parses its arguments.
+		_ = dev.SM.Call(desc, m.Code, in, out)
+		ifaces = append(ifaces, sigToDesc(desc, m))
+	}
+	report.TrialEvents = len(trialProbe.Take())
+	return report, ifaces, nil
+}
+
+// marshalTrialArgs writes minimal trial parameters for a reflected
+// signature: range minima, first choices, empty buffers, null handles.
+func marshalTrialArgs(in *binder.Parcel, args []binder.ArgSig) {
+	for _, a := range args {
+		switch a.Kind {
+		case "buffer":
+			in.WriteBytes(nil)
+		case "string":
+			if len(a.StrChoices) > 0 {
+				in.WriteString(a.StrChoices[0])
+			} else {
+				in.WriteString("")
+			}
+		case "flags":
+			if len(a.Choices) > 0 {
+				in.WriteUint64(a.Choices[0])
+			} else {
+				in.WriteUint64(0)
+			}
+		case "resource":
+			in.WriteUint64(0) // null handle
+		default:
+			in.WriteUint64(a.Min)
+		}
+	}
+}
+
+// sigToDesc converts a reflected method signature into a DSL description.
+func sigToDesc(descriptor string, m binder.MethodSig) *dsl.CallDesc {
+	d := &dsl.CallDesc{
+		Name:        DSLName(descriptor, m.Name),
+		Class:       dsl.ClassHAL,
+		Service:     descriptor,
+		Method:      m.Name,
+		MethodCode:  m.Code,
+		Ret:         m.Ret,
+		CriticalArg: -1,
+	}
+	for _, a := range m.Args {
+		d.Args = append(d.Args, dsl.Field{Name: a.Name, Type: sigToType(a)})
+	}
+	return d
+}
+
+func sigToType(a binder.ArgSig) dsl.Type {
+	switch a.Kind {
+	case "flags":
+		return dsl.Flags(a.Choices...)
+	case "buffer":
+		return dsl.Buffer(int(a.BufLen))
+	case "string":
+		return dsl.String_(a.StrChoices...)
+	case "resource":
+		return dsl.Resource(a.Res)
+	default:
+		return dsl.Int(a.Min, a.Max)
+	}
+}

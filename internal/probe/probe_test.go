@@ -1,0 +1,193 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+)
+
+func runProbe(t *testing.T, modelID string) (*device.Device, *Result) {
+	t.Helper()
+	m, err := device.ModelByID(modelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(m)
+	res, err := Run(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, res
+}
+
+func TestProbeExtractsEveryService(t *testing.T) {
+	dev, res := runProbe(t, "A1")
+	if len(res.Services) != len(dev.Model.HALs) {
+		t.Fatalf("services = %d, want %d", len(res.Services), len(dev.Model.HALs))
+	}
+	for _, s := range res.Services {
+		if s.Methods == 0 {
+			t.Fatalf("%s reflected no methods", s.Descriptor)
+		}
+	}
+	if len(res.Interfaces) < 40 {
+		t.Fatalf("interfaces = %d", len(res.Interfaces))
+	}
+	// Every interface must be a valid DSL description.
+	for _, d := range res.Interfaces {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if d.Class != dsl.ClassHAL {
+			t.Fatalf("%s not HAL class", d.Name)
+		}
+	}
+	// The pass leaves a healthy device behind.
+	if !dev.Healthy() {
+		t.Fatal("device unhealthy after probing")
+	}
+}
+
+func TestProbeWeightsNormalized(t *testing.T) {
+	_, res := runProbe(t, "A1")
+	var hit, unhit int
+	for _, d := range res.Interfaces {
+		if d.Weight <= 0 || d.Weight >= 1 {
+			t.Fatalf("%s weight %f out of (0,1)", d.Name, d.Weight)
+		}
+		if res.Occurrences[d.Name] > 0 {
+			hit++
+		} else {
+			unhit++
+		}
+	}
+	if hit == 0 {
+		t.Fatal("occurrence weighting observed nothing")
+	}
+	// Framework-exercised interfaces outweigh never-observed ones.
+	var maxUnhit, minHit float64 = 0, 1
+	for _, d := range res.Interfaces {
+		if res.Occurrences[d.Name] > 0 {
+			if d.Weight < minHit {
+				minHit = d.Weight
+			}
+		} else if d.Weight > maxUnhit {
+			maxUnhit = d.Weight
+		}
+	}
+	if unhit > 0 && minHit < maxUnhit {
+		t.Fatalf("weighting inverted: minHit=%f maxUnhit=%f", minHit, maxUnhit)
+	}
+}
+
+func TestProbeHarvestsHints(t *testing.T) {
+	_, res := runProbe(t, "C1")
+	// The framework programs camera rotation (control id 13): the probing
+	// pass must have harvested it as a hint for setParameter's id arg.
+	for _, d := range res.Interfaces {
+		if d.Name != "hal$camera.provider.setParameter" {
+			continue
+		}
+		var idHints []uint64
+		for _, f := range d.Args {
+			if f.Name == "id" {
+				idHints = f.Type.Hints
+			}
+		}
+		for _, h := range idHints {
+			if h == 13 {
+				return
+			}
+		}
+		t.Fatalf("rotation id hint missing: %v", idHints)
+	}
+	t.Fatal("setParameter not extracted")
+}
+
+func TestProbeSeedsReplay(t *testing.T) {
+	dev, res := runProbe(t, "A1")
+	if len(res.Seeds) == 0 {
+		t.Fatal("no workload seeds distilled")
+	}
+	for i, s := range res.Seeds {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d invalid: %v", i, err)
+		}
+		if s.Len() == 0 {
+			t.Fatalf("seed %d empty", i)
+		}
+	}
+	// Seeds carry reconstructed resource flow: at least one seed links a
+	// consumer to a producer.
+	linked := false
+	for _, s := range res.Seeds {
+		for _, c := range s.Calls {
+			for _, a := range c.Args {
+				if a.Ref >= 0 {
+					linked = true
+				}
+			}
+		}
+	}
+	if !linked {
+		t.Fatal("no resource flow reconstructed in seeds")
+	}
+	_ = dev
+}
+
+func TestProbeInterfaceNaming(t *testing.T) {
+	if got := DSLName("android.hardware.graphics.composer", "createLayer"); got != "hal$graphics.composer.createLayer" {
+		t.Fatalf("name = %q", got)
+	}
+	_, res := runProbe(t, "B")
+	for _, d := range res.Interfaces {
+		if !strings.HasPrefix(d.Name, "hal$") {
+			t.Fatalf("bad name %q", d.Name)
+		}
+	}
+}
+
+func TestProbeTargetsOnlyDeviceHALs(t *testing.T) {
+	// Device B has no camera provider; probing must not invent one.
+	_, res := runProbe(t, "B")
+	for _, d := range res.Interfaces {
+		if strings.Contains(d.Name, "camera") {
+			t.Fatalf("phantom interface %q on device B", d.Name)
+		}
+	}
+}
+
+func TestProbedDescriptionsSerializeRoundTrip(t *testing.T) {
+	// The probing output must survive the Syzlang-lite file format, so a
+	// firmware needs probing only once.
+	_, res := runProbe(t, "C1")
+	text := dsl.FormatDescs(res.Interfaces)
+	parsed, err := dsl.ParseDescs(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(parsed) != len(res.Interfaces) {
+		t.Fatalf("parsed %d, want %d", len(parsed), len(res.Interfaces))
+	}
+	if dsl.FormatDescs(parsed) != text {
+		t.Fatal("format not canonical after round trip")
+	}
+	// The parsed set must form a valid target usable for parsing corpus
+	// programs (hints included).
+	if _, err := dsl.NewTarget(parsed...); err != nil {
+		t.Fatal(err)
+	}
+	hintSurvived := false
+	for _, d := range parsed {
+		for _, f := range d.Args {
+			if len(f.Type.Hints) > 0 {
+				hintSurvived = true
+			}
+		}
+	}
+	if !hintSurvived {
+		t.Fatal("argument hints lost in serialization")
+	}
+}

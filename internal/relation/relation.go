@@ -1,0 +1,319 @@
+// Package relation implements DroidFuzz's kernel–user relation graph
+// (paper §IV-C): a directed weighted graph G_rel = (V, E) whose vertices are
+// the individual system calls and HAL interfaces, each carrying a fixed
+// weight w ∈ (0,1) that is the probability mass of being chosen as the base
+// invocation, and whose edges carry learned dependency confidence.
+//
+// When a minimized program reveals new coverage, each adjacent ordered pair
+// a→b is learned with the paper's Eq. (1):
+//
+//	w(a,b) = 1 - Σ_{e=(x,b), x≠a} w(x,b) / 2
+//
+// while the other edges into b are halved, so the in-weights of b stay
+// normalized to 1 and the freshest dependency dominates. Periodic decay
+// multiplies all edge weights by a factor < 1 to keep exploration alive.
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Vertex is one system call or HAL interface node.
+type Vertex struct {
+	Name string
+	// Weight is the fixed base-invocation weight from descriptions
+	// (syscalls) or probing (HAL interfaces).
+	Weight float64
+	// Out maps successor names to edge weights (dependency a→b means b
+	// depends on a having run before it).
+	Out map[string]float64
+	// In maps predecessor names to the same edge weights.
+	In map[string]float64
+}
+
+// Graph is the relation graph. Safe for concurrent use: the daemon shares
+// one relation table across fuzzing engines (paper §IV-A).
+type Graph struct {
+	mu    sync.Mutex
+	verts map[string]*Vertex
+	names []string // insertion order for deterministic iteration
+	edges int
+	// learns counts Learn operations, for stats.
+	learns uint64
+}
+
+// New returns a graph with no vertices.
+func New() *Graph {
+	return &Graph{verts: make(map[string]*Vertex)}
+}
+
+// AddVertex inserts a vertex with the given base weight. Re-adding an
+// existing name updates its weight and keeps its edges.
+func (g *Graph) AddVertex(name string, weight float64) {
+	if weight <= 0 {
+		weight = 0.01
+	}
+	if weight >= 1 {
+		weight = 0.99
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := g.verts[name]; ok {
+		v.Weight = weight
+		return
+	}
+	g.verts[name] = &Vertex{
+		Name:   name,
+		Weight: weight,
+		Out:    make(map[string]float64),
+		In:     make(map[string]float64),
+	}
+	g.names = append(g.names, name)
+}
+
+// Vertex returns a snapshot copy of the named vertex, or nil.
+func (g *Graph) Vertex(name string) *Vertex {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.verts[name]
+	if !ok {
+		return nil
+	}
+	c := &Vertex{Name: v.Name, Weight: v.Weight,
+		Out: make(map[string]float64, len(v.Out)),
+		In:  make(map[string]float64, len(v.In))}
+	for k, w := range v.Out {
+		c.Out[k] = w
+	}
+	for k, w := range v.In {
+		c.In[k] = w
+	}
+	return c
+}
+
+// Len reports the number of vertices.
+func (g *Graph) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.verts)
+}
+
+// Edges reports the number of directed edges.
+func (g *Graph) Edges() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.edges
+}
+
+// Learns reports how many relations were learned since construction.
+func (g *Graph) Learns() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.learns
+}
+
+// EdgeWeight returns the weight of a→b, or 0 if absent.
+func (g *Graph) EdgeWeight(a, b string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	va, ok := g.verts[a]
+	if !ok {
+		return 0
+	}
+	return va.Out[b]
+}
+
+// Learn records the dependency a→b per Eq. (1): existing sibling edges into
+// b are halved, and the new edge takes the remaining normalized mass.
+// Unknown vertices are ignored (descriptions change across probing runs).
+func (g *Graph) Learn(a, b string) {
+	if a == b {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	va, ok := g.verts[a]
+	if !ok {
+		return
+	}
+	vb, ok := g.verts[b]
+	if !ok {
+		return
+	}
+	if _, existed := va.Out[b]; !existed {
+		g.edges++
+	}
+	// Halve the other edges into b, summing their halved weights. The
+	// iteration is sorted so floating-point accumulation is identical
+	// across runs — campaigns must replay bit-exactly from a seed.
+	siblings := make([]string, 0, len(vb.In))
+	for x := range vb.In {
+		if x != a {
+			siblings = append(siblings, x)
+		}
+	}
+	sort.Strings(siblings)
+	var sum float64
+	for _, x := range siblings {
+		half := vb.In[x] / 2
+		vb.In[x] = half
+		g.verts[x].Out[b] = half
+		sum += half
+	}
+	w := 1 - sum
+	if w < 0 {
+		w = 0
+	}
+	va.Out[b] = w
+	vb.In[a] = w
+	g.learns++
+}
+
+// Decay multiplies every edge weight by factor (0 < factor < 1), the
+// periodic reduction that keeps DroidFuzz exploring new interaction paths.
+// Edges decayed below floor are pruned.
+func (g *Graph) Decay(factor, floor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, v := range g.verts {
+		for b, w := range v.Out {
+			nw := w * factor
+			if nw < floor {
+				delete(v.Out, b)
+				delete(g.verts[b].In, v.Name)
+				g.edges--
+				continue
+			}
+			v.Out[b] = nw
+			g.verts[b].In[v.Name] = nw
+		}
+	}
+}
+
+// PickBase draws a base invocation: vertices are sampled proportionally to
+// their fixed weights (paper: the vertex weight "corresponds to the
+// probability at which the system call or interface is chosen during
+// generation as the base invocation").
+func (g *Graph) PickBase(rng *rand.Rand) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total float64
+	for _, name := range g.names {
+		total += g.verts[name].Weight
+	}
+	if total == 0 {
+		return ""
+	}
+	x := rng.Float64() * total
+	for _, name := range g.names {
+		x -= g.verts[name].Weight
+		if x <= 0 {
+			return name
+		}
+	}
+	return g.names[len(g.names)-1]
+}
+
+// Successors returns the out-edges of name sorted by descending weight.
+func (g *Graph) Successors(name string) []Edge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.verts[name]
+	if !ok {
+		return nil
+	}
+	out := make([]Edge, 0, len(v.Out))
+	for b, w := range v.Out {
+		out = append(out, Edge{From: name, To: b, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Edge is one directed dependency with its confidence weight.
+type Edge struct {
+	From, To string
+	Weight   float64
+}
+
+// Walk performs the generation-time traversal: starting from `from`, it
+// repeatedly steps to a successor with probability proportional to edge
+// weight, stopping when the stop probability fires or no successor exists.
+// The returned slice excludes the starting vertex and has at most maxLen
+// elements.
+func (g *Graph) Walk(rng *rand.Rand, from string, maxLen int, stopProb float64) []string {
+	var path []string
+	cur := from
+	for len(path) < maxLen {
+		if rng.Float64() < stopProb {
+			break
+		}
+		succ := g.Successors(cur)
+		if len(succ) == 0 {
+			break
+		}
+		var total float64
+		for _, e := range succ {
+			total += e.Weight
+		}
+		if total <= 0 {
+			break
+		}
+		x := rng.Float64() * total
+		next := succ[len(succ)-1].To
+		for _, e := range succ {
+			x -= e.Weight
+			if x <= 0 {
+				next = e.To
+				break
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// Names returns the vertex names in insertion order.
+func (g *Graph) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.names))
+	copy(out, g.names)
+	return out
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return fmt.Sprintf("relation.Graph(%d vertices, %d edges, %d learned)",
+		len(g.verts), g.edges, g.learns)
+}
+
+// InWeightSum returns the total in-edge weight of b (≈1 after learning, by
+// Eq. (1) normalization); exposed for tests and invariant checks.
+func (g *Graph) InWeightSum(b string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.verts[b]
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, w := range v.In {
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,218 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddVertexClampsWeights(t *testing.T) {
+	g := New()
+	g.AddVertex("a", -1)
+	g.AddVertex("b", 2)
+	g.AddVertex("c", 0.5)
+	if w := g.Vertex("a").Weight; w <= 0 || w >= 1 {
+		t.Fatalf("a weight = %f", w)
+	}
+	if w := g.Vertex("b").Weight; w <= 0 || w >= 1 {
+		t.Fatalf("b weight = %f", w)
+	}
+	if g.Vertex("c").Weight != 0.5 {
+		t.Fatal("c weight wrong")
+	}
+	if g.Len() != 3 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	// Re-adding updates the weight, keeps the vertex.
+	g.AddVertex("c", 0.7)
+	if g.Vertex("c").Weight != 0.7 || g.Len() != 3 {
+		t.Fatal("re-add broken")
+	}
+}
+
+func TestLearnEquation1Exact(t *testing.T) {
+	g := New()
+	for _, v := range []string{"a", "b", "x", "y"} {
+		g.AddVertex(v, 0.5)
+	}
+	// First relation into b: full weight.
+	g.Learn("a", "b")
+	if w := g.EdgeWeight("a", "b"); w != 1 {
+		t.Fatalf("w(a,b) = %f, want 1", w)
+	}
+	// Second relation into b from x: a's edge halves (0.5), x gets
+	// 1 - 0.5 = 0.5.
+	g.Learn("x", "b")
+	if w := g.EdgeWeight("a", "b"); w != 0.5 {
+		t.Fatalf("w(a,b) = %f, want 0.5", w)
+	}
+	if w := g.EdgeWeight("x", "b"); w != 0.5 {
+		t.Fatalf("w(x,b) = %f, want 0.5", w)
+	}
+	// Third: a -> 0.25, x -> 0.25, y -> 1 - 0.5 = 0.5.
+	g.Learn("y", "b")
+	if w := g.EdgeWeight("a", "b"); w != 0.25 {
+		t.Fatalf("w(a,b) = %f", w)
+	}
+	if w := g.EdgeWeight("y", "b"); w != 0.5 {
+		t.Fatalf("w(y,b) = %f", w)
+	}
+	// Re-learning an existing edge re-normalizes toward it.
+	g.Learn("a", "b")
+	if w := g.EdgeWeight("a", "b"); math.Abs(w-0.625) > 1e-9 {
+		t.Fatalf("w(a,b) = %f, want 0.625", w)
+	}
+}
+
+// TestLearnInWeightInvariant checks Eq. (1)'s normalization: after any
+// learn sequence, in-weights of every vertex sum to exactly 1 (or 0 if
+// nothing was learned into it).
+func TestLearnInWeightInvariant(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(pairs []uint8) bool {
+		g := New()
+		for _, n := range names {
+			g.AddVertex(n, 0.5)
+		}
+		learned := make(map[string]bool)
+		for _, p := range pairs {
+			from := names[int(p>>4)%len(names)]
+			to := names[int(p&0xf)%len(names)]
+			if from == to {
+				continue
+			}
+			g.Learn(from, to)
+			learned[to] = true
+		}
+		for _, n := range names {
+			sum := g.InWeightSum(n)
+			if learned[n] {
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			} else if sum != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnIgnoresUnknownAndSelf(t *testing.T) {
+	g := New()
+	g.AddVertex("a", 0.5)
+	g.Learn("a", "ghost")
+	g.Learn("ghost", "a")
+	g.Learn("a", "a")
+	if g.Edges() != 0 || g.Learns() != 0 {
+		t.Fatal("phantom learn recorded")
+	}
+}
+
+func TestDecayAndPrune(t *testing.T) {
+	g := New()
+	g.AddVertex("a", 0.5)
+	g.AddVertex("b", 0.5)
+	g.Learn("a", "b")
+	g.Decay(0.5, 0.01)
+	if w := g.EdgeWeight("a", "b"); w != 0.5 {
+		t.Fatalf("w = %f", w)
+	}
+	// Decay to below the floor prunes the edge entirely.
+	for i := 0; i < 10; i++ {
+		g.Decay(0.5, 0.01)
+	}
+	if g.EdgeWeight("a", "b") != 0 || g.Edges() != 0 {
+		t.Fatal("edge not pruned")
+	}
+	// Invalid factors are ignored.
+	g.Learn("a", "b")
+	g.Decay(0, 0.01)
+	g.Decay(1.5, 0.01)
+	if g.EdgeWeight("a", "b") != 1 {
+		t.Fatal("invalid decay applied")
+	}
+}
+
+func TestPickBaseFollowsWeights(t *testing.T) {
+	g := New()
+	g.AddVertex("heavy", 0.9)
+	g.AddVertex("light", 0.01)
+	rng := rand.New(rand.NewSource(1))
+	heavy := 0
+	for i := 0; i < 2000; i++ {
+		if g.PickBase(rng) == "heavy" {
+			heavy++
+		}
+	}
+	// Expected ~ 0.9/0.91 = 98.9%.
+	if heavy < 1800 {
+		t.Fatalf("heavy picked %d/2000", heavy)
+	}
+	empty := New()
+	if empty.PickBase(rng) != "" {
+		t.Fatal("empty graph picked something")
+	}
+}
+
+func TestWalkFollowsEdgesAndBounds(t *testing.T) {
+	g := New()
+	for _, v := range []string{"a", "b", "c", "d"} {
+		g.AddVertex(v, 0.5)
+	}
+	g.Learn("a", "b")
+	g.Learn("b", "c")
+	g.Learn("c", "d")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		path := g.Walk(rng, "a", 3, 0.0)
+		if len(path) > 3 {
+			t.Fatalf("path too long: %v", path)
+		}
+		// With stopProb 0 and single successors, the path is b, c, d.
+		if len(path) == 3 && (path[0] != "b" || path[1] != "c" || path[2] != "d") {
+			t.Fatalf("path = %v", path)
+		}
+	}
+	// stopProb 1 never walks.
+	if len(g.Walk(rng, "a", 3, 1.0)) != 0 {
+		t.Fatal("walk ignored stop probability")
+	}
+	// Walking from a sink is empty.
+	if len(g.Walk(rng, "d", 3, 0.0)) != 0 {
+		t.Fatal("walk from sink")
+	}
+}
+
+func TestSuccessorsSorted(t *testing.T) {
+	g := New()
+	for _, v := range []string{"a", "b", "c", "d"} {
+		g.AddVertex(v, 0.5)
+	}
+	g.Learn("a", "b") // later halved twice
+	g.Learn("a", "c") // later halved once? (edges out of a are independent)
+	g.Learn("a", "d")
+	succ := g.Successors("a")
+	if len(succ) != 3 {
+		t.Fatalf("successors = %d", len(succ))
+	}
+	for i := 1; i < len(succ); i++ {
+		if succ[i-1].Weight < succ[i].Weight {
+			t.Fatal("not sorted by weight")
+		}
+	}
+}
+
+func TestNamesStableOrder(t *testing.T) {
+	g := New()
+	g.AddVertex("z", 0.5)
+	g.AddVertex("a", 0.5)
+	names := g.Names()
+	if names[0] != "z" || names[1] != "a" {
+		t.Fatalf("names = %v (insertion order expected)", names)
+	}
+}

@@ -1,0 +1,181 @@
+// Package stats provides the statistical machinery the evaluation uses:
+// the Mann-Whitney U test (the paper's significance test, §V-A), summary
+// statistics, and time-series aggregation across repeated campaigns.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// MannWhitneyU computes the two-sided Mann-Whitney U test for independent
+// samples a and b, returning the U statistic (of sample a) and the p-value
+// from the normal approximation with tie correction. Samples smaller than 3
+// return p = 1 (no power).
+func MannWhitneyU(a, b []float64) (u float64, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 < 3 || n2 < 3 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks with tie groups.
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of ranks i+1 .. j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	u = u1
+
+	mu := fn1 * fn2 / 2
+	n := fn1 + fn2
+	sigma2 := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		return u, 1 // all observations tied
+	}
+	// Continuity-corrected z.
+	z := (math.Abs(u1-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	p = 2 * (1 - normCDF(z))
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// normCDF is the standard normal CDF via erf.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// Significant reports whether the two samples differ at the α = 0.05 level
+// under Mann-Whitney U (the paper labels non-significant groups).
+func Significant(a, b []float64) bool {
+	_, p := MannWhitneyU(a, b)
+	return p < 0.05
+}
+
+// Series is one coverage-over-time curve: parallel virtual-time and value
+// slices.
+type Series struct {
+	T []uint64
+	V []float64
+}
+
+// At interpolates the series at virtual time t using the last sample at or
+// before t (step interpolation, the natural reading of cumulative
+// coverage). Before the first sample it returns 0.
+func (s Series) At(t uint64) float64 {
+	v := 0.0
+	for i, st := range s.T {
+		if st > t {
+			break
+		}
+		v = s.V[i]
+	}
+	return v
+}
+
+// MeanSeries resamples several runs onto a common grid of n points spanning
+// [0, maxT] and averages them — the paper's "average coverage at each
+// timestamp" across 10 repetitions.
+func MeanSeries(runs []Series, n int, maxT uint64) Series {
+	if n <= 0 || len(runs) == 0 {
+		return Series{}
+	}
+	out := Series{T: make([]uint64, n), V: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		t := maxT * uint64(i+1) / uint64(n)
+		out.T[i] = t
+		var sum float64
+		for _, r := range runs {
+			sum += r.At(t)
+		}
+		out.V[i] = sum / float64(len(runs))
+	}
+	return out
+}
+
+// Finals extracts the final value of each run.
+func Finals(runs []Series) []float64 {
+	out := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		if len(r.V) == 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, r.V[len(r.V)-1])
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryStatistics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %f", Mean(xs))
+	}
+	if !almost(StdDev(xs), 2.138, 0.001) {
+		t.Fatalf("std = %f", StdDev(xs))
+	}
+	if Median(xs) != 4.5 {
+		t.Fatalf("median = %f", Median(xs))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 || Median(nil) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+func TestMannWhitneyKnownValues(t *testing.T) {
+	// Two clearly separated samples: p must be small.
+	a := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 9.5}
+	u, p := MannWhitneyU(a, b)
+	if u != 100 { // a ranks entirely above b: U1 = n1*n2
+		t.Fatalf("u = %f, want 100", u)
+	}
+	if p > 0.001 {
+		t.Fatalf("p = %f, want < 0.001", p)
+	}
+	if !Significant(a, b) {
+		t.Fatal("separated samples not significant")
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	a := []float64{5, 5, 5, 5, 5}
+	_, p := MannWhitneyU(a, a)
+	if p < 0.99 {
+		t.Fatalf("p = %f for all-tied samples, want 1", p)
+	}
+	if Significant(a, a) {
+		t.Fatal("identical samples significant")
+	}
+}
+
+func TestMannWhitneyOverlapping(t *testing.T) {
+	a := []float64{1, 3, 5, 7, 9, 11}
+	b := []float64{2, 4, 6, 8, 10, 12}
+	_, p := MannWhitneyU(a, b)
+	if p < 0.3 {
+		t.Fatalf("interleaved samples p = %f, want large", p)
+	}
+}
+
+func TestMannWhitneySmallSamples(t *testing.T) {
+	if _, p := MannWhitneyU([]float64{1}, []float64{2, 3, 4}); p != 1 {
+		t.Fatal("underpowered test should return p=1")
+	}
+}
+
+// TestMannWhitneySymmetry: swapping the samples never changes the p-value.
+func TestMannWhitneySymmetry(t *testing.T) {
+	f := func(a, b []float64) bool {
+		for _, v := range append(a, b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		_, p1 := MannWhitneyU(a, b)
+		_, p2 := MannWhitneyU(b, a)
+		return almost(p1, p2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{T: []uint64{10, 20, 30}, V: []float64{1, 2, 3}}
+	cases := map[uint64]float64{5: 0, 10: 1, 15: 1, 20: 2, 100: 3}
+	for tt, want := range cases {
+		if got := s.At(tt); got != want {
+			t.Errorf("At(%d) = %f, want %f", tt, got, want)
+		}
+	}
+}
+
+func TestMeanSeries(t *testing.T) {
+	runs := []Series{
+		{T: []uint64{10, 20}, V: []float64{1, 3}},
+		{T: []uint64{10, 20}, V: []float64{3, 5}},
+	}
+	m := MeanSeries(runs, 2, 20)
+	if len(m.T) != 2 {
+		t.Fatalf("points = %d", len(m.T))
+	}
+	if m.V[0] != 2 || m.V[1] != 4 {
+		t.Fatalf("means = %v", m.V)
+	}
+	if got := MeanSeries(nil, 4, 10); len(got.T) != 0 {
+		t.Fatal("empty runs should give empty series")
+	}
+}
+
+func TestFinals(t *testing.T) {
+	runs := []Series{
+		{T: []uint64{1}, V: []float64{7}},
+		{},
+	}
+	f := Finals(runs)
+	if len(f) != 2 || f[0] != 7 || f[1] != 0 {
+		t.Fatalf("finals = %v", f)
+	}
+}

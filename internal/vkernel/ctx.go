@@ -1,0 +1,111 @@
+package vkernel
+
+import (
+	"fmt"
+
+	"droidfuzz/internal/kasan"
+	"droidfuzz/internal/kcov"
+)
+
+// Ctx is the per-syscall execution context handed to driver code. It carries
+// the issuing process identity, the coverage and heap facilities, and the
+// watchdog step budget for the current syscall.
+type Ctx struct {
+	k      *Kernel
+	pid    int
+	origin Origin
+	steps  int
+}
+
+func (k *Kernel) newCtx(pid int, origin Origin) *Ctx {
+	return &Ctx{k: k, pid: pid, origin: origin, steps: k.StepBudget}
+}
+
+// PID returns the issuing process id.
+func (c *Ctx) PID() int { return c.pid }
+
+// Origin returns the boundary side that issued the syscall.
+func (c *Ctx) Origin() Origin { return c.origin }
+
+// Kernel returns the owning kernel.
+func (c *Ctx) Kernel() *Kernel { return c.k }
+
+// Cover records a cover-point hit for (module, site); the analog of a
+// compiler-inserted __sanitizer_cov_trace_pc call.
+func (c *Ctx) Cover(module string, site uint32) {
+	c.k.Cov.Hit(kcov.PC(module, site))
+}
+
+// Heap returns the KASAN-instrumented slab heap.
+func (c *Ctx) Heap() *kasan.Heap { return c.k.Heap }
+
+// Warn records a WARN_ON-style incident titled "WARNING in <site>". The
+// kernel continues running; the harness decides whether to reboot.
+func (c *Ctx) Warn(site, detail string) {
+	c.k.recordCrash(Crash{
+		Kind:   CrashWarning,
+		Title:  "WARNING in " + site,
+		Detail: detail,
+	})
+}
+
+// Bug records a fatal BUG() incident and wedges the kernel.
+func (c *Ctx) Bug(title, detail string) {
+	c.k.recordCrash(Crash{Kind: CrashBUG, Title: "BUG: " + title, Detail: detail})
+}
+
+// Kasan records a KASAN report as a fatal incident and wedges the kernel.
+func (c *Ctx) Kasan(r *kasan.Report) {
+	c.k.recordCrash(Crash{Kind: CrashKASAN, Title: r.Title(), Detail: r.String()})
+}
+
+// CheckLoad performs a KASAN-checked load; on a memory error it records the
+// fatal incident and returns nil data with false.
+func (c *Ctx) CheckLoad(obj uint64, off, n int, site string) ([]byte, bool) {
+	data, rep := c.k.Heap.Load(obj, off, n, site)
+	if rep != nil {
+		c.Kasan(rep)
+		return nil, false
+	}
+	return data, true
+}
+
+// CheckStore performs a KASAN-checked store; on a memory error it records
+// the fatal incident and returns false.
+func (c *Ctx) CheckStore(obj uint64, off int, p []byte, site string) bool {
+	if rep := c.k.Heap.Store(obj, off, p, site); rep != nil {
+		c.Kasan(rep)
+		return false
+	}
+	return true
+}
+
+// CheckFree performs a KASAN-checked free; on a memory error it records the
+// fatal incident and returns false.
+func (c *Ctx) CheckFree(obj uint64, site string) bool {
+	if rep := c.k.Heap.Free(obj, site); rep != nil {
+		c.Kasan(rep)
+		return false
+	}
+	return true
+}
+
+// Step consumes one unit of the syscall's loop budget. When the budget is
+// exhausted the soft-lockup watchdog fires: a fatal hang incident titled
+// "INFO: task hung in <site>" is recorded and Step returns false; driver
+// loops must then bail out. This models the paper's "Infinite Loop in
+// driver" bug class without actually stalling the host.
+func (c *Ctx) Step(site string) bool {
+	c.steps--
+	if c.steps > 0 {
+		return true
+	}
+	if c.steps == 0 { // report exactly once per syscall
+		c.k.recordCrash(Crash{
+			Kind:   CrashHang,
+			Title:  "INFO: task hung in " + site,
+			Detail: fmt.Sprintf("watchdog: soft lockup in %s (budget %d exhausted)", site, c.k.StepBudget),
+		})
+	}
+	return false
+}

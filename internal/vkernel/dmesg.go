@@ -1,0 +1,45 @@
+package vkernel
+
+import "fmt"
+
+// The kernel keeps a dmesg-style ring buffer of console messages. Drivers
+// log notable events through Ctx.Logf; crash recording appends the splat
+// automatically. The broker ships the tail of the ring with crash reports,
+// like the paper's harness recovering (sometimes corrupted) log messages
+// from serial consoles.
+
+// DmesgCap is the number of retained console lines.
+const DmesgCap = 256
+
+func (k *Kernel) appendDmesg(line string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.dmesg = append(k.dmesg, line)
+	if len(k.dmesg) > DmesgCap {
+		k.dmesg = k.dmesg[len(k.dmesg)-DmesgCap:]
+	}
+}
+
+// Dmesg returns a copy of the retained console lines, oldest first.
+func (k *Kernel) Dmesg() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]string, len(k.dmesg))
+	copy(out, k.dmesg)
+	return out
+}
+
+// DmesgTail returns the most recent n console lines.
+func (k *Kernel) DmesgTail(n int) []string {
+	all := k.Dmesg()
+	if n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// Logf appends a driver console message, prefixed with the issuing module,
+// e.g. "tcpc0: entering DRP toggle".
+func (c *Ctx) Logf(module, format string, args ...any) {
+	c.k.appendDmesg(module + ": " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,64 @@
+package vkernel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDmesgLogging(t *testing.T) {
+	k, _ := newTestKernel(t)
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	// Driver warnings land in the ring with their title and detail.
+	k.Ioctl(1, OriginNative, fd, 2, nil)
+	lines := k.Dmesg()
+	if len(lines) < 2 {
+		t.Fatalf("dmesg = %v", lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "WARNING in echo_warn_site") {
+		t.Fatalf("warning missing from dmesg:\n%s", joined)
+	}
+	if !strings.Contains(joined, "test warning") {
+		t.Fatalf("detail missing from dmesg:\n%s", joined)
+	}
+}
+
+func TestDmesgRingBounded(t *testing.T) {
+	k, _ := newTestKernel(t)
+	for i := 0; i < DmesgCap*2; i++ {
+		k.appendDmesg(fmt.Sprintf("line %d", i))
+	}
+	lines := k.Dmesg()
+	if len(lines) != DmesgCap {
+		t.Fatalf("ring = %d, want %d", len(lines), DmesgCap)
+	}
+	// Oldest lines were evicted.
+	if lines[0] != fmt.Sprintf("line %d", DmesgCap) {
+		t.Fatalf("head = %q", lines[0])
+	}
+}
+
+func TestDmesgTail(t *testing.T) {
+	k, _ := newTestKernel(t)
+	for i := 0; i < 10; i++ {
+		k.appendDmesg(fmt.Sprintf("l%d", i))
+	}
+	tail := k.DmesgTail(3)
+	if len(tail) != 3 || tail[2] != "l9" {
+		t.Fatalf("tail = %v", tail)
+	}
+	if got := k.DmesgTail(100); len(got) != 10 {
+		t.Fatalf("oversized tail = %d", len(got))
+	}
+}
+
+func TestCtxLogf(t *testing.T) {
+	k, _ := newTestKernel(t)
+	ctx := k.newCtx(1, OriginNative)
+	ctx.Logf("echo0", "value=%d", 42)
+	lines := k.Dmesg()
+	if len(lines) != 1 || lines[0] != "echo0: value=42" {
+		t.Fatalf("dmesg = %v", lines)
+	}
+}

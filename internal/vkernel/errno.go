@@ -1,0 +1,59 @@
+package vkernel
+
+import "errors"
+
+// Errno values returned by the virtual kernel's syscall surface. They mirror
+// the Linux error numbers the real drivers would return, so generated
+// programs observe realistic failure semantics.
+var (
+	EPERM  = errors.New("EPERM: operation not permitted")
+	ENOENT = errors.New("ENOENT: no such file or directory")
+	EIO    = errors.New("EIO: input/output error")
+	EBADF  = errors.New("EBADF: bad file descriptor")
+	ENOMEM = errors.New("ENOMEM: out of memory")
+	EFAULT = errors.New("EFAULT: bad address")
+	EBUSY  = errors.New("EBUSY: device or resource busy")
+	ENODEV = errors.New("ENODEV: no such device")
+	EINVAL = errors.New("EINVAL: invalid argument")
+	ENOTTY = errors.New("ENOTTY: inappropriate ioctl for device")
+	ENOSPC = errors.New("ENOSPC: no space left on device")
+	EAGAIN = errors.New("EAGAIN: try again")
+	ENOSYS = errors.New("ENOSYS: function not implemented")
+)
+
+// ErrnoName returns the short symbolic name ("EINVAL") for a kernel error,
+// or "OK" for nil and "ERR" for foreign errors.
+func ErrnoName(err error) string {
+	switch {
+	case err == nil:
+		return "OK"
+	case errors.Is(err, EPERM):
+		return "EPERM"
+	case errors.Is(err, ENOENT):
+		return "ENOENT"
+	case errors.Is(err, EIO):
+		return "EIO"
+	case errors.Is(err, EBADF):
+		return "EBADF"
+	case errors.Is(err, ENOMEM):
+		return "ENOMEM"
+	case errors.Is(err, EFAULT):
+		return "EFAULT"
+	case errors.Is(err, EBUSY):
+		return "EBUSY"
+	case errors.Is(err, ENODEV):
+		return "ENODEV"
+	case errors.Is(err, EINVAL):
+		return "EINVAL"
+	case errors.Is(err, ENOTTY):
+		return "ENOTTY"
+	case errors.Is(err, ENOSPC):
+		return "ENOSPC"
+	case errors.Is(err, EAGAIN):
+		return "EAGAIN"
+	case errors.Is(err, ENOSYS):
+		return "ENOSYS"
+	default:
+		return "ERR"
+	}
+}

@@ -1,0 +1,483 @@
+// Package vkernel implements the virtual Linux kernel substrate DroidFuzz is
+// evaluated against. It models the pieces the fuzzer interacts with on a
+// real rooted device: a syscall surface (open/close/ioctl/read/write/mmap),
+// a /dev registry of stateful character-device drivers, kcov-style coverage,
+// a KASAN-instrumented slab heap, WARN/BUG/hang crash accounting, a
+// lockdep-like locking validator, and syscall tracepoints that the eBPF
+// layer attaches to.
+//
+// The kernel is single-machine and in-process, but its observable contract —
+// errno semantics, coverage streams, crash splats, and per-origin syscall
+// traces — matches what the paper's harness consumes over ADB.
+package vkernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"droidfuzz/internal/kasan"
+	"droidfuzz/internal/kcov"
+)
+
+// Origin identifies which side of the HAL boundary issued a syscall. The
+// cross-boundary feedback mechanism (paper §IV-D) keys on OriginHAL events.
+type Origin int
+
+const (
+	// OriginNative marks syscalls issued directly by the native executor.
+	OriginNative Origin = iota
+	// OriginHAL marks syscalls issued by a HAL service process.
+	OriginHAL
+)
+
+// String names the origin.
+func (o Origin) String() string {
+	if o == OriginHAL {
+		return "hal"
+	}
+	return "native"
+}
+
+// Event is one syscall-entry trace record, as an attached eBPF program sees
+// it: sequence number, issuing process and origin, syscall name, the device
+// path involved, the critical argument (ioctl request, mmap length, ...),
+// and the errno outcome.
+type Event struct {
+	Seq    uint64
+	PID    int
+	Origin Origin
+	NR     string // syscall name: open, close, ioctl, read, write, mmap
+	Path   string // device path of the fd (or the open path)
+	Arg    uint64 // critical argument
+	Errno  string
+}
+
+// TraceFunc receives syscall events; attached by the ebpf package.
+type TraceFunc func(Event)
+
+// CrashKind classifies kernel-side incidents.
+type CrashKind int
+
+const (
+	// CrashWarning is a WARN_ON-style recoverable logic error.
+	CrashWarning CrashKind = iota
+	// CrashBUG is a fatal BUG() that wedges the kernel.
+	CrashBUG
+	// CrashKASAN is a memory error detected by the KASAN heap; fatal.
+	CrashKASAN
+	// CrashHang is a watchdog-detected stall (infinite loop); fatal.
+	CrashHang
+)
+
+// String names the crash kind as the console log prefix would.
+func (k CrashKind) String() string {
+	switch k {
+	case CrashWarning:
+		return "WARNING"
+	case CrashBUG:
+		return "BUG"
+	case CrashKASAN:
+		return "KASAN"
+	case CrashHang:
+		return "HANG"
+	default:
+		return fmt.Sprintf("CrashKind(%d)", int(k))
+	}
+}
+
+// Crash is one recorded kernel incident.
+type Crash struct {
+	Kind   CrashKind
+	Title  string // dedup title, e.g. "WARNING in rt1711_i2c_probe"
+	Detail string // splat body
+}
+
+// Driver is a character-device driver registered under a /dev path.
+type Driver interface {
+	// Name returns the driver module name (used for cover-point PCs).
+	Name() string
+	// Open creates a per-fd connection. The driver may refuse (EBUSY...).
+	Open(ctx *Ctx) (Conn, error)
+}
+
+// Conn is an open file's driver-side state.
+type Conn interface {
+	Ioctl(ctx *Ctx, req uint64, arg []byte) (uint64, []byte, error)
+	Read(ctx *Ctx, n int) ([]byte, error)
+	Write(ctx *Ctx, p []byte) (int, error)
+	Mmap(ctx *Ctx, length uint64) (uint64, error)
+	Close(ctx *Ctx) error
+}
+
+// BaseConn provides default implementations returning the canonical errnos
+// for unsupported file operations; drivers embed it.
+type BaseConn struct{}
+
+// Ioctl returns ENOTTY.
+func (BaseConn) Ioctl(*Ctx, uint64, []byte) (uint64, []byte, error) { return 0, nil, ENOTTY }
+
+// Read returns EINVAL.
+func (BaseConn) Read(*Ctx, int) ([]byte, error) { return nil, EINVAL }
+
+// Write returns EINVAL.
+func (BaseConn) Write(*Ctx, []byte) (int, error) { return 0, EINVAL }
+
+// Mmap returns ENODEV.
+func (BaseConn) Mmap(*Ctx, uint64) (uint64, error) { return 0, ENODEV }
+
+// Close succeeds.
+func (BaseConn) Close(*Ctx) error { return nil }
+
+type openFile struct {
+	fd   int
+	pid  int
+	path string
+	conn Conn
+}
+
+// Kernel is one virtual kernel instance. All methods are safe for concurrent
+// use; the native executor and HAL service goroutines enter it concurrently,
+// as on a real SMP device.
+type Kernel struct {
+	mu      sync.Mutex
+	devs    map[string]Driver
+	files   map[int]*openFile
+	nextFD  int
+	tracer  TraceFunc
+	seq     uint64
+	crashes []Crash
+	wedged  bool
+	sysCnt  uint64
+	dmesg   []string
+
+	// Cov is the kcov collector; the broker brackets executions with
+	// Enable/Reset and reads the trace out after each program.
+	Cov *kcov.Collector
+	// Heap is the KASAN-instrumented slab heap drivers allocate from.
+	Heap *kasan.Heap
+
+	// lockdep state for the locking validator (see lockdep.go).
+	lockSeq map[string]int
+
+	// gate, when non-nil, vetoes syscalls before dispatch (used by the
+	// DROIDFUZZ-D ioctl-only variant, paper §V-C2). Vetoed syscalls fail
+	// with EPERM and are still traced.
+	gate func(origin Origin, nr string) bool
+
+	// StepBudget bounds driver-internal loop iterations per syscall before
+	// the watchdog declares a stall. Tests may lower it.
+	StepBudget int
+}
+
+// DefaultStepBudget is the per-syscall driver loop budget before the
+// soft-lockup watchdog fires.
+const DefaultStepBudget = 1 << 16
+
+// New returns an empty kernel with fresh coverage and heap state.
+func New() *Kernel {
+	return &Kernel{
+		devs:       make(map[string]Driver),
+		files:      make(map[int]*openFile),
+		nextFD:     3, // 0-2 reserved, as on Linux
+		Cov:        kcov.NewCollector(0),
+		Heap:       kasan.NewHeap(0),
+		lockSeq:    make(map[string]int),
+		StepBudget: DefaultStepBudget,
+	}
+}
+
+// RegisterDevice exposes drv under a /dev path. Duplicate registration
+// panics: device trees are static per model.
+func (k *Kernel) RegisterDevice(path string, drv Driver) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.devs[path]; dup {
+		panic(fmt.Sprintf("vkernel: duplicate device %q", path))
+	}
+	k.devs[path] = drv
+}
+
+// DevicePaths returns the sorted registered /dev paths.
+func (k *Kernel) DevicePaths() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]string, 0, len(k.devs))
+	for p := range k.devs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetTracer installs the syscall tracepoint sink (one at a time, like a
+// single attached eBPF dispatcher; the ebpf package fans out internally).
+func (k *Kernel) SetTracer(f TraceFunc) {
+	k.mu.Lock()
+	k.tracer = f
+	k.mu.Unlock()
+}
+
+func (k *Kernel) trace(pid int, origin Origin, nr, path string, arg uint64, err error) {
+	k.mu.Lock()
+	k.seq++
+	ev := Event{
+		Seq: k.seq, PID: pid, Origin: origin, NR: nr,
+		Path: path, Arg: arg, Errno: ErrnoName(err),
+	}
+	t := k.tracer
+	k.sysCnt++
+	k.mu.Unlock()
+	if t != nil {
+		t(ev)
+	}
+}
+
+// SetSyscallGate installs a veto function consulted before every syscall
+// dispatch; a false return fails the call with EPERM. Pass nil to remove.
+func (k *Kernel) SetSyscallGate(gate func(origin Origin, nr string) bool) {
+	k.mu.Lock()
+	k.gate = gate
+	k.mu.Unlock()
+}
+
+func (k *Kernel) gated(origin Origin, nr string) bool {
+	k.mu.Lock()
+	g := k.gate
+	k.mu.Unlock()
+	return g != nil && !g(origin, nr)
+}
+
+// SyscallCount reports the number of syscalls serviced since boot; the
+// harness uses it as a virtual-time clock.
+func (k *Kernel) SyscallCount() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.sysCnt
+}
+
+// Wedged reports whether a fatal incident (BUG/KASAN/hang) halted the
+// kernel; further syscalls fail with EIO until the device reboots.
+func (k *Kernel) Wedged() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.wedged
+}
+
+// Crashes returns all recorded incidents since boot, oldest first.
+func (k *Kernel) Crashes() []Crash {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]Crash, len(k.crashes))
+	copy(out, k.crashes)
+	return out
+}
+
+// TakeCrashes returns and clears recorded incidents. The broker drains this
+// after every program execution.
+func (k *Kernel) TakeCrashes() []Crash {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := k.crashes
+	k.crashes = nil
+	return out
+}
+
+func (k *Kernel) recordCrash(c Crash) {
+	k.mu.Lock()
+	k.crashes = append(k.crashes, c)
+	if c.Kind != CrashWarning {
+		k.wedged = true
+	}
+	k.dmesg = append(k.dmesg, c.Title)
+	if c.Detail != "" {
+		k.dmesg = append(k.dmesg, c.Detail)
+	}
+	if len(k.dmesg) > DmesgCap {
+		k.dmesg = k.dmesg[len(k.dmesg)-DmesgCap:]
+	}
+	k.mu.Unlock()
+}
+
+func (k *Kernel) isWedged() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.wedged
+}
+
+// Open opens a registered device path and returns a new fd.
+func (k *Kernel) Open(pid int, origin Origin, path string, flags uint64) (int, error) {
+	fd, err := k.open(pid, origin, path, flags)
+	k.trace(pid, origin, "open", path, flags, err)
+	return fd, err
+}
+
+func (k *Kernel) open(pid int, origin Origin, path string, flags uint64) (int, error) {
+	if k.isWedged() {
+		return -1, EIO
+	}
+	if k.gated(origin, "open") {
+		return -1, EPERM
+	}
+	k.mu.Lock()
+	drv, ok := k.devs[path]
+	k.mu.Unlock()
+	if !ok {
+		return -1, ENOENT
+	}
+	ctx := k.newCtx(pid, origin)
+	conn, err := drv.Open(ctx)
+	if err != nil {
+		return -1, err
+	}
+	k.mu.Lock()
+	fd := k.nextFD
+	k.nextFD++
+	k.files[fd] = &openFile{fd: fd, pid: pid, path: path, conn: conn}
+	k.mu.Unlock()
+	return fd, nil
+}
+
+func (k *Kernel) lookup(fd int) (*openFile, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	f, ok := k.files[fd]
+	if !ok {
+		return nil, EBADF
+	}
+	return f, nil
+}
+
+// Close releases the fd.
+func (k *Kernel) Close(pid int, origin Origin, fd int) error {
+	err := k.close(pid, origin, fd)
+	k.trace(pid, origin, "close", k.fdPath(fd), uint64(fd), err)
+	return err
+}
+
+func (k *Kernel) fdPath(fd int) string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if f, ok := k.files[fd]; ok {
+		return f.path
+	}
+	return ""
+}
+
+func (k *Kernel) close(pid int, origin Origin, fd int) error {
+	if k.isWedged() {
+		return EIO
+	}
+	if k.gated(origin, "close") {
+		return EPERM
+	}
+	k.mu.Lock()
+	f, ok := k.files[fd]
+	if ok {
+		delete(k.files, fd)
+	}
+	k.mu.Unlock()
+	if !ok {
+		return EBADF
+	}
+	return f.conn.Close(k.newCtx(pid, origin))
+}
+
+// Ioctl issues a device ioctl; returns the driver's scalar result and
+// optional out-buffer.
+func (k *Kernel) Ioctl(pid int, origin Origin, fd int, req uint64, arg []byte) (uint64, []byte, error) {
+	path := k.fdPath(fd)
+	ret, out, err := k.ioctl(pid, origin, fd, req, arg)
+	k.trace(pid, origin, "ioctl", path, req, err)
+	return ret, out, err
+}
+
+func (k *Kernel) ioctl(pid int, origin Origin, fd int, req uint64, arg []byte) (uint64, []byte, error) {
+	if k.isWedged() {
+		return 0, nil, EIO
+	}
+	if k.gated(origin, "ioctl") {
+		return 0, nil, EPERM
+	}
+	f, err := k.lookup(fd)
+	if err != nil {
+		return 0, nil, err
+	}
+	return f.conn.Ioctl(k.newCtx(pid, origin), req, arg)
+}
+
+// Read reads up to n bytes from the device.
+func (k *Kernel) Read(pid int, origin Origin, fd int, n int) ([]byte, error) {
+	path := k.fdPath(fd)
+	data, err := k.read(pid, origin, fd, n)
+	k.trace(pid, origin, "read", path, uint64(n), err)
+	return data, err
+}
+
+func (k *Kernel) read(pid int, origin Origin, fd int, n int) ([]byte, error) {
+	if k.isWedged() {
+		return nil, EIO
+	}
+	if k.gated(origin, "read") {
+		return nil, EPERM
+	}
+	if n < 0 {
+		return nil, EINVAL
+	}
+	f, err := k.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	return f.conn.Read(k.newCtx(pid, origin), n)
+}
+
+// Write writes p to the device.
+func (k *Kernel) Write(pid int, origin Origin, fd int, p []byte) (int, error) {
+	path := k.fdPath(fd)
+	n, err := k.write(pid, origin, fd, p)
+	k.trace(pid, origin, "write", path, uint64(len(p)), err)
+	return n, err
+}
+
+func (k *Kernel) write(pid int, origin Origin, fd int, p []byte) (int, error) {
+	if k.isWedged() {
+		return 0, EIO
+	}
+	if k.gated(origin, "write") {
+		return 0, EPERM
+	}
+	f, err := k.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.conn.Write(k.newCtx(pid, origin), p)
+}
+
+// Mmap maps device memory, returning an opaque mapping cookie.
+func (k *Kernel) Mmap(pid int, origin Origin, fd int, length uint64) (uint64, error) {
+	path := k.fdPath(fd)
+	cookie, err := k.mmap(pid, origin, fd, length)
+	k.trace(pid, origin, "mmap", path, length, err)
+	return cookie, err
+}
+
+func (k *Kernel) mmap(pid int, origin Origin, fd int, length uint64) (uint64, error) {
+	if k.isWedged() {
+		return 0, EIO
+	}
+	if k.gated(origin, "mmap") {
+		return 0, EPERM
+	}
+	f, err := k.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.conn.Mmap(k.newCtx(pid, origin), length)
+}
+
+// OpenFDs reports the number of currently open files (leak diagnostics).
+func (k *Kernel) OpenFDs() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.files)
+}

@@ -1,0 +1,36 @@
+package vkernel
+
+import "fmt"
+
+// MaxLockdepSubclasses mirrors the Linux lockdep limit
+// (MAX_LOCKDEP_SUBCLASSES == 8): acquiring a lock with a subclass at or
+// beyond the limit triggers "BUG: looking up invalid subclass: N" — the
+// Table II bug №3 class.
+const MaxLockdepSubclasses = 8
+
+// LockAcquire models a lockdep-validated nested lock acquisition. Drivers
+// call it with a lock class name and a nesting subclass; a user-influenced
+// subclass past the limit reproduces the invalid-subclass BUG. Valid
+// acquisitions simply record coverage-relevant bookkeeping.
+func (k *Kernel) LockAcquire(ctx *Ctx, class string, subclass uint64) error {
+	if subclass >= MaxLockdepSubclasses {
+		ctx.Bug(
+			fmt.Sprintf("looking up invalid subclass: %d", subclass),
+			fmt.Sprintf("lockdep: class %q acquired with subclass %d >= MAX_LOCKDEP_SUBCLASSES (%d)",
+				class, subclass, MaxLockdepSubclasses),
+		)
+		return EINVAL
+	}
+	k.mu.Lock()
+	k.lockSeq[class]++
+	k.mu.Unlock()
+	return nil
+}
+
+// LockAcquisitions reports how many times the given lock class was taken
+// since boot (test observability).
+func (k *Kernel) LockAcquisitions(class string) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.lockSeq[class]
+}

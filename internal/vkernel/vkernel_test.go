@@ -1,0 +1,348 @@
+package vkernel
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// echoDriver is a minimal driver for kernel-surface tests. Like the real
+// driver families it guards its shared state: the kernel dispatches Open
+// concurrently.
+type echoDriver struct {
+	mu     sync.Mutex
+	opens  int
+	refuse bool
+}
+
+func (d *echoDriver) Name() string { return "echo" }
+
+func (d *echoDriver) Open(ctx *Ctx) (Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.refuse {
+		return nil, EBUSY
+	}
+	d.opens++
+	ctx.Cover("echo", 1)
+	return &echoConn{d: d}, nil
+}
+
+type echoConn struct {
+	BaseConn
+	d    *echoDriver
+	last []byte
+}
+
+func (c *echoConn) Ioctl(ctx *Ctx, req uint64, arg []byte) (uint64, []byte, error) {
+	ctx.Cover("echo", 2)
+	switch req {
+	case 1:
+		return uint64(len(arg)), append([]byte(nil), arg...), nil
+	case 2:
+		ctx.Warn("echo_warn_site", "test warning")
+		return 0, nil, EIO
+	case 3:
+		ctx.Bug("echo exploded", "test bug")
+		return 0, nil, EIO
+	case 4:
+		for {
+			if !ctx.Step("echo_spin") {
+				return 0, nil, EIO
+			}
+		}
+	case 5:
+		return 0, nil, ctx.Kernel().LockAcquire(ctx, "echo_lock", ArgU64test(arg))
+	}
+	return 0, nil, ENOTTY
+}
+
+func (c *echoConn) Write(ctx *Ctx, p []byte) (int, error) {
+	c.last = append(c.last[:0], p...)
+	return len(p), nil
+}
+
+func (c *echoConn) Read(ctx *Ctx, n int) ([]byte, error) {
+	if n > len(c.last) {
+		n = len(c.last)
+	}
+	return c.last[:n], nil
+}
+
+// ArgU64test decodes the first LE u64 of a payload (mirrors drivers.ArgU64
+// without importing it, to avoid a cycle).
+func ArgU64test(arg []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(arg); i++ {
+		v |= uint64(arg[i]) << (8 * i)
+	}
+	return v
+}
+
+func newTestKernel(t *testing.T) (*Kernel, *echoDriver) {
+	t.Helper()
+	k := New()
+	d := &echoDriver{}
+	k.RegisterDevice("/dev/echo0", d)
+	return k, d
+}
+
+func TestOpenCloseLifecycle(t *testing.T) {
+	k, d := newTestKernel(t)
+	fd, err := k.Open(1, OriginNative, "/dev/echo0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd < 3 {
+		t.Fatalf("fd = %d, want >= 3", fd)
+	}
+	if d.opens != 1 || k.OpenFDs() != 1 {
+		t.Fatal("bookkeeping wrong")
+	}
+	if err := k.Close(1, OriginNative, fd); err != nil {
+		t.Fatal(err)
+	}
+	if k.OpenFDs() != 0 {
+		t.Fatal("fd leaked")
+	}
+	if err := k.Close(1, OriginNative, fd); !errors.Is(err, EBADF) {
+		t.Fatalf("double close err = %v, want EBADF", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	k, d := newTestKernel(t)
+	if _, err := k.Open(1, OriginNative, "/dev/nope", 0); !errors.Is(err, ENOENT) {
+		t.Fatalf("err = %v, want ENOENT", err)
+	}
+	d.refuse = true
+	if _, err := k.Open(1, OriginNative, "/dev/echo0", 0); !errors.Is(err, EBUSY) {
+		t.Fatalf("err = %v, want EBUSY", err)
+	}
+}
+
+func TestIoctlReadWrite(t *testing.T) {
+	k, _ := newTestKernel(t)
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	ret, out, err := k.Ioctl(1, OriginNative, fd, 1, []byte{1, 2, 3})
+	if err != nil || ret != 3 || len(out) != 3 {
+		t.Fatalf("ioctl = %d/%v/%v", ret, out, err)
+	}
+	if _, _, err := k.Ioctl(1, OriginNative, 999, 1, nil); !errors.Is(err, EBADF) {
+		t.Fatal("bad fd accepted")
+	}
+	n, err := k.Write(1, OriginNative, fd, []byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("write = %d/%v", n, err)
+	}
+	data, err := k.Read(1, OriginNative, fd, 5)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read = %q/%v", data, err)
+	}
+	if _, err := k.Read(1, OriginNative, fd, -1); !errors.Is(err, EINVAL) {
+		t.Fatal("negative read accepted")
+	}
+}
+
+func TestTraceEventsOrderedAndComplete(t *testing.T) {
+	k, _ := newTestKernel(t)
+	var evs []Event
+	k.SetTracer(func(ev Event) { evs = append(evs, ev) })
+	fd, _ := k.Open(7, OriginHAL, "/dev/echo0", 0)
+	k.Ioctl(7, OriginHAL, fd, 1, nil)
+	k.Close(7, OriginHAL, fd)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].NR != "open" || evs[1].NR != "ioctl" || evs[2].NR != "close" {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if evs[1].Arg != 1 || evs[1].Path != "/dev/echo0" || evs[1].Origin != OriginHAL {
+		t.Fatalf("ioctl event wrong: %+v", evs[1])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("seq not increasing")
+		}
+	}
+}
+
+func TestWarningDoesNotWedge(t *testing.T) {
+	k, _ := newTestKernel(t)
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	k.Ioctl(1, OriginNative, fd, 2, nil)
+	if k.Wedged() {
+		t.Fatal("warning wedged the kernel")
+	}
+	crashes := k.TakeCrashes()
+	if len(crashes) != 1 || crashes[0].Kind != CrashWarning {
+		t.Fatalf("crashes = %+v", crashes)
+	}
+	if crashes[0].Title != "WARNING in echo_warn_site" {
+		t.Fatalf("title = %q", crashes[0].Title)
+	}
+	if len(k.TakeCrashes()) != 0 {
+		t.Fatal("take did not drain")
+	}
+}
+
+func TestBugWedges(t *testing.T) {
+	k, _ := newTestKernel(t)
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	k.Ioctl(1, OriginNative, fd, 3, nil)
+	if !k.Wedged() {
+		t.Fatal("BUG did not wedge")
+	}
+	// All further syscalls fail with EIO.
+	if _, err := k.Open(1, OriginNative, "/dev/echo0", 0); !errors.Is(err, EIO) {
+		t.Fatalf("post-wedge open err = %v", err)
+	}
+	if _, _, err := k.Ioctl(1, OriginNative, fd, 1, nil); !errors.Is(err, EIO) {
+		t.Fatalf("post-wedge ioctl err = %v", err)
+	}
+}
+
+func TestWatchdogCatchesSpin(t *testing.T) {
+	k, _ := newTestKernel(t)
+	k.StepBudget = 100
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	_, _, err := k.Ioctl(1, OriginNative, fd, 4, nil)
+	if !errors.Is(err, EIO) {
+		t.Fatalf("err = %v", err)
+	}
+	if !k.Wedged() {
+		t.Fatal("hang did not wedge")
+	}
+	crashes := k.Crashes()
+	if len(crashes) != 1 || crashes[0].Kind != CrashHang {
+		t.Fatalf("crashes = %+v", crashes)
+	}
+	if !strings.Contains(crashes[0].Title, "echo_spin") {
+		t.Fatalf("title = %q", crashes[0].Title)
+	}
+}
+
+func TestLockdepSubclassBug(t *testing.T) {
+	k, _ := newTestKernel(t)
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	// Valid subclass.
+	if _, _, err := k.Ioctl(1, OriginNative, fd, 5, []byte{7}); err != nil {
+		t.Fatalf("valid subclass: %v", err)
+	}
+	if k.LockAcquisitions("echo_lock") != 1 {
+		t.Fatal("lock not recorded")
+	}
+	// Invalid subclass triggers the BUG.
+	if _, _, err := k.Ioctl(1, OriginNative, fd, 5, []byte{8}); !errors.Is(err, EINVAL) {
+		t.Fatalf("err = %v", err)
+	}
+	if !k.Wedged() {
+		t.Fatal("invalid subclass did not wedge")
+	}
+	crashes := k.Crashes()
+	if !strings.Contains(crashes[0].Title, "looking up invalid subclass: 8") {
+		t.Fatalf("title = %q", crashes[0].Title)
+	}
+}
+
+func TestSyscallGate(t *testing.T) {
+	k, _ := newTestKernel(t)
+	k.SetSyscallGate(func(origin Origin, nr string) bool {
+		return nr == "open" || nr == "ioctl" || nr == "close"
+	})
+	fd, err := k.Open(1, OriginNative, "/dev/echo0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(1, OriginNative, fd, []byte("x")); !errors.Is(err, EPERM) {
+		t.Fatalf("gated write err = %v, want EPERM", err)
+	}
+	if _, err := k.Read(1, OriginNative, fd, 1); !errors.Is(err, EPERM) {
+		t.Fatalf("gated read err = %v, want EPERM", err)
+	}
+	if _, _, err := k.Ioctl(1, OriginNative, fd, 1, nil); err != nil {
+		t.Fatalf("allowed ioctl err = %v", err)
+	}
+	k.SetSyscallGate(nil)
+	if _, err := k.Write(1, OriginNative, fd, []byte("x")); err != nil {
+		t.Fatalf("ungated write err = %v", err)
+	}
+}
+
+func TestCoverageCollected(t *testing.T) {
+	k, _ := newTestKernel(t)
+	k.Cov.Enable()
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	k.Ioctl(1, OriginNative, fd, 1, nil)
+	if len(k.Cov.Trace()) < 2 {
+		t.Fatalf("trace = %v", k.Cov.Trace())
+	}
+}
+
+func TestSyscallCountAdvances(t *testing.T) {
+	k, _ := newTestKernel(t)
+	before := k.SyscallCount()
+	fd, _ := k.Open(1, OriginNative, "/dev/echo0", 0)
+	k.Close(1, OriginNative, fd)
+	if k.SyscallCount() != before+2 {
+		t.Fatalf("count = %d, want %d", k.SyscallCount(), before+2)
+	}
+}
+
+func TestErrnoNames(t *testing.T) {
+	cases := map[error]string{
+		nil: "OK", EPERM: "EPERM", ENOENT: "ENOENT", EIO: "EIO",
+		EBADF: "EBADF", EINVAL: "EINVAL", ENOTTY: "ENOTTY",
+		EBUSY: "EBUSY", ENODEV: "ENODEV", EAGAIN: "EAGAIN",
+		ENOMEM: "ENOMEM", EFAULT: "EFAULT", ENOSPC: "ENOSPC",
+		ENOSYS: "ENOSYS", errors.New("other"): "ERR",
+	}
+	for err, want := range cases {
+		if got := ErrnoName(err); got != want {
+			t.Errorf("ErrnoName(%v) = %q, want %q", err, got, want)
+		}
+	}
+}
+
+func TestDuplicateDevicePanics(t *testing.T) {
+	k, _ := newTestKernel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	k.RegisterDevice("/dev/echo0", &echoDriver{})
+}
+
+func TestConcurrentSyscallsAreSafe(t *testing.T) {
+	// The native executor and HAL goroutines enter the kernel
+	// concurrently; this must be race-free (run with -race).
+	k, _ := newTestKernel(t)
+	k.SetTracer(func(Event) {})
+	k.Cov.Enable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				fd, err := k.Open(pid, Origin(pid%2), "/dev/echo0", 0)
+				if err != nil {
+					continue
+				}
+				k.Ioctl(pid, Origin(pid%2), fd, 1, []byte{byte(i)})
+				k.Write(pid, Origin(pid%2), fd, []byte("x"))
+				k.Read(pid, Origin(pid%2), fd, 1)
+				k.Close(pid, Origin(pid%2), fd)
+			}
+		}(g + 1)
+	}
+	wg.Wait()
+	if k.OpenFDs() != 0 {
+		t.Fatalf("leaked %d fds", k.OpenFDs())
+	}
+	if k.SyscallCount() == 0 {
+		t.Fatal("no syscalls recorded")
+	}
+}
