@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-json check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the daemon package's
+# worker-pool and pipelined-run tests are the main customers.
+race:
+	$(GO) test -race ./...
+
+# bench prints the PR 1 hot-path microbenchmarks (optimized vs legacy
+# reference implementations) without writing anything.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/perf/
+
+# bench-json reruns the microbenchmarks through cmd/benchperf and
+# refreshes BENCH_PR1.json.
+bench-json:
+	$(GO) run ./cmd/benchperf -o BENCH_PR1.json
+
+check: build vet race
+
+clean:
+	$(GO) clean ./...

@@ -128,9 +128,11 @@ func BenchmarkAblationNgramOrder(b *testing.B) {
 		setOnly := make(map[uint64]struct{})
 		for perm := 0; perm < 4; perm++ {
 			res := &adb.ExecResult{HALTrace: mkTrace(perm)}
-			for e := range feedback.FromExec(res, table) {
+			sig := feedback.FromExec(res, table)
+			for _, e := range sig.Elems() {
 				directional[e] = struct{}{}
 			}
+			sig.Release()
 			for _, ev := range res.HALTrace {
 				setOnly[uint64(table.ID(ev))] = struct{}{}
 			}

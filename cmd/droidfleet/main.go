@@ -1,0 +1,119 @@
+// Command droidfleet runs one campaign across a fleet of virtual device
+// models through the daemon: engines share a relation table and a global
+// crash dedup collector, and run concurrently on a bounded worker pool.
+//
+// Usage:
+//
+//	droidfleet -devices A1,B,D -iters 20000 [-seed 1] [-workers 4]
+//	           [-pipeline 4] [-rounds 4] [-corpus DIR] [-status status.json]
+//
+// -workers bounds how many device engines run at once (0 = one worker per
+// CPU, capped at the fleet size). -pipeline sets each engine's generation
+// look-ahead depth (0 = serial per-device execution, deterministic per
+// seed). The campaign runs in -rounds slices, printing fleet stats —
+// including accumulated execution errors — after each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/daemon"
+	"droidfuzz/internal/engine"
+)
+
+func main() {
+	var (
+		devices   = flag.String("devices", "A1,B,D", "comma-separated device model IDs")
+		iters     = flag.Int("iters", 20000, "fuzzing iterations per device")
+		seed      = flag.Int64("seed", 1, "base RNG seed (device i uses seed+i)")
+		workers   = flag.Int("workers", 0, "max concurrent device engines (0 = NumCPU)")
+		pipeline  = flag.Int("pipeline", 0, "per-engine generation look-ahead depth (0 = serial)")
+		rounds    = flag.Int("rounds", 4, "status-report slices to split the campaign into")
+		corpusDir = flag.String("corpus", "", "directory to save per-device corpora (optional)")
+		statusOut = flag.String("status", "", "file to write the final JSON status report (optional)")
+	)
+	flag.Parse()
+
+	if err := run(*devices, *iters, *seed, *workers, *pipeline, *rounds, *corpusDir, *statusOut); err != nil {
+		fmt.Fprintln(os.Stderr, "droidfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(devices string, iters int, seed int64, workers, pipeline, rounds int, corpusDir, statusOut string) error {
+	d := daemon.New()
+	ids := strings.Split(devices, ",")
+	for i, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if err := d.AddDevice(id, engine.Config{Seed: seed + int64(i)}); err != nil {
+			return err
+		}
+	}
+	if len(d.Devices()) == 0 {
+		return fmt.Errorf("no devices configured")
+	}
+	d.SetMaxWorkers(workers)
+	d.SetPipelineDepth(pipeline)
+	fmt.Printf("fleet: %s (workers=%d pipeline=%d)\n",
+		strings.Join(d.Devices(), ", "), workers, pipeline)
+
+	if rounds <= 0 {
+		rounds = 1
+	}
+	per := iters / rounds
+	if per == 0 {
+		per, rounds = iters, 1
+	}
+	for r := 0; r < rounds; r++ {
+		n := per
+		if r == rounds-1 {
+			n = iters - per*(rounds-1)
+		}
+		d.Run(n, true)
+		printStats(d)
+	}
+
+	fmt.Println()
+	fmt.Println(crash.Table(d.Bugs()))
+	fmt.Printf("relation table: %v\n", d.Graph())
+	if corpusDir != "" {
+		if err := d.SaveCorpora(corpusDir); err != nil {
+			return err
+		}
+		fmt.Printf("corpora saved to %s\n", corpusDir)
+	}
+	if statusOut != "" {
+		f, err := os.Create(statusOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := d.WriteStatus(f); err != nil {
+			return err
+		}
+		fmt.Printf("status written to %s\n", statusOut)
+	}
+	return nil
+}
+
+func printStats(d *daemon.Daemon) {
+	st := d.Stats()
+	ids := make([]string, 0, len(st))
+	for id := range st {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := st[id]
+		fmt.Printf("  %-3s execs=%d cover=%d signal=%d corpus=%d crashes=%d execerrs=%d\n",
+			id, s.Execs, s.KernelCov, s.TotalSignal, s.CorpusSize, s.Crashes, s.ExecErrors)
+	}
+}

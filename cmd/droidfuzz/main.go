@@ -4,7 +4,13 @@
 // Usage:
 //
 //	droidfuzz -device A1 -iters 20000 [-variant droidfuzz] [-seed 1]
-//	          [-corpus DIR] [-stats-every 5000]
+//	          [-corpus DIR] [-stats-every 5000] [-pipeline 4]
+//
+// With -pipeline N the engine runs in batched mode: program generation
+// runs up to N programs ahead of device execution on a producer
+// goroutine. Throughput improves, and campaigns remain reproducible for
+// a fixed seed and depth, but the trajectory differs from serial mode
+// (leave -pipeline at 0 when comparing coverage against recorded runs).
 //
 // Variants: droidfuzz (full system), norel (no relational generation),
 // nohcov (no HAL directional coverage), dfd (ioctl-only gate), syzkaller
@@ -32,16 +38,17 @@ func main() {
 		variant    = flag.String("variant", "droidfuzz", "droidfuzz|norel|nohcov|dfd|syzkaller|difuze")
 		corpusDir  = flag.String("corpus", "", "directory to save the final corpus (optional)")
 		statsEvery = flag.Int("stats-every", 5000, "print stats every N iterations")
+		pipeline   = flag.Int("pipeline", 0, "generation look-ahead depth (0 = serial deterministic mode)")
 	)
 	flag.Parse()
 
-	if err := run(*deviceID, *iters, *seed, *variant, *corpusDir, *statsEvery); err != nil {
+	if err := run(*deviceID, *iters, *seed, *variant, *corpusDir, *statsEvery, *pipeline); err != nil {
 		fmt.Fprintln(os.Stderr, "droidfuzz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deviceID string, iters int, seed int64, variant, corpusDir string, statsEvery int) error {
+func run(deviceID string, iters int, seed int64, variant, corpusDir string, statsEvery, pipeline int) error {
 	model, err := device.ModelByID(deviceID)
 	if err != nil {
 		return err
@@ -83,7 +90,11 @@ func run(deviceID string, iters int, seed int64, variant, corpusDir string, stat
 		if iters-done < n {
 			n = iters - done
 		}
-		eng.Run(n)
+		if pipeline > 0 {
+			eng.RunPipelined(n, pipeline)
+		} else {
+			eng.Run(n)
+		}
 		done += n
 		st := eng.Stats()
 		fmt.Printf("[%7d/%d] execs=%d cover=%d signal=%d corpus=%d crashes=%d bugs=%d reboots=%d\n",

@@ -28,6 +28,7 @@ type Broker struct {
 	probe     *ebpf.Probe
 	ioctlOnly bool
 	execs     uint64
+	failNext  int
 }
 
 // NewBroker attaches a broker to the device. The target must contain every
@@ -91,6 +92,26 @@ func (b *Broker) Reboot() {
 // Device returns the attached device.
 func (b *Broker) Device() *device.Device { return b.dev }
 
+// FailNext makes the next n executions fail with a synthetic transport
+// error, modeling ADB link flakiness; tests use it to drive the engine's
+// error accounting.
+func (b *Broker) FailNext(n int) {
+	b.mu.Lock()
+	b.failNext = n
+	b.mu.Unlock()
+}
+
+// takeFault consumes one injected fault, if armed.
+func (b *Broker) takeFault() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failNext > 0 {
+		b.failNext--
+		return true
+	}
+	return false
+}
+
 // Execs reports the number of programs executed since attach; the harness
 // uses it as the device's virtual-time clock.
 func (b *Broker) Execs() uint64 {
@@ -113,43 +134,82 @@ func (b *Broker) Exec(req ExecRequest) (*ExecResult, error) {
 	return b.ExecProg(prog)
 }
 
+// resTable records per-call results for resource-argument resolution. It is
+// pooled: a map would be one allocation per execution on the hot path.
+type resTable struct {
+	vals []uint64
+	set  []bool
+}
+
+var resPool = sync.Pool{New: func() any { return new(resTable) }}
+
+func getResTable(n int) *resTable {
+	t := resPool.Get().(*resTable)
+	if cap(t.vals) < n {
+		t.vals = make([]uint64, n)
+		t.set = make([]bool, n)
+	}
+	t.vals = t.vals[:n]
+	t.set = t.set[:n]
+	for i := range t.set {
+		t.set[i] = false
+		t.vals[i] = 0
+	}
+	return t
+}
+
+func (t *resTable) put(i int, v uint64) {
+	if i >= 0 && i < len(t.vals) {
+		t.vals[i] = v
+		t.set[i] = true
+	}
+}
+
+func (t *resTable) release() { resPool.Put(t) }
+
 // ExecProg runs an already-parsed program (the in-process fast path the
-// fuzzing engine uses; the transport path goes through Exec).
+// fuzzing engine uses; the transport path goes through Exec). The returned
+// result is pooled: callers that are done with it should Release it so its
+// buffers are recycled; callers that retain it may simply let it go to GC.
 func (b *Broker) ExecProg(prog *dsl.Prog) (*ExecResult, error) {
+	if b.takeFault() {
+		return nil, fmt.Errorf("adb: transport fault (injected)")
+	}
 	k := b.dev.K
 	k.Cov.Reset()
 	k.Cov.Enable()
 	defer k.Cov.Disable()
 	b.probe.Reset()
 
-	res := &ExecResult{Calls: make([]CallResult, len(prog.Calls))}
-	resources := make(map[int]uint64, len(prog.Calls))
+	res := resultPool.Get().(*ExecResult)
+	res.prepare(len(prog.Calls))
+	resources := getResTable(len(prog.Calls))
+	defer resources.release()
 
 	for i, call := range prog.Calls {
 		if k.Wedged() {
 			break // remaining calls never execute, like a dead device
 		}
 		mark := k.Cov.Mark()
-		var cr CallResult
+		cr := &res.Calls[i]
 		if call.Desc.IsHAL() {
-			cr = b.execHAL(call, resources)
+			b.execHAL(call, resources, cr)
 		} else {
-			cr = b.execNative(call, resources)
+			b.execNative(call, resources, cr)
 		}
 		cr.Executed = true
-		cr.Cover = k.Cov.Slice(mark)
+		cr.Cover = k.Cov.AppendTo(cr.Cover[:0], mark)
 		if call.Desc.Ret != "" && cr.Errno == "OK" {
-			resources[i] = cr.Ret
+			resources.put(i, cr.Ret)
 		}
-		res.Calls[i] = cr
 	}
 
-	res.KernelCov = k.Cov.Trace()
-	for _, ev := range b.probe.Take() {
+	res.KernelCov = k.Cov.AppendTo(res.KernelCov[:0], 0)
+	b.probe.Drain(func(ev vkernel.Event) {
 		res.HALTrace = append(res.HALTrace, TraceEvent{
 			Seq: ev.Seq, PID: ev.PID, NR: ev.NR, Path: ev.Path, Arg: ev.Arg,
 		})
-	}
+	})
 	for _, c := range k.TakeCrashes() {
 		res.Crashes = append(res.Crashes, CrashRecord{
 			Kind: c.Kind.String(), Title: c.Title, Detail: c.Detail,
@@ -172,42 +232,40 @@ func (b *Broker) ExecProg(prog *dsl.Prog) (*ExecResult, error) {
 
 // resolve returns the concrete value for a resource argument: the producing
 // call's recorded result, or a deliberately bogus handle when invalid.
-func resolve(resources map[int]uint64, a dsl.Arg) uint64 {
-	if a.Ref < 0 {
+func resolve(resources *resTable, a dsl.Arg) uint64 {
+	if a.Ref < 0 || a.Ref >= len(resources.vals) || !resources.set[a.Ref] {
 		return 0xbadf00d
 	}
-	v, ok := resources[a.Ref]
-	if !ok {
-		return 0xbadf00d
-	}
-	return v
+	return resources.vals[a.Ref]
 }
 
-// execNative runs one syscall-class call against the kernel.
-func (b *Broker) execNative(call *dsl.Call, resources map[int]uint64) CallResult {
+// execNative runs one syscall-class call against the kernel, writing the
+// outcome into cr (a slot of the pooled result).
+func (b *Broker) execNative(call *dsl.Call, resources *resTable, cr *CallResult) {
 	k := b.dev.K
 	d := call.Desc
 	if b.isIoctlOnly() {
 		switch d.Syscall {
 		case "open", "close", "ioctl":
 		default:
-			return CallResult{Errno: "BLOCKED"}
+			cr.Errno = "BLOCKED"
+			return
 		}
 	}
 	switch d.Syscall {
 	case "open":
 		fd, err := k.Open(device.NativePID, vkernel.OriginNative, call.Args[0].Str, 0)
-		return CallResult{Errno: vkernel.ErrnoName(err), Ret: uint64(fd)}
+		cr.Errno, cr.Ret = vkernel.ErrnoName(err), uint64(fd)
 	case "close":
 		fd := int(resolve(resources, call.Args[0]))
 		err := k.Close(device.NativePID, vkernel.OriginNative, fd)
-		return CallResult{Errno: vkernel.ErrnoName(err)}
+		cr.Errno = vkernel.ErrnoName(err)
 	case "ioctl":
 		fd := int(resolve(resources, call.Args[0]))
 		req := call.Args[1].Val
 		payload := encodePayload(call, resources)
 		ret, _, err := k.Ioctl(device.NativePID, vkernel.OriginNative, fd, req, payload)
-		return CallResult{Errno: vkernel.ErrnoName(err), Ret: ret}
+		cr.Errno, cr.Ret = vkernel.ErrnoName(err), ret
 	case "read":
 		fd := int(resolve(resources, call.Args[0]))
 		n := int(call.Args[1].Val)
@@ -215,17 +273,17 @@ func (b *Broker) execNative(call *dsl.Call, resources map[int]uint64) CallResult
 			n = 1 << 16
 		}
 		data, err := k.Read(device.NativePID, vkernel.OriginNative, fd, n)
-		return CallResult{Errno: vkernel.ErrnoName(err), Ret: uint64(len(data))}
+		cr.Errno, cr.Ret = vkernel.ErrnoName(err), uint64(len(data))
 	case "write":
 		fd := int(resolve(resources, call.Args[0]))
 		n, err := k.Write(device.NativePID, vkernel.OriginNative, fd, call.Args[1].Data)
-		return CallResult{Errno: vkernel.ErrnoName(err), Ret: uint64(n)}
+		cr.Errno, cr.Ret = vkernel.ErrnoName(err), uint64(n)
 	case "mmap":
 		fd := int(resolve(resources, call.Args[0]))
 		cookie, err := k.Mmap(device.NativePID, vkernel.OriginNative, fd, call.Args[1].Val)
-		return CallResult{Errno: vkernel.ErrnoName(err), Ret: cookie}
+		cr.Errno, cr.Ret = vkernel.ErrnoName(err), cookie
 	default:
-		return CallResult{Errno: "ENOSYS"}
+		cr.Errno = "ENOSYS"
 	}
 }
 
@@ -238,7 +296,7 @@ func (b *Broker) isIoctlOnly() bool {
 // encodePayload builds the ioctl argument buffer from the call's payload
 // fields (everything after fd and request): scalars as little-endian u64 in
 // order, then at most one trailing raw buffer.
-func encodePayload(call *dsl.Call, resources map[int]uint64) []byte {
+func encodePayload(call *dsl.Call, resources *resTable) []byte {
 	var out []byte
 	var tail []byte
 	for i := 2; i < len(call.Args); i++ {
@@ -264,8 +322,9 @@ func putU64(b []byte, v uint64) []byte {
 		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
-// execHAL runs one HAL interface invocation through Binder.
-func (b *Broker) execHAL(call *dsl.Call, resources map[int]uint64) CallResult {
+// execHAL runs one HAL interface invocation through Binder, writing the
+// outcome into cr.
+func (b *Broker) execHAL(call *dsl.Call, resources *resTable, cr *CallResult) {
 	d := call.Desc
 	in, out := binder.NewParcel(), binder.NewParcel()
 	for i, f := range d.Args {
@@ -282,7 +341,7 @@ func (b *Broker) execHAL(call *dsl.Call, resources map[int]uint64) CallResult {
 		}
 	}
 	st := b.dev.SM.Call(d.Service, d.MethodCode, in, out)
-	cr := CallResult{Errno: st.String()}
+	cr.Errno = st.String()
 	if st == binder.StatusOK {
 		cr.Errno = "OK"
 		if d.Ret != "" {
@@ -291,5 +350,4 @@ func (b *Broker) execHAL(call *dsl.Call, resources map[int]uint64) CallResult {
 			}
 		}
 	}
-	return cr
 }

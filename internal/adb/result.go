@@ -4,6 +4,8 @@
 // message-framed transport standing in for the Android Debug Bridge.
 package adb
 
+import "sync"
+
 // ExecRequest asks the broker to run one program.
 type ExecRequest struct {
 	// ProgText is the program in DSL text form.
@@ -64,6 +66,54 @@ type ExecResult struct {
 	Wedged bool
 	// HALDead reports that at least one HAL process crashed.
 	HALDead bool
+}
+
+// resultPool recycles ExecResults between executions: the broker draws from
+// it and callers hand results back with Release, so the per-execution
+// feedback buffers (Calls with their per-call Cover, KernelCov, HALTrace)
+// keep their capacity across iterations and the steady-state execution loop
+// allocates nothing.
+var resultPool = sync.Pool{New: func() any { return new(ExecResult) }}
+
+// GetResult returns a pooled, empty ExecResult.
+func GetResult() *ExecResult {
+	r := resultPool.Get().(*ExecResult)
+	r.prepare(0)
+	return r
+}
+
+// Release returns the result to the pool. The caller must not retain the
+// result or any of its slices afterwards; string fields (crash titles,
+// errno names) are immutable and safe to keep. Releasing is optional — an
+// unreleased result is simply garbage collected.
+func (r *ExecResult) Release() {
+	if r == nil {
+		return
+	}
+	resultPool.Put(r)
+}
+
+// prepare resets the result for a fresh execution of n calls, reusing every
+// buffer's capacity: Calls is resized in place so each slot's Cover slice
+// keeps its backing array.
+func (r *ExecResult) prepare(n int) {
+	if cap(r.Calls) < n {
+		r.Calls = append(r.Calls[:cap(r.Calls)], make([]CallResult, n-cap(r.Calls))...)
+	}
+	r.Calls = r.Calls[:n]
+	for i := range r.Calls {
+		c := &r.Calls[i]
+		c.Executed = false
+		c.Errno = ""
+		c.Ret = 0
+		c.Cover = c.Cover[:0]
+	}
+	r.KernelCov = r.KernelCov[:0]
+	r.HALTrace = r.HALTrace[:0]
+	r.Crashes = r.Crashes[:0]
+	r.Dmesg = nil
+	r.Wedged = false
+	r.HALDead = false
 }
 
 // Crashed reports whether any incident was observed.

@@ -187,7 +187,10 @@ func (f *Difuze) Run(n int) {
 			f.broker.Reboot()
 		}
 		// Coverage is recorded for the evaluation plots only.
-		f.acc.Merge(feedback.FromExec(res, nil))
+		sig := feedback.FromExec(res, nil)
+		f.acc.Merge(sig)
+		sig.Release()
+		res.Release()
 		if f.execs%f.snapEvr == 0 {
 			f.acc.Snapshot(f.execs)
 		}

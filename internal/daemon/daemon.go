@@ -9,7 +9,8 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
 
 	"droidfuzz/internal/baseline"
@@ -29,6 +30,12 @@ type Daemon struct {
 	engines map[string]*engine.Engine
 	devices map[string]*device.Device
 	order   []string
+	// maxWorkers bounds the worker pool of parallel runs; 0 means
+	// GOMAXPROCS.
+	maxWorkers int
+	// pipelineDepth, when > 0, makes parallel runs use the engines'
+	// pipelined mode with that generation lookahead.
+	pipelineDepth int
 }
 
 // New returns an empty daemon with fresh shared state.
@@ -86,16 +93,37 @@ func (d *Daemon) Devices() []string {
 	return out
 }
 
+// SetMaxWorkers bounds the parallel run's worker pool. n <= 0 restores the
+// default (GOMAXPROCS). A fleet of hundreds of devices then shares a fixed
+// number of host threads instead of spawning one goroutine per device.
+func (d *Daemon) SetMaxWorkers(n int) {
+	d.mu.Lock()
+	d.maxWorkers = n
+	d.mu.Unlock()
+}
+
+// SetPipelineDepth makes parallel runs drive each engine in pipelined mode
+// (generation overlapped with execution) with the given lookahead; 0
+// restores strictly serial per-engine iteration.
+func (d *Daemon) SetPipelineDepth(depth int) {
+	d.mu.Lock()
+	d.pipelineDepth = depth
+	d.mu.Unlock()
+}
+
 // Run executes iters fuzzing iterations on every attached engine. With
-// parallel set, engines run concurrently (one goroutine per device, the
-// deployment shape of §IV-A); otherwise serially in attach order, which is
-// deterministic for a fixed set of seeds.
+// parallel set, engines are distributed over a bounded worker pool (at most
+// SetMaxWorkers goroutines, defaulting to GOMAXPROCS — the deployment shape
+// of §IV-A without one unbounded goroutine per device); otherwise serially
+// in attach order, which is deterministic for a fixed set of seeds.
 func (d *Daemon) Run(iters int, parallel bool) {
 	d.mu.Lock()
 	engines := make([]*engine.Engine, 0, len(d.order))
 	for _, id := range d.order {
 		engines = append(engines, d.engines[id])
 	}
+	workers := d.maxWorkers
+	depth := d.pipelineDepth
 	d.mu.Unlock()
 
 	if !parallel {
@@ -104,14 +132,31 @@ func (d *Daemon) Run(iters int, parallel bool) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, e := range engines {
-		wg.Add(1)
-		go func(e *engine.Engine) {
-			defer wg.Done()
-			e.Run(iters)
-		}(e)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	queue := make(chan *engine.Engine)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range queue {
+				if depth > 0 {
+					e.RunPipelined(iters, depth)
+				} else {
+					e.Run(iters)
+				}
+			}
+		}()
+	}
+	for _, e := range engines {
+		queue <- e
+	}
+	close(queue)
 	wg.Wait()
 }
 
@@ -132,7 +177,7 @@ func (d *Daemon) SaveCorpora(dir string) error {
 	defer d.mu.Unlock()
 	ids := make([]string, len(d.order))
 	copy(ids, d.order)
-	sort.Strings(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		if err := d.engines[id].Corpus().Save(filepath.Join(dir, id)); err != nil {
 			return err
@@ -146,8 +191,12 @@ func (d *Daemon) Bugs() []*crash.Record { return d.dedup.Records() }
 
 // statusReport is the JSON shape of WriteStatus.
 type statusReport struct {
-	Devices   map[string]engine.Stats `json:"devices"`
-	Relations struct {
+	Devices map[string]engine.Stats `json:"devices"`
+	// ExecErrors aggregates broker execution errors across the fleet; a
+	// nonzero value flags transport or program-build trouble that per-device
+	// coverage numbers would otherwise hide.
+	ExecErrors uint64 `json:"exec_errors"`
+	Relations  struct {
 		Vertices int    `json:"vertices"`
 		Edges    int    `json:"edges"`
 		Learned  uint64 `json:"learned"`
@@ -168,6 +217,9 @@ type bugSummary struct {
 // monitoring dashboard would poll.
 func (d *Daemon) WriteStatus(w io.Writer) error {
 	rep := statusReport{Devices: d.Stats()}
+	for _, st := range rep.Devices {
+		rep.ExecErrors += st.ExecErrors
+	}
 	rep.Relations.Vertices = d.graph.Len()
 	rep.Relations.Edges = d.graph.Edges()
 	rep.Relations.Learned = d.graph.Learns()

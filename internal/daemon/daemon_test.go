@@ -59,6 +59,60 @@ func TestDaemonParallelRun(t *testing.T) {
 	}
 }
 
+// TestDaemonBoundedWorkerPool runs more devices than workers: every engine
+// must still complete its full iteration budget while sharing the shared
+// relation graph and global dedup. Run under -race this also checks the
+// pool's handoff.
+func TestDaemonBoundedWorkerPool(t *testing.T) {
+	d := New()
+	models := []string{"A1", "A2", "B", "C1", "D"}
+	for i, id := range models {
+		if err := d.AddDevice(id, engine.Config{Seed: int64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetMaxWorkers(2) // 5 devices over 2 workers
+	d.Run(150, true)
+	for id, s := range d.Stats() {
+		if s.Execs < 150 {
+			t.Fatalf("%s ran %d execs, want >= 150", id, s.Execs)
+		}
+	}
+	if d.Graph().Edges() == 0 {
+		t.Fatal("shared relation table empty")
+	}
+}
+
+// TestDaemonPipelinedParallelRun drives ≥3 device models concurrently with
+// the engines in pipelined (generation-ahead) mode, all sharing one
+// relation graph and one dedup collector — the configuration the -race CI
+// job exists to keep honest.
+func TestDaemonPipelinedParallelRun(t *testing.T) {
+	d := New()
+	for i, id := range []string{"A1", "B", "C2", "E"} {
+		if err := d.AddDevice(id, engine.Config{Seed: int64(50 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetMaxWorkers(3)
+	d.SetPipelineDepth(4)
+	d.Run(200, true)
+	for id, s := range d.Stats() {
+		if s.Execs < 200 {
+			t.Fatalf("%s ran %d execs, want >= 200", id, s.Execs)
+		}
+		if s.KernelCov == 0 {
+			t.Fatalf("%s collected no coverage", id)
+		}
+	}
+	if d.Graph().Edges() == 0 {
+		t.Fatal("shared relation table empty")
+	}
+	if d.Dedup() == nil {
+		t.Fatal("dedup missing")
+	}
+}
+
 func TestDaemonSaveCorpora(t *testing.T) {
 	d := New()
 	if err := d.AddDevice("B", engine.Config{Seed: 5}); err != nil {
@@ -98,6 +152,39 @@ func TestDaemonWriteStatusJSON(t *testing.T) {
 	}
 	if rep["relations"] == nil {
 		t.Fatal("relations missing")
+	}
+}
+
+// TestDaemonStatusSurfacesExecErrors injects transport faults into one
+// device's broker and checks the error count reaches both the per-device
+// stats and the fleet-wide exec_errors field of the status feed.
+func TestDaemonStatusSurfacesExecErrors(t *testing.T) {
+	d := New()
+	if err := d.AddDevice("B", engine.Config{Seed: 21}); err != nil {
+		t.Fatal(err)
+	}
+	d.Engine("B").Broker().FailNext(5)
+	d.Run(100, false)
+	st := d.Stats()["B"]
+	if st.ExecErrors != 5 {
+		t.Fatalf("ExecErrors = %d, want 5", st.ExecErrors)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteStatus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Devices    map[string]engine.Stats `json:"devices"`
+		ExecErrors uint64                  `json:"exec_errors"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.ExecErrors != 5 {
+		t.Fatalf("exec_errors = %d, want 5", rep.ExecErrors)
+	}
+	if rep.Devices["B"].ExecErrors != 5 {
+		t.Fatalf("devices.B.ExecErrors = %d, want 5", rep.Devices["B"].ExecErrors)
 	}
 }
 

@@ -1,0 +1,77 @@
+package daemon
+
+import (
+	"testing"
+
+	"droidfuzz/internal/engine"
+)
+
+// goldenRun pins the serial determinism contract across hot-path rewrites:
+// the stats below were recorded from the pre-pooling, map-based feedback
+// implementation (PR 1 seed state) with exactly these seeds and iteration
+// counts. Any drift in coverage counts, execution totals, or corpus growth
+// means the rewrite changed the campaign trajectory — the acceptance bar is
+// bit-identical replay, not "roughly the same coverage".
+var goldenRun = []struct {
+	model string
+	seed  int64
+
+	execs       uint64
+	kernelCov   int
+	totalSignal int
+	newSignal   uint64
+	corpusSize  int
+	crashes     int
+}{
+	{"A1", 101, 1490, 398, 592, 166, 150, 0},
+	{"B", 202, 1328, 303, 421, 151, 139, 4},
+	{"D", 303, 1390, 345, 508, 160, 144, 0},
+}
+
+const goldenIters = 400
+
+// TestSerialRunMatchesGoldenStats replays the recorded campaigns serially
+// and compares every counter against the pre-rewrite values.
+func TestSerialRunMatchesGoldenStats(t *testing.T) {
+	d := New()
+	for _, g := range goldenRun {
+		if err := d.AddDevice(g.model, engine.Config{Seed: g.seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Run(goldenIters, false)
+	for _, g := range goldenRun {
+		st := d.Engine(g.model).Stats()
+		if st.Execs != g.execs || st.KernelCov != g.kernelCov ||
+			st.TotalSignal != g.totalSignal || st.NewSignal != g.newSignal ||
+			st.CorpusSize != g.corpusSize || st.Crashes != g.crashes {
+			t.Errorf("%s diverged from golden:\n got  %+v\n want execs=%d kernel=%d total=%d new=%d corpus=%d crashes=%d",
+				g.model, st, g.execs, g.kernelCov, g.totalSignal, g.newSignal, g.corpusSize, g.crashes)
+		}
+		if st.ExecErrors != 0 {
+			t.Errorf("%s: unexpected exec errors: %d", g.model, st.ExecErrors)
+		}
+	}
+}
+
+// TestSerialRunReplaysItself runs the same serial campaign twice in one
+// process and asserts bit-identical stats — the within-binary half of the
+// determinism contract (the golden test covers the across-rewrite half).
+func TestSerialRunReplaysItself(t *testing.T) {
+	run := func() map[string]engine.Stats {
+		d := New()
+		for _, id := range []string{"A2", "C1"} {
+			if err := d.AddDevice(id, engine.Config{Seed: 77}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Run(250, false)
+		return d.Stats()
+	}
+	a, b := run(), run()
+	for id, st := range a {
+		if st != b[id] {
+			t.Fatalf("%s: serial replay diverged:\n run1 %+v\n run2 %+v", id, st, b[id])
+		}
+	}
+}

@@ -62,9 +62,25 @@ type Prog struct {
 
 // Clone deep-copies the program.
 func (p *Prog) Clone() *Prog {
+	// Cloning runs on the mutation hot path, so the calls and their
+	// argument slots are batch-allocated in two backing arrays instead of
+	// one Call + one []Arg per call. Each call's Args is capacity-capped to
+	// its own region: appending to one cloned call cannot bleed into the
+	// next call's slots.
 	n := &Prog{Calls: make([]*Call, len(p.Calls))}
+	calls := make([]Call, len(p.Calls))
+	total := 0
+	for _, c := range p.Calls {
+		total += len(c.Args)
+	}
+	args := make([]Arg, 0, total)
 	for i, c := range p.Calls {
-		n.Calls[i] = c.Clone()
+		start := len(args)
+		for _, a := range c.Args {
+			args = append(args, a.Clone())
+		}
+		calls[i] = Call{Desc: c.Desc, Args: args[start:len(args):len(args)]}
+		n.Calls[i] = &calls[i]
 	}
 	return n
 }

@@ -68,10 +68,23 @@ func (p *Probe) Take() []vkernel.Event {
 	return out
 }
 
-// Reset clears the buffer without detaching.
+// Drain invokes fn for each buffered event in arrival order, then clears
+// the buffer keeping its capacity — the allocation-free alternative to Take
+// used by the pooled execution-result path. fn must not call back into the
+// probe.
+func (p *Probe) Drain(fn func(vkernel.Event)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ev := range p.events {
+		fn(ev)
+	}
+	p.events = p.events[:0]
+}
+
+// Reset clears the buffer without detaching, keeping its capacity.
 func (p *Probe) Reset() {
 	p.mu.Lock()
-	p.events = nil
+	p.events = p.events[:0]
 	p.drops = 0
 	p.mu.Unlock()
 }

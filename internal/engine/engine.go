@@ -3,6 +3,13 @@
 // corpus mutation), ships them to the device's execution broker, interprets
 // the cross-boundary feedback, minimizes and admits interesting programs,
 // learns relations, and triages crashes.
+//
+// Two run modes exist. Run is strictly serial and deterministic: one RNG
+// drives selection, generation, and admission, so a fixed seed replays a
+// campaign bit-identically. RunPipelined overlaps generation with
+// execution — a producer goroutine keeps a bounded queue of programs
+// generated ahead from its own derived RNG — trading replay determinism for
+// throughput (the deployment-shape tradeoff; see DESIGN.md).
 package engine
 
 import (
@@ -17,12 +24,19 @@ import (
 	"droidfuzz/internal/relation"
 )
 
+// Disabled is the sentinel for Config ratio/probability/factor fields whose
+// zero value means "use the default": setting a field to Disabled pins it
+// to zero instead (never generate, never admit direction-only novelty, no
+// decay), which a literal 0 cannot express.
+const Disabled = -1
+
 // Config tunes one engine.
 type Config struct {
 	// Seed seeds the engine's RNG; campaigns are reproducible.
 	Seed int64
 	// GenerateRatio is the probability of fresh generation vs corpus
 	// mutation (default 0.4; mutation dominates once a corpus exists).
+	// Set to Disabled to pin it to 0 (mutate-only once a corpus exists).
 	GenerateRatio float64
 	// NoRelations is the DF-NoRel ablation: random dependency generation
 	// and no relation learning.
@@ -31,9 +45,15 @@ type Config struct {
 	// dropped from the feedback signal.
 	NoHALCov bool
 	// DecayEvery is the period (in executions) of relation-weight decay
-	// (default 400; 0 disables).
+	// (default 400). Set NoDecay to disable decay entirely.
 	DecayEvery uint64
-	// DecayFactor multiplies edge weights at each decay (default 0.9).
+	// NoDecay disables periodic relation-weight decay (DecayEvery's zero
+	// value means "default", so it cannot express "off" itself).
+	NoDecay bool
+	// DecayFactor multiplies edge weights at each decay (default 0.9; the
+	// valid range is (0,1), values outside it fall back to the default).
+	// Set to Disabled to suppress the decay effect without touching the
+	// schedule.
 	DecayFactor float64
 	// SnapshotEvery is the coverage-history sampling period in executions
 	// (default 25).
@@ -50,19 +70,42 @@ type Config struct {
 	// fresh interleaving hashes to new directional elements, so admitting
 	// them all floods the corpus and starves kernel-productive seeds;
 	// subsampling keeps the ordering guidance at a bounded dilution cost.
+	// Set to Disabled to never admit direction-only novelty.
 	DirAdmitProb float64
 	// Gen forwards generation options.
 	Gen gen.Options
 }
 
-func (c *Config) defaults() {
-	if c.GenerateRatio <= 0 {
-		c.GenerateRatio = 0.4
+// resolveProb maps a probability-like config field to its effective value:
+// the zero value takes the default, Disabled (or any negative) pins 0, and
+// values above 1 clamp to 1.
+func resolveProb(v, def float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	case v > 1:
+		return 1
+	default:
+		return v
 	}
+}
+
+func (c *Config) defaults() {
+	c.GenerateRatio = resolveProb(c.GenerateRatio, 0.4)
+	c.DirAdmitProb = resolveProb(c.DirAdmitProb, 0.25)
 	if c.DecayEvery == 0 {
 		c.DecayEvery = 400
 	}
-	if c.DecayFactor <= 0 || c.DecayFactor >= 1 {
+	if c.NoDecay {
+		c.DecayEvery = 0 // the decay gate skips a zero period
+	}
+	switch {
+	case c.DecayFactor < 0:
+		// Explicitly disabled: Graph.Decay no-ops on a zero factor.
+		c.DecayFactor = 0
+	case c.DecayFactor == 0 || c.DecayFactor >= 1:
 		c.DecayFactor = 0.9
 	}
 	if c.SnapshotEvery == 0 {
@@ -70,9 +113,6 @@ func (c *Config) defaults() {
 	}
 	if c.MaxMinimizeExecs == 0 {
 		c.MaxMinimizeExecs = 12
-	}
-	if c.DirAdmitProb <= 0 {
-		c.DirAdmitProb = 0.25
 	}
 	c.Gen.NoRelations = c.NoRelations
 }
@@ -83,6 +123,7 @@ type Stats struct {
 	Generated   uint64
 	Mutated     uint64
 	NewSignal   uint64
+	ExecErrors  uint64
 	CorpusSize  int
 	Crashes     int
 	UniqueBugs  int
@@ -103,11 +144,12 @@ type Engine struct {
 	rng    *rand.Rand
 	cfg    Config
 
-	execs     uint64
-	generated uint64
-	mutated   uint64
-	newSig    uint64
-	crashes   int
+	execs      uint64
+	generated  uint64
+	mutated    uint64
+	newSig     uint64
+	execErrors uint64
+	crashes    int
 }
 
 // New builds an engine over a broker whose target already includes probed
@@ -141,6 +183,10 @@ func New(broker *adb.Broker, graph *relation.Graph, dedup *crash.Dedup, cfg Conf
 // Corpus exposes the engine's corpus (persistence, tests).
 func (e *Engine) Corpus() *corpus.Corpus { return e.corpus }
 
+// Broker exposes the engine's execution broker (diagnostics, fault
+// injection in tests).
+func (e *Engine) Broker() *adb.Broker { return e.broker }
+
 // Accumulator exposes the coverage accumulator.
 func (e *Engine) Accumulator() *feedback.Accumulator { return e.acc }
 
@@ -166,6 +212,7 @@ func (e *Engine) Stats() Stats {
 		Generated:   e.generated,
 		Mutated:     e.mutated,
 		NewSignal:   e.newSig,
+		ExecErrors:  e.execErrors,
 		CorpusSize:  e.corpus.Len(),
 		Crashes:     e.crashes,
 		UniqueBugs:  e.dedup.Len(),
@@ -176,13 +223,16 @@ func (e *Engine) Stats() Stats {
 }
 
 // exec runs one program, bumping virtual time and handling crash fallout.
-func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, feedback.Signal) {
+// Both returned values are pooled; the caller releases them.
+func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, *feedback.Signal) {
 	res, err := e.broker.ExecProg(p)
 	e.execs++
 	if err != nil {
-		// A malformed program is an engine bug; surface loudly in tests
-		// by treating it as an empty result.
-		return &adb.ExecResult{}, feedback.Signal{}
+		// Broker errors are surfaced through the ExecErrors counter rather
+		// than silently swallowed; the iteration proceeds on an empty
+		// result so virtual time still advances.
+		e.execErrors++
+		return adb.GetResult(), feedback.NewSignal()
 	}
 	if len(res.Crashes) > 0 {
 		e.crashes += len(res.Crashes)
@@ -211,13 +261,15 @@ func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, feedback.Signal) {
 // call orders.
 func (e *Engine) SeedCorpus(progs []*dsl.Prog) {
 	for _, p := range progs {
-		_, sig := e.exec(p)
-		newElems := e.acc.NewOf(sig)
-		e.acc.Merge(sig)
-		score := len(newElems)
+		res, sig := e.exec(p)
+		newElems := e.acc.MergeNew(sig)
+		score := newElems.Len()
 		if score == 0 {
 			score = 1
 		}
+		newElems.Release()
+		sig.Release()
+		res.Release()
 		e.corpus.Add(p, score)
 		if !e.cfg.NoRelations {
 			e.learn(p)
@@ -225,21 +277,41 @@ func (e *Engine) SeedCorpus(progs []*dsl.Prog) {
 	}
 }
 
+// next selects the program for one iteration: fresh generation or corpus
+// mutation, drawn from the given RNG and generator. The draw order (Pick,
+// then the short-circuited ratio draw, then the donor Pick) is part of the
+// serial determinism contract — do not reorder.
+func (e *Engine) next(rng *rand.Rand, g *gen.Generator) (p *dsl.Prog, generated bool) {
+	seed := e.corpus.Pick(rng)
+	if seed == nil || rng.Float64() < e.cfg.GenerateRatio {
+		return g.Generate(), true
+	}
+	donor := e.corpus.Pick(rng)
+	p, _ = g.Mutate(seed, donor)
+	return p, false
+}
+
 // Step runs one fuzzing iteration.
 func (e *Engine) Step() {
-	var p *dsl.Prog
-	seed := e.corpus.Pick(e.rng)
-	if seed == nil || e.rng.Float64() < e.cfg.GenerateRatio {
-		p = e.gen.Generate()
+	p, generated := e.next(e.rng, e.gen)
+	e.stepWith(p, generated)
+}
+
+// stepWith executes one already-selected program and feeds the result back:
+// single-pass merge of new signal (one lock acquisition), admission,
+// relation learning, decay, and history sampling. All per-execution state
+// is pooled — the steady state allocates only when the program is actually
+// admitted.
+func (e *Engine) stepWith(p *dsl.Prog, generated bool) {
+	if generated {
 		e.generated++
 	} else {
-		donor := e.corpus.Pick(e.rng)
-		p, _ = e.gen.Mutate(seed, donor)
 		e.mutated++
 	}
 
-	_, sig := e.exec(p)
-	if newElems := e.acc.NewOf(sig); len(newElems) > 0 {
+	res, sig := e.exec(p)
+	newElems := e.acc.MergeNew(sig)
+	if newElems.Len() > 0 {
 		e.newSig++
 		admit := newElems.KernelLen() > 0 || e.rng.Float64() < e.cfg.DirAdmitProb
 		if admit {
@@ -247,17 +319,18 @@ func (e *Engine) Step() {
 			if !e.cfg.SkipMinimize {
 				admitted = e.minimize(p, newElems)
 			}
-			e.acc.Merge(sig)
 			e.corpus.Add(admitted, seedScore(newElems))
 			if !e.cfg.NoRelations {
 				e.learn(admitted)
 			}
-		} else {
-			// Direction-only novelty below the subsample: record it as
-			// seen so it stops counting as new, without a corpus entry.
-			e.acc.Merge(sig)
 		}
+		// Direction-only novelty below the subsample was already folded
+		// into the accumulator by MergeNew, so it stops counting as new
+		// without a corpus entry.
 	}
+	newElems.Release()
+	sig.Release()
+	res.Release()
 
 	if e.cfg.DecayEvery > 0 && e.execs%e.cfg.DecayEvery == 0 {
 		e.graph.Decay(e.cfg.DecayFactor, 0.01)
@@ -267,10 +340,54 @@ func (e *Engine) Step() {
 	}
 }
 
-// Run executes n fuzzing iterations.
+// Run executes n fuzzing iterations serially: deterministic for a fixed
+// seed.
 func (e *Engine) Run(n int) {
 	for i := 0; i < n; i++ {
 		e.Step()
+	}
+	e.acc.Snapshot(e.execs)
+}
+
+// pipelineSalt decorrelates the producer RNG from the engine RNG so the
+// two streams never repeat each other's draws.
+const pipelineSalt = 0x9e3779b97f4a7c15
+
+// DefaultPipelineDepth is the generation lookahead used when RunPipelined
+// is called with depth <= 0.
+const DefaultPipelineDepth = 4
+
+// RunPipelined executes n iterations with generation pipelined ahead of
+// execution: a producer goroutine keeps up to depth programs generated or
+// mutated in advance (drawing seeds from the live corpus) while this
+// goroutine executes, analyzes feedback, and admits. Selection draws come
+// from a producer-private RNG derived from the engine seed, so a pipelined
+// campaign is reproducible against itself but not bit-identical to a serial
+// one — mutation speculates on a corpus snapshot that admission may have
+// advanced past. Use Run when replay determinism matters.
+func (e *Engine) RunPipelined(n, depth int) {
+	if n <= 0 {
+		return
+	}
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
+	type pending struct {
+		p         *dsl.Prog
+		generated bool
+	}
+	prng := rand.New(rand.NewSource(int64(uint64(e.cfg.Seed) ^ pipelineSalt)))
+	pgen := gen.New(e.broker.Target(), e.graph, prng, e.cfg.Gen)
+	ch := make(chan pending, depth)
+	go func() {
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			p, generated := e.next(prng, pgen)
+			ch <- pending{p, generated}
+		}
+	}()
+	for item := range ch {
+		e.stepWith(item.p, item.generated)
 	}
 	e.acc.Snapshot(e.execs)
 }
@@ -282,7 +399,7 @@ func (e *Engine) Run(n int) {
 // minimizing in place would keep state-dependent fragments that are
 // useless as standalone seeds and would teach the relation graph
 // accidental adjacencies.
-func (e *Engine) minimize(p *dsl.Prog, want feedback.Signal) *dsl.Prog {
+func (e *Engine) minimize(p *dsl.Prog, want *feedback.Signal) *dsl.Prog {
 	// First check the program is self-contained at all.
 	e.broker.Reboot()
 	if !e.coversOnCurrentBoot(p, want) {
@@ -311,13 +428,22 @@ func (e *Engine) minimize(p *dsl.Prog, want feedback.Signal) *dsl.Prog {
 // coversOnCurrentBoot executes p and reports whether its signal contains
 // every element of want; crashes make the check fail (and the caller
 // reboots before the next candidate anyway).
-func (e *Engine) coversOnCurrentBoot(p *dsl.Prog, want feedback.Signal) bool {
+func (e *Engine) coversOnCurrentBoot(p *dsl.Prog, want *feedback.Signal) bool {
 	res, err := e.broker.ExecProg(p)
 	e.execs++
-	if err != nil || len(res.Crashes) > 0 || res.NeedsReboot() {
+	if err != nil {
+		e.execErrors++
 		return false
 	}
-	return covers(feedback.FromExec(res, e.spec), want)
+	if len(res.Crashes) > 0 || res.NeedsReboot() {
+		res.Release()
+		return false
+	}
+	sig := feedback.FromExec(res, e.spec)
+	ok := sig.ContainsAll(want)
+	sig.Release()
+	res.Release()
+	return ok
 }
 
 // seedScore prioritizes corpus entries: new kernel coverage is worth far
@@ -325,19 +451,9 @@ func (e *Engine) coversOnCurrentBoot(p *dsl.Prog, want feedback.Signal) bool {
 // plentiful — every fresh interleaving hashes differently — so scoring it
 // at parity would let order-novel programs drown out the seeds that still
 // advance kernel state.
-func seedScore(newElems feedback.Signal) int {
+func seedScore(newElems *feedback.Signal) int {
 	kernel := newElems.KernelLen()
-	return kernel*8 + (len(newElems) - kernel)
-}
-
-// covers reports whether sig contains every element of want.
-func covers(sig, want feedback.Signal) bool {
-	for e := range want {
-		if _, ok := sig[e]; !ok {
-			return false
-		}
-	}
-	return true
+	return kernel*8 + (newElems.Len() - kernel)
 }
 
 // crashTriageBudget bounds the executions spent minimizing one reproducer.
@@ -373,14 +489,18 @@ func (e *Engine) crashesWith(p *dsl.Prog, title string) bool {
 	res, err := e.broker.ExecProg(p)
 	e.execs++
 	if err != nil {
+		e.execErrors++
 		return false
 	}
+	hit := false
 	for _, cr := range res.Crashes {
 		if crash.NormalizeTitle(cr.Title) == title {
-			return true
+			hit = true
+			break
 		}
 	}
-	return false
+	res.Release()
+	return hit
 }
 
 // learn records the adjacent-pair dependencies of a minimized program into

@@ -151,3 +151,59 @@ func TestEngineHonorsSkipMinimize(t *testing.T) {
 		t.Fatal("no corpus without minimization")
 	}
 }
+
+// TestEnginePipelinedRun: the batched mode must complete the full iteration
+// budget, make coverage progress, and keep its own books straight — without
+// the serial determinism guarantee (generation runs ahead on its own RNG).
+func TestEnginePipelinedRun(t *testing.T) {
+	e := newEngine(t, "A1", engine.Config{Seed: 31})
+	e.RunPipelined(300, 4)
+	st := e.Stats()
+	if st.Execs < 300 {
+		t.Fatalf("execs = %d, want >= 300", st.Execs)
+	}
+	if st.Generated+st.Mutated != 300 {
+		t.Fatalf("generated+mutated = %d, want 300", st.Generated+st.Mutated)
+	}
+	if st.KernelCov == 0 || st.CorpusSize == 0 {
+		t.Fatalf("pipelined run made no progress: %+v", st)
+	}
+}
+
+// TestEngineCountsExecErrors: injected broker faults must show up in stats
+// instead of disappearing into empty results.
+func TestEngineCountsExecErrors(t *testing.T) {
+	e := newEngine(t, "A1", engine.Config{Seed: 12})
+	e.Broker().FailNext(3)
+	e.Run(50)
+	st := e.Stats()
+	if st.ExecErrors != 3 {
+		t.Fatalf("ExecErrors = %d, want 3", st.ExecErrors)
+	}
+	if st.Execs < 50 {
+		t.Fatalf("faults stalled virtual time: execs = %d", st.Execs)
+	}
+}
+
+// TestEngineDisabledGenerateRatio: with GenerateRatio pinned to zero via
+// the sentinel, the engine only generates while the corpus is empty and
+// mutates ever after.
+func TestEngineDisabledGenerateRatio(t *testing.T) {
+	e := newEngine(t, "A1", engine.Config{Seed: 14, GenerateRatio: engine.Disabled})
+	target := e.Gen().Target()
+	prog, err := dsl.ParseProg(target, `r0 = open$tcpc(path="/dev/tcpc0")
+ioctl$TCPC_SET_MODE(fd=r0, req=0xa102, mode=0x3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SeedCorpus([]*dsl.Prog{prog})
+	e.Run(100)
+	st := e.Stats()
+	if st.Generated != 0 {
+		t.Fatalf("generated = %d with GenerateRatio disabled and a seeded corpus", st.Generated)
+	}
+	if st.Mutated != 100 {
+		t.Fatalf("mutated = %d, want 100", st.Mutated)
+	}
+}

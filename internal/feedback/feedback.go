@@ -6,15 +6,28 @@
 // critical argument), and ordered n-grams of those IDs are hashed into
 // signal elements appended to the kernel coverage. Both halves then flow
 // through identical new-signal analysis.
+//
+// The package is built for an allocation-free steady state: Signal values
+// are pooled flat slices rather than per-execution maps, the specialized-ID
+// table is keyed by packed integers (no string formatting per trace event),
+// and the Accumulator maintains its kernel/total counts incrementally so
+// stats and snapshots never rescan the accumulated set.
 package feedback
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"droidfuzz/internal/adb"
 	"droidfuzz/internal/dsl"
+)
+
+// FNV-1a 64-bit parameters, used both for n-gram hashing and for packing
+// observed syscall events into SpecTable keys.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
 
 // SpecTable is the specialized system-call ID lookup table compiled at
@@ -22,53 +35,96 @@ import (
 // argument) pair — e.g. (ioctl, TCPC_SET_MODE) — gets a unique ID, and
 // generic syscalls without a critical argument get one ID per (syscall,
 // device path) pair.
+//
+// Lookups are read-mostly: the common case (an already-assigned event) takes
+// a shared lock and a single integer-keyed map read with no allocation.
 type SpecTable struct {
-	mu     sync.Mutex
-	ids    map[string]uint32
+	mu     sync.RWMutex
+	ids    map[uint64]uint32
 	nextID uint32
 }
 
 // NewSpecTable builds the table from all ioctl request constants found in
 // the target's syscall descriptions, pre-assigning stable IDs.
 func NewSpecTable(target *dsl.Target) *SpecTable {
-	t := &SpecTable{ids: make(map[string]uint32), nextID: 1}
-	// Pre-populate with the specialized ioctls from the descriptions so
-	// IDs are stable across runs regardless of observation order.
-	names := make([]string, 0)
+	t := &SpecTable{ids: make(map[uint64]uint32), nextID: 1}
+	// Pre-populate with the specialized ioctls from the descriptions so IDs
+	// are stable across runs regardless of observation order. The sort runs
+	// over the historical string form of the keys: assignment order — and
+	// therefore every ID, directional hash, and replayed campaign — stays
+	// bit-identical to earlier table versions.
+	type initKey struct {
+		name string
+		arg  uint64
+	}
+	keys := make([]initKey, 0)
 	for _, d := range target.SyscallCalls() {
 		if d.Syscall != "ioctl" || d.CriticalArg < 0 {
 			continue
 		}
 		req := d.Args[d.CriticalArg].Type.Val
-		names = append(names, specKey("ioctl", "", req))
+		keys = append(keys, initKey{fmt.Sprintf("ioctl$%#x", req), req})
 	}
-	sort.Strings(names)
-	for _, k := range names {
-		if _, ok := t.ids[k]; !ok {
-			t.ids[k] = t.nextID
+	slices.SortFunc(keys, func(a, b initKey) int {
+		if a.name < b.name {
+			return -1
+		}
+		if a.name > b.name {
+			return 1
+		}
+		return 0
+	})
+	for _, k := range keys {
+		pk := packEvent("ioctl", "", k.arg)
+		if _, ok := t.ids[pk]; !ok {
+			t.ids[pk] = t.nextID
 			t.nextID++
 		}
 	}
 	return t
 }
 
-func specKey(nr, path string, arg uint64) string {
+// packEvent folds one observed syscall event into the table's integer key
+// space: ioctls are keyed by their critical argument, generic syscalls by
+// (name, device path). FNV-1a over the raw bytes keeps the packing
+// allocation-free; a 64-bit collision between distinct events is treated as
+// negligible at the scale of a device's syscall surface.
+func packEvent(nr, path string, arg uint64) uint64 {
 	if nr == "ioctl" {
-		return fmt.Sprintf("ioctl$%#x", arg)
+		h := uint64(fnvOffset64)
+		h = (h ^ 0xf1) * fnvPrime64 // ioctl namespace tag
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (arg >> i & 0xff)) * fnvPrime64
+		}
+		return h
 	}
-	return nr + "$" + path
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(nr); i++ {
+		h = (h ^ uint64(nr[i])) * fnvPrime64
+	}
+	h = (h ^ 0x24) * fnvPrime64 // separator: "read"+"x" ≠ "readx"+""
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * fnvPrime64
+	}
+	return h
 }
 
 // ID returns the specialized ID for one observed syscall event, assigning a
 // fresh ID for combinations not seen before (runtime-discovered requests).
 func (t *SpecTable) ID(ev adb.TraceEvent) uint32 {
-	key := specKey(ev.NR, ev.Path, ev.Arg)
+	key := packEvent(ev.NR, ev.Path, ev.Arg)
+	t.mu.RLock()
+	id, ok := t.ids[key]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if id, ok := t.ids[key]; ok {
 		return id
 	}
-	id := t.nextID
+	id = t.nextID
 	t.nextID++
 	t.ids[key] = id
 	return id
@@ -76,24 +132,106 @@ func (t *SpecTable) ID(ev adb.TraceEvent) uint32 {
 
 // Size reports the number of assigned specialized IDs.
 func (t *SpecTable) Size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.ids)
 }
 
 // Sequence maps an ordered HAL trace to its specialized-ID sequence.
 func (t *SpecTable) Sequence(trace []adb.TraceEvent) []uint32 {
-	out := make([]uint32, len(trace))
-	for i, ev := range trace {
-		out[i] = t.ID(ev)
+	return t.appendSequence(make([]uint32, 0, len(trace)), trace)
+}
+
+// appendSequence appends the trace's specialized IDs to dst, reusing its
+// capacity (the pooled-signal hot path).
+func (t *SpecTable) appendSequence(dst []uint32, trace []adb.TraceEvent) []uint32 {
+	for _, ev := range trace {
+		dst = append(dst, t.ID(ev))
 	}
-	return out
+	return dst
 }
 
 // Signal is a set of 64-bit signal elements: kernel PCs live in the low
 // 32-bit space; directional HAL hashes are offset into a disjoint namespace
 // so the two coverage kinds merge without collisions.
-type Signal map[uint64]struct{}
+//
+// It is backed by a sorted, deduplicated flat slice and recycled through a
+// pool: obtain one from FromExec, NewSignal, or SignalOf, and hand it back
+// with Release once no longer referenced. Releasing is optional — an
+// unreleased Signal is simply collected by the GC — but the fuzzing hot
+// path releases everything and runs allocation-free in steady state.
+type Signal struct {
+	elems  []uint64 // sorted ascending, unique once sealed
+	kernel int      // count of elements below halNamespace
+	seq    []uint32 // scratch: specialized-ID sequence of the HAL trace
+}
+
+var signalPool = sync.Pool{New: func() any { return new(Signal) }}
+
+// NewSignal returns an empty pooled signal.
+func NewSignal() *Signal {
+	s := signalPool.Get().(*Signal)
+	s.elems = s.elems[:0]
+	s.kernel = 0
+	return s
+}
+
+// SignalOf builds a pooled signal from explicit elements (tests, tools).
+func SignalOf(elems ...uint64) *Signal {
+	s := NewSignal()
+	s.elems = append(s.elems, elems...)
+	s.seal()
+	return s
+}
+
+// Release returns the signal to the pool. The caller must not use it
+// afterwards.
+func (s *Signal) Release() {
+	if s == nil {
+		return
+	}
+	signalPool.Put(s)
+}
+
+// seal sorts and deduplicates the element slice and computes the
+// kernel/directional boundary. Elements are unordered sets semantically;
+// the sorted representation makes membership and subset checks cheap.
+func (s *Signal) seal() {
+	slices.Sort(s.elems)
+	s.elems = slices.Compact(s.elems)
+	s.kernel, _ = slices.BinarySearch(s.elems, halNamespace)
+}
+
+// Len reports the number of signal elements.
+func (s *Signal) Len() int { return len(s.elems) }
+
+// KernelLen reports how many elements are kernel PCs (vs directional).
+func (s *Signal) KernelLen() int { return s.kernel }
+
+// Elems exposes the sorted elements; the slice is owned by the signal and
+// must not be retained past Release.
+func (s *Signal) Elems() []uint64 { return s.elems }
+
+// Contains reports whether e is in the signal.
+func (s *Signal) Contains(e uint64) bool {
+	_, ok := slices.BinarySearch(s.elems, e)
+	return ok
+}
+
+// ContainsAll reports whether every element of want is in s (both sorted:
+// one merge walk, no allocation).
+func (s *Signal) ContainsAll(want *Signal) bool {
+	i := 0
+	for _, w := range want.elems {
+		for i < len(s.elems) && s.elems[i] < w {
+			i++
+		}
+		if i >= len(s.elems) || s.elems[i] != w {
+			return false
+		}
+	}
+	return true
+}
 
 // halNamespace offsets directional-coverage hashes away from kernel PCs.
 const halNamespace = uint64(1) << 32
@@ -107,58 +245,50 @@ var NgramOrders = []int{1, 2}
 
 // FromExec builds the joint signal for one execution result: kernel PCs
 // plus directional n-gram hashes of the HAL syscall sequence. A nil table
-// yields kernel-only signal (the DF-NoHCov ablation).
-func FromExec(res *adb.ExecResult, table *SpecTable) Signal {
-	s := make(Signal, len(res.KernelCov))
+// yields kernel-only signal (the DF-NoHCov ablation). The returned signal
+// is pooled; Release it when done.
+func FromExec(res *adb.ExecResult, table *SpecTable) *Signal {
+	s := signalPool.Get().(*Signal)
+	s.elems = s.elems[:0]
+	s.kernel = 0
 	for _, pc := range res.KernelCov {
-		s[uint64(pc)] = struct{}{}
+		s.elems = append(s.elems, uint64(pc))
 	}
-	if table == nil {
-		return s
+	if table != nil {
+		s.seq = table.appendSequence(s.seq[:0], res.HALTrace)
+		for _, n := range NgramOrders {
+			s.addNgrams(s.seq, n)
+		}
 	}
-	seq := table.Sequence(res.HALTrace)
-	for _, n := range NgramOrders {
-		addNgrams(s, seq, n)
-	}
+	s.seal()
 	return s
 }
 
 // addNgrams hashes every n-length window of seq into the signal.
-func addNgrams(s Signal, seq []uint32, n int) {
+func (s *Signal) addNgrams(seq []uint32, n int) {
 	if n <= 0 || len(seq) < n {
 		return
 	}
 	for i := 0; i+n <= len(seq); i++ {
-		var h uint64 = 14695981039346656037 // FNV-64 offset basis
+		var h uint64 = fnvOffset64
 		h ^= uint64(n)
-		h *= 1099511628211
+		h *= fnvPrime64
 		for _, id := range seq[i : i+n] {
 			h ^= uint64(id)
-			h *= 1099511628211
+			h *= fnvPrime64
 		}
-		s[halNamespace|(h>>32<<16|h&0xffff)] = struct{}{}
+		s.elems = append(s.elems, halNamespace|(h>>32<<16|h&0xffff))
 	}
-}
-
-// Len reports the number of signal elements.
-func (s Signal) Len() int { return len(s) }
-
-// KernelLen reports how many elements are kernel PCs (vs directional).
-func (s Signal) KernelLen() int {
-	n := 0
-	for e := range s {
-		if e < halNamespace {
-			n++
-		}
-	}
-	return n
 }
 
 // Accumulator tracks the maximal signal observed across a campaign and
-// answers whether an execution contributed new state.
+// answers whether an execution contributed new state. Kernel and total
+// counts are maintained incrementally on merge, so Total, KernelTotal,
+// Stats reads, and Snapshot are O(1) instead of rescanning the set.
 type Accumulator struct {
-	mu  sync.Mutex
-	max Signal
+	mu     sync.Mutex
+	max    map[uint64]struct{}
+	kernel int // count of elements in max below halNamespace
 	// history records (virtual time, kernel coverage count) snapshots.
 	history []Point
 }
@@ -172,30 +302,57 @@ type Point struct {
 
 // NewAccumulator returns an empty accumulator.
 func NewAccumulator() *Accumulator {
-	return &Accumulator{max: make(Signal)}
+	return &Accumulator{max: make(map[uint64]struct{})}
 }
 
 // Merge folds a signal into the accumulated maximum, returning the number
 // of new elements it contributed.
-func (a *Accumulator) Merge(s Signal) int {
+func (a *Accumulator) Merge(s *Signal) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	added := 0
-	for e := range s {
+	for _, e := range s.elems {
 		if _, ok := a.max[e]; !ok {
 			a.max[e] = struct{}{}
+			if e < halNamespace {
+				a.kernel++
+			}
 			added++
 		}
 	}
 	return added
 }
 
+// MergeNew folds a signal into the accumulated maximum and returns the
+// subset that was new, in one pass under one lock acquisition — the fused
+// form of NewOf followed by Merge that the engine's per-execution hot path
+// uses. The returned signal is pooled; Release it when done.
+func (a *Accumulator) MergeNew(s *Signal) *Signal {
+	d := signalPool.Get().(*Signal)
+	d.elems = d.elems[:0]
+	d.kernel = 0
+	a.mu.Lock()
+	for _, e := range s.elems {
+		if _, ok := a.max[e]; !ok {
+			a.max[e] = struct{}{}
+			if e < halNamespace {
+				a.kernel++
+			}
+			d.elems = append(d.elems, e)
+		}
+	}
+	a.mu.Unlock()
+	// s is sorted and unique, so the filtered subset already is: no re-sort.
+	d.kernel, _ = slices.BinarySearch(d.elems, halNamespace)
+	return d
+}
+
 // HasNew reports whether s contains elements outside the accumulated
 // maximum, without merging.
-func (a *Accumulator) HasNew(s Signal) bool {
+func (a *Accumulator) HasNew(s *Signal) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for e := range s {
+	for _, e := range s.elems {
 		if _, ok := a.max[e]; !ok {
 			return true
 		}
@@ -203,16 +360,20 @@ func (a *Accumulator) HasNew(s Signal) bool {
 	return false
 }
 
-// NewOf returns the subset of s not yet accumulated.
-func (a *Accumulator) NewOf(s Signal) Signal {
+// NewOf returns the subset of s not yet accumulated, without merging. The
+// returned signal is pooled; Release it when done.
+func (a *Accumulator) NewOf(s *Signal) *Signal {
+	d := signalPool.Get().(*Signal)
+	d.elems = d.elems[:0]
+	d.kernel = 0
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	d := make(Signal)
-	for e := range s {
+	for _, e := range s.elems {
 		if _, ok := a.max[e]; !ok {
-			d[e] = struct{}{}
+			d.elems = append(d.elems, e)
 		}
 	}
+	a.mu.Unlock()
+	d.kernel, _ = slices.BinarySearch(d.elems, halNamespace)
 	return d
 }
 
@@ -227,40 +388,30 @@ func (a *Accumulator) Total() int {
 func (a *Accumulator) KernelTotal() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	n := 0
-	for e := range a.max {
-		if e < halNamespace {
-			n++
-		}
-	}
-	return n
+	return a.kernel
 }
 
 // KernelPCs returns the accumulated kernel PCs (for per-driver accounting).
 func (a *Accumulator) KernelPCs() []uint32 {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]uint32, 0)
+	out := make([]uint32, 0, a.kernel)
 	for e := range a.max {
 		if e < halNamespace {
 			out = append(out, uint32(e))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	a.mu.Unlock()
+	slices.Sort(out)
 	return out
 }
 
 // Snapshot appends a coverage-over-time sample at the given virtual time.
+// With incremental counters this is O(1), so frequent sampling (the
+// engine's every-25-executions cadence) costs nothing.
 func (a *Accumulator) Snapshot(vtime uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	kernel := 0
-	for e := range a.max {
-		if e < halNamespace {
-			kernel++
-		}
-	}
-	a.history = append(a.history, Point{VTime: vtime, Kernel: kernel, Total: len(a.max)})
+	a.history = append(a.history, Point{VTime: vtime, Kernel: a.kernel, Total: len(a.max)})
 }
 
 // History returns the recorded coverage-over-time samples.

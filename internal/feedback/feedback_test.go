@@ -51,6 +51,17 @@ func TestSpecTableGeneralSyscallsByPath(t *testing.T) {
 	}
 }
 
+// TestSpecTableIDAllocationFree pins the packed-key property the hot path
+// depends on: an already-assigned lookup performs zero allocations.
+func TestSpecTableIDAllocationFree(t *testing.T) {
+	tab := NewSpecTable(specTarget(t))
+	ev := adb.TraceEvent{NR: "ioctl", Path: "/dev/tcpc0", Arg: drivers.TCPCSetMode}
+	tab.ID(ev)
+	if n := testing.AllocsPerRun(100, func() { tab.ID(ev) }); n != 0 {
+		t.Fatalf("ID allocates %v per run", n)
+	}
+}
+
 func result(events ...adb.TraceEvent) *adb.ExecResult {
 	return &adb.ExecResult{
 		KernelCov: []uint32{100, 200},
@@ -76,8 +87,8 @@ func TestDirectionalOrderSensitivity(t *testing.T) {
 	}
 	// Directional parts differ.
 	diff := false
-	for e := range s1 {
-		if _, ok := s2[e]; !ok {
+	for _, e := range s1.Elems() {
+		if !s2.Contains(e) {
 			diff = true
 		}
 	}
@@ -109,6 +120,36 @@ func TestNgramCounts(t *testing.T) {
 	}
 }
 
+// TestSignalReuse exercises the pool round trip: a released signal is
+// rebuilt from scratch with no stale elements.
+func TestSignalReuse(t *testing.T) {
+	tab := NewSpecTable(specTarget(t))
+	s := FromExec(result(ev(1), ev(2), ev(3)), tab)
+	s.Release()
+	s2 := FromExec(&adb.ExecResult{KernelCov: []uint32{7}}, tab)
+	if s2.Len() != 1 || s2.KernelLen() != 1 {
+		t.Fatalf("reused signal dirty: %d/%d", s2.Len(), s2.KernelLen())
+	}
+	if !s2.Contains(7) || s2.Contains(100) {
+		t.Fatal("reused signal has stale membership")
+	}
+}
+
+func TestSignalContainsAll(t *testing.T) {
+	a := SignalOf(1, 2, 3, halNamespace|5)
+	sub := SignalOf(2, halNamespace|5)
+	miss := SignalOf(2, 4)
+	if !a.ContainsAll(sub) {
+		t.Fatal("subset not detected")
+	}
+	if a.ContainsAll(miss) {
+		t.Fatal("non-subset detected as subset")
+	}
+	if !a.ContainsAll(NewSignal()) {
+		t.Fatal("empty set not a subset")
+	}
+}
+
 func TestAccumulator(t *testing.T) {
 	acc := NewAccumulator()
 	tab := NewSpecTable(specTarget(t))
@@ -123,12 +164,12 @@ func TestAccumulator(t *testing.T) {
 	if acc.HasNew(s1) {
 		t.Fatal("merged signal still new")
 	}
-	if len(acc.NewOf(s1)) != 0 {
+	if acc.NewOf(s1).Len() != 0 {
 		t.Fatal("NewOf after merge nonzero")
 	}
 	s2 := FromExec(result(ev(1), ev(2)), tab)
 	nw := acc.NewOf(s2)
-	if len(nw) == 0 {
+	if nw.Len() == 0 {
 		t.Fatal("extended signal not new")
 	}
 	acc.Merge(s2)
@@ -143,11 +184,41 @@ func TestAccumulator(t *testing.T) {
 	}
 }
 
+// TestAccumulatorMergeNew checks the fused one-lock path agrees with the
+// two-pass NewOf+Merge it replaced.
+func TestAccumulatorMergeNew(t *testing.T) {
+	acc := NewAccumulator()
+	s1 := SignalOf(1, 2, halNamespace|9)
+	d1 := acc.MergeNew(s1)
+	if d1.Len() != 3 || d1.KernelLen() != 2 {
+		t.Fatalf("first MergeNew = %d/%d, want 3/2", d1.Len(), d1.KernelLen())
+	}
+	if acc.Total() != 3 || acc.KernelTotal() != 2 {
+		t.Fatalf("accumulator after first MergeNew = %d/%d", acc.Total(), acc.KernelTotal())
+	}
+	// Overlapping second signal: only the fresh elements come back.
+	s2 := SignalOf(2, 3, halNamespace|9, halNamespace|10)
+	d2 := acc.MergeNew(s2)
+	if d2.Len() != 2 || d2.KernelLen() != 1 {
+		t.Fatalf("second MergeNew = %d/%d, want 2/1", d2.Len(), d2.KernelLen())
+	}
+	if !d2.Contains(3) || !d2.Contains(halNamespace|10) || d2.Contains(2) {
+		t.Fatalf("second MergeNew elements wrong: %v", d2.Elems())
+	}
+	// Fully merged signal yields nothing.
+	if acc.MergeNew(s2).Len() != 0 {
+		t.Fatal("re-merge returned elements")
+	}
+	if acc.Total() != 5 || acc.KernelTotal() != 3 {
+		t.Fatalf("final accumulator = %d/%d, want 5/3", acc.Total(), acc.KernelTotal())
+	}
+}
+
 func TestAccumulatorHistory(t *testing.T) {
 	acc := NewAccumulator()
-	acc.Merge(Signal{1: {}, 2: {}})
+	acc.Merge(SignalOf(1, 2))
 	acc.Snapshot(10)
-	acc.Merge(Signal{3: {}})
+	acc.Merge(SignalOf(3))
 	acc.Snapshot(20)
 	h := acc.History()
 	if len(h) != 2 {

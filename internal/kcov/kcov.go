@@ -119,6 +119,18 @@ func (c *Collector) Trace() []uint32 {
 	return c.Slice(0)
 }
 
+// AppendTo appends the trace from mark to the current position onto dst,
+// reusing dst's capacity — the allocation-free variant of Slice used by the
+// pooled execution-result path.
+func (c *Collector) AppendTo(dst []uint32, mark int) []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mark < 0 || mark > len(c.trace) {
+		return dst
+	}
+	return append(dst, c.trace[mark:]...)
+}
+
 // Dropped reports how many hits were discarded due to buffer overflow.
 func (c *Collector) Dropped() uint64 {
 	c.mu.Lock()

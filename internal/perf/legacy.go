@@ -1,0 +1,155 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/feedback"
+)
+
+// This file preserves the pre-PR-1 feedback algorithms as a reference for
+// the microbenchmarks: map-backed signals rebuilt per execution, a string
+// specialization key formatted with fmt.Sprintf on every lookup, and an
+// accumulator whose kernel count is recomputed by rescanning the whole set.
+// It exists only so BENCH_PR1.json can report an in-binary before/after
+// comparison; nothing outside this package uses it.
+
+// legacySignal is the old per-execution map representation.
+type legacySignal map[uint64]struct{}
+
+const legacyHALNamespace = uint64(1) << 32
+
+// legacySpecTable is the old string-keyed specialization table with a
+// single exclusive mutex.
+type legacySpecTable struct {
+	mu     sync.Mutex
+	ids    map[string]uint32
+	nextID uint32
+}
+
+func legacySpecKey(nr, path string, arg uint64) string {
+	if nr == "ioctl" {
+		return fmt.Sprintf("ioctl$%#x", arg)
+	}
+	return nr + "$" + path
+}
+
+func newLegacySpecTable(target *dsl.Target) *legacySpecTable {
+	t := &legacySpecTable{ids: make(map[string]uint32), nextID: 1}
+	names := make([]string, 0)
+	for _, d := range target.SyscallCalls() {
+		if d.Syscall != "ioctl" || d.CriticalArg < 0 {
+			continue
+		}
+		req := d.Args[d.CriticalArg].Type.Val
+		names = append(names, legacySpecKey("ioctl", "", req))
+	}
+	sort.Strings(names) // same pre-assignment order as the real table
+	for _, k := range names {
+		if _, ok := t.ids[k]; !ok {
+			t.ids[k] = t.nextID
+			t.nextID++
+		}
+	}
+	return t
+}
+
+func (t *legacySpecTable) id(ev adb.TraceEvent) uint32 {
+	key := legacySpecKey(ev.NR, ev.Path, ev.Arg)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[key]; ok {
+		return id
+	}
+	id := t.nextID
+	t.nextID++
+	t.ids[key] = id
+	return id
+}
+
+// legacyFromExec rebuilds the signal map and ID sequence from scratch for
+// every execution, as the seed implementation did.
+func legacyFromExec(res *adb.ExecResult, table *legacySpecTable) legacySignal {
+	s := make(legacySignal, len(res.KernelCov))
+	for _, pc := range res.KernelCov {
+		s[uint64(pc)] = struct{}{}
+	}
+	seq := make([]uint32, len(res.HALTrace))
+	for i, ev := range res.HALTrace {
+		seq[i] = table.id(ev)
+	}
+	for _, n := range feedback.NgramOrders {
+		legacyAddNgrams(s, seq, n)
+	}
+	return s
+}
+
+func legacyAddNgrams(s legacySignal, seq []uint32, n int) {
+	if n <= 0 || len(seq) < n {
+		return
+	}
+	for i := 0; i+n <= len(seq); i++ {
+		var h uint64 = 14695981039346656037
+		h ^= uint64(n)
+		h *= 1099511628211
+		for _, id := range seq[i : i+n] {
+			h ^= uint64(id)
+			h *= 1099511628211
+		}
+		s[legacyHALNamespace|(h>>32<<16|h&0xffff)] = struct{}{}
+	}
+}
+
+// legacyAccumulator keeps no incremental counters: every snapshot rescans
+// the accumulated set to recount kernel PCs.
+type legacyAccumulator struct {
+	mu      sync.Mutex
+	max     legacySignal
+	history []feedback.Point
+}
+
+func newLegacyAccumulator() *legacyAccumulator {
+	return &legacyAccumulator{max: make(legacySignal)}
+}
+
+func (a *legacyAccumulator) merge(s legacySignal) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	added := 0
+	for e := range s {
+		if _, ok := a.max[e]; !ok {
+			a.max[e] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+// newOf allocates a fresh map for the new subset — the first half of the
+// old NewOf-then-Merge double pass.
+func (a *legacyAccumulator) newOf(s legacySignal) legacySignal {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := make(legacySignal)
+	for e := range s {
+		if _, ok := a.max[e]; !ok {
+			d[e] = struct{}{}
+		}
+	}
+	return d
+}
+
+func (a *legacyAccumulator) snapshot(vtime uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kernel := 0
+	for e := range a.max { // O(n) rescan on every sample
+		if e < legacyHALNamespace {
+			kernel++
+		}
+	}
+	a.history = append(a.history, feedback.Point{VTime: vtime, Kernel: kernel, Total: len(a.max)})
+}

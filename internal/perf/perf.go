@@ -1,0 +1,226 @@
+// Package perf hosts the PR 1 hot-path microbenchmarks. The benchmark
+// bodies are exported so both `go test -bench` (via perf_test.go) and
+// cmd/benchperf (which runs them through testing.Benchmark to emit
+// BENCH_PR1.json) drive the exact same code.
+//
+// Each optimized path is benchmarked against an in-tree legacy reference
+// implementation (legacy.go) that preserves the pre-rewrite algorithms:
+// map-backed signals, fmt.Sprintf string-keyed specialization lookups, and
+// O(n)-rescan accumulator stats. That keeps the before/after comparison
+// honest inside one binary instead of relying on stale recorded numbers.
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/feedback"
+	"droidfuzz/internal/probe"
+	"droidfuzz/internal/relation"
+)
+
+// splitmix64 is the deterministic generator for synthetic workloads; the
+// benchmarks must not depend on run-to-run entropy.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// workload is a fixed set of synthetic execution results shaped like the
+// simulator's real output: a few hundred kernel PCs with heavy repetition
+// (loops revisit the same driver blocks) and a few dozen HAL-origin trace
+// events drawn from a small ioctl vocabulary.
+type workload struct {
+	results []*adb.ExecResult
+	events  []adb.TraceEvent
+}
+
+const (
+	workloadVariants = 8
+	pcsPerExec       = 220
+	distinctPCs      = 96
+	eventsPerExec    = 28
+	distinctIoctls   = 24
+)
+
+func newWorkload(seed uint64) *workload {
+	rng := splitmix64(seed)
+	w := &workload{}
+	for v := 0; v < workloadVariants; v++ {
+		res := &adb.ExecResult{}
+		for i := 0; i < pcsPerExec; i++ {
+			// PCs cluster in a small distinct set, like kcov traces do.
+			res.KernelCov = append(res.KernelCov,
+				0xc0de0000+uint32(rng.next()%distinctPCs)*0x40)
+		}
+		for i := 0; i < eventsPerExec; i++ {
+			var ev adb.TraceEvent
+			switch rng.next() % 8 {
+			case 0:
+				ev = adb.TraceEvent{NR: "read", Path: "/dev/wlan0"}
+			case 1:
+				ev = adb.TraceEvent{NR: "write", Path: "/dev/gpu0"}
+			default:
+				ev = adb.TraceEvent{NR: "ioctl", Path: "/dev/gpu0",
+					Arg: 0xa000 + rng.next()%distinctIoctls}
+			}
+			res.HALTrace = append(res.HALTrace, ev)
+			w.events = append(w.events, ev)
+		}
+		w.results = append(w.results, res)
+	}
+	return w
+}
+
+// SignalPipeline measures the optimized per-execution feedback path in
+// steady state: pooled FromExec, fused MergeNew under one lock, O(1)
+// snapshot cadence. After warm-up the loop is allocation-free.
+func SignalPipeline(b *testing.B) {
+	w := newWorkload(1)
+	table := feedback.NewSpecTable(mustTarget())
+	acc := feedback.NewAccumulator()
+	for _, res := range w.results { // warm to steady state
+		sig := feedback.FromExec(res, table)
+		acc.Merge(sig)
+		sig.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := w.results[i%len(w.results)]
+		sig := feedback.FromExec(res, table)
+		fresh := acc.MergeNew(sig)
+		_ = fresh.KernelLen()
+		fresh.Release()
+		sig.Release()
+		if i%25 == 0 {
+			acc.Snapshot(uint64(i))
+		}
+	}
+}
+
+// SignalPipelineLegacy measures the same logical pipeline on the
+// pre-rewrite algorithms: map-backed signal construction, separate
+// NewOf-then-Merge passes, and snapshots that rescan the accumulated set.
+func SignalPipelineLegacy(b *testing.B) {
+	w := newWorkload(1)
+	table := newLegacySpecTable(mustTarget())
+	acc := newLegacyAccumulator()
+	for _, res := range w.results {
+		acc.merge(legacyFromExec(res, table))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := w.results[i%len(w.results)]
+		sig := legacyFromExec(res, table)
+		fresh := acc.newOf(sig)
+		acc.merge(sig)
+		var kernel int
+		for e := range fresh {
+			if e < 1<<32 {
+				kernel++
+			}
+		}
+		_ = kernel
+		if i%25 == 0 {
+			acc.snapshot(uint64(i))
+		}
+	}
+}
+
+// SpecTableID measures the steady-state specialized-ID lookup: packed
+// integer keys under a read lock, zero allocations.
+func SpecTableID(b *testing.B) {
+	w := newWorkload(2)
+	table := feedback.NewSpecTable(mustTarget())
+	for _, ev := range w.events {
+		table.ID(ev) // assign any runtime-discovered IDs up front
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = table.ID(w.events[i%len(w.events)])
+	}
+}
+
+// SpecTableIDLegacy measures the pre-rewrite lookup: a fmt.Sprintf-built
+// string key per event under an exclusive mutex.
+func SpecTableIDLegacy(b *testing.B) {
+	w := newWorkload(2)
+	table := newLegacySpecTable(mustTarget())
+	for _, ev := range w.events {
+		table.id(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = table.id(w.events[i%len(w.events)])
+	}
+}
+
+// EngineStep measures whole fuzzing iterations (generate/mutate, execute
+// on the device simulator, feedback, corpus upkeep) on model A1 and
+// reports throughput as execs/sec. This is the end-to-end number the
+// pooled feedback path and result reuse exist to move.
+func EngineStep(b *testing.B) {
+	e, err := NewBenchEngine("A1", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(200) // warm pools, corpus, and relation graph
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// NewBenchEngine boots a device model and wires a standalone engine the
+// same way the daemon does; shared by the benchmarks and cmd/benchperf.
+func NewBenchEngine(modelID string, seed int64) (*engine.Engine, error) {
+	model, err := device.ModelByID(modelID)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.New(model)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := probe.Run(dev, probe.Options{})
+	if err != nil {
+		return nil, err
+	}
+	target, err = target.Extend(pr.Interfaces...)
+	if err != nil {
+		return nil, err
+	}
+	broker := adb.NewBroker(dev, target)
+	return engine.New(broker, relation.New(), crash.NewDedup(), engine.Config{Seed: seed}), nil
+}
+
+// mustTarget builds the A1 syscall target once per benchmark.
+func mustTarget() *dsl.Target {
+	model, err := device.ModelByID("A1")
+	if err != nil {
+		panic(fmt.Sprintf("perf: model A1: %v", err))
+	}
+	target, err := dsl.NewTarget(device.New(model).SyscallDescs()...)
+	if err != nil {
+		panic(fmt.Sprintf("perf: target: %v", err))
+	}
+	return target
+}

@@ -1,0 +1,43 @@
+package perf
+
+import (
+	"testing"
+
+	"droidfuzz/internal/feedback"
+)
+
+// The ISSUE-named benchmarks. Run with:
+//
+//	go test -bench . -benchmem ./internal/perf/
+//
+// cmd/benchperf runs the same bodies and writes BENCH_PR1.json.
+
+func BenchmarkSignalPipeline(b *testing.B)       { SignalPipeline(b) }
+func BenchmarkSignalPipelineLegacy(b *testing.B) { SignalPipelineLegacy(b) }
+func BenchmarkSpecTableID(b *testing.B)          { SpecTableID(b) }
+func BenchmarkSpecTableIDLegacy(b *testing.B)    { SpecTableIDLegacy(b) }
+func BenchmarkEngineStep(b *testing.B)           { EngineStep(b) }
+
+// TestLegacyAndPooledSignalsAgree pins the legacy reference to the real
+// implementation: if either drifts, the benchmark comparison is
+// meaningless. Both paths must produce the same element set for the same
+// execution result.
+func TestLegacyAndPooledSignalsAgree(t *testing.T) {
+	w := newWorkload(3)
+	target := mustTarget()
+	table := feedback.NewSpecTable(target)
+	legacy := newLegacySpecTable(target)
+	for _, res := range w.results {
+		sig := feedback.FromExec(res, table)
+		leg := legacyFromExec(res, legacy)
+		if sig.Len() != len(leg) {
+			t.Fatalf("element counts differ: pooled %d, legacy %d", sig.Len(), len(leg))
+		}
+		for _, e := range sig.Elems() {
+			if _, ok := leg[e]; !ok {
+				t.Fatalf("pooled element %#x missing from legacy signal", e)
+			}
+		}
+		sig.Release()
+	}
+}
