@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check clean
+.PHONY: all build vet test race bench bench-json smoke check clean
 
 all: check
 
@@ -27,6 +27,11 @@ bench:
 # refreshes BENCH_PR1.json.
 bench-json:
 	$(GO) run ./cmd/benchperf -o BENCH_PR1.json
+
+# smoke runs a short droidfleet campaign against droidbrokerd over TCP
+# loopback and asserts clean execution and shutdown.
+smoke:
+	./scripts/smoke_remote.sh
 
 check: build vet race
 

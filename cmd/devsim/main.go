@@ -52,6 +52,11 @@ func run(deviceID, listen string) error {
 		return err
 	}
 	broker := adb.NewBroker(dev, target)
+	seeds := make([]string, len(pr.Seeds))
+	for i, p := range pr.Seeds {
+		seeds[i] = p.String()
+	}
+	srv := &adb.Server{X: broker, Seeds: seeds}
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -59,5 +64,5 @@ func run(deviceID, listen string) error {
 	}
 	fmt.Printf("devsim: %s (%s) with %d callable interfaces listening on %s\n",
 		model.ID, model.Name, len(target.Calls()), ln.Addr())
-	return adb.ServeTCP(ln, broker)
+	return srv.ServeTCP(ln)
 }

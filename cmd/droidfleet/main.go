@@ -6,29 +6,42 @@
 //
 //	droidfleet -devices A1,B,D -iters 20000 [-seed 1] [-workers 4]
 //	           [-pipeline 4] [-rounds 4] [-corpus DIR] [-status status.json]
+//	droidfleet -remote 127.0.0.1:7100,127.0.0.1:7101 -iters 20000 ...
 //
 // -workers bounds how many device engines run at once (0 = one worker per
 // CPU, capped at the fleet size). -pipeline sets each engine's generation
 // look-ahead depth (0 = serial per-device execution, deterministic per
 // seed). The campaign runs in -rounds slices, printing fleet stats —
 // including accumulated execution errors — after each.
+//
+// With -remote, the fleet drives broker daemons (droidbrokerd) over TCP
+// instead of booting devices in-process: each address is dialed through a
+// resilient reconnecting client, the attach handshake delivers the
+// device's interface surface and probing seeds, and a broker that dies
+// mid-campaign degrades only its own engine (visible as execerrs) while
+// the rest of the fleet finishes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 
+	"droidfuzz/internal/adb"
 	"droidfuzz/internal/crash"
 	"droidfuzz/internal/daemon"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
 	"droidfuzz/internal/engine"
 )
 
 func main() {
 	var (
-		devices   = flag.String("devices", "A1,B,D", "comma-separated device model IDs")
+		devices   = flag.String("devices", "A1,B,D", "comma-separated device model IDs (ignored with -remote)")
+		remote    = flag.String("remote", "", "comma-separated droidbrokerd addresses to drive instead of in-process devices")
 		iters     = flag.Int("iters", 20000, "fuzzing iterations per device")
 		seed      = flag.Int64("seed", 1, "base RNG seed (device i uses seed+i)")
 		workers   = flag.Int("workers", 0, "max concurrent device engines (0 = NumCPU)")
@@ -39,43 +52,107 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*devices, *iters, *seed, *workers, *pipeline, *rounds, *corpusDir, *statusOut); err != nil {
+	cfg := fleetConfig{
+		devices: *devices, remote: *remote,
+		iters: *iters, seed: *seed, workers: *workers,
+		pipeline: *pipeline, rounds: *rounds,
+		corpusDir: *corpusDir, statusOut: *statusOut,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "droidfleet:", err)
 		os.Exit(1)
 	}
 }
 
-func run(devices string, iters int, seed int64, workers, pipeline, rounds int, corpusDir, statusOut string) error {
-	d := daemon.New()
-	ids := strings.Split(devices, ",")
-	for i, id := range ids {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
+type fleetConfig struct {
+	devices   string
+	remote    string
+	iters     int
+	seed      int64
+	workers   int
+	pipeline  int
+	rounds    int
+	corpusDir string
+	statusOut string
+}
+
+// validate rejects flag values that would silently misbehave: negative
+// budgets and worker counts, and device IDs outside the Table I models.
+func (c *fleetConfig) validate() error {
+	switch {
+	case c.iters < 0:
+		return fmt.Errorf("-iters must be >= 0, got %d", c.iters)
+	case c.rounds < 0:
+		return fmt.Errorf("-rounds must be >= 0, got %d", c.rounds)
+	case c.pipeline < 0:
+		return fmt.Errorf("-pipeline must be >= 0, got %d", c.pipeline)
+	case c.workers < 0:
+		return fmt.Errorf("-workers must be >= 0, got %d", c.workers)
+	}
+	if c.remote != "" {
+		return nil // device IDs come from the remote handshakes
+	}
+	valid := device.IDs()
+	for _, id := range splitList(c.devices) {
+		if !slices.Contains(valid, id) {
+			return fmt.Errorf("unknown device model %q (valid: %s)",
+				id, strings.Join(valid, ", "))
 		}
-		if err := d.AddDevice(id, engine.Config{Seed: seed + int64(i)}); err != nil {
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run(cfg fleetConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	d := daemon.New()
+	if cfg.remote != "" {
+		if err := attachRemotes(d, cfg); err != nil {
 			return err
+		}
+	} else {
+		for i, id := range splitList(cfg.devices) {
+			if err := d.AddDevice(id, engine.Config{Seed: cfg.seed + int64(i)}); err != nil {
+				return err
+			}
 		}
 	}
 	if len(d.Devices()) == 0 {
 		return fmt.Errorf("no devices configured")
 	}
-	d.SetMaxWorkers(workers)
-	d.SetPipelineDepth(pipeline)
-	fmt.Printf("fleet: %s (workers=%d pipeline=%d)\n",
-		strings.Join(d.Devices(), ", "), workers, pipeline)
+	d.SetMaxWorkers(cfg.workers)
+	d.SetPipelineDepth(cfg.pipeline)
+	mode := "in-process"
+	if cfg.remote != "" {
+		mode = "remote"
+	}
+	fmt.Printf("fleet: %s (%s, workers=%d pipeline=%d)\n",
+		strings.Join(d.Devices(), ", "), mode, cfg.workers, cfg.pipeline)
 
+	rounds := cfg.rounds
 	if rounds <= 0 {
 		rounds = 1
 	}
-	per := iters / rounds
+	per := cfg.iters / rounds
 	if per == 0 {
-		per, rounds = iters, 1
+		per, rounds = cfg.iters, 1
 	}
 	for r := 0; r < rounds; r++ {
 		n := per
 		if r == rounds-1 {
-			n = iters - per*(rounds-1)
+			n = cfg.iters - per*(rounds-1)
 		}
 		d.Run(n, true)
 		printStats(d)
@@ -84,14 +161,14 @@ func run(devices string, iters int, seed int64, workers, pipeline, rounds int, c
 	fmt.Println()
 	fmt.Println(crash.Table(d.Bugs()))
 	fmt.Printf("relation table: %v\n", d.Graph())
-	if corpusDir != "" {
-		if err := d.SaveCorpora(corpusDir); err != nil {
+	if cfg.corpusDir != "" {
+		if err := d.SaveCorpora(cfg.corpusDir); err != nil {
 			return err
 		}
-		fmt.Printf("corpora saved to %s\n", corpusDir)
+		fmt.Printf("corpora saved to %s\n", cfg.corpusDir)
 	}
-	if statusOut != "" {
-		f, err := os.Create(statusOut)
+	if cfg.statusOut != "" {
+		f, err := os.Create(cfg.statusOut)
 		if err != nil {
 			return err
 		}
@@ -99,9 +176,62 @@ func run(devices string, iters int, seed int64, workers, pipeline, rounds int, c
 		if err := d.WriteStatus(f); err != nil {
 			return err
 		}
-		fmt.Printf("status written to %s\n", statusOut)
+		fmt.Printf("status written to %s\n", cfg.statusOut)
 	}
 	return nil
+}
+
+// attachRemotes dials every broker address, runs the attach handshake, and
+// wires a resilient engine per device into the daemon. The handshake
+// delivers the broker's interface surface (rebuilt and hash-verified
+// host-side) and its probing-pass seed programs, so the remote engine
+// starts from the same corpus an in-process one would.
+func attachRemotes(d *daemon.Daemon, cfg fleetConfig) error {
+	addrs := splitList(cfg.remote)
+	if len(addrs) == 0 {
+		return fmt.Errorf("-remote given but no addresses parsed from %q", cfg.remote)
+	}
+	seen := make(map[string]int)
+	for i, addr := range addrs {
+		r, err := adb.DialResilient(addr, adb.ResilientOptions{})
+		if err != nil {
+			return fmt.Errorf("attach %s: %w", addr, err)
+		}
+		info, _ := r.Info()
+		id := info.ModelID
+		if id == "" {
+			id = addr
+		}
+		// Several brokers may serve the same model; suffix duplicates so
+		// each engine keys its own stats row.
+		if n := seen[id]; n > 0 {
+			id = fmt.Sprintf("%s#%d", id, n+1)
+		}
+		seen[info.ModelID]++
+		seeds, err := parseSeeds(r.Target(), r.Seeds())
+		if err != nil {
+			return fmt.Errorf("attach %s: %w", addr, err)
+		}
+		if err := d.AttachExecutor(id, r, seeds, engine.Config{Seed: cfg.seed + int64(i)}); err != nil {
+			return err
+		}
+		fmt.Printf("attached %s: %s (%d interfaces, %d seeds)\n",
+			addr, id, len(r.Target().Calls()), len(seeds))
+	}
+	return nil
+}
+
+// parseSeeds decodes handshake seed programs against the rebuilt target.
+func parseSeeds(target *dsl.Target, texts []string) ([]*dsl.Prog, error) {
+	seeds := make([]*dsl.Prog, 0, len(texts))
+	for i, text := range texts {
+		p, err := dsl.ParseProg(target, text)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", i, err)
+		}
+		seeds = append(seeds, p)
+	}
+	return seeds, nil
 }
 
 func printStats(d *daemon.Daemon) {

@@ -61,6 +61,11 @@ type (
 	Target = dsl.Target
 	// Broker is the device-side execution broker.
 	Broker = adb.Broker
+	// Executor is the execution boundary engines drive: the in-process
+	// Broker, a transport Conn, or a resilient remote client.
+	Executor = adb.Executor
+	// ExecutorInfo is the executor identity handshake payload.
+	ExecutorInfo = adb.Info
 	// ExecResult is one program execution's cross-boundary feedback.
 	ExecResult = adb.ExecResult
 	// Daemon coordinates engines across multiple devices.

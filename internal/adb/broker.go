@@ -11,10 +11,43 @@ import (
 	"droidfuzz/internal/vkernel"
 )
 
-// Executor runs programs on a device and returns cross-boundary feedback.
-// Both the in-process Broker and the transport-backed Conn implement it.
+// Executor is the execution boundary between a host-side fuzzing engine and
+// a device-side broker (paper §IV-A): everything an engine needs from the
+// device, and nothing more. The in-process Broker, the transport-backed
+// Conn, and the reconnecting Resilient client all implement it, so every
+// layer above — engine, daemon, baselines, CLIs — is transport-agnostic.
 type Executor interface {
+	// Exec parses and runs a program from its DSL text form.
 	Exec(req ExecRequest) (*ExecResult, error)
+	// ExecProg runs a parsed program. Remote implementations serialize it
+	// to text and go through Exec on the device side; the round trip is
+	// lossless (the DSL text form is canonical).
+	ExecProg(p *dsl.Prog) (*ExecResult, error)
+	// Reboot restarts the device; the engine calls it after any crash.
+	Reboot() error
+	// Ping round-trips a liveness check.
+	Ping() error
+	// Info returns the device identity handshake: model ID, target
+	// descriptor hash, and the reboot/execution counters.
+	Info() (Info, error)
+	// Target returns the call-description target the executor serves.
+	// Remote executors return the host-side target bound at attach time.
+	Target() *dsl.Target
+}
+
+// Info is the executor handshake payload: enough for a host-side engine to
+// verify it is talking to the device it thinks it is, with the interface
+// surface it generated programs against.
+type Info struct {
+	// ModelID is the Table I device model ("A1", "B", ...).
+	ModelID string
+	// TargetHash fingerprints the broker's call-description target
+	// (dsl.Target.Hash); a host engine rejects a mismatch at attach time.
+	TargetHash uint64
+	// Reboots counts device reboots since boot.
+	Reboots int
+	// Execs counts broker executions (the device's virtual-time clock).
+	Execs uint64
 }
 
 // Broker is the device-side execution broker: it parses incoming programs,
@@ -30,6 +63,8 @@ type Broker struct {
 	execs     uint64
 	failNext  int
 }
+
+var _ Executor = (*Broker)(nil)
 
 // NewBroker attaches a broker to the device. The target must contain every
 // call description programs may use; extend it after probing with SetTarget.
@@ -83,10 +118,30 @@ func (b *Broker) applyGate() {
 }
 
 // Reboot restarts the device and re-applies broker-side kernel
-// configuration; the harness calls it after any crash.
-func (b *Broker) Reboot() {
+// configuration; the harness calls it after any crash. The in-process
+// reboot cannot fail; the error is part of the Executor contract, where
+// remote reboots can.
+func (b *Broker) Reboot() error {
 	b.dev.Reboot()
 	b.applyGate()
+	return nil
+}
+
+// Ping implements Executor; the in-process broker is always reachable.
+func (b *Broker) Ping() error { return nil }
+
+// Info implements Executor with the device's live identity and counters.
+func (b *Broker) Info() (Info, error) {
+	b.mu.Lock()
+	target := b.target
+	execs := b.execs
+	b.mu.Unlock()
+	return Info{
+		ModelID:    b.dev.Model.ID,
+		TargetHash: target.Hash(),
+		Reboots:    b.dev.Reboots(),
+		Execs:      execs,
+	}, nil
 }
 
 // Device returns the attached device.

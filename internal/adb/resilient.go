@@ -1,0 +1,261 @@
+package adb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"droidfuzz/internal/dsl"
+)
+
+// ResilientOptions tune the reconnecting remote executor.
+type ResilientOptions struct {
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one RPC round trip (default 10s).
+	CallTimeout time.Duration
+	// MaxAttempts is how many reconnect-and-retry cycles one operation
+	// performs before giving up (default 2).
+	MaxAttempts int
+	// BackoffBase is the first reconnect delay; it doubles per consecutive
+	// failure up to BackoffMax (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (o *ResilientOptions) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+}
+
+// Resilient is a reconnecting remote Executor over the ADB-stand-in
+// transport. Transport failures trigger a bounded redial-with-backoff and
+// one retry of the failed operation; when the broker stays unreachable the
+// client enters a cooldown during which every operation fails immediately,
+// so a dead broker degrades its engine (surfacing as ExecErrors) at
+// near-zero per-iteration cost instead of stalling or killing the fleet.
+// Reconnections re-run the identity handshake and refuse a broker whose
+// target fingerprint changed.
+//
+// Resilient paces retries with the wall clock, so remote campaigns are not
+// bit-replayable under injected faults; see DESIGN.md.
+type Resilient struct {
+	addr string
+	opts ResilientOptions
+
+	mu         sync.Mutex
+	conn       *Conn
+	target     *dsl.Target
+	info       Info
+	seeds      []string
+	fatal      error
+	downUntil  time.Time
+	failStreak int
+}
+
+var _ Executor = (*Resilient)(nil)
+
+// DialResilient connects to a broker daemon at addr and performs the
+// attach handshake, returning a reconnecting Executor bound to the
+// device's call-description target.
+func DialResilient(addr string, opts ResilientOptions) (*Resilient, error) {
+	opts.defaults()
+	r := &Resilient{addr: addr, opts: opts}
+	conn, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := conn.Handshake()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("adb: attach %s: %w", addr, err)
+	}
+	r.conn = conn
+	r.target = conn.Target()
+	r.info = rep.Info
+	r.seeds = rep.Seeds
+	return r, nil
+}
+
+// dial opens and configures one connection (no handshake).
+func (r *Resilient) dial() (*Conn, error) {
+	conn, err := DialTCPTimeout(r.addr, r.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetCallTimeout(r.opts.CallTimeout)
+	return conn, nil
+}
+
+// Addr returns the broker address the client reconnects to.
+func (r *Resilient) Addr() string { return r.addr }
+
+// Seeds returns the probing-pass seed programs (DSL text) delivered by the
+// attach handshake.
+func (r *Resilient) Seeds() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seeds
+}
+
+// Target implements Executor with the target bound at attach time.
+func (r *Resilient) Target() *dsl.Target {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.target
+}
+
+// Close drops the current connection; a later operation redials.
+func (r *Resilient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	return nil
+}
+
+// get returns a live connection, redialing if needed. During cooldown it
+// fails immediately so operations against a dead broker stay cheap.
+func (r *Resilient) get() (*Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fatal != nil {
+		return nil, r.fatal
+	}
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	if now := time.Now(); now.Before(r.downUntil) {
+		return nil, fmt.Errorf("%w: %s down, retry in %v",
+			ErrTransport, r.addr, r.downUntil.Sub(now).Round(time.Millisecond))
+	}
+	conn, err := r.dial()
+	if err != nil {
+		r.noteFailureLocked()
+		return nil, err
+	}
+	rep, err := conn.Handshake()
+	if err != nil {
+		conn.Close()
+		r.noteFailureLocked()
+		return nil, fmt.Errorf("adb: reattach %s: %w", r.addr, err)
+	}
+	if rep.Info.TargetHash != r.info.TargetHash {
+		conn.Close()
+		r.fatal = fmt.Errorf("adb: reattach %s: broker target changed (%#x -> %#x)",
+			r.addr, r.info.TargetHash, rep.Info.TargetHash)
+		return nil, r.fatal
+	}
+	r.conn = conn
+	r.info = rep.Info
+	r.failStreak = 0
+	r.downUntil = time.Time{}
+	return conn, nil
+}
+
+// noteFailureLocked arms the reconnect cooldown with exponential backoff.
+func (r *Resilient) noteFailureLocked() {
+	d := r.opts.BackoffBase << r.failStreak
+	if d > r.opts.BackoffMax || d <= 0 {
+		d = r.opts.BackoffMax
+	}
+	if r.failStreak < 30 {
+		r.failStreak++
+	}
+	r.downUntil = time.Now().Add(d)
+}
+
+// drop discards a connection after a transport failure (unless a newer
+// connection already replaced it).
+func (r *Resilient) drop(c *Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == c {
+		r.conn.Close()
+		r.conn = nil
+	}
+}
+
+// do runs op against a live connection, redialing and retrying on
+// transport failures up to MaxAttempts times. Application-level errors
+// (*RemoteError) return immediately: the stream is healthy and the remote
+// broker rejected the request itself.
+func (r *Resilient) do(op func(c *Conn) error) error {
+	var err error
+	for attempt := 0; attempt <= r.opts.MaxAttempts; attempt++ {
+		var c *Conn
+		if c, err = r.get(); err != nil {
+			if !errors.Is(err, ErrTransport) {
+				return err // fatal (target changed) or handshake rejection
+			}
+			continue
+		}
+		if err = op(c); err == nil || !errors.Is(err, ErrTransport) {
+			return err
+		}
+		r.drop(c)
+	}
+	return err
+}
+
+// Exec implements Executor with reconnect-and-retry.
+func (r *Resilient) Exec(req ExecRequest) (res *ExecResult, err error) {
+	err = r.do(func(c *Conn) error {
+		res, err = c.Exec(req)
+		return err
+	})
+	return res, err
+}
+
+// ExecProg implements Executor: the program is serialized once and crosses
+// the wire in canonical text form.
+func (r *Resilient) ExecProg(p *dsl.Prog) (*ExecResult, error) {
+	return r.Exec(ExecRequest{ProgText: p.String()})
+}
+
+// Ping implements Executor.
+func (r *Resilient) Ping() error {
+	return r.do(func(c *Conn) error { return c.Ping() })
+}
+
+// Reboot implements Executor.
+func (r *Resilient) Reboot() error {
+	return r.do(func(c *Conn) error { return c.Reboot() })
+}
+
+// Info implements Executor with a live round trip; on failure it returns
+// the last-known identity (ModelID and TargetHash stay valid — they are
+// pinned by the handshake) along with the error.
+func (r *Resilient) Info() (Info, error) {
+	var info Info
+	err := r.do(func(c *Conn) error {
+		var e error
+		info, e = c.Info()
+		return e
+	})
+	if err != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.info, err
+	}
+	r.mu.Lock()
+	r.info = info
+	r.mu.Unlock()
+	return info, nil
+}

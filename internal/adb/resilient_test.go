@@ -1,0 +1,191 @@
+package adb
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// startBrokerTCP serves the broker on a loopback listener and returns the
+// address plus a restart/stop harness.
+type brokerHarness struct {
+	t    *testing.T
+	srv  *Server
+	addr string
+	ln   net.Listener
+}
+
+func startBrokerTCP(t *testing.T, modelID string) *brokerHarness {
+	t.Helper()
+	b, _ := newBrokerRig(t, modelID)
+	h := &brokerHarness{t: t, srv: &Server{X: b}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ln = ln
+	h.addr = ln.Addr().String()
+	go h.srv.ServeTCP(ln)
+	t.Cleanup(func() { ln.Close() })
+	return h
+}
+
+// stop closes the listener, severing current and future connections.
+func (h *brokerHarness) stop() { h.ln.Close() }
+
+// restart re-listens on the same address with the same broker.
+func (h *brokerHarness) restart() {
+	h.t.Helper()
+	var err error
+	for i := 0; i < 50; i++ { // the old socket can linger briefly
+		h.ln, err = net.Listen("tcp", h.addr)
+		if err == nil {
+			go h.srv.ServeTCP(h.ln)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	h.t.Fatalf("restart on %s: %v", h.addr, err)
+}
+
+func fastOpts() ResilientOptions {
+	return ResilientOptions{
+		DialTimeout: time.Second,
+		CallTimeout: 2 * time.Second,
+		MaxAttempts: 2,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+}
+
+// TestResilientReconnectsAcrossBrokerRestart: a dropped connection is
+// redialed, the handshake re-verified, and the in-flight operation retried
+// — the fleet wiring survives a broker bounce.
+func TestResilientReconnectsAcrossBrokerRestart(t *testing.T) {
+	h := startBrokerTCP(t, "B")
+	r, err := DialResilient(h.addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Target() == nil {
+		t.Fatal("attach did not bind a target")
+	}
+	if _, err := r.Exec(ExecRequest{ProgText: "r0 = open$hci(path=\"/dev/hci0\")\n"}); err != nil {
+		t.Fatal(err)
+	}
+
+	h.stop()
+	r.Close() // sever the established stream too (the listener close alone
+	// does not tear down accepted conns)
+	h.restart()
+
+	res, err := r.Exec(ExecRequest{ProgText: "r0 = open$hci(path=\"/dev/hci0\")\n"})
+	if err != nil {
+		t.Fatalf("exec after restart: %v", err)
+	}
+	if res.Calls[0].Errno != "OK" {
+		t.Fatalf("exec after restart = %+v", res.Calls[0])
+	}
+	if err := r.Ping(); err != nil {
+		t.Fatalf("ping after restart: %v", err)
+	}
+}
+
+// TestResilientDegradesFastWhenBrokerDies: once the broker is gone and the
+// reconnect budget is exhausted, every operation fails quickly with a
+// typed transport error — a dead device costs its engine ExecErrors, not
+// wall-clock stalls.
+func TestResilientDegradesFastWhenBrokerDies(t *testing.T) {
+	h := startBrokerTCP(t, "B")
+	r, err := DialResilient(h.addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.stop()
+	r.Close()
+
+	// First op pays for the reconnect attempts; the cooldown then makes
+	// later ops near-free.
+	if err := r.Ping(); err == nil {
+		t.Fatal("ping succeeded against a dead broker")
+	}
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		err := r.Ping()
+		if err == nil {
+			t.Fatal("ping succeeded against a dead broker")
+		}
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("dead-broker error not ErrTransport-typed: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("50 dead-broker pings took %v; cooldown not engaging", elapsed)
+	}
+}
+
+// TestResilientHandshakeDeliversSeeds: seeds ride the attach handshake.
+func TestResilientHandshakeDeliversSeeds(t *testing.T) {
+	b, _ := newBrokerRig(t, "B")
+	srv := &Server{X: b, Seeds: []string{"r0 = open$hci(path=\"/dev/hci0\")\n"}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.ServeTCP(ln)
+
+	r, err := DialResilient(ln.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Seeds(); len(got) != 1 {
+		t.Fatalf("seeds = %v", got)
+	}
+	info, err := r.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ModelID != "B" {
+		t.Fatalf("model = %q", info.ModelID)
+	}
+}
+
+// TestResilientRejectsChangedBroker: a reconnect that lands on a broker
+// with a different target surface is fatal, not silently accepted — the
+// engine's generated programs would be garbage against it.
+func TestResilientRejectsChangedBroker(t *testing.T) {
+	h := startBrokerTCP(t, "B")
+	r, err := DialResilient(h.addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.stop()
+	r.Close()
+	// A different device model takes over the address.
+	b2, _ := newBrokerRig(t, "A1")
+	h.srv = &Server{X: b2}
+	h.restart()
+
+	// Early pings may still hit reconnect cooldowns (ErrTransport); the
+	// reattach must eventually land on the impostor and reject it for
+	// good with a non-transport, fatal error.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := r.Ping()
+		if err == nil {
+			t.Fatal("reattach to a different target accepted")
+		}
+		if !errors.Is(err, ErrTransport) {
+			if err2 := r.Ping(); err2 == nil || errors.Is(err2, ErrTransport) {
+				t.Fatalf("changed-broker rejection not sticky: %v", err2)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fatal rejection never surfaced: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -7,31 +7,86 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"droidfuzz/internal/dsl"
 )
 
 // The transport stands in for ADB: a message-framed, gob-encoded
 // request/reply channel between the host-side fuzzing engine and the
 // device-side broker. It runs over any io.ReadWriter — net.Pipe in-process,
-// or a TCP loopback socket for the CLI tools.
+// or a TCP loopback socket for the CLI tools — and carries the full
+// Executor contract: program execution, reboot, liveness, and the identity
+// handshake that binds a host engine to a remote target.
+
+// ErrTransport marks stream-level failures: a broken pipe, a garbled or
+// truncated frame, a deadline hit. Errors wrapping it mean the connection
+// is unusable and the caller should reconnect; application-level failures
+// from the device side arrive as *RemoteError instead and leave the stream
+// healthy. Test with errors.Is(err, ErrTransport).
+var ErrTransport = errors.New("adb: transport failure")
+
+// RemoteError is an application-level error reported by the device side of
+// a transport connection (a bad program, a failed reboot). The stream
+// stays in sync; only this request failed.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
 
 type rpcRequest struct {
-	Exec *ExecRequest
-	Ping bool
+	Exec     *ExecRequest
+	Ping     bool
+	Reboot   bool
+	Info     bool
+	Describe bool
 }
 
 type rpcReply struct {
-	Result *ExecResult
-	Pong   bool
-	Err    string
+	Result   *ExecResult
+	Pong     bool
+	Info     *Info
+	Describe *DescribeReply
+	Err      string
+}
+
+// DescribeReply is the attach-time handshake payload: the device identity
+// plus everything a host engine needs to generate programs for it — the
+// full call-description surface and the distilled seed workloads from the
+// device-side probing pass, in canonical DSL text form.
+type DescribeReply struct {
+	Info Info
+	// Calls is the broker target's call-description surface in
+	// registration order; the host rebuilds an identical dsl.Target from
+	// it (gob round-trips every syntax field losslessly, so the rebuilt
+	// target hashes identically).
+	Calls []*dsl.CallDesc
+	// Seeds are probing-pass seed programs in DSL text, parseable against
+	// the rebuilt target.
+	Seeds []string
+}
+
+// deadliner is the subset of net.Conn the transport uses for per-call
+// timeouts; net.Pipe ends implement it too.
+type deadliner interface {
+	SetDeadline(t time.Time) error
 }
 
 // Conn is the host side of a transport connection; it implements Executor.
+// A Conn is not resilient: the first stream-level failure poisons it (the
+// gob streams cannot resync) and every later call fails fast with the same
+// ErrTransport-wrapped error. Wrap it in Resilient for reconnection.
 type Conn struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	dec *gob.Decoder
-	rwc io.ReadWriter
+	mu      sync.Mutex
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	rwc     io.ReadWriter
+	timeout time.Duration
+	broken  error
+	target  *dsl.Target
+	info    Info
 }
+
+var _ Executor = (*Conn)(nil)
 
 // Dial wraps an established byte stream as the host end.
 func Dial(rw io.ReadWriter) *Conn {
@@ -40,87 +95,250 @@ func Dial(rw io.ReadWriter) *Conn {
 
 // DialTCP connects to a broker served on a TCP address.
 func DialTCP(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialTCPTimeout(addr, 0)
+}
+
+// DialTCPTimeout connects with a bounded dial; d <= 0 means no limit.
+func DialTCPTimeout(addr string, d time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
-		return nil, fmt.Errorf("adb: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrTransport, addr, err)
 	}
 	return Dial(c), nil
 }
 
-// Exec implements Executor over the transport.
-func (c *Conn) Exec(req ExecRequest) (*ExecResult, error) {
+// SetCallTimeout bounds every subsequent round trip when the underlying
+// stream supports deadlines (net.Conn, net.Pipe); 0 disables the bound. A
+// deadline hit breaks the connection like any other stream failure.
+func (c *Conn) SetCallTimeout(d time.Duration) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(rpcRequest{Exec: &req}); err != nil {
-		return nil, fmt.Errorf("adb: send: %w", err)
-	}
-	var rep rpcReply
-	if err := c.dec.Decode(&rep); err != nil {
-		return nil, fmt.Errorf("adb: recv: %w", err)
-	}
-	if rep.Err != "" {
-		return nil, errors.New(rep.Err)
-	}
-	if rep.Result == nil {
-		return nil, errors.New("adb: empty reply")
-	}
-	return rep.Result, nil
+	c.timeout = d
+	c.mu.Unlock()
 }
 
-// Ping round-trips a liveness check.
-func (c *Conn) Ping() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(rpcRequest{Ping: true}); err != nil {
-		return fmt.Errorf("adb: send: %w", err)
-	}
-	var rep rpcReply
-	if err := c.dec.Decode(&rep); err != nil {
-		return fmt.Errorf("adb: recv: %w", err)
-	}
-	if !rep.Pong {
-		return errors.New("adb: bad pong")
+// Close closes the underlying stream when it is closable.
+func (c *Conn) Close() error {
+	if cl, ok := c.rwc.(io.Closer); ok {
+		return cl.Close()
 	}
 	return nil
 }
 
-// Serve runs the device side of the protocol over rw until the stream ends,
-// dispatching execution requests to the broker. It returns nil on a clean
-// EOF.
-func Serve(rw io.ReadWriter, b *Broker) error {
+// roundTrip sends one request and decodes one reply under the connection
+// lock. Stream failures poison the connection.
+func (c *Conn) roundTrip(req rpcRequest) (rpcReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rep rpcReply
+	if c.broken != nil {
+		return rep, c.broken
+	}
+	if d, ok := c.rwc.(deadliner); ok && c.timeout > 0 {
+		d.SetDeadline(time.Now().Add(c.timeout))
+		defer d.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.broken = fmt.Errorf("%w: send: %v", ErrTransport, err)
+		return rep, c.broken
+	}
+	if err := c.dec.Decode(&rep); err != nil {
+		c.broken = fmt.Errorf("%w: recv: %v", ErrTransport, err)
+		return rep, c.broken
+	}
+	if rep.Err != "" {
+		return rep, &RemoteError{Msg: rep.Err}
+	}
+	return rep, nil
+}
+
+// Exec implements Executor over the transport.
+func (c *Conn) Exec(req ExecRequest) (*ExecResult, error) {
+	rep, err := c.roundTrip(rpcRequest{Exec: &req})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Result == nil {
+		return nil, &RemoteError{Msg: "adb: empty reply"}
+	}
+	return rep.Result, nil
+}
+
+// ExecProg implements Executor: the program crosses the wire in its
+// canonical text form and is re-parsed by the device-side broker (the
+// round trip is lossless).
+func (c *Conn) ExecProg(p *dsl.Prog) (*ExecResult, error) {
+	return c.Exec(ExecRequest{ProgText: p.String()})
+}
+
+// Ping round-trips a liveness check.
+func (c *Conn) Ping() error {
+	rep, err := c.roundTrip(rpcRequest{Ping: true})
+	if err != nil {
+		return err
+	}
+	if !rep.Pong {
+		return &RemoteError{Msg: "adb: bad pong"}
+	}
+	return nil
+}
+
+// Reboot implements Executor: the device-side broker reboots its device.
+func (c *Conn) Reboot() error {
+	_, err := c.roundTrip(rpcRequest{Reboot: true})
+	return err
+}
+
+// Info implements Executor with a live identity round trip.
+func (c *Conn) Info() (Info, error) {
+	rep, err := c.roundTrip(rpcRequest{Info: true})
+	if err != nil {
+		return Info{}, err
+	}
+	if rep.Info == nil {
+		return Info{}, &RemoteError{Msg: "adb: empty info reply"}
+	}
+	c.mu.Lock()
+	c.info = *rep.Info
+	c.mu.Unlock()
+	return *rep.Info, nil
+}
+
+// Target implements Executor: the host-side target bound by Handshake (nil
+// before a successful handshake).
+func (c *Conn) Target() *dsl.Target {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.target
+}
+
+// Handshake performs the Describe round trip, rebuilds the device's
+// call-description target host-side, and verifies the rebuilt target
+// hashes to the device-reported fingerprint before binding it to the
+// connection. Engines attach to the Conn only after a clean handshake.
+func (c *Conn) Handshake() (*DescribeReply, error) {
+	rep, err := c.roundTrip(rpcRequest{Describe: true})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Describe == nil {
+		return nil, &RemoteError{Msg: "adb: empty describe reply"}
+	}
+	target, err := dsl.NewTarget(rep.Describe.Calls...)
+	if err != nil {
+		return nil, fmt.Errorf("adb: handshake: rebuild target: %w", err)
+	}
+	if h := target.Hash(); h != rep.Describe.Info.TargetHash {
+		return nil, fmt.Errorf("adb: handshake: target hash mismatch: host %#x, device %#x",
+			h, rep.Describe.Info.TargetHash)
+	}
+	c.mu.Lock()
+	c.target = target
+	c.info = rep.Describe.Info
+	c.mu.Unlock()
+	return rep.Describe, nil
+}
+
+// Server is the device side of the transport: it dispatches protocol
+// requests to an Executor (usually the in-process *Broker) and answers the
+// Describe handshake with the executor's identity plus optional seed
+// programs from the probing pass.
+type Server struct {
+	X Executor
+	// Seeds are probing-pass seed programs in DSL text form, handed to
+	// hosts at handshake so a remote engine bootstraps the same corpus an
+	// in-process one would.
+	Seeds []string
+}
+
+// Serve runs the device side of the protocol over rw until the stream
+// ends. It returns nil on a clean EOF and an ErrTransport-wrapped error on
+// garbage, truncated frames, or a mid-stream hangup; it never panics —
+// protocol-handler panics are converted to per-request error replies.
+func (s *Server) Serve(rw io.ReadWriter) error {
 	enc := gob.NewEncoder(rw)
 	dec := gob.NewDecoder(rw)
 	for {
-		var req rpcRequest
-		if err := dec.Decode(&req); err != nil {
+		req, err := decodeRequest(dec)
+		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
 				return nil
 			}
-			return fmt.Errorf("adb: serve decode: %w", err)
+			return fmt.Errorf("%w: serve decode: %v", ErrTransport, err)
 		}
-		var rep rpcReply
-		switch {
-		case req.Ping:
-			rep.Pong = true
-		case req.Exec != nil:
-			res, err := b.Exec(*req.Exec)
-			if err != nil {
-				rep.Err = err.Error()
-			} else {
-				rep.Result = res
-			}
-		default:
-			rep.Err = "adb: empty request"
-		}
-		if err := enc.Encode(rep); err != nil {
-			return fmt.Errorf("adb: serve encode: %w", err)
+		rep := s.handle(req)
+		err = enc.Encode(&rep)
+		rep.Result.Release()
+		if err != nil {
+			return fmt.Errorf("%w: serve encode: %v", ErrTransport, err)
 		}
 	}
 }
 
-// ServeTCP listens on addr and serves each accepted connection until the
-// listener is closed. It is used by the standalone device daemon binary.
-func ServeTCP(ln net.Listener, b *Broker) error {
+// decodeRequest reads one frame, converting decoder panics on hostile
+// input into errors (gob is supposed to error on corrupt streams, but a
+// device-facing listener must not trust that for every byte sequence).
+func decodeRequest(dec *gob.Decoder) (req rpcRequest, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("decode panic: %v", r)
+		}
+	}()
+	err = dec.Decode(&req)
+	return req, err
+}
+
+// handle dispatches one request, converting handler panics into error
+// replies so one hostile frame cannot take the broker down.
+func (s *Server) handle(req rpcRequest) (rep rpcReply) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = rpcReply{Err: fmt.Sprintf("adb: request panic: %v", r)}
+		}
+	}()
+	switch {
+	case req.Ping:
+		rep.Pong = true
+	case req.Reboot:
+		if err := s.X.Reboot(); err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Pong = true
+		}
+	case req.Info:
+		info, err := s.X.Info()
+		if err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Info = &info
+		}
+	case req.Describe:
+		info, err := s.X.Info()
+		if err != nil {
+			rep.Err = err.Error()
+			return rep
+		}
+		rep.Describe = &DescribeReply{
+			Info:  info,
+			Calls: s.X.Target().Calls(),
+			Seeds: s.Seeds,
+		}
+	case req.Exec != nil:
+		res, err := s.X.Exec(*req.Exec)
+		if err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Result = res
+		}
+	default:
+		rep.Err = "adb: empty request"
+	}
+	return rep
+}
+
+// ServeTCP listens on ln and serves each accepted connection until the
+// listener is closed. Per-connection failures (a client feeding garbage, a
+// dropped link) end that connection only; the listener keeps accepting.
+func (s *Server) ServeTCP(ln net.Listener) error {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -128,7 +346,18 @@ func ServeTCP(ln net.Listener, b *Broker) error {
 		}
 		go func() {
 			defer c.Close()
-			_ = Serve(c, b)
+			_ = s.Serve(c)
 		}()
 	}
+}
+
+// Serve runs the device side of the protocol over rw with no seeds; see
+// (*Server).Serve.
+func Serve(rw io.ReadWriter, x Executor) error {
+	return (&Server{X: x}).Serve(rw)
+}
+
+// ServeTCP serves x on ln with no seeds; see (*Server).ServeTCP.
+func ServeTCP(ln net.Listener, x Executor) error {
+	return (&Server{X: x}).ServeTCP(ln)
 }

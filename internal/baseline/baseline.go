@@ -103,13 +103,13 @@ func NewSyzkallerLike(dev *device.Device, cfg engine.Config) (*engine.Engine, er
 // recovers from driver sources) and generates spec-conformant ioctl
 // invocations with no execution feedback, like the Peach-based MangoFuzz.
 type Difuze struct {
-	broker  *adb.Broker
+	x       adb.Executor
 	target  *dsl.Target
 	gen     *gen.Generator
 	acc     *feedback.Accumulator
 	dedup   *crash.Dedup
 	rng     *rand.Rand
-	device  *device.Device
+	modelID string
 	execs   uint64
 	ifaces  int
 	snapEvr uint64
@@ -130,7 +130,7 @@ func NewDifuze(dev *device.Device, seed int64) (*Difuze, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	return &Difuze{
-		broker: adb.NewBroker(dev, target),
+		x:      adb.NewBroker(dev, target),
 		target: target,
 		// A fresh empty relation graph keeps the generator's walk
 		// degenerate; NoRelations makes dependencies purely random, the
@@ -139,7 +139,7 @@ func NewDifuze(dev *device.Device, seed int64) (*Difuze, error) {
 		acc:     feedback.NewAccumulator(),
 		dedup:   crash.NewDedup(),
 		rng:     rng,
-		device:  dev,
+		modelID: dev.Model.ID,
 		ifaces:  n,
 		snapEvr: 25,
 	}, nil
@@ -171,20 +171,22 @@ func (f *Difuze) Dedup() *crash.Dedup { return f.dedup }
 // Execs implements Fuzzer.
 func (f *Difuze) Execs() uint64 { return f.execs }
 
-// Run implements Fuzzer: pure generation, no corpus, no guidance.
+// Run implements Fuzzer: pure generation, no corpus, no guidance. It
+// drives the adb.Executor boundary, so the analog runs over the in-process
+// broker or any transport-backed executor alike.
 func (f *Difuze) Run(n int) {
 	for i := 0; i < n; i++ {
 		p := f.gen.Generate()
-		res, err := f.broker.ExecProg(p)
+		res, err := f.x.ExecProg(p)
 		f.execs++
 		if err != nil {
 			continue
 		}
 		if len(res.Crashes) > 0 {
 			for _, cr := range res.Crashes {
-				f.dedup.Add(f.device.Model.ID, cr, p, f.execs)
+				f.dedup.Add(f.modelID, cr, p, f.execs)
 			}
-			f.broker.Reboot()
+			_ = f.x.Reboot()
 		}
 		// Coverage is recorded for the evaluation plots only.
 		sig := feedback.FromExec(res, nil)

@@ -13,9 +13,11 @@ import (
 	"slices"
 	"sync"
 
+	"droidfuzz/internal/adb"
 	"droidfuzz/internal/baseline"
 	"droidfuzz/internal/crash"
 	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
 	"droidfuzz/internal/engine"
 	"droidfuzz/internal/relation"
 )
@@ -74,6 +76,31 @@ func (d *Daemon) AddDevice(modelID string, cfg engine.Config) error {
 	d.engines[modelID] = eng
 	d.devices[modelID] = dev
 	d.order = append(d.order, modelID)
+	return nil
+}
+
+// AttachExecutor wires an engine over an already-attached execution
+// boundary — typically a resilient remote client dialed by the fleet CLI —
+// into the daemon's shared relation table and crash dedup. seeds (optional)
+// are executed and admitted unminimized, the same corpus bootstrap
+// AddDevice performs from the in-process probing pass. The id keys the
+// engine in stats and corpus persistence and must be unique.
+func (d *Daemon) AttachExecutor(id string, x adb.Executor, seeds []*dsl.Prog, cfg engine.Config) error {
+	if x.Target() == nil {
+		return fmt.Errorf("daemon: attach %s: executor has no bound target (handshake missing?)", id)
+	}
+	d.mu.Lock()
+	if _, dup := d.engines[id]; dup {
+		d.mu.Unlock()
+		return fmt.Errorf("daemon: device %s already attached", id)
+	}
+	eng := engine.New(x, d.graph, d.dedup, cfg)
+	d.engines[id] = eng
+	d.order = append(d.order, id)
+	d.mu.Unlock()
+	// Seeding executes programs over the boundary; keep it outside the
+	// daemon lock so a slow or down remote cannot block other attaches.
+	eng.SeedCorpus(seeds)
 	return nil
 }
 

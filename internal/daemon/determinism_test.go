@@ -1,9 +1,18 @@
 package daemon
 
 import (
+	"net"
+	"sort"
 	"testing"
 
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/baseline"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
 	"droidfuzz/internal/engine"
+	"droidfuzz/internal/probe"
+	"droidfuzz/internal/relation"
 )
 
 // goldenRun pins the serial determinism contract across hot-path rewrites:
@@ -52,6 +61,99 @@ func TestSerialRunMatchesGoldenStats(t *testing.T) {
 			t.Errorf("%s: unexpected exec errors: %d", g.model, st.ExecErrors)
 		}
 	}
+}
+
+// TestSerialRemoteEngineMatchesInProcess is the transport half of the
+// determinism contract: a serial engine driving a broker over the gob
+// transport (net.Pipe, programs crossing the wire in canonical text form,
+// target rebuilt from the Describe handshake) must produce bit-identical
+// campaign stats and crash titles to the in-process engine for the same
+// seed. Any divergence means the text round trip or the handshake target
+// reconstruction is lossy.
+func TestSerialRemoteEngineMatchesInProcess(t *testing.T) {
+	const (
+		modelID = "B" // carries shallow bugs, so crash paths are exercised
+		seed    = 404
+		iters   = 300
+	)
+
+	// In-process reference: the standard attach sequence.
+	model, err := device.ModelByID(modelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := baseline.NewDroidFuzz(device.New(model), relation.New(), crash.NewDedup(), engine.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.Run(iters)
+
+	// Remote twin: an identical device probed identically, served over a
+	// net.Pipe transport; the host engine learns the target and seeds
+	// exclusively from the handshake.
+	dev := device.New(model)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := probe.Run(dev, probe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target, err = target.Extend(pr.Interfaces...); err != nil {
+		t.Fatal(err)
+	}
+	seedTexts := make([]string, len(pr.Seeds))
+	for i, p := range pr.Seeds {
+		seedTexts[i] = p.String()
+	}
+	srv := &adb.Server{X: adb.NewBroker(dev, target), Seeds: seedTexts}
+	host, devSide := net.Pipe()
+	go srv.Serve(devSide)
+	defer host.Close()
+
+	conn := adb.Dial(host)
+	rep, err := conn.Handshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]*dsl.Prog, len(rep.Seeds))
+	for i, text := range rep.Seeds {
+		if seeds[i], err = dsl.ParseProg(conn.Target(), text); err != nil {
+			t.Fatalf("handshake seed %d: %v", i, err)
+		}
+	}
+	remote := engine.New(conn, relation.New(), crash.NewDedup(), engine.Config{Seed: seed})
+	remote.SeedCorpus(seeds)
+	remote.Run(iters)
+
+	if ls, rs := local.Stats(), remote.Stats(); ls != rs {
+		t.Errorf("remote campaign diverged from in-process:\n local  %+v\n remote %+v", ls, rs)
+	}
+	if lt, rt := dedupTitles(local.Dedup()), dedupTitles(remote.Dedup()); !equalStrings(lt, rt) {
+		t.Errorf("crash titles diverged:\n local  %v\n remote %v", lt, rt)
+	}
+}
+
+func dedupTitles(d *crash.Dedup) []string {
+	var out []string
+	for _, r := range d.Records() {
+		out = append(out, r.Title)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestSerialRunReplaysItself runs the same serial campaign twice in one

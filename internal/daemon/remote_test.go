@@ -1,0 +1,125 @@
+package daemon
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/engine"
+)
+
+// serveBrokerTCP boots a device, serves its broker on loopback, and
+// returns the address plus the listener for mid-campaign teardown.
+func serveBrokerTCP(t *testing.T, modelID string) (string, net.Listener) {
+	t.Helper()
+	model, err := device.ModelByID(modelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(model)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go adb.ServeTCP(ln, adb.NewBroker(dev, target))
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String(), ln
+}
+
+func fastResilient(t *testing.T, addr string) *adb.Resilient {
+	t.Helper()
+	r, err := adb.DialResilient(addr, adb.ResilientOptions{
+		DialTimeout: time.Second,
+		CallTimeout: 2 * time.Second,
+		MaxAttempts: 1,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFleetSurvivesDeadRemoteBroker wires two remote engines through
+// AttachExecutor and kills one broker: the orphaned engine must degrade
+// into ExecErrors while the fleet — including the healthy engine — runs
+// its full campaign.
+func TestFleetSurvivesDeadRemoteBroker(t *testing.T) {
+	addrA, _ := serveBrokerTCP(t, "A1")
+	addrB, lnB := serveBrokerTCP(t, "B")
+
+	d := New()
+	rA := fastResilient(t, addrA)
+	rB := fastResilient(t, addrB)
+	if err := d.AttachExecutor("A1", rA, nil, engine.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachExecutor("B", rB, nil, engine.Config{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// First slice: both brokers alive.
+	d.Run(30, true)
+	st := d.Stats()
+	if st["A1"].ExecErrors != 0 || st["B"].ExecErrors != 0 {
+		t.Fatalf("healthy fleet reported errors: %+v", st)
+	}
+
+	// Kill broker B between campaign slices: listener down, live stream
+	// severed. The fleet's second slice must still complete.
+	lnB.Close()
+	rB.Close()
+	d.Run(50, true)
+
+	st = d.Stats()
+	if got := st["A1"]; got.Execs < 80 || got.ExecErrors != 0 {
+		t.Fatalf("healthy engine disturbed by dead peer: %+v", got)
+	}
+	b := st["B"]
+	if b.Execs < 80 {
+		t.Fatalf("orphaned engine stalled instead of degrading: %+v", b)
+	}
+	if b.ExecErrors == 0 {
+		t.Fatalf("dead broker produced no ExecErrors: %+v", b)
+	}
+
+	// The daemon's status feed aggregates the degradation fleet-wide.
+	var total uint64
+	for _, s := range st {
+		total += s.ExecErrors
+	}
+	if total != b.ExecErrors {
+		t.Fatalf("fleet error aggregation wrong: total %d, engine %d", total, b.ExecErrors)
+	}
+}
+
+// TestAttachExecutorRejectsUnboundAndDuplicate covers the attach guard
+// rails: an executor with no handshake-bound target and a duplicate id.
+func TestAttachExecutorRejectsUnboundAndDuplicate(t *testing.T) {
+	addr, _ := serveBrokerTCP(t, "A1")
+	d := New()
+	// A raw Conn without a handshake has no target.
+	conn, err := adb.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttachExecutor("X", conn, nil, engine.Config{Seed: 1}); err == nil {
+		t.Fatal("unbound executor attached")
+	}
+	r := fastResilient(t, addr)
+	if err := d.AttachExecutor("A1", r, nil, engine.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r2 := fastResilient(t, addr)
+	if err := d.AttachExecutor("A1", r2, nil, engine.Config{Seed: 2}); err == nil {
+		t.Fatal("duplicate id attached")
+	}
+}

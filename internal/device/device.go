@@ -6,6 +6,7 @@ package device
 
 import (
 	"fmt"
+	"strings"
 
 	"droidfuzz/internal/binder"
 	"droidfuzz/internal/bugs"
@@ -141,7 +142,19 @@ func ModelByID(id string) (Model, error) {
 			return m, nil
 		}
 	}
-	return Model{}, fmt.Errorf("device: unknown model %q", id)
+	return Model{}, fmt.Errorf("device: unknown model %q (valid: %s)",
+		id, strings.Join(IDs(), ", "))
+}
+
+// IDs returns the Table I model IDs in listing order, for flag validation
+// and error messages.
+func IDs() []string {
+	models := Models()
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.ID
+	}
+	return out
 }
 
 // Device is one booted virtual device.

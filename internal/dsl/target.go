@@ -2,6 +2,7 @@ package dsl
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -103,6 +104,33 @@ func (t *Target) ResourceKinds() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Hash fingerprints the target's interface surface: every call description
+// in registration order with its class, dispatch identity, weight, and
+// argument syntax. Two targets built from the same device model by the same
+// probing pass hash identically, so a host-side engine and a remote broker
+// can verify during the transport handshake that they agree on the callable
+// surface before any program crosses the wire.
+func (t *Target) Hash() uint64 {
+	h := fnv.New64a()
+	for _, d := range t.calls {
+		fmt.Fprintf(h, "%s|%d|%s|%s|%s|%d|%s|%g|%d\x00",
+			d.Name, d.Class, d.Syscall, d.Service, d.Method, d.MethodCode,
+			d.Ret, d.Weight, d.CriticalArg)
+		for _, f := range d.Args {
+			fmt.Fprintf(h, "%s|%d|%d|%d|%d|%s|%s|%d\x1f",
+				f.Name, f.Type.Kind, f.Type.Min, f.Type.Max, f.Type.BufLen,
+				f.Type.Res, f.Type.LenOf, f.Type.Val)
+			for _, c := range f.Type.Choices {
+				fmt.Fprintf(h, "%d,", c)
+			}
+			for _, s := range f.Type.StrChoices {
+				fmt.Fprintf(h, "%s,", s)
+			}
+		}
+	}
+	return h.Sum64()
 }
 
 // Names returns the sorted DSL names of all calls.

@@ -134,7 +134,8 @@ type Stats struct {
 
 // Engine drives fuzzing for one device.
 type Engine struct {
-	broker *adb.Broker
+	x      adb.Executor
+	target *dsl.Target
 	gen    *gen.Generator
 	graph  *relation.Graph
 	corpus *corpus.Corpus
@@ -144,20 +145,28 @@ type Engine struct {
 	rng    *rand.Rand
 	cfg    Config
 
+	// modelID is the device identity cached from the attach-time
+	// handshake, so crash attribution keeps working while a remote link is
+	// down.
+	modelID string
+
 	execs      uint64
 	generated  uint64
 	mutated    uint64
 	newSig     uint64
 	execErrors uint64
 	crashes    int
+	reboots    int
 }
 
-// New builds an engine over a broker whose target already includes probed
-// HAL interfaces. The relation graph and dedup collector may be shared with
-// other engines (the daemon owns them).
-func New(broker *adb.Broker, graph *relation.Graph, dedup *crash.Dedup, cfg Config) *Engine {
+// New builds an engine over an executor whose target already includes
+// probed HAL interfaces — the in-process broker, a transport connection, or
+// a resilient remote client; everything above this boundary is
+// transport-agnostic. The relation graph and dedup collector may be shared
+// with other engines (the daemon owns them).
+func New(x adb.Executor, graph *relation.Graph, dedup *crash.Dedup, cfg Config) *Engine {
 	cfg.defaults()
-	target := broker.Target()
+	target := x.Target()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var spec *feedback.SpecTable
 	if !cfg.NoHALCov {
@@ -167,8 +176,9 @@ func New(broker *adb.Broker, graph *relation.Graph, dedup *crash.Dedup, cfg Conf
 	for _, d := range target.Calls() {
 		graph.AddVertex(d.Name, d.Weight)
 	}
-	return &Engine{
-		broker: broker,
+	e := &Engine{
+		x:      x,
+		target: target,
 		gen:    gen.New(target, graph, rng, cfg.Gen),
 		graph:  graph,
 		corpus: corpus.New(),
@@ -178,14 +188,29 @@ func New(broker *adb.Broker, graph *relation.Graph, dedup *crash.Dedup, cfg Conf
 		rng:    rng,
 		cfg:    cfg,
 	}
+	// Best-effort identity snapshot: the in-process broker always answers;
+	// a resilient remote client answers from its handshake cache even when
+	// the link is down.
+	if info, err := x.Info(); err == nil || info.ModelID != "" {
+		e.modelID = info.ModelID
+		e.reboots = info.Reboots
+	}
+	return e
 }
 
 // Corpus exposes the engine's corpus (persistence, tests).
 func (e *Engine) Corpus() *corpus.Corpus { return e.corpus }
 
-// Broker exposes the engine's execution broker (diagnostics, fault
-// injection in tests).
-func (e *Engine) Broker() *adb.Broker { return e.broker }
+// Executor exposes the engine's execution boundary (diagnostics).
+func (e *Engine) Executor() adb.Executor { return e.x }
+
+// Broker exposes the in-process execution broker when the engine runs over
+// one (diagnostics, fault injection in tests); it returns nil for remote
+// executors.
+func (e *Engine) Broker() *adb.Broker {
+	b, _ := e.x.(*adb.Broker)
+	return b
+}
 
 // Accumulator exposes the coverage accumulator.
 func (e *Engine) Accumulator() *feedback.Accumulator { return e.acc }
@@ -216,21 +241,33 @@ func (e *Engine) Stats() Stats {
 		CorpusSize:  e.corpus.Len(),
 		Crashes:     e.crashes,
 		UniqueBugs:  e.dedup.Len(),
-		Reboots:     e.broker.Device().Reboots(),
+		Reboots:     e.reboots,
 		KernelCov:   e.acc.KernelTotal(),
 		TotalSignal: e.acc.Total(),
 	}
 }
 
+// reboot restarts the device through the executor. In-process reboots
+// cannot fail; a remote reboot that does (broker down mid-campaign) counts
+// against ExecErrors like any other boundary failure and the campaign
+// proceeds — the next execution surfaces the same link trouble anyway.
+func (e *Engine) reboot() {
+	if err := e.x.Reboot(); err != nil {
+		e.execErrors++
+		return
+	}
+	e.reboots++
+}
+
 // exec runs one program, bumping virtual time and handling crash fallout.
 // Both returned values are pooled; the caller releases them.
 func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, *feedback.Signal) {
-	res, err := e.broker.ExecProg(p)
+	res, err := e.x.ExecProg(p)
 	e.execs++
 	if err != nil {
-		// Broker errors are surfaced through the ExecErrors counter rather
-		// than silently swallowed; the iteration proceeds on an empty
-		// result so virtual time still advances.
+		// Executor errors are surfaced through the ExecErrors counter
+		// rather than silently swallowed; the iteration proceeds on an
+		// empty result so virtual time still advances.
 		e.execErrors++
 		return adb.GetResult(), feedback.NewSignal()
 	}
@@ -238,13 +275,13 @@ func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, *feedback.Signal) {
 		e.crashes += len(res.Crashes)
 		var fresh []string
 		for _, cr := range res.Crashes {
-			if _, isNew := e.dedup.Add(e.broker.Device().Model.ID, cr, p, e.execs); isNew {
+			if _, isNew := e.dedup.Add(e.modelID, cr, p, e.execs); isNew {
 				fresh = append(fresh, crash.NormalizeTitle(cr.Title))
 			}
 		}
 		// The paper's configuration reboots the target on any bug,
 		// including warnings and HAL errors (§V-A).
-		e.broker.Reboot()
+		e.reboot()
 		// New unique findings are reproduced on a clean boot and their
 		// reproducers minimized ("all bugs triggered were initially
 		// minimized, deduplicated, and reproduced", §V-B).
@@ -377,7 +414,7 @@ func (e *Engine) RunPipelined(n, depth int) {
 		generated bool
 	}
 	prng := rand.New(rand.NewSource(int64(uint64(e.cfg.Seed) ^ pipelineSalt)))
-	pgen := gen.New(e.broker.Target(), e.graph, prng, e.cfg.Gen)
+	pgen := gen.New(e.target, e.graph, prng, e.cfg.Gen)
 	ch := make(chan pending, depth)
 	go func() {
 		defer close(ch)
@@ -401,11 +438,11 @@ func (e *Engine) RunPipelined(n, depth int) {
 // accidental adjacencies.
 func (e *Engine) minimize(p *dsl.Prog, want *feedback.Signal) *dsl.Prog {
 	// First check the program is self-contained at all.
-	e.broker.Reboot()
+	e.reboot()
 	if !e.coversOnCurrentBoot(p, want) {
 		// The new signal depended on accumulated device state; keep the
 		// raw program (it is still a valid splice donor).
-		e.broker.Reboot()
+		e.reboot()
 		return p
 	}
 	budget := e.cfg.MaxMinimizeExecs
@@ -415,13 +452,13 @@ func (e *Engine) minimize(p *dsl.Prog, want *feedback.Signal) *dsl.Prog {
 			break
 		}
 		cand := cur.RemoveCall(i)
-		e.broker.Reboot()
+		e.reboot()
 		budget--
 		if e.coversOnCurrentBoot(cand, want) {
 			cur = cand
 		}
 	}
-	e.broker.Reboot()
+	e.reboot()
 	return cur
 }
 
@@ -429,7 +466,7 @@ func (e *Engine) minimize(p *dsl.Prog, want *feedback.Signal) *dsl.Prog {
 // every element of want; crashes make the check fail (and the caller
 // reboots before the next candidate anyway).
 func (e *Engine) coversOnCurrentBoot(p *dsl.Prog, want *feedback.Signal) bool {
-	res, err := e.broker.ExecProg(p)
+	res, err := e.x.ExecProg(p)
 	e.execs++
 	if err != nil {
 		e.execErrors++
@@ -466,10 +503,10 @@ func (e *Engine) triageCrash(p *dsl.Prog, title string) {
 		// State from earlier programs in the same boot was required; the
 		// raw program is kept but marked non-reproducing.
 		e.dedup.UpdateRepro(title, nil, false)
-		e.broker.Reboot()
+		e.reboot()
 		return
 	}
-	e.broker.Reboot()
+	e.reboot()
 	cur := p
 	budget := crashTriageBudget
 	for i := cur.Len() - 1; i >= 0 && budget > 0 && cur.Len() > 1; i-- {
@@ -478,7 +515,7 @@ func (e *Engine) triageCrash(p *dsl.Prog, title string) {
 		if e.crashesWith(cand, title) {
 			cur = cand
 		}
-		e.broker.Reboot()
+		e.reboot()
 	}
 	e.dedup.UpdateRepro(title, cur, true)
 }
@@ -486,7 +523,7 @@ func (e *Engine) triageCrash(p *dsl.Prog, title string) {
 // crashesWith executes p and reports whether it raises the given
 // (normalized) crash title. The caller reboots afterwards.
 func (e *Engine) crashesWith(p *dsl.Prog, title string) bool {
-	res, err := e.broker.ExecProg(p)
+	res, err := e.x.ExecProg(p)
 	e.execs++
 	if err != nil {
 		e.execErrors++
