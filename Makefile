@@ -18,15 +18,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench prints the PR 1 hot-path microbenchmarks (optimized vs legacy
-# reference implementations) without writing anything.
+# bench prints the recorded benchmarks (PR 1 hot paths vs their legacy
+# references, PR 3 transport protocols) without writing anything.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/perf/
 
-# bench-json reruns the microbenchmarks through cmd/benchperf and
-# refreshes BENCH_PR1.json.
+# bench-json reruns the benchmarks through cmd/benchperf and refreshes the
+# recorded BENCH_PR*.json reports.
 bench-json:
-	$(GO) run ./cmd/benchperf -o BENCH_PR1.json
+	$(GO) run ./cmd/benchperf -pr 1 -o BENCH_PR1.json
+	$(GO) run ./cmd/benchperf -pr 3 -o BENCH_PR3.json
 
 # smoke runs a short droidfleet campaign against droidbrokerd over TCP
 # loopback and asserts clean execution and shutdown.

@@ -1,12 +1,19 @@
-// Command benchperf runs the PR 1 hot-path microbenchmarks through
-// testing.Benchmark and writes the results to BENCH_PR1.json: the
-// optimized paths, their in-tree legacy reference implementations, the
-// computed speedups, and the end-to-end engine step throughput alongside
-// the number recorded from the pre-rewrite seed tree.
+// Command benchperf runs the repo's recorded performance benchmarks
+// through testing.Benchmark and writes a JSON report.
+//
+// -pr 1 (the default) runs the PR 1 hot-path microbenchmarks and writes
+// BENCH_PR1.json: the optimized paths, their in-tree legacy reference
+// implementations, the computed speedups, and the end-to-end engine step
+// throughput alongside the number recorded from the pre-rewrite seed tree.
+//
+// -pr 3 runs the PR 3 transport benchmarks and writes BENCH_PR3.json: the
+// v1 lock-step protocol against the wire-protocol-v2 windowed-batch path
+// over net.Pipe, with round-trips/sec and device-uplink bytes/exec for
+// both, and the derived throughput and byte-reduction factors.
 //
 // Usage:
 //
-//	go run ./cmd/benchperf [-o BENCH_PR1.json] [-benchtime 1s]
+//	go run ./cmd/benchperf [-pr 1|3] [-o FILE] [-benchtime 1s]
 package main
 
 import (
@@ -26,7 +33,12 @@ type measurement struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	ExecsPerSec float64 `json:"execs_per_sec,omitempty"`
-	Iterations  int     `json:"iterations"`
+	// RoundTripsPerSec and UplinkBytesPerExec are the PR 3 transport
+	// metrics: executions completed per second through the protocol under
+	// test, and device-to-host bytes shipped per execution.
+	RoundTripsPerSec   float64 `json:"round_trips_per_sec,omitempty"`
+	UplinkBytesPerExec float64 `json:"uplink_bytes_per_exec,omitempty"`
+	Iterations         int     `json:"iterations"`
 }
 
 // seedEngineStep is the EngineStep measurement taken on the PR 0 seed tree
@@ -51,7 +63,7 @@ type report struct {
 	Benchtime   string                 `json:"benchtime"`
 	Benchmarks  map[string]measurement `json:"benchmarks"`
 	Speedups    map[string]float64     `json:"speedups"`
-	SeedBase    map[string]measurement `json:"seed_baseline"`
+	SeedBase    map[string]measurement `json:"seed_baseline,omitempty"`
 }
 
 func measure(name string, f func(*testing.B)) measurement {
@@ -66,60 +78,97 @@ func measure(name string, f func(*testing.B)) measurement {
 	if v, ok := r.Extra["execs/sec"]; ok {
 		m.ExecsPerSec = v
 	}
+	if v, ok := r.Extra["rt/sec"]; ok {
+		m.RoundTripsPerSec = v
+	}
+	if v, ok := r.Extra["uplinkB/exec"]; ok {
+		m.UplinkBytesPerExec = v
+	}
 	return m
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR1.json", "output file")
+	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1 or 3)")
+	out := flag.String("o", "", "output file (default BENCH_PR<n>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	flag.Parse()
 	flag.Set("test.benchtime", benchtime.String())
 
-	benches := []struct {
-		name string
-		body func(*testing.B)
-	}{
-		{"SignalPipeline", perf.SignalPipeline},
-		{"SignalPipelineLegacy", perf.SignalPipelineLegacy},
-		{"SpecTableID", perf.SpecTableID},
-		{"SpecTableIDLegacy", perf.SpecTableIDLegacy},
-		{"EngineStep", perf.EngineStep},
-	}
 	rep := report{
-		PR:          1,
-		Description: "zero-allocation feedback hot path + pipelined campaign execution",
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		GoVersion:   runtime.Version(),
-		Benchtime:   benchtime.String(),
-		Benchmarks:  map[string]measurement{},
-		SeedBase:    map[string]measurement{"EngineStep": seedEngineStep},
+		PR:         *pr,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		Benchtime:  benchtime.String(),
+		Benchmarks: map[string]measurement{},
 	}
-	for _, b := range benches {
-		rep.Benchmarks[b.name] = measure(b.name, b.body)
-	}
-	rep.Speedups = map[string]float64{
-		"SignalPipeline": round2(rep.Benchmarks["SignalPipelineLegacy"].NsPerOp /
-			rep.Benchmarks["SignalPipeline"].NsPerOp),
-		"SpecTableID": round2(rep.Benchmarks["SpecTableIDLegacy"].NsPerOp /
-			rep.Benchmarks["SpecTableID"].NsPerOp),
-		"EngineStepVsSeed": round2(seedEngineStep.NsPerOp /
-			rep.Benchmarks["EngineStep"].NsPerOp),
+	var summary string
+	switch *pr {
+	case 1:
+		rep.Description = "zero-allocation feedback hot path + pipelined campaign execution"
+		rep.SeedBase = map[string]measurement{"EngineStep": seedEngineStep}
+		for _, b := range []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"SignalPipeline", perf.SignalPipeline},
+			{"SignalPipelineLegacy", perf.SignalPipelineLegacy},
+			{"SpecTableID", perf.SpecTableID},
+			{"SpecTableIDLegacy", perf.SpecTableIDLegacy},
+			{"EngineStep", perf.EngineStep},
+		} {
+			rep.Benchmarks[b.name] = measure(b.name, b.body)
+		}
+		rep.Speedups = map[string]float64{
+			"SignalPipeline": round2(rep.Benchmarks["SignalPipelineLegacy"].NsPerOp /
+				rep.Benchmarks["SignalPipeline"].NsPerOp),
+			"SpecTableID": round2(rep.Benchmarks["SpecTableIDLegacy"].NsPerOp /
+				rep.Benchmarks["SpecTableID"].NsPerOp),
+			"EngineStepVsSeed": round2(seedEngineStep.NsPerOp /
+				rep.Benchmarks["EngineStep"].NsPerOp),
+		}
+		summary = fmt.Sprintf("signal pipeline %.2fx, spec table %.2fx, engine step %.2fx vs seed",
+			rep.Speedups["SignalPipeline"], rep.Speedups["SpecTableID"],
+			rep.Speedups["EngineStepVsSeed"])
+	case 3:
+		rep.Description = "streaming wire protocol v2: windowed batched execution + delta-coded summary uplink"
+		for _, b := range []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"TransportLockstep", perf.TransportLockstep},
+			{"TransportWindowedBatch", perf.TransportWindowedBatch},
+		} {
+			rep.Benchmarks[b.name] = measure(b.name, b.body)
+		}
+		lock := rep.Benchmarks["TransportLockstep"]
+		batch := rep.Benchmarks["TransportWindowedBatch"]
+		rep.Speedups = map[string]float64{
+			"TransportRoundTrips":  round2(batch.RoundTripsPerSec / lock.RoundTripsPerSec),
+			"TransportUplinkBytes": round2(lock.UplinkBytesPerExec / batch.UplinkBytesPerExec),
+		}
+		summary = fmt.Sprintf("round trips %.2fx, uplink bytes %.2fx fewer",
+			rep.Speedups["TransportRoundTrips"], rep.Speedups["TransportUplinkBytes"])
+	default:
+		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1 or 3)\n", *pr)
+		os.Exit(1)
 	}
 
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_PR%d.json", *pr)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchperf: %v\n", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchperf: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (signal pipeline %.2fx, spec table %.2fx, engine step %.2fx vs seed)\n",
-		*out, rep.Speedups["SignalPipeline"], rep.Speedups["SpecTableID"],
-		rep.Speedups["EngineStepVsSeed"])
+	fmt.Printf("wrote %s (%s)\n", path, summary)
 }
 
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

@@ -28,6 +28,7 @@ import (
 	"droidfuzz/internal/adb"
 	"droidfuzz/internal/device"
 	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/feedback"
 	"droidfuzz/internal/probe"
 )
 
@@ -141,5 +142,10 @@ func buildServer(modelID string) (*adb.Server, device.Model, int, error) {
 		seeds[i] = p.String()
 	}
 	broker := adb.NewBroker(dev, target)
-	return &adb.Server{X: broker, Seeds: seeds}, model, len(target.Calls()), nil
+	srv := &adb.Server{X: broker, Seeds: seeds}
+	// One uplink filter per served connection: summary-mode batches ship
+	// full traces only for executions that produced new signal against the
+	// connection's accumulated view (interesting-only uplink).
+	srv.NewFilter = func() adb.UplinkFilter { return feedback.NewUplinkFilter(target) }
+	return srv, model, len(target.Calls()), nil
 }

@@ -5,14 +5,20 @@
 // Usage:
 //
 //	droidfleet -devices A1,B,D -iters 20000 [-seed 1] [-workers 4]
-//	           [-pipeline 4] [-rounds 4] [-corpus DIR] [-status status.json]
+//	           [-pipeline 4] [-batch 32] [-window 8]
+//	           [-rounds 4] [-corpus DIR] [-status status.json]
 //	droidfleet -remote 127.0.0.1:7100,127.0.0.1:7101 -iters 20000 ...
 //
 // -workers bounds how many device engines run at once (0 = one worker per
 // CPU, capped at the fleet size). -pipeline sets each engine's generation
 // look-ahead depth (0 = serial per-device execution, deterministic per
-// seed). The campaign runs in -rounds slices, printing fleet stats —
-// including accumulated execution errors — after each.
+// seed). -batch makes pipelined engines execute programs in batches of
+// that size through the executors' batch extension; with -remote that is
+// the wire-protocol-v2 fast path — batched frames, delta-coded traces, and
+// the interesting-only summary uplink — and -window bounds how many frames
+// each connection keeps in flight. The campaign runs in -rounds slices,
+// printing fleet stats — including accumulated execution errors — after
+// each, plus per-connection uplink byte savings for remote campaigns.
 //
 // With -remote, the fleet drives broker daemons (droidbrokerd) over TCP
 // instead of booting devices in-process: each address is dialed through a
@@ -46,6 +52,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base RNG seed (device i uses seed+i)")
 		workers   = flag.Int("workers", 0, "max concurrent device engines (0 = NumCPU)")
 		pipeline  = flag.Int("pipeline", 0, "per-engine generation look-ahead depth (0 = serial)")
+		batch     = flag.Int("batch", 0, "programs per execution batch (0 = per-program execution; needs -pipeline)")
+		window    = flag.Int("window", 0, "in-flight requests per remote connection (0 = transport default)")
 		rounds    = flag.Int("rounds", 4, "status-report slices to split the campaign into")
 		corpusDir = flag.String("corpus", "", "directory to save per-device corpora (optional)")
 		statusOut = flag.String("status", "", "file to write the final JSON status report (optional)")
@@ -55,7 +63,8 @@ func main() {
 	cfg := fleetConfig{
 		devices: *devices, remote: *remote,
 		iters: *iters, seed: *seed, workers: *workers,
-		pipeline: *pipeline, rounds: *rounds,
+		pipeline: *pipeline, batch: *batch, window: *window,
+		rounds: *rounds,
 		corpusDir: *corpusDir, statusOut: *statusOut,
 	}
 	if err := run(cfg); err != nil {
@@ -71,6 +80,8 @@ type fleetConfig struct {
 	seed      int64
 	workers   int
 	pipeline  int
+	batch     int
+	window    int
 	rounds    int
 	corpusDir string
 	statusOut string
@@ -88,6 +99,12 @@ func (c *fleetConfig) validate() error {
 		return fmt.Errorf("-pipeline must be >= 0, got %d", c.pipeline)
 	case c.workers < 0:
 		return fmt.Errorf("-workers must be >= 0, got %d", c.workers)
+	case c.batch < 0:
+		return fmt.Errorf("-batch must be >= 0, got %d", c.batch)
+	case c.window < 0:
+		return fmt.Errorf("-window must be >= 0, got %d", c.window)
+	case c.batch > 1 && c.pipeline <= 0:
+		return fmt.Errorf("-batch %d needs -pipeline > 0 (batches are fed by the generation look-ahead)", c.batch)
 	}
 	if c.remote != "" {
 		return nil // device IDs come from the remote handshakes
@@ -118,8 +135,10 @@ func run(cfg fleetConfig) error {
 		return err
 	}
 	d := daemon.New()
+	var remotes map[string]*adb.Resilient
 	if cfg.remote != "" {
-		if err := attachRemotes(d, cfg); err != nil {
+		var err error
+		if remotes, err = attachRemotes(d, cfg); err != nil {
 			return err
 		}
 	} else {
@@ -134,12 +153,13 @@ func run(cfg fleetConfig) error {
 	}
 	d.SetMaxWorkers(cfg.workers)
 	d.SetPipelineDepth(cfg.pipeline)
+	d.SetBatchSize(cfg.batch)
 	mode := "in-process"
 	if cfg.remote != "" {
 		mode = "remote"
 	}
-	fmt.Printf("fleet: %s (%s, workers=%d pipeline=%d)\n",
-		strings.Join(d.Devices(), ", "), mode, cfg.workers, cfg.pipeline)
+	fmt.Printf("fleet: %s (%s, workers=%d pipeline=%d batch=%d window=%d)\n",
+		strings.Join(d.Devices(), ", "), mode, cfg.workers, cfg.pipeline, cfg.batch, cfg.window)
 
 	rounds := cfg.rounds
 	if rounds <= 0 {
@@ -157,6 +177,7 @@ func run(cfg fleetConfig) error {
 		d.Run(n, true)
 		printStats(d)
 	}
+	printWireStats(remotes)
 
 	fmt.Println()
 	fmt.Println(crash.Table(d.Bugs()))
@@ -186,16 +207,17 @@ func run(cfg fleetConfig) error {
 // delivers the broker's interface surface (rebuilt and hash-verified
 // host-side) and its probing-pass seed programs, so the remote engine
 // starts from the same corpus an in-process one would.
-func attachRemotes(d *daemon.Daemon, cfg fleetConfig) error {
+func attachRemotes(d *daemon.Daemon, cfg fleetConfig) (map[string]*adb.Resilient, error) {
 	addrs := splitList(cfg.remote)
 	if len(addrs) == 0 {
-		return fmt.Errorf("-remote given but no addresses parsed from %q", cfg.remote)
+		return nil, fmt.Errorf("-remote given but no addresses parsed from %q", cfg.remote)
 	}
+	remotes := make(map[string]*adb.Resilient, len(addrs))
 	seen := make(map[string]int)
 	for i, addr := range addrs {
-		r, err := adb.DialResilient(addr, adb.ResilientOptions{})
+		r, err := adb.DialResilient(addr, adb.ResilientOptions{Window: cfg.window})
 		if err != nil {
-			return fmt.Errorf("attach %s: %w", addr, err)
+			return nil, fmt.Errorf("attach %s: %w", addr, err)
 		}
 		info, _ := r.Info()
 		id := info.ModelID
@@ -210,15 +232,35 @@ func attachRemotes(d *daemon.Daemon, cfg fleetConfig) error {
 		seen[info.ModelID]++
 		seeds, err := parseSeeds(r.Target(), r.Seeds())
 		if err != nil {
-			return fmt.Errorf("attach %s: %w", addr, err)
+			return nil, fmt.Errorf("attach %s: %w", addr, err)
 		}
 		if err := d.AttachExecutor(id, r, seeds, engine.Config{Seed: cfg.seed + int64(i)}); err != nil {
-			return err
+			return nil, err
 		}
+		remotes[id] = r
 		fmt.Printf("attached %s: %s (%d interfaces, %d seeds)\n",
 			addr, id, len(r.Target().Calls()), len(seeds))
 	}
-	return nil
+	return remotes, nil
+}
+
+// printWireStats reports the batched-uplink byte accounting per remote
+// engine: how many coverage bytes the delta-coded, interesting-only uplink
+// shipped versus the flat encoding the v1 protocol would have used.
+func printWireStats(remotes map[string]*adb.Resilient) {
+	ids := make([]string, 0, len(remotes))
+	for id := range remotes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := remotes[id].WireStats()
+		if w.Execs == 0 {
+			continue
+		}
+		fmt.Printf("  wire %-3s batched=%d elided=%d cov=%dB raw=%dB saved=%dB\n",
+			id, w.Execs, w.Elided, w.CovWireBytes, w.CovRawBytes, w.Saved())
+	}
 }
 
 // parseSeeds decodes handshake seed programs against the rebuilt target.

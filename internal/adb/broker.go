@@ -64,7 +64,10 @@ type Broker struct {
 	failNext  int
 }
 
-var _ Executor = (*Broker)(nil)
+var (
+	_ Executor      = (*Broker)(nil)
+	_ BatchExecutor = (*Broker)(nil)
+)
 
 // NewBroker attaches a broker to the device. The target must contain every
 // call description programs may use; extend it after probing with SetTarget.
@@ -187,6 +190,22 @@ func (b *Broker) Exec(req ExecRequest) (*ExecResult, error) {
 		return nil, fmt.Errorf("adb: bad program: %w", err)
 	}
 	return b.ExecProg(prog)
+}
+
+// ExecBatch implements BatchExecutor in-process: the programs run back to
+// back in order, a nil entry marking each one that failed (bad program,
+// injected fault). Summary mode is meaningless without a wire and is
+// ignored — results are always exact.
+func (b *Broker) ExecBatch(req ExecBatchRequest) ([]*ExecResult, error) {
+	out := make([]*ExecResult, len(req.Progs))
+	for i, text := range req.Progs {
+		res, err := b.Exec(ExecRequest{ProgText: text})
+		if err != nil {
+			continue
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // resTable records per-call results for resource-argument resolution. It is

@@ -22,6 +22,12 @@ type ResilientOptions struct {
 	// failure up to BackoffMax (defaults 50ms and 2s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Window bounds in-flight requests per connection (default
+	// adb.DefaultWindow).
+	Window int
+	// BatchFrame bounds programs per batched wire frame (default
+	// adb.DefaultBatchFrame).
+	BatchFrame int
 }
 
 func (o *ResilientOptions) defaults() {
@@ -65,9 +71,15 @@ type Resilient struct {
 	fatal      error
 	downUntil  time.Time
 	failStreak int
+	// wire accumulates the uplink accounting of connections already
+	// retired; the live connection's share is added on read.
+	wire WireStats
 }
 
-var _ Executor = (*Resilient)(nil)
+var (
+	_ Executor      = (*Resilient)(nil)
+	_ BatchExecutor = (*Resilient)(nil)
+)
 
 // DialResilient connects to a broker daemon at addr and performs the
 // attach handshake, returning a reconnecting Executor bound to the
@@ -98,6 +110,8 @@ func (r *Resilient) dial() (*Conn, error) {
 		return nil, err
 	}
 	conn.SetCallTimeout(r.opts.CallTimeout)
+	conn.SetWindow(r.opts.Window)
+	conn.SetBatchFrame(r.opts.BatchFrame)
 	return conn, nil
 }
 
@@ -124,10 +138,23 @@ func (r *Resilient) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn != nil {
+		r.wire.Add(r.conn.WireStats())
 		r.conn.Close()
 		r.conn = nil
 	}
 	return nil
+}
+
+// WireStats returns the uplink accounting accumulated across every
+// connection this client has used (batched executions only).
+func (r *Resilient) WireStats() WireStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.wire
+	if r.conn != nil {
+		w.Add(r.conn.WireStats())
+	}
+	return w
 }
 
 // get returns a live connection, redialing if needed. During cooldown it
@@ -182,11 +209,13 @@ func (r *Resilient) noteFailureLocked() {
 }
 
 // drop discards a connection after a transport failure (unless a newer
-// connection already replaced it).
+// connection already replaced it), folding its uplink accounting into the
+// client's running totals.
 func (r *Resilient) drop(c *Conn) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn == c {
+		r.wire.Add(c.WireStats())
 		r.conn.Close()
 		r.conn = nil
 	}
@@ -223,10 +252,40 @@ func (r *Resilient) Exec(req ExecRequest) (res *ExecResult, err error) {
 	return res, err
 }
 
-// ExecProg implements Executor: the program is serialized once and crosses
-// the wire in canonical text form.
+// ExecProg implements Executor: the program is serialized once, before the
+// retry loop, and the same text crosses the wire on every attempt.
 func (r *Resilient) ExecProg(p *dsl.Prog) (*ExecResult, error) {
 	return r.Exec(ExecRequest{ProgText: p.String()})
+}
+
+// ExecBatch implements BatchExecutor with tail retry: the programs are
+// serialized once by the caller, and after a mid-batch transport failure
+// only the unacknowledged tail of the window is resubmitted on the fresh
+// connection — acknowledged results are never re-executed. The returned
+// slice aligns index-for-index with req.Progs up to where execution got;
+// nil entries mark broker-rejected programs.
+func (r *Resilient) ExecBatch(req ExecBatchRequest) ([]*ExecResult, error) {
+	out := make([]*ExecResult, 0, len(req.Progs))
+	remaining := req.Progs
+	var err error
+	for attempt := 0; attempt <= r.opts.MaxAttempts && len(remaining) > 0; attempt++ {
+		var c *Conn
+		if c, err = r.get(); err != nil {
+			if !errors.Is(err, ErrTransport) {
+				return out, err // fatal (target changed) or handshake rejection
+			}
+			continue
+		}
+		var res []*ExecResult
+		res, err = c.ExecBatch(ExecBatchRequest{Progs: remaining, Summary: req.Summary})
+		out = append(out, res...)
+		remaining = remaining[len(res):]
+		if err == nil || !errors.Is(err, ErrTransport) {
+			return out, err
+		}
+		r.drop(c)
+	}
+	return out, err
 }
 
 // Ping implements Executor.

@@ -18,6 +18,16 @@ import (
 // or a TCP loopback socket for the CLI tools — and carries the full
 // Executor contract: program execution, reboot, liveness, and the identity
 // handshake that binds a host engine to a remote target.
+//
+// Wire protocol v2 is multiplexed: every request carries a sequence tag the
+// reply echoes, a dedicated writer goroutine owns the encoder and a reader
+// goroutine owns the decoder, and a configurable window bounds how many
+// requests may be in flight at once. The synchronous Executor API is a thin
+// submit-and-wait layer over that core, so serial callers behave exactly as
+// they did under the v1 lock-step protocol, while windowed callers (batched
+// engines, several workers sharing one Conn) overlap request framing with
+// device execution. See wire.go for the batched-execution RPC and the
+// delta-coded coverage uplink.
 
 // ErrTransport marks stream-level failures: a broken pipe, a garbled or
 // truncated frame, a deadline hit. Errors wrapping it mean the connection
@@ -34,7 +44,11 @@ type RemoteError struct{ Msg string }
 func (e *RemoteError) Error() string { return e.Msg }
 
 type rpcRequest struct {
+	// Tag is the request sequence ID; the reply echoes it so a windowed
+	// client matches completions to callers without relying on reply order.
+	Tag      uint64
 	Exec     *ExecRequest
+	Batch    *ExecBatchRequest
 	Ping     bool
 	Reboot   bool
 	Info     bool
@@ -42,7 +56,9 @@ type rpcRequest struct {
 }
 
 type rpcReply struct {
+	Tag      uint64
 	Result   *ExecResult
+	Batch    *ExecBatchReply
 	Pong     bool
 	Info     *Info
 	Describe *DescribeReply
@@ -65,28 +81,51 @@ type DescribeReply struct {
 	Seeds []string
 }
 
-// deadliner is the subset of net.Conn the transport uses for per-call
-// timeouts; net.Pipe ends implement it too.
-type deadliner interface {
-	SetDeadline(t time.Time) error
+// DefaultWindow is the in-flight request bound used when SetWindow was not
+// called.
+const DefaultWindow = 8
+
+// pendingCall is one in-flight request: the reader goroutine (or the
+// poisoning path) completes it by filling rep/err and closing done.
+type pendingCall struct {
+	req  rpcRequest
+	rep  rpcReply
+	err  error
+	done chan struct{}
 }
 
 // Conn is the host side of a transport connection; it implements Executor.
 // A Conn is not resilient: the first stream-level failure poisons it (the
 // gob streams cannot resync) and every later call fails fast with the same
 // ErrTransport-wrapped error. Wrap it in Resilient for reconnection.
+//
+// The underlying stream should be closable (net.Conn, net.Pipe): poisoning
+// closes it to unblock the reader and writer goroutines.
 type Conn struct {
 	mu      sync.Mutex
-	enc     *gob.Encoder
-	dec     *gob.Decoder
 	rwc     io.ReadWriter
+	enc     *gob.Encoder // owned by writeLoop once started
+	dec     *gob.Decoder // owned by readLoop once started
 	timeout time.Duration
+	window  int
+	frame   int
 	broken  error
 	target  *dsl.Target
 	info    Info
+	stats   WireStats
+
+	started bool
+	nextTag uint64
+	pending map[uint64]*pendingCall
+	sendq   chan *pendingCall
+	slots   chan struct{}
+	quit    chan struct{}
 }
 
-var _ Executor = (*Conn)(nil)
+var (
+	_ Executor      = (*Conn)(nil)
+	_ BatchExecutor = (*Conn)(nil)
+)
 
 // Dial wraps an established byte stream as the host end.
 func Dial(rw io.ReadWriter) *Conn {
@@ -107,13 +146,43 @@ func DialTCPTimeout(addr string, d time.Duration) (*Conn, error) {
 	return Dial(c), nil
 }
 
-// SetCallTimeout bounds every subsequent round trip when the underlying
-// stream supports deadlines (net.Conn, net.Pipe); 0 disables the bound. A
-// deadline hit breaks the connection like any other stream failure.
+// SetCallTimeout bounds the wait for every subsequent call's reply; 0
+// disables the bound. A timeout breaks the connection like any other
+// stream failure — the gob stream cannot be resynced around an abandoned
+// reply.
 func (c *Conn) SetCallTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.timeout = d
 	c.mu.Unlock()
+}
+
+// SetWindow bounds how many requests may be in flight at once (default
+// DefaultWindow). It must be called before the connection's first call;
+// later calls have no effect.
+func (c *Conn) SetWindow(n int) {
+	c.mu.Lock()
+	if !c.started && n > 0 {
+		c.window = n
+	}
+	c.mu.Unlock()
+}
+
+// SetBatchFrame bounds how many programs ExecBatch packs per wire frame
+// (default DefaultBatchFrame).
+func (c *Conn) SetBatchFrame(n int) {
+	c.mu.Lock()
+	if n > 0 {
+		c.frame = n
+	}
+	c.mu.Unlock()
+}
+
+// WireStats returns the uplink byte accounting reported by the broker for
+// this connection's batched executions (zero until the first batch reply).
+func (c *Conn) WireStats() WireStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Close closes the underlying stream when it is closable.
@@ -124,34 +193,174 @@ func (c *Conn) Close() error {
 	return nil
 }
 
-// roundTrip sends one request and decodes one reply under the connection
-// lock. Stream failures poison the connection.
-func (c *Conn) roundTrip(req rpcRequest) (rpcReply, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var rep rpcReply
-	if c.broken != nil {
-		return rep, c.broken
+// startLocked spins up the writer and reader goroutines on first use.
+// Called with c.mu held.
+func (c *Conn) startLocked() {
+	if c.started {
+		return
 	}
-	if d, ok := c.rwc.(deadliner); ok && c.timeout > 0 {
-		d.SetDeadline(time.Now().Add(c.timeout))
-		defer d.SetDeadline(time.Time{})
+	c.started = true
+	if c.window <= 0 {
+		c.window = DefaultWindow
 	}
-	if err := c.enc.Encode(req); err != nil {
-		c.broken = fmt.Errorf("%w: send: %v", ErrTransport, err)
-		return rep, c.broken
-	}
-	if err := c.dec.Decode(&rep); err != nil {
-		c.broken = fmt.Errorf("%w: recv: %v", ErrTransport, err)
-		return rep, c.broken
-	}
-	if rep.Err != "" {
-		return rep, &RemoteError{Msg: rep.Err}
-	}
-	return rep, nil
+	c.pending = make(map[uint64]*pendingCall, c.window)
+	c.sendq = make(chan *pendingCall, c.window)
+	c.slots = make(chan struct{}, c.window)
+	c.quit = make(chan struct{})
+	go c.writeLoop()
+	go c.readLoop()
 }
 
-// Exec implements Executor over the transport.
+// submit registers a request in the in-flight window and hands it to the
+// writer goroutine. It blocks while the window is full and fails fast once
+// the connection is poisoned.
+func (c *Conn) submit(req rpcRequest) (*pendingCall, error) {
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.startLocked()
+	slots, quit := c.slots, c.quit
+	c.mu.Unlock()
+
+	select {
+	case slots <- struct{}{}: // acquire a window slot
+	case <-quit:
+		c.mu.Lock()
+		err := c.broken
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		<-slots
+		return nil, err
+	}
+	c.nextTag++
+	req.Tag = c.nextTag
+	pc := &pendingCall{req: req, done: make(chan struct{})}
+	c.pending[req.Tag] = pc
+	c.mu.Unlock()
+	// sendq is buffered to the window size and each registered call holds a
+	// slot, so this never blocks even if the writer has exited.
+	c.sendq <- pc
+	return pc, nil
+}
+
+// wait blocks until the call completes or the call timeout fires (which
+// poisons the connection — an abandoned reply would desync the stream).
+func (c *Conn) wait(pc *pendingCall) (rpcReply, error) {
+	c.mu.Lock()
+	d := c.timeout
+	c.mu.Unlock()
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-pc.done:
+		case <-timer.C:
+			c.fail(fmt.Errorf("%w: call timed out after %v", ErrTransport, d))
+			<-pc.done
+		}
+	} else {
+		<-pc.done
+	}
+	if pc.err != nil {
+		return rpcReply{}, pc.err
+	}
+	if pc.rep.Err != "" {
+		return pc.rep, &RemoteError{Msg: pc.rep.Err}
+	}
+	return pc.rep, nil
+}
+
+// writeLoop is the sole user of the encoder: it serializes queued requests
+// onto the wire in submission order.
+func (c *Conn) writeLoop() {
+	for {
+		select {
+		case pc := <-c.sendq:
+			c.mu.Lock()
+			broken := c.broken
+			c.mu.Unlock()
+			if broken != nil {
+				continue // fail already completed the call
+			}
+			if err := c.enc.Encode(&pc.req); err != nil {
+				c.fail(fmt.Errorf("%w: send: %v", ErrTransport, err))
+				return
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// readLoop is the sole user of the decoder: it matches each reply to its
+// in-flight call by tag and completes it, releasing the window slot.
+func (c *Conn) readLoop() {
+	for {
+		var rep rpcReply
+		if err := c.dec.Decode(&rep); err != nil {
+			c.fail(fmt.Errorf("%w: recv: %v", ErrTransport, err))
+			return
+		}
+		c.mu.Lock()
+		pc := c.pending[rep.Tag]
+		delete(c.pending, rep.Tag)
+		c.mu.Unlock()
+		if pc == nil {
+			c.fail(fmt.Errorf("%w: recv: unmatched reply tag %d", ErrTransport, rep.Tag))
+			return
+		}
+		pc.rep = rep
+		close(pc.done)
+		<-c.slots
+	}
+}
+
+// fail poisons the connection: the first failure sticks, the stream is
+// closed to unblock the writer and reader goroutines, and every in-flight
+// call completes with the poisoning error.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+		if c.quit != nil {
+			close(c.quit)
+		}
+		if cl, ok := c.rwc.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+	err = c.broken
+	stale := c.pending
+	c.pending = make(map[uint64]*pendingCall, 1)
+	c.mu.Unlock()
+	for _, pc := range stale {
+		pc.err = err
+		close(pc.done)
+		<-c.slots
+	}
+}
+
+// roundTrip performs one synchronous request over the async core.
+func (c *Conn) roundTrip(req rpcRequest) (rpcReply, error) {
+	pc, err := c.submit(req)
+	if err != nil {
+		return rpcReply{}, err
+	}
+	return c.wait(pc)
+}
+
+// Exec implements Executor over the transport. Singleton executions always
+// carry the exact, uncompressed result — minimization and crash triage
+// depend on it; the batched path (ExecBatch) is where the wire-efficient
+// encoding lives.
 func (c *Conn) Exec(req ExecRequest) (*ExecResult, error) {
 	rep, err := c.roundTrip(rpcRequest{Exec: &req})
 	if err != nil {
@@ -248,15 +457,27 @@ type Server struct {
 	// hosts at handshake so a remote engine bootstraps the same corpus an
 	// in-process one would.
 	Seeds []string
+	// NewFilter, when set, builds one UplinkFilter per served connection:
+	// the broker-side mirror of the host engine's feedback pipeline that
+	// lets summary-mode batches elide traces carrying no new signal. Nil
+	// disables elision (batches still delta-code their traces).
+	NewFilter func() UplinkFilter
 }
 
 // Serve runs the device side of the protocol over rw until the stream
 // ends. It returns nil on a clean EOF and an ErrTransport-wrapped error on
 // garbage, truncated frames, or a mid-stream hangup; it never panics —
 // protocol-handler panics are converted to per-request error replies.
+// Requests are handled serially in arrival order; windowed clients get
+// pipelining (the next request is already framed while this one executes),
+// not reordering.
 func (s *Server) Serve(rw io.ReadWriter) error {
 	enc := gob.NewEncoder(rw)
 	dec := gob.NewDecoder(rw)
+	st := &connState{}
+	if s.NewFilter != nil {
+		st.filter = s.NewFilter()
+	}
 	for {
 		req, err := decodeRequest(dec)
 		if err != nil {
@@ -265,7 +486,8 @@ func (s *Server) Serve(rw io.ReadWriter) error {
 			}
 			return fmt.Errorf("%w: serve decode: %v", ErrTransport, err)
 		}
-		rep := s.handle(req)
+		rep := s.handle(req, st)
+		rep.Tag = req.Tag
 		err = enc.Encode(&rep)
 		rep.Result.Release()
 		if err != nil {
@@ -289,7 +511,7 @@ func decodeRequest(dec *gob.Decoder) (req rpcRequest, err error) {
 
 // handle dispatches one request, converting handler panics into error
 // replies so one hostile frame cannot take the broker down.
-func (s *Server) handle(req rpcRequest) (rep rpcReply) {
+func (s *Server) handle(req rpcRequest, st *connState) (rep rpcReply) {
 	defer func() {
 		if r := recover(); r != nil {
 			rep = rpcReply{Err: fmt.Sprintf("adb: request panic: %v", r)}
@@ -327,8 +549,15 @@ func (s *Server) handle(req rpcRequest) (rep rpcReply) {
 		if err != nil {
 			rep.Err = err.Error()
 		} else {
+			// Keep the per-conn filter synced with every execution it
+			// serves, so later summary batches elide against the full
+			// stream this host has already seen. Singletons are never
+			// elided themselves.
+			st.observe(res)
 			rep.Result = res
 		}
+	case req.Batch != nil:
+		rep.Batch = s.execBatch(st, req.Batch)
 	default:
 		rep.Err = "adb: empty request"
 	}

@@ -29,25 +29,42 @@ type Entry struct {
 type Corpus struct {
 	mu      sync.Mutex
 	entries []*Entry
-	seen    map[string]bool // dedup by serialized text
-	adds    uint64
+	// seen dedups admissions by the 64-bit FNV-1a hash of the canonical
+	// program text. Keeping the full text of every program ever offered —
+	// admitted or not — grew without bound over a long campaign; 8 bytes
+	// per distinct program is the retained cost now, and a collision
+	// (astronomically unlikely at corpus scale) merely drops one admission.
+	seen map[uint64]struct{}
+	adds uint64
 }
 
 // New returns an empty corpus.
 func New() *Corpus {
-	return &Corpus{seen: make(map[string]bool)}
+	return &Corpus{seen: make(map[uint64]struct{})}
+}
+
+// fnv1a64 hashes s without allocating (hash/fnv would escape the string
+// through its io.Writer interface).
+func fnv1a64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
 }
 
 // Add admits a program with its contributed-signal score, deduplicating by
-// canonical text. It reports whether the program was new.
+// (the hash of) canonical text. It reports whether the program was new.
 func (c *Corpus) Add(p *dsl.Prog, signal int) bool {
-	text := p.String()
+	key := fnv1a64(p.String())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.seen[text] {
+	if _, dup := c.seen[key]; dup {
 		return false
 	}
-	c.seen[text] = true
+	c.seen[key] = struct{}{}
 	c.entries = append(c.entries, &Entry{Prog: p.Clone(), Signal: signal})
 	c.adds++
 	return true

@@ -150,3 +150,45 @@ func TestConcurrentAddAndPick(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestHashDedupMatchesTextDedup: dedup moved from retained full program
+// text to 64-bit FNV-1a hashes of it; admission behaviour must be
+// unchanged — same text (however arrived at) rejected, distinct texts all
+// admitted.
+func TestHashDedupMatchesTextDedup(t *testing.T) {
+	tg := target(t)
+	c := New()
+	base := prog(t, tg, `r0 = open$tcpc(path="/dev/tcpc0")`+"\nioctl$TCPC_RESET(fd=r0, req=0xa101)\n")
+	if !c.Add(base, 3) {
+		t.Fatal("first add rejected")
+	}
+	// A clone and an independently parsed copy serialize identically and
+	// must both be rejected as duplicates.
+	if c.Add(base.Clone(), 3) {
+		t.Fatal("clone admitted twice")
+	}
+	if c.Add(prog(t, tg, base.String()), 3) {
+		t.Fatal("reparsed copy admitted twice")
+	}
+	// Programs differing only in one argument are distinct.
+	variant := base.Clone()
+	variant.Calls[1].Args[1].Val = 0xa102
+	if !c.Add(variant, 3) {
+		t.Fatal("distinct variant rejected")
+	}
+	if c.Len() != 2 || c.Adds() != 2 {
+		t.Fatalf("len/adds = %d/%d, want 2/2", c.Len(), c.Adds())
+	}
+	// A long run of distinct programs is admitted without false-positive
+	// collisions.
+	for i := 0; i < 2000; i++ {
+		p := base.Clone()
+		p.Calls[1].Args[1].Val = uint64(0xb000 + i)
+		if !c.Add(p, 1) {
+			t.Fatalf("distinct program %d rejected (hash collision?)", i)
+		}
+	}
+	if c.Len() != 2002 {
+		t.Fatalf("len = %d, want 2002", c.Len())
+	}
+}

@@ -38,6 +38,10 @@ type Daemon struct {
 	// pipelineDepth, when > 0, makes parallel runs use the engines'
 	// pipelined mode with that generation lookahead.
 	pipelineDepth int
+	// batchSize, when > 1 (and pipelining is on), makes pipelined runs
+	// ship programs in executor batches of this size — over a remote link
+	// that is the windowed wire-frame + summary-uplink mode.
+	batchSize int
 }
 
 // New returns an empty daemon with fresh shared state.
@@ -138,6 +142,18 @@ func (d *Daemon) SetPipelineDepth(depth int) {
 	d.mu.Unlock()
 }
 
+// SetBatchSize makes pipelined parallel runs execute programs in batches
+// of n through the executors' BatchExecutor extension (engines over
+// executors without batch support fall back to per-program execution);
+// n <= 1 restores per-program execution. Takes effect only when a pipeline
+// depth is also set — batching without generation lookahead would starve
+// the batches.
+func (d *Daemon) SetBatchSize(n int) {
+	d.mu.Lock()
+	d.batchSize = n
+	d.mu.Unlock()
+}
+
 // Run executes iters fuzzing iterations on every attached engine. With
 // parallel set, engines are distributed over a bounded worker pool (at most
 // SetMaxWorkers goroutines, defaulting to GOMAXPROCS — the deployment shape
@@ -151,6 +167,7 @@ func (d *Daemon) Run(iters int, parallel bool) {
 	}
 	workers := d.maxWorkers
 	depth := d.pipelineDepth
+	batch := d.batchSize
 	d.mu.Unlock()
 
 	if !parallel {
@@ -172,9 +189,12 @@ func (d *Daemon) Run(iters int, parallel bool) {
 		go func() {
 			defer wg.Done()
 			for e := range queue {
-				if depth > 0 {
+				switch {
+				case depth > 0 && batch > 1:
+					e.RunPipelinedBatched(iters, depth, batch)
+				case depth > 0:
 					e.RunPipelined(iters, depth)
-				} else {
+				default:
 					e.Run(iters)
 				}
 			}

@@ -9,6 +9,7 @@ import (
 	"droidfuzz/internal/device"
 	"droidfuzz/internal/dsl"
 	"droidfuzz/internal/engine"
+	"droidfuzz/internal/feedback"
 )
 
 // serveBrokerTCP boots a device, serves its broker on loopback, and
@@ -121,5 +122,73 @@ func TestAttachExecutorRejectsUnboundAndDuplicate(t *testing.T) {
 	r2 := fastResilient(t, addr)
 	if err := d.AttachExecutor("A1", r2, nil, engine.Config{Seed: 2}); err == nil {
 		t.Fatal("duplicate id attached")
+	}
+}
+
+// TestBatchedRemoteCampaignSavesUplinkBytes runs a windowed, batched
+// remote campaign end to end: a broker served with a per-connection uplink
+// filter, a resilient client with a bounded in-flight window, and a daemon
+// driving the engine in batched pipelined mode. Most executions past warmup
+// carry no new signal, so the summary uplink must elide traces and the wire
+// accounting must show real byte savings over the flat encoding.
+func TestBatchedRemoteCampaignSavesUplinkBytes(t *testing.T) {
+	model, err := device.ModelByID("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(model)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	srv := &adb.Server{X: adb.NewBroker(dev, target)}
+	srv.NewFilter = func() adb.UplinkFilter { return feedback.NewUplinkFilter(target) }
+	go srv.ServeTCP(ln)
+
+	r, err := adb.DialResilient(ln.Addr().String(), adb.ResilientOptions{
+		DialTimeout: time.Second,
+		CallTimeout: 5 * time.Second,
+		MaxAttempts: 1,
+		Window:      4,
+		BatchFrame:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	d := New()
+	if err := d.AttachExecutor("A1", r, nil, engine.Config{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	d.SetPipelineDepth(4)
+	d.SetBatchSize(16)
+	d.Run(400, true)
+
+	st := d.Stats()["A1"]
+	if st.Execs < 400 {
+		t.Fatalf("execs = %d, want >= 400", st.Execs)
+	}
+	if st.ExecErrors != 0 {
+		t.Fatalf("batched campaign produced exec errors: %+v", st)
+	}
+	if st.KernelCov == 0 || st.CorpusSize == 0 {
+		t.Fatalf("batched remote campaign made no progress: %+v", st)
+	}
+
+	w := r.WireStats()
+	if w.Execs == 0 {
+		t.Fatal("no batched executions crossed the wire (batch mode not engaged)")
+	}
+	if w.Elided == 0 {
+		t.Fatalf("summary uplink elided nothing over %d execs: %+v", w.Execs, w)
+	}
+	if w.Saved() == 0 || w.CovWireBytes >= w.CovRawBytes {
+		t.Fatalf("uplink shipped no fewer bytes than flat encoding: %+v", w)
 	}
 }

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
 
 	"droidfuzz/internal/adb"
@@ -263,8 +264,16 @@ func (e *Engine) reboot() {
 // Both returned values are pooled; the caller releases them.
 func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, *feedback.Signal) {
 	res, err := e.x.ExecProg(p)
+	return e.afterExec(p, res, err)
+}
+
+// afterExec is the post-execution half of exec, shared with the batched
+// path: virtual time, error accounting, and crash fallout (reboot, dedup,
+// triage). res may be nil on error. Both returned values are pooled; the
+// caller releases them.
+func (e *Engine) afterExec(p *dsl.Prog, res *adb.ExecResult, err error) (*adb.ExecResult, *feedback.Signal) {
 	e.execs++
-	if err != nil {
+	if err != nil || res == nil {
 		// Executor errors are surfaced through the ExecErrors counter
 		// rather than silently swallowed; the iteration proceeds on an
 		// empty result so virtual time still advances.
@@ -340,13 +349,21 @@ func (e *Engine) Step() {
 // is pooled — the steady state allocates only when the program is actually
 // admitted.
 func (e *Engine) stepWith(p *dsl.Prog, generated bool) {
+	res, sig := e.exec(p)
+	e.feed(p, generated, res, sig)
+}
+
+// feed folds one execution's outcome back into the engine: counters,
+// signal merge, admission, relation learning, decay, and history sampling.
+// It consumes (releases) res and sig. Shared by the serial, pipelined, and
+// batched paths.
+func (e *Engine) feed(p *dsl.Prog, generated bool, res *adb.ExecResult, sig *feedback.Signal) {
 	if generated {
 		e.generated++
 	} else {
 		e.mutated++
 	}
 
-	res, sig := e.exec(p)
 	newElems := e.acc.MergeNew(sig)
 	if newElems.Len() > 0 {
 		e.newSig++
@@ -403,15 +420,44 @@ const DefaultPipelineDepth = 4
 // one — mutation speculates on a corpus snapshot that admission may have
 // advanced past. Use Run when replay determinism matters.
 func (e *Engine) RunPipelined(n, depth int) {
+	e.runPipelined(n, depth, 1)
+}
+
+// DefaultBatchSize is the batch used when RunPipelinedBatched is called
+// with batch <= 0.
+const DefaultBatchSize = 16
+
+// RunPipelinedBatched is RunPipelined with batched execution: pipelined
+// programs are serialized once, packed into batches of up to batch texts,
+// and shipped through the executor's BatchExecutor extension in summary
+// mode — over a remote link that means one windowed wire frame per batch
+// and an interesting-only coverage uplink instead of one full round trip
+// per execution. Feedback, admission, and crash fallout are processed
+// per program in batch order, so the analysis side is identical to the
+// pipelined mode; executors without batch support fall back to it
+// transparently. Like RunPipelined, this mode trades bit-replay for
+// throughput — and a mid-batch crash reboots the device while the rest of
+// the batch still runs, so crash timing is additionally coarsened to batch
+// granularity (see DESIGN.md).
+func (e *Engine) RunPipelinedBatched(n, depth, batch int) {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	e.runPipelined(n, depth, batch)
+}
+
+// pending is one pipelined work item.
+type pending struct {
+	p         *dsl.Prog
+	generated bool
+}
+
+func (e *Engine) runPipelined(n, depth, batch int) {
 	if n <= 0 {
 		return
 	}
 	if depth <= 0 {
 		depth = DefaultPipelineDepth
-	}
-	type pending struct {
-		p         *dsl.Prog
-		generated bool
 	}
 	prng := rand.New(rand.NewSource(int64(uint64(e.cfg.Seed) ^ pipelineSalt)))
 	pgen := gen.New(e.target, e.graph, prng, e.cfg.Gen)
@@ -423,11 +469,57 @@ func (e *Engine) RunPipelined(n, depth int) {
 			ch <- pending{p, generated}
 		}
 	}()
-	for item := range ch {
-		e.stepWith(item.p, item.generated)
+	bx, _ := e.x.(adb.BatchExecutor)
+	if batch > 1 && bx != nil {
+		e.consumeBatched(ch, bx, batch)
+	} else {
+		for item := range ch {
+			e.stepWith(item.p, item.generated)
+		}
 	}
 	e.acc.Snapshot(e.execs)
 }
+
+// consumeBatched drains the pipeline in batches: each program is
+// serialized exactly once (retries inside a resilient executor reuse the
+// same text), the batch executes remotely in summary mode, and every
+// result is fed back in order. Programs the batch failed to cover (a
+// transport error after retries, a broker rejection) are accounted as
+// ExecErrors, exactly like a failed singleton execution.
+func (e *Engine) consumeBatched(ch chan pending, bx adb.BatchExecutor, batch int) {
+	items := make([]pending, 0, batch)
+	texts := make([]string, 0, batch)
+	flush := func() {
+		if len(items) == 0 {
+			return
+		}
+		results, _ := bx.ExecBatch(adb.ExecBatchRequest{Progs: texts, Summary: true})
+		for i := range items {
+			var res *adb.ExecResult
+			var err error
+			if i < len(results) && results[i] != nil {
+				res = results[i]
+			} else {
+				err = errBatchShortfall
+			}
+			res, sig := e.afterExec(items[i].p, res, err)
+			e.feed(items[i].p, items[i].generated, res, sig)
+		}
+		items = items[:0]
+		texts = texts[:0]
+	}
+	for item := range ch {
+		items = append(items, item)
+		texts = append(texts, item.p.String())
+		if len(items) == batch {
+			flush()
+		}
+	}
+	flush()
+}
+
+// errBatchShortfall marks a batched program whose result never arrived.
+var errBatchShortfall = errors.New("engine: batched execution not acknowledged")
 
 // minimize reduces the program to the essential calls that still reproduce
 // all newly found signal elements (paper §IV-C: "minimize the call to the

@@ -270,15 +270,22 @@ func (s *Signal) addNgrams(seq []uint32, n int) {
 		return
 	}
 	for i := 0; i+n <= len(seq); i++ {
-		var h uint64 = fnvOffset64
-		h ^= uint64(n)
-		h *= fnvPrime64
-		for _, id := range seq[i : i+n] {
-			h ^= uint64(id)
-			h *= fnvPrime64
-		}
-		s.elems = append(s.elems, halNamespace|(h>>32<<16|h&0xffff))
+		s.elems = append(s.elems, ngramElem(seq, i, n))
 	}
+}
+
+// ngramElem hashes the n-length window of seq at i into its signal element.
+// Both the pooled Signal path and the streaming observe path derive n-gram
+// elements through this one function, so they cannot drift apart.
+func ngramElem(seq []uint32, i, n int) uint64 {
+	var h uint64 = fnvOffset64
+	h ^= uint64(n)
+	h *= fnvPrime64
+	for _, id := range seq[i : i+n] {
+		h ^= uint64(id)
+		h *= fnvPrime64
+	}
+	return halNamespace | (h>>32<<16 | h&0xffff)
 }
 
 // Accumulator tracks the maximal signal observed across a campaign and
@@ -345,6 +352,36 @@ func (a *Accumulator) MergeNew(s *Signal) *Signal {
 	// s is sorted and unique, so the filtered subset already is: no re-sort.
 	d.kernel, _ = slices.BinarySearch(d.elems, halNamespace)
 	return d
+}
+
+// observeExec folds one execution's signal elements — its kernel PCs and
+// the n-gram hashes of its specialized-ID sequence seq — straight into the
+// accumulated maximum, reporting whether anything was new. It derives the
+// exact element set FromExec would (PCs plus ngramElem windows) but skips
+// the Signal representation entirely: no sort, no dedup, no pooled set —
+// the map merge dedups for free. This is the uplink filter's hot path,
+// where per-execution novelty is the only question asked.
+func (a *Accumulator) observeExec(pcs []uint32, seq []uint32) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	novel := false
+	for _, pc := range pcs {
+		if _, ok := a.max[uint64(pc)]; !ok {
+			a.max[uint64(pc)] = struct{}{}
+			a.kernel++
+			novel = true
+		}
+	}
+	for _, n := range NgramOrders {
+		for i := 0; i+n <= len(seq); i++ {
+			e := ngramElem(seq, i, n)
+			if _, ok := a.max[e]; !ok {
+				a.max[e] = struct{}{}
+				novel = true
+			}
+		}
+	}
+	return novel
 }
 
 // HasNew reports whether s contains elements outside the accumulated

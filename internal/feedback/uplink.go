@@ -1,0 +1,47 @@
+package feedback
+
+import (
+	"sync"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/dsl"
+)
+
+// uplinkFilter mirrors a host engine's feedback pipeline on the broker
+// side of a transport connection: the same FromExec signal construction
+// over the same target's spec table, folded into an accumulator. Because
+// both ends observe the identical execution stream in the identical order,
+// the runtime-assigned specialization IDs line up and the filter's novelty
+// verdict matches what the host accumulator would compute from the full
+// trace — which is what makes it safe for summary-mode batches to withhold
+// the traces of executions the filter calls stale.
+//
+// The only intentional asymmetry: an engine running a reduced-signal
+// ablation (NoHALCov) tracks less than the filter does, so the filter can
+// only err on the side of shipping more — never of withholding signal the
+// host still needed.
+type uplinkFilter struct {
+	mu    sync.Mutex
+	table *SpecTable
+	acc   *Accumulator
+	seq   []uint32 // scratch: specialized-ID sequence, reused per Observe
+}
+
+// NewUplinkFilter returns an adb.UplinkFilter synced to engines fuzzing
+// the given target; the transport server builds one per served connection
+// (Server.NewFilter).
+func NewUplinkFilter(target *dsl.Target) adb.UplinkFilter {
+	return &uplinkFilter{table: NewSpecTable(target), acc: NewAccumulator()}
+}
+
+// Observe implements adb.UplinkFilter: fold the result into the
+// accumulated view and report whether it carried new signal. It runs on
+// the broker's per-frame serving path, so it takes the streaming
+// observeExec route — same element derivation as FromExec, none of the
+// sorted-set construction a Signal value needs.
+func (f *uplinkFilter) Observe(res *adb.ExecResult) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq = f.table.appendSequence(f.seq[:0], res.HALTrace)
+	return f.acc.observeExec(res.KernelCov, f.seq)
+}

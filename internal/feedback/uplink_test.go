@@ -1,0 +1,59 @@
+package feedback
+
+import (
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/drivers"
+	"droidfuzz/internal/dsl"
+)
+
+// TestUplinkFilterMatchesSignalPipeline pins the filter's streaming
+// observe path to the engine's pooled Signal path: over the same stream of
+// execution results, both must produce the same per-execution novelty
+// verdicts and accumulate the same totals. If either derivation drifts,
+// summary-mode elision would withhold signal the host still needed.
+func TestUplinkFilterMatchesSignalPipeline(t *testing.T) {
+	target, err := dsl.NewTarget(drivers.TCPCDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := NewUplinkFilter(target)
+	table := NewSpecTable(target)
+	acc := NewAccumulator()
+
+	// A result stream with repetition, fresh PCs mid-stream, and HAL traces
+	// whose n-grams mint directional elements (including runtime-assigned
+	// specialization IDs).
+	mkres := func(pcs []uint32, evs ...adb.TraceEvent) *adb.ExecResult {
+		return &adb.ExecResult{KernelCov: pcs, HALTrace: evs}
+	}
+	ioctl := func(arg uint64) adb.TraceEvent {
+		return adb.TraceEvent{NR: "ioctl", Path: "/dev/tcpc0", Arg: arg}
+	}
+	stream := []*adb.ExecResult{
+		mkres([]uint32{0x10, 0x20, 0x30}, ioctl(0xa102), ioctl(0xa103)),
+		mkres([]uint32{0x10, 0x20, 0x30}, ioctl(0xa102), ioctl(0xa103)), // exact repeat
+		mkres([]uint32{0x10, 0x40}, ioctl(0xa103), ioctl(0xa102)),       // new PC + new order
+		mkres([]uint32{0x40, 0x10}),                                     // stale PCs, no trace
+		mkres(nil, ioctl(0xa102), ioctl(0xa103), ioctl(0xa102)),         // new 2-gram only
+		mkres(nil, ioctl(0x9999)),                                       // runtime-assigned ID
+		mkres(nil, ioctl(0x9999)),                                       // now stale
+	}
+	for i, res := range stream {
+		got := filter.Observe(res)
+		sig := FromExec(res, table)
+		fresh := acc.MergeNew(sig)
+		want := fresh.Len() > 0
+		fresh.Release()
+		sig.Release()
+		if got != want {
+			t.Fatalf("exec %d: filter novelty %v, signal pipeline %v", i, got, want)
+		}
+	}
+	f := filter.(*uplinkFilter)
+	if f.acc.Total() != acc.Total() || f.acc.KernelTotal() != acc.KernelTotal() {
+		t.Fatalf("accumulated views diverged: filter %d/%d elements, pipeline %d/%d",
+			f.acc.KernelTotal(), f.acc.Total(), acc.KernelTotal(), acc.Total())
+	}
+}

@@ -41,3 +41,6 @@ func TestLegacyAndPooledSignalsAgree(t *testing.T) {
 		sig.Release()
 	}
 }
+
+func BenchmarkTransportLockstep(b *testing.B)      { TransportLockstep(b) }
+func BenchmarkTransportWindowedBatch(b *testing.B) { TransportWindowedBatch(b) }

@@ -1,0 +1,201 @@
+// PR 3 transport benchmarks: the v1 lock-step request/reply protocol
+// (one synchronous RPC per execution, full gob-encoded results) against the
+// wire protocol v2 fast path (windowed in-flight frames, batched execution,
+// delta-coded summary uplink). Both run over net.Pipe against the same stub
+// device, so the measured gap is pure protocol overhead: per-RPC handoffs
+// and uplink bytes, not device speed.
+package perf
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/feedback"
+)
+
+// countingRW wraps the device side of a transport stream and counts the
+// bytes the device writes — the uplink traffic (results and coverage
+// traces) the v2 summary encoding exists to shrink.
+type countingRW struct {
+	rw io.ReadWriter
+	n  atomic.Int64
+}
+
+func (c *countingRW) Read(p []byte) (int, error) { return c.rw.Read(p) }
+
+func (c *countingRW) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingRW) Close() error {
+	if cl, ok := c.rw.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// stubDevice is an Executor that replays the canned workload results
+// instead of simulating a device: execution is near-free, so the benchmark
+// isolates what the transport itself costs per execution.
+type stubDevice struct {
+	target  *dsl.Target
+	results []*adb.ExecResult
+	calls   atomic.Uint64
+}
+
+// newStubDevice derives per-call coverage attribution from the workload's
+// kernel traces, matching the shape real broker results have (the full
+// trace plus per-call slices of it).
+func newStubDevice(seed uint64) *stubDevice {
+	w := newWorkload(seed)
+	d := &stubDevice{target: mustTarget()}
+	for _, src := range w.results {
+		res := &adb.ExecResult{
+			KernelCov: src.KernelCov,
+			HALTrace:  src.HALTrace,
+		}
+		third := len(src.KernelCov) / 3
+		for i := 0; i < 3; i++ {
+			res.Calls = append(res.Calls, adb.CallResult{
+				Executed: true, Errno: "OK", Ret: uint64(i),
+				Cover: src.KernelCov[i*third : (i+1)*third],
+			})
+		}
+		d.results = append(d.results, res)
+	}
+	return d
+}
+
+// Exec serves a deep copy of the next canned result. The copy is required:
+// the transport server releases results into the shared pool after
+// encoding, and a pooled result aliasing the canned slices would corrupt
+// the workload on reuse.
+func (d *stubDevice) Exec(req adb.ExecRequest) (*adb.ExecResult, error) {
+	src := d.results[d.calls.Add(1)%uint64(len(d.results))]
+	res := &adb.ExecResult{
+		KernelCov: append([]uint32(nil), src.KernelCov...),
+		HALTrace:  append([]adb.TraceEvent(nil), src.HALTrace...),
+	}
+	for _, c := range src.Calls {
+		res.Calls = append(res.Calls, adb.CallResult{
+			Executed: c.Executed, Errno: c.Errno, Ret: c.Ret,
+			Cover: append([]uint32(nil), c.Cover...),
+		})
+	}
+	return res, nil
+}
+
+func (d *stubDevice) ExecProg(p *dsl.Prog) (*adb.ExecResult, error) {
+	return d.Exec(adb.ExecRequest{})
+}
+
+func (d *stubDevice) Reboot() error           { return nil }
+func (d *stubDevice) Ping() error             { return nil }
+func (d *stubDevice) Info() (adb.Info, error) { return adb.Info{ModelID: "bench"}, nil }
+func (d *stubDevice) Target() *dsl.Target     { return d.target }
+
+// transportRig is one host/device transport pair over net.Pipe with uplink
+// byte accounting on the device side.
+type transportRig struct {
+	conn *adb.Conn
+	up   *countingRW
+}
+
+// newTransportRig wires a stub device behind a transport server. With
+// filtered set, the server builds a real feedback uplink filter per
+// connection, enabling summary-mode elision exactly as droidbrokerd does.
+func newTransportRig(b *testing.B, window, frame int, filtered bool) *transportRig {
+	b.Helper()
+	dev := newStubDevice(3)
+	host, devEnd := net.Pipe()
+	up := &countingRW{rw: devEnd}
+	srv := &adb.Server{X: dev}
+	if filtered {
+		srv.NewFilter = func() adb.UplinkFilter { return feedback.NewUplinkFilter(dev.target) }
+	}
+	go srv.Serve(up)
+	conn := adb.Dial(host)
+	conn.SetWindow(window)
+	conn.SetBatchFrame(frame)
+	b.Cleanup(func() { conn.Close(); devEnd.Close() })
+	return &transportRig{conn: conn, up: up}
+}
+
+// warmExecs is how many executions each benchmark runs before the timer
+// starts: enough for every workload variant to cross the wire several
+// times, so the summary filter's view (and the result pool) is in steady
+// state when measurement begins.
+const warmExecs = 64
+
+// TransportLockstep measures the v1 protocol shape: one synchronous Exec
+// round trip per execution, the full result gob-encoded on the uplink.
+// Reported as round trips per second and uplink bytes per execution.
+func TransportLockstep(b *testing.B) {
+	rig := newTransportRig(b, 1, 1, false)
+	for i := 0; i < warmExecs; i++ {
+		res, err := rig.conn.Exec(adb.ExecRequest{ProgText: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	rig.up.n.Store(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rig.conn.Exec(adb.ExecRequest{ProgText: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/sec")
+	b.ReportMetric(float64(rig.up.n.Load())/float64(b.N), "uplinkB/exec")
+}
+
+// TransportWindowedBatch measures the v2 fast path: batched frames through
+// an in-flight window with the delta-coded, interesting-only summary
+// uplink. The workload repeats a fixed variant set, so past warm-up nearly
+// every execution is elided — the steady state of a fuzzing campaign, where
+// new signal is rare.
+func TransportWindowedBatch(b *testing.B) {
+	rig := newTransportRig(b, adb.DefaultWindow, adb.DefaultBatchFrame, true)
+	progs := make([]string, 256)
+	for i := range progs {
+		progs[i] = "bench"
+	}
+	flush := func(n int) {
+		results, err := rig.conn.ExecBatch(adb.ExecBatchRequest{Progs: progs[:n], Summary: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res == nil {
+				b.Fatal("batched execution dropped")
+			}
+			res.Release()
+		}
+	}
+	flush(warmExecs)
+	rig.up.n.Store(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := len(progs)
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		flush(n)
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/sec")
+	b.ReportMetric(float64(rig.up.n.Load())/float64(b.N), "uplinkB/exec")
+}

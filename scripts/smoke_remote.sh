@@ -2,7 +2,9 @@
 # Loopback smoke test for the remote executor boundary: start droidbrokerd
 # serving two virtual devices on TCP, run a short droidfleet campaign
 # against it in -remote mode, assert the campaign executed work on every
-# engine with zero transport errors, and shut the daemon down cleanly.
+# engine with zero transport errors, then run a second campaign in
+# windowed-batch mode (wire protocol v2) and assert the summary uplink
+# actually saved coverage bytes, before shutting the daemon down cleanly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,6 +65,47 @@ awk '
 if ! grep -q '"exec_errors": 0' "$WORK/status.json"; then
     echo "FAIL: status report shows transport errors" >&2
     cat "$WORK/status.json" >&2
+    exit 1
+fi
+
+# Second campaign: wire protocol v2 — pipelined generation feeding batched
+# frames through a bounded in-flight window, with the delta-coded summary
+# uplink. The per-connection wire accounting must show batched executions
+# and a nonzero bytes-saved counter on every engine.
+"$WORK/droidfleet" -remote "$ADDR1,$ADDR2" -iters 600 -rounds 2 \
+    -pipeline 4 -batch 32 -window 8 \
+    -status "$WORK/status_batch.json" | tee "$WORK/fleet_batch.log"
+
+awk '
+    /execs=/ && !/^  wire/ {
+        id = $1
+        for (i = 1; i <= NF; i++) {
+            if ($i ~ /^execs=/)    { split($i, a, "="); if (a[2] + 0 > execs[id]) execs[id] = a[2] + 0 }
+            if ($i ~ /^execerrs=/) { split($i, a, "="); if (a[2] + 0 != 0) errs++ }
+        }
+    }
+    /^  wire / {
+        id = $2
+        wires++
+        for (i = 1; i <= NF; i++) {
+            if ($i ~ /^batched=/) { split($i, a, "="); if (a[2] + 0 == 0) { print "FAIL: engine " id " shipped no batched execs"; exit 1 } }
+            if ($i ~ /^saved=/)   { split($i, a, "="); if (a[2] + 0 == 0) { print "FAIL: engine " id " saved no uplink bytes"; exit 1 } }
+        }
+    }
+    END {
+        n = 0
+        for (id in execs) {
+            n++
+            if (execs[id] < 600) { print "FAIL: engine " id " fell short of 600 execs in batch mode"; exit 1 }
+        }
+        if (n < 2)     { print "FAIL: fewer than 2 engines reported stats in batch mode"; exit 1 }
+        if (errs > 0)  { print "FAIL: transport errors during batched smoke"; exit 1 }
+        if (wires < 2) { print "FAIL: fewer than 2 wire-accounting lines printed"; exit 1 }
+    }
+' "$WORK/fleet_batch.log"
+if ! grep -q '"exec_errors": 0' "$WORK/status_batch.json"; then
+    echo "FAIL: batched status report shows transport errors" >&2
+    cat "$WORK/status_batch.json" >&2
     exit 1
 fi
 
