@@ -1,17 +1,27 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json smoke check clean
+.PHONY: all build vet test race sanitize bench bench-json smoke check clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# vet runs the toolchain's vet followed by droidvet, the project-specific
+# analyzer (determinism, pool lifecycles, lock order, wire-frame layout).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/droidvet ./...
 
 test:
 	$(GO) test ./...
+
+# sanitize runs the full suite with the droidfuzz_sanitize build tag:
+# checked pools (double-Put / use-after-put panic at the faulting line),
+# relation-graph invariant checks after every Learn/Decay, and wire-frame
+# round-trip verification in the transport server.
+sanitize:
+	$(GO) test -tags droidfuzz_sanitize ./...
 
 # race runs the full suite under the race detector; the daemon package's
 # worker-pool and pipelined-run tests are the main customers.
@@ -34,7 +44,7 @@ bench-json:
 smoke:
 	./scripts/smoke_remote.sh
 
-check: build vet race
+check: build vet race sanitize
 
 clean:
 	$(GO) clean ./...

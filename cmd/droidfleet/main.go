@@ -64,7 +64,7 @@ func main() {
 		devices: *devices, remote: *remote,
 		iters: *iters, seed: *seed, workers: *workers,
 		pipeline: *pipeline, batch: *batch, window: *window,
-		rounds: *rounds,
+		rounds:    *rounds,
 		corpusDir: *corpusDir, statusOut: *statusOut,
 	}
 	if err := run(cfg); err != nil {

@@ -1,0 +1,96 @@
+// Command droidvet runs DroidFuzz's project-specific static checks: the
+// determinism, poolcheck, lockorder, and taggedfield passes over the whole
+// module. It exits nonzero when any un-waived finding survives, which makes
+// it a CI gate (`make vet` runs it after `go vet`).
+//
+// Usage:
+//
+//	droidvet [-C dir] [package-pattern]
+//	droidvet -update-wire
+//
+// The only accepted package pattern today is "./..." (the passes are
+// whole-program by construction — closures and call graphs need every
+// package anyway); it is accepted so the invocation reads like go vet.
+//
+// -update-wire regenerates the wire-frame layout manifest
+// (internal/adb/wire.lock) from the current tree instead of checking it.
+// Run it, and commit the result, whenever a wire-protocol change is
+// deliberate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"droidfuzz/internal/analysis"
+)
+
+func main() {
+	chdir := flag.String("C", "", "run as if started in `dir`")
+	updateWire := flag.Bool("update-wire", false, "regenerate the wire-frame manifest instead of checking it")
+	flag.Parse()
+
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "droidvet: unsupported package pattern %q (the passes are whole-module; use ./... or nothing)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	dir := *chdir
+	if dir == "" {
+		dir = "."
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "droidvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "droidvet: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := analysis.DefaultConfig()
+
+	if *updateWire {
+		manifest := analysis.WireManifest(prog, cfg)
+		path := filepath.Join(root, filepath.FromSlash(cfg.WireManifest))
+		if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "droidvet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("droidvet: wrote %s\n", path)
+		return
+	}
+
+	diags := analysis.Analyze(prog, cfg)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "droidvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -178,7 +178,8 @@ func (b *Broker) Execs() uint64 {
 	return b.execs
 }
 
-// Exec implements Executor: parse, run, collect.
+// Exec implements Executor: parse, run, collect. The result is pooled;
+// ownership transfers to the caller, who must Release it when done.
 func (b *Broker) Exec(req ExecRequest) (*ExecResult, error) {
 	b.mu.Lock()
 	target := b.target
@@ -195,7 +196,8 @@ func (b *Broker) Exec(req ExecRequest) (*ExecResult, error) {
 // ExecBatch implements BatchExecutor in-process: the programs run back to
 // back in order, a nil entry marking each one that failed (bad program,
 // injected fault). Summary mode is meaningless without a wire and is
-// ignored — results are always exact.
+// ignored — results are always exact. Every non-nil result is pooled and
+// owned by the caller (Release each when done).
 func (b *Broker) ExecBatch(req ExecBatchRequest) ([]*ExecResult, error) {
 	out := make([]*ExecResult, len(req.Progs))
 	for i, text := range req.Progs {
@@ -213,12 +215,16 @@ func (b *Broker) ExecBatch(req ExecBatchRequest) ([]*ExecResult, error) {
 type resTable struct {
 	vals []uint64
 	set  []bool
+	san  sanState // zero-sized unless built with -tags droidfuzz_sanitize
 }
 
 var resPool = sync.Pool{New: func() any { return new(resTable) }}
 
+// getResTable hands out a pooled table sized for n results; the caller
+// owns it and must release() it after the execution completes.
 func getResTable(n int) *resTable {
 	t := resPool.Get().(*resTable)
+	t.san.acquire()
 	if cap(t.vals) < n {
 		t.vals = make([]uint64, n)
 		t.set = make([]bool, n)
@@ -233,13 +239,17 @@ func getResTable(n int) *resTable {
 }
 
 func (t *resTable) put(i int, v uint64) {
+	t.san.alive("adb.resTable.put")
 	if i >= 0 && i < len(t.vals) {
 		t.vals[i] = v
 		t.set[i] = true
 	}
 }
 
-func (t *resTable) release() { resPool.Put(t) }
+func (t *resTable) release() {
+	t.san.release("adb.resTable", sanCaller())
+	resPool.Put(t)
+}
 
 // ExecProg runs an already-parsed program (the in-process fast path the
 // fuzzing engine uses; the transport path goes through Exec). The returned
@@ -256,6 +266,7 @@ func (b *Broker) ExecProg(prog *dsl.Prog) (*ExecResult, error) {
 	b.probe.Reset()
 
 	res := resultPool.Get().(*ExecResult)
+	res.san.acquire()
 	res.prepare(len(prog.Calls))
 	resources := getResTable(len(prog.Calls))
 	defer resources.release()
@@ -307,6 +318,7 @@ func (b *Broker) ExecProg(prog *dsl.Prog) (*ExecResult, error) {
 // resolve returns the concrete value for a resource argument: the producing
 // call's recorded result, or a deliberately bogus handle when invalid.
 func resolve(resources *resTable, a dsl.Arg) uint64 {
+	resources.san.alive("adb.resolve(resTable)")
 	if a.Ref < 0 || a.Ref >= len(resources.vals) || !resources.set[a.Ref] {
 		return 0xbadf00d
 	}

@@ -168,7 +168,10 @@ func (r *Resilient) get() (*Conn, error) {
 	if r.conn != nil {
 		return r.conn, nil
 	}
-	if now := time.Now(); now.Before(r.downUntil) {
+	// Reconnect backoff is wall-clock by nature: it gates transport
+	// redials, never a fuzzing decision, and replay runs in-process
+	// without a Resilient client at all.
+	if now := time.Now(); now.Before(r.downUntil) { //droidvet:nondet wall-clock backoff gate
 		return nil, fmt.Errorf("%w: %s down, retry in %v",
 			ErrTransport, r.addr, r.downUntil.Sub(now).Round(time.Millisecond))
 	}
@@ -205,7 +208,7 @@ func (r *Resilient) noteFailureLocked() {
 	if r.failStreak < 30 {
 		r.failStreak++
 	}
-	r.downUntil = time.Now().Add(d)
+	r.downUntil = time.Now().Add(d) //droidvet:nondet wall-clock backoff arm
 }
 
 // drop discards a connection after a transport failure (unless a newer
@@ -243,7 +246,8 @@ func (r *Resilient) do(op func(c *Conn) error) error {
 	return err
 }
 
-// Exec implements Executor with reconnect-and-retry.
+// Exec implements Executor with reconnect-and-retry. The pooled result is
+// owned by the caller, who must Release it.
 func (r *Resilient) Exec(req ExecRequest) (res *ExecResult, err error) {
 	err = r.do(func(c *Conn) error {
 		res, err = c.Exec(req)
@@ -253,7 +257,8 @@ func (r *Resilient) Exec(req ExecRequest) (res *ExecResult, err error) {
 }
 
 // ExecProg implements Executor: the program is serialized once, before the
-// retry loop, and the same text crosses the wire on every attempt.
+// retry loop, and the same text crosses the wire on every attempt. The
+// pooled result is owned by the caller, who must Release it.
 func (r *Resilient) ExecProg(p *dsl.Prog) (*ExecResult, error) {
 	return r.Exec(ExecRequest{ProgText: p.String()})
 }
@@ -263,7 +268,8 @@ func (r *Resilient) ExecProg(p *dsl.Prog) (*ExecResult, error) {
 // only the unacknowledged tail of the window is resubmitted on the fresh
 // connection — acknowledged results are never re-executed. The returned
 // slice aligns index-for-index with req.Progs up to where execution got;
-// nil entries mark broker-rejected programs.
+// nil entries mark broker-rejected programs. Non-nil results are pooled
+// and owned by the caller (Release each when done).
 func (r *Resilient) ExecBatch(req ExecBatchRequest) ([]*ExecResult, error) {
 	out := make([]*ExecResult, 0, len(req.Progs))
 	remaining := req.Progs

@@ -66,6 +66,10 @@ type ExecResult struct {
 	Wedged bool
 	// HALDead reports that at least one HAL process crashed.
 	HALDead bool
+
+	// san tracks the pooled lifecycle; zero-sized unless built with
+	// -tags droidfuzz_sanitize. Unexported, so gob never encodes it.
+	san sanState
 }
 
 // resultPool recycles ExecResults between executions: the broker draws from
@@ -78,6 +82,7 @@ var resultPool = sync.Pool{New: func() any { return new(ExecResult) }}
 // GetResult returns a pooled, empty ExecResult.
 func GetResult() *ExecResult {
 	r := resultPool.Get().(*ExecResult)
+	r.san.acquire()
 	r.prepare(0)
 	return r
 }
@@ -90,6 +95,7 @@ func (r *ExecResult) Release() {
 	if r == nil {
 		return
 	}
+	r.san.release("adb.ExecResult", sanCaller())
 	resultPool.Put(r)
 }
 
@@ -117,9 +123,15 @@ func (r *ExecResult) prepare(n int) {
 }
 
 // Crashed reports whether any incident was observed.
-func (r *ExecResult) Crashed() bool { return len(r.Crashes) > 0 }
+func (r *ExecResult) Crashed() bool {
+	r.san.alive("adb.ExecResult.Crashed")
+	return len(r.Crashes) > 0
+}
 
 // NeedsReboot reports whether the harness must reboot the device before the
 // next execution (fatal kernel state or a dead HAL process, per the paper's
 // reboot-on-bug configuration).
-func (r *ExecResult) NeedsReboot() bool { return r.Wedged || r.HALDead }
+func (r *ExecResult) NeedsReboot() bool {
+	r.san.alive("adb.ExecResult.NeedsReboot")
+	return r.Wedged || r.HALDead
+}

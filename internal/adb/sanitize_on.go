@@ -1,0 +1,104 @@
+//go:build droidfuzz_sanitize
+
+package adb
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
+const SanitizeEnabled = true
+
+// sanState is the checked-pool lifecycle tracker embedded in the pooled
+// execution-result types when the droidfuzz_sanitize tag is set. The
+// generation counter's low bit encodes liveness (even = live, odd =
+// released); each release records its call site so double-Put and
+// use-after-put panics can name the line that returned the object.
+type sanState struct {
+	gen   uint32
+	putAt string
+}
+
+func (s *sanState) acquire() {
+	if s.gen&1 == 1 {
+		s.gen++
+	}
+	s.putAt = ""
+}
+
+func (s *sanState) release(what, at string) {
+	if s.gen&1 == 1 {
+		panic(fmt.Sprintf("droidfuzz_sanitize: double-Put of %s: first released at %s, released again at %s", what, s.putAt, at))
+	}
+	s.gen++
+	s.putAt = at
+}
+
+func (s *sanState) alive(what string) {
+	if s.gen&1 == 1 {
+		panic(fmt.Sprintf("droidfuzz_sanitize: use-after-put: %s called on an object released at %s", what, s.putAt))
+	}
+}
+
+// sanCaller reports the file:line of the caller's caller — the user code
+// invoking Release — for the release record.
+func sanCaller() string {
+	_, file, line, ok := runtime.Caller(2)
+	if !ok {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// sanitizeWireResult asserts the delta-coded wire encoding of res decodes
+// back to the same feedback: same call outcomes, kernel trace, HAL trace,
+// and crash set. It runs on the server right after encode, while the
+// original is still live, so any framing bug is caught at its source
+// rather than as corrupt coverage on the host. Elided and errored frames
+// carry no trace to compare.
+func sanitizeWireResult(w *WireResult, res *ExecResult) {
+	if w.Err != "" || w.Elided {
+		return
+	}
+	back, err := w.decode()
+	if err != nil {
+		panic(fmt.Sprintf("droidfuzz_sanitize: wire frame does not decode back: %v", err))
+	}
+	defer back.Release()
+	if len(back.Calls) != len(res.Calls) {
+		panic(fmt.Sprintf("droidfuzz_sanitize: wire round-trip changed call count: %d -> %d", len(res.Calls), len(back.Calls)))
+	}
+	for i := range res.Calls {
+		a, b := &res.Calls[i], &back.Calls[i]
+		if a.Executed != b.Executed || a.Errno != b.Errno || a.Ret != b.Ret || !equalU32(a.Cover, b.Cover) {
+			panic(fmt.Sprintf("droidfuzz_sanitize: wire round-trip changed call %d (executed/errno/ret/cover)", i))
+		}
+	}
+	if !equalU32(res.KernelCov, back.KernelCov) {
+		panic(fmt.Sprintf("droidfuzz_sanitize: wire round-trip changed kernel trace: %d PCs -> %d", len(res.KernelCov), len(back.KernelCov)))
+	}
+	if len(back.HALTrace) != len(res.HALTrace) {
+		panic(fmt.Sprintf("droidfuzz_sanitize: wire round-trip changed HAL trace length: %d -> %d", len(res.HALTrace), len(back.HALTrace)))
+	}
+	for i := range res.HALTrace {
+		if res.HALTrace[i] != back.HALTrace[i] {
+			panic(fmt.Sprintf("droidfuzz_sanitize: wire round-trip changed HAL trace event %d", i))
+		}
+	}
+	if len(back.Crashes) != len(res.Crashes) || back.Wedged != res.Wedged || back.HALDead != res.HALDead {
+		panic("droidfuzz_sanitize: wire round-trip changed crash/wedge state")
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

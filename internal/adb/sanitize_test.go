@@ -1,0 +1,97 @@
+//go:build droidfuzz_sanitize
+
+package adb
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		f()
+	}()
+	if msg == "" {
+		t.Fatal("expected a droidfuzz_sanitize panic, got none")
+	}
+	return msg
+}
+
+// TestExecResultDoublePutPanics: the pooled execution result must reject a
+// second Release with a message naming where it was first given away.
+func TestExecResultDoublePutPanics(t *testing.T) {
+	r := GetResult()
+	r.Release()
+	msg := mustPanic(t, func() { r.Release() })
+	if !strings.Contains(msg, "double-Put") || !strings.Contains(msg, "adb.ExecResult") {
+		t.Fatalf("unhelpful panic message: %q", msg)
+	}
+	if !strings.Contains(msg, "sanitize_test.go:") {
+		t.Fatalf("panic message does not name the release call site: %q", msg)
+	}
+}
+
+// TestExecResultUseAfterPutPanics: reading feedback from a released result
+// is the exact aliasing bug the pool makes possible; the sanitizer must
+// name both the accessor and the release site.
+func TestExecResultUseAfterPutPanics(t *testing.T) {
+	r := GetResult()
+	r.Release()
+	msg := mustPanic(t, func() { _ = r.Crashed() })
+	if !strings.Contains(msg, "use-after-put") || !strings.Contains(msg, "adb.ExecResult.Crashed") {
+		t.Fatalf("unhelpful panic message: %q", msg)
+	}
+	if !strings.Contains(msg, "sanitize_test.go:") {
+		t.Fatalf("panic message does not name the release call site: %q", msg)
+	}
+
+	r2 := GetResult()
+	r2.Release()
+	msg = mustPanic(t, func() { _ = r2.NeedsReboot() })
+	if !strings.Contains(msg, "use-after-put") {
+		t.Fatalf("NeedsReboot on released result did not report use-after-put: %q", msg)
+	}
+}
+
+// TestResTableDoublePutPanics: the broker-internal result table has the
+// same checked lifecycle as the public pooled types.
+func TestResTableDoublePutPanics(t *testing.T) {
+	rt := getResTable(4)
+	rt.release()
+	msg := mustPanic(t, func() { rt.release() })
+	if !strings.Contains(msg, "double-Put") || !strings.Contains(msg, "adb.resTable") {
+		t.Fatalf("unhelpful panic message: %q", msg)
+	}
+}
+
+// TestResTableUseAfterPutPanics: writing a call result into a released
+// table would leak it into the next execution's resolution.
+func TestResTableUseAfterPutPanics(t *testing.T) {
+	rt := getResTable(4)
+	rt.release()
+	msg := mustPanic(t, func() { rt.put(0, 42) })
+	if !strings.Contains(msg, "use-after-put") || !strings.Contains(msg, "adb.resTable.put") {
+		t.Fatalf("unhelpful panic message: %q", msg)
+	}
+}
+
+// TestPooledReuseIsClean: a normal get→use→release cycle never trips the
+// sanitizer, across enough iterations to guarantee pool reuse.
+func TestPooledReuseIsClean(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		r := GetResult()
+		_ = r.Crashed()
+		_ = r.NeedsReboot()
+		r.Release()
+		rt := getResTable(3)
+		rt.put(1, uint64(i))
+		rt.release()
+	}
+}

@@ -341,7 +341,9 @@ func (c *Conn) fail(err error) {
 	stale := c.pending
 	c.pending = make(map[uint64]*pendingCall, 1)
 	c.mu.Unlock()
-	for _, pc := range stale {
+	// Every stale call gets the same terminal error; delivery order among
+	// already-failed RPCs is unobservable to callers.
+	for _, pc := range stale { //droidvet:nondet order-independent failure fan-out
 		pc.err = err
 		close(pc.done)
 		<-c.slots
@@ -360,7 +362,9 @@ func (c *Conn) roundTrip(req rpcRequest) (rpcReply, error) {
 // Exec implements Executor over the transport. Singleton executions always
 // carry the exact, uncompressed result — minimization and crash triage
 // depend on it; the batched path (ExecBatch) is where the wire-efficient
-// encoding lives.
+// encoding lives. The decoded result is pooled on the broker side only —
+// on this side it is freshly gob-allocated, but callers should still
+// Release it so pooling works when the executor is in-process.
 func (c *Conn) Exec(req ExecRequest) (*ExecResult, error) {
 	rep, err := c.roundTrip(rpcRequest{Exec: &req})
 	if err != nil {
@@ -374,7 +378,8 @@ func (c *Conn) Exec(req ExecRequest) (*ExecResult, error) {
 
 // ExecProg implements Executor: the program crosses the wire in its
 // canonical text form and is re-parsed by the device-side broker (the
-// round trip is lossless).
+// round trip is lossless). As with Exec, the caller owns the result and
+// should Release it.
 func (c *Conn) ExecProg(p *dsl.Prog) (*ExecResult, error) {
 	return c.Exec(ExecRequest{ProgText: p.String()})
 }

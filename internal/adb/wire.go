@@ -235,6 +235,7 @@ func (c *Conn) noteWire(rep *ExecBatchReply) {
 // unacknowledged tail is the caller's to retry (Resilient does exactly
 // that). A nil entry marks a program the broker rejected; the slice always
 // aligns index-for-index with the acknowledged prefix of req.Progs.
+// Non-nil results are pooled and owned by the caller (Release each).
 func (c *Conn) ExecBatch(req ExecBatchRequest) ([]*ExecResult, error) {
 	n := len(req.Progs)
 	if n == 0 {
@@ -313,6 +314,7 @@ func (s *Server) execBatch(st *connState, req *ExecBatchRequest) *ExecBatchReply
 		elide := req.Summary && st.filter != nil && !novel &&
 			!res.Crashed() && !res.NeedsReboot()
 		raw, wire := rep.Results[i].encode(res, elide)
+		sanitizeWireResult(&rep.Results[i], res)
 		st.stats.Execs++
 		st.stats.CovRawBytes += raw
 		st.stats.CovWireBytes += wire
@@ -330,7 +332,8 @@ func (s *Server) execBatch(st *connState, req *ExecBatchRequest) *ExecBatchReply
 
 // execOne runs one batched program with the same panic guard the
 // per-request handler has: one hostile program must not take down the
-// whole frame.
+// whole frame. The pooled result is owned by the caller, who Releases it
+// after encoding the reply frame.
 func (s *Server) execOne(text string) (res *ExecResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {

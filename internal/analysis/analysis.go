@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Pass names, used both for dispatch and as waiver keys.
+const (
+	PassDeterminism = "nondet"
+	PassPoolcheck   = "poolcheck"
+	PassLockorder   = "lockorder"
+	PassTaggedField = "wire"
+)
+
+// Diagnostic is one droidvet finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
+}
+
+// PooledType names one pooled object type and its release method: poolcheck
+// tracks values of this type through Get/Release lifecycles.
+type PooledType struct {
+	// TypePath is the fully qualified named type, "pkgpath.Name".
+	TypePath string
+	// ReleaseMethod is the method that returns the value to its pool.
+	ReleaseMethod string
+	// PoolVars are package-level sync.Pool variables whose Put calls count
+	// as releases of this type ("pkgpath.varname").
+	PoolVars []string
+}
+
+// Config selects what the passes enforce. The zero value runs nothing; use
+// DefaultConfig for the DroidFuzz production rules.
+type Config struct {
+	// DeterminismRoots are the package paths whose transitive module-internal
+	// import closure must stay deterministic (serial-mode replay).
+	DeterminismRoots []string
+	// Pooled lists the pool-recycled types poolcheck tracks.
+	Pooled []PooledType
+	// LockTypes are the fully qualified struct types whose mutex acquisition
+	// order lockorder records and checks for inversions.
+	LockTypes []string
+	// WireRoots are the fully qualified struct types rooting the wire-frame
+	// closure taggedfield fingerprints.
+	WireRoots []string
+	// WireManifest is the path of the committed frame-layout manifest
+	// (relative paths resolve against the module root). Empty disables the
+	// manifest comparison; interface-member checks still run.
+	WireManifest string
+}
+
+// DefaultConfig returns the production rule set for the droidfuzz module.
+func DefaultConfig() Config {
+	return Config{
+		DeterminismRoots: []string{
+			"droidfuzz/internal/engine",
+			"droidfuzz/internal/gen",
+			"droidfuzz/internal/relation",
+			"droidfuzz/internal/dsl",
+		},
+		Pooled: []PooledType{
+			{
+				TypePath:      "droidfuzz/internal/feedback.Signal",
+				ReleaseMethod: "Release",
+				PoolVars:      []string{"droidfuzz/internal/feedback.signalPool"},
+			},
+			{
+				TypePath:      "droidfuzz/internal/adb.ExecResult",
+				ReleaseMethod: "Release",
+				PoolVars:      []string{"droidfuzz/internal/adb.resultPool"},
+			},
+			{
+				TypePath:      "droidfuzz/internal/adb.resTable",
+				ReleaseMethod: "release",
+				PoolVars:      []string{"droidfuzz/internal/adb.resPool"},
+			},
+		},
+		LockTypes: []string{
+			"droidfuzz/internal/adb.Conn",
+			"droidfuzz/internal/feedback.SpecTable",
+			"droidfuzz/internal/daemon.Daemon",
+			"droidfuzz/internal/relation.Graph",
+		},
+		WireRoots: []string{
+			"droidfuzz/internal/adb.rpcRequest",
+			"droidfuzz/internal/adb.rpcReply",
+		},
+		WireManifest: "internal/adb/wire.lock",
+	}
+}
+
+// Analyze runs every configured pass over the loaded program and returns
+// the surviving (un-waived) findings sorted by position.
+func Analyze(prog *Program, cfg Config) []Diagnostic {
+	w := collectWaivers(prog)
+	var diags []Diagnostic
+	diags = append(diags, checkDeterminism(prog, cfg)...)
+	diags = append(diags, checkPools(prog, cfg)...)
+	diags = append(diags, checkLockOrder(prog, cfg)...)
+	diags = append(diags, checkWireFrames(prog, cfg)...)
+	diags = w.filter(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// waivers records //droidvet:<pass> comments. A waiver suppresses findings
+// of its pass on the comment's own line and on the immediately following
+// line (so it can ride at end-of-line or stand alone above the statement).
+// The file-scoped form //droidvet:<pass>-file waives the whole file.
+type waivers struct {
+	// line maps file -> pass -> waived line set.
+	line map[string]map[string]map[int]bool
+	// file maps file -> pass -> waived.
+	file map[string]map[string]bool
+}
+
+func collectWaivers(prog *Program) *waivers {
+	w := &waivers{
+		line: make(map[string]map[string]map[int]bool),
+		file: make(map[string]map[string]bool),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					w.add(prog.Fset, c)
+				}
+			}
+		}
+	}
+	return w
+}
+
+func (w *waivers) add(fset *token.FileSet, c *ast.Comment) {
+	const marker = "droidvet:"
+	text := c.Text
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return
+	}
+	word := text[i+len(marker):]
+	if j := strings.IndexAny(word, " \t"); j >= 0 {
+		word = word[:j]
+	}
+	pos := fset.Position(c.Pos())
+	if pass, ok := strings.CutSuffix(word, "-file"); ok {
+		byPass := w.file[pos.Filename]
+		if byPass == nil {
+			byPass = make(map[string]bool)
+			w.file[pos.Filename] = byPass
+		}
+		byPass[pass] = true
+		return
+	}
+	byPass := w.line[pos.Filename]
+	if byPass == nil {
+		byPass = make(map[string]map[int]bool)
+		w.line[pos.Filename] = byPass
+	}
+	lines := byPass[word]
+	if lines == nil {
+		lines = make(map[int]bool)
+		byPass[word] = lines
+	}
+	lines[pos.Line] = true
+	lines[pos.Line+1] = true
+}
+
+func (w *waivers) waived(d Diagnostic) bool {
+	if w.file[d.Pos.Filename][d.Pass] {
+		return true
+	}
+	return w.line[d.Pos.Filename][d.Pass][d.Pos.Line]
+}
+
+func (w *waivers) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !w.waived(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// lookupNamed resolves "pkgpath.Name" to its named type's struct object, or
+// nil when the package or type is absent (configs may name types that only
+// exist in some trees, e.g. the testdata fixtures).
+func lookupNamed(prog *Program, typePath string) *types.TypeName {
+	dot := strings.LastIndex(typePath, ".")
+	if dot < 0 {
+		return nil
+	}
+	pkg, ok := prog.Pkgs[typePath[:dot]]
+	if !ok || pkg.Types == nil {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup(typePath[dot+1:])
+	tn, _ := obj.(*types.TypeName)
+	return tn
+}
+
+// lookupVar resolves "pkgpath.varname" to its package-level variable.
+func lookupVar(prog *Program, varPath string) *types.Var {
+	dot := strings.LastIndex(varPath, ".")
+	if dot < 0 {
+		return nil
+	}
+	pkg, ok := prog.Pkgs[varPath[:dot]]
+	if !ok || pkg.Types == nil {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup(varPath[dot+1:])
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// closure computes the transitive module-internal import closure of roots.
+func closure(prog *Program, roots []string) map[string]bool {
+	seen := make(map[string]bool)
+	var walk func(path string)
+	walk = func(path string) {
+		if seen[path] {
+			return
+		}
+		pkg, ok := prog.Pkgs[path]
+		if !ok {
+			return
+		}
+		seen[path] = true
+		for _, imp := range pkg.Imports {
+			walk(imp)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return seen
+}
+
+// funcFor returns the *types.Func declared by decl, or nil.
+func funcFor(pkg *Package, decl *ast.FuncDecl) *types.Func {
+	obj := pkg.Info.Defs[decl.Name]
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// calleeOf resolves a call expression to its static callee, or nil for
+// dynamic calls (interface methods, function values, conversions).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok && sel.Kind() == types.MethodVal {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

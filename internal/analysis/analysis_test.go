@@ -1,0 +1,204 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"droidfuzz/internal/analysis"
+)
+
+// loadFixture loads the vettest module under testdata, a miniature tree
+// seeding at least one violation of every pass.
+func loadFixture(t *testing.T) *analysis.Program {
+	t.Helper()
+	prog, err := analysis.Load(filepath.Join("testdata", "vettest"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	return prog
+}
+
+func fixtureConfig() analysis.Config {
+	return analysis.Config{
+		DeterminismRoots: []string{"vettest/det"},
+		Pooled: []analysis.PooledType{{
+			TypePath:      "vettest/pool.Obj",
+			ReleaseMethod: "Release",
+			PoolVars:      []string{"vettest/pool.objPool"},
+		}},
+		LockTypes: []string{"vettest/locks.A", "vettest/locks.B"},
+		WireRoots: []string{"vettest/wire.Frame"},
+		// No manifest by default; TestWireManifestLifecycle covers it.
+	}
+}
+
+// matching returns the diagnostics of a pass whose file basename and
+// message match.
+func matching(diags []analysis.Diagnostic, pass, file, substr string) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Pass != pass {
+			continue
+		}
+		if file != "" && filepath.Base(d.Pos.Filename) != file {
+			continue
+		}
+		if substr != "" && !strings.Contains(d.Message, substr) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func dump(t *testing.T, diags []analysis.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		t.Logf("  %s", d)
+	}
+}
+
+func TestDeterminismPassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	for _, want := range []string{"time.Now", "time.Since", "math/rand", "map iteration order"} {
+		if len(matching(diags, analysis.PassDeterminism, "det.go", want)) == 0 {
+			dump(t, diags)
+			t.Errorf("seeded %q violation not reported", want)
+		}
+	}
+	// Exactly the four seeded sites: the collect-then-sort Keys, the
+	// line-waived Waived, and the seeded-stream Seeded must stay clean.
+	if got := matching(diags, analysis.PassDeterminism, "det.go", ""); len(got) != 4 {
+		dump(t, got)
+		t.Errorf("det.go determinism findings = %d, want exactly 4", len(got))
+	}
+	// The file-scoped waiver silences the whole second file.
+	if got := matching(diags, analysis.PassDeterminism, "waived_file.go", ""); len(got) != 0 {
+		dump(t, got)
+		t.Errorf("file-waived file still produced %d findings", len(got))
+	}
+}
+
+func TestPoolcheckPassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	if got := matching(diags, analysis.PassPoolcheck, "pool.go", "double-Put"); len(got) != 2 {
+		dump(t, diags)
+		t.Errorf("double-Put findings = %d, want 2 (method release + pool.Put)", len(got))
+	}
+	if got := matching(diags, analysis.PassPoolcheck, "pool.go", "use-after-Put"); len(got) != 1 {
+		dump(t, diags)
+		t.Errorf("use-after-Put findings = %d, want 1", len(got))
+	}
+	undoc := matching(diags, analysis.PassPoolcheck, "pool.go", "ownership")
+	if len(undoc) != 1 || !strings.Contains(undoc[0].Message, "Undocumented") {
+		dump(t, diags)
+		t.Errorf("ownership-doc findings = %v, want exactly one naming Undocumented", undoc)
+	}
+}
+
+func TestLockorderPassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	inv := matching(diags, analysis.PassLockorder, "locks.go", "inversion")
+	if len(inv) == 0 {
+		dump(t, diags)
+		t.Fatal("A→B / B→A inversion not reported")
+	}
+	if !strings.Contains(inv[0].Message, "A") || !strings.Contains(inv[0].Message, "B") {
+		t.Errorf("inversion message does not name both types: %q", inv[0].Message)
+	}
+	if got := matching(diags, analysis.PassLockorder, "locks.go", "self-deadlock"); len(got) == 0 {
+		dump(t, diags)
+		t.Error("transitive self-nesting not reported")
+	}
+}
+
+func TestTaggedFieldPassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	iface := matching(diags, analysis.PassTaggedField, "wire.go", "interface-typed")
+	if len(iface) != 1 || !strings.Contains(iface[0].Message, "Payload") {
+		dump(t, diags)
+		t.Errorf("interface-member findings = %v, want exactly one naming Payload", iface)
+	}
+}
+
+func TestWireManifestLifecycle(t *testing.T) {
+	prog := loadFixture(t)
+	cfg := fixtureConfig()
+
+	manifest := analysis.WireManifest(prog, cfg)
+	for _, frame := range []string{"vettest/wire.Frame", "vettest/wire.Inner", "vettest/wire.Item"} {
+		if !strings.Contains(manifest, frame) {
+			t.Fatalf("manifest missing frame %s:\n%s", frame, manifest)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "wire.lock")
+	cfg.WireManifest = path
+
+	// Missing manifest: reported.
+	if got := matching(analysis.Analyze(prog, cfg), analysis.PassTaggedField, "", "manifest missing"); len(got) != 1 {
+		t.Fatalf("missing-manifest findings = %d, want 1", len(got))
+	}
+
+	// Fresh manifest: clean (only the seeded interface-member finding
+	// remains).
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Analyze(prog, cfg)
+	if got := matching(diags, analysis.PassTaggedField, "", "drifted"); len(got) != 0 {
+		dump(t, got)
+		t.Fatal("fresh manifest reported drift")
+	}
+	if got := matching(diags, analysis.PassTaggedField, "", "no longer exists"); len(got) != 0 {
+		t.Fatal("fresh manifest reported stale entries")
+	}
+
+	// Tampered field order: drift reported for that frame only.
+	tampered := strings.Replace(manifest,
+		"vettest/wire.Inner = Name:string; Count:int",
+		"vettest/wire.Inner = Count:int; Name:string", 1)
+	if tampered == manifest {
+		t.Fatal("tamper replacement did not apply; fixture layout changed?")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drift := matching(analysis.Analyze(prog, cfg), analysis.PassTaggedField, "", "drifted")
+	if len(drift) != 1 || !strings.Contains(drift[0].Message, "wire.Inner") {
+		t.Fatalf("drift findings = %v, want exactly one for wire.Inner", drift)
+	}
+
+	// Stale entry: a frame in the manifest that no longer exists.
+	if err := os.WriteFile(path, []byte(manifest+"vettest/wire.Gone = X:int\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := matching(analysis.Analyze(prog, cfg), analysis.PassTaggedField, "", "no longer exists")
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "wire.Gone") {
+		t.Fatalf("stale findings = %v, want exactly one for wire.Gone", stale)
+	}
+}
+
+// TestDefaultConfigOnRepo runs the production configuration over the real
+// module: the committed tree must be clean — this is the same gate CI's
+// droidvet job enforces, wired into `go test` so a violation fails fast
+// locally too.
+func TestDefaultConfigOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	prog, err := analysis.Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := analysis.Analyze(prog, analysis.DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

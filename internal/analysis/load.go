@@ -1,0 +1,297 @@
+// Package analysis implements droidvet, DroidFuzz's project-specific
+// static-analysis suite. The repo carries invariants the Go compiler cannot
+// see — serial-mode bit-replayability, sync.Pool object lifecycles, the
+// §IV-C edge-weight normalization, and the lock order across the transport
+// and daemon — and three perf PRs' worth of hot-path tricks depend on them
+// silently. droidvet makes them loud: four passes (determinism, poolcheck,
+// lockorder, taggedfield) walk the typed ASTs of every module package and
+// report violations unless an explicit //droidvet:<pass> waiver owns them.
+//
+// The suite is stdlib-only: go/ast + go/parser + go/types with a
+// module-aware source importer (no golang.org/x/tools dependency), so
+// `go run ./cmd/droidvet` works on a bare toolchain.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	// Path is the import path ("droidfuzz/internal/engine").
+	Path string
+	// Dir is the absolute source directory.
+	Dir string
+	// Files are the parsed compilation units (test files excluded).
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the resolved identifier/expression type information.
+	Info *types.Info
+	// Imports are the module-internal import paths (for closure walks).
+	Imports []string
+}
+
+// Program is a loaded module: every package under the module root,
+// type-checked against source-imported dependencies.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	RootDir    string
+	// Pkgs maps import path to package for module packages only.
+	Pkgs map[string]*Package
+}
+
+// SortedPaths returns the module package paths in lexical order, for
+// deterministic pass iteration (an analyzer of determinism had better be
+// deterministic itself).
+func (p *Program) SortedPaths() []string {
+	out := make([]string, 0, len(p.Pkgs))
+	for path := range p.Pkgs {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loader resolves imports for the type checker: module packages load from
+// the repo tree with full function bodies; everything else (the standard
+// library) loads from GOROOT source with bodies ignored. All results are
+// memoized.
+type loader struct {
+	fset       *token.FileSet
+	ctx        build.Context
+	modulePath string
+	rootDir    string
+	goroot     string
+
+	pkgs  map[string]*Package       // module packages, by import path
+	stdli map[string]*types.Package // stdlib packages, by import path
+	load  map[string]bool           // in-flight, for import-cycle detection
+	errs  []error
+}
+
+// Load parses and type-checks every package of the module rooted at dir
+// (the directory containing go.mod). Type errors are tolerated — the passes
+// want whatever information resolves — but parse failures of module files
+// are reported.
+func Load(dir string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Pure-Go view of the tree: with cgo off the standard library resolves
+	// to its portable fallbacks, which is all the type checker needs.
+	ctx.CgoEnabled = false
+	l := &loader{
+		fset:       token.NewFileSet(),
+		ctx:        ctx,
+		modulePath: modPath,
+		rootDir:    abs,
+		goroot:     runtime.GOROOT(),
+		pkgs:       make(map[string]*Package),
+		stdli:      make(map[string]*types.Package),
+		load:       make(map[string]bool),
+	}
+	for _, pkgDir := range moduleDirs(abs) {
+		rel, _ := filepath.Rel(abs, pkgDir)
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.loadModulePkg(path, pkgDir); err != nil {
+			// A directory with no buildable Go files (all excluded by
+			// build tags) is not an error; anything else is.
+			if _, ok := err.(*build.NoGoError); !ok {
+				return nil, fmt.Errorf("analysis: load %s: %w", path, err)
+			}
+		}
+	}
+	return &Program{
+		Fset:       l.fset,
+		ModulePath: modPath,
+		RootDir:    abs,
+		Pkgs:       l.pkgs,
+	}, nil
+}
+
+// modulePathOf reads the module path from dir/go.mod.
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (droidvet must run inside a module)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// moduleDirs walks the tree for directories holding Go source, skipping
+// hidden directories, testdata, and nested modules.
+func moduleDirs(root string) []string {
+	var dirs []string
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return nil
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		dir := l.rootDir
+		if path != l.modulePath {
+			dir = filepath.Join(l.rootDir, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath+"/")))
+		}
+		pkg, err := l.loadModulePkg(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.loadStdlib(path)
+}
+
+// loadModulePkg parses and type-checks one module package with full bodies
+// and identifier resolution recorded.
+func (l *loader) loadModulePkg(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.load[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.load[path] = true
+	defer delete(l.load, path)
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseFiles(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		Error:            func(err error) { l.errs = append(l.errs, err) },
+		IgnoreFuncBodies: false,
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	for _, imp := range bp.Imports {
+		if imp == l.modulePath || strings.HasPrefix(imp, l.modulePath+"/") {
+			pkg.Imports = append(pkg.Imports, imp)
+		}
+	}
+	sort.Strings(pkg.Imports)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadStdlib type-checks a GOROOT package from source with bodies ignored;
+// the passes only need its exported type surface.
+func (l *loader) loadStdlib(path string) (*types.Package, error) {
+	if pkg, ok := l.stdli[path]; ok {
+		return pkg, nil
+	}
+	if l.load[path] {
+		return nil, fmt.Errorf("stdlib import cycle through %s", path)
+	}
+	l.load[path] = true
+	defer delete(l.load, path)
+
+	dir := filepath.Join(l.goroot, "src", filepath.FromSlash(path))
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("stdlib %s: %w", path, err)
+	}
+	files, err := l.parseFiles(dir, bp.GoFiles)
+	if err != nil {
+		return nil, fmt.Errorf("stdlib %s: %w", path, err)
+	}
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		Error:            func(err error) { l.errs = append(l.errs, err) },
+		IgnoreFuncBodies: true,
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, nil)
+	l.stdli[path] = tpkg
+	return tpkg, nil
+}
+
+// parseFiles parses the named files in dir with comments retained (waivers
+// live in comments).
+func (l *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

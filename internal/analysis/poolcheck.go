@@ -1,0 +1,472 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkPools enforces the sync.Pool object lifecycles of the configured
+// pooled types (feedback.Signal, adb.ExecResult, ...):
+//
+//   - double-Put: a second Release of the same variable without an
+//     intervening reassignment;
+//   - use-after-Put: any read of a variable after its Release on the same
+//     control-flow path;
+//   - undocumented ownership transfer: a function returning a pooled
+//     pointer must say so in its doc comment ("pooled", "Release", or
+//     "caller owns"), because the caller inherits the Release obligation.
+//
+// The flow analysis is intra-procedural and path-insensitive only across
+// merge points: a branch that terminates (return/panic/continue/break)
+// does not leak its released-set into the code after the branch, which is
+// exactly the `if err { res.Release(); return }` shape the hot paths use.
+func checkPools(prog *Program, cfg Config) []Diagnostic {
+	if len(cfg.Pooled) == 0 {
+		return nil
+	}
+	pc := &poolChecker{prog: prog, pooled: make(map[*types.Named]PooledType), poolVars: make(map[types.Object]bool)}
+	for _, pt := range cfg.Pooled {
+		if tn := lookupNamed(prog, pt.TypePath); tn != nil {
+			if named, ok := tn.Type().(*types.Named); ok {
+				pc.pooled[named] = pt
+			}
+		}
+		for _, v := range pt.PoolVars {
+			if obj := lookupVar(prog, v); obj != nil {
+				pc.poolVars[obj] = true
+			}
+		}
+	}
+	if len(pc.pooled) == 0 {
+		return nil
+	}
+	for _, path := range prog.SortedPaths() {
+		pkg := prog.Pkgs[path]
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				pc.checkOwnershipDoc(pkg, fd)
+				st := newPoolState(pc, pkg)
+				st.block(fd.Body.List)
+			}
+		}
+	}
+	return pc.diags
+}
+
+type poolChecker struct {
+	prog     *Program
+	pooled   map[*types.Named]PooledType
+	poolVars map[types.Object]bool
+	diags    []Diagnostic
+}
+
+func (pc *poolChecker) report(n ast.Node, format string, args ...any) {
+	pc.diags = append(pc.diags, Diagnostic{
+		Pos:     pc.prog.Fset.Position(n.Pos()),
+		Pass:    PassPoolcheck,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// pooledOf returns the pooled-type config for t (unwrapping pointers), or
+// nil.
+func (pc *poolChecker) pooledOf(t types.Type) *PooledType {
+	named := namedOf(t)
+	if named == nil {
+		return nil
+	}
+	// Methods are declared on the origin type; instantiations share it.
+	if pt, ok := pc.pooled[named.Origin()]; ok {
+		return &pt
+	}
+	return nil
+}
+
+// returnsPooled reports whether the function signature hands a pooled
+// pointer (directly or inside a slice) to its caller.
+func (pc *poolChecker) returnsPooled(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			t = sl.Elem()
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			continue
+		}
+		if pc.pooledOf(t) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ownershipWords are the doc-comment markers that count as documenting the
+// caller's Release obligation.
+var ownershipWords = []string{"pooled", "Release", "release", "caller owns"}
+
+func (pc *poolChecker) checkOwnershipDoc(pkg *Package, fd *ast.FuncDecl) {
+	fn := funcFor(pkg, fd)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !pc.returnsPooled(sig) {
+		return
+	}
+	doc := ""
+	if fd.Doc != nil {
+		doc = fd.Doc.Text()
+	}
+	for _, w := range ownershipWords {
+		if strings.Contains(doc, w) {
+			return
+		}
+	}
+	pc.report(fd, "%s returns a pooled pointer but its doc comment does not document the ownership transfer (mention \"pooled\" or \"Release\")", fd.Name.Name)
+}
+
+// releaseSite records where a variable was released.
+type releaseSite struct {
+	pos ast.Node
+}
+
+// poolState is the per-function abstract state: which pooled variables are
+// currently released on this path.
+type poolState struct {
+	pc       *poolChecker
+	pkg      *Package
+	released map[types.Object]releaseSite
+	deferred map[types.Object]releaseSite
+}
+
+func newPoolState(pc *poolChecker, pkg *Package) *poolState {
+	return &poolState{
+		pc:       pc,
+		pkg:      pkg,
+		released: make(map[types.Object]releaseSite),
+		deferred: make(map[types.Object]releaseSite),
+	}
+}
+
+func (st *poolState) fork() *poolState {
+	n := newPoolState(st.pc, st.pkg)
+	for k, v := range st.released {
+		n.released[k] = v
+	}
+	for k, v := range st.deferred {
+		n.deferred[k] = v
+	}
+	return n
+}
+
+// merge unions the released sets of branch states that fall through.
+func (st *poolState) merge(branches ...*poolState) {
+	for _, b := range branches {
+		for k, v := range b.released {
+			if _, ok := st.released[k]; !ok {
+				st.released[k] = v
+			}
+		}
+		for k, v := range b.deferred {
+			if _, ok := st.deferred[k]; !ok {
+				st.deferred[k] = v
+			}
+		}
+	}
+}
+
+// releaseTarget returns the variable object a call releases, or nil: either
+// obj.Release() on a pooled type, or pool.Put(obj) on a configured pool var.
+func (st *poolState) releaseTarget(call *ast.CallExpr) (types.Object, ast.Node) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	// pool.Put(x)
+	if recv, ok := sel.X.(*ast.Ident); ok && sel.Sel.Name == "Put" && len(call.Args) == 1 {
+		if st.pc.poolVars[st.pkg.Info.Uses[recv]] {
+			if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if obj := st.pkg.Info.Uses[arg]; obj != nil {
+					return obj, call
+				}
+			}
+			return nil, nil
+		}
+	}
+	// x.Release() / x.release()
+	recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := st.pkg.Info.Uses[recv]
+	if obj == nil {
+		return nil, nil
+	}
+	pt := st.pc.pooledOf(obj.Type())
+	if pt == nil || sel.Sel.Name != pt.ReleaseMethod {
+		return nil, nil
+	}
+	return obj, call
+}
+
+// checkUses flags reads of released variables inside n, skipping the
+// sub-expressions listed in skip (the release call's own receiver).
+func (st *poolState) checkUses(n ast.Node, skip map[*ast.Ident]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		obj := st.pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if site, rel := st.released[obj]; rel {
+			relPos := st.pc.prog.Fset.Position(site.pos.Pos())
+			st.pc.report(id, "use of %s after it was released at %s:%d (use-after-Put on a pooled object)",
+				obj.Name(), shortFile(relPos.Filename), relPos.Line)
+			// Report once per path; clear so one stale read does not cascade.
+			delete(st.released, obj)
+		}
+		return true
+	})
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// clearAssigned removes reassigned variables from the released set.
+func (st *poolState) clearAssigned(lhs []ast.Expr) {
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if obj := st.pkg.Info.Uses[id]; obj != nil {
+				delete(st.released, obj)
+			} else if obj := st.pkg.Info.Defs[id]; obj != nil {
+				delete(st.released, obj)
+			}
+		}
+	}
+}
+
+// terminates reports whether the statement list ends on a path-terminating
+// statement (return, branch, panic, or an exhaustive terminating if/else).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if last.Else == nil {
+			return false
+		}
+		eb, ok := last.Else.(*ast.BlockStmt)
+		if !ok {
+			return false
+		}
+		return terminates(last.Body.List) && terminates(eb.List)
+	}
+	return false
+}
+
+// block walks a statement list in order, updating the released state.
+func (st *poolState) block(list []ast.Stmt) {
+	for _, s := range list {
+		st.stmt(s)
+	}
+}
+
+func (st *poolState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if obj, site := st.releaseTarget(call); obj != nil {
+				if prev, dup := st.released[obj]; dup {
+					prevPos := st.pc.prog.Fset.Position(prev.pos.Pos())
+					st.pc.report(call, "double-Put of %s: already released at %s:%d",
+						obj.Name(), shortFile(prevPos.Filename), prevPos.Line)
+				}
+				// The release call's own receiver/arg idents are not "uses".
+				skip := make(map[*ast.Ident]bool)
+				ast.Inspect(call, func(x ast.Node) bool {
+					if id, ok := x.(*ast.Ident); ok {
+						skip[id] = true
+					}
+					return true
+				})
+				st.checkUses(call, skip)
+				st.released[obj] = releaseSite{pos: site}
+				return
+			}
+		}
+		st.checkUses(s, nil)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			st.checkUses(r, nil)
+		}
+		for _, l := range s.Lhs {
+			// Index/selector writes into a released object are uses too.
+			if _, isIdent := ast.Unparen(l).(*ast.Ident); !isIdent {
+				st.checkUses(l, nil)
+			}
+		}
+		st.clearAssigned(s.Lhs)
+	case *ast.DeferStmt:
+		if obj, site := st.releaseTarget(s.Call); obj != nil {
+			if prev, dup := st.deferred[obj]; dup {
+				prevPos := st.pc.prog.Fset.Position(prev.pos.Pos())
+				st.pc.report(s.Call, "double-Put of %s: already deferred-released at %s:%d",
+					obj.Name(), shortFile(prevPos.Filename), prevPos.Line)
+			}
+			st.deferred[obj] = releaseSite{pos: site}
+			return
+		}
+		st.checkUses(s.Call, nil)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		st.checkUses(s.Cond, nil)
+		body := st.fork()
+		body.block(s.Body.List)
+		var branches []*poolState
+		if !terminates(s.Body.List) {
+			branches = append(branches, body)
+		}
+		if s.Else != nil {
+			els := st.fork()
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				els.block(e.List)
+				if !terminates(e.List) {
+					branches = append(branches, els)
+				}
+			case *ast.IfStmt:
+				els.stmt(e)
+				branches = append(branches, els)
+			}
+		}
+		st.merge(branches...)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		st.checkUses(s.Cond, nil)
+		// Two passes over the body approximate the loop back-edge: a
+		// release at the bottom of an iteration is visible to reads at the
+		// top of the next.
+		body := st.fork()
+		body.block(s.Body.List)
+		if s.Post != nil {
+			body.stmt(s.Post)
+		}
+		body.block(s.Body.List)
+		st.merge(body)
+	case *ast.RangeStmt:
+		st.checkUses(s.X, nil)
+		body := st.fork()
+		body.clearRangeVars(s)
+		body.block(s.Body.List)
+		body.clearRangeVars(s)
+		body.block(s.Body.List)
+		st.merge(body)
+	case *ast.BlockStmt:
+		st.block(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		st.checkUses(s.Tag, nil)
+		var branches []*poolState
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			b := st.fork()
+			b.block(cc.Body)
+			if !terminates(cc.Body) {
+				branches = append(branches, b)
+			}
+		}
+		st.merge(branches...)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		var branches []*poolState
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			b := st.fork()
+			b.block(cc.Body)
+			if !terminates(cc.Body) {
+				branches = append(branches, b)
+			}
+		}
+		st.merge(branches...)
+	case *ast.SelectStmt:
+		var branches []*poolState
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			b := st.fork()
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.block(cc.Body)
+			if !terminates(cc.Body) {
+				branches = append(branches, b)
+			}
+		}
+		st.merge(branches...)
+	case *ast.GoStmt:
+		st.checkUses(s.Call, nil)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st.checkUses(r, nil)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.LabeledStmt:
+		st.checkUses(s, nil)
+		if lbl, ok := s.(*ast.LabeledStmt); ok {
+			st.stmt(lbl.Stmt)
+		}
+	default:
+		if s != nil {
+			st.checkUses(s, nil)
+		}
+	}
+}
+
+// clearRangeVars drops the range key/value variables from the released set;
+// each iteration rebinds them.
+func (st *poolState) clearRangeVars(s *ast.RangeStmt) {
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := st.pkg.Info.Defs[id]; obj != nil {
+				delete(st.released, obj)
+			} else if obj := st.pkg.Info.Uses[id]; obj != nil {
+				delete(st.released, obj)
+			}
+		}
+	}
+}

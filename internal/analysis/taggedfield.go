@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkWireFrames enforces the wire-frame discipline of the transport
+// protocol: every struct reachable from the configured wire roots
+// (rpcRequest/rpcReply and everything gob carries inside them)
+//
+//   - must not contain interface-typed members — gob would happily encode
+//     whatever concrete type lands there, silently widening the protocol
+//     surface and breaking cross-version decoding;
+//   - must keep a fixed field order, pinned by the committed manifest
+//     (internal/adb/wire.lock): reordering, renaming, retyping, adding, or
+//     removing a field is a protocol change and must be made loudly, by
+//     regenerating the manifest with `droidvet -update-wire` in the same
+//     commit.
+func checkWireFrames(prog *Program, cfg Config) []Diagnostic {
+	if len(cfg.WireRoots) == 0 {
+		return nil
+	}
+	frames := wireClosure(prog, cfg.WireRoots)
+	if len(frames) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fr := range frames {
+		st, ok := fr.named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if _, isIface := f.Type().Underlying().(*types.Interface); isIface {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(f.Pos()),
+					Pass:    PassTaggedField,
+					Message: fmt.Sprintf("wire frame %s carries interface-typed field %s; wire frames must have concrete, fixed-layout members", fr.name, f.Name()),
+				})
+			}
+		}
+	}
+	if cfg.WireManifest != "" {
+		diags = append(diags, checkManifest(prog, cfg, frames)...)
+	}
+	return diags
+}
+
+// wireFrame is one struct in the wire closure.
+type wireFrame struct {
+	name  string // qualified "pkgpath.Name"
+	named *types.Named
+	pos   token.Pos
+}
+
+// wireClosure walks struct fields from the roots, collecting every named
+// struct type reachable through fields, slices, arrays, maps, and pointers.
+// The result is sorted by qualified name.
+func wireClosure(prog *Program, roots []string) []wireFrame {
+	seen := make(map[*types.Named]bool)
+	var frames []wireFrame
+	var visitType func(t types.Type)
+	visit := func(named *types.Named) {
+		named = named.Origin()
+		if seen[named] {
+			return
+		}
+		seen[named] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		pkg := named.Obj().Pkg()
+		if pkg == nil {
+			return
+		}
+		frames = append(frames, wireFrame{
+			name:  pkg.Path() + "." + named.Obj().Name(),
+			named: named,
+			pos:   named.Obj().Pos(),
+		})
+		// Unexported fields never cross the wire (gob skips them), so
+		// they are neither part of the frame layout nor a path into the
+		// closure.
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Exported() {
+				visitType(st.Field(i).Type())
+			}
+		}
+	}
+	visitType = func(t types.Type) {
+		switch u := t.(type) {
+		case *types.Pointer:
+			visitType(u.Elem())
+		case *types.Slice:
+			visitType(u.Elem())
+		case *types.Array:
+			visitType(u.Elem())
+		case *types.Map:
+			visitType(u.Key())
+			visitType(u.Elem())
+		case *types.Alias:
+			visitType(types.Unalias(u))
+		case *types.Named:
+			// Follow only named struct types; basic-kind named types
+			// (vkernel.Origin etc.) have no field layout to pin.
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				visit(u)
+			}
+		}
+	}
+	for _, root := range roots {
+		tn := lookupNamed(prog, root)
+		if tn == nil {
+			continue
+		}
+		if named, ok := tn.Type().(*types.Named); ok {
+			visit(named)
+		}
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i].name < frames[j].name })
+	return frames
+}
+
+// WireManifest renders the canonical frame-layout manifest for the program:
+// one line per wire struct, fields in declaration order with their type
+// strings. This is what `droidvet -update-wire` writes and what the
+// taggedfield pass diffs against.
+func WireManifest(prog *Program, cfg Config) string {
+	frames := wireClosure(prog, cfg.WireRoots)
+	var b strings.Builder
+	b.WriteString("# droidvet wire-frame layout manifest.\n")
+	b.WriteString("# Regenerate with `go run ./cmd/droidvet -update-wire` after any\n")
+	b.WriteString("# deliberate wire-protocol change; droidvet fails on drift.\n")
+	for _, fr := range frames {
+		b.WriteString(frameLine(fr))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func frameLine(fr wireFrame) string {
+	st := fr.named.Underlying().(*types.Struct)
+	var b strings.Builder
+	b.WriteString(fr.name)
+	b.WriteString(" =")
+	first := true
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // not wire surface: gob skips unexported fields
+		}
+		if !first {
+			b.WriteString(";")
+		}
+		first = false
+		b.WriteString(" ")
+		b.WriteString(f.Name())
+		b.WriteString(":")
+		b.WriteString(types.TypeString(f.Type(), func(p *types.Package) string { return p.Name() }))
+	}
+	return b.String()
+}
+
+// checkManifest diffs the live frame layouts against the committed
+// manifest.
+func checkManifest(prog *Program, cfg Config, frames []wireFrame) []Diagnostic {
+	path := cfg.WireManifest
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(prog.RootDir, path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []Diagnostic{{
+			Pos:     token.Position{Filename: path},
+			Pass:    PassTaggedField,
+			Message: "wire-frame manifest missing; run `droidvet -update-wire` and commit the result",
+		}}
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, ok := strings.Cut(line, " =")
+		if !ok {
+			continue
+		}
+		want[name] = line
+	}
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for _, fr := range frames {
+		seen[fr.name] = true
+		live := frameLine(fr)
+		rec, ok := want[fr.name]
+		switch {
+		case !ok:
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(fr.pos),
+				Pass:    PassTaggedField,
+				Message: fmt.Sprintf("wire frame %s is not in the manifest; a new frame type is a protocol change — run `droidvet -update-wire`", fr.name),
+			})
+		case rec != live:
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(fr.pos),
+				Pass:    PassTaggedField,
+				Message: fmt.Sprintf("wire frame %s drifted from the manifest (field order, names, or types changed); if deliberate, run `droidvet -update-wire`", fr.name),
+			})
+		}
+	}
+	// Stale manifest entries (deleted/renamed frames) in sorted order.
+	stale := make([]string, 0)
+	for name := range want {
+		if !seen[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		diags = append(diags, Diagnostic{
+			Pos:     token.Position{Filename: path},
+			Pass:    PassTaggedField,
+			Message: fmt.Sprintf("manifest lists wire frame %s which no longer exists; run `droidvet -update-wire`", name),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,21 @@
+// Package det: this file is waived wholesale; nothing in it may be
+// flagged by the determinism pass.
+//
+//droidvet:nondet-file fixture: file-scoped waiver
+package det
+
+import "time"
+
+// FileWaivedClock reads the clock in a file-waived file: not flagged.
+func FileWaivedClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// FileWaivedFold ranges a map in a file-waived file: not flagged.
+func FileWaivedFold(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,62 @@
+// Package locks seeds lock-order violations for droidvet's own tests: an
+// A→B / B→A inversion pair and a transitive self-nesting deadlock.
+package locks
+
+import "sync"
+
+// A is one monitored lock-carrying fixture.
+type A struct {
+	mu sync.Mutex
+	b  *B
+	n  int
+}
+
+// B is the other monitored fixture.
+type B struct {
+	mu sync.Mutex
+	a  *A
+	n  int
+}
+
+// LockAB acquires A then B: half of the inversion pair.
+func (a *A) LockAB() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.n++
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// LockBA acquires B then A: the other half — flagged as an inversion.
+func (b *B) LockBA() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.n++
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// SelfNest re-acquires A's mutex through a callee while holding it:
+// flagged as a self-deadlock.
+func (a *A) SelfNest() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lockedTouch()
+}
+
+// lockedTouch takes the lock itself.
+func (a *A) lockedTouch() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// Sequential locks A and B one after the other, never nested: not flagged.
+func (a *A) Sequential() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	a.b.mu.Lock()
+	a.b.n++
+	a.b.mu.Unlock()
+}

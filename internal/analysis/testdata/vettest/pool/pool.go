@@ -1,0 +1,71 @@
+// Package pool seeds pooled-lifecycle violations for droidvet's own
+// tests: double-Put, use-after-put, and an undocumented ownership
+// transfer, next to the clean shapes the pass must accept.
+package pool
+
+import "sync"
+
+// Obj is the pooled fixture type.
+type Obj struct{ V int }
+
+var objPool = sync.Pool{New: func() any { return new(Obj) }}
+
+// Get returns a pooled Obj; the caller must Release it.
+func Get() *Obj { return objPool.Get().(*Obj) }
+
+// Release returns o to its pool.
+func (o *Obj) Release() { objPool.Put(o) }
+
+// DoublePut releases the same object twice: flagged.
+func DoublePut() {
+	o := Get()
+	o.Release()
+	o.Release()
+}
+
+// PutTwice double-puts through the pool variable itself: flagged.
+func PutTwice() {
+	o := Get()
+	objPool.Put(o)
+	objPool.Put(o)
+}
+
+// UseAfterPut reads a field after release: flagged.
+func UseAfterPut() int {
+	o := Get()
+	o.Release()
+	return o.V
+}
+
+// Undocumented hands a recycled pointer to its caller without stating the
+// obligation that comes with it: flagged.
+func Undocumented() *Obj {
+	return Get()
+}
+
+// Documented hands out a pooled Obj; the caller owns it and must Release
+// it: not flagged.
+func Documented() *Obj {
+	return Get()
+}
+
+// ErrPathRelease is the hot-path shape: release on the terminating branch,
+// use on the fall-through. Not flagged.
+func ErrPathRelease(fail bool) int {
+	o := Get()
+	if fail {
+		o.Release()
+		return 0
+	}
+	v := o.V
+	o.Release()
+	return v
+}
+
+// Recycle reassigns after release; the fresh object is clean. Not flagged.
+func Recycle() {
+	o := Get()
+	o.Release()
+	o = Get()
+	o.Release()
+}

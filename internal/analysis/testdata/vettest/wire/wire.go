@@ -1,0 +1,23 @@
+// Package wire seeds wire-frame violations for droidvet's own tests: an
+// interface-typed member in the frame closure.
+package wire
+
+// Frame is the root wire frame; its interface member must be flagged.
+type Frame struct {
+	Tag     uint64
+	Payload any
+	Inner   Inner
+	Batch   []Item
+}
+
+// Inner rides inside Frame and is part of the pinned layout.
+type Inner struct {
+	Name  string
+	Count int
+}
+
+// Item reaches the closure through the Batch slice.
+type Item struct {
+	Key uint32
+	Val string
+}

@@ -2,6 +2,7 @@ package drivers
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"droidfuzz/internal/bugs"
@@ -143,7 +144,16 @@ func (c *hciConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byt
 		ctx.Cover("hci", 30)
 		d.scanMode = 0
 		d.name = ""
-		for h, conn := range d.conns {
+		// Tear down in ascending handle order: Heap.Free mutates shared
+		// allocator state, so map-order teardown would make reset replay
+		// nondeterministic (droidvet:nondet caught this).
+		handles := make([]uint64, 0, len(d.conns))
+		for h := range d.conns {
+			handles = append(handles, h)
+		}
+		slices.Sort(handles)
+		for _, h := range handles {
+			conn := d.conns[h]
 			if conn.state != hciConnClosed {
 				ctx.Heap().Free(conn.obj, "hci_reset_teardown")
 			}
@@ -329,7 +339,9 @@ func (c *hciConn) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
 	}
 	ctx.Cover("hci", 122+bucket(opcode, 32))
 	live := 0
-	for _, conn := range d.conns {
+	// Pure count over the map; the total is the same in any iteration
+	// order, so replay cannot diverge here.
+	for _, conn := range d.conns { //droidvet:nondet order-independent count
 		if conn.state == hciConnAccepted {
 			live++
 		}

@@ -392,6 +392,7 @@ func (e *Engine) feed(p *dsl.Prog, generated bool, res *adb.ExecResult, sig *fee
 	if e.execs%e.cfg.SnapshotEvery == 0 {
 		e.acc.Snapshot(e.execs)
 	}
+	e.sanitizeStep()
 }
 
 // Run executes n fuzzing iterations serially: deterministic for a fixed

@@ -1,0 +1,11 @@
+//go:build !droidfuzz_sanitize
+
+package engine
+
+// SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
+const SanitizeEnabled = false
+
+// sanitizeStep is a no-op in normal builds; feed calls it unconditionally
+// and the compiler erases the call. Build with -tags droidfuzz_sanitize
+// for per-step relation-graph invariant checking.
+func (e *Engine) sanitizeStep() {}

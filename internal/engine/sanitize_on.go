@@ -1,0 +1,19 @@
+//go:build droidfuzz_sanitize
+
+package engine
+
+import "fmt"
+
+// SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
+const SanitizeEnabled = true
+
+// sanitizeStep re-verifies the relation graph at the end of every feedback
+// fold. Learn and Decay already self-check under this tag; the step-level
+// sweep additionally catches corruption introduced between mutations (a
+// mutator scribbling on a shared vertex, a forgotten lock) at the
+// iteration that caused it.
+func (e *Engine) sanitizeStep() {
+	if err := e.graph.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("droidfuzz_sanitize: relation graph corrupted during engine step: %v", err))
+	}
+}

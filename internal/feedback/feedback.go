@@ -164,16 +164,25 @@ type Signal struct {
 	elems  []uint64 // sorted ascending, unique once sealed
 	kernel int      // count of elements below halNamespace
 	seq    []uint32 // scratch: specialized-ID sequence of the HAL trace
+	san    sanState // zero-sized unless built with -tags droidfuzz_sanitize
 }
 
 var signalPool = sync.Pool{New: func() any { return new(Signal) }}
 
-// NewSignal returns an empty pooled signal.
-func NewSignal() *Signal {
+// getSignal is the one pool exit: every constructor draws through here so
+// the sanitizer sees each acquisition. The pooled signal is owned by the
+// caller, who must Release it.
+func getSignal() *Signal {
 	s := signalPool.Get().(*Signal)
+	s.san.acquire()
 	s.elems = s.elems[:0]
 	s.kernel = 0
 	return s
+}
+
+// NewSignal returns an empty pooled signal.
+func NewSignal() *Signal {
+	return getSignal()
 }
 
 // SignalOf builds a pooled signal from explicit elements (tests, tools).
@@ -190,6 +199,7 @@ func (s *Signal) Release() {
 	if s == nil {
 		return
 	}
+	s.san.release("feedback.Signal", sanCaller())
 	signalPool.Put(s)
 }
 
@@ -197,23 +207,34 @@ func (s *Signal) Release() {
 // kernel/directional boundary. Elements are unordered sets semantically;
 // the sorted representation makes membership and subset checks cheap.
 func (s *Signal) seal() {
+	s.san.alive("feedback.Signal.seal")
 	slices.Sort(s.elems)
 	s.elems = slices.Compact(s.elems)
 	s.kernel, _ = slices.BinarySearch(s.elems, halNamespace)
 }
 
 // Len reports the number of signal elements.
-func (s *Signal) Len() int { return len(s.elems) }
+func (s *Signal) Len() int {
+	s.san.alive("feedback.Signal.Len")
+	return len(s.elems)
+}
 
 // KernelLen reports how many elements are kernel PCs (vs directional).
-func (s *Signal) KernelLen() int { return s.kernel }
+func (s *Signal) KernelLen() int {
+	s.san.alive("feedback.Signal.KernelLen")
+	return s.kernel
+}
 
 // Elems exposes the sorted elements; the slice is owned by the signal and
 // must not be retained past Release.
-func (s *Signal) Elems() []uint64 { return s.elems }
+func (s *Signal) Elems() []uint64 {
+	s.san.alive("feedback.Signal.Elems")
+	return s.elems
+}
 
 // Contains reports whether e is in the signal.
 func (s *Signal) Contains(e uint64) bool {
+	s.san.alive("feedback.Signal.Contains")
 	_, ok := slices.BinarySearch(s.elems, e)
 	return ok
 }
@@ -221,6 +242,8 @@ func (s *Signal) Contains(e uint64) bool {
 // ContainsAll reports whether every element of want is in s (both sorted:
 // one merge walk, no allocation).
 func (s *Signal) ContainsAll(want *Signal) bool {
+	s.san.alive("feedback.Signal.ContainsAll")
+	want.san.alive("feedback.Signal.ContainsAll(want)")
 	i := 0
 	for _, w := range want.elems {
 		for i < len(s.elems) && s.elems[i] < w {
@@ -248,9 +271,7 @@ var NgramOrders = []int{1, 2}
 // yields kernel-only signal (the DF-NoHCov ablation). The returned signal
 // is pooled; Release it when done.
 func FromExec(res *adb.ExecResult, table *SpecTable) *Signal {
-	s := signalPool.Get().(*Signal)
-	s.elems = s.elems[:0]
-	s.kernel = 0
+	s := getSignal()
 	for _, pc := range res.KernelCov {
 		s.elems = append(s.elems, uint64(pc))
 	}
@@ -335,9 +356,8 @@ func (a *Accumulator) Merge(s *Signal) int {
 // form of NewOf followed by Merge that the engine's per-execution hot path
 // uses. The returned signal is pooled; Release it when done.
 func (a *Accumulator) MergeNew(s *Signal) *Signal {
-	d := signalPool.Get().(*Signal)
-	d.elems = d.elems[:0]
-	d.kernel = 0
+	s.san.alive("feedback.Accumulator.MergeNew(s)")
+	d := getSignal()
 	a.mu.Lock()
 	for _, e := range s.elems {
 		if _, ok := a.max[e]; !ok {
@@ -400,9 +420,8 @@ func (a *Accumulator) HasNew(s *Signal) bool {
 // NewOf returns the subset of s not yet accumulated, without merging. The
 // returned signal is pooled; Release it when done.
 func (a *Accumulator) NewOf(s *Signal) *Signal {
-	d := signalPool.Get().(*Signal)
-	d.elems = d.elems[:0]
-	d.kernel = 0
+	s.san.alive("feedback.Accumulator.NewOf(s)")
+	d := getSignal()
 	a.mu.Lock()
 	for _, e := range s.elems {
 		if _, ok := a.max[e]; !ok {

@@ -1,0 +1,59 @@
+//go:build droidfuzz_sanitize
+
+package feedback
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
+const SanitizeEnabled = true
+
+// sanState is the checked-pool lifecycle tracker embedded in every pooled
+// object when the droidfuzz_sanitize tag is set. The generation counter
+// encodes liveness in its low bit: even = live (owned by a caller), odd =
+// released (owned by the pool). Each release also records its call site so
+// a later double-Put or use-after-put panic can name the line that gave
+// the object away.
+type sanState struct {
+	gen   uint32
+	putAt string
+}
+
+// acquire marks the object live again as it leaves the pool.
+func (s *sanState) acquire() {
+	if s.gen&1 == 1 {
+		s.gen++
+	}
+	s.putAt = ""
+}
+
+// release marks the object as returned to the pool; at names the caller's
+// call site (from sanCaller). A second release before a re-acquire is the
+// double-Put bug the pool itself would silently absorb.
+func (s *sanState) release(what, at string) {
+	if s.gen&1 == 1 {
+		panic(fmt.Sprintf("droidfuzz_sanitize: double-Put of %s: first released at %s, released again at %s", what, s.putAt, at))
+	}
+	s.gen++
+	s.putAt = at
+}
+
+// alive asserts the object has not been released; what names the method
+// observed touching the dead object.
+func (s *sanState) alive(what string) {
+	if s.gen&1 == 1 {
+		panic(fmt.Sprintf("droidfuzz_sanitize: use-after-put: %s called on an object released at %s", what, s.putAt))
+	}
+}
+
+// sanCaller reports the file:line of the caller's caller — the user code
+// invoking Release — for the release record.
+func sanCaller() string {
+	_, file, line, ok := runtime.Caller(2)
+	if !ok {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}

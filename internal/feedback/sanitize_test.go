@@ -1,0 +1,82 @@
+//go:build droidfuzz_sanitize
+
+package feedback
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs f and returns the panic message, failing if f returns.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		f()
+	}()
+	if msg == "" {
+		t.Fatal("expected a droidfuzz_sanitize panic, got none")
+	}
+	return msg
+}
+
+// TestSignalDoublePutPanics: releasing the same pooled signal twice must
+// panic, and the message must name the call site of the first release so
+// the leak is attributable without a debugger.
+func TestSignalDoublePutPanics(t *testing.T) {
+	s := SignalOf(1, 2, 3)
+	s.Release()
+	msg := mustPanic(t, func() { s.Release() })
+	if !strings.Contains(msg, "double-Put") || !strings.Contains(msg, "feedback.Signal") {
+		t.Fatalf("unhelpful panic message: %q", msg)
+	}
+	if !strings.Contains(msg, "sanitize_test.go:") {
+		t.Fatalf("panic message does not name the release call site: %q", msg)
+	}
+}
+
+// TestSignalUseAfterPutPanics: touching a released signal through any
+// accessor must panic and name the release site.
+func TestSignalUseAfterPutPanics(t *testing.T) {
+	s := SignalOf(7, 9)
+	s.Release()
+	msg := mustPanic(t, func() { _ = s.Len() })
+	if !strings.Contains(msg, "use-after-put") || !strings.Contains(msg, "feedback.Signal.Len") {
+		t.Fatalf("unhelpful panic message: %q", msg)
+	}
+	if !strings.Contains(msg, "sanitize_test.go:") {
+		t.Fatalf("panic message does not name the release call site: %q", msg)
+	}
+
+	s2 := SignalOf(1)
+	s2.Release()
+	for name, f := range map[string]func(){
+		"Elems":    func() { _ = s2.Elems() },
+		"Contains": func() { _ = s2.Contains(1) },
+	} {
+		msg := mustPanic(t, f)
+		if !strings.Contains(msg, "use-after-put") {
+			t.Fatalf("%s on released signal did not report use-after-put: %q", name, msg)
+		}
+	}
+}
+
+// TestSignalReuseAfterReacquireIsClean: the release→acquire cycle resets
+// the lifecycle state — a legitimately recycled signal must not trip the
+// sanitizer.
+func TestSignalReuseAfterReacquireIsClean(t *testing.T) {
+	s := SignalOf(5)
+	s.Release()
+	// Drain the pool until we (very likely) get the same object back; even
+	// if not, every fresh acquisition must be clean.
+	for i := 0; i < 16; i++ {
+		n := NewSignal()
+		_ = n.Len()
+		n.Release()
+	}
+}

@@ -292,7 +292,8 @@ func (h *Heap) LiveObjects() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := 0
-	for _, obj := range h.objects {
+	// Order-independent count; identical in any map iteration order.
+	for _, obj := range h.objects { //droidvet:nondet order-independent count
 		if obj.state == stateLive {
 			n++
 		}

@@ -162,7 +162,9 @@ func (s Set) Has(pc uint32) bool {
 // Merge adds all PCs in other to s and returns the number newly added.
 func (s Set) Merge(other Set) int {
 	added := 0
-	for pc := range other {
+	// Set union: membership and the added-count are order-independent,
+	// so iteration order cannot desynchronize a replay.
+	for pc := range other { //droidvet:nondet order-independent set union
 		if _, ok := s[pc]; !ok {
 			s[pc] = struct{}{}
 			added++
@@ -186,7 +188,8 @@ func (s Set) MergeTrace(trace []uint32) int {
 // Diff returns the PCs present in other but not in s.
 func (s Set) Diff(other Set) Set {
 	d := make(Set)
-	for pc := range other {
+	// Set difference: the resulting membership is order-independent.
+	for pc := range other { //droidvet:nondet order-independent set difference
 		if _, ok := s[pc]; !ok {
 			d[pc] = struct{}{}
 		}

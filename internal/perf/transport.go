@@ -91,6 +91,8 @@ func (d *stubDevice) Exec(req adb.ExecRequest) (*adb.ExecResult, error) {
 	return res, nil
 }
 
+// ExecProg serves the next canned result; like Exec, the caller owns the
+// result and may Release it into the shared pool.
 func (d *stubDevice) ExecProg(p *dsl.Prog) (*adb.ExecResult, error) {
 	return d.Exec(adb.ExecRequest{})
 }

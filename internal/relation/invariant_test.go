@@ -1,0 +1,134 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCheckInvariantsCleanGraph: a freshly learned graph passes.
+func TestCheckInvariantsCleanGraph(t *testing.T) {
+	g := New()
+	for _, n := range []string{"a", "b", "c"} {
+		g.AddVertex(n, 1)
+	}
+	g.Learn("a", "b")
+	g.Learn("c", "b")
+	g.Learn("b", "c")
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("clean graph flagged: %v", err)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption: each hand-broken invariant is
+// reported. The graph internals are reached directly (same package) the
+// way a buggy mutation would reach them.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		for _, n := range []string{"a", "b", "c"} {
+			g.AddVertex(n, 1)
+		}
+		g.Learn("a", "b")
+		g.Learn("c", "b")
+		return g
+	}
+
+	t.Run("mirror-mismatch", func(t *testing.T) {
+		g := build()
+		g.verts["a"].Out["b"] = 0.9 // In side still holds the old weight
+		if err := g.CheckInvariants(); err == nil {
+			t.Fatal("mirror mismatch not detected")
+		}
+	})
+	t.Run("missing-in-mirror", func(t *testing.T) {
+		g := build()
+		delete(g.verts["b"].In, "a")
+		if err := g.CheckInvariants(); err == nil {
+			t.Fatal("missing In mirror not detected")
+		}
+	})
+	t.Run("weight-above-one", func(t *testing.T) {
+		g := build()
+		g.verts["a"].Out["b"] = 1.5
+		g.verts["b"].In["a"] = 1.5
+		if err := g.CheckInvariants(); err == nil {
+			t.Fatal("weight > 1 not detected")
+		}
+	})
+	t.Run("negative-weight", func(t *testing.T) {
+		g := build()
+		g.verts["a"].Out["b"] = -0.25
+		g.verts["b"].In["a"] = -0.25
+		if err := g.CheckInvariants(); err == nil {
+			t.Fatal("negative weight not detected")
+		}
+	})
+	t.Run("in-sum-above-one", func(t *testing.T) {
+		g := build()
+		// Both mirrored consistently, but the in-weights of b sum past 1:
+		// the Eq. (1) normalization violation.
+		g.verts["a"].Out["b"] = 0.8
+		g.verts["b"].In["a"] = 0.8
+		g.verts["c"].Out["b"] = 0.8
+		g.verts["b"].In["c"] = 0.8
+		if err := g.CheckInvariants(); err == nil {
+			t.Fatal("in-weight sum > 1 not detected")
+		}
+	})
+	t.Run("edge-counter-drift", func(t *testing.T) {
+		g := build()
+		g.edges++
+		if err := g.CheckInvariants(); err == nil {
+			t.Fatal("edge counter drift not detected")
+		}
+	})
+}
+
+// TestGraphInvariantsUnderRandomOps drives long random Learn/Decay
+// sequences through the invariant checker: 10k operations per seed, the
+// invariants verified after every operation. This is the property test for
+// the §IV-C math — no sequence of halvings and decays may push an
+// in-weight sum past 1, desynchronize the Out/In mirrors, or leave an edge
+// below the decay floor.
+func TestGraphInvariantsUnderRandomOps(t *testing.T) {
+	const (
+		vertices = 12
+		ops      = 10000
+	)
+	for _, seed := range []int64{1, 42, 20260806} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := New()
+			names := make([]string, vertices)
+			for i := range names {
+				names[i] = fmt.Sprintf("call%02d", i)
+				g.AddVertex(names[i], 0.1+rng.Float64())
+			}
+			for op := 0; op < ops; op++ {
+				if rng.Intn(10) == 0 {
+					factor := 0.5 + rng.Float64()*0.45
+					floor := rng.Float64() * 0.05
+					g.Decay(factor, floor)
+					if err := g.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: Decay(%g, %g) broke invariants: %v", op, factor, floor, err)
+					}
+					// The floor holds immediately after a decay.
+					if err := g.checkInvariantsLocked(floor); err != nil {
+						t.Fatalf("op %d: decay floor violated: %v", op, err)
+					}
+				} else {
+					a := names[rng.Intn(vertices)]
+					b := names[rng.Intn(vertices)]
+					g.Learn(a, b)
+					if err := g.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: Learn(%s, %s) broke invariants: %v", op, a, b, err)
+					}
+				}
+			}
+			if g.Len() != vertices {
+				t.Fatalf("vertex count changed: %d", g.Len())
+			}
+		})
+	}
+}

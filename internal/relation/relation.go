@@ -85,10 +85,12 @@ func (g *Graph) Vertex(name string) *Vertex {
 	c := &Vertex{Name: v.Name, Weight: v.Weight,
 		Out: make(map[string]float64, len(v.Out)),
 		In:  make(map[string]float64, len(v.In))}
-	for k, w := range v.Out {
+	// Plain map copies: the resulting maps are identical regardless of
+	// iteration order.
+	for k, w := range v.Out { //droidvet:nondet order-independent map copy
 		c.Out[k] = w
 	}
-	for k, w := range v.In {
+	for k, w := range v.In { //droidvet:nondet order-independent map copy
 		c.In[k] = w
 	}
 	return c
@@ -170,6 +172,7 @@ func (g *Graph) Learn(a, b string) {
 	va.Out[b] = w
 	vb.In[a] = w
 	g.learns++
+	g.sanCheck("Learn", 0)
 }
 
 // Decay multiplies every edge weight by factor (0 < factor < 1), the
@@ -181,8 +184,11 @@ func (g *Graph) Decay(factor, floor float64) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, v := range g.verts {
-		for b, w := range v.Out {
+	// Each edge is scaled (or pruned) independently — no cross-edge reads —
+	// so the post-decay graph is identical in any iteration order. Learn is
+	// the order-sensitive path and iterates sorted siblings instead.
+	for _, v := range g.verts { //droidvet:nondet order-independent per-edge decay
+		for b, w := range v.Out { //droidvet:nondet order-independent per-edge decay
 			nw := w * factor
 			if nw < floor {
 				delete(v.Out, b)
@@ -194,6 +200,7 @@ func (g *Graph) Decay(factor, floor float64) {
 			g.verts[b].In[v.Name] = nw
 		}
 	}
+	g.sanCheck("Decay", floor)
 }
 
 // PickBase draws a base invocation: vertices are sampled proportionally to
@@ -302,6 +309,78 @@ func (g *Graph) String() string {
 		len(g.verts), g.edges, g.learns)
 }
 
+// CheckInvariants verifies the graph's structural invariants — the
+// properties every perf shortcut and the §IV-C math rely on:
+//
+//   - Out/In mirror consistency: w(a,b) recorded in a.Out equals the copy
+//     in b.In, and neither side has an edge the other lacks;
+//   - weight range: every edge weight is in [0, 1] (Eq. (1) assigns the
+//     normalized remainder, never more);
+//   - Eq. (1) normalization: the in-weight sum of every vertex is ≤ 1
+//     (within float tolerance);
+//   - the edge counter matches the number of Out entries.
+//
+// It returns the first violation found, or nil. The droidfuzz_sanitize
+// build runs it after every Learn and Decay; tests and tools may call it
+// directly at any time.
+func (g *Graph) CheckInvariants() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.checkInvariantsLocked(0)
+}
+
+// checkInvariantsLocked is CheckInvariants with g.mu already held; a
+// positive minWeight additionally asserts the decay floor (no surviving
+// edge below it — Decay must prune, not underflow).
+func (g *Graph) checkInvariantsLocked(minWeight float64) error {
+	const eps = 1e-6
+	edges := 0
+	// Validation scans: each edge is checked independently and the
+	// tolerance-compared sum is order-insensitive at eps scale.
+	for _, v := range g.verts { //droidvet:nondet order-independent validation scan
+		edges += len(v.Out)
+		for b, w := range v.Out { //droidvet:nondet order-independent validation scan
+			vb, ok := g.verts[b]
+			if !ok {
+				return fmt.Errorf("edge %s->%s points at a missing vertex", v.Name, b)
+			}
+			in, ok := vb.In[v.Name]
+			if !ok {
+				return fmt.Errorf("edge %s->%s has no In mirror", v.Name, b)
+			}
+			if in != w {
+				return fmt.Errorf("edge %s->%s mirror mismatch: Out=%g In=%g", v.Name, b, w, in)
+			}
+			if w < 0 || w > 1+eps {
+				return fmt.Errorf("edge %s->%s weight %g outside [0,1]", v.Name, b, w)
+			}
+			if minWeight > 0 && w < minWeight {
+				return fmt.Errorf("edge %s->%s weight %g survived below the decay floor %g", v.Name, b, w, minWeight)
+			}
+		}
+		for a, w := range v.In { //droidvet:nondet order-independent validation scan
+			va, ok := g.verts[a]
+			if !ok {
+				return fmt.Errorf("in-edge %s->%s names a missing vertex", a, v.Name)
+			}
+			if out, ok := va.Out[v.Name]; !ok || out != w {
+				return fmt.Errorf("in-edge %s->%s has no matching Out entry", a, v.Name)
+			}
+		}
+		var sum float64
+		for _, w := range v.In { //droidvet:nondet tolerance-compared sum
+			sum += w
+		}
+		if sum > 1+eps {
+			return fmt.Errorf("in-weight sum of %s is %g > 1: Eq. (1) normalization violated", v.Name, sum)
+		}
+	}
+	if edges != g.edges {
+		return fmt.Errorf("edge counter %d does not match %d recorded edges", g.edges, edges)
+	}
+	return nil
+}
+
 // InWeightSum returns the total in-edge weight of b (≈1 after learning, by
 // Eq. (1) normalization); exposed for tests and invariant checks.
 func (g *Graph) InWeightSum(b string) float64 {
@@ -312,7 +391,10 @@ func (g *Graph) InWeightSum(b string) float64 {
 		return 0
 	}
 	var sum float64
-	for _, w := range v.In {
+	// Float summation order varies with map order, but this accessor only
+	// feeds tolerance-compared invariant checks and tests, never the
+	// engine's decision path.
+	for _, w := range v.In { //droidvet:nondet tolerance-compared diagnostic sum
 		sum += w
 	}
 	return sum

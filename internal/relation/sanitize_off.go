@@ -1,0 +1,11 @@
+//go:build !droidfuzz_sanitize
+
+package relation
+
+// SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
+const SanitizeEnabled = false
+
+// sanCheck is a no-op in normal builds; Learn and Decay call it
+// unconditionally and the compiler erases the call. Build with
+// -tags droidfuzz_sanitize to run CheckInvariants after every mutation.
+func (g *Graph) sanCheck(string, float64) {}

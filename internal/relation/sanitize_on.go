@@ -1,0 +1,18 @@
+//go:build droidfuzz_sanitize
+
+package relation
+
+import "fmt"
+
+// SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
+const SanitizeEnabled = true
+
+// sanCheck runs the full invariant sweep after a mutation (Learn, Decay)
+// while g.mu is still held, and panics on the first violation — in a
+// sanitize build a broken graph must stop the campaign at the mutation
+// that broke it, not surface later as skewed generation probabilities.
+func (g *Graph) sanCheck(op string, minWeight float64) {
+	if err := g.checkInvariantsLocked(minWeight); err != nil {
+		panic(fmt.Sprintf("droidfuzz_sanitize: relation.Graph invariant violated after %s: %v", op, err))
+	}
+}

@@ -5,6 +5,9 @@
 # engine with zero transport errors, then run a second campaign in
 # windowed-batch mode (wire protocol v2) and assert the summary uplink
 # actually saved coverage bytes, before shutting the daemon down cleanly.
+# A third campaign repeats the batched run with both binaries built under
+# the droidfuzz_sanitize tag, so checked pools, graph invariants, and wire
+# round-trip verification all run against real remote traffic.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -121,4 +124,56 @@ grep -q 'shutting down' "$WORK/brokerd.log" || {
 }
 BROKERD_PID=""
 
-echo "PASS: remote loopback smoke ok"
+# Third campaign: the same batched loop with the invariant sanitizer
+# compiled in on both ends. Any double-Put, use-after-put, relation-graph
+# invariant break, or wire round-trip mismatch panics the offending
+# process and fails the smoke.
+SAN_ADDR1="127.0.0.1:$((BASE_PORT + 2))"
+SAN_ADDR2="127.0.0.1:$((BASE_PORT + 3))"
+
+go build -tags droidfuzz_sanitize -o "$WORK/droidbrokerd_san" ./cmd/droidbrokerd
+go build -tags droidfuzz_sanitize -o "$WORK/droidfleet_san" ./cmd/droidfleet
+
+"$WORK/droidbrokerd_san" -devices A1,B -listen "$SAN_ADDR1" >"$WORK/brokerd_san.log" 2>&1 &
+BROKERD_PID=$!
+
+for i in $(seq 1 100); do
+    if grep -q '^droidbrokerd: ready$' "$WORK/brokerd_san.log"; then
+        break
+    fi
+    if ! kill -0 "$BROKERD_PID" 2>/dev/null; then
+        echo "FAIL: sanitize droidbrokerd died during startup" >&2
+        cat "$WORK/brokerd_san.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q '^droidbrokerd: ready$' "$WORK/brokerd_san.log" || {
+    echo "FAIL: sanitize droidbrokerd never became ready" >&2
+    cat "$WORK/brokerd_san.log" >&2
+    exit 1
+}
+
+"$WORK/droidfleet_san" -remote "$SAN_ADDR1,$SAN_ADDR2" -iters 300 -rounds 1 \
+    -pipeline 4 -batch 32 -window 8 \
+    -status "$WORK/status_san.json" | tee "$WORK/fleet_san.log"
+
+if ! grep -q '"exec_errors": 0' "$WORK/status_san.json"; then
+    echo "FAIL: sanitize campaign shows transport errors" >&2
+    cat "$WORK/status_san.json" >&2
+    exit 1
+fi
+if grep -q 'droidfuzz_sanitize:' "$WORK/brokerd_san.log"; then
+    echo "FAIL: sanitizer fired on the device side" >&2
+    cat "$WORK/brokerd_san.log" >&2
+    exit 1
+fi
+
+kill -TERM "$BROKERD_PID"
+wait "$BROKERD_PID" || {
+    echo "FAIL: sanitize droidbrokerd exited nonzero on SIGTERM" >&2
+    exit 1
+}
+BROKERD_PID=""
+
+echo "PASS: remote loopback smoke ok (plain, batched, sanitize)"
