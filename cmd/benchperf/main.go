@@ -11,9 +11,16 @@
 // over net.Pipe, with round-trips/sec and device-uplink bytes/exec for
 // both, and the derived throughput and byte-reduction factors.
 //
+// -pr 5 runs the PR 5 fleet-scaling benchmarks and writes BENCH_PR5.json:
+// 1/2/4/8 engines over shared state (snapshot relation graph, atomic
+// coverage bitmap, lock-free collector, striped dedup) against the
+// pre-PR-5 lock-everything reference, plus the per-Hit collector
+// microbenchmark pair. With -short only the 8-engine pair and the
+// collector pair run — the CI smoke configuration.
+//
 // Usage:
 //
-//	go run ./cmd/benchperf [-pr 1|3] [-o FILE] [-benchtime 1s]
+//	go run ./cmd/benchperf [-pr 1|3|5] [-short] [-o FILE] [-benchtime 1s]
 package main
 
 import (
@@ -88,9 +95,10 @@ func measure(name string, f func(*testing.B)) measurement {
 }
 
 func main() {
-	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1 or 3)")
+	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3 or 5)")
 	out := flag.String("o", "", "output file (default BENCH_PR<n>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
+	short := flag.Bool("short", false, "smoke subset: skip the 1/2/4-engine fleet points (-pr 5 only)")
 	flag.Parse()
 	flag.Set("test.benchtime", benchtime.String())
 
@@ -149,8 +157,51 @@ func main() {
 		}
 		summary = fmt.Sprintf("round trips %.2fx, uplink bytes %.2fx fewer",
 			rep.Speedups["TransportRoundTrips"], rep.Speedups["TransportUplinkBytes"])
+	case 5:
+		rep.Description = "shared fleet state: snapshot relation graph, bitmap coverage, lock-free kcov hot path"
+		benches := []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"Fleet1", perf.Fleet1},
+			{"Fleet2", perf.Fleet2},
+			{"Fleet4", perf.Fleet4},
+			{"Fleet8", perf.Fleet8},
+			{"FleetLegacy1", perf.FleetLegacy1},
+			{"FleetLegacy2", perf.FleetLegacy2},
+			{"FleetLegacy4", perf.FleetLegacy4},
+			{"FleetLegacy8", perf.FleetLegacy8},
+			{"CollectorHit", perf.CollectorHit},
+			{"CollectorHitLegacy", perf.CollectorHitLegacy},
+		}
+		if *short {
+			benches = []struct {
+				name string
+				body func(*testing.B)
+			}{
+				{"Fleet8", perf.Fleet8},
+				{"FleetLegacy8", perf.FleetLegacy8},
+				{"CollectorHit", perf.CollectorHit},
+				{"CollectorHitLegacy", perf.CollectorHitLegacy},
+			}
+		}
+		for _, b := range benches {
+			rep.Benchmarks[b.name] = measure(b.name, b.body)
+		}
+		rep.Speedups = map[string]float64{
+			"Fleet8ExecsPerSec": round2(rep.Benchmarks["Fleet8"].ExecsPerSec /
+				rep.Benchmarks["FleetLegacy8"].ExecsPerSec),
+			"CollectorHit": round2(rep.Benchmarks["CollectorHitLegacy"].NsPerOp /
+				rep.Benchmarks["CollectorHit"].NsPerOp),
+		}
+		if !*short {
+			rep.Speedups["Fleet1ExecsPerSec"] = round2(rep.Benchmarks["Fleet1"].ExecsPerSec /
+				rep.Benchmarks["FleetLegacy1"].ExecsPerSec)
+		}
+		summary = fmt.Sprintf("8-engine fleet %.2fx execs/sec, collector hit %.2fx",
+			rep.Speedups["Fleet8ExecsPerSec"], rep.Speedups["CollectorHit"])
 	default:
-		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1 or 3)\n", *pr)
+		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3 or 5)\n", *pr)
 		os.Exit(1)
 	}
 

@@ -1,7 +1,7 @@
 // Command droidvet runs DroidFuzz's project-specific static checks: the
-// determinism, poolcheck, lockorder, and taggedfield passes over the whole
-// module. It exits nonzero when any un-waived finding survives, which makes
-// it a CI gate (`make vet` runs it after `go vet`).
+// determinism, poolcheck, lockorder, taggedfield, and snapshot passes over
+// the whole module. It exits nonzero when any un-waived finding survives,
+// which makes it a CI gate (`make vet` runs it after `go vet`).
 //
 // Usage:
 //

@@ -15,6 +15,7 @@ const (
 	PassPoolcheck   = "poolcheck"
 	PassLockorder   = "lockorder"
 	PassTaggedField = "wire"
+	PassSnapshot    = "snapshot"
 )
 
 // Diagnostic is one droidvet finding.
@@ -58,6 +59,14 @@ type Config struct {
 	// (relative paths resolve against the module root). Empty disables the
 	// manifest comparison; interface-member checks still run.
 	WireManifest string
+	// SnapshotTypes are the fully qualified named types that are immutable
+	// once published through an atomic pointer (relation.Snapshot); the
+	// snapshot pass flags any write descending through a value of them.
+	SnapshotTypes []string
+	// SnapshotBuilders are the "pkgpath.FuncName" functions allowed to
+	// write snapshot fields: construction under the master lock, before
+	// publication.
+	SnapshotBuilders []string
 }
 
 // DefaultConfig returns the production rule set for the droidfuzz module.
@@ -91,6 +100,13 @@ func DefaultConfig() Config {
 			"droidfuzz/internal/feedback.SpecTable",
 			"droidfuzz/internal/daemon.Daemon",
 			"droidfuzz/internal/relation.Graph",
+			"droidfuzz/internal/relation.LearnBuffer",
+		},
+		SnapshotTypes: []string{
+			"droidfuzz/internal/relation.Snapshot",
+		},
+		SnapshotBuilders: []string{
+			"droidfuzz/internal/relation.buildSnapshotLocked",
 		},
 		WireRoots: []string{
 			"droidfuzz/internal/adb.rpcRequest",
@@ -109,6 +125,7 @@ func Analyze(prog *Program, cfg Config) []Diagnostic {
 	diags = append(diags, checkPools(prog, cfg)...)
 	diags = append(diags, checkLockOrder(prog, cfg)...)
 	diags = append(diags, checkWireFrames(prog, cfg)...)
+	diags = append(diags, checkSnapshots(prog, cfg)...)
 	diags = w.filter(diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -28,8 +28,10 @@ func fixtureConfig() analysis.Config {
 			ReleaseMethod: "Release",
 			PoolVars:      []string{"vettest/pool.objPool"},
 		}},
-		LockTypes: []string{"vettest/locks.A", "vettest/locks.B"},
-		WireRoots: []string{"vettest/wire.Frame"},
+		LockTypes:        []string{"vettest/locks.A", "vettest/locks.B"},
+		WireRoots:        []string{"vettest/wire.Frame"},
+		SnapshotTypes:    []string{"vettest/snap.View"},
+		SnapshotBuilders: []string{"vettest/snap.New"},
 		// No manifest by default; TestWireManifestLifecycle covers it.
 	}
 }
@@ -124,6 +126,36 @@ func TestTaggedFieldPassOnFixture(t *testing.T) {
 	if len(iface) != 1 || !strings.Contains(iface[0].Message, "Payload") {
 		dump(t, diags)
 		t.Errorf("interface-member findings = %v, want exactly one naming Payload", iface)
+	}
+}
+
+func TestSnapshotPassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	// The four seeded misuse sites in snapuse.go: two assignment writes
+	// (Mutate), one increment and one delete (Bump).
+	if got := matching(diags, analysis.PassSnapshot, "snapuse.go", "assignment writes"); len(got) != 2 {
+		dump(t, diags)
+		t.Errorf("assignment-write findings = %d, want 2", len(got))
+	}
+	if got := matching(diags, analysis.PassSnapshot, "snapuse.go", "mutates snapshot"); len(got) != 1 {
+		dump(t, diags)
+		t.Errorf("++ findings = %d, want 1", len(got))
+	}
+	if got := matching(diags, analysis.PassSnapshot, "snapuse.go", "delete()"); len(got) != 1 {
+		dump(t, diags)
+		t.Errorf("delete findings = %d, want 1", len(got))
+	}
+	// Nothing beyond the four: the waived site, the read-only accessor,
+	// the local-rebinding, and the copy-then-mutate pattern all stay clean.
+	if got := matching(diags, analysis.PassSnapshot, "snapuse.go", ""); len(got) != 4 {
+		dump(t, got)
+		t.Errorf("snapuse.go snapshot findings = %d, want exactly 4", len(got))
+	}
+	// The registered builder's construction writes are exempt.
+	if got := matching(diags, analysis.PassSnapshot, "snap.go", ""); len(got) != 0 {
+		dump(t, got)
+		t.Errorf("builder package produced %d snapshot findings, want 0", len(got))
 	}
 }
 

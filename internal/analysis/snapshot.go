@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkSnapshots enforces publish-immutability for the configured snapshot
+// types (PR 5's atomic-pointer pattern: relation.Snapshot). A snapshot is
+// built once, published through an atomic pointer, and from then on read by
+// every engine without synchronization — so ANY write reaching a value of a
+// snapshot type is a data race waiting for a fleet campaign to hit it. The
+// pass flags
+//
+//   - assignments (including op= forms) whose left-hand side descends
+//     through a value of a snapshot type: s.edges = 1, s.succ[i] = e,
+//     v.Weights[0] += 0.1;
+//   - ++/-- on such expressions;
+//   - delete() on a map owned by a snapshot type.
+//
+// Construction has to write, so functions named in SnapshotBuilders
+// ("pkgpath.FuncName", e.g. relation's buildSnapshotLocked) are exempt:
+// they run under the master lock before the value is published. The pass is
+// flow-insensitive — it does not try to prove a snapshot value is still
+// private — because the whole point of the pattern is that nothing outside
+// the builder should ever need to mutate one; copy first instead, or waive
+// a provably pre-publication site with //droidvet:snapshot.
+func checkSnapshots(prog *Program, cfg Config) []Diagnostic {
+	if len(cfg.SnapshotTypes) == 0 {
+		return nil
+	}
+	snap := make(map[*types.TypeName]string)
+	for _, tp := range cfg.SnapshotTypes {
+		if tn := lookupNamed(prog, tp); tn != nil {
+			snap[tn] = shortTypeName(tp)
+		}
+	}
+	if len(snap) == 0 {
+		return nil
+	}
+	builders := make(map[string]bool, len(cfg.SnapshotBuilders))
+	for _, b := range cfg.SnapshotBuilders {
+		builders[b] = true
+	}
+	var diags []Diagnostic
+	for _, path := range prog.SortedPaths() {
+		pkg := prog.Pkgs[path]
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn := funcFor(pkg, fd); fn != nil && fn.Pkg() != nil &&
+					builders[fn.Pkg().Path()+"."+fn.Name()] {
+					continue
+				}
+				diags = append(diags, snapshotWritesIn(prog, pkg, fd, snap)...)
+			}
+		}
+	}
+	return diags
+}
+
+func snapshotWritesIn(prog *Program, pkg *Package, fd *ast.FuncDecl, snap map[*types.TypeName]string) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, name, how string) {
+		diags = append(diags, Diagnostic{
+			Pos:  prog.Fset.Position(n.Pos()),
+			Pass: PassSnapshot,
+			Message: fmt.Sprintf("%s %s, but snapshots are immutable once published; "+
+				"build in a registered builder or copy before mutating", how, name),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name, ok := snapshotOwned(pkg.Info, lhs, snap); ok {
+					report(n, name, "assignment writes into snapshot type")
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := snapshotOwned(pkg.Info, n.X, snap); ok {
+				report(n, name, "++/-- mutates snapshot type")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if name, ok := snapshotOwned(pkg.Info, n.Args[0], snap); ok {
+						report(n, name, "delete() removes from a map owned by snapshot type")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// snapshotOwned reports whether expr is an access chain (selectors, index
+// expressions, dereferences) descending through a value whose named type is
+// one of the snapshot types, and if so which one. A bare identifier of
+// snapshot type is not a hit: rebinding a local variable is harmless, only
+// writes through the shared structure are races.
+func snapshotOwned(info *types.Info, expr ast.Expr, snap map[*types.TypeName]string) (string, bool) {
+	for {
+		expr = ast.Unparen(expr)
+		var inner ast.Expr
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			inner = e.X
+		case *ast.IndexExpr:
+			inner = e.X
+		case *ast.StarExpr:
+			inner = e.X
+		default:
+			return "", false
+		}
+		if tv, ok := info.Types[inner]; ok {
+			if named := namedOf(tv.Type); named != nil {
+				if name, hit := snap[named.Obj()]; hit {
+					return name, true
+				}
+			}
+		}
+		expr = inner
+	}
+}

@@ -1,0 +1,45 @@
+// Package snapuse seeds snapshot-misuse violations for droidvet's own
+// tests: writes into a published snap.View outside its registered builder.
+package snapuse
+
+import "vettest/snap"
+
+// Mutate writes into a published snapshot: both sites must be flagged.
+func Mutate(v *snap.View) {
+	v.Names[0] = "tampered"
+	v.Weights[0] += 0.5
+}
+
+// Bump seeds the ++ and delete() forms: both flagged.
+func Bump(v *snap.View) {
+	v.Gen++
+	delete(v.Index, "gone")
+}
+
+// Waived is a flagged-shape write owned by an explicit waiver: the value
+// is provably pre-publication in this fixture's story, so it stays clean.
+func Waived(v *snap.View) {
+	v.Gen = 0 //droidvet:snapshot fixture: pre-publication fix-up
+}
+
+// Read only reads; never flagged.
+func Read(v *snap.View) float64 {
+	var sum float64
+	for i := range v.Weights {
+		sum += v.Weights[i]
+	}
+	return sum
+}
+
+// CopyThenMutate is the sanctioned pattern: deep-copy first, then write
+// the private copy. The writes land on locals, not the shared value, and
+// must not be flagged.
+func CopyThenMutate(v *snap.View) *snap.View {
+	names := make([]string, len(v.Names))
+	copy(names, v.Names)
+	weights := make([]float64, len(v.Weights))
+	copy(weights, v.Weights)
+	names[0] = "mine"
+	weights[0] = 0.25
+	return snap.New(names, weights)
+}

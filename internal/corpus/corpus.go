@@ -89,29 +89,45 @@ func (c *Corpus) Adds() uint64 {
 // higher contributed signal (prio ∝ signal+1). Returns nil on an empty
 // corpus.
 func (c *Corpus) Pick(rng *rand.Rand) *dsl.Prog {
+	return c.PickN(rng, -1)
+}
+
+// PickN is Pick restricted to the first n entries. Because the corpus is
+// append-only and an entry's Signal never changes after admission, the
+// first n entries are a pinned view of the corpus as it stood when it had
+// length n — the pipelined producer draws from views captured at
+// deterministic sync points so identical campaigns make identical draws
+// regardless of goroutine scheduling. n < 0 (or n beyond the current
+// length) means the whole corpus; the draw sequence on the same prefix is
+// identical to Pick's.
+func (c *Corpus) PickN(rng *rand.Rand, n int) *dsl.Prog {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.entries) == 0 {
+	ents := c.entries
+	if n >= 0 && n < len(ents) {
+		ents = ents[:n]
+	}
+	if len(ents) == 0 {
 		return nil
 	}
 	if rng.Intn(2) == 0 {
-		e := c.entries[rng.Intn(len(c.entries))]
+		e := ents[rng.Intn(len(ents))]
 		e.Hits++
 		return e.Prog.Clone()
 	}
 	total := 0
-	for _, e := range c.entries {
+	for _, e := range ents {
 		total += e.Signal + 1
 	}
 	x := rng.Intn(total)
-	for _, e := range c.entries {
+	for _, e := range ents {
 		x -= e.Signal + 1
 		if x < 0 {
 			e.Hits++
 			return e.Prog.Clone()
 		}
 	}
-	e := c.entries[len(c.entries)-1]
+	e := ents[len(ents)-1]
 	e.Hits++
 	return e.Prog.Clone()
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"droidfuzz/internal/adb"
 	"droidfuzz/internal/dsl"
@@ -92,26 +93,59 @@ func Classify(cr adb.CrashRecord) (Component, BugType) {
 	}
 }
 
-// Dedup collects unique findings by title. Safe for concurrent use.
-type Dedup struct {
+// dedupStripes is the lock-stripe fanout. Crash dedup is written by every
+// engine in a fleet (most executions that crash hit an already-known
+// title), so the title space is hashed across independent stripes and a
+// status read never holds more than one stripe at a time.
+const dedupStripes = 16
+
+// dedupStripe guards one hash partition of the records.
+type dedupStripe struct {
 	mu      sync.Mutex
 	records map[string]*Record
+}
+
+// Dedup collects unique findings by title. Safe for concurrent use:
+// lookups and count bumps lock only the stripe owning the title, the
+// discovery-order index has its own lock, and the unique count is an
+// atomic — Len never touches a stripe at all.
+type Dedup struct {
+	stripes [dedupStripes]dedupStripe
+	n       atomic.Int64
+	orderMu sync.Mutex
 	order   []string
 }
 
 // NewDedup returns an empty collector.
 func NewDedup() *Dedup {
-	return &Dedup{records: make(map[string]*Record)}
+	d := &Dedup{}
+	for i := range d.stripes {
+		d.stripes[i].records = make(map[string]*Record)
+	}
+	return d
+}
+
+// stripe returns the stripe owning a normalized title (FNV-1a).
+func (d *Dedup) stripe(title string) *dedupStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(title); i++ {
+		h ^= uint32(title[i])
+		h *= 16777619
+	}
+	return &d.stripes[h%dedupStripes]
 }
 
 // Add records an incident; repro may be nil. It returns the record and
-// whether the title was new.
+// whether the title was new. The returned pointer stays owned by the
+// collector — concurrent snapshots should go through Records, which
+// copies.
 func (d *Dedup) Add(deviceID string, cr adb.CrashRecord, repro *dsl.Prog, vtime uint64) (*Record, bool) {
 	title := NormalizeTitle(cr.Title)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if r, ok := d.records[title]; ok {
+	s := d.stripe(title)
+	s.mu.Lock()
+	if r, ok := s.records[title]; ok {
 		r.Count++
+		s.mu.Unlock()
 		return r, false
 	}
 	comp, typ := Classify(cr)
@@ -122,17 +156,22 @@ func (d *Dedup) Add(deviceID string, cr adb.CrashRecord, repro *dsl.Prog, vtime 
 	if repro != nil {
 		r.Repro = repro.Clone()
 	}
-	d.records[title] = r
+	s.records[title] = r
+	s.mu.Unlock()
+	d.n.Add(1)
+	d.orderMu.Lock()
 	d.order = append(d.order, title)
+	d.orderMu.Unlock()
 	return r, true
 }
 
 // UpdateRepro replaces a finding's reproducer after triage. Safe against
 // concurrent engines sharing the collector.
 func (d *Dedup) UpdateRepro(title string, p *dsl.Prog, reproducible bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	r, ok := d.records[NormalizeTitle(title)]
+	s := d.stripe(NormalizeTitle(title))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.records[NormalizeTitle(title)]
 	if !ok {
 		return
 	}
@@ -142,20 +181,29 @@ func (d *Dedup) UpdateRepro(title string, p *dsl.Prog, reproducible bool) {
 	}
 }
 
-// Len reports the number of unique findings.
+// Len reports the number of unique findings without taking any lock.
 func (d *Dedup) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.records)
+	return int(d.n.Load())
 }
 
-// Records returns the unique findings in discovery order.
+// Records returns the unique findings in discovery order. Each entry is a
+// copy taken under its stripe lock, so callers can read it while engines
+// keep bumping the live counts — the status path never blocks the fleet on
+// more than one stripe at a time.
 func (d *Dedup) Records() []*Record {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]*Record, 0, len(d.order))
-	for _, title := range d.order {
-		out = append(out, d.records[title])
+	d.orderMu.Lock()
+	titles := make([]string, len(d.order))
+	copy(titles, d.order)
+	d.orderMu.Unlock()
+	out := make([]*Record, 0, len(titles))
+	for _, title := range titles {
+		s := d.stripe(title)
+		s.mu.Lock()
+		if r, ok := s.records[title]; ok {
+			c := *r
+			out = append(out, &c)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -1,0 +1,63 @@
+package crash
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"droidfuzz/internal/adb"
+)
+
+// TestDedupConcurrentAddAndRecords: engines adding overlapping crash titles
+// while a status reader snapshots Records; counts, uniqueness and discovery
+// order must all survive. Run under -race this covers the striped locking.
+func TestDedupConcurrentAddAndRecords(t *testing.T) {
+	d := NewDedup()
+	const workers = 8
+	const perWorker = 200
+	const titles = 23 // spread across stripes, heavily shared
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				cr := adb.CrashRecord{
+					Kind:  "WARNING",
+					Title: fmt.Sprintf("WARNING in shared_site_%d: %d", i%titles, i),
+				}
+				d.Add(fmt.Sprintf("D%d", w), cr, nil, uint64(i))
+				if i%17 == 0 {
+					for _, r := range d.Records() {
+						if r.Count <= 0 || r.Title == "" {
+							t.Errorf("torn record snapshot: %+v", r)
+							return
+						}
+					}
+					_ = d.Len()
+					_ = d.ByComponent()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != titles {
+		t.Fatalf("unique findings = %d, want %d", d.Len(), titles)
+	}
+	recs := d.Records()
+	if len(recs) != titles {
+		t.Fatalf("records = %d, want %d", len(recs), titles)
+	}
+	total := 0
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if seen[r.Title] {
+			t.Fatalf("duplicate record for %q", r.Title)
+		}
+		seen[r.Title] = true
+		total += r.Count
+	}
+	if total != workers*perWorker {
+		t.Fatalf("count sum = %d, want %d", total, workers*perWorker)
+	}
+}

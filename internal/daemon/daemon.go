@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"droidfuzz/internal/adb"
 	"droidfuzz/internal/baseline"
@@ -62,20 +63,36 @@ func (d *Daemon) Dedup() *crash.Dedup { return d.dedup }
 
 // AddDevice boots the model, runs the probing pass, and attaches an engine.
 // cfg.Seed should differ per device for independent exploration.
+//
+// Boot and probing are the slow part and run outside the daemon lock, so
+// attaching a fleet of devices never serializes on d.mu (and a status read
+// during startup never waits behind a probe). The shared graph and dedup
+// are concurrency-safe, so the probing pass may learn into them before the
+// engine is registered.
 func (d *Daemon) AddDevice(modelID string, cfg engine.Config) error {
 	model, err := device.ModelByID(modelID)
 	if err != nil {
 		return err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, dup := d.engines[modelID]; dup {
+		d.mu.Unlock()
 		return fmt.Errorf("daemon: device %s already attached", modelID)
 	}
+	d.mu.Unlock()
+
 	dev := device.New(model)
 	eng, err := baseline.NewDroidFuzz(dev, d.graph, d.dedup, cfg)
 	if err != nil {
 		return fmt.Errorf("daemon: attach %s: %w", modelID, err)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.engines[modelID]; dup {
+		// A concurrent attach of the same model won the race while we were
+		// probing; keep the winner.
+		return fmt.Errorf("daemon: device %s already attached", modelID)
 	}
 	d.engines[modelID] = eng
 	d.devices[modelID] = dev
@@ -161,6 +178,8 @@ func (d *Daemon) SetBatchSize(n int) {
 // in attach order, which is deterministic for a fixed set of seeds.
 func (d *Daemon) Run(iters int, parallel bool) {
 	d.mu.Lock()
+	ids := make([]string, len(d.order))
+	copy(ids, d.order)
 	engines := make([]*engine.Engine, 0, len(d.order))
 	for _, id := range d.order {
 		engines = append(engines, d.engines[id])
@@ -182,6 +201,33 @@ func (d *Daemon) Run(iters int, parallel bool) {
 	if workers > len(engines) {
 		workers = len(engines)
 	}
+
+	// Parallel campaigns buffer relation learns per engine; the applier
+	// goroutine below periodically drains every buffer into the shared
+	// graph in (device, sequence) order. Engines therefore never contend
+	// on the graph lock mid-step — their generators read published
+	// snapshots, and learning is append-to-own-buffer.
+	bufs := make([]*relation.LearnBuffer, len(engines))
+	for i, e := range engines {
+		bufs[i] = relation.NewLearnBuffer(ids[i])
+		e.SetLearnBuffer(bufs[i])
+	}
+	stopApply := make(chan struct{})
+	applierDone := make(chan struct{})
+	go func() {
+		defer close(applierDone)
+		tick := time.NewTicker(learnApplyInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopApply:
+				return
+			case <-tick.C:
+				d.graph.ApplyBuffered(bufs...)
+			}
+		}
+	}()
+
 	queue := make(chan *engine.Engine)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -205,28 +251,56 @@ func (d *Daemon) Run(iters int, parallel bool) {
 	}
 	close(queue)
 	wg.Wait()
+
+	close(stopApply)
+	<-applierDone
+	// Final drain: everything recorded after the applier's last tick still
+	// lands in the graph before Run returns, and the engines go back to
+	// synchronous learning for any subsequent serial run.
+	d.graph.ApplyBuffered(bufs...)
+	for _, e := range engines {
+		e.SetLearnBuffer(nil)
+	}
 }
 
-// Stats snapshots all engines' counters keyed by model ID.
+// learnApplyInterval is the applier's drain cadence during parallel runs.
+// Learns are advisory guidance, not safety state: a few milliseconds of lag
+// costs nothing, while draining too eagerly would re-serialize the fleet on
+// the graph lock.
+const learnApplyInterval = 2 * time.Millisecond
+
+// Stats snapshots all engines' counters keyed by model ID. The engine map
+// is copied under the daemon lock, then every engine is queried unlocked —
+// engine counters are atomics, so a mid-campaign stats poll reads
+// consistent values without stalling any engine goroutine.
 func (d *Daemon) Stats() map[string]engine.Stats {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make(map[string]engine.Stats, len(d.engines))
+	engines := make(map[string]*engine.Engine, len(d.engines))
 	for id, e := range d.engines {
+		engines[id] = e
+	}
+	d.mu.Unlock()
+	out := make(map[string]engine.Stats, len(engines))
+	for id, e := range engines {
 		out[id] = e.Stats()
 	}
 	return out
 }
 
-// SaveCorpora persists every engine's corpus under dir/<modelID>/.
+// SaveCorpora persists every engine's corpus under dir/<modelID>/. File
+// I/O runs outside the daemon lock.
 func (d *Daemon) SaveCorpora(dir string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	ids := make([]string, len(d.order))
 	copy(ids, d.order)
+	engines := make(map[string]*engine.Engine, len(d.engines))
+	for id, e := range d.engines {
+		engines[id] = e
+	}
+	d.mu.Unlock()
 	slices.Sort(ids)
 	for _, id := range ids {
-		if err := d.engines[id].Corpus().Save(filepath.Join(dir, id)); err != nil {
+		if err := engines[id].Corpus().Save(filepath.Join(dir, id)); err != nil {
 			return err
 		}
 	}
@@ -283,13 +357,20 @@ func (d *Daemon) WriteStatus(w io.Writer) error {
 }
 
 // LoadCorpora restores previously saved corpora from dir/<modelID>/ into
-// the matching engines, returning per-device load counts.
+// the matching engines, returning per-device load counts. File I/O runs
+// outside the daemon lock.
 func (d *Daemon) LoadCorpora(dir string) (map[string]int, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	ids := make([]string, len(d.order))
+	copy(ids, d.order)
+	engines := make(map[string]*engine.Engine, len(d.engines))
+	for id, e := range d.engines {
+		engines[id] = e
+	}
+	d.mu.Unlock()
 	out := make(map[string]int)
-	for _, id := range d.order {
-		eng := d.engines[id]
+	for _, id := range ids {
+		eng := engines[id]
 		n, err := eng.Corpus().Load(filepath.Join(dir, id), eng.Gen().Target())
 		if err != nil {
 			return out, err

@@ -1,0 +1,99 @@
+package daemon
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"droidfuzz/internal/engine"
+)
+
+// TestFleetSharedStateRace runs four engines in parallel over the shared
+// graph/dedup state while readers hammer snapshots, walks and status
+// writes. It asserts nothing beyond completion and invariants — its job is
+// to put every shared structure under concurrent load for `go test -race`
+// (the CI race-repeats list runs this package).
+func TestFleetSharedStateRace(t *testing.T) {
+	d := New()
+	for i, id := range []string{"A1", "A2", "B", "C1"} {
+		if err := d.AddDevice(id, engine.Config{Seed: int64(900 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetMaxWorkers(4)
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Status path: stats + records + graph counters.
+			if err := d.WriteStatus(io.Discard); err != nil {
+				t.Errorf("WriteStatus: %v", err)
+				return
+			}
+			// Generation path: lock-free snapshot reads.
+			_ = d.Graph().Snapshot().Len()
+			_ = d.Dedup().Len()
+		}
+	}()
+
+	d.Run(150, true)
+	close(stop)
+	<-readerDone
+
+	if err := d.Graph().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for id, st := range d.Stats() {
+		if st.Execs == 0 {
+			t.Errorf("engine %s made no progress", id)
+		}
+	}
+}
+
+// TestWriteStatusDuringParallelCampaignDoesNotBlock: every status write
+// issued while a parallel campaign is running must complete promptly —
+// the status path snapshots atomics and striped state instead of waiting
+// for the campaign's locks.
+func TestWriteStatusDuringParallelCampaignDoesNotBlock(t *testing.T) {
+	d := New()
+	for i, id := range []string{"A1", "B"} {
+		if err := d.AddDevice(id, engine.Config{Seed: int64(40 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetMaxWorkers(2)
+
+	done := make(chan struct{})
+	go func() {
+		d.Run(400, true)
+		close(done)
+	}()
+
+	const statusBudget = 2 * time.Second // generous; a blocked write waits for the whole campaign
+	calls := 0
+	for {
+		select {
+		case <-done:
+			if calls == 0 {
+				t.Fatal("campaign finished before any status write was attempted")
+			}
+			return
+		default:
+		}
+		start := time.Now()
+		if err := d.WriteStatus(io.Discard); err != nil {
+			t.Fatalf("WriteStatus: %v", err)
+		}
+		if took := time.Since(start); took > statusBudget {
+			t.Fatalf("WriteStatus blocked for %v during a parallel campaign", took)
+		}
+		calls++
+	}
+}

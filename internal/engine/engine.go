@@ -15,6 +15,7 @@ package engine
 import (
 	"errors"
 	"math/rand"
+	"sync/atomic"
 
 	"droidfuzz/internal/adb"
 	"droidfuzz/internal/corpus"
@@ -151,13 +152,22 @@ type Engine struct {
 	// down.
 	modelID string
 
-	execs      uint64
-	generated  uint64
-	mutated    uint64
-	newSig     uint64
-	execErrors uint64
-	crashes    int
-	reboots    int
+	// learnBuf, when set by the daemon for a parallel campaign, receives
+	// the engine's relation learns instead of the shared graph; the daemon
+	// applies the buffered ops in deterministic (device, sequence) order.
+	// Serial campaigns leave it nil and learn synchronously.
+	learnBuf *relation.LearnBuffer
+
+	// Counters are atomics so the daemon's status path can snapshot them
+	// mid-campaign without stalling the engine goroutine. Only the engine
+	// itself writes them.
+	execs      atomic.Uint64
+	generated  atomic.Uint64
+	mutated    atomic.Uint64
+	newSig     atomic.Uint64
+	execErrors atomic.Uint64
+	crashes    atomic.Int64
+	reboots    atomic.Int64
 }
 
 // New builds an engine over an executor whose target already includes
@@ -194,9 +204,17 @@ func New(x adb.Executor, graph *relation.Graph, dedup *crash.Dedup, cfg Config) 
 	// the link is down.
 	if info, err := x.Info(); err == nil || info.ModelID != "" {
 		e.modelID = info.ModelID
-		e.reboots = info.Reboots
+		e.reboots.Store(int64(info.Reboots))
 	}
 	return e
+}
+
+// SetLearnBuffer routes subsequent relation learns into buf (parallel
+// campaigns) or, when buf is nil, back to synchronous graph learning. The
+// daemon calls it before starting and after finishing a parallel run; it
+// must not be called while the engine is stepping.
+func (e *Engine) SetLearnBuffer(buf *relation.LearnBuffer) {
+	e.learnBuf = buf
 }
 
 // Corpus exposes the engine's corpus (persistence, tests).
@@ -229,20 +247,22 @@ func (e *Engine) Gen() *gen.Generator { return e.gen }
 func (e *Engine) Rng() *rand.Rand { return e.rng }
 
 // Execs reports executions so far (the virtual-time clock).
-func (e *Engine) Execs() uint64 { return e.execs }
+func (e *Engine) Execs() uint64 { return e.execs.Load() }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. Safe to call from the daemon's status path
+// while the engine is mid-campaign: every source is an atomic or takes a
+// short independent lock.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Execs:       e.execs,
-		Generated:   e.generated,
-		Mutated:     e.mutated,
-		NewSignal:   e.newSig,
-		ExecErrors:  e.execErrors,
+		Execs:       e.execs.Load(),
+		Generated:   e.generated.Load(),
+		Mutated:     e.mutated.Load(),
+		NewSignal:   e.newSig.Load(),
+		ExecErrors:  e.execErrors.Load(),
 		CorpusSize:  e.corpus.Len(),
-		Crashes:     e.crashes,
+		Crashes:     int(e.crashes.Load()),
 		UniqueBugs:  e.dedup.Len(),
-		Reboots:     e.reboots,
+		Reboots:     int(e.reboots.Load()),
 		KernelCov:   e.acc.KernelTotal(),
 		TotalSignal: e.acc.Total(),
 	}
@@ -254,10 +274,10 @@ func (e *Engine) Stats() Stats {
 // proceeds — the next execution surfaces the same link trouble anyway.
 func (e *Engine) reboot() {
 	if err := e.x.Reboot(); err != nil {
-		e.execErrors++
+		e.execErrors.Add(1)
 		return
 	}
-	e.reboots++
+	e.reboots.Add(1)
 }
 
 // exec runs one program, bumping virtual time and handling crash fallout.
@@ -272,19 +292,19 @@ func (e *Engine) exec(p *dsl.Prog) (*adb.ExecResult, *feedback.Signal) {
 // triage). res may be nil on error. Both returned values are pooled; the
 // caller releases them.
 func (e *Engine) afterExec(p *dsl.Prog, res *adb.ExecResult, err error) (*adb.ExecResult, *feedback.Signal) {
-	e.execs++
+	e.execs.Add(1)
 	if err != nil || res == nil {
 		// Executor errors are surfaced through the ExecErrors counter
 		// rather than silently swallowed; the iteration proceeds on an
 		// empty result so virtual time still advances.
-		e.execErrors++
+		e.execErrors.Add(1)
 		return adb.GetResult(), feedback.NewSignal()
 	}
 	if len(res.Crashes) > 0 {
-		e.crashes += len(res.Crashes)
+		e.crashes.Add(int64(len(res.Crashes)))
 		var fresh []string
 		for _, cr := range res.Crashes {
-			if _, isNew := e.dedup.Add(e.modelID, cr, p, e.execs); isNew {
+			if _, isNew := e.dedup.Add(e.modelID, cr, p, e.execs.Load()); isNew {
 				fresh = append(fresh, crash.NormalizeTitle(cr.Title))
 			}
 		}
@@ -337,6 +357,19 @@ func (e *Engine) next(rng *rand.Rand, g *gen.Generator) (p *dsl.Prog, generated 
 	return p, false
 }
 
+// nextFrom is next drawing seeds only from the first climit corpus entries
+// — the pipelined producer's pinned corpus view. The draw order matches
+// next exactly.
+func (e *Engine) nextFrom(rng *rand.Rand, g *gen.Generator, climit int) (p *dsl.Prog, generated bool) {
+	seed := e.corpus.PickN(rng, climit)
+	if seed == nil || rng.Float64() < e.cfg.GenerateRatio {
+		return g.Generate(), true
+	}
+	donor := e.corpus.PickN(rng, climit)
+	p, _ = g.Mutate(seed, donor)
+	return p, false
+}
+
 // Step runs one fuzzing iteration.
 func (e *Engine) Step() {
 	p, generated := e.next(e.rng, e.gen)
@@ -359,14 +392,14 @@ func (e *Engine) stepWith(p *dsl.Prog, generated bool) {
 // batched paths.
 func (e *Engine) feed(p *dsl.Prog, generated bool, res *adb.ExecResult, sig *feedback.Signal) {
 	if generated {
-		e.generated++
+		e.generated.Add(1)
 	} else {
-		e.mutated++
+		e.mutated.Add(1)
 	}
 
 	newElems := e.acc.MergeNew(sig)
 	if newElems.Len() > 0 {
-		e.newSig++
+		e.newSig.Add(1)
 		admit := newElems.KernelLen() > 0 || e.rng.Float64() < e.cfg.DirAdmitProb
 		if admit {
 			admitted := p
@@ -386,11 +419,11 @@ func (e *Engine) feed(p *dsl.Prog, generated bool, res *adb.ExecResult, sig *fee
 	sig.Release()
 	res.Release()
 
-	if e.cfg.DecayEvery > 0 && e.execs%e.cfg.DecayEvery == 0 {
+	if e.cfg.DecayEvery > 0 && e.execs.Load()%e.cfg.DecayEvery == 0 {
 		e.graph.Decay(e.cfg.DecayFactor, 0.01)
 	}
-	if e.execs%e.cfg.SnapshotEvery == 0 {
-		e.acc.Snapshot(e.execs)
+	if e.execs.Load()%e.cfg.SnapshotEvery == 0 {
+		e.acc.Snapshot(e.execs.Load())
 	}
 	e.sanitizeStep()
 }
@@ -401,7 +434,7 @@ func (e *Engine) Run(n int) {
 	for i := 0; i < n; i++ {
 		e.Step()
 	}
-	e.acc.Snapshot(e.execs)
+	e.acc.Snapshot(e.execs.Load())
 }
 
 // pipelineSalt decorrelates the producer RNG from the engine RNG so the
@@ -414,12 +447,15 @@ const DefaultPipelineDepth = 4
 
 // RunPipelined executes n iterations with generation pipelined ahead of
 // execution: a producer goroutine keeps up to depth programs generated or
-// mutated in advance (drawing seeds from the live corpus) while this
-// goroutine executes, analyzes feedback, and admits. Selection draws come
-// from a producer-private RNG derived from the engine seed, so a pipelined
-// campaign is reproducible against itself but not bit-identical to a serial
-// one — mutation speculates on a corpus snapshot that admission may have
-// advanced past. Use Run when replay determinism matters.
+// mutated in advance while this goroutine executes, analyzes feedback, and
+// admits. Selection draws come from a producer-private RNG derived from
+// the engine seed, and the producer generates item i against an explicit
+// engine-state view (relation-graph snapshot + corpus length) captured
+// after item i-depth was fully fed back — never against live shared state
+// — so a pipelined campaign is reproducible against itself regardless of
+// goroutine scheduling, but not bit-identical to a serial one: mutation
+// speculates on a view that admission has advanced depth items past. Use
+// Run when replay determinism matters.
 func (e *Engine) RunPipelined(n, depth int) {
 	e.runPipelined(n, depth, 1)
 }
@@ -453,6 +489,18 @@ type pending struct {
 	generated bool
 }
 
+// pipeView is the engine-state view a pipelined producer generates against:
+// an immutable relation-graph snapshot and the corpus length at the capture
+// point (the corpus is append-only, so a length pins a prefix view). Views
+// are captured by the consumer at deterministic points — after feeding item
+// j it hands the producer the view for item j+depth — which makes pipelined
+// generation a pure function of (seed, iteration index) instead of a race
+// against the consumer's admissions and learns.
+type pipeView struct {
+	snap      *relation.Snapshot
+	corpusLen int
+}
+
 func (e *Engine) runPipelined(n, depth, batch int) {
 	if n <= 0 {
 		return
@@ -463,31 +511,62 @@ func (e *Engine) runPipelined(n, depth, batch int) {
 	prng := rand.New(rand.NewSource(int64(uint64(e.cfg.Seed) ^ pipelineSalt)))
 	pgen := gen.New(e.target, e.graph, prng, e.cfg.Gen)
 	ch := make(chan pending, depth)
+	// The batched consumer feeds nothing until a whole batch is collected,
+	// so the producer must be able to run a full batch ahead of the last
+	// ack on top of the pipeline depth or the two would deadlock.
+	lookahead := depth
+	if batch > 1 {
+		lookahead += batch - 1
+	}
+	views := make(chan pipeView, lookahead)
+	v0 := pipeView{snap: e.graph.Snapshot(), corpusLen: e.corpus.Len()}
+	prefill := lookahead
+	if n < prefill {
+		prefill = n
+	}
+	for i := 0; i < prefill; i++ {
+		views <- v0
+	}
+	// ack runs after each item is fully fed back; it releases the view for
+	// the item lookahead ahead. Capacity accounting: at most lookahead
+	// views are ever outstanding (prefilled + one per fed item, minus one
+	// consumed per produced item), so these sends never block.
+	fed := 0
+	ack := func() {
+		fed++
+		if fed+lookahead <= n {
+			views <- pipeView{snap: e.graph.Snapshot(), corpusLen: e.corpus.Len()}
+		}
+	}
 	go func() {
 		defer close(ch)
 		for i := 0; i < n; i++ {
-			p, generated := e.next(prng, pgen)
+			v := <-views
+			pgen.SetView(v.snap)
+			p, generated := e.nextFrom(prng, pgen, v.corpusLen)
 			ch <- pending{p, generated}
 		}
 	}()
 	bx, _ := e.x.(adb.BatchExecutor)
 	if batch > 1 && bx != nil {
-		e.consumeBatched(ch, bx, batch)
+		e.consumeBatched(ch, bx, batch, ack)
 	} else {
 		for item := range ch {
 			e.stepWith(item.p, item.generated)
+			ack()
 		}
 	}
-	e.acc.Snapshot(e.execs)
+	e.acc.Snapshot(e.execs.Load())
 }
 
 // consumeBatched drains the pipeline in batches: each program is
 // serialized exactly once (retries inside a resilient executor reuse the
 // same text), the batch executes remotely in summary mode, and every
-// result is fed back in order. Programs the batch failed to cover (a
-// transport error after retries, a broker rejection) are accounted as
-// ExecErrors, exactly like a failed singleton execution.
-func (e *Engine) consumeBatched(ch chan pending, bx adb.BatchExecutor, batch int) {
+// result is fed back in order, acking the producer's view handoff per
+// program. Programs the batch failed to cover (a transport error after
+// retries, a broker rejection) are accounted as ExecErrors, exactly like
+// a failed singleton execution.
+func (e *Engine) consumeBatched(ch chan pending, bx adb.BatchExecutor, batch int, ack func()) {
 	items := make([]pending, 0, batch)
 	texts := make([]string, 0, batch)
 	flush := func() {
@@ -505,6 +584,7 @@ func (e *Engine) consumeBatched(ch chan pending, bx adb.BatchExecutor, batch int
 			}
 			res, sig := e.afterExec(items[i].p, res, err)
 			e.feed(items[i].p, items[i].generated, res, sig)
+			ack()
 		}
 		items = items[:0]
 		texts = texts[:0]
@@ -560,9 +640,9 @@ func (e *Engine) minimize(p *dsl.Prog, want *feedback.Signal) *dsl.Prog {
 // reboots before the next candidate anyway).
 func (e *Engine) coversOnCurrentBoot(p *dsl.Prog, want *feedback.Signal) bool {
 	res, err := e.x.ExecProg(p)
-	e.execs++
+	e.execs.Add(1)
 	if err != nil {
-		e.execErrors++
+		e.execErrors.Add(1)
 		return false
 	}
 	if len(res.Crashes) > 0 || res.NeedsReboot() {
@@ -617,9 +697,9 @@ func (e *Engine) triageCrash(p *dsl.Prog, title string) {
 // (normalized) crash title. The caller reboots afterwards.
 func (e *Engine) crashesWith(p *dsl.Prog, title string) bool {
 	res, err := e.x.ExecProg(p)
-	e.execs++
+	e.execs.Add(1)
 	if err != nil {
-		e.execErrors++
+		e.execErrors.Add(1)
 		return false
 	}
 	hit := false
@@ -634,8 +714,16 @@ func (e *Engine) crashesWith(p *dsl.Prog, title string) bool {
 }
 
 // learn records the adjacent-pair dependencies of a minimized program into
-// the relation graph (paper Eq. (1)).
+// the relation graph (paper Eq. (1)) — directly in serial mode, or into
+// the daemon-applied buffer during parallel campaigns so the shared graph
+// is never locked on the engine's hot path.
 func (e *Engine) learn(p *dsl.Prog) {
+	if buf := e.learnBuf; buf != nil {
+		for i := 1; i < p.Len(); i++ {
+			buf.Learn(p.Calls[i-1].Desc.Name, p.Calls[i].Desc.Name)
+		}
+		return
+	}
 	for i := 1; i < p.Len(); i++ {
 		e.graph.Learn(p.Calls[i-1].Desc.Name, p.Calls[i].Desc.Name)
 	}

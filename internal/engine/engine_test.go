@@ -243,8 +243,10 @@ func TestEngineBatchedMatchesPipelinedProgress(t *testing.T) {
 	if cb == 0 {
 		t.Fatal("batched run found no coverage")
 	}
-	// Not bit-identical (pipelined generation is already nondeterministic),
-	// but the same order of magnitude: batching must not starve feedback.
+	// Not bit-identical (batching acks views at different points than
+	// per-program pipelining, so the producers see different corpus
+	// prefixes), but the same order of magnitude: batching must not
+	// starve feedback.
 	if cb*3 < ca {
 		t.Fatalf("batched coverage %d lags pipelined %d by >3x", cb, ca)
 	}
@@ -264,6 +266,48 @@ func corpusHash(e *engine.Engine) string {
 	}
 	fmt.Fprintf(h, "graph=%d\n", e.Graph().Len())
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestEnginePipelinedReproducesItself: pipelined mode trades bit-identity
+// with the serial schedule for throughput, but it must reproduce *itself*
+// regardless of goroutine scheduling — the producer generates against
+// explicit state views handed off at deterministic points, never against
+// live shared structures. Two same-seed pipelined campaigns must yield
+// content-identical corpora; this is the regression test for the snapshot
+// rewrite briefly making producer reads race with consumer learns.
+func TestEnginePipelinedReproducesItself(t *testing.T) {
+	for _, tc := range []struct {
+		model string
+		depth int
+	}{{"A1", 4}, {"B", 7}} {
+		a := newEngine(t, tc.model, engine.Config{Seed: 99})
+		b := newEngine(t, tc.model, engine.Config{Seed: 99})
+		a.RunPipelined(400, tc.depth)
+		b.RunPipelined(400, tc.depth)
+		if ha, hb := corpusHash(a), corpusHash(b); ha != hb {
+			t.Fatalf("model %s depth %d: same-seed pipelined replay diverged:\n  run1 %s (%d entries)\n  run2 %s (%d entries)",
+				tc.model, tc.depth, ha, a.Corpus().Len(), hb, b.Corpus().Len())
+		}
+		if a.Accumulator().Total() != b.Accumulator().Total() {
+			t.Fatalf("model %s: pipelined accumulated signal diverged: %d vs %d",
+				tc.model, a.Accumulator().Total(), b.Accumulator().Total())
+		}
+	}
+}
+
+// TestEngineBatchedReproducesItself: the batched consumer acks the view
+// handoff per program inside each flush, so batched campaigns carry the
+// same self-reproducibility guarantee (with lookahead widened by the batch
+// size so collection can't outrun the acks).
+func TestEngineBatchedReproducesItself(t *testing.T) {
+	a := newEngine(t, "A1", engine.Config{Seed: 99})
+	b := newEngine(t, "A1", engine.Config{Seed: 99})
+	a.RunPipelinedBatched(400, 4, 16)
+	b.RunPipelinedBatched(400, 4, 16)
+	if ha, hb := corpusHash(a), corpusHash(b); ha != hb {
+		t.Fatalf("same-seed batched replay diverged:\n  run1 %s (%d entries)\n  run2 %s (%d entries)",
+			ha, a.Corpus().Len(), hb, b.Corpus().Len())
+	}
 }
 
 // TestEngineSeedReplayIdenticalCorpus replays a fixed seed twice through

@@ -1,0 +1,71 @@
+package feedback
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAccumulatorConcurrentMerge: engines sharing an accumulator merge
+// overlapping signals in parallel; every distinct element must be counted
+// exactly once across the returned new-subsets, and the final totals must
+// match a serial reference. Run under -race this covers the lock-free
+// kernel bitmap path racing the mutex-guarded directional path.
+func TestAccumulatorConcurrentMerge(t *testing.T) {
+	const workers = 8
+	signals := make([][]uint64, workers)
+	ref := NewAccumulator()
+	distinct := 0
+	for w := range signals {
+		var elems []uint64
+		for i := 0; i < 300; i++ {
+			// Kernel PCs with heavy cross-worker overlap.
+			elems = append(elems, uint64((w*97+i*13)%1500+1))
+			// Directional elements above the HAL namespace.
+			elems = append(elems, halNamespace|uint64((w*31+i*7)%800))
+		}
+		signals[w] = elems
+		s := SignalOf(elems...)
+		distinct += ref.Merge(s)
+		s.Release()
+	}
+	if ref.Total() != distinct {
+		t.Fatalf("reference total %d != merged sum %d", ref.Total(), distinct)
+	}
+
+	acc := NewAccumulator()
+	var wg sync.WaitGroup
+	newCounts := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := SignalOf(signals[w]...)
+			d := acc.MergeNew(s)
+			newCounts[w] = d.Len()
+			d.Release()
+			s.Release()
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range newCounts {
+		total += n
+	}
+	if total != distinct {
+		t.Fatalf("concurrent new-subset sum %d, want %d", total, distinct)
+	}
+	if acc.Total() != ref.Total() || acc.KernelTotal() != ref.KernelTotal() {
+		t.Fatalf("concurrent totals %d/%d diverge from serial %d/%d",
+			acc.Total(), acc.KernelTotal(), ref.Total(), ref.KernelTotal())
+	}
+	refPCs, accPCs := ref.KernelPCs(), acc.KernelPCs()
+	if len(refPCs) != len(accPCs) {
+		t.Fatalf("kernel PC lists diverge: %d vs %d", len(accPCs), len(refPCs))
+	}
+	for i := range refPCs {
+		if refPCs[i] != accPCs[i] {
+			t.Fatalf("kernel PC %d diverges: %#x vs %#x", i, accPCs[i], refPCs[i])
+		}
+	}
+}

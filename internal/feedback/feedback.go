@@ -21,6 +21,7 @@ import (
 
 	"droidfuzz/internal/adb"
 	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/kcov"
 )
 
 // FNV-1a 64-bit parameters, used both for n-gram hashing and for packing
@@ -313,10 +314,20 @@ func ngramElem(seq []uint32, i, n int) uint64 {
 // answers whether an execution contributed new state. Kernel and total
 // counts are maintained incrementally on merge, so Total, KernelTotal,
 // Stats reads, and Snapshot are O(1) instead of rescanning the set.
+//
+// The accumulated state is split by namespace. Kernel PCs — every signal
+// element below halNamespace fits in 32 bits — live in a dense atomic
+// kcov.Bitmap, so the kernel half of a merge is lock-free: engines sharing
+// an accumulator at fleet scale fold coverage concurrently with one atomic
+// OR per PC. Directional n-gram elements (≥ halNamespace, up to ~2^48)
+// stay in a map guarded by the mutex, which also covers history. A signal's
+// sorted element slice makes the split free: elems[:kernel] is the kernel
+// prefix, elems[kernel:] the directional tail.
 type Accumulator struct {
+	kernel *kcov.Bitmap // elements < halNamespace, lock-free
+	san    accSan
 	mu     sync.Mutex
-	max    map[uint64]struct{}
-	kernel int // count of elements in max below halNamespace
+	dir    map[uint64]struct{} // elements ≥ halNamespace
 	// history records (virtual time, kernel coverage count) snapshots.
 	history []Point
 }
@@ -330,47 +341,60 @@ type Point struct {
 
 // NewAccumulator returns an empty accumulator.
 func NewAccumulator() *Accumulator {
-	return &Accumulator{max: make(map[uint64]struct{})}
+	return &Accumulator{kernel: kcov.NewBitmap(), dir: make(map[uint64]struct{})}
 }
 
 // Merge folds a signal into the accumulated maximum, returning the number
-// of new elements it contributed.
+// of new elements it contributed. The kernel prefix merges lock-free.
 func (a *Accumulator) Merge(s *Signal) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	added := 0
-	for _, e := range s.elems {
-		if _, ok := a.max[e]; !ok {
-			a.max[e] = struct{}{}
-			if e < halNamespace {
-				a.kernel++
-			}
+	for _, e := range s.elems[:s.kernel] {
+		if a.kernel.Add(uint32(e)) {
 			added++
 		}
 	}
+	a.san.observeKernelElems(s.elems[:s.kernel])
+	if rest := s.elems[s.kernel:]; len(rest) > 0 {
+		a.mu.Lock()
+		for _, e := range rest {
+			if _, ok := a.dir[e]; !ok {
+				a.dir[e] = struct{}{}
+				added++
+			}
+		}
+		a.mu.Unlock()
+	}
+	a.san.verify(a.kernel)
 	return added
 }
 
 // MergeNew folds a signal into the accumulated maximum and returns the
-// subset that was new, in one pass under one lock acquisition — the fused
-// form of NewOf followed by Merge that the engine's per-execution hot path
-// uses. The returned signal is pooled; Release it when done.
+// subset that was new — the fused form of NewOf followed by Merge that the
+// engine's per-execution hot path uses. The returned signal is pooled;
+// Release it when done.
 func (a *Accumulator) MergeNew(s *Signal) *Signal {
 	s.san.alive("feedback.Accumulator.MergeNew(s)")
 	d := getSignal()
-	a.mu.Lock()
-	for _, e := range s.elems {
-		if _, ok := a.max[e]; !ok {
-			a.max[e] = struct{}{}
-			if e < halNamespace {
-				a.kernel++
-			}
+	for _, e := range s.elems[:s.kernel] {
+		if a.kernel.Add(uint32(e)) {
 			d.elems = append(d.elems, e)
 		}
 	}
-	a.mu.Unlock()
-	// s is sorted and unique, so the filtered subset already is: no re-sort.
-	d.kernel, _ = slices.BinarySearch(d.elems, halNamespace)
+	a.san.observeKernelElems(s.elems[:s.kernel])
+	// s is sorted and unique, so the kernel prefix of the filtered subset
+	// is complete here: its length is d's namespace split.
+	d.kernel = len(d.elems)
+	if rest := s.elems[s.kernel:]; len(rest) > 0 {
+		a.mu.Lock()
+		for _, e := range rest {
+			if _, ok := a.dir[e]; !ok {
+				a.dir[e] = struct{}{}
+				d.elems = append(d.elems, e)
+			}
+		}
+		a.mu.Unlock()
+	}
+	a.san.verify(a.kernel)
 	return d
 }
 
@@ -379,38 +403,47 @@ func (a *Accumulator) MergeNew(s *Signal) *Signal {
 // accumulated maximum, reporting whether anything was new. It derives the
 // exact element set FromExec would (PCs plus ngramElem windows) but skips
 // the Signal representation entirely: no sort, no dedup, no pooled set —
-// the map merge dedups for free. This is the uplink filter's hot path,
-// where per-execution novelty is the only question asked.
+// the bitmap and map merges dedup for free. This is the uplink filter's
+// hot path, where per-execution novelty is the only question asked.
 func (a *Accumulator) observeExec(pcs []uint32, seq []uint32) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	novel := false
 	for _, pc := range pcs {
-		if _, ok := a.max[uint64(pc)]; !ok {
-			a.max[uint64(pc)] = struct{}{}
-			a.kernel++
+		if a.kernel.Add(pc) {
 			novel = true
 		}
 	}
+	a.san.observeKernelPCs(pcs)
+	a.mu.Lock()
 	for _, n := range NgramOrders {
 		for i := 0; i+n <= len(seq); i++ {
 			e := ngramElem(seq, i, n)
-			if _, ok := a.max[e]; !ok {
-				a.max[e] = struct{}{}
+			if _, ok := a.dir[e]; !ok {
+				a.dir[e] = struct{}{}
 				novel = true
 			}
 		}
 	}
+	a.mu.Unlock()
+	a.san.verify(a.kernel)
 	return novel
 }
 
 // HasNew reports whether s contains elements outside the accumulated
 // maximum, without merging.
 func (a *Accumulator) HasNew(s *Signal) bool {
+	for _, e := range s.elems[:s.kernel] {
+		if !a.kernel.Has(uint32(e)) {
+			return true
+		}
+	}
+	rest := s.elems[s.kernel:]
+	if len(rest) == 0 {
+		return false
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for _, e := range s.elems {
-		if _, ok := a.max[e]; !ok {
+	for _, e := range rest {
+		if _, ok := a.dir[e]; !ok {
 			return true
 		}
 	}
@@ -422,14 +455,21 @@ func (a *Accumulator) HasNew(s *Signal) bool {
 func (a *Accumulator) NewOf(s *Signal) *Signal {
 	s.san.alive("feedback.Accumulator.NewOf(s)")
 	d := getSignal()
-	a.mu.Lock()
-	for _, e := range s.elems {
-		if _, ok := a.max[e]; !ok {
+	for _, e := range s.elems[:s.kernel] {
+		if !a.kernel.Has(uint32(e)) {
 			d.elems = append(d.elems, e)
 		}
 	}
-	a.mu.Unlock()
-	d.kernel, _ = slices.BinarySearch(d.elems, halNamespace)
+	d.kernel = len(d.elems)
+	if rest := s.elems[s.kernel:]; len(rest) > 0 {
+		a.mu.Lock()
+		for _, e := range rest {
+			if _, ok := a.dir[e]; !ok {
+				d.elems = append(d.elems, e)
+			}
+		}
+		a.mu.Unlock()
+	}
 	return d
 }
 
@@ -437,28 +477,18 @@ func (a *Accumulator) NewOf(s *Signal) *Signal {
 func (a *Accumulator) Total() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.max)
+	return a.kernel.Count() + len(a.dir)
 }
 
 // KernelTotal reports the accumulated count of distinct kernel PCs.
 func (a *Accumulator) KernelTotal() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.kernel
+	return a.kernel.Count()
 }
 
-// KernelPCs returns the accumulated kernel PCs (for per-driver accounting).
+// KernelPCs returns the accumulated kernel PCs (for per-driver accounting),
+// in ascending order straight off the bitmap scan.
 func (a *Accumulator) KernelPCs() []uint32 {
-	a.mu.Lock()
-	out := make([]uint32, 0, a.kernel)
-	for e := range a.max {
-		if e < halNamespace {
-			out = append(out, uint32(e))
-		}
-	}
-	a.mu.Unlock()
-	slices.Sort(out)
-	return out
+	return a.kernel.Sorted()
 }
 
 // Snapshot appends a coverage-over-time sample at the given virtual time.
@@ -467,7 +497,7 @@ func (a *Accumulator) KernelPCs() []uint32 {
 func (a *Accumulator) Snapshot(vtime uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.history = append(a.history, Point{VTime: vtime, Kernel: a.kernel, Total: len(a.max)})
+	a.history = append(a.history, Point{VTime: vtime, Kernel: a.kernel.Count(), Total: a.kernel.Count() + len(a.dir)})
 }
 
 // History returns the recorded coverage-over-time samples.

@@ -2,8 +2,19 @@
 
 package feedback
 
+import "droidfuzz/internal/kcov"
+
 // SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
 const SanitizeEnabled = false
+
+// accSan is zero-sized in normal builds; the sanitize build shadows the
+// accumulator's kernel bitmap with a kcov.Set and cross-verifies them
+// after every merge.
+type accSan struct{}
+
+func (*accSan) observeKernelElems([]uint64) {}
+func (*accSan) observeKernelPCs([]uint32)   {}
+func (*accSan) verify(*kcov.Bitmap)         {}
 
 // sanState is zero-sized and its hooks are empty in normal builds: the
 // compiler inlines them away, so the pooled hot path pays nothing for the

@@ -5,10 +5,66 @@ package feedback
 import (
 	"fmt"
 	"runtime"
+	"sync"
+
+	"droidfuzz/internal/kcov"
 )
 
 // SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
 const SanitizeEnabled = true
+
+// accSan shadows the accumulator's kernel bitmap with the historical
+// map-backed kcov.Set and cross-verifies the two after every merge: the
+// bitmap is a lock-free reimplementation of set semantics, and in a
+// sanitize build any divergence — a lost bit, a double-counted Add — must
+// stop the campaign at the merge that caused it.
+type accSan struct {
+	mu     sync.Mutex
+	shadow kcov.Set
+}
+
+// observeKernelElems folds a signal's kernel prefix (uint64 elements below
+// the HAL namespace) into the shadow set.
+func (c *accSan) observeKernelElems(elems []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shadow == nil {
+		c.shadow = make(kcov.Set)
+	}
+	for _, e := range elems {
+		c.shadow[uint32(e)] = struct{}{}
+	}
+}
+
+// observeKernelPCs folds a raw PC trace into the shadow set.
+func (c *accSan) observeKernelPCs(pcs []uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shadow == nil {
+		c.shadow = make(kcov.Set)
+	}
+	for _, pc := range pcs {
+		c.shadow[pc] = struct{}{}
+	}
+}
+
+// verify asserts Bitmap ≡ Set: identical cardinality and membership. With
+// concurrent mergers the bitmap may momentarily run ahead of the shadow
+// (another engine's PCs land between our shadow update and this check), so
+// only PCs the shadow knows are asserted — those must all be present — and
+// the bitmap count must never fall below the shadow's.
+func (c *accSan) verify(b *kcov.Bitmap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if got, want := b.Count(), c.shadow.Len(); got < want {
+		panic(fmt.Sprintf("droidfuzz_sanitize: feedback.Accumulator kernel bitmap lost coverage: bitmap %d PCs < shadow set %d", got, want))
+	}
+	for pc := range c.shadow {
+		if !b.Has(pc) {
+			panic(fmt.Sprintf("droidfuzz_sanitize: feedback.Accumulator kernel bitmap missing PC %#x present in the shadow set", pc))
+		}
+	}
+}
 
 // sanState is the checked-pool lifecycle tracker embedded in every pooled
 // object when the droidfuzz_sanitize tag is set. The generation counter

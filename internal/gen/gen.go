@@ -58,6 +58,7 @@ func (o *Options) defaults() {
 type Generator struct {
 	target *dsl.Target
 	graph  *relation.Graph
+	view   *relation.Snapshot
 	rng    *rand.Rand
 	opts   Options
 }
@@ -70,6 +71,23 @@ func New(target *dsl.Target, graph *relation.Graph, rng *rand.Rand, opts Options
 
 // Target returns the generator's description target.
 func (g *Generator) Target() *dsl.Target { return g.target }
+
+// SetView pins the relation-graph view the generator reads. With a pinned
+// view, Generate and Mutate consult exactly that snapshot instead of the
+// graph's live one, making generation a pure function of (view, RNG state)
+// — the pipelined producer repins at deterministic sync points so a
+// pipelined campaign reproduces itself regardless of goroutine scheduling.
+// Passing nil unpins: the generator follows the live graph again.
+func (g *Generator) SetView(s *relation.Snapshot) { g.view = s }
+
+// snap returns the graph view generation reads from: the pinned view when
+// one is set, otherwise the graph's current snapshot.
+func (g *Generator) snap() *relation.Snapshot {
+	if g.view != nil {
+		return g.view
+	}
+	return g.graph.Snapshot()
+}
 
 // instantiate builds a call with randomized arguments.
 func (g *Generator) instantiate(desc *dsl.CallDesc) *dsl.Call {
@@ -98,7 +116,7 @@ func (g *Generator) pickBase() string {
 			return d.Name
 		}
 	}
-	if base := g.graph.PickBase(g.rng); base != "" {
+	if base := g.snap().PickBase(g.rng); base != "" {
 		return base
 	}
 	if d := g.randomDesc(); d != nil {
@@ -110,6 +128,10 @@ func (g *Generator) pickBase() string {
 // walk traverses the relation graph from `from`, injecting uniform random
 // detours at rate Epsilon so learned chains stay mixed with fresh calls.
 func (g *Generator) walk(from string, maxLen int) []string {
+	// Pin one snapshot for the whole walk: every step reads the same
+	// consistent view lock-free, and concurrent Learns simply land in the
+	// next generation's snapshot.
+	snap := g.snap()
 	var path []string
 	cur := from
 	for len(path) < maxLen {
@@ -125,7 +147,7 @@ func (g *Generator) walk(from string, maxLen int) []string {
 			cur = d.Name
 			continue
 		}
-		step := g.graph.Walk(g.rng, cur, 1, 0)
+		step := snap.Walk(g.rng, cur, 1, 0)
 		if len(step) == 0 {
 			break
 		}
@@ -344,7 +366,9 @@ func (g *Generator) insertCall(p *dsl.Prog) *dsl.Prog {
 	pos := g.rng.Intn(p.Len() + 1)
 	var desc *dsl.CallDesc
 	if !g.opts.NoRelations && pos > 0 {
-		succ := g.graph.Successors(p.Calls[pos-1].Desc.Name)
+		// Snapshot successors are read-only shared storage: no per-call
+		// copy, no graph lock.
+		succ := g.snap().Successors(p.Calls[pos-1].Desc.Name)
 		if len(succ) > 0 && g.rng.Float64() < 0.7 {
 			desc = g.target.Lookup(succ[g.rng.Intn(len(succ))].To)
 		}

@@ -1,0 +1,122 @@
+package kcov
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// bitmapBlockBits is the PC range one block covers: the low 16 bits.
+	bitmapBlockBits = 1 << 16
+	// bitmapBlockWords is the uint64 word count per block (8 KiB of bits).
+	bitmapBlockWords = bitmapBlockBits / 64
+	// bitmapBlocks is the top-level fanout: the high 16 bits of the PC.
+	bitmapBlocks = 1 << 16
+)
+
+// bitmapBlock holds membership bits for one 64K-PC range.
+type bitmapBlock [bitmapBlockWords]atomic.Uint64
+
+// Bitmap is a dense two-level atomic bitmap over the 32-bit PC space, the
+// fleet-scale replacement for a mutex-guarded Set: merging a trace is one
+// atomic OR per PC with no lock, no map probe and no allocation, so any
+// number of engines can fold coverage into shared state concurrently.
+// Blocks are allocated lazily on first touch (driver PCs are FNV hashes, so
+// a campaign touches a few hundred of the 65536 blocks at most).
+//
+// The zero value is not usable; call NewBitmap. All methods are safe for
+// concurrent use. Count is maintained incrementally: Add and MergeTrace
+// report exactly the bits they were first to set, which is what the
+// accumulator's new-coverage arithmetic needs.
+type Bitmap struct {
+	blocks [bitmapBlocks]atomic.Pointer[bitmapBlock]
+	count  atomic.Int64
+}
+
+// NewBitmap returns an empty bitmap.
+func NewBitmap() *Bitmap {
+	return &Bitmap{}
+}
+
+// block returns the block for the given high-16 index, allocating it on
+// first use. Concurrent first touches race through CAS; the loser's block
+// is discarded before any bit is set in it.
+func (b *Bitmap) block(hi uint32) *bitmapBlock {
+	if blk := b.blocks[hi].Load(); blk != nil {
+		return blk
+	}
+	fresh := new(bitmapBlock)
+	if b.blocks[hi].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return b.blocks[hi].Load()
+}
+
+// Add sets the bit for pc and reports whether this call was the one that
+// set it (i.e. the PC is new coverage).
+func (b *Bitmap) Add(pc uint32) bool {
+	blk := b.block(pc >> 16)
+	w := &blk[(pc&0xffff)>>6]
+	mask := uint64(1) << (pc & 63)
+	if w.Load()&mask != 0 {
+		return false
+	}
+	if w.Or(mask)&mask != 0 {
+		return false // another goroutine won the race for this bit
+	}
+	b.count.Add(1)
+	return true
+}
+
+// Has reports whether pc has been added.
+func (b *Bitmap) Has(pc uint32) bool {
+	blk := b.blocks[pc>>16].Load()
+	if blk == nil {
+		return false
+	}
+	return blk[(pc&0xffff)>>6].Load()&(uint64(1)<<(pc&63)) != 0
+}
+
+// MergeTrace folds a raw trace into the bitmap and returns how many PCs
+// this call newly covered — the same contract as Set.MergeTrace.
+func (b *Bitmap) MergeTrace(trace []uint32) int {
+	added := 0
+	for _, pc := range trace {
+		if b.Add(pc) {
+			added++
+		}
+	}
+	return added
+}
+
+// Count reports the number of distinct PCs added.
+func (b *Bitmap) Count() int {
+	return int(b.count.Load())
+}
+
+// Sorted returns the covered PCs in ascending order; the block/word/bit
+// scan yields them sorted by construction, matching Set.Sorted output.
+func (b *Bitmap) Sorted() []uint32 {
+	out := make([]uint32, 0, b.Count())
+	for hi := 0; hi < bitmapBlocks; hi++ {
+		blk := b.blocks[hi].Load()
+		if blk == nil {
+			continue
+		}
+		base := uint32(hi) << 16
+		for wi := 0; wi < bitmapBlockWords; wi++ {
+			w := blk[wi].Load()
+			for ; w != 0; w &= w - 1 {
+				bit := uint32(bits.TrailingZeros64(w))
+				out = append(out, base|uint32(wi)<<6|bit)
+			}
+		}
+	}
+	return out
+}
+
+// String summarizes the bitmap for logs.
+func (b *Bitmap) String() string {
+	return fmt.Sprintf("kcov.Bitmap(%d pcs)", b.Count())
+}

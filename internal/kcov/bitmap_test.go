@@ -1,0 +1,131 @@
+package kcov
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestBitmapMatchesSet: the bitmap is a drop-in for the map-backed Set —
+// identical MergeTrace added-counts, membership, count and sorted output
+// over randomized traces spanning sparse and dense PC ranges.
+func TestBitmapMatchesSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBitmap()
+	s := make(Set)
+	for round := 0; round < 50; round++ {
+		trace := make([]uint32, rng.Intn(400))
+		for i := range trace {
+			switch rng.Intn(3) {
+			case 0: // dense low range, lots of duplicates
+				trace[i] = uint32(rng.Intn(512))
+			case 1: // hashed-PC-like spread
+				trace[i] = rng.Uint32()
+			default: // word/block boundary PCs
+				trace[i] = uint32(rng.Intn(4))<<16 | uint32(rng.Intn(2))<<6 | uint32(rng.Intn(64))
+			}
+		}
+		if ba, sa := b.MergeTrace(trace), s.MergeTrace(trace); ba != sa {
+			t.Fatalf("round %d: bitmap added %d, set added %d", round, ba, sa)
+		}
+		if b.Count() != s.Len() {
+			t.Fatalf("round %d: bitmap count %d, set len %d", round, b.Count(), s.Len())
+		}
+	}
+	if !reflect.DeepEqual(b.Sorted(), s.Sorted()) {
+		t.Fatal("bitmap and set sorted outputs diverge")
+	}
+	for _, pc := range s.Sorted() {
+		if !b.Has(pc) {
+			t.Fatalf("bitmap missing pc %#x", pc)
+		}
+	}
+	for _, pc := range []uint32{0, 63, 64, 1 << 16, 0xffffffff} {
+		if b.Has(pc) != s.Has(pc) {
+			t.Fatalf("membership of %#x diverges", pc)
+		}
+	}
+}
+
+// TestBitmapAddFirstWins: Add reports true exactly once per PC.
+func TestBitmapAddFirstWins(t *testing.T) {
+	b := NewBitmap()
+	if !b.Add(7) || b.Add(7) {
+		t.Fatal("Add novelty report wrong")
+	}
+	if !b.Add(0) { // PC 0 is a valid bit even though kcov reserves it
+		t.Fatal("Add(0) not new")
+	}
+	if b.Count() != 2 {
+		t.Fatalf("count = %d, want 2", b.Count())
+	}
+}
+
+// TestBitmapConcurrentMerge: engines merging overlapping traces in parallel
+// must account every distinct PC exactly once across all added-counts.
+func TestBitmapConcurrentMerge(t *testing.T) {
+	b := NewBitmap()
+	const workers = 8
+	const perWorker = 4000
+	distinct := make(map[uint32]struct{})
+	traces := make([][]uint32, workers)
+	seed := rand.New(rand.NewSource(99))
+	for w := range traces {
+		traces[w] = make([]uint32, perWorker)
+		for i := range traces[w] {
+			pc := seed.Uint32() % 50000 // heavy cross-worker overlap
+			traces[w][i] = pc
+			distinct[pc] = struct{}{}
+		}
+	}
+	var wg sync.WaitGroup
+	added := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			added[w] = b.MergeTrace(traces[w])
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, a := range added {
+		total += a
+	}
+	if total != len(distinct) || b.Count() != len(distinct) {
+		t.Fatalf("added sum %d, count %d, want %d", total, b.Count(), len(distinct))
+	}
+}
+
+// TestCollectorConcurrentHits: parallel Hit callers (native executor + HAL
+// goroutines) must neither lose claimed slots nor corrupt the trace.
+func TestCollectorConcurrentHits(t *testing.T) {
+	c := NewCollector(1 << 12)
+	c.Enable()
+	const workers = 4
+	const hits = 2000 // workers*hits > cap, so overflow is exercised too
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < hits; i++ {
+				c.Hit(uint32(w)<<16 | uint32(i) | 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	trace := c.Trace()
+	if len(trace) != 1<<12 {
+		t.Fatalf("trace len = %d, want %d", len(trace), 1<<12)
+	}
+	if got := int(c.Dropped()); got != workers*hits-(1<<12) {
+		t.Fatalf("dropped = %d, want %d", got, workers*hits-(1<<12))
+	}
+	for i, pc := range trace {
+		if pc == 0 {
+			t.Fatalf("slot %d never written", i)
+		}
+	}
+}

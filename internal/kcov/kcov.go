@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // PC derives a stable program-counter identifier for a cover point. Module is
@@ -35,13 +35,19 @@ func PC(module string, site uint32) uint32 {
 // and Trace returns the ordered hit sequence.
 //
 // A Collector is safe for concurrent use; the virtual kernel may be entered
-// from both the native executor and HAL service goroutines.
+// from both the native executor and HAL service goroutines. Hit is the
+// device-side hot path — every driver cover point lands here — so it takes
+// no lock: a fetch-add on the write index claims a slot in a fixed buffer
+// and an atomic store fills it. Claims past capacity are counted as dropped,
+// matching kcov overflow behavior.
 type Collector struct {
-	mu      sync.Mutex
-	enabled bool
-	trace   []uint32
+	enabled atomic.Bool
+	// pos counts slots claimed while enabled; values beyond max represent
+	// overflow (the excess is also tallied in dropped).
+	pos     atomic.Uint64
+	dropped atomic.Uint64
 	max     int
-	dropped uint64
+	buf     []uint32
 }
 
 // DefaultTraceCap is the default maximum number of PC entries retained per
@@ -54,63 +60,68 @@ func NewCollector(max int) *Collector {
 	if max <= 0 {
 		max = DefaultTraceCap
 	}
-	return &Collector{max: max}
+	return &Collector{max: max, buf: make([]uint32, max)}
 }
 
 // Enable starts tracing. Hits recorded while disabled are ignored, like
 // KCOV_ENABLE gating in the real facility.
 func (c *Collector) Enable() {
-	c.mu.Lock()
-	c.enabled = true
-	c.mu.Unlock()
+	c.enabled.Store(true)
 }
 
 // Disable stops tracing without clearing the buffer.
 func (c *Collector) Disable() {
-	c.mu.Lock()
-	c.enabled = false
-	c.mu.Unlock()
+	c.enabled.Store(false)
 }
 
-// Reset clears the trace buffer, keeping the enabled state.
+// Reset clears the trace buffer, keeping the enabled state. Reset must not
+// race with Hit on the same execution window; the executor brackets each
+// execution with Reset/Enable before the kernel runs.
 func (c *Collector) Reset() {
-	c.mu.Lock()
-	c.trace = c.trace[:0]
-	c.dropped = 0
-	c.mu.Unlock()
+	c.pos.Store(0)
+	c.dropped.Store(0)
 }
 
-// Hit records one cover-point hit if tracing is enabled. Hits beyond the
-// buffer capacity are counted as dropped, matching kcov overflow behavior.
+// Hit records one cover-point hit if tracing is enabled: claim a slot with
+// one atomic add, store the PC with one atomic write. Hits beyond the
+// buffer capacity are counted as dropped.
 func (c *Collector) Hit(pc uint32) {
-	c.mu.Lock()
-	if c.enabled {
-		if len(c.trace) < c.max {
-			c.trace = append(c.trace, pc)
-		} else {
-			c.dropped++
-		}
+	if !c.enabled.Load() {
+		return
 	}
-	c.mu.Unlock()
+	i := c.pos.Add(1) - 1
+	if i >= uint64(c.max) {
+		c.dropped.Add(1)
+		return
+	}
+	atomic.StoreUint32(&c.buf[i], pc)
+}
+
+// length returns the number of retained trace entries.
+func (c *Collector) length() int {
+	n := c.pos.Load()
+	if n > uint64(c.max) {
+		n = uint64(c.max)
+	}
+	return int(n)
 }
 
 // Mark returns the current trace length. Together with Slice it lets the
 // executor attribute coverage to individual calls in a program.
 func (c *Collector) Mark() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.trace)
+	return c.length()
 }
 
 // Slice returns a copy of the trace from mark to the current position.
 func (c *Collector) Slice(mark int) []uint32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if mark < 0 || mark > len(c.trace) {
+	n := c.length()
+	if mark < 0 || mark > n {
 		return nil
 	}
-	out := make([]uint32, len(c.trace)-mark)
-	copy(out, c.trace[mark:])
+	out := make([]uint32, n-mark)
+	for i := mark; i < n; i++ {
+		out[i-mark] = atomic.LoadUint32(&c.buf[i])
+	}
 	return out
 }
 
@@ -123,19 +134,19 @@ func (c *Collector) Trace() []uint32 {
 // reusing dst's capacity — the allocation-free variant of Slice used by the
 // pooled execution-result path.
 func (c *Collector) AppendTo(dst []uint32, mark int) []uint32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if mark < 0 || mark > len(c.trace) {
+	n := c.length()
+	if mark < 0 || mark > n {
 		return dst
 	}
-	return append(dst, c.trace[mark:]...)
+	for i := mark; i < n; i++ {
+		dst = append(dst, atomic.LoadUint32(&c.buf[i]))
+	}
+	return dst
 }
 
 // Dropped reports how many hits were discarded due to buffer overflow.
 func (c *Collector) Dropped() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped
+	return c.dropped.Load()
 }
 
 // Set is a deduplicated coverage signal: the set of distinct PCs observed.

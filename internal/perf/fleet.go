@@ -1,0 +1,312 @@
+package perf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/kcov"
+	"droidfuzz/internal/relation"
+)
+
+// The PR 5 fleet-scaling benchmarks. Each Fleet<N> body runs N engine
+// goroutines over ONE shared relation graph, coverage accumulator, and
+// crash dedup table — the daemon's parallel-campaign shape — and reports
+// aggregate execs/sec. Every iteration performs a whole synthetic engine
+// step: snapshot-based base pick and relation walk (generation), a
+// collector Reset/Enable/Hit×N/trace cycle (execution), a coverage
+// MergeTrace (feedback), plus periodic buffered learns, dedup adds, and a
+// status read. FleetLegacy<N> drives the identical step shape through the
+// pre-PR-5 implementations in legacyfleet.go, so the speedup in
+// BENCH_PR5.json isolates the shared-state rewrite, not workload drift.
+
+const (
+	fleetVertices     = 48
+	fleetPrelearns    = 160
+	fleetWalkLen      = 6
+	fleetStopProb     = 0.1
+	fleetInsertProbes = 3 // successor queries per step, like gen.insertCall
+	fleetLearnEvery   = 32  // one learned pair every N execs
+	fleetApplyEvery   = 64  // engine drains its own learn buffer every N execs
+	fleetCrashEvery   = 96  // one crash report every N execs
+	fleetStatusEvery  = 1024
+	fleetChunk        = 256 // iterations claimed per engine per grab
+	fleetCollectorCap = 1 << 12
+	fleetCrashSites   = 7
+)
+
+// fleetNames returns the fixed synthetic vertex set shared by both graph
+// variants.
+func fleetNames() []string {
+	names := make([]string, fleetVertices)
+	for i := range names {
+		names[i] = fmt.Sprintf("call_%02d", i)
+	}
+	return names
+}
+
+// fleetCrashTitles pre-builds the crash vocabulary so the report path does
+// not benchmark fmt.Sprintf.
+func fleetCrashTitles() []string {
+	titles := make([]string, fleetCrashSites)
+	for i := range titles {
+		titles[i] = fmt.Sprintf("WARNING in fleet_site_%d", i)
+	}
+	return titles
+}
+
+// fleetLearnSeq is the deterministic pre-learn sequence applied to both
+// graph variants so walks have real successor structure.
+func fleetLearnSeq(names []string) [][2]string {
+	rng := splitmix64(11)
+	seq := make([][2]string, 0, fleetPrelearns)
+	for len(seq) < fleetPrelearns {
+		a := names[rng.next()%uint64(len(names))]
+		b := names[rng.next()%uint64(len(names))]
+		if a == b {
+			continue
+		}
+		seq = append(seq, [2]string{a, b})
+	}
+	return seq
+}
+
+func newFleetGraph(names []string) *relation.Graph {
+	g := relation.New()
+	for i, name := range names {
+		g.AddVertex(name, 0.05+float64(i%10)*0.01)
+	}
+	for _, p := range fleetLearnSeq(names) {
+		g.Learn(p[0], p[1])
+	}
+	return g
+}
+
+func newFleetLegacyGraph(names []string) *legacyFleetGraph {
+	g := newLegacyFleetGraph()
+	for i, name := range names {
+		g.addVertex(name, 0.05+float64(i%10)*0.01)
+	}
+	for _, p := range fleetLearnSeq(names) {
+		g.learn(p[0], p[1])
+	}
+	return g
+}
+
+// fleetTraces reuses the PR 1 synthetic workload's kcov traces: a few
+// hundred PCs per execution with heavy repetition, like real driver loops.
+func fleetTraces() [][]uint32 {
+	w := newWorkload(7)
+	traces := make([][]uint32, len(w.results))
+	for i, res := range w.results {
+		traces[i] = res.KernelCov
+	}
+	return traces
+}
+
+// Fleet1, Fleet2, Fleet4 and Fleet8 run the optimized shared-state step
+// with that many engines; cmd/benchperf -pr 5 records all four so the
+// report shows the scaling curve, not just one point.
+func Fleet1(b *testing.B) { fleetBench(b, 1) }
+func Fleet2(b *testing.B) { fleetBench(b, 2) }
+func Fleet4(b *testing.B) { fleetBench(b, 4) }
+func Fleet8(b *testing.B) { fleetBench(b, 8) }
+
+// FleetLegacy1..8 are the same fleet shapes on the pre-PR-5 lock-everything
+// implementations.
+func FleetLegacy1(b *testing.B) { fleetLegacyBench(b, 1) }
+func FleetLegacy2(b *testing.B) { fleetLegacyBench(b, 2) }
+func FleetLegacy4(b *testing.B) { fleetLegacyBench(b, 4) }
+func FleetLegacy8(b *testing.B) { fleetLegacyBench(b, 8) }
+
+func fleetBench(b *testing.B, engines int) {
+	names := fleetNames()
+	titles := fleetCrashTitles()
+	graph := newFleetGraph(names)
+	graph.Snapshot() // publish once so the timed region starts in steady state
+	cov := kcov.NewBitmap()
+	dedup := crash.NewDedup()
+	traces := fleetTraces()
+	bufs := make([]*relation.LearnBuffer, engines)
+	for i := range bufs {
+		bufs[i] = relation.NewLearnBuffer(fmt.Sprintf("D%d", i))
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for id := 0; id < engines; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + id)))
+			col := kcov.NewCollector(fleetCollectorCap)
+			scratch := make([]uint32, 0, pcsPerExec)
+			buf := bufs[id]
+			for {
+				start := next.Add(fleetChunk) - fleetChunk
+				if start >= int64(b.N) {
+					return
+				}
+				end := start + fleetChunk
+				if end > int64(b.N) {
+					end = int64(b.N)
+				}
+				for i := start; i < end; i++ {
+					// Generation: lock-free snapshot reads.
+					snap := graph.Snapshot()
+					base := snap.PickBase(rng)
+					_ = snap.Walk(rng, base, fleetWalkLen, fleetStopProb)
+					// Mutation probes: insertCall-style successor queries.
+					for p := 0; p < fleetInsertProbes; p++ {
+						_ = snap.Successors(names[int(rng.Int63())%len(names)])
+					}
+					// Execution: lock-free collector hot path.
+					col.Reset()
+					col.Enable()
+					for _, pc := range traces[int(i)%len(traces)] {
+						col.Hit(pc)
+					}
+					col.Disable()
+					scratch = col.AppendTo(scratch[:0], 0)
+					// Feedback: atomic bitmap merge.
+					cov.MergeTrace(scratch)
+					// Learning: buffered, drained in device order.
+					if i%fleetLearnEvery == 0 {
+						buf.Learn(names[int(rng.Int63())%len(names)],
+							names[int(rng.Int63())%len(names)])
+					}
+					if i%fleetApplyEvery == 0 {
+						graph.ApplyBuffered(buf)
+					}
+					// Crash reporting: striped dedup.
+					if i%fleetCrashEvery == 0 {
+						dedup.Add(buf.Device(), adb.CrashRecord{
+							Kind:  "WARNING",
+							Title: titles[int(i)%fleetCrashSites],
+						}, nil, uint64(i))
+					}
+					// Status reader riding along on engine 0, like the
+					// daemon's WriteStatus during a campaign.
+					if id == 0 && i%fleetStatusEvery == 0 {
+						_ = dedup.Len()
+						_ = dedup.Records()
+						_ = graph.Snapshot().Edges()
+						_ = cov.Count()
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	b.StopTimer()
+	graph.ApplyBuffered(bufs...)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+func fleetLegacyBench(b *testing.B, engines int) {
+	names := fleetNames()
+	titles := fleetCrashTitles()
+	graph := newFleetLegacyGraph(names)
+	cov := newLegacyFleetCoverage()
+	dedup := newLegacyFleetDedup()
+	traces := fleetTraces()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for id := 0; id < engines; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + id)))
+			col := newLegacyFleetCollector(fleetCollectorCap)
+			scratch := make([]uint32, 0, pcsPerExec)
+			device := fmt.Sprintf("D%d", id)
+			for {
+				start := next.Add(fleetChunk) - fleetChunk
+				if start >= int64(b.N) {
+					return
+				}
+				end := start + fleetChunk
+				if end > int64(b.N) {
+					end = int64(b.N)
+				}
+				for i := start; i < end; i++ {
+					// Generation: every read locks the master mutex; every
+					// walk step re-sorts a fresh successor slice.
+					base := graph.pickBase(rng)
+					_ = graph.walk(rng, base, fleetWalkLen, fleetStopProb)
+					for p := 0; p < fleetInsertProbes; p++ {
+						_ = graph.successors(names[int(rng.Int63())%len(names)])
+					}
+					// Execution: one mutex acquisition per cover-point hit.
+					col.reset()
+					col.enable()
+					for _, pc := range traces[int(i)%len(traces)] {
+						col.hit(pc)
+					}
+					col.disable()
+					scratch = col.appendTo(scratch[:0])
+					// Feedback: mutex-guarded map merge.
+					cov.mergeTrace(scratch)
+					// Learning: synchronous, straight into the shared lock.
+					if i%fleetLearnEvery == 0 {
+						graph.learn(names[int(rng.Int63())%len(names)],
+							names[int(rng.Int63())%len(names)])
+					}
+					// Crash reporting: single-mutex dedup.
+					if i%fleetCrashEvery == 0 {
+						dedup.add(device, titles[int(i)%fleetCrashSites])
+					}
+					if id == 0 && i%fleetStatusEvery == 0 {
+						_ = dedup.length()
+						_ = dedup.recordsCopy()
+						_ = graph.edgeCount()
+						_ = cov.count()
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// CollectorHit measures the per-hit cost of the lock-free kcov collector
+// in isolation — the device-side hot path every driver cover point lands
+// on.
+func CollectorHit(b *testing.B) {
+	c := kcov.NewCollector(fleetCollectorCap)
+	c.Enable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&(fleetCollectorCap-1) == 0 {
+			c.Reset()
+		}
+		c.Hit(uint32(i))
+	}
+}
+
+// CollectorHitLegacy measures the pre-PR-5 mutex-per-hit collector with
+// the identical reset cadence.
+func CollectorHitLegacy(b *testing.B) {
+	c := newLegacyFleetCollector(fleetCollectorCap)
+	c.enable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&(fleetCollectorCap-1) == 0 {
+			c.reset()
+		}
+		c.hit(uint32(i))
+	}
+}

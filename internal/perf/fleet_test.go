@@ -1,0 +1,84 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"droidfuzz/internal/kcov"
+)
+
+func BenchmarkFleet1(b *testing.B)       { Fleet1(b) }
+func BenchmarkFleet2(b *testing.B)       { Fleet2(b) }
+func BenchmarkFleet4(b *testing.B)       { Fleet4(b) }
+func BenchmarkFleet8(b *testing.B)       { Fleet8(b) }
+func BenchmarkFleetLegacy1(b *testing.B) { FleetLegacy1(b) }
+func BenchmarkFleetLegacy2(b *testing.B) { FleetLegacy2(b) }
+func BenchmarkFleetLegacy4(b *testing.B) { FleetLegacy4(b) }
+func BenchmarkFleetLegacy8(b *testing.B) { FleetLegacy8(b) }
+
+func BenchmarkCollectorHit(b *testing.B)       { CollectorHit(b) }
+func BenchmarkCollectorHitLegacy(b *testing.B) { CollectorHitLegacy(b) }
+
+// TestLegacyFleetGraphMatchesSnapshot pins the legacy reference graph to
+// the real one: built from the same vertex/learn sequence, both must draw
+// the same bases and walks from paired RNGs. If either side drifts, the
+// Fleet-vs-FleetLegacy comparison stops being apples-to-apples.
+func TestLegacyFleetGraphMatchesSnapshot(t *testing.T) {
+	names := fleetNames()
+	g := newFleetGraph(names)
+	lg := newFleetLegacyGraph(names)
+
+	if got, want := g.Edges(), lg.edgeCount(); got != want {
+		t.Fatalf("edge counts diverge: snapshot graph %d, legacy %d", got, want)
+	}
+	for _, name := range names {
+		succ := g.Snapshot().Successors(name)
+		lsucc := lg.successors(name)
+		if len(succ) != len(lsucc) {
+			t.Fatalf("successors(%s): snapshot %d edges, legacy %d", name, len(succ), len(lsucc))
+		}
+		for i := range succ {
+			if succ[i].To != lsucc[i].to || succ[i].Weight != lsucc[i].weight {
+				t.Fatalf("successors(%s)[%d]: snapshot %s/%g, legacy %s/%g",
+					name, i, succ[i].To, succ[i].Weight, lsucc[i].to, lsucc[i].weight)
+			}
+		}
+	}
+
+	rngA := rand.New(rand.NewSource(42))
+	rngB := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		base := g.PickBase(rngA)
+		lbase := lg.pickBase(rngB)
+		if base != lbase {
+			t.Fatalf("draw %d: PickBase %q, legacy %q", i, base, lbase)
+		}
+		walk := g.Walk(rngA, base, fleetWalkLen, fleetStopProb)
+		lwalk := lg.walk(rngB, lbase, fleetWalkLen, fleetStopProb)
+		if len(walk) != len(lwalk) {
+			t.Fatalf("draw %d: walk lengths %d vs %d", i, len(walk), len(lwalk))
+		}
+		for j := range walk {
+			if walk[j] != lwalk[j] {
+				t.Fatalf("draw %d step %d: %q vs %q", i, j, walk[j], lwalk[j])
+			}
+		}
+	}
+}
+
+// TestLegacyFleetCoverageMatchesBitmap pins the legacy map coverage to the
+// bitmap on the benchmark's own trace workload: identical added counts per
+// merge and identical totals.
+func TestLegacyFleetCoverageMatchesBitmap(t *testing.T) {
+	traces := fleetTraces()
+	bm := kcov.NewBitmap()
+	legacy := newLegacyFleetCoverage()
+	for i, trace := range traces {
+		if got, want := bm.MergeTrace(trace), legacy.mergeTrace(trace); got != want {
+			t.Fatalf("trace %d: bitmap added %d, legacy added %d", i, got, want)
+		}
+	}
+	if got, want := bm.Count(), legacy.count(); got != want {
+		t.Fatalf("totals diverge: bitmap %d, legacy %d", got, want)
+	}
+}

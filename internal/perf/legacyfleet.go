@@ -1,0 +1,327 @@
+package perf
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// This file preserves the pre-PR-5 shared-state implementations as the
+// legacy reference for the fleet-scaling benchmarks: a relation graph whose
+// every read takes the master mutex and re-sorts successor lists, a
+// mutex-guarded map coverage accumulator, a single-mutex crash dedup table,
+// and a per-Hit mutex kcov collector. Nothing outside this package uses
+// them; they exist so BENCH_PR5.json carries an honest in-binary
+// before/after comparison.
+
+// legacyFleetEdge mirrors relation.Edge for the legacy graph.
+type legacyFleetEdge struct {
+	from, to string
+	weight   float64
+}
+
+type legacyFleetVertex struct {
+	name   string
+	weight float64
+	out    map[string]float64
+	in     map[string]float64
+}
+
+// legacyFleetGraph is the pre-snapshot relation graph: one mutex guards
+// every operation, and the generation-time reads (pickBase, successors,
+// walk) lock, allocate and sort on every call — the contention the
+// Snapshot rewrite removes.
+type legacyFleetGraph struct {
+	mu     sync.Mutex
+	verts  map[string]*legacyFleetVertex
+	names  []string
+	edges  int
+	learns uint64
+}
+
+func newLegacyFleetGraph() *legacyFleetGraph {
+	return &legacyFleetGraph{verts: make(map[string]*legacyFleetVertex)}
+}
+
+func (g *legacyFleetGraph) addVertex(name string, weight float64) {
+	if weight <= 0 {
+		weight = 0.01
+	}
+	if weight >= 1 {
+		weight = 0.99
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := g.verts[name]; ok {
+		v.weight = weight
+		return
+	}
+	g.verts[name] = &legacyFleetVertex{
+		name:   name,
+		weight: weight,
+		out:    make(map[string]float64),
+		in:     make(map[string]float64),
+	}
+	g.names = append(g.names, name)
+}
+
+// learn is Eq. (1) under the master lock — identical math to
+// relation.Graph.Learn, kept verbatim so the two graphs evolve the same
+// weights from the same operation sequence.
+func (g *legacyFleetGraph) learn(a, b string) {
+	if a == b {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	va, ok := g.verts[a]
+	if !ok {
+		return
+	}
+	vb, ok := g.verts[b]
+	if !ok {
+		return
+	}
+	if _, existed := va.out[b]; !existed {
+		g.edges++
+	}
+	siblings := make([]string, 0, len(vb.in))
+	for x := range vb.in {
+		if x != a {
+			siblings = append(siblings, x)
+		}
+	}
+	sort.Strings(siblings)
+	var sum float64
+	for _, x := range siblings {
+		half := vb.in[x] / 2
+		vb.in[x] = half
+		g.verts[x].out[b] = half
+		sum += half
+	}
+	w := 1 - sum
+	if w < 0 {
+		w = 0
+	}
+	va.out[b] = w
+	vb.in[a] = w
+	g.learns++
+}
+
+// pickBase is the pre-snapshot draw: the whole weight scan happens under
+// the master lock.
+func (g *legacyFleetGraph) pickBase(rng *rand.Rand) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total float64
+	for _, name := range g.names {
+		total += g.verts[name].weight
+	}
+	if total == 0 {
+		return ""
+	}
+	x := rng.Float64() * total
+	for _, name := range g.names {
+		x -= g.verts[name].weight
+		if x <= 0 {
+			return name
+		}
+	}
+	return g.names[len(g.names)-1]
+}
+
+// successors locks, allocates a fresh slice and sorts it on every call —
+// the per-step cost Walk used to pay before snapshots.
+func (g *legacyFleetGraph) successors(name string) []legacyFleetEdge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.verts[name]
+	if !ok {
+		return nil
+	}
+	out := make([]legacyFleetEdge, 0, len(v.out))
+	for b, w := range v.out {
+		out = append(out, legacyFleetEdge{from: name, to: b, weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].weight != out[j].weight {
+			return out[i].weight > out[j].weight
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
+// walk replays the historical draw sequence (stop draw first every step,
+// selection draw only with positive successor mass) but pays the legacy
+// lock+alloc+sort successors call on every step.
+func (g *legacyFleetGraph) walk(rng *rand.Rand, from string, maxLen int, stopProb float64) []string {
+	var path []string
+	cur := from
+	for len(path) < maxLen {
+		if rng.Float64() < stopProb {
+			break
+		}
+		succ := g.successors(cur)
+		if len(succ) == 0 {
+			break
+		}
+		var total float64
+		for _, e := range succ {
+			total += e.weight
+		}
+		if total <= 0 {
+			break
+		}
+		x := rng.Float64() * total
+		next := succ[len(succ)-1].to
+		for _, e := range succ {
+			x -= e.weight
+			if x <= 0 {
+				next = e.to
+				break
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+func (g *legacyFleetGraph) edgeCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.edges
+}
+
+// legacyFleetCoverage is the pre-bitmap accumulator: one mutex around a
+// map[uint32]struct{}, exactly what feedback.Accumulator used for kernel
+// PCs before the two-level bitmap.
+type legacyFleetCoverage struct {
+	mu  sync.Mutex
+	pcs map[uint32]struct{}
+}
+
+func newLegacyFleetCoverage() *legacyFleetCoverage {
+	return &legacyFleetCoverage{pcs: make(map[uint32]struct{})}
+}
+
+func (c *legacyFleetCoverage) mergeTrace(trace []uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for _, pc := range trace {
+		if _, ok := c.pcs[pc]; !ok {
+			c.pcs[pc] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+func (c *legacyFleetCoverage) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pcs)
+}
+
+// legacyFleetRecord / legacyFleetDedup are the pre-striping crash table:
+// a single mutex serializes every Add against every Records scan.
+type legacyFleetRecord struct {
+	title  string
+	device string
+	count  int
+}
+
+type legacyFleetDedup struct {
+	mu      sync.Mutex
+	records map[string]*legacyFleetRecord
+	order   []string
+}
+
+func newLegacyFleetDedup() *legacyFleetDedup {
+	return &legacyFleetDedup{records: make(map[string]*legacyFleetRecord)}
+}
+
+func (d *legacyFleetDedup) add(device, title string) *legacyFleetRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.records[title]; ok {
+		r.count++
+		return r
+	}
+	r := &legacyFleetRecord{title: title, device: device, count: 1}
+	d.records[title] = r
+	d.order = append(d.order, title)
+	return r
+}
+
+func (d *legacyFleetDedup) length() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.records)
+}
+
+// recordsCopy holds the one mutex for the whole scan, stalling every
+// concurrent add — the status-path behavior the striped Dedup fixes.
+func (d *legacyFleetDedup) recordsCopy() []legacyFleetRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]legacyFleetRecord, 0, len(d.order))
+	for _, title := range d.order {
+		out = append(out, *d.records[title])
+	}
+	return out
+}
+
+// legacyFleetCollector is the pre-PR-5 kcov collector: every Hit takes a
+// mutex to append into the trace buffer.
+type legacyFleetCollector struct {
+	mu      sync.Mutex
+	enabled bool
+	max     int
+	buf     []uint32
+	dropped uint64
+}
+
+func newLegacyFleetCollector(max int) *legacyFleetCollector {
+	return &legacyFleetCollector{max: max}
+}
+
+func (c *legacyFleetCollector) enable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = true
+}
+
+func (c *legacyFleetCollector) disable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = false
+}
+
+func (c *legacyFleetCollector) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = c.buf[:0]
+	c.dropped = 0
+}
+
+func (c *legacyFleetCollector) hit(pc uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		return
+	}
+	if len(c.buf) >= c.max {
+		c.dropped++
+		return
+	}
+	c.buf = append(c.buf, pc)
+}
+
+func (c *legacyFleetCollector) appendTo(dst []uint32) []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append(dst, c.buf...)
+}

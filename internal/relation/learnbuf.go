@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"sort"
+	"sync"
+)
+
+// LearnOp is one deferred Learn recorded by an engine during a parallel
+// campaign: the ordered dependency pair plus the (device, sequence) key the
+// daemon sorts on before applying.
+type LearnOp struct {
+	A, B   string
+	Device string
+	Seq    uint64
+}
+
+// LearnBuffer queues an engine's Learn calls during parallel campaigns so
+// the shared graph is not locked on the engine's hot path. Each engine owns
+// one buffer; the daemon periodically drains every buffer and applies the
+// collected ops through Graph.ApplyBuffered in deterministic (device-ID,
+// sequence) order. Serial campaigns never use buffers — their Learns stay
+// synchronous, which is what keeps the golden replay tests bit-identical.
+type LearnBuffer struct {
+	mu     sync.Mutex
+	device string
+	ops    []LearnOp
+	seq    uint64
+}
+
+// NewLearnBuffer returns an empty buffer keyed by the owning device ID.
+func NewLearnBuffer(device string) *LearnBuffer {
+	return &LearnBuffer{device: device}
+}
+
+// Device returns the owning device ID.
+func (b *LearnBuffer) Device() string { return b.device }
+
+// Learn queues the dependency a→to with the next per-buffer sequence
+// number. The buffer lock is uncontended in steady state — only the owning
+// engine appends and only the daemon's applier drains.
+func (b *LearnBuffer) Learn(a, to string) {
+	b.mu.Lock()
+	b.ops = append(b.ops, LearnOp{A: a, B: to, Device: b.device, Seq: b.seq})
+	b.seq++
+	b.mu.Unlock()
+}
+
+// Len reports how many ops are queued.
+func (b *LearnBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ops)
+}
+
+// Drain removes and returns the queued ops in recording order.
+func (b *LearnBuffer) Drain() []LearnOp {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.ops) == 0 {
+		return nil
+	}
+	ops := b.ops
+	b.ops = nil
+	return ops
+}
+
+// ApplyBuffered drains every buffer and applies the collected ops sorted by
+// (device ID, sequence), so the application order — and therefore the
+// resulting edge weights, which Eq. (1) makes order-sensitive — depends only
+// on what the engines recorded, never on drain timing or goroutine
+// scheduling. It returns the number of ops applied.
+func (g *Graph) ApplyBuffered(bufs ...*LearnBuffer) int {
+	var ops []LearnOp
+	for _, b := range bufs {
+		ops = append(ops, b.Drain()...)
+	}
+	if len(ops) == 0 {
+		return 0
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Device != ops[j].Device {
+			return ops[i].Device < ops[j].Device
+		}
+		return ops[i].Seq < ops[j].Seq
+	})
+	for _, op := range ops {
+		g.Learn(op.A, op.B)
+	}
+	return len(ops)
+}

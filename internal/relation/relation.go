@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Vertex is one system call or HAL interface node.
@@ -43,6 +44,11 @@ type Graph struct {
 	edges int
 	// learns counts Learn operations, for stats.
 	learns uint64
+	// snap is the published immutable view; mutators store nil and the
+	// next Snapshot() call rebuilds under mu. Generation-time reads
+	// (PickBase, Walk, Successors) go through it lock-free.
+	snap atomic.Pointer[Snapshot]
+	san  graphSan
 }
 
 // New returns a graph with no vertices.
@@ -61,6 +67,7 @@ func (g *Graph) AddVertex(name string, weight float64) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	defer g.invalidateLocked()
 	if v, ok := g.verts[name]; ok {
 		v.Weight = weight
 		return
@@ -172,6 +179,7 @@ func (g *Graph) Learn(a, b string) {
 	va.Out[b] = w
 	vb.In[a] = w
 	g.learns++
+	g.invalidateLocked()
 	g.sanCheck("Learn", 0)
 }
 
@@ -200,51 +208,31 @@ func (g *Graph) Decay(factor, floor float64) {
 			g.verts[b].In[v.Name] = nw
 		}
 	}
+	g.invalidateLocked()
 	g.sanCheck("Decay", floor)
 }
 
 // PickBase draws a base invocation: vertices are sampled proportionally to
 // their fixed weights (paper: the vertex weight "corresponds to the
 // probability at which the system call or interface is chosen during
-// generation as the base invocation").
+// generation as the base invocation"). It delegates to the published
+// Snapshot, whose arithmetic replays the historical locked implementation
+// draw-for-draw.
 func (g *Graph) PickBase(rng *rand.Rand) string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	var total float64
-	for _, name := range g.names {
-		total += g.verts[name].Weight
-	}
-	if total == 0 {
-		return ""
-	}
-	x := rng.Float64() * total
-	for _, name := range g.names {
-		x -= g.verts[name].Weight
-		if x <= 0 {
-			return name
-		}
-	}
-	return g.names[len(g.names)-1]
+	return g.Snapshot().PickBase(rng)
 }
 
 // Successors returns the out-edges of name sorted by descending weight.
+// The returned slice is the caller's to keep; hot paths that can honor the
+// read-only contract should use Snapshot().Successors instead, which skips
+// the copy.
 func (g *Graph) Successors(name string) []Edge {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	v, ok := g.verts[name]
-	if !ok {
+	succ := g.Snapshot().Successors(name)
+	if succ == nil {
 		return nil
 	}
-	out := make([]Edge, 0, len(v.Out))
-	for b, w := range v.Out {
-		out = append(out, Edge{From: name, To: b, Weight: w})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Weight != out[j].Weight {
-			return out[i].Weight > out[j].Weight
-		}
-		return out[i].To < out[j].To
-	})
+	out := make([]Edge, len(succ))
+	copy(out, succ)
 	return out
 }
 
@@ -260,36 +248,7 @@ type Edge struct {
 // The returned slice excludes the starting vertex and has at most maxLen
 // elements.
 func (g *Graph) Walk(rng *rand.Rand, from string, maxLen int, stopProb float64) []string {
-	var path []string
-	cur := from
-	for len(path) < maxLen {
-		if rng.Float64() < stopProb {
-			break
-		}
-		succ := g.Successors(cur)
-		if len(succ) == 0 {
-			break
-		}
-		var total float64
-		for _, e := range succ {
-			total += e.Weight
-		}
-		if total <= 0 {
-			break
-		}
-		x := rng.Float64() * total
-		next := succ[len(succ)-1].To
-		for _, e := range succ {
-			x -= e.Weight
-			if x <= 0 {
-				next = e.To
-				break
-			}
-		}
-		path = append(path, next)
-		cur = next
-	}
-	return path
+	return g.Snapshot().Walk(rng, from, maxLen, stopProb)
 }
 
 // Names returns the vertex names in insertion order.
@@ -326,6 +285,7 @@ func (g *Graph) String() string {
 func (g *Graph) CheckInvariants() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.sanVerifySnapLocked()
 	return g.checkInvariantsLocked(0)
 }
 

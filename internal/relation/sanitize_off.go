@@ -9,3 +9,14 @@ const SanitizeEnabled = false
 // unconditionally and the compiler erases the call. Build with
 // -tags droidfuzz_sanitize to run CheckInvariants after every mutation.
 func (g *Graph) sanCheck(string, float64) {}
+
+// graphSan and snapSan are zero-sized in normal builds; the sanitize build
+// uses them to fingerprint published snapshots and panic on
+// write-after-publish.
+type graphSan struct{}
+
+type snapSan struct{}
+
+func (g *Graph) sanSealLocked(*Snapshot) {}
+
+func (g *Graph) sanVerifySnapLocked() {}

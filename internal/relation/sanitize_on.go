@@ -2,10 +2,83 @@
 
 package relation
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // SanitizeEnabled reports whether the droidfuzz_sanitize build tag is on.
 const SanitizeEnabled = true
+
+// graphSan tracks the most recently published snapshot so the sanitizer can
+// re-verify its fingerprint: a published Snapshot is an immutability
+// contract, and any write after publication must stop the campaign.
+type graphSan struct {
+	last *Snapshot
+}
+
+// snapSan carries the fingerprint sealed at publication time.
+type snapSan struct {
+	sum uint64
+}
+
+// sanSealLocked verifies the previously published snapshot is untouched,
+// then fingerprints and remembers the new one; g.mu must be held.
+func (g *Graph) sanSealLocked(s *Snapshot) {
+	g.sanVerifySnapLocked()
+	s.san.sum = s.fingerprint()
+	g.san.last = s
+}
+
+// sanVerifySnapLocked panics if the last published snapshot was mutated
+// after publication; g.mu must be held. Called on every reseal and from
+// CheckInvariants, so the engine's per-step sanitize sweep covers it too.
+func (g *Graph) sanVerifySnapLocked() {
+	p := g.san.last
+	if p == nil {
+		return
+	}
+	if got := p.fingerprint(); got != p.san.sum {
+		panic(fmt.Sprintf("droidfuzz_sanitize: published relation.Snapshot was mutated after publication (fingerprint %#x, sealed %#x) — snapshots are immutable by contract; copy before editing", got, p.san.sum))
+	}
+}
+
+// fingerprint hashes every name, weight and edge of the snapshot with
+// FNV-1a; any single-bit mutation of the published view changes it.
+func (s *Snapshot) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	str := func(v string) {
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	for i, name := range s.names {
+		str(name)
+		mix(math.Float64bits(s.weights[i]))
+		for _, e := range s.succ[i] {
+			str(e.From)
+			str(e.To)
+			mix(math.Float64bits(e.Weight))
+		}
+	}
+	mix(uint64(s.edges))
+	mix(s.learns)
+	return h
+}
 
 // sanCheck runs the full invariant sweep after a mutation (Learn, Decay)
 // while g.mu is still held, and panics on the first violation — in a

@@ -1,0 +1,174 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Snapshot is an immutable point-in-time view of the Graph. The daemon
+// shares one relation table across every fuzzing engine (paper §IV-A), and
+// at fleet scale the per-step lock+sort inside PickBase/Walk/Successors is
+// what serializes generation. A Snapshot is built once under the master
+// lock, published through an atomic pointer, and from then on read without
+// any synchronization: names, weights and pre-sorted successor lists are
+// plain slices that no goroutine may write again.
+//
+// Mutators (AddVertex, Learn, Decay) invalidate the published pointer; the
+// next Snapshot call rebuilds lazily. Under -tags droidfuzz_sanitize each
+// published snapshot carries a fingerprint that is re-verified before the
+// replacement is sealed, so any write-after-publish panics at the rebuild
+// that detects it.
+type Snapshot struct {
+	names   []string // insertion order, mirroring Graph.names
+	weights []float64
+	index   map[string]int
+	succ    [][]Edge // per vertex, sorted by weight desc then name asc
+	edges   int
+	learns  uint64
+	san     snapSan
+}
+
+// Snapshot returns the current immutable view, rebuilding it under the
+// master lock only if a mutation invalidated the published one. The
+// steady-state cost is a single atomic load.
+func (g *Graph) Snapshot() *Snapshot {
+	if s := g.snap.Load(); s != nil {
+		return s
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Another reader may have rebuilt while we waited for the lock.
+	if s := g.snap.Load(); s != nil {
+		return s
+	}
+	s := g.buildSnapshotLocked()
+	g.sanSealLocked(s)
+	g.snap.Store(s)
+	return s
+}
+
+// invalidateLocked drops the published snapshot; g.mu must be held. The
+// rebuild is deferred to the next read so a burst of Learns pays for one
+// rebuild, not one per mutation.
+func (g *Graph) invalidateLocked() {
+	g.snap.Store(nil)
+}
+
+// buildSnapshotLocked materializes the immutable view; g.mu must be held.
+// Construction order is deterministic: vertices in insertion order,
+// successor lists sorted with the same comparator Successors always used,
+// so a snapshot-backed campaign replays bit-identically to the lock-based
+// implementation it replaced.
+func (g *Graph) buildSnapshotLocked() *Snapshot {
+	s := &Snapshot{
+		names:   make([]string, len(g.names)),
+		weights: make([]float64, len(g.names)),
+		index:   make(map[string]int, len(g.names)),
+		succ:    make([][]Edge, len(g.names)),
+		edges:   g.edges,
+		learns:  g.learns,
+	}
+	copy(s.names, g.names)
+	for i, name := range s.names {
+		v := g.verts[name]
+		s.weights[i] = v.Weight
+		s.index[name] = i
+		if len(v.Out) == 0 {
+			continue
+		}
+		out := make([]Edge, 0, len(v.Out))
+		for b, w := range v.Out {
+			out = append(out, Edge{From: name, To: b, Weight: w})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Weight != out[j].Weight {
+				return out[i].Weight > out[j].Weight
+			}
+			return out[i].To < out[j].To
+		})
+		s.succ[i] = out
+	}
+	return s
+}
+
+// Len reports the number of vertices in the snapshot.
+func (s *Snapshot) Len() int { return len(s.names) }
+
+// Edges reports the number of directed edges in the snapshot.
+func (s *Snapshot) Edges() int { return s.edges }
+
+// Learns reports the graph's learn counter at snapshot time.
+func (s *Snapshot) Learns() uint64 { return s.learns }
+
+// Names returns the vertex names in insertion order. The slice is shared
+// and must not be modified.
+func (s *Snapshot) Names() []string { return s.names }
+
+// PickBase draws a base invocation proportionally to vertex weight, with
+// arithmetic identical to the historical locked implementation: one
+// insertion-order sum, one rng draw, one insertion-order subtraction scan.
+func (s *Snapshot) PickBase(rng *rand.Rand) string {
+	var total float64
+	for _, w := range s.weights {
+		total += w
+	}
+	if total == 0 {
+		return ""
+	}
+	x := rng.Float64() * total
+	for i, w := range s.weights {
+		x -= w
+		if x <= 0 {
+			return s.names[i]
+		}
+	}
+	return s.names[len(s.names)-1]
+}
+
+// Successors returns the out-edges of name sorted by descending weight then
+// ascending name. The slice is the snapshot's own pre-sorted storage: it is
+// shared across callers and must be treated as read-only.
+func (s *Snapshot) Successors(name string) []Edge {
+	i, ok := s.index[name]
+	if !ok {
+		return nil
+	}
+	return s.succ[i]
+}
+
+// Walk performs the generation-time traversal over the snapshot with the
+// exact draw sequence of the historical Graph.Walk: the stop draw is taken
+// first on every step, and the selection draw only when successors exist
+// with positive total weight.
+func (s *Snapshot) Walk(rng *rand.Rand, from string, maxLen int, stopProb float64) []string {
+	var path []string
+	cur := from
+	for len(path) < maxLen {
+		if rng.Float64() < stopProb {
+			break
+		}
+		succ := s.Successors(cur)
+		if len(succ) == 0 {
+			break
+		}
+		var total float64
+		for _, e := range succ {
+			total += e.Weight
+		}
+		if total <= 0 {
+			break
+		}
+		x := rng.Float64() * total
+		next := succ[len(succ)-1].To
+		for _, e := range succ {
+			x -= e.Weight
+			if x <= 0 {
+				next = e.To
+				break
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
