@@ -39,6 +39,7 @@ bench-json:
 	$(GO) run ./cmd/benchperf -pr 1 -o BENCH_PR1.json
 	$(GO) run ./cmd/benchperf -pr 3 -o BENCH_PR3.json
 	$(GO) run ./cmd/benchperf -pr 5 -o BENCH_PR5.json
+	$(GO) run ./cmd/benchperf -pr 6 -o BENCH_PR6.json
 
 # smoke runs a short droidfleet campaign against droidbrokerd over TCP
 # loopback and asserts clean execution and shutdown.

@@ -18,9 +18,15 @@
 // microbenchmark pair. With -short only the 8-engine pair and the
 // collector pair run — the CI smoke configuration.
 //
+// -pr 6 runs the PR 6 device-reset benchmarks and writes BENCH_PR6.json:
+// snapshot restore under light dirt (one driver touched) and heavy dirt
+// (every driver plus a dead Graphics HAL) against the full reboot it
+// replaces, with resets/sec for all three and the two restore-vs-reboot
+// speedup factors.
+//
 // Usage:
 //
-//	go run ./cmd/benchperf [-pr 1|3|5] [-short] [-o FILE] [-benchtime 1s]
+//	go run ./cmd/benchperf [-pr 1|3|5|6] [-short] [-o FILE] [-benchtime 1s]
 package main
 
 import (
@@ -45,7 +51,11 @@ type measurement struct {
 	// test, and device-to-host bytes shipped per execution.
 	RoundTripsPerSec   float64 `json:"round_trips_per_sec,omitempty"`
 	UplinkBytesPerExec float64 `json:"uplink_bytes_per_exec,omitempty"`
-	Iterations         int     `json:"iterations"`
+	// ResetsPerSec is the PR 6 device-reset metric: pristine-state resets
+	// completed per second (snapshot restore or full reboot, depending on
+	// the benchmark).
+	ResetsPerSec float64 `json:"resets_per_sec,omitempty"`
+	Iterations   int     `json:"iterations"`
 }
 
 // seedEngineStep is the EngineStep measurement taken on the PR 0 seed tree
@@ -91,11 +101,14 @@ func measure(name string, f func(*testing.B)) measurement {
 	if v, ok := r.Extra["uplinkB/exec"]; ok {
 		m.UplinkBytesPerExec = v
 	}
+	if v, ok := r.Extra["resets/sec"]; ok {
+		m.ResetsPerSec = v
+	}
 	return m
 }
 
 func main() {
-	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3 or 5)")
+	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3, 5 or 6)")
 	out := flag.String("o", "", "output file (default BENCH_PR<n>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	short := flag.Bool("short", false, "smoke subset: skip the 1/2/4-engine fleet points (-pr 5 only)")
@@ -200,8 +213,32 @@ func main() {
 		}
 		summary = fmt.Sprintf("8-engine fleet %.2fx execs/sec, collector hit %.2fx",
 			rep.Speedups["Fleet8ExecsPerSec"], rep.Speedups["CollectorHit"])
+	case 6:
+		rep.Description = "copy-on-write device snapshot/restore: O(dirty-state) reset instead of full reboot"
+		benches := []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"ResetReboot", perf.ResetReboot},
+			{"ResetLightDirty", perf.ResetLightDirty},
+			{"ResetHeavyDirty", perf.ResetHeavyDirty},
+		}
+		// The suite is already only three points; -short keeps all of them
+		// (the CI smoke run asserts the same speedup floor as the full run).
+		for _, b := range benches {
+			rep.Benchmarks[b.name] = measure(b.name, b.body)
+		}
+		reboot := rep.Benchmarks["ResetReboot"]
+		rep.Speedups = map[string]float64{
+			"ResetLightDirty": round2(reboot.NsPerOp /
+				rep.Benchmarks["ResetLightDirty"].NsPerOp),
+			"ResetHeavyDirty": round2(reboot.NsPerOp /
+				rep.Benchmarks["ResetHeavyDirty"].NsPerOp),
+		}
+		summary = fmt.Sprintf("light-dirty restore %.2fx, heavy-dirty restore %.2fx vs reboot",
+			rep.Speedups["ResetLightDirty"], rep.Speedups["ResetHeavyDirty"])
 	default:
-		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3 or 5)\n", *pr)
+		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3, 5 or 6)\n", *pr)
 		os.Exit(1)
 	}
 

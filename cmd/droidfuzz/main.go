@@ -97,9 +97,9 @@ func run(deviceID string, iters int, seed int64, variant, corpusDir string, stat
 		}
 		done += n
 		st := eng.Stats()
-		fmt.Printf("[%7d/%d] execs=%d cover=%d signal=%d corpus=%d crashes=%d bugs=%d reboots=%d\n",
+		fmt.Printf("[%7d/%d] execs=%d cover=%d signal=%d corpus=%d crashes=%d bugs=%d restores=%d reboots=%d\n",
 			done, iters, st.Execs, st.KernelCov, st.TotalSignal,
-			st.CorpusSize, st.Crashes, st.UniqueBugs, st.Reboots)
+			st.CorpusSize, st.Crashes, st.UniqueBugs, st.Restores, st.Reboots)
 	}
 
 	fmt.Println()

@@ -25,6 +25,11 @@ type Executor interface {
 	ExecProg(p *dsl.Prog) (*ExecResult, error)
 	// Reboot restarts the device; the engine calls it after any crash.
 	Reboot() error
+	// Reset brings the device back to pristine post-boot state the cheap
+	// way when possible: a copy-on-write snapshot restore, falling back to
+	// a full reboot when restore cannot reach pristine state. The returned
+	// bool reports which path ran (true = restored, false = rebooted).
+	Reset() (bool, error)
 	// Ping round-trips a liveness check.
 	Ping() error
 	// Info returns the device identity handshake: model ID, target
@@ -46,6 +51,8 @@ type Info struct {
 	TargetHash uint64
 	// Reboots counts device reboots since boot.
 	Reboots int
+	// Restores counts snapshot restores (cheap resets) since boot.
+	Restores int
 	// Execs counts broker executions (the device's virtual-time clock).
 	Execs uint64
 }
@@ -130,6 +137,19 @@ func (b *Broker) Reboot() error {
 	return nil
 }
 
+// Reset implements Executor: a copy-on-write snapshot restore when the
+// device can reach pristine state that way, else a full reboot. The kernel
+// object survives a restore, so an installed ioctl-only gate stays in
+// place; only the reboot fallback needs it re-applied.
+func (b *Broker) Reset() (bool, error) {
+	if b.dev.Restore() {
+		return true, nil
+	}
+	b.dev.Reboot()
+	b.applyGate()
+	return false, nil
+}
+
 // Ping implements Executor; the in-process broker is always reachable.
 func (b *Broker) Ping() error { return nil }
 
@@ -143,6 +163,7 @@ func (b *Broker) Info() (Info, error) {
 		ModelID:    b.dev.Model.ID,
 		TargetHash: target.Hash(),
 		Reboots:    b.dev.Reboots(),
+		Restores:   b.dev.Restores(),
 		Execs:      execs,
 	}, nil
 }

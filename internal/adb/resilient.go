@@ -304,6 +304,18 @@ func (r *Resilient) Reboot() error {
 	return r.do(func(c *Conn) error { return c.Reboot() })
 }
 
+// Reset implements Executor. A reconnect mid-Reset is harmless: the worst
+// case is the device resetting twice, which is idempotent.
+func (r *Resilient) Reset() (bool, error) {
+	var restored bool
+	err := r.do(func(c *Conn) error {
+		var e error
+		restored, e = c.Reset()
+		return e
+	})
+	return restored, err
+}
+
 // Info implements Executor with a live round trip; on failure it returns
 // the last-known identity (ModelID and TargetHash stay valid — they are
 // pinned by the handshake) along with the error.

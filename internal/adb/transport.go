@@ -51,6 +51,7 @@ type rpcRequest struct {
 	Batch    *ExecBatchRequest
 	Ping     bool
 	Reboot   bool
+	Reset    bool
 	Info     bool
 	Describe bool
 }
@@ -60,6 +61,7 @@ type rpcReply struct {
 	Result   *ExecResult
 	Batch    *ExecBatchReply
 	Pong     bool
+	Restored bool
 	Info     *Info
 	Describe *DescribeReply
 	Err      string
@@ -402,6 +404,18 @@ func (c *Conn) Reboot() error {
 	return err
 }
 
+// Reset implements Executor: the device-side broker restores its device
+// from the boot snapshot, rebooting only when restore cannot reach
+// pristine state. The reply reports which path ran, so remote campaigns
+// account restores and reboots the same way local ones do.
+func (c *Conn) Reset() (bool, error) {
+	rep, err := c.roundTrip(rpcRequest{Reset: true})
+	if err != nil {
+		return false, err
+	}
+	return rep.Restored, nil
+}
+
 // Info implements Executor with a live identity round trip.
 func (c *Conn) Info() (Info, error) {
 	rep, err := c.roundTrip(rpcRequest{Info: true})
@@ -530,6 +544,14 @@ func (s *Server) handle(req rpcRequest, st *connState) (rep rpcReply) {
 			rep.Err = err.Error()
 		} else {
 			rep.Pong = true
+		}
+	case req.Reset:
+		restored, err := s.X.Reset()
+		if err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Pong = true
+			rep.Restored = restored
 		}
 	case req.Info:
 		info, err := s.X.Info()

@@ -104,9 +104,63 @@ func DefaultConfig() Config {
 		},
 		SnapshotTypes: []string{
 			"droidfuzz/internal/relation.Snapshot",
+			// PR 6 device checkpoints: the pristine-state payloads captured
+			// at boot are the restore reference — a write into one after
+			// capture corrupts every later Restore. Only the registered
+			// Checkpoint/Restore implementations (and the snapshot capture
+			// itself) may touch them.
+			"droidfuzz/internal/device.Snapshot",
+			"droidfuzz/internal/device.snapEntry",
+			"droidfuzz/internal/vkernel.kernelState",
+			"droidfuzz/internal/kasan.heapState",
+			"droidfuzz/internal/binder.smState",
+			"droidfuzz/internal/hal.procState",
+			"droidfuzz/internal/drivers.tcpcState",
+			"droidfuzz/internal/drivers.hciState",
+			"droidfuzz/internal/drivers.v4l2State",
+			"droidfuzz/internal/drivers.audioState",
+			"droidfuzz/internal/drivers.gpuState",
+			"droidfuzz/internal/drivers.wlanState",
+			"droidfuzz/internal/drivers.sensorState",
+			"droidfuzz/internal/drivers.nfcState",
+			"droidfuzz/internal/drivers.thermalState",
+			"droidfuzz/internal/drivers.touchState",
 		},
 		SnapshotBuilders: []string{
-			"droidfuzz/internal/relation.buildSnapshotLocked",
+			"droidfuzz/internal/relation.Graph.buildSnapshotLocked",
+			// Device.Restore maintains the per-entry generation bookkeeping
+			// the Snapshot contract explicitly allows; captureSnapshot and
+			// the Checkpoint methods construct payloads before publication.
+			"droidfuzz/internal/device.captureSnapshot",
+			"droidfuzz/internal/device.Device.Restore",
+			"droidfuzz/internal/vkernel.Kernel.Checkpoint",
+			"droidfuzz/internal/vkernel.Kernel.Restore",
+			"droidfuzz/internal/kasan.Heap.Checkpoint",
+			"droidfuzz/internal/kasan.Heap.Restore",
+			"droidfuzz/internal/binder.ServiceManager.Checkpoint",
+			"droidfuzz/internal/binder.ServiceManager.Restore",
+			"droidfuzz/internal/hal.Process.Checkpoint",
+			"droidfuzz/internal/hal.Process.Restore",
+			"droidfuzz/internal/drivers.TCPCDriver.Checkpoint",
+			"droidfuzz/internal/drivers.TCPCDriver.Restore",
+			"droidfuzz/internal/drivers.HCIDriver.Checkpoint",
+			"droidfuzz/internal/drivers.HCIDriver.Restore",
+			"droidfuzz/internal/drivers.V4L2Driver.Checkpoint",
+			"droidfuzz/internal/drivers.V4L2Driver.Restore",
+			"droidfuzz/internal/drivers.AudioDriver.Checkpoint",
+			"droidfuzz/internal/drivers.AudioDriver.Restore",
+			"droidfuzz/internal/drivers.GPUDriver.Checkpoint",
+			"droidfuzz/internal/drivers.GPUDriver.Restore",
+			"droidfuzz/internal/drivers.WLANDriver.Checkpoint",
+			"droidfuzz/internal/drivers.WLANDriver.Restore",
+			"droidfuzz/internal/drivers.SensorDriver.Checkpoint",
+			"droidfuzz/internal/drivers.SensorDriver.Restore",
+			"droidfuzz/internal/drivers.NFCDriver.Checkpoint",
+			"droidfuzz/internal/drivers.NFCDriver.Restore",
+			"droidfuzz/internal/drivers.ThermalDriver.Checkpoint",
+			"droidfuzz/internal/drivers.ThermalDriver.Restore",
+			"droidfuzz/internal/drivers.TouchDriver.Checkpoint",
+			"droidfuzz/internal/drivers.TouchDriver.Restore",
 		},
 		WireRoots: []string{
 			"droidfuzz/internal/adb.rpcRequest",

@@ -19,9 +19,12 @@ import (
 //   - ++/-- on such expressions;
 //   - delete() on a map owned by a snapshot type.
 //
-// Construction has to write, so functions named in SnapshotBuilders
-// ("pkgpath.FuncName", e.g. relation's buildSnapshotLocked) are exempt:
-// they run under the master lock before the value is published. The pass is
+// Construction has to write, so functions named in SnapshotBuilders are
+// exempt: plain functions as "pkgpath.FuncName" (e.g. relation's
+// buildSnapshotLocked) and methods as "pkgpath.Type.Method" (e.g. the
+// per-subsystem Checkpoint/Restore implementations behind PR 6's device
+// snapshots). Builders run under their owner's lock before the value is
+// published, or maintain bookkeeping the snapshot contract allows. The pass is
 // flow-insensitive — it does not try to prove a snapshot value is still
 // private — because the whole point of the pattern is that nothing outside
 // the builder should ever need to mutate one; copy first instead, or waive
@@ -52,8 +55,7 @@ func checkSnapshots(prog *Program, cfg Config) []Diagnostic {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				if fn := funcFor(pkg, fd); fn != nil && fn.Pkg() != nil &&
-					builders[fn.Pkg().Path()+"."+fn.Name()] {
+				if fn := funcFor(pkg, fd); fn != nil && isSnapshotBuilder(fn, builders) {
 					continue
 				}
 				diags = append(diags, snapshotWritesIn(prog, pkg, fd, snap)...)
@@ -61,6 +63,23 @@ func checkSnapshots(prog *Program, cfg Config) []Diagnostic {
 		}
 	}
 	return diags
+}
+
+// isSnapshotBuilder reports whether fn is registered in SnapshotBuilders:
+// plain functions match "pkgpath.FuncName", methods match
+// "pkgpath.Type.Method" with the receiver's named type (pointer stripped).
+func isSnapshotBuilder(fn *types.Func, builders map[string]bool) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if recv := fn.Signature().Recv(); recv != nil {
+		named := namedOf(recv.Type())
+		if named == nil {
+			return false
+		}
+		return builders[fn.Pkg().Path()+"."+named.Obj().Name()+"."+fn.Name()]
+	}
+	return builders[fn.Pkg().Path()+"."+fn.Name()]
 }
 
 func snapshotWritesIn(prog *Program, pkg *Package, fd *ast.FuncDecl, snap map[*types.TypeName]string) []Diagnostic {

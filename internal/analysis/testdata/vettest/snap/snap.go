@@ -44,3 +44,10 @@ func Rebind(a, b *View) *View {
 	v = b
 	return v
 }
+
+// Refresh is a registered *method* builder ("vettest/snap.View.Refresh"):
+// its bookkeeping write is sanctioned, mirroring Device.Restore's
+// generation maintenance, and must not be flagged.
+func (v *View) Refresh() {
+	v.Gen = v.Gen + 1
+}

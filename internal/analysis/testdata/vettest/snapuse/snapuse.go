@@ -43,3 +43,19 @@ func CopyThenMutate(v *snap.View) *snap.View {
 	weights[0] = 0.25
 	return snap.New(names, weights)
 }
+
+// Stamper seeds method-receiver violations for the receiver-qualified
+// builder matching.
+type Stamper struct{}
+
+// Stamp writes through a snapshot from an unregistered method: flagged.
+func (Stamper) Stamp(v *snap.View) {
+	v.Gen = 9
+}
+
+// New shares its name with the registered plain builder "vettest/snap.New"
+// but is a method on Stamper, not that function — receiver-qualified
+// matching must still flag its write.
+func (Stamper) New(v *snap.View) {
+	v.Names[0] = "forged"
+}

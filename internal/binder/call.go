@@ -13,6 +13,7 @@ func (sm *ServiceManager) SetObserver(o Observer) {
 	sm.mu.Lock()
 	sm.observer = o
 	sm.mu.Unlock()
+	sm.Touch()
 }
 
 func (sm *ServiceManager) notify(descriptor string, code uint32, payload []byte) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"droidfuzz/internal/snap"
 )
 
 // Status is a Binder transaction status code.
@@ -58,6 +60,8 @@ type Service interface {
 // ServiceManager is the device-wide service registry, the analog of
 // Android's servicemanager/hwservicemanager that lshal enumerates.
 type ServiceManager struct {
+	snap.Dirty
+
 	mu       sync.Mutex
 	services map[string]Service
 	observer Observer
@@ -78,6 +82,7 @@ func (sm *ServiceManager) Register(s Service) {
 		panic(fmt.Sprintf("binder: duplicate service %q", d))
 	}
 	sm.services[d] = s
+	sm.Touch()
 }
 
 // Get returns the service registered under the descriptor, or nil.

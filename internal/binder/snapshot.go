@@ -1,0 +1,37 @@
+package binder
+
+// ServiceManager checkpoint/restore. Services are registered once at boot
+// and the probing pass is the only SetObserver caller (and it reboots the
+// device when done), so the registry is almost never dirty mid-campaign —
+// the generation check makes its restore free.
+
+type smState struct {
+	services map[string]Service // shallow: Service identity is the state
+	observer Observer
+}
+
+// Checkpoint implements snap.Subsystem.
+func (sm *ServiceManager) Checkpoint() any {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	st := &smState{
+		services: make(map[string]Service, len(sm.services)),
+		observer: sm.observer,
+	}
+	for d, s := range sm.services { //droidvet:nondet order-independent map copy
+		st.services[d] = s
+	}
+	return st
+}
+
+// Restore implements snap.Subsystem.
+func (sm *ServiceManager) Restore(s any) {
+	st := s.(*smState)
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.services = make(map[string]Service, len(st.services))
+	for d, svc := range st.services { //droidvet:nondet order-independent map copy
+		sm.services[d] = svc
+	}
+	sm.observer = st.observer
+}

@@ -7,6 +7,8 @@ package device
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"droidfuzz/internal/binder"
 	"droidfuzz/internal/bugs"
@@ -15,6 +17,7 @@ import (
 	"droidfuzz/internal/ebpf"
 	"droidfuzz/internal/hal"
 	"droidfuzz/internal/kcov"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -46,9 +49,37 @@ type Model struct {
 	HALs    []string // Binder descriptors
 }
 
+// The model table is built once at init; Models/IDs/ModelByID hand out the
+// precomputed entries instead of reallocating seven model structs (plus bug
+// sets and driver lists) per lookup. Model contents are read-only by
+// convention: every Device shares the table's Bugs/Drivers/HALs values.
+var (
+	modelTable = buildModels()
+	modelIDs   = func() []string {
+		out := make([]string, len(modelTable))
+		for i, m := range modelTable {
+			out[i] = m.ID
+		}
+		return out
+	}()
+	modelIndex = func() map[string]int {
+		idx := make(map[string]int, len(modelTable))
+		for i, m := range modelTable {
+			idx[m.ID] = i
+		}
+		return idx
+	}()
+)
+
 // Models returns the seven Table I device models with their injected
 // Table II bug sets.
 func Models() []Model {
+	out := make([]Model, len(modelTable))
+	copy(out, modelTable)
+	return out
+}
+
+func buildModels() []Model {
 	return []Model{
 		{
 			ID: "A1", Name: "Phone Dev Board", Vendor: "Xiaomi",
@@ -137,10 +168,8 @@ func Models() []Model {
 
 // ModelByID returns the Table I model with the given ID.
 func ModelByID(id string) (Model, error) {
-	for _, m := range Models() {
-		if m.ID == id {
-			return m, nil
-		}
+	if i, ok := modelIndex[id]; ok {
+		return modelTable[i], nil
 	}
 	return Model{}, fmt.Errorf("device: unknown model %q (valid: %s)",
 		id, strings.Join(IDs(), ", "))
@@ -149,11 +178,8 @@ func ModelByID(id string) (Model, error) {
 // IDs returns the Table I model IDs in listing order, for flag validation
 // and error messages.
 func IDs() []string {
-	models := Models()
-	out := make([]string, len(models))
-	for i, m := range models {
-		out[i] = m.ID
-	}
+	out := make([]string, len(modelIDs))
+	copy(out, modelIDs)
 	return out
 }
 
@@ -166,7 +192,15 @@ type Device struct {
 	Procs []*hal.Process
 	FW    *hal.Framework
 
-	reboots int
+	// subs lists every snapshot-capable subsystem in deterministic order;
+	// snap holds the pristine post-boot checkpoint Restore winds back to.
+	subs []snap.Subsystem
+	snap *Snapshot
+
+	// Counters are atomics: the broker reads them for Info/Stats while
+	// another goroutine may be resetting the device.
+	reboots  atomic.Int64
+	restores atomic.Int64
 }
 
 // HAL process PIDs start here; the native executor uses NativePID.
@@ -183,35 +217,85 @@ func New(m Model) *Device {
 	return d
 }
 
+// deviceDriver is what every registered driver family implements: the
+// kernel-facing driver surface plus checkpoint/restore.
+type deviceDriver interface {
+	vkernel.Driver
+	snap.Subsystem
+}
+
+// newDriver constructs the driver for a family and returns its /dev path.
+func newDriver(fam string, b bugs.Set) (string, deviceDriver) {
+	switch fam {
+	case FamTCPC:
+		return drivers.PathTCPC, drivers.NewTCPC(b)
+	case FamHCI:
+		return drivers.PathHCI, drivers.NewHCI(b)
+	case FamL2CAP:
+		return drivers.PathL2CAP, drivers.NewL2CAP(b)
+	case FamV4L2:
+		return drivers.PathVideo, drivers.NewV4L2(b)
+	case FamAudio:
+		return drivers.PathPCM, drivers.NewAudio(b)
+	case FamGPU:
+		return drivers.PathGPU, drivers.NewGPU(b)
+	case FamWLAN:
+		return drivers.PathWLAN, drivers.NewWLAN(b)
+	case FamIIO:
+		return drivers.PathIIO, drivers.NewSensor(b)
+	case FamNFC:
+		return drivers.PathNFC, drivers.NewNFC(b)
+	case FamThermal:
+		return drivers.PathThermal, drivers.NewThermal(b)
+	case FamTouch:
+		return drivers.PathTouch, drivers.NewTouch(b)
+	default:
+		panic(fmt.Sprintf("device: unknown driver family %q", fam))
+	}
+}
+
+// halService is the constructor surface device boot needs from a HAL.
+type halService interface {
+	binder.Service
+	Label() string
+}
+
+// newHALService constructs the service for a Binder descriptor over sys.
+func newHALService(desc string, sys *hal.Sys, b bugs.Set) halService {
+	switch desc {
+	case hal.GraphicsDescriptor:
+		return hal.NewGraphics(sys, b)
+	case hal.MediaDescriptor:
+		return hal.NewMedia(sys, b)
+	case hal.CameraDescriptor:
+		return hal.NewCamera(sys, b)
+	case hal.AudioDescriptor:
+		return hal.NewAudio(sys, b)
+	case hal.BluetoothDescriptor:
+		return hal.NewBluetooth(sys, b)
+	case hal.NFCDescriptor:
+		return hal.NewNFC(sys, b)
+	case hal.SensorsDescriptor:
+		return hal.NewSensors(sys, b)
+	case hal.USBDescriptor:
+		return hal.NewUSB(sys, b)
+	case hal.ThermalDescriptor:
+		return hal.NewThermal(sys, b)
+	case hal.InputDescriptor:
+		return hal.NewInput(sys, b)
+	default:
+		panic(fmt.Sprintf("device: unknown HAL %q", desc))
+	}
+}
+
 func (d *Device) boot() {
 	k := vkernel.New()
+	subs := make([]snap.Subsystem, 0, 2+len(d.Model.Drivers)+len(d.Model.HALs)+3)
+	subs = append(subs, k, k.Heap)
 	for _, fam := range d.Model.Drivers {
-		switch fam {
-		case FamTCPC:
-			k.RegisterDevice(drivers.PathTCPC, drivers.NewTCPC(d.Model.Bugs))
-		case FamHCI:
-			k.RegisterDevice(drivers.PathHCI, drivers.NewHCI(d.Model.Bugs))
-		case FamL2CAP:
-			k.RegisterDevice(drivers.PathL2CAP, drivers.NewL2CAP(d.Model.Bugs))
-		case FamV4L2:
-			k.RegisterDevice(drivers.PathVideo, drivers.NewV4L2(d.Model.Bugs))
-		case FamAudio:
-			k.RegisterDevice(drivers.PathPCM, drivers.NewAudio(d.Model.Bugs))
-		case FamGPU:
-			k.RegisterDevice(drivers.PathGPU, drivers.NewGPU(d.Model.Bugs))
-		case FamWLAN:
-			k.RegisterDevice(drivers.PathWLAN, drivers.NewWLAN(d.Model.Bugs))
-		case FamIIO:
-			k.RegisterDevice(drivers.PathIIO, drivers.NewSensor(d.Model.Bugs))
-		case FamNFC:
-			k.RegisterDevice(drivers.PathNFC, drivers.NewNFC(d.Model.Bugs))
-		case FamThermal:
-			k.RegisterDevice(drivers.PathThermal, drivers.NewThermal(d.Model.Bugs))
-		case FamTouch:
-			k.RegisterDevice(drivers.PathTouch, drivers.NewTouch(d.Model.Bugs))
-		default:
-			panic(fmt.Sprintf("device: unknown driver family %q", fam))
-		}
+		path, drv := newDriver(fam, d.Model.Bugs)
+		k.RegisterDevice(path, drv)
+		subs = append(subs, drv)
 	}
 	d.Hub.Install(k)
 	d.K = k
@@ -221,52 +305,39 @@ func (d *Device) boot() {
 	for i, desc := range d.Model.HALs {
 		pid := halPIDBase + i
 		sys := &hal.Sys{K: k, PID: pid}
-		var svc interface {
-			binder.Service
-			Label() string
-		}
-		switch desc {
-		case hal.GraphicsDescriptor:
-			svc = hal.NewGraphics(sys, d.Model.Bugs)
-		case hal.MediaDescriptor:
-			svc = hal.NewMedia(sys, d.Model.Bugs)
-		case hal.CameraDescriptor:
-			svc = hal.NewCamera(sys, d.Model.Bugs)
-		case hal.AudioDescriptor:
-			svc = hal.NewAudio(sys, d.Model.Bugs)
-		case hal.BluetoothDescriptor:
-			svc = hal.NewBluetooth(sys, d.Model.Bugs)
-		case hal.NFCDescriptor:
-			svc = hal.NewNFC(sys, d.Model.Bugs)
-		case hal.SensorsDescriptor:
-			svc = hal.NewSensors(sys, d.Model.Bugs)
-		case hal.USBDescriptor:
-			svc = hal.NewUSB(sys, d.Model.Bugs)
-		case hal.ThermalDescriptor:
-			svc = hal.NewThermal(sys, d.Model.Bugs)
-		case hal.InputDescriptor:
-			svc = hal.NewInput(sys, d.Model.Bugs)
-		default:
-			panic(fmt.Sprintf("device: unknown HAL %q", desc))
-		}
+		svc := newHALService(desc, sys, d.Model.Bugs)
 		proc := hal.NewProcess(pid, svc, svc.Label())
+		// Restore respawns the HAL service the way init would: a fresh
+		// instance over the same syscall facade (and thus this kernel).
+		proc.SetRebuild(func() binder.Service {
+			return newHALService(desc, sys, d.Model.Bugs)
+		})
 		d.Procs = append(d.Procs, proc)
 		sm.Register(proc)
+		subs = append(subs, proc)
 	}
 	d.SM = sm
 	d.FW = hal.NewFramework(sm)
+	subs = append(subs, sm, d.FW, d.Hub)
+	d.subs = subs
+	// The checkpoint is taken at the very end of boot, so every Reboot —
+	// including the probing pass's trailing one — refreshes the snapshot.
+	d.snap = captureSnapshot(subs)
 }
 
 // Reboot tears the device down and boots fresh kernel and HAL state, as the
 // harness does after any crash (paper §V-A). Attached eBPF probes survive:
 // the hub is reinstalled on the new kernel.
 func (d *Device) Reboot() {
-	d.reboots++
+	d.reboots.Add(1)
 	d.boot()
 }
 
 // Reboots reports how many times the device rebooted.
-func (d *Device) Reboots() int { return d.reboots }
+func (d *Device) Reboots() int { return int(d.reboots.Load()) }
+
+// Restores reports how many times the device was snapshot-restored.
+func (d *Device) Restores() int { return int(d.restores.Load()) }
 
 // Healthy reports whether the kernel is not wedged and every HAL process is
 // alive.
@@ -284,7 +355,7 @@ func (d *Device) Healthy() bool {
 
 // TakeHALCrashes drains native-crash records from all HAL processes.
 func (d *Device) TakeHALCrashes() []hal.Crash {
-	var out []hal.Crash
+	out := make([]hal.Crash, 0, len(d.Procs))
 	for _, p := range d.Procs {
 		out = append(out, p.TakeCrashes()...)
 	}
@@ -324,16 +395,28 @@ func (d *Device) SyscallDescs() []*dsl.CallDesc {
 	return out
 }
 
+// pcIndexCache memoizes PCIndex results per (driver list, maxSite): the
+// index depends only on the model's driver families, and rebuilding the
+// full PC→module map (thousands of kcov.PC hashes) per call was a
+// measurable per-campaign cost.
+var pcIndexCache sync.Map // string -> map[uint32]string
+
 // PCIndex maps every plausible cover-point PC of the device's driver
 // modules back to its module name, for per-driver coverage accounting
 // (paper §V-C: per-driver coverage increased 17% on average). Site ids are
-// enumerated up to maxSite per module.
+// enumerated up to maxSite per module. The returned map is shared and must
+// be treated as read-only.
 func (d *Device) PCIndex(maxSite uint32) map[uint32]string {
-	idx := make(map[uint32]string)
+	key := fmt.Sprintf("%s:%d", strings.Join(d.Model.Drivers, ","), maxSite)
+	if cached, ok := pcIndexCache.Load(key); ok {
+		return cached.(map[uint32]string)
+	}
+	idx := make(map[uint32]string, int(maxSite)*len(d.Model.Drivers))
 	for _, fam := range d.Model.Drivers {
 		for site := uint32(0); site < maxSite; site++ {
 			idx[kcov.PC(fam, site)] = fam
 		}
 	}
-	return idx
+	idx2, _ := pcIndexCache.LoadOrStore(key, idx)
+	return idx2.(map[uint32]string)
 }

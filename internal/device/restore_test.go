@@ -1,0 +1,285 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"droidfuzz/internal/binder"
+	"droidfuzz/internal/hal"
+	"droidfuzz/internal/vkernel"
+)
+
+// composer wraps the Graphics HAL process of a booted device with its
+// transaction codes resolved once by reflection.
+type composer struct {
+	proc                          *hal.Process
+	createLayer, destroy, present uint32
+}
+
+func newComposer(t *testing.T, d *Device) *composer {
+	t.Helper()
+	c := &composer{}
+	for _, p := range d.Procs {
+		if p.Descriptor() == hal.GraphicsDescriptor {
+			c.proc = p
+		}
+	}
+	if c.proc == nil {
+		t.Fatal("model has no Graphics HAL")
+	}
+	out := binder.NewParcel()
+	if st := c.proc.Transact(binder.InterfaceTransaction, binder.NewParcel(), out); st != binder.StatusOK {
+		t.Fatalf("reflect: %v", st)
+	}
+	methods, err := binder.UnmarshalMethods(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range methods {
+		switch m.Name {
+		case "createLayer":
+			c.createLayer = m.Code
+		case "destroyLayer":
+			c.destroy = m.Code
+		case "presentDisplay":
+			c.present = m.Code
+		}
+	}
+	return c
+}
+
+func (c *composer) create(w, h uint64) (uint64, binder.Status) {
+	in, out := binder.NewParcel(), binder.NewParcel()
+	in.WriteUint64(w)
+	in.WriteUint64(h)
+	in.WriteUint64(1)
+	st := c.proc.Transact(c.createLayer, in, out)
+	id, _ := out.ReadUint64()
+	return id, st
+}
+
+func (c *composer) destroyID(id uint64) binder.Status {
+	in := binder.NewParcel()
+	in.WriteUint64(id)
+	return c.proc.Transact(c.destroy, in, binder.NewParcel())
+}
+
+func (c *composer) presentDisplay() binder.Status {
+	return c.proc.Transact(c.present, binder.NewParcel(), binder.NewParcel())
+}
+
+// killGraphicsHAL runs the A1 composer use-after-destroy recipe (bug №2):
+// create, destroy without unlinking, present the dangling entry.
+func killGraphicsHAL(t *testing.T, c *composer) {
+	t.Helper()
+	id, st := c.create(64, 64)
+	if st != binder.StatusOK {
+		t.Fatalf("createLayer: %v", st)
+	}
+	if st := c.destroyID(id); st != binder.StatusOK {
+		t.Fatalf("destroyLayer: %v", st)
+	}
+	if st := c.presentDisplay(); st != binder.StatusDeadObject {
+		t.Fatalf("presentDisplay = %v, want DEAD_OBJECT", st)
+	}
+}
+
+// wedgeKernel drives the A1 lockdep bug (№3): presenting 8 layers acquires
+// an invalid lock subclass inside the GPU driver, wedging the kernel. The
+// HAL process itself survives with a failed transaction.
+func wedgeKernel(t *testing.T, c *composer) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		if _, st := c.create(64, 64); st != binder.StatusOK {
+			t.Fatalf("createLayer %d: %v", i, st)
+		}
+	}
+	if st := c.presentDisplay(); st != binder.StatusFailed {
+		t.Fatalf("presentDisplay = %v, want FAILED", st)
+	}
+}
+
+// TestHealthyAndResetUnderFallout walks the Healthy/reset matrix the
+// engine relies on: a dead HAL, a wedged kernel, and both at once must
+// each make the device unhealthy, and both Reboot and Restore must bring
+// it back to a fully pristine, healthy state.
+func TestHealthyAndResetUnderFallout(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		wreck func(t *testing.T, c *composer)
+	}{
+		{"hal-dead", killGraphicsHAL},
+		{"kernel-wedged", wedgeKernel},
+		{"both", func(t *testing.T, c *composer) {
+			// Wedge first: the composer keeps its cached GPU fd, destroy
+			// ignores the post-wedge EIO, and present hits the dangling
+			// entry before issuing any syscall — so the crash recipe still
+			// lands on a wedged kernel.
+			wedgeKernel(t, c)
+			id, st := c.create(64, 64)
+			if st != binder.StatusFailed {
+				t.Fatalf("post-wedge createLayer = %v, want FAILED", st)
+			}
+			_ = id
+			// The 8 wedge layers are still in the presentation list;
+			// destroying one leaves its dangling entry (bug №2).
+			if st := c.destroyID(1); st != binder.StatusOK {
+				t.Fatalf("destroyLayer: %v", st)
+			}
+			if st := c.presentDisplay(); st != binder.StatusDeadObject {
+				t.Fatalf("presentDisplay = %v, want DEAD_OBJECT", st)
+			}
+		}},
+	} {
+		for _, reset := range []string{"reboot", "restore"} {
+			t.Run(tc.name+"/"+reset, func(t *testing.T) {
+				m, _ := ModelByID("A1")
+				d := New(m)
+				tc.wreck(t, newComposer(t, d))
+				if d.Healthy() {
+					t.Fatal("wrecked device still healthy")
+				}
+				if reset == "reboot" {
+					d.Reboot()
+					if d.Reboots() != 1 {
+						t.Fatalf("reboots = %d", d.Reboots())
+					}
+				} else {
+					if !d.Restore() {
+						t.Fatal("restore fell back")
+					}
+					if d.Restores() != 1 {
+						t.Fatalf("restores = %d", d.Restores())
+					}
+				}
+				if !d.Healthy() {
+					t.Fatalf("device unhealthy after %s", reset)
+				}
+				if d.K.Wedged() {
+					t.Fatalf("kernel still wedged after %s", reset)
+				}
+				if n := d.K.OpenFDs(); n != 0 {
+					t.Fatalf("%d fds survived %s", n, reset)
+				}
+				for _, p := range d.Procs {
+					if p.Dead() {
+						t.Fatalf("HAL %s still dead after %s", p.Descriptor(), reset)
+					}
+				}
+				if got := d.TakeHALCrashes(); len(got) != 0 {
+					t.Fatalf("crashes survived %s: %v", reset, got)
+				}
+				// The device is fully usable again: the full crash recipe
+				// reproduces from scratch.
+				killGraphicsHAL(t, newComposer(t, d))
+			})
+		}
+	}
+}
+
+// applyOps drives n pseudo-random operations — syscalls across every
+// device node plus HAL transactions — and returns a full observational
+// trace (return values, errnos, binder statuses). Two devices in identical
+// states must produce identical traces for the same seed.
+func applyOps(d *Device, seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	paths := d.K.DevicePaths()
+	var fds []int
+	var trace []string
+	rec := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0, 1: // open
+			p := paths[rng.Intn(len(paths))]
+			fd, err := d.K.Open(NativePID, vkernel.OriginNative, p, 0)
+			if err == nil {
+				fds = append(fds, fd)
+			}
+			rec("open %s = %d %v", p, fd, err)
+		case 2, 3, 4: // ioctl on a random open fd
+			if len(fds) == 0 {
+				continue
+			}
+			fd := fds[rng.Intn(len(fds))]
+			req := 0xa000 + uint64(rng.Intn(0x200))
+			arg := make([]byte, rng.Intn(16))
+			for j := range arg {
+				arg[j] = byte(rng.Intn(256))
+			}
+			ret, out, err := d.K.Ioctl(NativePID, vkernel.OriginNative, fd, req, arg)
+			rec("ioctl %d %#x = %d %x %v", fd, req, ret, out, err)
+		case 5: // read
+			if len(fds) == 0 {
+				continue
+			}
+			fd := fds[rng.Intn(len(fds))]
+			data, err := d.K.Read(NativePID, vkernel.OriginNative, fd, rng.Intn(32))
+			rec("read %d = %x %v", fd, data, err)
+		case 6: // close
+			if len(fds) == 0 {
+				continue
+			}
+			j := rng.Intn(len(fds))
+			err := d.K.Close(NativePID, vkernel.OriginNative, fds[j])
+			rec("close %d = %v", fds[j], err)
+			fds = append(fds[:j], fds[j+1:]...)
+		case 7: // HAL transaction
+			p := d.Procs[rng.Intn(len(d.Procs))]
+			in := binder.NewParcel()
+			for j := rng.Intn(4); j > 0; j-- {
+				in.WriteUint64(uint64(rng.Intn(512)))
+			}
+			st := p.Transact(uint32(1+rng.Intn(6)), in, binder.NewParcel())
+			rec("transact %s = %v", p.Descriptor(), st)
+		}
+	}
+	rec("tail: syscalls=%d fds=%d wedged=%v healthy=%v",
+		d.K.SyscallCount(), d.K.OpenFDs(), d.K.Wedged(), d.Healthy())
+	return trace
+}
+
+// diffTraces fails the test at the first diverging trace line.
+func diffTraces(t *testing.T, label string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: traces diverge at op %d:\n  restore-path %s\n  reboot-path  %s",
+				label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestRestoreMatchesRebootReplay is the property test behind the
+// restore-equivalence invariant: after any pseudo-random operation
+// sequence, a restored device and a rebooted twin must replay a second
+// sequence with identical observable behavior. Any divergence means some
+// mutation escaped dirty tracking or a Restore left residue.
+func TestRestoreMatchesRebootReplay(t *testing.T) {
+	for _, model := range []string{"A1", "A2", "B", "E"} {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", model, seed), func(t *testing.T) {
+				m, err := ModelByID(model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d1, d2 := New(m), New(m)
+				// Sanity: fresh twins behave identically.
+				diffTraces(t, "dirty phase", applyOps(d1, seed, 150), applyOps(d2, seed, 150))
+				if !d1.Restore() {
+					t.Fatal("restore fell back")
+				}
+				d2.Reboot()
+				// The restored device must replay exactly like the twin
+				// that paid for a full reboot.
+				diffTraces(t, "replay phase",
+					applyOps(d1, seed+1000, 150), applyOps(d2, seed+1000, 150))
+			})
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package device
+
+import "droidfuzz/internal/snap"
+
+// Copy-on-write device reset. A Snapshot captures the pristine post-boot
+// state of every subsystem (kernel, heap, drivers, HAL processes, binder
+// registry, framework, eBPF hub) together with each subsystem's dirty
+// generation at capture time. Device.Restore winds only the subsystems
+// whose generation advanced back to their checkpoint, so a reset after a
+// typical crash — one driver poisoned, maybe one HAL dead — costs
+// O(dirty-state) instead of the full reboot's reconstruction of the whole
+// device tree.
+//
+// Unlike Reboot, Restore keeps every object identity: d.K, d.SM, d.Procs
+// and d.FW stay the same pointers, which is what makes skipping clean
+// subsystems sound (nothing ever points at a stale instance).
+
+// snapEntry pairs one subsystem with its captured state and the dirty
+// generation recorded when the state was known to match.
+type snapEntry struct {
+	sub   snap.Subsystem
+	state any
+	gen   uint64
+}
+
+// Snapshot is a device's pristine post-boot checkpoint. It is immutable
+// apart from the per-entry generation bookkeeping Restore maintains.
+type Snapshot struct {
+	entries []snapEntry
+}
+
+// captureSnapshot checkpoints every subsystem in order.
+func captureSnapshot(subs []snap.Subsystem) *Snapshot {
+	s := &Snapshot{entries: make([]snapEntry, len(subs))}
+	for i, sub := range subs {
+		s.entries[i] = snapEntry{sub: sub, state: sub.Checkpoint(), gen: sub.Gen()}
+	}
+	return s
+}
+
+// Restore winds the device back to its pristine post-boot snapshot,
+// skipping every subsystem whose dirty generation is unchanged since the
+// checkpoint. It reports whether the restore reached pristine state; a
+// false return means the caller must fall back to a full Reboot (the only
+// case today is a device that was never booted through boot(), which
+// cannot happen via New but keeps the contract honest).
+func (d *Device) Restore() bool {
+	if d.snap == nil {
+		return false
+	}
+	for i := range d.snap.entries {
+		e := &d.snap.entries[i]
+		if e.sub.Gen() == e.gen {
+			continue // untouched since checkpoint: skip entirely
+		}
+		e.sub.Restore(e.state)
+		// Restoring mutates through the subsystem's own methods, not the
+		// kernel's touch points, so the generation is simply re-read.
+		e.gen = e.sub.Gen()
+	}
+	d.restores.Add(1)
+	verifyRestore(d)
+	return true
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -40,6 +41,7 @@ const (
 // size: the soft-lockup watchdog reports an infinite loop in the driver.
 type AudioDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu       sync.Mutex
 	state    pcmState

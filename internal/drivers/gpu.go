@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -29,6 +30,7 @@ const GPUCmdMagic uint32 = 0x43555047
 // (bug №3: "BUG: looking up invalid subclass: NUM").
 type GPUDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu       sync.Mutex
 	buffers  map[uint64]uint64 // handle -> heap object

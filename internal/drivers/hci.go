@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -59,6 +60,7 @@ type hciConnection struct {
 // linked, reproducing bug №11.
 type HCIDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu         sync.Mutex
 	up         bool

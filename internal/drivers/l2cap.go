@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -30,7 +31,8 @@ const (
 // finding that Syzkaller discovers 2 kernel bugs.
 type L2CAPDriver struct {
 	bugs bugs.Set
-	mu   sync.Mutex
+	snap.Dirty
+	mu sync.Mutex
 }
 
 // NewL2CAP returns the driver with the given enabled bug set.

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -19,6 +20,7 @@ const (
 // SensorDriver models an IIO sensor hub with 8 channels.
 type SensorDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu       sync.Mutex
 	enabled  [8]bool
@@ -145,6 +147,7 @@ const (
 // NFCDriver models an NFC controller with a firmware-download path.
 type NFCDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu      sync.Mutex
 	powered bool
@@ -240,6 +243,7 @@ const (
 // ThermalDriver models a thermal-zone controller with 4 zones.
 type ThermalDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu     sync.Mutex
 	trips  [4]uint64

@@ -1,0 +1,376 @@
+package drivers
+
+// Per-driver checkpoint/restore for device snapshots. Each driver embeds
+// snap.Dirty (the kernel bumps it centrally on open and on every fd op
+// reaching the driver) and implements snap.Subsystem here: Checkpoint
+// deep-copies the live state into an immutable value, Restore copies it
+// back. The state types below are registered with droidvet's snapshot
+// pass, so any mutation of a captured state outside these methods is
+// flagged — the snapshot must stay reusable across many restores.
+
+// --- TCPC ---
+
+type tcpcState struct {
+	mode      uint64
+	voltageMV uint64
+	toggling  bool
+	attached  bool
+	alertMask uint64
+	vbusOn    bool
+	probed    bool
+	i2cRegs   [256]byte
+	opens     int
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *TCPCDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &tcpcState{
+		mode: d.mode, voltageMV: d.voltageMV, toggling: d.toggling,
+		attached: d.attached, alertMask: d.alertMask, vbusOn: d.vbusOn,
+		probed: d.probed, i2cRegs: d.i2cRegs, opens: d.opens,
+	}
+}
+
+// Restore implements snap.Subsystem.
+func (d *TCPCDriver) Restore(s any) {
+	st := s.(*tcpcState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mode, d.voltageMV = st.mode, st.voltageMV
+	d.toggling, d.attached = st.toggling, st.attached
+	d.alertMask = st.alertMask
+	d.vbusOn, d.probed = st.vbusOn, st.probed
+	d.i2cRegs = st.i2cRegs
+	d.opens = st.opens
+}
+
+// --- HCI ---
+
+type hciState struct {
+	up         bool
+	scanMode   uint64
+	inquiring  bool
+	codecTable uint64
+	codecStale bool
+	conns      map[uint64]hciConnection // by value: connections deep-copied
+	acceptQ    []uint64
+	nextHandle uint64
+	name       string
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *HCIDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := &hciState{
+		up: d.up, scanMode: d.scanMode, inquiring: d.inquiring,
+		codecTable: d.codecTable, codecStale: d.codecStale,
+		conns:      make(map[uint64]hciConnection, len(d.conns)),
+		nextHandle: d.nextHandle, name: d.name,
+	}
+	for h, conn := range d.conns { //droidvet:nondet order-independent map copy
+		st.conns[h] = *conn
+	}
+	if d.acceptQ != nil {
+		st.acceptQ = make([]uint64, len(d.acceptQ))
+		copy(st.acceptQ, d.acceptQ)
+	}
+	return st
+}
+
+// Restore implements snap.Subsystem.
+func (d *HCIDriver) Restore(s any) {
+	st := s.(*hciState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.up, d.scanMode, d.inquiring = st.up, st.scanMode, st.inquiring
+	d.codecTable, d.codecStale = st.codecTable, st.codecStale
+	d.conns = make(map[uint64]*hciConnection, len(st.conns))
+	for h, conn := range st.conns { //droidvet:nondet order-independent map copy
+		cc := conn
+		d.conns[h] = &cc
+	}
+	d.acceptQ = nil
+	if st.acceptQ != nil {
+		d.acceptQ = make([]uint64, len(st.acceptQ))
+		copy(d.acceptQ, st.acceptQ)
+	}
+	d.nextHandle = st.nextHandle
+	d.name = st.name
+}
+
+// --- L2CAP ---
+
+// L2CAP keeps all mutable state per-fd (in l2capChan); closing the fds —
+// which the kernel restore does by dropping its file table — is the whole
+// restore. The driver itself is stateless.
+
+// Checkpoint implements snap.Subsystem.
+func (d *L2CAPDriver) Checkpoint() any { return nil }
+
+// Restore implements snap.Subsystem.
+func (d *L2CAPDriver) Restore(any) {}
+
+// --- V4L2 ---
+
+type v4l2State struct {
+	width     uint64
+	height    uint64
+	pixfmt    uint64
+	nbufs     uint64
+	queued    []uint64
+	streaming bool
+	frames    uint64
+	ctrls     map[uint64]uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *V4L2Driver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := &v4l2State{
+		width: d.width, height: d.height, pixfmt: d.pixfmt, nbufs: d.nbufs,
+		streaming: d.streaming, frames: d.frames,
+		ctrls: make(map[uint64]uint64, len(d.ctrls)),
+	}
+	if d.queued != nil {
+		st.queued = make([]uint64, len(d.queued))
+		copy(st.queued, d.queued)
+	}
+	for k, v := range d.ctrls { //droidvet:nondet order-independent map copy
+		st.ctrls[k] = v
+	}
+	return st
+}
+
+// Restore implements snap.Subsystem.
+func (d *V4L2Driver) Restore(s any) {
+	st := s.(*v4l2State)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.width, d.height, d.pixfmt, d.nbufs = st.width, st.height, st.pixfmt, st.nbufs
+	d.streaming, d.frames = st.streaming, st.frames
+	d.queued = nil
+	if st.queued != nil {
+		d.queued = make([]uint64, len(st.queued))
+		copy(d.queued, st.queued)
+	}
+	d.ctrls = make(map[uint64]uint64, len(st.ctrls))
+	for k, v := range st.ctrls { //droidvet:nondet order-independent map copy
+		d.ctrls[k] = v
+	}
+}
+
+// --- Audio ---
+
+type audioState struct {
+	state    pcmState
+	rate     uint64
+	channels uint64
+	period   uint64
+	buffered uint64
+	volume   uint64
+	pos      uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *AudioDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &audioState{
+		state: d.state, rate: d.rate, channels: d.channels,
+		period: d.period, buffered: d.buffered, volume: d.volume, pos: d.pos,
+	}
+}
+
+// Restore implements snap.Subsystem.
+func (d *AudioDriver) Restore(s any) {
+	st := s.(*audioState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state, d.rate, d.channels = st.state, st.rate, st.channels
+	d.period, d.buffered, d.volume, d.pos = st.period, st.buffered, st.volume, st.pos
+}
+
+// --- GPU ---
+
+type gpuState struct {
+	buffers  map[uint64]uint64
+	sizes    map[uint64]uint64
+	nextBuf  uint64
+	fence    uint64
+	ctxPrio  uint64
+	submits  uint64
+	mapCount uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *GPUDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := &gpuState{
+		buffers: make(map[uint64]uint64, len(d.buffers)),
+		sizes:   make(map[uint64]uint64, len(d.sizes)),
+		nextBuf: d.nextBuf, fence: d.fence, ctxPrio: d.ctxPrio,
+		submits: d.submits, mapCount: d.mapCount,
+	}
+	for k, v := range d.buffers { //droidvet:nondet order-independent map copy
+		st.buffers[k] = v
+	}
+	for k, v := range d.sizes { //droidvet:nondet order-independent map copy
+		st.sizes[k] = v
+	}
+	return st
+}
+
+// Restore implements snap.Subsystem.
+func (d *GPUDriver) Restore(s any) {
+	st := s.(*gpuState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buffers = make(map[uint64]uint64, len(st.buffers))
+	for k, v := range st.buffers { //droidvet:nondet order-independent map copy
+		d.buffers[k] = v
+	}
+	d.sizes = make(map[uint64]uint64, len(st.sizes))
+	for k, v := range st.sizes { //droidvet:nondet order-independent map copy
+		d.sizes[k] = v
+	}
+	d.nextBuf, d.fence, d.ctxPrio = st.nextBuf, st.fence, st.ctxPrio
+	d.submits, d.mapCount = st.submits, st.mapCount
+}
+
+// --- WLAN ---
+
+type wlanState struct {
+	scanned  bool
+	assoc    bool
+	wasAssoc bool
+	bssid    uint64
+	rateMask uint64
+	channel  uint64
+	power    uint64
+	txFrames uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *WLANDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &wlanState{
+		scanned: d.scanned, assoc: d.assoc, wasAssoc: d.wasAssoc,
+		bssid: d.bssid, rateMask: d.rateMask, channel: d.channel,
+		power: d.power, txFrames: d.txFrames,
+	}
+}
+
+// Restore implements snap.Subsystem.
+func (d *WLANDriver) Restore(s any) {
+	st := s.(*wlanState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.scanned, d.assoc, d.wasAssoc = st.scanned, st.assoc, st.wasAssoc
+	d.bssid, d.rateMask, d.channel = st.bssid, st.rateMask, st.channel
+	d.power, d.txFrames = st.power, st.txFrames
+}
+
+// --- Sensor hub ---
+
+type sensorState struct {
+	enabled  [8]bool
+	freq     uint64
+	triggers uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *SensorDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &sensorState{enabled: d.enabled, freq: d.freq, triggers: d.triggers}
+}
+
+// Restore implements snap.Subsystem.
+func (d *SensorDriver) Restore(s any) {
+	st := s.(*sensorState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.enabled, d.freq, d.triggers = st.enabled, st.freq, st.triggers
+}
+
+// --- NFC ---
+
+type nfcState struct {
+	powered bool
+	fwLen   uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *NFCDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &nfcState{powered: d.powered, fwLen: d.fwLen}
+}
+
+// Restore implements snap.Subsystem.
+func (d *NFCDriver) Restore(s any) {
+	st := s.(*nfcState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.powered, d.fwLen = st.powered, st.fwLen
+}
+
+// --- Thermal ---
+
+type thermalState struct {
+	trips  [4]uint64
+	policy uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *ThermalDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &thermalState{trips: d.trips, policy: d.policy}
+}
+
+// Restore implements snap.Subsystem.
+func (d *ThermalDriver) Restore(s any) {
+	st := s.(*thermalState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trips, d.policy = st.trips, st.policy
+}
+
+// --- Touch ---
+
+type touchState struct {
+	calibrated bool
+	mode       uint64
+	gridW      uint64
+	gridH      uint64
+	fwVersion  uint64
+	events     uint64
+	selfTests  uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (d *TouchDriver) Checkpoint() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &touchState{
+		calibrated: d.calibrated, mode: d.mode, gridW: d.gridW, gridH: d.gridH,
+		fwVersion: d.fwVersion, events: d.events, selfTests: d.selfTests,
+	}
+}
+
+// Restore implements snap.Subsystem.
+func (d *TouchDriver) Restore(s any) {
+	st := s.(*touchState)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.calibrated, d.mode = st.calibrated, st.mode
+	d.gridW, d.gridH, d.fwVersion = st.gridW, st.gridH, st.fwVersion
+	d.events, d.selfTests = st.events, st.selfTests
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -49,6 +50,7 @@ const (
 // across all open fds, as the real single-port hardware would be.
 type TCPCDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu        sync.Mutex
 	mode      uint64

@@ -5,6 +5,7 @@ import (
 
 	"droidfuzz/internal/bugs"
 	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -34,6 +35,7 @@ const PathTouch = "/dev/touch0"
 // Injected events arrive via write() as (x, y, pressure) triples.
 type TouchDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu         sync.Mutex
 	calibrated bool

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -35,6 +36,7 @@ const (
 // syscall-only fuzzing can reach it, matching Table II.
 type V4L2Driver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu        sync.Mutex
 	width     uint64

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/bugs"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -23,6 +24,7 @@ const (
 // all-zero configured rate mask after a completed scan.
 type WLANDriver struct {
 	bugs bugs.Set
+	snap.Dirty
 
 	mu       sync.Mutex
 	scanned  bool

@@ -130,6 +130,7 @@ type Stats struct {
 	Crashes     int
 	UniqueBugs  int
 	Reboots     int
+	Restores    int
 	KernelCov   int
 	TotalSignal int
 }
@@ -168,6 +169,7 @@ type Engine struct {
 	execErrors atomic.Uint64
 	crashes    atomic.Int64
 	reboots    atomic.Int64
+	restores   atomic.Int64
 }
 
 // New builds an engine over an executor whose target already includes
@@ -205,6 +207,7 @@ func New(x adb.Executor, graph *relation.Graph, dedup *crash.Dedup, cfg Config) 
 	if info, err := x.Info(); err == nil || info.ModelID != "" {
 		e.modelID = info.ModelID
 		e.reboots.Store(int64(info.Reboots))
+		e.restores.Store(int64(info.Restores))
 	}
 	return e
 }
@@ -263,21 +266,32 @@ func (e *Engine) Stats() Stats {
 		Crashes:     int(e.crashes.Load()),
 		UniqueBugs:  e.dedup.Len(),
 		Reboots:     int(e.reboots.Load()),
+		Restores:    int(e.restores.Load()),
 		KernelCov:   e.acc.KernelTotal(),
 		TotalSignal: e.acc.Total(),
 	}
 }
 
-// reboot restarts the device through the executor. In-process reboots
-// cannot fail; a remote reboot that does (broker down mid-campaign) counts
-// against ExecErrors like any other boundary failure and the campaign
-// proceeds — the next execution surfaces the same link trouble anyway.
-func (e *Engine) reboot() {
-	if err := e.x.Reboot(); err != nil {
+// reset brings the device back to pristine post-boot state through the
+// executor. The executor restores from its boot snapshot when it can (an
+// O(dirty-state) rewind) and falls back to a full reboot otherwise; either
+// way the engine observes a pristine device, so the two paths are
+// interchangeable for campaign determinism and only the counters differ.
+// In-process resets cannot fail; a remote reset that does (broker down
+// mid-campaign) counts against ExecErrors like any other boundary failure
+// and the campaign proceeds — the next execution surfaces the same link
+// trouble anyway.
+func (e *Engine) reset() {
+	restored, err := e.x.Reset()
+	if err != nil {
 		e.execErrors.Add(1)
 		return
 	}
-	e.reboots.Add(1)
+	if restored {
+		e.restores.Add(1)
+	} else {
+		e.reboots.Add(1)
+	}
 }
 
 // exec runs one program, bumping virtual time and handling crash fallout.
@@ -310,7 +324,7 @@ func (e *Engine) afterExec(p *dsl.Prog, res *adb.ExecResult, err error) (*adb.Ex
 		}
 		// The paper's configuration reboots the target on any bug,
 		// including warnings and HAL errors (§V-A).
-		e.reboot()
+		e.reset()
 		// New unique findings are reproduced on a clean boot and their
 		// reproducers minimized ("all bugs triggered were initially
 		// minimized, deduplicated, and reproduced", §V-B).
@@ -611,11 +625,11 @@ var errBatchShortfall = errors.New("engine: batched execution not acknowledged")
 // accidental adjacencies.
 func (e *Engine) minimize(p *dsl.Prog, want *feedback.Signal) *dsl.Prog {
 	// First check the program is self-contained at all.
-	e.reboot()
+	e.reset()
 	if !e.coversOnCurrentBoot(p, want) {
 		// The new signal depended on accumulated device state; keep the
 		// raw program (it is still a valid splice donor).
-		e.reboot()
+		e.reset()
 		return p
 	}
 	budget := e.cfg.MaxMinimizeExecs
@@ -625,13 +639,13 @@ func (e *Engine) minimize(p *dsl.Prog, want *feedback.Signal) *dsl.Prog {
 			break
 		}
 		cand := cur.RemoveCall(i)
-		e.reboot()
+		e.reset()
 		budget--
 		if e.coversOnCurrentBoot(cand, want) {
 			cur = cand
 		}
 	}
-	e.reboot()
+	e.reset()
 	return cur
 }
 
@@ -676,10 +690,10 @@ func (e *Engine) triageCrash(p *dsl.Prog, title string) {
 		// State from earlier programs in the same boot was required; the
 		// raw program is kept but marked non-reproducing.
 		e.dedup.UpdateRepro(title, nil, false)
-		e.reboot()
+		e.reset()
 		return
 	}
-	e.reboot()
+	e.reset()
 	cur := p
 	budget := crashTriageBudget
 	for i := cur.Len() - 1; i >= 0 && budget > 0 && cur.Len() > 1; i-- {
@@ -688,7 +702,7 @@ func (e *Engine) triageCrash(p *dsl.Prog, title string) {
 		if e.crashesWith(cand, title) {
 			cur = cand
 		}
-		e.reboot()
+		e.reset()
 	}
 	e.dedup.UpdateRepro(title, cur, true)
 }

@@ -16,8 +16,8 @@ import (
 	"droidfuzz/internal/relation"
 )
 
-// newEngine boots a device model, probes its HALs, and wires a fresh engine.
-func newEngine(t testing.TB, modelID string, cfg engine.Config) *engine.Engine {
+// newBroker boots a device model, probes its HALs, and wires a broker.
+func newBroker(t testing.TB, modelID string) *adb.Broker {
 	t.Helper()
 	model, err := device.ModelByID(modelID)
 	if err != nil {
@@ -36,8 +36,13 @@ func newEngine(t testing.TB, modelID string, cfg engine.Config) *engine.Engine {
 	if err != nil {
 		t.Fatalf("extend: %v", err)
 	}
-	broker := adb.NewBroker(dev, target)
-	return engine.New(broker, relation.New(), crash.NewDedup(), cfg)
+	return adb.NewBroker(dev, target)
+}
+
+// newEngine boots a device model, probes its HALs, and wires a fresh engine.
+func newEngine(t testing.TB, modelID string, cfg engine.Config) *engine.Engine {
+	t.Helper()
+	return engine.New(newBroker(t, modelID), relation.New(), crash.NewDedup(), cfg)
 }
 
 func TestEngineSmoke(t *testing.T) {

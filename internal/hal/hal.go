@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"droidfuzz/internal/binder"
+	"droidfuzz/internal/snap"
 	"droidfuzz/internal/vkernel"
 )
 
@@ -216,9 +217,12 @@ func (b *Base) segfault(site string) {
 // assigns the PID, recovers native crashes, and refuses transactions while
 // dead (DEAD_OBJECT), until the device reboots and reconstructs it.
 type Process struct {
-	PID     int
+	PID int
+	snap.Dirty
+
 	inner   binder.Service
 	label   string
+	rebuild func() binder.Service // reconstructs a pristine service on restore
 	mu      sync.Mutex
 	dead    bool
 	crashes []Crash
@@ -229,8 +233,23 @@ func NewProcess(pid int, svc binder.Service, label string) *Process {
 	return &Process{PID: pid, inner: svc, label: label}
 }
 
+// SetRebuild installs the service reconstructor used by Restore to bring
+// the hosted service back to its freshly-constructed state. The device
+// installs it at boot; processes without one keep their service across
+// restores.
+func (p *Process) SetRebuild(f func() binder.Service) {
+	p.mu.Lock()
+	p.rebuild = f
+	p.mu.Unlock()
+}
+
 // Descriptor implements binder.Service.
-func (p *Process) Descriptor() string { return p.inner.Descriptor() }
+func (p *Process) Descriptor() string {
+	p.mu.Lock()
+	inner := p.inner
+	p.mu.Unlock()
+	return inner.Descriptor()
+}
 
 // Label returns the hosted HAL's human name.
 func (p *Process) Label() string { return p.label }
@@ -244,11 +263,13 @@ func (p *Process) Dead() bool {
 
 // Transact implements binder.Service with native-crash recovery.
 func (p *Process) Transact(code uint32, in, out *binder.Parcel) (st binder.Status) {
+	p.Touch() // any transaction may mutate service-internal state
 	p.mu.Lock()
 	if p.dead {
 		p.mu.Unlock()
 		return binder.StatusDeadObject
 	}
+	inner := p.inner
 	p.mu.Unlock()
 	defer func() {
 		if r := recover(); r != nil {
@@ -256,7 +277,7 @@ func (p *Process) Transact(code uint32, in, out *binder.Parcel) (st binder.Statu
 			if !ok {
 				// Any other panic is an abort in service code.
 				c = Crash{
-					Service: p.inner.Descriptor(), Label: p.label,
+					Service: inner.Descriptor(), Label: p.label,
 					Signal: "SIGABRT", Site: fmt.Sprint(r),
 				}
 			}
@@ -267,7 +288,7 @@ func (p *Process) Transact(code uint32, in, out *binder.Parcel) (st binder.Statu
 			st = binder.StatusDeadObject
 		}
 	}()
-	return p.inner.Transact(code, in, out)
+	return inner.Transact(code, in, out)
 }
 
 // TakeCrashes returns and clears recorded native crashes.

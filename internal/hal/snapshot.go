@@ -1,0 +1,49 @@
+package hal
+
+import "droidfuzz/internal/binder"
+
+// Process checkpoint/restore. A HAL service's internals are opaque
+// ("closed-source"), so restore does not copy fields back — it rebuilds the
+// service from scratch via the reconstructor the device installed at boot,
+// exactly what init does when it respawns a crashed HAL process. Boot
+// issues no transactions, so a freshly constructed service IS the pristine
+// post-boot state.
+
+type procState struct {
+	dead bool
+}
+
+// Checkpoint implements snap.Subsystem.
+func (p *Process) Checkpoint() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return &procState{dead: p.dead}
+}
+
+// Restore implements snap.Subsystem. Undrained crash records are dropped
+// along with the dead service instance.
+func (p *Process) Restore(s any) {
+	st := s.(*procState)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rebuild != nil {
+		p.inner = p.rebuild()
+	}
+	p.dead = st.dead
+	p.crashes = nil
+}
+
+// Framework is a stateless dispatcher over the ServiceManager; it has
+// nothing to capture, so its generation never advances and Device.Restore
+// always skips it.
+
+// Checkpoint implements snap.Subsystem.
+func (f *Framework) Checkpoint() any { return nil }
+
+// Restore implements snap.Subsystem.
+func (f *Framework) Restore(any) {}
+
+// Gen implements snap.Subsystem.
+func (f *Framework) Gen() uint64 { return 0 }
+
+var _ binder.Service = (*Process)(nil)

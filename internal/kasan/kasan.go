@@ -12,6 +12,8 @@ package kasan
 import (
 	"fmt"
 	"sync"
+
+	"droidfuzz/internal/snap"
 )
 
 // BugClass identifies the kind of memory error detected.
@@ -121,6 +123,8 @@ type object struct {
 // here; handles (object ids) stand in for kernel pointers. The zero value is
 // not usable; call NewHeap.
 type Heap struct {
+	snap.Dirty
+
 	mu         sync.Mutex
 	objects    map[uint64]*object
 	nextID     uint64
@@ -166,6 +170,7 @@ func (h *Heap) Alloc(size int, site string) uint64 {
 		allocSite: site,
 	}
 	h.allocs++
+	h.Touch()
 	return id
 }
 
@@ -189,6 +194,7 @@ func (h *Heap) Free(id uint64, site string) *Report {
 	obj.state = stateFreed
 	obj.freeSite = site
 	h.frees++
+	h.Touch()
 	h.quarantine = append(h.quarantine, id)
 	if len(h.quarantine) > h.quarCap {
 		evict := h.quarantine[0]
@@ -221,6 +227,7 @@ func (h *Heap) Store(id uint64, off int, p []byte, site string) *Report {
 		return rep
 	}
 	copy(obj.data[off:off+len(p)], p)
+	h.Touch()
 	return nil
 }
 
@@ -250,6 +257,7 @@ func (h *Heap) check(id uint64, off, n int, access AccessKind, site string) (*ob
 
 func (h *Heap) report(r *Report) *Report {
 	h.reports = append(h.reports, r)
+	h.Touch()
 	return r
 }
 

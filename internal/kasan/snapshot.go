@@ -1,0 +1,64 @@
+package kasan
+
+// Heap checkpoint/restore. The post-boot heap is empty (drivers allocate
+// only while servicing syscalls), so the common snapshot is trivially
+// small, but Checkpoint deep-copies whatever is live so the contract holds
+// for any capture point.
+
+type heapState struct {
+	objects    map[uint64]object // deep copies, including backing data
+	nextID     uint64
+	quarantine []uint64
+	quarCap    int
+	allocs     uint64
+	frees      uint64
+}
+
+// Checkpoint implements snap.Subsystem.
+func (h *Heap) Checkpoint() any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := &heapState{
+		objects: make(map[uint64]object, len(h.objects)),
+		nextID:  h.nextID,
+		quarCap: h.quarCap,
+		allocs:  h.allocs,
+		frees:   h.frees,
+	}
+	for id, obj := range h.objects { //droidvet:nondet order-independent map copy
+		cc := *obj
+		cc.data = make([]byte, len(obj.data))
+		copy(cc.data, obj.data)
+		st.objects[id] = cc
+	}
+	if h.quarantine != nil {
+		st.quarantine = make([]uint64, len(h.quarantine))
+		copy(st.quarantine, h.quarantine)
+	}
+	return st
+}
+
+// Restore implements snap.Subsystem. Pending reports are dropped: a restore
+// happens after the broker drained the previous execution's fallout.
+func (h *Heap) Restore(s any) {
+	st := s.(*heapState)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.objects = make(map[uint64]*object, len(st.objects))
+	for id, obj := range st.objects { //droidvet:nondet order-independent map copy
+		cc := obj
+		cc.data = make([]byte, len(obj.data))
+		copy(cc.data, obj.data)
+		h.objects[id] = &cc
+	}
+	h.nextID = st.nextID
+	h.quarantine = nil
+	if st.quarantine != nil {
+		h.quarantine = make([]uint64, len(st.quarantine))
+		copy(h.quarantine, st.quarantine)
+	}
+	h.quarCap = st.quarCap
+	h.allocs = st.allocs
+	h.frees = st.frees
+	h.reports = nil
+}

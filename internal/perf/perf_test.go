@@ -44,3 +44,7 @@ func TestLegacyAndPooledSignalsAgree(t *testing.T) {
 
 func BenchmarkTransportLockstep(b *testing.B)      { TransportLockstep(b) }
 func BenchmarkTransportWindowedBatch(b *testing.B) { TransportWindowedBatch(b) }
+
+func BenchmarkResetReboot(b *testing.B)     { ResetReboot(b) }
+func BenchmarkResetLightDirty(b *testing.B) { ResetLightDirty(b) }
+func BenchmarkResetHeavyDirty(b *testing.B) { ResetHeavyDirty(b) }

@@ -1,0 +1,161 @@
+// PR 6 device-reset benchmarks: copy-on-write snapshot restore against the
+// full reboot it replaces. The pair of dirt profiles brackets the real
+// campaign behavior — a typical crash touches one driver (light), a worst
+// case poisons every driver and kills a HAL process (heavy) — and the
+// baseline reboots under the light profile, the cheapest work a reboot
+// ever replaces, so both speedup factors are conservative.
+package perf
+
+import (
+	"testing"
+
+	"droidfuzz/internal/binder"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/hal"
+	"droidfuzz/internal/vkernel"
+)
+
+// resetRig is one booted model A1 device plus everything the dirt profiles
+// need resolved up front: the Graphics HAL process and its transaction
+// codes (reflection is done once — codes are stable across restores).
+type resetRig struct {
+	dev          *device.Device
+	graphics     *hal.Process
+	createLayer  uint32
+	destroyLayer uint32
+	present      uint32
+}
+
+func newResetRig(b *testing.B) *resetRig {
+	model, err := device.ModelByID("A1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &resetRig{dev: device.New(model)}
+	for _, p := range r.dev.Procs {
+		if p.Descriptor() == hal.GraphicsDescriptor {
+			r.graphics = p
+		}
+	}
+	if r.graphics == nil {
+		b.Fatal("no Graphics HAL on A1")
+	}
+	out := binder.NewParcel()
+	if st := r.graphics.Transact(binder.InterfaceTransaction, binder.NewParcel(), out); st != binder.StatusOK {
+		b.Fatalf("reflect: %v", st)
+	}
+	methods, err := binder.UnmarshalMethods(out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range methods {
+		switch m.Name {
+		case "createLayer":
+			r.createLayer = m.Code
+		case "destroyLayer":
+			r.destroyLayer = m.Code
+		case "presentDisplay":
+			r.present = m.Code
+		}
+	}
+	if r.createLayer == 0 || r.destroyLayer == 0 || r.present == 0 {
+		b.Fatal("Graphics composer methods not found")
+	}
+	return r
+}
+
+// dirtyOne touches exactly one driver: open, one ioctl, close on the GPU
+// node. The kernel and the gpu driver advance their dirty generations;
+// every other subsystem stays at its checkpoint.
+func (r *resetRig) dirtyOne() {
+	k := r.dev.K
+	fd, err := k.Open(device.NativePID, vkernel.OriginNative, "/dev/gpu0", 0)
+	if err != nil {
+		panic(err)
+	}
+	k.Ioctl(device.NativePID, vkernel.OriginNative, fd, 0, nil) // errno is fine; dirt is the point
+	k.Close(device.NativePID, vkernel.OriginNative, fd)
+}
+
+// dirtyAll touches every driver (open + ioctl + close on each device node)
+// and then runs the A1 Graphics composer use-after-destroy recipe, leaving
+// the HAL process dead with a pending crash — the heaviest fallout a
+// single execution produces.
+func (r *resetRig) dirtyAll() {
+	k := r.dev.K
+	for _, path := range k.DevicePaths() {
+		fd, err := k.Open(device.NativePID, vkernel.OriginNative, path, 0)
+		if err != nil {
+			panic(err)
+		}
+		k.Ioctl(device.NativePID, vkernel.OriginNative, fd, 0, nil)
+		k.Close(device.NativePID, vkernel.OriginNative, fd)
+	}
+	in := binder.NewParcel()
+	in.WriteUint64(64)
+	in.WriteUint64(64)
+	in.WriteUint64(1)
+	out := binder.NewParcel()
+	if st := r.graphics.Transact(r.createLayer, in, out); st != binder.StatusOK {
+		panic(st)
+	}
+	layer, _ := out.ReadUint64()
+	in = binder.NewParcel()
+	in.WriteUint64(layer)
+	if st := r.graphics.Transact(r.destroyLayer, in, binder.NewParcel()); st != binder.StatusOK {
+		panic(st)
+	}
+	// The dangling presentation-list entry segfaults the composer.
+	if st := r.graphics.Transact(r.present, binder.NewParcel(), binder.NewParcel()); st != binder.StatusDeadObject {
+		panic(st)
+	}
+}
+
+// ResetReboot is the baseline: light dirt, then a full reboot. Reboot cost
+// is dirt-independent (it reconstructs the whole device tree), so the
+// light profile gives the reboot its best case.
+func ResetReboot(b *testing.B) {
+	r := newResetRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.dirtyOne()
+		r.dev.Reboot()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "resets/sec")
+}
+
+// ResetLightDirty restores after touching one driver: the snapshot path's
+// common case, where almost every subsystem is skipped by generation
+// check.
+func ResetLightDirty(b *testing.B) {
+	r := newResetRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.dirtyOne()
+		if !r.dev.Restore() {
+			b.Fatal("restore fell back")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "resets/sec")
+}
+
+// ResetHeavyDirty restores after the worst single-execution fallout: every
+// driver dirtied plus a dead Graphics HAL. Nothing is skipped; this bounds
+// the restore path from above.
+func ResetHeavyDirty(b *testing.B) {
+	r := newResetRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.dirtyAll()
+		if !r.dev.Restore() {
+			b.Fatal("restore fell back")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "resets/sec")
+}

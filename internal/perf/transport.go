@@ -98,6 +98,7 @@ func (d *stubDevice) ExecProg(p *dsl.Prog) (*adb.ExecResult, error) {
 }
 
 func (d *stubDevice) Reboot() error           { return nil }
+func (d *stubDevice) Reset() (bool, error)    { return true, nil }
 func (d *stubDevice) Ping() error             { return nil }
 func (d *stubDevice) Info() (adb.Info, error) { return adb.Info{ModelID: "bench"}, nil }
 func (d *stubDevice) Target() *dsl.Target     { return d.target }

@@ -1,0 +1,38 @@
+// Package snap holds the tiny primitives shared by every subsystem that
+// participates in device snapshot/restore: a lock-free generation counter
+// for dirty tracking and the per-subsystem checkpoint interface.
+//
+// It is a leaf package on purpose — vkernel, kasan, binder, hal, ebpf,
+// drivers and device all import it, so it must not import any of them.
+package snap
+
+import "sync/atomic"
+
+// Dirty is a generation counter embedded by snapshot-capable subsystems.
+// Every mutating operation calls Touch; Device.Restore compares the
+// generation recorded at checkpoint time against Gen() and skips the
+// subsystem entirely when they match. Over-marking (bumping on an op that
+// turned out not to mutate) costs a wasted restore; under-marking is a
+// correctness bug, so mutation paths bump unconditionally.
+type Dirty struct {
+	gen atomic.Uint64
+}
+
+// Touch marks the subsystem dirty relative to any previously captured
+// snapshot. Safe for concurrent use.
+func (d *Dirty) Touch() { d.gen.Add(1) }
+
+// Gen returns the current generation. Two equal readings with no Touch in
+// between mean the subsystem state is unchanged.
+func (d *Dirty) Gen() uint64 { return d.gen.Load() }
+
+// Subsystem is the per-subsystem checkpoint/restore contract. Checkpoint
+// deep-copies the live state into an opaque immutable value; Restore
+// copies it back, leaving the receiver exactly as it was at checkpoint
+// time. The state value is reused across many restores and must never be
+// aliased mutably by either side.
+type Subsystem interface {
+	Checkpoint() any
+	Restore(any)
+	Gen() uint64
+}

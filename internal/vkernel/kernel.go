@@ -18,6 +18,7 @@ import (
 
 	"droidfuzz/internal/kasan"
 	"droidfuzz/internal/kcov"
+	"droidfuzz/internal/snap"
 )
 
 // Origin identifies which side of the HAL boundary issued a syscall. The
@@ -134,12 +135,17 @@ type openFile struct {
 	pid  int
 	path string
 	conn Conn
+	// touch marks the owning driver dirty; resolved once at open so the
+	// fd-op hot path pays one indirect call, not a type assertion.
+	touch func()
 }
 
 // Kernel is one virtual kernel instance. All methods are safe for concurrent
 // use; the native executor and HAL service goroutines enter it concurrently,
 // as on a real SMP device.
 type Kernel struct {
+	snap.Dirty
+
 	mu      sync.Mutex
 	devs    map[string]Driver
 	files   map[int]*openFile
@@ -228,6 +234,7 @@ func (k *Kernel) trace(pid int, origin Origin, nr, path string, arg uint64, err 
 	t := k.tracer
 	k.sysCnt++
 	k.mu.Unlock()
+	k.Touch() // every traced syscall advances seq/sysCnt
 	if t != nil {
 		t(ev)
 	}
@@ -297,6 +304,7 @@ func (k *Kernel) recordCrash(c Crash) {
 		k.dmesg = k.dmesg[len(k.dmesg)-DmesgCap:]
 	}
 	k.mu.Unlock()
+	k.Touch()
 }
 
 func (k *Kernel) isWedged() bool {
@@ -325,6 +333,13 @@ func (k *Kernel) open(pid int, origin Origin, path string, flags uint64) (int, e
 	if !ok {
 		return -1, ENOENT
 	}
+	// Mark the driver dirty before Open runs: Open itself may mutate
+	// shared driver state (e.g. the TCPC open count).
+	touch := func() {}
+	if t, ok := drv.(interface{ Touch() }); ok {
+		touch = t.Touch
+		touch()
+	}
 	ctx := k.newCtx(pid, origin)
 	conn, err := drv.Open(ctx)
 	if err != nil {
@@ -333,7 +348,7 @@ func (k *Kernel) open(pid int, origin Origin, path string, flags uint64) (int, e
 	k.mu.Lock()
 	fd := k.nextFD
 	k.nextFD++
-	k.files[fd] = &openFile{fd: fd, pid: pid, path: path, conn: conn}
+	k.files[fd] = &openFile{fd: fd, pid: pid, path: path, conn: conn, touch: touch}
 	k.mu.Unlock()
 	return fd, nil
 }
@@ -380,6 +395,7 @@ func (k *Kernel) close(pid int, origin Origin, fd int) error {
 	if !ok {
 		return EBADF
 	}
+	f.touch() // Close may mutate shared driver state
 	return f.conn.Close(k.newCtx(pid, origin))
 }
 
@@ -403,6 +419,7 @@ func (k *Kernel) ioctl(pid int, origin Origin, fd int, req uint64, arg []byte) (
 	if err != nil {
 		return 0, nil, err
 	}
+	f.touch()
 	return f.conn.Ioctl(k.newCtx(pid, origin), req, arg)
 }
 
@@ -428,6 +445,7 @@ func (k *Kernel) read(pid int, origin Origin, fd int, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.touch()
 	return f.conn.Read(k.newCtx(pid, origin), n)
 }
 
@@ -450,6 +468,7 @@ func (k *Kernel) write(pid int, origin Origin, fd int, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	f.touch()
 	return f.conn.Write(k.newCtx(pid, origin), p)
 }
 
@@ -472,6 +491,7 @@ func (k *Kernel) mmap(pid int, origin Origin, fd int, length uint64) (uint64, er
 	if err != nil {
 		return 0, err
 	}
+	f.touch()
 	return f.conn.Mmap(k.newCtx(pid, origin), length)
 }
 
