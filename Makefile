@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race sanitize bench bench-json smoke check clean
+.PHONY: all build vet test race sanitize bench bench-json smoke smoke-params check clean
 
 all: check
 
@@ -40,11 +40,18 @@ bench-json:
 	$(GO) run ./cmd/benchperf -pr 3 -o BENCH_PR3.json
 	$(GO) run ./cmd/benchperf -pr 5 -o BENCH_PR5.json
 	$(GO) run ./cmd/benchperf -pr 6 -o BENCH_PR6.json
+	$(GO) run ./cmd/benchperf -pr 7 -o BENCH_PR7.json
 
 # smoke runs a short droidfleet campaign against droidbrokerd over TCP
 # loopback and asserts clean execution and shutdown.
 smoke:
 	./scripts/smoke_remote.sh
+
+# smoke-params runs a short param-enabled campaign in both the plain and
+# the sanitize build and asserts the fleet actually exercised the
+# runtime-parameter dimension (param_writes > 0 in the status report).
+smoke-params:
+	./scripts/smoke_params.sh
 
 check: build vet race sanitize
 

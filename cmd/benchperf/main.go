@@ -24,9 +24,16 @@
 // replaces, with resets/sec for all three and the two restore-vs-reboot
 // speedup factors.
 //
+// -pr 7 runs the PR 7 runtime-parameter campaign benchmarks and writes
+// BENCH_PR7.json: a param-enabled A1 campaign through the full system
+// against the same param-extended target under the DROIDFUZZ-D ioctl-only
+// gate, with per-run accumulated kernel coverage and the count of
+// param-gated sysfs store sites covered — 0 by construction for the
+// ablation, which is the point being measured.
+//
 // Usage:
 //
-//	go run ./cmd/benchperf [-pr 1|3|5|6] [-short] [-o FILE] [-benchtime 1s]
+//	go run ./cmd/benchperf [-pr 1|3|5|6|7] [-short] [-o FILE] [-benchtime 1s]
 package main
 
 import (
@@ -55,6 +62,11 @@ type measurement struct {
 	// completed per second (snapshot restore or full reboot, depending on
 	// the benchmark).
 	ResetsPerSec float64 `json:"resets_per_sec,omitempty"`
+	// GatedPCsPerRun and KernelCovPerRun are the PR 7 runtime-parameter
+	// campaign metrics: param-gated sysfs store sites and distinct kernel
+	// PCs accumulated per campaign run.
+	GatedPCsPerRun  float64 `json:"gated_pcs_per_run,omitempty"`
+	KernelCovPerRun float64 `json:"kernel_cov_per_run,omitempty"`
 	Iterations   int     `json:"iterations"`
 }
 
@@ -104,11 +116,17 @@ func measure(name string, f func(*testing.B)) measurement {
 	if v, ok := r.Extra["resets/sec"]; ok {
 		m.ResetsPerSec = v
 	}
+	if v, ok := r.Extra["gatedPCs/run"]; ok {
+		m.GatedPCsPerRun = v
+	}
+	if v, ok := r.Extra["cover/run"]; ok {
+		m.KernelCovPerRun = v
+	}
 	return m
 }
 
 func main() {
-	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3, 5 or 6)")
+	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3, 5, 6 or 7)")
 	out := flag.String("o", "", "output file (default BENCH_PR<n>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	short := flag.Bool("short", false, "smoke subset: skip the 1/2/4-engine fleet points (-pr 5 only)")
@@ -237,8 +255,29 @@ func main() {
 		}
 		summary = fmt.Sprintf("light-dirty restore %.2fx, heavy-dirty restore %.2fx vs reboot",
 			rep.Speedups["ResetLightDirty"], rep.Speedups["ResetHeavyDirty"])
+	case 7:
+		rep.Description = "runtime-parameter dimension: param-gated coverage vs the ioctl-only ablation"
+		// Two points either way; -short keeps both (the comparison IS the
+		// suite).
+		for _, b := range []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"ParamCampaign", perf.ParamCampaign},
+			{"ParamCampaignIoctlOnly", perf.ParamCampaignIoctlOnly},
+		} {
+			rep.Benchmarks[b.name] = measure(b.name, b.body)
+		}
+		full := rep.Benchmarks["ParamCampaign"]
+		donly := rep.Benchmarks["ParamCampaignIoctlOnly"]
+		rep.Speedups = map[string]float64{
+			"KernelCoverVsIoctlOnly": round2(full.KernelCovPerRun / donly.KernelCovPerRun),
+		}
+		summary = fmt.Sprintf("gated sysfs sites %.0f/run vs %.0f ioctl-only, kernel cover %.2fx",
+			full.GatedPCsPerRun, donly.GatedPCsPerRun,
+			rep.Speedups["KernelCoverVsIoctlOnly"])
 	default:
-		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3, 5 or 6)\n", *pr)
+		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3, 5, 6 or 7)\n", *pr)
 		os.Exit(1)
 	}
 

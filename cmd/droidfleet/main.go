@@ -5,7 +5,7 @@
 // Usage:
 //
 //	droidfleet -devices A1,B,D -iters 20000 [-seed 1] [-workers 4]
-//	           [-pipeline 4] [-batch 32] [-window 8]
+//	           [-pipeline 4] [-batch 32] [-window 8] [-params]
 //	           [-rounds 4] [-corpus DIR] [-status status.json]
 //	droidfleet -remote 127.0.0.1:7100,127.0.0.1:7101 -iters 20000 ...
 //
@@ -19,6 +19,12 @@
 // each connection keeps in flight. The campaign runs in -rounds slices,
 // printing fleet stats — including accumulated execution errors — after
 // each, plus per-connection uplink byte savings for remote campaigns.
+//
+// -params enables the runtime-parameter dimension: probing discovers
+// writable sysfs knobs, the targets gain their write descriptions, and the
+// relation graph learns knob↔ioctl couplings; the status report then
+// carries the fleet-wide param-write count. Off by default — campaigns
+// without it are bit-identical to pre-params builds.
 //
 // With -remote, the fleet drives broker daemons (droidbrokerd) over TCP
 // instead of booting devices in-process: each address is dialed through a
@@ -55,6 +61,7 @@ func main() {
 		batch     = flag.Int("batch", 0, "programs per execution batch (0 = per-program execution; needs -pipeline)")
 		window    = flag.Int("window", 0, "in-flight requests per remote connection (0 = transport default)")
 		rounds    = flag.Int("rounds", 4, "status-report slices to split the campaign into")
+		params    = flag.Bool("params", false, "enable the runtime-parameter dimension (sysfs knob writes in the mutation surface)")
 		corpusDir = flag.String("corpus", "", "directory to save per-device corpora (optional)")
 		statusOut = flag.String("status", "", "file to write the final JSON status report (optional)")
 	)
@@ -64,7 +71,7 @@ func main() {
 		devices: *devices, remote: *remote,
 		iters: *iters, seed: *seed, workers: *workers,
 		pipeline: *pipeline, batch: *batch, window: *window,
-		rounds:    *rounds,
+		rounds: *rounds, params: *params,
 		corpusDir: *corpusDir, statusOut: *statusOut,
 	}
 	if err := run(cfg); err != nil {
@@ -83,6 +90,7 @@ type fleetConfig struct {
 	batch     int
 	window    int
 	rounds    int
+	params    bool
 	corpusDir string
 	statusOut string
 }
@@ -143,7 +151,7 @@ func run(cfg fleetConfig) error {
 		}
 	} else {
 		for i, id := range splitList(cfg.devices) {
-			if err := d.AddDevice(id, engine.Config{Seed: cfg.seed + int64(i)}); err != nil {
+			if err := d.AddDevice(id, engine.Config{Seed: cfg.seed + int64(i), Params: cfg.params}); err != nil {
 				return err
 			}
 		}
@@ -234,7 +242,7 @@ func attachRemotes(d *daemon.Daemon, cfg fleetConfig) (map[string]*adb.Resilient
 		if err != nil {
 			return nil, fmt.Errorf("attach %s: %w", addr, err)
 		}
-		if err := d.AttachExecutor(id, r, seeds, engine.Config{Seed: cfg.seed + int64(i)}); err != nil {
+		if err := d.AttachExecutor(id, r, seeds, engine.Config{Seed: cfg.seed + int64(i), Params: cfg.params}); err != nil {
 			return nil, err
 		}
 		remotes[id] = r

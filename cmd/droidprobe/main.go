@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	droidprobe -device A1 [-seeds] [-ifaces]
+//	droidprobe -device A1 [-seeds] [-ifaces] [-params]
+//
+// -params extends the pass with runtime-parameter discovery: writable
+// sysfs knobs under /sys/module/<family>/parameters/ are enumerated, their
+// vendor-init write traffic is replayed for the same normalized-occurrence
+// weighting HAL interfaces get, and each knob contributes a one-line seed
+// program (paper §IV-B; SyzParam).
 package main
 
 import (
@@ -24,29 +30,30 @@ func main() {
 		deviceID   = flag.String("device", "A1", "device model ID")
 		showSeeds  = flag.Bool("seeds", false, "print distilled workload seed programs")
 		showIfaces = flag.Bool("ifaces", true, "print the extracted interface table")
+		withParams = flag.Bool("params", false, "discover writable runtime-parameter knobs and emit their seeds")
 		outFile    = flag.String("o", "", "write the extracted descriptions to a Syzlang-lite file")
 	)
 	flag.Parse()
 
-	if err := run(*deviceID, *showSeeds, *showIfaces, *outFile); err != nil {
+	if err := run(*deviceID, *showSeeds, *showIfaces, *withParams, *outFile); err != nil {
 		fmt.Fprintln(os.Stderr, "droidprobe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(deviceID string, showSeeds, showIfaces bool, outFile string) error {
+func run(deviceID string, showSeeds, showIfaces, withParams bool, outFile string) error {
 	model, err := device.ModelByID(deviceID)
 	if err != nil {
 		return err
 	}
 	dev := device.New(model)
-	res, err := probe.Run(dev, probe.Options{})
+	res, err := probe.Run(dev, probe.Options{Params: withParams})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("probed device %s: %d services, %d interfaces, %d workload seeds\n\n",
-		model.ID, len(res.Services), len(res.Interfaces), len(res.Seeds))
+	fmt.Printf("probed device %s: %d services, %d interfaces, %d params, %d workload seeds\n\n",
+		model.ID, len(res.Services), len(res.Interfaces), len(res.Params), len(res.Seeds))
 	for _, s := range res.Services {
 		fmt.Printf("%-44s methods=%2d trial-syscalls=%d\n",
 			s.Descriptor, s.Methods, s.TrialEvents)
@@ -73,6 +80,20 @@ func run(deviceID string, showSeeds, showIfaces bool, outFile string) error {
 		}
 	}
 
+	if withParams {
+		fmt.Println("\ndiscovered runtime parameters (weight = normalized occurrence):")
+		params := append([]*dsl.CallDesc(nil), res.Params...)
+		sort.Slice(params, func(i, j int) bool {
+			if params[i].Weight != params[j].Weight {
+				return params[i].Weight > params[j].Weight
+			}
+			return params[i].Name < params[j].Name
+		})
+		for _, d := range params {
+			fmt.Printf("  %.2f %-40s %s\n", d.Weight, d.Name, d.Param)
+		}
+	}
+
 	if showSeeds {
 		fmt.Println("\ndistilled workload seeds:")
 		for i, s := range res.Seeds {
@@ -81,11 +102,12 @@ func run(deviceID string, showSeeds, showIfaces bool, outFile string) error {
 	}
 
 	if outFile != "" {
-		text := dsl.FormatDescs(res.Interfaces)
+		descs := append(append([]*dsl.CallDesc(nil), res.Interfaces...), res.Params...)
+		text := dsl.FormatDescs(descs)
 		if err := os.WriteFile(outFile, []byte(text), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %d descriptions to %s\n", len(res.Interfaces), outFile)
+		fmt.Printf("\nwrote %d descriptions to %s\n", len(descs), outFile)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package adb
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"droidfuzz/internal/binder"
@@ -298,9 +299,12 @@ func (b *Broker) ExecProg(prog *dsl.Prog) (*ExecResult, error) {
 		}
 		mark := k.Cov.Mark()
 		cr := &res.Calls[i]
-		if call.Desc.IsHAL() {
+		switch {
+		case call.Desc.IsHAL():
 			b.execHAL(call, resources, cr)
-		} else {
+		case call.Desc.Class == dsl.ClassParam:
+			b.execParam(call, cr)
+		default:
 			b.execNative(call, resources, cr)
 		}
 		cr.Executed = true
@@ -391,6 +395,37 @@ func (b *Broker) execNative(call *dsl.Call, resources *resTable, cr *CallResult)
 		cr.Errno, cr.Ret = vkernel.ErrnoName(err), cookie
 	default:
 		cr.Errno = "ENOSYS"
+	}
+}
+
+// execParam runs one runtime-parameter write as the composed
+// open/write/close sequence the native executor issues against the sysfs
+// attribute. Every leg goes through the ordinary syscall table, so the
+// ioctl-only gate rejects the write leg (EPERM) — an ioctl-confined fuzzer
+// structurally cannot flip a knob.
+func (b *Broker) execParam(call *dsl.Call, cr *CallResult) {
+	k := b.dev.K
+	d := call.Desc
+	fd, err := k.Open(device.NativePID, vkernel.OriginNative, d.Param, 0)
+	if err != nil {
+		cr.Errno = vkernel.ErrnoName(err)
+		return
+	}
+	var text string
+	if d.Args[0].Type.Kind == dsl.KindString {
+		text = call.Args[0].Str
+	} else {
+		text = strconv.FormatUint(call.Args[0].Val, 10)
+	}
+	_, werr := k.Write(device.NativePID, vkernel.OriginNative, fd, []byte(text+"\n"))
+	cerr := k.Close(device.NativePID, vkernel.OriginNative, fd)
+	switch {
+	case werr != nil:
+		cr.Errno = vkernel.ErrnoName(werr)
+	case cerr != nil:
+		cr.Errno = vkernel.ErrnoName(cerr)
+	default:
+		cr.Errno = "OK"
 	}
 }
 

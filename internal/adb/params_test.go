@@ -1,0 +1,168 @@
+package adb
+
+import (
+	"testing"
+
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/kcov"
+)
+
+// newParamRig boots a model and builds a broker whose target carries the
+// runtime-parameter call descriptions alongside the native syscall surface,
+// the way a param-enabled campaign assembles it.
+func newParamRig(t *testing.T, modelID string) (*Broker, *device.Device) {
+	t.Helper()
+	m, err := device.ModelByID(modelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(m)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err = target.Extend(dev.ParamDescs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBroker(dev, target), dev
+}
+
+func hasPC(cover []uint32, pc uint32) bool {
+	for _, c := range cover {
+		if c == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// ovpProg raises the PD contract ceiling, disables compliance checking, and
+// negotiates a 21 V contract: the SyzParam bug-class program — two sysfs
+// knobs plus one ioctl — that reaches Bug №13 on A1.
+const ovpProg = `param$tcpc.max_contract_mv(value=0x7530)
+param$tcpc.pd_compliance(value=0x0)
+r2 = open$tcpc(path="/dev/tcpc0")
+ioctl$TCPC_SET_MODE(fd=r2, req=0xa102, mode=0x3)
+ioctl$TCPC_SET_VOLTAGE(fd=r2, req=0xa103, mv=0x5208)
+`
+
+// TestParamGatedBugNeedsKnobsAndIoctl pins the reachability contract of the
+// seeded param-gated bug: both knob writes plus the ioctl fire the WARNING;
+// with compliance checking left at its default the same contract is clamped
+// (site 610); and without any knob write the ceiling check bounces the
+// ioctl before the gated region — no ioctl sequence alone can get there.
+func TestParamGatedBugNeedsKnobsAndIoctl(t *testing.T) {
+	b, _ := newParamRig(t, "A1") // A1 seeds bugs.TCPCContractOVP
+
+	res, err := b.Exec(ExecRequest{ProgText: ovpProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls[0].Errno != "OK" || res.Calls[1].Errno != "OK" {
+		t.Fatalf("param writes failed: %+v / %+v", res.Calls[0], res.Calls[1])
+	}
+	if res.Calls[4].Errno != "EIO" {
+		t.Fatalf("gated ioctl errno = %s, want EIO", res.Calls[4].Errno)
+	}
+	found := false
+	for _, cr := range res.Crashes {
+		if cr.Title == "WARNING in tcpc_pd_select_pdo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gated bug not reported: %+v", res.Crashes)
+	}
+	if !hasPC(res.Calls[4].Cover, kcov.PC("tcpc", 611)) {
+		t.Fatal("compliance-off gated site 611 not covered")
+	}
+	if !hasPC(res.Calls[4].Cover, kcov.PC("tcpc", 600)) {
+		t.Fatal("extended-tier gated site 600 not covered")
+	}
+
+	// Compliance checking at its default (1): same ceiling raise, same
+	// ioctl — the contract clamps at site 610 and nothing warns. The two
+	// knobs interact; one alone does not reach the bug.
+	b.Reboot()
+	res, err = b.Exec(ExecRequest{ProgText: `param$tcpc.max_contract_mv(value=0x7530)
+r1 = open$tcpc(path="/dev/tcpc0")
+ioctl$TCPC_SET_MODE(fd=r1, req=0xa102, mode=0x3)
+ioctl$TCPC_SET_VOLTAGE(fd=r1, req=0xa103, mv=0x5208)
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed() {
+		t.Fatalf("clamped contract crashed: %+v", res.Crashes)
+	}
+	if res.Calls[3].Errno != "OK" {
+		t.Fatalf("clamped ioctl errno = %s, want OK", res.Calls[3].Errno)
+	}
+	if !hasPC(res.Calls[3].Cover, kcov.PC("tcpc", 610)) {
+		t.Fatal("compliance clamp site 610 not covered")
+	}
+	if hasPC(res.Calls[3].Cover, kcov.PC("tcpc", 611)) {
+		t.Fatal("compliance-off site 611 covered with compliance on")
+	}
+
+	// No knob writes at all: the maximum in-range voltage argument cannot
+	// pass the default ceiling check.
+	b.Reboot()
+	res, err = b.Exec(ExecRequest{ProgText: `r0 = open$tcpc(path="/dev/tcpc0")
+ioctl$TCPC_SET_MODE(fd=r0, req=0xa102, mode=0x3)
+ioctl$TCPC_SET_VOLTAGE(fd=r0, req=0xa103, mv=0x5208)
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls[2].Errno != "EINVAL" {
+		t.Fatalf("over-ceiling ioctl errno = %s, want EINVAL", res.Calls[2].Errno)
+	}
+	for s := uint32(600); s < 612; s++ {
+		if hasPC(res.KernelCov, kcov.PC("tcpc", s)) {
+			t.Fatalf("gated site %d covered without knob writes", s)
+		}
+	}
+}
+
+// TestIoctlOnlyGateBlocksParamWrites drives the same bug-reaching program
+// through the DROIDFUZZ-D gate: the kernel blocks the write leg of every
+// param call, the knobs stay at their defaults, and the gated region stays
+// unreachable — the ablation provably cannot flip a knob even though its
+// target carries the descriptions.
+func TestIoctlOnlyGateBlocksParamWrites(t *testing.T) {
+	b, dev := newParamRig(t, "A1")
+	b.SetIoctlOnly(true)
+
+	res, err := b.Exec(ExecRequest{ProgText: ovpProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls[0].Errno != "EPERM" || res.Calls[1].Errno != "EPERM" {
+		t.Fatalf("param writes not blocked: %+v / %+v", res.Calls[0], res.Calls[1])
+	}
+	if res.Calls[4].Errno != "EINVAL" {
+		t.Fatalf("gated ioctl errno = %s, want EINVAL (default ceiling)", res.Calls[4].Errno)
+	}
+	if res.Crashed() {
+		t.Fatalf("ioctl-only run crashed: %+v", res.Crashes)
+	}
+	for _, kn := range dev.ParamSurface() {
+		if kn.Family() != "tcpc" {
+			continue
+		}
+		if v := kn.Int(kn.Index("max_contract_mv")); v != 20000 {
+			t.Fatalf("max_contract_mv = %d after gated write, want 20000", v)
+		}
+		if v := kn.Int(kn.Index("pd_compliance")); v != 1 {
+			t.Fatalf("pd_compliance = %d after gated write, want 1", v)
+		}
+	}
+	for s := uint32(600); s < 612; s++ {
+		if hasPC(res.KernelCov, kcov.PC("tcpc", s)) {
+			t.Fatalf("gated site %d covered under the ioctl-only gate", s)
+		}
+	}
+}

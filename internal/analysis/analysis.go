@@ -125,6 +125,9 @@ func DefaultConfig() Config {
 			"droidfuzz/internal/drivers.nfcState",
 			"droidfuzz/internal/drivers.thermalState",
 			"droidfuzz/internal/drivers.touchState",
+			// PR 7 runtime-parameter state: knob snapshots restore the
+			// sysfs-visible values, one payload per driver family.
+			"droidfuzz/internal/drivers.knobsState",
 		},
 		SnapshotBuilders: []string{
 			"droidfuzz/internal/relation.Graph.buildSnapshotLocked",
@@ -161,6 +164,8 @@ func DefaultConfig() Config {
 			"droidfuzz/internal/drivers.ThermalDriver.Restore",
 			"droidfuzz/internal/drivers.TouchDriver.Checkpoint",
 			"droidfuzz/internal/drivers.TouchDriver.Restore",
+			"droidfuzz/internal/drivers.Knobs.Checkpoint",
+			"droidfuzz/internal/drivers.Knobs.Restore",
 		},
 		WireRoots: []string{
 			"droidfuzz/internal/adb.rpcRequest",

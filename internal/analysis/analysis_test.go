@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -30,8 +31,8 @@ func fixtureConfig() analysis.Config {
 		}},
 		LockTypes:        []string{"vettest/locks.A", "vettest/locks.B"},
 		WireRoots:        []string{"vettest/wire.Frame"},
-		SnapshotTypes:    []string{"vettest/snap.View"},
-		SnapshotBuilders: []string{"vettest/snap.New", "vettest/snap.View.Refresh"},
+		SnapshotTypes:    []string{"vettest/snap.View", "vettest/snap.ParamState"},
+		SnapshotBuilders: []string{"vettest/snap.New", "vettest/snap.View.Refresh", "vettest/snap.NewParamState"},
 		// No manifest by default; TestWireManifestLifecycle covers it.
 	}
 }
@@ -159,6 +160,41 @@ func TestSnapshotPassOnFixture(t *testing.T) {
 	if got := matching(diags, analysis.PassSnapshot, "snap.go", ""); len(got) != 0 {
 		dump(t, got)
 		t.Errorf("builder package produced %d snapshot findings, want 0", len(got))
+	}
+}
+
+func TestSnapshotPassFlagsUnregisteredParamStateWrite(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+	// StoreKnob writes a captured knob value from an unregistered function;
+	// exactly that one site in the param fixture file is flagged.
+	if got := matching(diags, analysis.PassSnapshot, "params.go", "ParamState"); len(got) != 1 {
+		dump(t, got)
+		t.Errorf("param-state findings = %d, want exactly 1", len(got))
+	}
+	// The registered NewParamState builder's construction writes stay clean
+	// (its file in the snap package carries no findings at all).
+	if got := matching(diags, analysis.PassSnapshot, "params.go", "NewParamState"); len(got) != 0 {
+		dump(t, got)
+		t.Errorf("registered param builder flagged: %d findings", len(got))
+	}
+
+	// Dropping the registration must fail loud in the real config: the
+	// repo-wide DefaultConfig carries the drivers.knobsState payload and the
+	// Knobs.Checkpoint/Restore builders, so an unregistered-param-state
+	// regression there would surface as new findings on the repo itself
+	// (TestDefaultConfigOnRepo).
+	cfg := analysis.DefaultConfig()
+	wantType := "droidfuzz/internal/drivers.knobsState"
+	if !slices.Contains(cfg.SnapshotTypes, wantType) {
+		t.Errorf("DefaultConfig missing snapshot type %s", wantType)
+	}
+	for _, b := range []string{
+		"droidfuzz/internal/drivers.Knobs.Checkpoint",
+		"droidfuzz/internal/drivers.Knobs.Restore",
+	} {
+		if !slices.Contains(cfg.SnapshotBuilders, b) {
+			t.Errorf("DefaultConfig missing snapshot builder %s", b)
+		}
 	}
 }
 

@@ -1,0 +1,21 @@
+package snap
+
+// ParamState is the runtime-parameter checkpoint fixture, mirroring
+// drivers.knobsState: the knob values captured at boot become the restore
+// reference and are immutable once published.
+type ParamState struct {
+	Ints []uint64
+	Strs []string
+}
+
+// NewParamState is the registered builder ("vettest/snap.NewParamState"):
+// its construction writes must not be flagged.
+func NewParamState(ints []uint64, strs []string) *ParamState {
+	s := &ParamState{
+		Ints: make([]uint64, len(ints)),
+		Strs: make([]string, len(strs)),
+	}
+	copy(s.Ints, ints)
+	copy(s.Strs, strs)
+	return s
+}

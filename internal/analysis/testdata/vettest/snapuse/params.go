@@ -1,0 +1,21 @@
+// Seeded violations against the runtime-parameter checkpoint fixture:
+// knob state captured at boot is a published snapshot, and only the
+// registered builder may write it.
+package snapuse
+
+import "vettest/snap"
+
+// StoreKnob rewrites a captured knob value from an unregistered function —
+// the unregistered-param-state write: flagged.
+func StoreKnob(s *snap.ParamState) {
+	s.Ints[0] = 7
+}
+
+// ReadKnob only reads; never flagged.
+func ReadKnob(s *snap.ParamState) uint64 {
+	var sum uint64
+	for i := range s.Ints {
+		sum += s.Ints[i]
+	}
+	return sum
+}

@@ -44,13 +44,19 @@ func NewDroidFuzz(dev *device.Device, graph *relation.Graph, dedup *crash.Dedup,
 	if err != nil {
 		return nil, err
 	}
-	pr, err := probe.Run(dev, probe.Options{})
+	pr, err := probe.Run(dev, probe.Options{Params: cfg.Params})
 	if err != nil {
 		return nil, err
 	}
 	target, err = target.Extend(pr.Interfaces...)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Params {
+		target, err = target.Extend(pr.Params...)
+		if err != nil {
+			return nil, err
+		}
 	}
 	broker := adb.NewBroker(dev, target)
 	eng := engine.New(broker, graph, dedup, cfg)
@@ -67,13 +73,22 @@ func NewDroidFuzzD(dev *device.Device, cfg engine.Config) (*engine.Engine, error
 	if err != nil {
 		return nil, err
 	}
-	pr, err := probe.Run(dev, probe.Options{})
+	pr, err := probe.Run(dev, probe.Options{Params: cfg.Params})
 	if err != nil {
 		return nil, err
 	}
 	target, err = target.Extend(pr.Interfaces...)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Params {
+		// The target still carries the knob descriptions — the gate, not
+		// the description set, is what separates DROIDFUZZ-D from the full
+		// system — but the broker blocks the write leg of every param call.
+		target, err = target.Extend(pr.Params...)
+		if err != nil {
+			return nil, err
+		}
 	}
 	broker := adb.NewBroker(dev, target)
 	broker.SetIoctlOnly(true)

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/kcov"
+	"droidfuzz/internal/relation"
+)
+
+// knobStorePCs returns the kcov PCs of every sysfs store cover site on the
+// device: each writable knob owns a 4-site window at its base Site (three
+// value buckets plus the malformed-write reject path).
+func knobStorePCs(dev *device.Device) map[uint32]bool {
+	pcs := make(map[uint32]bool)
+	for _, kn := range dev.ParamSurface() {
+		for _, sp := range kn.Specs() {
+			if sp.Site == 0 {
+				continue
+			}
+			for s := sp.Site; s < sp.Site+4; s++ {
+				pcs[kcov.PC(kn.Family(), s)] = true
+			}
+		}
+	}
+	return pcs
+}
+
+func paramCalls(eng *engine.Engine) int {
+	n := 0
+	for _, d := range eng.Gen().Target().Calls() {
+		if d.Class == dsl.ClassParam {
+			n++
+		}
+	}
+	return n
+}
+
+// TestParamCampaignCoversKnobStores: with the runtime-parameter dimension
+// enabled, a campaign writes knobs (ParamWrites climbs) and its accumulated
+// kernel coverage includes sysfs store sites no ioctl can reach.
+func TestParamCampaignCoversKnobStores(t *testing.T) {
+	dev := boot(t, "A1")
+	eng, err := NewDroidFuzz(dev, relation.New(), crash.NewDedup(), engine.Config{Seed: 7, Params: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paramCalls(eng) == 0 {
+		t.Fatal("param-enabled target carries no param calls")
+	}
+	eng.Run(400)
+	if eng.Stats().ParamWrites == 0 {
+		t.Fatal("param-enabled campaign issued no param writes")
+	}
+	stores := knobStorePCs(dev)
+	hit := 0
+	for _, pc := range eng.Accumulator().KernelPCs() {
+		if stores[pc] {
+			hit++
+		}
+	}
+	if hit == 0 {
+		t.Fatal("no sysfs store cover site in accumulated kernel coverage")
+	}
+}
+
+// TestDroidFuzzDNeverHitsKnobStores: the ioctl-only ablation gets the same
+// param-extended target and the same probe seeds, but the kernel gate
+// blocks the write leg of every param call — across a whole campaign not a
+// single sysfs store site enters the accumulated coverage.
+func TestDroidFuzzDNeverHitsKnobStores(t *testing.T) {
+	dev := boot(t, "A1")
+	eng, err := NewDroidFuzzD(dev, engine.Config{Seed: 7, Params: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paramCalls(eng) == 0 {
+		t.Fatal("D-variant target should still carry the param descriptions")
+	}
+	eng.Run(400)
+	stores := knobStorePCs(dev)
+	for _, pc := range eng.Accumulator().KernelPCs() {
+		if stores[pc] {
+			t.Fatal("sysfs store site covered under the ioctl-only gate")
+		}
+	}
+}
+
+// TestParamCampaignReplaysItself: the seed-replay regression for the
+// runtime-parameter dimension — two param-enabled campaigns from the same
+// seed produce identical stats and an identical corpus, program for
+// program.
+func TestParamCampaignReplaysItself(t *testing.T) {
+	run := func() (engine.Stats, string) {
+		eng, err := NewDroidFuzz(boot(t, "A1"), relation.New(), crash.NewDedup(),
+			engine.Config{Seed: 99, Params: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(400)
+		h := sha256.New()
+		for _, e := range eng.Corpus().Entries() {
+			h.Write([]byte(e.Prog.String()))
+		}
+		return eng.Stats(), hex.EncodeToString(h.Sum(nil))
+	}
+	st1, h1 := run()
+	st2, h2 := run()
+	if st1 != st2 {
+		t.Fatalf("param-enabled replay diverged:\n run1 %+v\n run2 %+v", st1, st2)
+	}
+	if h1 != h2 {
+		t.Fatalf("corpus hash diverged: %s vs %s", h1, h2)
+	}
+	if st1.ParamWrites == 0 {
+		t.Fatal("replay regression ran without param writes")
+	}
+}

@@ -43,6 +43,12 @@ const (
 	// V4LQuerycap is №12: "WARNING in v4l_querycap" (E, kernel driver,
 	// logic error).
 	V4LQuerycap
+	// TCPCContractOVP is №13: "WARNING in tcpc_pd_select_pdo" (A1, kernel
+	// driver, logic error). Gated behind runtime parameters: the
+	// overvoltage path is reachable only with PD compliance checking
+	// disabled AND the contract ceiling raised via sysfs, so ioctl-only
+	// fuzzing structurally cannot trigger it (SyzParam bug class).
+	TCPCContractOVP
 )
 
 // String returns the Table II "Bug Info" column text.
@@ -72,6 +78,8 @@ func (id ID) String() string {
 		return "KASAN: slab-use-after-free Read in bt_accept_unlink"
 	case V4LQuerycap:
 		return "WARNING in v4l_querycap"
+	case TCPCContractOVP:
+		return "WARNING in tcpc_pd_select_pdo"
 	default:
 		return "unknown bug"
 	}
@@ -98,5 +106,6 @@ func All() []ID {
 		TCPCProbe, GraphicsHALCrash, LockdepSubclass, TCPCVbus,
 		AudioHang, MediaHALCrash, HCICodecs, L2capDisconn,
 		CameraHALCrash, RateInit, BTAcceptUnlink, V4LQuerycap,
+		TCPCContractOVP,
 	}
 }

@@ -2,10 +2,12 @@ package bugs
 
 import "testing"
 
-func TestAllTwelveBugs(t *testing.T) {
+func TestAllSeededBugs(t *testing.T) {
 	ids := All()
-	if len(ids) != 12 {
-		t.Fatalf("bugs = %d, want 12 (Table II)", len(ids))
+	// Table II's 12 bugs plus №13, the param-gated TCPC overvoltage bug
+	// seeded for the runtime-parameter dimension.
+	if len(ids) != 13 {
+		t.Fatalf("bugs = %d, want 13 (Table II + param-gated №13)", len(ids))
 	}
 	seen := make(map[ID]bool)
 	for i, id := range ids {
@@ -53,6 +55,7 @@ func TestTitleToIDRoundTrips(t *testing.T) {
 		"WARNING in rate_control_rate_init":                            RateInit,
 		"KASAN: slab-use-after-free Read in bt_accept_unlink":          BTAcceptUnlink,
 		"WARNING in v4l_querycap":                                      V4LQuerycap,
+		"WARNING in tcpc_pd_select_pdo":                                TCPCContractOVP,
 	}
 	for title, want := range cases {
 		got, ok := TitleToID(title)

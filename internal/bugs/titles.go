@@ -21,6 +21,7 @@ var titleMarkers = []struct {
 	{"rate_control_rate_init", RateInit},
 	{"bt_accept_unlink", BTAcceptUnlink},
 	{"v4l_querycap", V4LQuerycap},
+	{"tcpc_pd_select_pdo", TCPCContractOVP},
 }
 
 // TitleToID maps a runtime crash title back to its Table II bug id.

@@ -317,6 +317,9 @@ type statusReport struct {
 	// nonzero value flags transport or program-build trouble that per-device
 	// coverage numbers would otherwise hide.
 	ExecErrors uint64 `json:"exec_errors"`
+	// ParamWrites aggregates executed runtime-parameter writes across the
+	// fleet; zero in a param-enabled campaign flags a dead dimension.
+	ParamWrites uint64 `json:"param_writes"`
 	Relations  struct {
 		Vertices int    `json:"vertices"`
 		Edges    int    `json:"edges"`
@@ -340,6 +343,7 @@ func (d *Daemon) WriteStatus(w io.Writer) error {
 	rep := statusReport{Devices: d.Stats()}
 	for _, st := range rep.Devices {
 		rep.ExecErrors += st.ExecErrors
+		rep.ParamWrites += st.ParamWrites
 	}
 	rep.Relations.Vertices = d.graph.Len()
 	rep.Relations.Edges = d.graph.Edges()

@@ -85,7 +85,7 @@ func buildModels() []Model {
 			ID: "A1", Name: "Phone Dev Board", Vendor: "Xiaomi",
 			Arch: "aarch64", AOSP: 15, Kernel: "6.6",
 			Bugs: bugs.NewSet(bugs.TCPCProbe, bugs.GraphicsHALCrash,
-				bugs.LockdepSubclass, bugs.TCPCVbus),
+				bugs.LockdepSubclass, bugs.TCPCVbus, bugs.TCPCContractOVP),
 			Drivers: []string{FamTCPC, FamHCI, FamL2CAP, FamV4L2, FamAudio,
 				FamGPU, FamWLAN, FamIIO, FamNFC, FamThermal, FamTouch},
 			HALs: []string{hal.GraphicsDescriptor, hal.MediaDescriptor,
@@ -197,6 +197,10 @@ type Device struct {
 	subs []snap.Subsystem
 	snap *Snapshot
 
+	// knobSets is the live runtime-parameter state per driver family, in
+	// model driver-list order.
+	knobSets []*drivers.Knobs
+
 	// Counters are atomics: the broker reads them for Info/Stats while
 	// another goroutine may be resetting the device.
 	reboots  atomic.Int64
@@ -218,10 +222,12 @@ func New(m Model) *Device {
 }
 
 // deviceDriver is what every registered driver family implements: the
-// kernel-facing driver surface plus checkpoint/restore.
+// kernel-facing driver surface, checkpoint/restore, and the family's
+// runtime-parameter state.
 type deviceDriver interface {
 	vkernel.Driver
 	snap.Subsystem
+	Knobs() *drivers.Knobs
 }
 
 // newDriver constructs the driver for a family and returns its /dev path.
@@ -292,10 +298,18 @@ func (d *Device) boot() {
 	k := vkernel.New()
 	subs := make([]snap.Subsystem, 0, 2+len(d.Model.Drivers)+len(d.Model.HALs)+3)
 	subs = append(subs, k, k.Heap)
+	d.knobSets = d.knobSets[:0]
 	for _, fam := range d.Model.Drivers {
 		path, drv := newDriver(fam, d.Model.Bugs)
 		k.RegisterDevice(path, drv)
-		subs = append(subs, drv)
+		// The family's runtime parameters go into the sysfs namespace and
+		// snapshot as their own subsystem: a knob write never passes
+		// through a device fd, so the driver's own dirty tracking cannot
+		// stand in for the knobs'.
+		kn := drv.Knobs()
+		kn.Register(k)
+		d.knobSets = append(d.knobSets, kn)
+		subs = append(subs, drv, kn)
 	}
 	d.Hub.Install(k)
 	d.K = k
@@ -391,6 +405,21 @@ func (d *Device) SyscallDescs() []*dsl.CallDesc {
 		case FamTouch:
 			out = append(out, drivers.TouchDescs()...)
 		}
+	}
+	return out
+}
+
+// ParamSurface returns the live runtime-parameter state of every driver
+// family, in model driver-list order.
+func (d *Device) ParamSurface() []*drivers.Knobs { return d.knobSets }
+
+// ParamDescs returns the DSL descriptions of every writable runtime
+// parameter on the device, statically weighted; the probing pass replaces
+// the weights with normalized vendor-init occurrence counts.
+func (d *Device) ParamDescs() []*dsl.CallDesc {
+	var out []*dsl.CallDesc
+	for _, kn := range d.knobSets {
+		out = append(out, kn.Descs()...)
 	}
 	return out
 }

@@ -40,7 +40,7 @@ func TestModelsMatchTableI(t *testing.T) {
 
 func TestBugMappingMatchesTableII(t *testing.T) {
 	want := map[string][]bugs.ID{
-		"A1": {bugs.TCPCProbe, bugs.GraphicsHALCrash, bugs.LockdepSubclass, bugs.TCPCVbus},
+		"A1": {bugs.TCPCProbe, bugs.GraphicsHALCrash, bugs.LockdepSubclass, bugs.TCPCVbus, bugs.TCPCContractOVP},
 		"A2": {bugs.AudioHang, bugs.MediaHALCrash, bugs.HCICodecs},
 		"B":  {bugs.L2capDisconn},
 		"C1": {bugs.CameraHALCrash},
@@ -61,8 +61,8 @@ func TestBugMappingMatchesTableII(t *testing.T) {
 		}
 		total += len(ids)
 	}
-	if total != 12 {
-		t.Fatalf("total injected bugs = %d, want 12", total)
+	if total != 13 {
+		t.Fatalf("total injected bugs = %d, want 13", total)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"droidfuzz/internal/binder"
+	"droidfuzz/internal/drivers"
 	"droidfuzz/internal/hal"
 	"droidfuzz/internal/vkernel"
 )
@@ -178,20 +179,89 @@ func TestHealthyAndResetUnderFallout(t *testing.T) {
 	}
 }
 
+// TestRestoreRewindsParamOnlyDirt covers the fallout-matrix gap the
+// runtime-parameter dimension opened: a knob subsystem dirtied solely
+// through its sysfs store — no ioctl, read, or driver write ever runs —
+// must still be caught by Restore's generation tracking and wound back.
+func TestRestoreRewindsParamOnlyDirt(t *testing.T) {
+	m, _ := ModelByID("A1")
+	d := New(m)
+	var kn *drivers.Knobs
+	for _, k := range d.ParamSurface() {
+		if k.Family() == "tcpc" {
+			kn = k
+		}
+	}
+	if kn == nil {
+		t.Fatal("A1 has no tcpc knob set")
+	}
+	idx := kn.Index("max_contract_mv")
+	if idx < 0 {
+		t.Fatal("tcpc has no max_contract_mv knob")
+	}
+	if got := kn.Int(idx); got != 20000 {
+		t.Fatalf("default max_contract_mv = %d, want 20000", got)
+	}
+	gen0 := kn.Gen()
+
+	// The only touch point is the sysfs attribute itself.
+	path := drivers.ParamPath("tcpc", "max_contract_mv")
+	fd, err := d.K.Open(NativePID, vkernel.OriginNative, path, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if _, err := d.K.Write(NativePID, vkernel.OriginNative, fd, []byte("30000\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := d.K.Close(NativePID, vkernel.OriginNative, fd); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := kn.Int(idx); got != 30000 {
+		t.Fatalf("max_contract_mv after store = %d, want 30000", got)
+	}
+	if kn.Gen() == gen0 {
+		t.Fatal("sysfs store escaped the knob set's dirty tracking")
+	}
+
+	if !d.Restore() {
+		t.Fatal("restore fell back")
+	}
+	if got := kn.Int(idx); got != 20000 {
+		t.Fatalf("max_contract_mv after restore = %d, want 20000 (knob not wound back)", got)
+	}
+	// The restored value is visible through sysfs too.
+	fd, err = d.K.Open(NativePID, vkernel.OriginNative, path, 0)
+	if err != nil {
+		t.Fatalf("reopen %s: %v", path, err)
+	}
+	data, err := d.K.Read(NativePID, vkernel.OriginNative, fd, 64)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(data) != "20000\n" {
+		t.Fatalf("sysfs shows %q after restore, want \"20000\\n\"", data)
+	}
+	if err := d.K.Close(NativePID, vkernel.OriginNative, fd); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
 // applyOps drives n pseudo-random operations — syscalls across every
-// device node plus HAL transactions — and returns a full observational
-// trace (return values, errnos, binder statuses). Two devices in identical
-// states must produce identical traces for the same seed.
+// device node, HAL transactions, and runtime-parameter stores — and
+// returns a full observational trace (return values, errnos, binder
+// statuses). Two devices in identical states must produce identical traces
+// for the same seed.
 func applyOps(d *Device, seed int64, n int) []string {
 	rng := rand.New(rand.NewSource(seed))
 	paths := d.K.DevicePaths()
+	params := d.K.ParamPaths()
 	var fds []int
 	var trace []string
 	rec := func(format string, args ...any) {
 		trace = append(trace, fmt.Sprintf(format, args...))
 	}
 	for i := 0; i < n; i++ {
-		switch rng.Intn(8) {
+		switch rng.Intn(9) {
 		case 0, 1: // open
 			p := paths[rng.Intn(len(paths))]
 			fd, err := d.K.Open(NativePID, vkernel.OriginNative, p, 0)
@@ -234,6 +304,17 @@ func applyOps(d *Device, seed int64, n int) []string {
 			}
 			st := p.Transact(uint32(1+rng.Intn(6)), in, binder.NewParcel())
 			rec("transact %s = %v", p.Descriptor(), st)
+		case 8: // runtime-parameter store through sysfs
+			p := params[rng.Intn(len(params))]
+			fd, err := d.K.Open(NativePID, vkernel.OriginNative, p, 0)
+			if err != nil {
+				rec("param open %s = %v", p, err)
+				continue
+			}
+			val := fmt.Sprintf("%d\n", rng.Intn(40000))
+			_, werr := d.K.Write(NativePID, vkernel.OriginNative, fd, []byte(val))
+			cerr := d.K.Close(NativePID, vkernel.OriginNative, fd)
+			rec("param %s <- %q = %v %v", p, val, werr, cerr)
 		}
 	}
 	rec("tail: syscalls=%d fds=%d wedged=%v healthy=%v",

@@ -51,13 +51,20 @@ type AudioDriver struct {
 	buffered uint64
 	volume   uint64
 	pos      uint64
+
+	knobs *Knobs
 }
 
 // NewAudio returns the driver with the given enabled bug set.
-func NewAudio(b bugs.Set) *AudioDriver { return &AudioDriver{bugs: b, volume: 80} }
+func NewAudio(b bugs.Set) *AudioDriver {
+	return &AudioDriver{bugs: b, volume: 80, knobs: NewKnobs("audio", audioKnobSpecs)}
+}
 
 // Name implements vkernel.Driver.
 func (d *AudioDriver) Name() string { return "audio" }
+
+// Knobs returns the runtime-parameter state.
+func (d *AudioDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *AudioDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -92,6 +99,12 @@ func (c *audioConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []b
 			ctx.Cover("audio", 13)
 			return 0, nil, vkernel.EINVAL
 		}
+		if d.knobs.Int(audioKnobRateLock) == 1 && d.rate != 0 && rate != d.rate {
+			// Sample rate pinned by the DSP topology; reconfiguring it is
+			// refused while the rate_lock module param is set.
+			ctx.Cover("audio", 610)
+			return 0, nil, vkernel.EBUSY
+		}
 		if flags == AudioLowLatencyMagic {
 			// Vendor low-latency path: skips the period validation the
 			// mainline path performs (bug №5 gate).
@@ -103,8 +116,14 @@ func (c *audioConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []b
 				ctx.Cover("audio", 200) // zero-period fast-mixer config
 			}
 		} else if period == 0 || period > 65536 {
-			ctx.Cover("audio", 15)
-			return 0, nil, vkernel.EINVAL
+			if period != 0 && period <= 262144 && d.knobs.Int(audioKnobDeepBuffer) == 1 {
+				// Deep-buffer offload accepts oversized periods for
+				// low-power playback, module-param gated.
+				ctx.Cover("audio", 600+bucket(period/65536, 4))
+			} else {
+				ctx.Cover("audio", 15)
+				return 0, nil, vkernel.EINVAL
+			}
 		}
 		d.rate, d.channels, d.period = rate, channels, period
 		d.state = pcmSetup

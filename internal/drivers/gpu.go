@@ -40,6 +40,8 @@ type GPUDriver struct {
 	ctxPrio  uint64
 	submits  uint64
 	mapCount uint64
+
+	knobs *Knobs
 }
 
 // NewGPU returns the driver with the given enabled bug set.
@@ -49,11 +51,15 @@ func NewGPU(b bugs.Set) *GPUDriver {
 		buffers: make(map[uint64]uint64),
 		sizes:   make(map[uint64]uint64),
 		nextBuf: 1,
+		knobs:   NewKnobs("gpu", gpuKnobSpecs),
 	}
 }
 
 // Name implements vkernel.Driver.
 func (d *GPUDriver) Name() string { return "gpu" }
+
+// Knobs returns the runtime-parameter state.
+func (d *GPUDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *GPUDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -157,7 +163,24 @@ func (c *gpuConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byt
 			}
 			op := stream[idx]
 			ctx.Cover("gpu", 70+bucket(uint64(op), 24))
-			ctx.Cover("gpu", 160+bucket(uint64(op), 24)+uint32(d.ctxPrio)*24)
+			if d.ctxPrio > 3 {
+				// Secure-lane dispatch (priorities 4..7 exist only with
+				// the secure_ctx module param set).
+				ctx.Cover("gpu", 640+bucket(uint64(op), 24))
+			} else {
+				ctx.Cover("gpu", 160+bucket(uint64(op), 24)+uint32(d.ctxPrio)*24)
+			}
+		}
+		if pl := d.knobs.Int(gpuKnobPerfLevel); pl > 0 {
+			// Pinned clock levels take their own ring-feed paths per
+			// nesting depth.
+			ctx.Cover("gpu", 600+uint32(pl-1)*8+bucket(depth, 8))
+		}
+		switch d.knobs.Str(gpuKnobGovernor) {
+		case "performance":
+			ctx.Cover("gpu", 630)
+		case "powersave":
+			ctx.Cover("gpu", 631)
 		}
 		d.submits++
 		d.fence++
@@ -195,8 +218,12 @@ func (c *gpuConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byt
 		ctx.Cover("gpu", 130)
 		prio := ArgU64(arg, 0)
 		if prio > 3 {
-			ctx.Cover("gpu", 131)
-			return 0, nil, vkernel.EINVAL
+			if prio > 7 || d.knobs.Int(gpuKnobSecureCtx) != 1 {
+				ctx.Cover("gpu", 131)
+				return 0, nil, vkernel.EINVAL
+			}
+			// Secure context priorities, module-param gated.
+			ctx.Cover("gpu", 620+uint32(prio-4))
 		}
 		d.ctxPrio = prio
 		ctx.Cover("gpu", 132+uint32(prio))

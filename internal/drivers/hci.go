@@ -72,15 +72,23 @@ type HCIDriver struct {
 	acceptQ    []uint64 // conn handles pending/retained on the accept queue
 	nextHandle uint64
 	name       string
+
+	knobs *Knobs
 }
 
 // NewHCI returns the driver with the given enabled bug set.
 func NewHCI(b bugs.Set) *HCIDriver {
-	return &HCIDriver{bugs: b, conns: make(map[uint64]*hciConnection), nextHandle: 1}
+	return &HCIDriver{
+		bugs: b, conns: make(map[uint64]*hciConnection), nextHandle: 1,
+		knobs: NewKnobs("hci", hciKnobSpecs),
+	}
 }
 
 // Name implements vkernel.Driver.
 func (d *HCIDriver) Name() string { return "hci" }
+
+// Knobs returns the runtime-parameter state.
+func (d *HCIDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *HCIDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -205,6 +213,18 @@ func (c *hciConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byt
 			// Reserved connection-flag bits must be zero.
 			ctx.Cover("hci", 63)
 			return 0, nil, vkernel.EINVAL
+		}
+		if connFlags&HCIConnSSP != 0 && d.knobs.Int(hciKnobSSPMode) == 0 {
+			// Secure simple pairing disabled via module param: the
+			// legacy-pairing fallback rejects SSP connection requests.
+			ctx.Cover("hci", 620)
+			return 0, nil, vkernel.EINVAL
+		}
+		if uint64(len(d.conns)) >= d.knobs.Int(hciKnobMaxConns) {
+			// Connection-table cap; the default (64) is beyond anything a
+			// single program can allocate, lowering it gates the path.
+			ctx.Cover("hci", 630+bucket(d.knobs.Int(hciKnobMaxConns), 4))
+			return 0, nil, vkernel.EBUSY
 		}
 		h := d.nextHandle
 		d.nextHandle++
@@ -334,6 +354,11 @@ func (c *hciConn) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
 		return 0, vkernel.EINVAL
 	}
 	opcode := uint64(p[0]) | uint64(p[1])<<8
+	if d.knobs.Int(hciKnobDutMode) == 1 {
+		// Device-under-test mode: raw vendor test commands take their own
+		// dispatch table, unreachable while the param is at its default.
+		ctx.Cover("hci", 600+bucket(opcode, 8))
+	}
 	if opcode == HCIOpInquiry && d.scanMode&HCIScanInquiry != 0 {
 		// A real inquiry is in flight only after the HCI_OP_INQUIRY
 		// command packet goes down with inquiry scan enabled.

@@ -33,13 +33,20 @@ type L2CAPDriver struct {
 	bugs bugs.Set
 	snap.Dirty
 	mu sync.Mutex
+
+	knobs *Knobs
 }
 
 // NewL2CAP returns the driver with the given enabled bug set.
-func NewL2CAP(b bugs.Set) *L2CAPDriver { return &L2CAPDriver{bugs: b} }
+func NewL2CAP(b bugs.Set) *L2CAPDriver {
+	return &L2CAPDriver{bugs: b, knobs: NewKnobs("l2cap", l2capKnobSpecs)}
+}
 
 // Name implements vkernel.Driver.
 func (d *L2CAPDriver) Name() string { return "l2cap" }
+
+// Knobs returns the runtime-parameter state.
+func (d *L2CAPDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *L2CAPDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -91,6 +98,10 @@ func (c *l2capChan) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []b
 		c.state = l2capConnected
 		c.disconnReq = false
 		ctx.Cover("l2cap", 32+bucket(flags, 8))
+		if c.d.knobs.Int(l2capKnobERTM) == 1 {
+			// Enhanced-retransmission channel config, module-param gated.
+			ctx.Cover("l2cap", 600+bucket(flags, 4))
+		}
 		return 0, nil, nil
 
 	case L2capDisconnect:
@@ -157,6 +168,14 @@ func (c *l2capChan) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
 	c.txCount++
 	ctx.Cover("l2cap", 300+logBucket(c.txCount, 12)) // flow-control window paths
 	ctx.Cover("l2cap", 93+bucket(uint64(len(p))/64, 12))
+	if c.d.knobs.Int(l2capKnobERTM) == 1 {
+		// ERTM transmit path: sequence/ack bookkeeping per window fill.
+		ctx.Cover("l2cap", 610+logBucket(c.txCount, 8))
+	}
+	if win := c.d.knobs.Int(l2capKnobTxWin); win != 8 {
+		// Non-default flow-control window selects its own scheduling branch.
+		ctx.Cover("l2cap", 620+bucket(win, 8))
+	}
 	// Per-PSM protocol handlers on the transmit path.
 	ctx.Cover("l2cap", 400+bucket(c.psm, 16))
 	return len(p), nil

@@ -26,13 +26,20 @@ type SensorDriver struct {
 	enabled  [8]bool
 	freq     uint64
 	triggers uint64
+
+	knobs *Knobs
 }
 
 // NewSensor returns the driver with the given enabled bug set.
-func NewSensor(b bugs.Set) *SensorDriver { return &SensorDriver{bugs: b, freq: 50} }
+func NewSensor(b bugs.Set) *SensorDriver {
+	return &SensorDriver{bugs: b, freq: 50, knobs: NewKnobs("iio", iioKnobSpecs)}
+}
 
 // Name implements vkernel.Driver.
 func (d *SensorDriver) Name() string { return "iio" }
+
+// Knobs returns the runtime-parameter state.
+func (d *SensorDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *SensorDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -94,6 +101,10 @@ func (c *sensorConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []
 			return 0, nil, vkernel.EINVAL
 		}
 		d.triggers++
+		if wm := d.knobs.Int(iioKnobWatermark); d.knobs.Int(iioKnobBatchMode) == 1 && wm > 1 {
+			// Batched FIFO with a raised watermark defers the wakeup path.
+			ctx.Cover("iio", 610+logBucket(wm, 8))
+		}
 		return d.triggers, nil, nil
 	case IIOGetInfo:
 		ctx.Cover("iio", 90)
@@ -125,6 +136,10 @@ func (c *sensorConn) Read(ctx *vkernel.Ctx, n int) ([]byte, error) {
 		return nil, vkernel.EAGAIN
 	}
 	ctx.Cover("iio", 101)
+	if d.knobs.Int(iioKnobBatchMode) == 1 {
+		// Hardware-batched FIFO drain, module-param gated.
+		ctx.Cover("iio", 600+bucket(uint64(n)/32, 8))
+	}
 	if n > 256 {
 		n = 256
 	}
@@ -152,13 +167,20 @@ type NFCDriver struct {
 	mu      sync.Mutex
 	powered bool
 	fwLen   uint64
+
+	knobs *Knobs
 }
 
 // NewNFC returns the driver with the given enabled bug set.
-func NewNFC(b bugs.Set) *NFCDriver { return &NFCDriver{bugs: b} }
+func NewNFC(b bugs.Set) *NFCDriver {
+	return &NFCDriver{bugs: b, knobs: NewKnobs("nfc", nfcKnobSpecs)}
+}
 
 // Name implements vkernel.Driver.
 func (d *NFCDriver) Name() string { return "nfc" }
+
+// Knobs returns the runtime-parameter state.
+func (d *NFCDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *NFCDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -186,6 +208,10 @@ func (c *nfcConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byt
 		d.powered = on == 1
 		ctx.Logf("nfc0", "power %d", on)
 		ctx.Cover("nfc", 12+uint32(on))
+		if route := d.knobs.Int(nfcKnobESERoute); on == 1 && route != 0 {
+			// Non-default secure-element routing configured at power-up.
+			ctx.Cover("nfc", 610+uint32(route))
+		}
 		return 0, nil, nil
 	case NFCFwDnld:
 		ctx.Cover("nfc", 20)
@@ -213,6 +239,10 @@ func (c *nfcConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []byt
 			return 0, nil, vkernel.EINVAL
 		}
 		ctx.Cover("nfc", 43+bucket(uint64(frame[0]), 16))
+		if d.knobs.Int(nfcKnobCEMode) == 1 {
+			// Card-emulation listen path, module-param gated.
+			ctx.Cover("nfc", 600+bucket(uint64(frame[0]), 8))
+		}
 		return uint64(len(frame)), nil, nil
 	case NFCGetInfo:
 		ctx.Cover("nfc", 60)
@@ -248,13 +278,20 @@ type ThermalDriver struct {
 	mu     sync.Mutex
 	trips  [4]uint64
 	policy uint64
+
+	knobs *Knobs
 }
 
 // NewThermal returns the driver with the given enabled bug set.
-func NewThermal(b bugs.Set) *ThermalDriver { return &ThermalDriver{bugs: b} }
+func NewThermal(b bugs.Set) *ThermalDriver {
+	return &ThermalDriver{bugs: b, knobs: NewKnobs("thermal", thermalKnobSpecs)}
+}
 
 // Name implements vkernel.Driver.
 func (d *ThermalDriver) Name() string { return "thermal" }
+
+// Knobs returns the runtime-parameter state.
+func (d *ThermalDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *ThermalDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -280,13 +317,26 @@ func (c *thermalConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, [
 			return 0, nil, vkernel.EINVAL
 		}
 		ctx.Cover("thermal", 12+uint32(zone))
+		if poll := d.knobs.Int(thermalKnobPollMS); poll != 1000 {
+			// Non-default polling interval reschedules the zone worker.
+			ctx.Cover("thermal", 610+logBucket(poll, 8))
+		}
 		return 35000 + zone*1500, nil, nil
 	case ThermalSetTrip:
 		ctx.Cover("thermal", 20)
 		zone, temp := ArgU64(arg, 0), ArgU64(arg, 1)
-		if zone >= 4 || temp > 120000 {
+		if zone >= 4 {
 			ctx.Cover("thermal", 21)
 			return 0, nil, vkernel.EINVAL
+		}
+		if temp > 120000 {
+			if temp > 150000 || d.knobs.Int(thermalKnobMitigation) != 0 {
+				ctx.Cover("thermal", 21)
+				return 0, nil, vkernel.EINVAL
+			}
+			// Mitigation disabled: trip points past the shutdown limit
+			// are programmable (thermal test rigs do this).
+			ctx.Cover("thermal", 600+uint32(zone))
 		}
 		d.trips[zone] = temp
 		ctx.Cover("thermal", 22+uint32(zone)*4+bucket(temp/30000, 4))

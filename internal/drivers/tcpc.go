@@ -62,13 +62,20 @@ type TCPCDriver struct {
 	probed    bool
 	i2cRegs   [256]byte
 	opens     int
+
+	knobs *Knobs
 }
 
 // NewTCPC returns the driver with the given enabled bug set.
-func NewTCPC(b bugs.Set) *TCPCDriver { return &TCPCDriver{bugs: b} }
+func NewTCPC(b bugs.Set) *TCPCDriver {
+	return &TCPCDriver{bugs: b, knobs: NewKnobs("tcpc", tcpcKnobSpecs)}
+}
 
 // Name implements vkernel.Driver.
 func (d *TCPCDriver) Name() string { return "tcpc" }
+
+// Knobs returns the runtime-parameter state.
+func (d *TCPCDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *TCPCDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -120,19 +127,45 @@ func (c *tcpcConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []by
 		ctx.Cover("tcpc", 13+uint32(mode)) // 13..16: per-role path
 		if mode == TCPCModeDRP {
 			ctx.Cover("tcpc", 17) // dual-role init path
+			if d.knobs.Int(tcpcKnobPDCompliance) == 0 {
+				// Compliance testing off: vendor DRP quirk handling.
+				ctx.Cover("tcpc", 615)
+			}
 		}
 		return 0, nil, nil
 
 	case TCPCSetVoltage:
 		ctx.Cover("tcpc", 20)
 		mv := ArgU64(arg, 0)
-		if mv > 20000 {
+		if mv > d.knobs.Int(tcpcKnobMaxContractMV) {
 			ctx.Cover("tcpc", 21)
 			return 0, nil, vkernel.EINVAL
 		}
 		if d.mode == TCPCModeOff {
 			ctx.Cover("tcpc", 22)
 			return 0, nil, vkernel.EBUSY
+		}
+		if mv > 20000 {
+			// Extended PD contract tier. Reachable only after
+			// max_contract_mv has been raised over sysfs; no ioctl
+			// sequence alone can pass the ceiling check above.
+			ctx.Cover("tcpc", 600+bucket((mv-20001)/2000, 5))
+			if d.knobs.Int(tcpcKnobPDCompliance) != 0 {
+				// Compliance checking clamps the contract back to spec.
+				ctx.Cover("tcpc", 610)
+				mv = 20000
+			} else {
+				ctx.Cover("tcpc", 611)
+				// Bug №13: with compliance checking disabled nothing
+				// bounds PDO selection and the regulator WARNs on the
+				// overvoltage contract — both knobs plus this ioctl are
+				// required, the SyzParam bug class.
+				if d.bugs.Has(bugs.TCPCContractOVP) {
+					ctx.Warn("tcpc_pd_select_pdo",
+						fmt.Sprintf("overvoltage PD contract %d mV with compliance checking off", mv))
+					return 0, nil, vkernel.EIO
+				}
+			}
 		}
 		if d.vbusOn {
 			// Live PD renegotiation: stepping the contract while VBUS is

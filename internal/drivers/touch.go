@@ -45,15 +45,23 @@ type TouchDriver struct {
 	fwVersion  uint64
 	events     uint64
 	selfTests  uint64
+
+	knobs *Knobs
 }
 
 // NewTouch returns the driver with the given enabled bug set.
 func NewTouch(b bugs.Set) *TouchDriver {
-	return &TouchDriver{bugs: b, gridW: 1080, gridH: 1920, fwVersion: 0x0100}
+	return &TouchDriver{
+		bugs: b, gridW: 1080, gridH: 1920, fwVersion: 0x0100,
+		knobs: NewKnobs("touch", touchKnobSpecs),
+	}
 }
 
 // Name implements vkernel.Driver.
 func (d *TouchDriver) Name() string { return "touch" }
+
+// Knobs returns the runtime-parameter state.
+func (d *TouchDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *TouchDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -96,6 +104,10 @@ func (c *touchConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []b
 		}
 		d.mode = mode
 		ctx.Cover("touch", 33+uint32(mode))
+		if mode == TouchModeFinger && d.knobs.Int(touchKnobGloveMode) == 1 {
+			// High-sensitivity glove scanning, module-param gated.
+			ctx.Cover("touch", 600)
+		}
 		return 0, nil, nil
 
 	case TouchFwUpdate:
@@ -113,6 +125,10 @@ func (c *touchConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []b
 		d.fwVersion = uint64(img[2]) | uint64(img[3])<<8
 		d.calibrated = false // new firmware needs recalibration
 		ctx.Cover("touch", 53+bucket(d.fwVersion, 8))
+		if d.knobs.Int(touchKnobFWDebug) == 1 {
+			// Verbose flash verification pass, module-param gated.
+			ctx.Cover("touch", 620+bucket(d.fwVersion, 4))
+		}
 		return d.fwVersion, nil, nil
 
 	case TouchSelfTest:
@@ -179,6 +195,10 @@ func (c *touchConn) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
 	}
 	ctx.Cover("touch", 300+logBucket(d.events, 12)) // event-stream ramp
 	ctx.Cover("touch", 114+bucket(uint64(n), 8))
+	if rate := d.knobs.Int(touchKnobReportRate); rate != 120 {
+		// Non-default scan rates re-time the event batching.
+		ctx.Cover("touch", 610+bucket(rate/60, 8))
+	}
 	return len(p), nil
 }
 

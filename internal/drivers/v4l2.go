@@ -28,6 +28,9 @@ const (
 	PixFmtNV12 uint64 = 0x3231564e
 	PixFmtMJPG uint64 = 0x47504a4d
 	PixFmtRGB3 uint64 = 0x33424752
+	// PixFmtP010 is the 10-bit HDR capture format, accepted only with the
+	// hdr_mode module param set.
+	PixFmtP010 uint64 = 0x30313050
 )
 
 // V4L2Driver models a camera capture pipeline: format negotiation, buffer
@@ -47,15 +50,23 @@ type V4L2Driver struct {
 	streaming bool
 	frames    uint64
 	ctrls     map[uint64]uint64
+
+	knobs *Knobs
 }
 
 // NewV4L2 returns the driver with the given enabled bug set.
 func NewV4L2(b bugs.Set) *V4L2Driver {
-	return &V4L2Driver{bugs: b, ctrls: make(map[uint64]uint64)}
+	return &V4L2Driver{
+		bugs: b, ctrls: make(map[uint64]uint64),
+		knobs: NewKnobs("v4l2", v4l2KnobSpecs),
+	}
 }
 
 // Name implements vkernel.Driver.
 func (d *V4L2Driver) Name() string { return "v4l2" }
+
+// Knobs returns the runtime-parameter state.
+func (d *V4L2Driver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *V4L2Driver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -110,6 +121,13 @@ func (c *v4l2Conn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []by
 		}
 		switch fmt {
 		case PixFmtYUYV, PixFmtNV12, PixFmtMJPG, PixFmtRGB3:
+		case PixFmtP010:
+			if d.knobs.Int(v4l2KnobHDRMode) != 1 {
+				ctx.Cover("v4l2", 23)
+				return 0, nil, vkernel.EINVAL
+			}
+			// 10-bit HDR pipeline configuration, module-param gated.
+			ctx.Cover("v4l2", 600+bucket(w/640, 8))
 		default:
 			ctx.Cover("v4l2", 23)
 			return 0, nil, vkernel.EINVAL
@@ -132,9 +150,14 @@ func (c *v4l2Conn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []by
 			return 0, nil, vkernel.EBUSY
 		}
 		n := ArgU64(arg, 0)
-		if n > 32 {
+		if n > d.knobs.Int(v4l2KnobMaxBufs) {
 			ctx.Cover("v4l2", 72)
 			return 0, nil, vkernel.EINVAL
+		}
+		if n > 32 {
+			// Extended buffer queue, reachable only with max_bufs raised
+			// over sysfs past the built-in default.
+			ctx.Cover("v4l2", 610+bucket(n-33, 8))
 		}
 		d.nbufs = n
 		d.queued = nil
@@ -158,6 +181,10 @@ func (c *v4l2Conn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []by
 		if d.streaming {
 			// Requeue during streaming walks the per-slot fast path.
 			ctx.Cover("v4l2", 440+bucket(i, 8)+bucket(uint64(len(d.queued)), 4)*8)
+			if s := d.knobs.Int(v4l2KnobWDRStrength); s > 0 {
+				// Wide-dynamic-range tone mapping per strength step.
+				ctx.Cover("v4l2", 620+uint32(s))
+			}
 			ctx.Cover("v4l2", 93)
 		}
 		ctx.Cover("v4l2", 94+bucket(i, 8))

@@ -35,15 +35,23 @@ type WLANDriver struct {
 	channel  uint64
 	power    uint64
 	txFrames uint64
+
+	knobs *Knobs
 }
 
 // NewWLAN returns the driver with the given enabled bug set.
 func NewWLAN(b bugs.Set) *WLANDriver {
-	return &WLANDriver{bugs: b, rateMask: 0xff, channel: 1}
+	return &WLANDriver{
+		bugs: b, rateMask: 0xff, channel: 1,
+		knobs: NewKnobs("wlan", wlanKnobSpecs),
+	}
 }
 
 // Name implements vkernel.Driver.
 func (d *WLANDriver) Name() string { return "wlan" }
+
+// Knobs returns the runtime-parameter state.
+func (d *WLANDriver) Knobs() *Knobs { return d.knobs }
 
 // Open implements vkernel.Driver.
 func (d *WLANDriver) Open(ctx *vkernel.Ctx) (vkernel.Conn, error) {
@@ -68,6 +76,16 @@ func (c *wlanConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []by
 		}
 		d.scanned = true
 		ctx.Cover("wlan", 12+bucket(d.channel, 14))
+		switch d.knobs.Str(wlanKnobCountry) {
+		// Region-specific regulatory scan tables; the world domain ("00",
+		// the default) takes the legacy path.
+		case "US":
+			ctx.Cover("wlan", 600)
+		case "EU":
+			ctx.Cover("wlan", 601)
+		case "JP":
+			ctx.Cover("wlan", 602)
+		}
 		return 3, nil, nil // pretend 3 BSSes found
 
 	case WlanAssoc:
@@ -106,6 +124,10 @@ func (c *wlanConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []by
 		ctx.Logf("wlan0", "associated with bssid=%#x rates=%#x", bssid, d.rateMask)
 		if d.wasAssoc {
 			ctx.Cover("wlan", 55) // reassociation fast path
+			if d.knobs.Int(wlanKnobRoamOff) == 1 {
+				// Roaming disabled: sticky-BSS reassociation bookkeeping.
+				ctx.Cover("wlan", 610)
+			}
 		}
 		ctx.Cover("wlan", 36+bucket(bssid, 16))
 		return 0, nil, nil
@@ -166,6 +188,10 @@ func (c *wlanConn) Ioctl(ctx *vkernel.Ctx, req uint64, arg []byte) (uint64, []by
 		}
 		d.channel = ch
 		ctx.Cover("wlan", 123+uint32(ch))
+		if ch == 14 && d.knobs.Str(wlanKnobCountry) == "JP" {
+			// Channel 14 is usable only in the JP regulatory domain.
+			ctx.Cover("wlan", 612)
+		}
 		if d.wasAssoc {
 			// Channel moves after a completed association prime the
 			// roaming scan tables.
@@ -198,6 +224,10 @@ func (c *wlanConn) Write(ctx *vkernel.Ctx, p []byte) (int, error) {
 	}
 	d.txFrames++
 	ctx.Cover("wlan", 300+logBucket(d.txFrames, 12)) // aggregation ramp-up paths
+	if d.knobs.Int(wlanKnobAMPDU) == 0 {
+		// A-MPDU aggregation disabled: per-frame legacy transmit queueing.
+		ctx.Cover("wlan", 615+logBucket(d.txFrames, 4))
+	}
 	ctx.Cover("wlan", 133+bucket(uint64(len(p))/128, 18))
 	// Rate-controlled transmit paths per configured rate tier.
 	ctx.Cover("wlan", 400+bucket(d.rateMask, 16))

@@ -16,6 +16,7 @@ import (
 //	syscall ioctl$TCPC_SET_MODE = ioctl(fd resource[fd_tcpc], req const[0xa102], mode flags[0x0,0x1,0x2,0x3]) crit=1 weight=0.70
 //	hal hal$usb.setPortRole = android.hardware.usb::setPortRole[1](role flags[0x0,0x1,0x2,0x3]) weight=0.50
 //	hal hal$graphics.composer.createLayer = android.hardware.graphics.composer::createLayer[1](width int[0x1:0x1000], height int[0x1:0x1000], format flags[0x1,0x2,0x3]) -> hal_layer weight=0.90
+//	param param$tcpc.pd_compliance = /sys/module/tcpc/parameters/pd_compliance(value int[0x0:0x1]) crit=0 weight=0.30
 //
 // Argument types: const[v], int[min:max] (optionally int[min:max,hint=a,b]),
 // flags[a,b,...], buffer[n], string["a","b"], filename["/dev/x"],
@@ -37,9 +38,12 @@ func FormatDescs(descs []*CallDesc) string {
 
 func formatDesc(d *CallDesc) string {
 	var b strings.Builder
-	if d.IsHAL() {
+	switch {
+	case d.IsHAL():
 		fmt.Fprintf(&b, "hal %s = %s::%s[%d](", d.Name, d.Service, d.Method, d.MethodCode)
-	} else {
+	case d.Class == ClassParam:
+		fmt.Fprintf(&b, "param %s = %s(", d.Name, d.Param)
+	default:
 		fmt.Fprintf(&b, "syscall %s = %s(", d.Name, d.Syscall)
 	}
 	for i, f := range d.Args {
@@ -138,6 +142,9 @@ func parseDescLine(line string) (*CallDesc, error) {
 	case strings.HasPrefix(line, "hal "):
 		d.Class = ClassHAL
 		head = strings.TrimPrefix(line, "hal ")
+	case strings.HasPrefix(line, "param "):
+		d.Class = ClassParam
+		head = strings.TrimPrefix(line, "param ")
 	default:
 		return nil, fmt.Errorf("unknown description class in %q", line)
 	}
@@ -171,6 +178,8 @@ func parseDescLine(line string) (*CallDesc, error) {
 			return nil, fmt.Errorf("HAL code: %w", err)
 		}
 		d.MethodCode = uint32(code)
+	} else if d.Class == ClassParam {
+		d.Param = callee
 	} else {
 		d.Syscall = callee
 	}

@@ -96,6 +96,17 @@ func (t *Target) HALCalls() []*CallDesc {
 	return out
 }
 
+// ParamCalls returns only the ClassParam descriptions.
+func (t *Target) ParamCalls() []*CallDesc {
+	var out []*CallDesc
+	for _, d := range t.calls {
+		if d.Class == ClassParam {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // ResourceKinds returns the sorted set of resource kinds with producers.
 func (t *Target) ResourceKinds() []string {
 	out := make([]string, 0, len(t.producers))
@@ -115,9 +126,9 @@ func (t *Target) ResourceKinds() []string {
 func (t *Target) Hash() uint64 {
 	h := fnv.New64a()
 	for _, d := range t.calls {
-		fmt.Fprintf(h, "%s|%d|%s|%s|%s|%d|%s|%g|%d\x00",
+		fmt.Fprintf(h, "%s|%d|%s|%s|%s|%d|%s|%s|%g|%d\x00",
 			d.Name, d.Class, d.Syscall, d.Service, d.Method, d.MethodCode,
-			d.Ret, d.Weight, d.CriticalArg)
+			d.Param, d.Ret, d.Weight, d.CriticalArg)
 		for _, f := range d.Args {
 			fmt.Fprintf(h, "%s|%d|%d|%d|%d|%s|%s|%d\x1f",
 				f.Name, f.Type.Kind, f.Type.Min, f.Type.Max, f.Type.BufLen,

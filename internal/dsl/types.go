@@ -112,14 +112,23 @@ const (
 	// ClassHAL is a HAL interface invocation executed via Binder by the HAL
 	// executor.
 	ClassHAL
+	// ClassParam is a runtime-parameter write: the native executor opens the
+	// sysfs attribute named by Param, writes the value argument in text form,
+	// and closes it. Params flip driver behavior without any ioctl, so they
+	// form a fuzzing dimension of their own (SyzParam).
+	ClassParam
 )
 
 // String names the class.
 func (c Class) String() string {
-	if c == ClassHAL {
+	switch c {
+	case ClassHAL:
 		return "hal"
+	case ClassParam:
+		return "param"
+	default:
+		return "syscall"
 	}
-	return "syscall"
 }
 
 // CallDesc describes one invocable interface: a (possibly specialized)
@@ -138,6 +147,9 @@ type CallDesc struct {
 	Service    string
 	Method     string
 	MethodCode uint32
+	// Param is the sysfs attribute path for ClassParam, e.g.
+	// "/sys/module/tcpc/parameters/pd_compliance".
+	Param string
 	// Args is the ordered argument syntax.
 	Args []Field
 	// Ret names the resource kind this call produces ("" if none).
@@ -168,6 +180,14 @@ func (d *CallDesc) Validate() error {
 	}
 	if d.Class == ClassHAL && (d.Service == "" || d.Method == "") {
 		return fmt.Errorf("dsl: HAL description %q missing service/method", d.Name)
+	}
+	if d.Class == ClassParam {
+		if d.Param == "" {
+			return fmt.Errorf("dsl: param description %q missing sysfs path", d.Name)
+		}
+		if len(d.Args) != 1 {
+			return fmt.Errorf("dsl: param description %q must take exactly one value argument", d.Name)
+		}
 	}
 	if d.CriticalArg >= len(d.Args) {
 		return fmt.Errorf("dsl: %q critical arg %d out of range", d.Name, d.CriticalArg)

@@ -67,6 +67,14 @@ type Config struct {
 	// MaxMinimizeExecs bounds the extra executions spent per
 	// minimization (default 12).
 	MaxMinimizeExecs int
+	// Params enables the runtime-parameter dimension: the probing pass
+	// discovers writable sysfs knobs, the target gains their write
+	// descriptions, and generation may plant knob writes before the calls
+	// they unlock. Off by default — a param-free target offers generation
+	// no param operators, so disabled campaigns replay bit-identically to
+	// historical seeds. The engine itself is gated by the target contents;
+	// this flag is consumed at target-assembly time (baseline, daemon).
+	Params bool
 	// DirAdmitProb is the probability of admitting a program whose only
 	// novelty is directional (HAL-order) signal (default 0.25). Every
 	// fresh interleaving hashes to new directional elements, so admitting
@@ -126,6 +134,7 @@ type Stats struct {
 	Mutated     uint64
 	NewSignal   uint64
 	ExecErrors  uint64
+	ParamWrites uint64
 	CorpusSize  int
 	Crashes     int
 	UniqueBugs  int
@@ -162,11 +171,12 @@ type Engine struct {
 	// Counters are atomics so the daemon's status path can snapshot them
 	// mid-campaign without stalling the engine goroutine. Only the engine
 	// itself writes them.
-	execs      atomic.Uint64
-	generated  atomic.Uint64
-	mutated    atomic.Uint64
-	newSig     atomic.Uint64
-	execErrors atomic.Uint64
+	execs       atomic.Uint64
+	generated   atomic.Uint64
+	mutated     atomic.Uint64
+	newSig      atomic.Uint64
+	execErrors  atomic.Uint64
+	paramWrites atomic.Uint64
 	crashes    atomic.Int64
 	reboots    atomic.Int64
 	restores   atomic.Int64
@@ -262,6 +272,7 @@ func (e *Engine) Stats() Stats {
 		Mutated:     e.mutated.Load(),
 		NewSignal:   e.newSig.Load(),
 		ExecErrors:  e.execErrors.Load(),
+		ParamWrites: e.paramWrites.Load(),
 		CorpusSize:  e.corpus.Len(),
 		Crashes:     int(e.crashes.Load()),
 		UniqueBugs:  e.dedup.Len(),
@@ -313,6 +324,11 @@ func (e *Engine) afterExec(p *dsl.Prog, res *adb.ExecResult, err error) (*adb.Ex
 		// empty result so virtual time still advances.
 		e.execErrors.Add(1)
 		return adb.GetResult(), feedback.NewSignal()
+	}
+	for _, c := range p.Calls {
+		if c.Desc.Class == dsl.ClassParam {
+			e.paramWrites.Add(1)
+		}
 	}
 	if len(res.Crashes) > 0 {
 		e.crashes.Add(int64(len(res.Crashes)))

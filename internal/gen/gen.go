@@ -61,12 +61,19 @@ type Generator struct {
 	view   *relation.Snapshot
 	rng    *rand.Rand
 	opts   Options
+	// hasParams records whether the target carries runtime-parameter
+	// descriptions. When it is false the param operators are never offered,
+	// so a param-free campaign draws the exact RNG sequence it always did.
+	hasParams bool
 }
 
 // New builds a generator. The graph may be shared across engines.
 func New(target *dsl.Target, graph *relation.Graph, rng *rand.Rand, opts Options) *Generator {
 	opts.defaults()
-	return &Generator{target: target, graph: graph, rng: rng, opts: opts}
+	return &Generator{
+		target: target, graph: graph, rng: rng, opts: opts,
+		hasParams: len(target.ParamCalls()) > 0,
+	}
 }
 
 // Target returns the generator's description target.
@@ -264,6 +271,7 @@ const (
 	OpRemoveCall
 	OpSplice
 	OpAppendWalk
+	OpParamPrefix
 )
 
 // Mutate evolves a seed program. donor, when non-nil, enables the splice
@@ -277,6 +285,9 @@ func (g *Generator) Mutate(seed *dsl.Prog, donor *dsl.Prog) (*dsl.Prog, MutateOp
 	if !g.opts.NoRelations {
 		ops = append(ops, OpAppendWalk, OpAppendWalk)
 	}
+	if g.hasParams {
+		ops = append(ops, OpParamPrefix)
+	}
 	op := ops[g.rng.Intn(len(ops))]
 	switch op {
 	case OpMutateArgs:
@@ -289,6 +300,8 @@ func (g *Generator) Mutate(seed *dsl.Prog, donor *dsl.Prog) (*dsl.Prog, MutateOp
 		p = g.splice(p, donor)
 	case OpAppendWalk:
 		p = g.appendWalk(p)
+	case OpParamPrefix:
+		p = g.paramPrefix(p)
 	}
 	p = g.Resolve(p)
 	for _, c := range p.Calls {
@@ -414,6 +427,50 @@ func (g *Generator) appendWalk(p *dsl.Prog) *dsl.Prog {
 		p.Calls = append(p.Calls, g.instantiate(d))
 	}
 	return p
+}
+
+// paramPrefix plants a knob write in front of a random call — the producer
+// insertion of §IV-C extended to the runtime-parameter dimension. The
+// relation graph's predecessor edges record which param writes historically
+// ran before a call revealed coverage; replaying the strongest learned knob
+// write first is what re-unlocks the gated branch. Without a learned
+// dependency the operator explores with a uniformly drawn param write.
+func (g *Generator) paramPrefix(p *dsl.Prog) *dsl.Prog {
+	if p.Len() == 0 || p.Len() >= HardCap {
+		return p
+	}
+	ci := g.rng.Intn(p.Len())
+	var cands []*dsl.CallDesc
+	var weights []float64
+	var total float64
+	for _, e := range g.snap().Predecessors(p.Calls[ci].Desc.Name) {
+		d := g.target.Lookup(e.From)
+		if d == nil || d.Class != dsl.ClassParam {
+			continue
+		}
+		cands = append(cands, d)
+		weights = append(weights, e.Weight)
+		total += e.Weight
+	}
+	var desc *dsl.CallDesc
+	if len(cands) == 0 || total <= 0 {
+		params := g.target.ParamCalls()
+		if len(params) == 0 {
+			return p
+		}
+		desc = params[g.rng.Intn(len(params))]
+	} else {
+		x := g.rng.Float64() * total
+		desc = cands[len(cands)-1]
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				desc = cands[i]
+				break
+			}
+		}
+	}
+	return p.InsertCall(ci, g.instantiate(desc))
 }
 
 // splice appends the donor's calls (with internal references remapped)

@@ -1,0 +1,90 @@
+// PR 7 runtime-parameter benchmarks: what the knob dimension buys a
+// campaign. The pair runs the same param-extended target through the full
+// system and through the DROIDFUZZ-D ioctl-only gate; the difference in
+// accumulated kernel coverage — and in particular the count of sysfs store
+// sites, which no ioctl sequence can reach — is the coverage the runtime
+// parameters add. Both points also carry execs/sec, so the report shows the
+// dimension's throughput cost alongside its coverage gain.
+package perf
+
+import (
+	"testing"
+
+	"droidfuzz/internal/baseline"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/kcov"
+	"droidfuzz/internal/relation"
+)
+
+// paramCampaignIters is the per-campaign iteration budget: long enough for
+// probe seeds plus mutation to land knob writes across several families,
+// short enough that one campaign fits a sub-second benchtime.
+const paramCampaignIters = 600
+
+// paramStorePCs precomputes the kcov PCs of every sysfs store cover window
+// on the device (knob base site + 4 sites: three value buckets and the
+// malformed-write reject).
+func paramStorePCs(dev *device.Device) map[uint32]bool {
+	pcs := make(map[uint32]bool)
+	for _, kn := range dev.ParamSurface() {
+		for _, sp := range kn.Specs() {
+			if sp.Site == 0 {
+				continue
+			}
+			for s := sp.Site; s < sp.Site+4; s++ {
+				pcs[kcov.PC(kn.Family(), s)] = true
+			}
+		}
+	}
+	return pcs
+}
+
+func paramCampaign(b *testing.B, ioctlOnly bool) {
+	model, err := device.ModelByID("A1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var execs, gated, cover float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := device.New(model)
+		cfg := engine.Config{Seed: int64(1 + i), Params: true}
+		var eng *engine.Engine
+		if ioctlOnly {
+			eng, err = baseline.NewDroidFuzzD(dev, cfg)
+		} else {
+			eng, err = baseline.NewDroidFuzz(dev, relation.New(), crash.NewDedup(), cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run(paramCampaignIters)
+		stores := paramStorePCs(dev)
+		for _, pc := range eng.Accumulator().KernelPCs() {
+			if stores[pc] {
+				gated++
+			}
+		}
+		cover += float64(eng.Stats().KernelCov)
+		execs += float64(eng.Execs())
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(gated/n, "gatedPCs/run")
+	b.ReportMetric(cover/n, "cover/run")
+	b.ReportMetric(execs/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// ParamCampaign benchmarks a param-enabled A1 campaign through the full
+// system: knob writes in the mutation surface, relation-learned
+// param↔ioctl couplings, snapshot-restored knob state.
+func ParamCampaign(b *testing.B) { paramCampaign(b, false) }
+
+// ParamCampaignIoctlOnly benchmarks the same param-extended target under
+// the DROIDFUZZ-D gate: the kernel blocks the write leg of every param
+// call, so gatedPCs/run must stay 0 — the ablation floor the full system
+// is compared against.
+func ParamCampaignIoctlOnly(b *testing.B) { paramCampaign(b, true) }

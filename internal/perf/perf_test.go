@@ -48,3 +48,6 @@ func BenchmarkTransportWindowedBatch(b *testing.B) { TransportWindowedBatch(b) }
 func BenchmarkResetReboot(b *testing.B)     { ResetReboot(b) }
 func BenchmarkResetLightDirty(b *testing.B) { ResetLightDirty(b) }
 func BenchmarkResetHeavyDirty(b *testing.B) { ResetHeavyDirty(b) }
+
+func BenchmarkParamCampaign(b *testing.B)          { ParamCampaign(b) }
+func BenchmarkParamCampaignIoctlOnly(b *testing.B) { ParamCampaignIoctlOnly(b) }

@@ -19,10 +19,12 @@ package probe
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"droidfuzz/internal/binder"
 	"droidfuzz/internal/device"
+	"droidfuzz/internal/drivers"
 	"droidfuzz/internal/dsl"
 	"droidfuzz/internal/ebpf"
 	"droidfuzz/internal/vkernel"
@@ -42,6 +44,10 @@ type Result struct {
 	// Interfaces are the discovered HAL interfaces as DSL descriptions,
 	// weights assigned.
 	Interfaces []*dsl.CallDesc
+	// Params are the discovered writable runtime parameters (sysfs module
+	// knobs) as DSL descriptions, weights assigned. Empty unless
+	// Options.Params is set.
+	Params []*dsl.CallDesc
 	// Services summarizes per-service findings, sorted by descriptor.
 	Services []ServiceReport
 	// Occurrences maps interface DSL names to raw trigger counts from the
@@ -62,6 +68,9 @@ type Options struct {
 	// MinWeight and MaxWeight bound the normalized interface weights
 	// (defaults 0.10 and 0.90).
 	MinWeight, MaxWeight float64
+	// Params enables discovery of the writable runtime-parameter surface
+	// (sysfs module knobs) alongside the HAL interfaces.
+	Params bool
 }
 
 func (o *Options) defaults() {
@@ -163,20 +172,37 @@ func Run(dev *device.Device, opts Options) (*Result, error) {
 		}
 	}
 	dev.SM.SetObserver(nil)
+
+	// Optional step 5: runtime-parameter discovery. Knob writes happen
+	// before the trailing reboot, which wipes the probe-time knob state.
+	if opts.Params {
+		probeParams(dev, opts, res, counts)
+	}
+
 	// The pass is pre-testing: it always hands fuzzing a freshly booted
 	// device, leaving no trial or workload state behind.
 	dev.Reboot()
 	res.Occurrences = counts
 	applyHints(res.Interfaces, hints)
 
-	// Normalize occurrences into vertex weights in (0,1).
+	// Normalize occurrences into vertex weights in (0,1). HAL interfaces
+	// and runtime parameters normalize as separate pools so one hot
+	// framework API cannot crush every knob to the floor weight.
+	normalizeWeights(res.Interfaces, counts, opts)
+	normalizeWeights(res.Params, counts, opts)
+	return res, nil
+}
+
+// normalizeWeights maps raw occurrence counts onto [MinWeight, MaxWeight],
+// normalizing within the given description pool.
+func normalizeWeights(descs []*dsl.CallDesc, counts map[string]int, opts Options) {
 	maxCount := 0
-	for _, c := range counts {
-		if c > maxCount {
+	for _, d := range descs {
+		if c := counts[d.Name]; c > maxCount {
 			maxCount = c
 		}
 	}
-	for _, d := range res.Interfaces {
+	for _, d := range descs {
 		c := counts[d.Name]
 		if maxCount == 0 || c == 0 {
 			d.Weight = opts.MinWeight
@@ -185,7 +211,77 @@ func Run(dev *device.Device, opts Options) (*Result, error) {
 		d.Weight = opts.MinWeight +
 			(opts.MaxWeight-opts.MinWeight)*float64(c)/float64(maxCount)
 	}
-	return res, nil
+}
+
+// probeParams discovers the writable runtime-parameter surface through the
+// kernel's sysfs namespace and weights it the same way the HAL interfaces
+// are weighted: vendor init scripts rewrite some knobs at every boot, and
+// replaying those boot writes through the real syscall table counts one
+// occurrence per write, per weighting round. Each discovered knob also
+// contributes one distilled single-write seed program.
+func probeParams(dev *device.Device, opts Options, res *Result, counts map[string]int) {
+	descByPath := make(map[string]*dsl.CallDesc)
+	for _, d := range dev.ParamDescs() {
+		descByPath[d.Param] = d
+	}
+	boots := make(map[string]int)
+	for _, kn := range dev.ParamSurface() {
+		for _, spec := range kn.Specs() {
+			boots[drivers.ParamPath(kn.Family(), spec.Name)] = spec.Boot
+		}
+	}
+	k := dev.K
+	for _, path := range k.ParamPaths() {
+		mode, ok := k.ParamMode(path)
+		if !ok || mode&0o200 == 0 {
+			continue // read-only attribute: not a fuzzing dimension
+		}
+		d := descByPath[path]
+		if d == nil {
+			continue
+		}
+		res.Params = append(res.Params, d)
+		for round := 0; round < opts.WeightRounds; round++ {
+			for i := 0; i < boots[path]; i++ {
+				call := replayParamWrite(k, d)
+				if call == nil {
+					continue
+				}
+				counts[d.Name]++
+				if round == 0 && i == 0 {
+					res.Seeds = append(res.Seeds, &dsl.Prog{Calls: []*dsl.Call{call}})
+				}
+			}
+		}
+	}
+}
+
+// replayParamWrite reads a knob's current value and writes it back through
+// open/write/close — the same traffic a vendor init script produces — and
+// returns the write distilled as a DSL call.
+func replayParamWrite(k *vkernel.Kernel, d *dsl.CallDesc) *dsl.Call {
+	fd, err := k.Open(device.NativePID, vkernel.OriginNative, d.Param, 0)
+	if err != nil {
+		return nil
+	}
+	defer k.Close(device.NativePID, vkernel.OriginNative, fd)
+	raw, err := k.Read(device.NativePID, vkernel.OriginNative, fd, 256)
+	if err != nil {
+		return nil
+	}
+	text := strings.TrimSpace(string(raw))
+	if _, err := k.Write(device.NativePID, vkernel.OriginNative, fd, []byte(text+"\n")); err != nil {
+		return nil
+	}
+	arg := dsl.Arg{Str: text}
+	if d.Args[0].Type.Kind == dsl.KindInt {
+		v, perr := strconv.ParseUint(text, 0, 64)
+		if perr != nil {
+			return nil
+		}
+		arg = dsl.Arg{Val: v}
+	}
+	return &dsl.Call{Desc: d, Args: []dsl.Arg{arg}}
 }
 
 // maxHints bounds the distinct observed values kept per argument.

@@ -85,6 +85,75 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	})
 }
 
+// TestGraphInvariantsWithMixedParamLearns interleaves param-write and ioctl
+// vertices through random Learn/Decay sequences, the shape a param-enabled
+// campaign produces: Eq. (1) normalization, the Out/In mirror, and the
+// published snapshot's Successors/Predecessors views must all stay
+// consistent with both call classes in the graph.
+func TestGraphInvariantsWithMixedParamLearns(t *testing.T) {
+	names := []string{
+		"param$tcpc.max_contract_mv", "param$tcpc.pd_compliance",
+		"param$wlan.ps_mode", "param$gpu.max_freq_mhz",
+		"ioctl$TCPC_SET_VOLTAGE", "ioctl$TCPC_SET_MODE",
+		"ioctl$WLAN_SCAN", "ioctl$GPU_SUBMIT",
+		"open$tcpc", "hal$graphics.createLayer",
+	}
+	for _, seed := range []int64{3, 1337} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := New()
+			for _, n := range names {
+				g.AddVertex(n, 0.1+rng.Float64())
+			}
+			for op := 0; op < 5000; op++ {
+				switch {
+				case rng.Intn(20) == 0:
+					g.Decay(0.5+rng.Float64()*0.45, rng.Float64()*0.05)
+				default:
+					g.Learn(names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+				}
+				if err := g.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: invariants broken: %v", op, err)
+				}
+				if op%500 != 0 {
+					continue
+				}
+				// The published views mirror each other exactly: every
+				// successor edge a→b appears among b's predecessors with
+				// the same weight, and vice versa — param and ioctl
+				// vertices alike.
+				s := g.Snapshot()
+				for _, a := range names {
+					for _, e := range s.Successors(a) {
+						found := false
+						for _, p := range s.Predecessors(e.To) {
+							if p.From == a && p.Weight == e.Weight {
+								found = true
+							}
+						}
+						if !found {
+							t.Fatalf("op %d: edge %s→%s (w=%g) missing from Predecessors(%s)",
+								op, a, e.To, e.Weight, e.To)
+						}
+					}
+					for _, e := range s.Predecessors(a) {
+						found := false
+						for _, sc := range s.Successors(e.From) {
+							if sc.To == a && sc.Weight == e.Weight {
+								found = true
+							}
+						}
+						if !found {
+							t.Fatalf("op %d: edge %s→%s (w=%g) missing from Successors(%s)",
+								op, e.From, a, e.Weight, e.From)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestGraphInvariantsUnderRandomOps drives long random Learn/Decay
 // sequences through the invariant checker: 10k operations per seed, the
 // invariants verified after every operation. This is the property test for

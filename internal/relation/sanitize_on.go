@@ -74,6 +74,11 @@ func (s *Snapshot) fingerprint() uint64 {
 			str(e.To)
 			mix(math.Float64bits(e.Weight))
 		}
+		for _, e := range s.pred[i] {
+			str(e.From)
+			str(e.To)
+			mix(math.Float64bits(e.Weight))
+		}
 	}
 	mix(uint64(s.edges))
 	mix(s.learns)

@@ -23,6 +23,7 @@ type Snapshot struct {
 	weights []float64
 	index   map[string]int
 	succ    [][]Edge // per vertex, sorted by weight desc then name asc
+	pred    [][]Edge // per vertex, in-edges sorted by weight desc then name asc
 	edges   int
 	learns  uint64
 	san     snapSan
@@ -65,6 +66,7 @@ func (g *Graph) buildSnapshotLocked() *Snapshot {
 		weights: make([]float64, len(g.names)),
 		index:   make(map[string]int, len(g.names)),
 		succ:    make([][]Edge, len(g.names)),
+		pred:    make([][]Edge, len(g.names)),
 		edges:   g.edges,
 		learns:  g.learns,
 	}
@@ -73,20 +75,32 @@ func (g *Graph) buildSnapshotLocked() *Snapshot {
 		v := g.verts[name]
 		s.weights[i] = v.Weight
 		s.index[name] = i
-		if len(v.Out) == 0 {
-			continue
-		}
-		out := make([]Edge, 0, len(v.Out))
-		for b, w := range v.Out {
-			out = append(out, Edge{From: name, To: b, Weight: w})
-		}
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].Weight != out[j].Weight {
-				return out[i].Weight > out[j].Weight
+		if len(v.Out) > 0 {
+			out := make([]Edge, 0, len(v.Out))
+			for b, w := range v.Out {
+				out = append(out, Edge{From: name, To: b, Weight: w})
 			}
-			return out[i].To < out[j].To
-		})
-		s.succ[i] = out
+			sort.Slice(out, func(i, j int) bool {
+				if out[i].Weight != out[j].Weight {
+					return out[i].Weight > out[j].Weight
+				}
+				return out[i].To < out[j].To
+			})
+			s.succ[i] = out
+		}
+		if len(v.In) > 0 {
+			in := make([]Edge, 0, len(v.In))
+			for a, w := range v.In {
+				in = append(in, Edge{From: a, To: name, Weight: w})
+			}
+			sort.Slice(in, func(i, j int) bool {
+				if in[i].Weight != in[j].Weight {
+					return in[i].Weight > in[j].Weight
+				}
+				return in[i].From < in[j].From
+			})
+			s.pred[i] = in
+		}
 	}
 	return s
 }
@@ -134,6 +148,18 @@ func (s *Snapshot) Successors(name string) []Edge {
 		return nil
 	}
 	return s.succ[i]
+}
+
+// Predecessors returns the in-edges of name sorted by descending weight then
+// ascending producer name — the learned dependencies that historically ran
+// before name. The slice is the snapshot's own pre-sorted storage: it is
+// shared across callers and must be treated as read-only.
+func (s *Snapshot) Predecessors(name string) []Edge {
+	i, ok := s.index[name]
+	if !ok {
+		return nil
+	}
+	return s.pred[i]
 }
 
 // Walk performs the generation-time traversal over the snapshot with the

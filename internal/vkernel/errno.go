@@ -7,6 +7,7 @@ import "errors"
 // programs observe realistic failure semantics.
 var (
 	EPERM  = errors.New("EPERM: operation not permitted")
+	EACCES = errors.New("EACCES: permission denied")
 	ENOENT = errors.New("ENOENT: no such file or directory")
 	EIO    = errors.New("EIO: input/output error")
 	EBADF  = errors.New("EBADF: bad file descriptor")
@@ -29,6 +30,8 @@ func ErrnoName(err error) string {
 		return "OK"
 	case errors.Is(err, EPERM):
 		return "EPERM"
+	case errors.Is(err, EACCES):
+		return "EACCES"
 	case errors.Is(err, ENOENT):
 		return "ENOENT"
 	case errors.Is(err, EIO):

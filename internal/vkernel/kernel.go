@@ -148,6 +148,7 @@ type Kernel struct {
 
 	mu      sync.Mutex
 	devs    map[string]Driver
+	params  map[string]*Param
 	files   map[int]*openFile
 	nextFD  int
 	tracer  TraceFunc
@@ -331,6 +332,17 @@ func (k *Kernel) open(pid int, origin Origin, path string, flags uint64) (int, e
 	drv, ok := k.devs[path]
 	k.mu.Unlock()
 	if !ok {
+		// Fall through to the sysfs/param namespace: attributes are plain
+		// files with no driver behind them.
+		if p, isParam := k.lookupParam(path); isParam {
+			k.mu.Lock()
+			fd := k.nextFD
+			k.nextFD++
+			k.files[fd] = &openFile{fd: fd, pid: pid, path: path,
+				conn: &paramConn{p: p}, touch: func() {}}
+			k.mu.Unlock()
+			return fd, nil
+		}
 		return -1, ENOENT
 	}
 	// Mark the driver dirty before Open runs: Open itself may mutate

@@ -1,0 +1,138 @@
+package vkernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Virtual sysfs/module-param surface. Real vendor kernels expose runtime
+// knobs as small files under /sys/module/<mod>/parameters/ and sysfs device
+// attributes; writing them flips driver behavior without any ioctl. The
+// virtual kernel models that surface as a second path namespace next to the
+// /dev registry: a registered Param is opened, read, and written through the
+// ordinary syscall table (open/read/write/close), so every access is traced,
+// gated, and counted exactly like a device syscall — an ioctl-only gate
+// blocks the write path and with it every knob flip, just as on a real
+// device a fuzzer confined to ioctls can never reach sysfs.
+//
+// Params carry Unix permission bits: mode 0644 attributes accept writes,
+// 0444 attributes refuse them with EACCES. The value crosses the file
+// boundary in its text form (trailing newline on read, tolerated on write),
+// matching kernel param_set_*/param_get_* semantics.
+
+// Param is one virtual sysfs attribute / module parameter.
+type Param struct {
+	// Path is the full sysfs path, e.g.
+	// "/sys/module/tcpc/parameters/pd_compliance".
+	Path string
+	// Mode holds the Unix permission bits; only the write bits are
+	// consulted (0200 owner-writable marks the attribute writable).
+	Mode uint32
+	// Load renders the current value in its text form (no newline).
+	Load func() string
+	// Store parses and applies a new value. It runs only for writable
+	// attributes and receives the trimmed text. A nil Store makes the
+	// attribute read-only regardless of Mode.
+	Store func(ctx *Ctx, val string) error
+}
+
+// Writable reports whether the attribute accepts writes.
+func (p *Param) Writable() bool { return p.Mode&0o200 != 0 && p.Store != nil }
+
+// RegisterParam exposes a sysfs attribute under its path. Duplicate
+// registration — including a collision with a /dev node — panics: the
+// parameter tree is static per model, like the device tree.
+func (k *Kernel) RegisterParam(p Param) {
+	if p.Path == "" || p.Load == nil {
+		panic("vkernel: param needs a path and a Load func")
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.devs[p.Path]; dup {
+		panic(fmt.Sprintf("vkernel: param path %q collides with a device", p.Path))
+	}
+	if k.params == nil {
+		k.params = make(map[string]*Param)
+	}
+	if _, dup := k.params[p.Path]; dup {
+		panic(fmt.Sprintf("vkernel: duplicate param %q", p.Path))
+	}
+	cp := p
+	k.params[p.Path] = &cp
+}
+
+// ParamPaths returns the sorted registered sysfs paths.
+func (k *Kernel) ParamPaths() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]string, 0, len(k.params))
+	for p := range k.params {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParamMode returns the permission bits of a registered param path and true,
+// or 0 and false for an unknown path.
+func (k *Kernel) ParamMode(path string) (uint32, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.params[path]
+	if !ok {
+		return 0, false
+	}
+	return p.Mode, true
+}
+
+// lookupParam resolves a path in the param namespace.
+func (k *Kernel) lookupParam(path string) (*Param, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.params[path]
+	return p, ok
+}
+
+// paramConn is the per-fd state of an open sysfs attribute. Reads snapshot
+// the value once at open (sysfs show semantics: one fresh render per open,
+// stable across partial reads); writes go straight to Store.
+type paramConn struct {
+	BaseConn
+	p    *Param
+	text []byte // rendered value + newline, consumed by sequential reads
+	off  int
+}
+
+func (c *paramConn) Read(ctx *Ctx, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, EINVAL
+	}
+	if c.text == nil {
+		c.text = []byte(c.p.Load() + "\n")
+	}
+	if c.off >= len(c.text) {
+		return nil, nil // EOF
+	}
+	end := c.off + n
+	if end > len(c.text) {
+		end = len(c.text)
+	}
+	out := make([]byte, end-c.off)
+	copy(out, c.text[c.off:end])
+	c.off = end
+	return out, nil
+}
+
+func (c *paramConn) Write(ctx *Ctx, p []byte) (int, error) {
+	if !c.p.Writable() {
+		return 0, EACCES
+	}
+	val := strings.TrimSpace(string(p))
+	if err := c.p.Store(ctx, val); err != nil {
+		return 0, err
+	}
+	c.text = nil // next read re-renders
+	c.off = 0
+	return len(p), nil
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Param-dimension smoke test: run a short in-process droidfleet campaign
+# with -params in the plain build and again under the droidfuzz_sanitize
+# tag, and assert from the JSON status report that the fleet actually
+# exercised the runtime-parameter dimension (param_writes > 0) — a wiring
+# regression anywhere along vkernel → drivers → DSL → probe → engine would
+# zero the counter long before any test of the individual layer fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+check_status() {
+    local label="$1" status="$2"
+    python3 - "$status" "$label" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+label = sys.argv[2]
+writes = rep.get("param_writes", 0)
+if writes <= 0:
+    sys.exit(f"FAIL({label}): param_writes = {writes}, want > 0")
+execs = sum(d.get("Execs", 0) for d in rep.get("devices", {}).values())
+if execs <= 0:
+    sys.exit(f"FAIL({label}): no executions recorded")
+print(f"OK({label}): param_writes={writes} execs={execs}")
+PY
+}
+
+go build -o "$WORK/droidfleet" ./cmd/droidfleet
+"$WORK/droidfleet" -devices A1,B -iters 600 -rounds 1 -params \
+    -status "$WORK/status.json" >"$WORK/fleet.log"
+check_status plain "$WORK/status.json"
+
+go build -tags droidfuzz_sanitize -o "$WORK/droidfleet_san" ./cmd/droidfleet
+"$WORK/droidfleet_san" -devices A1,B -iters 600 -rounds 1 -params \
+    -status "$WORK/status_san.json" >"$WORK/fleet_san.log"
+check_status sanitize "$WORK/status_san.json"
+
+echo "PASS: param-enabled smoke campaigns (plain + sanitize)"
