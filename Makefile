@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race sanitize bench bench-json smoke smoke-params check clean
+.PHONY: all build vet test race sanitize bench bench-json smoke smoke-params smoke-clone check clean
 
 all: check
 
@@ -41,6 +41,7 @@ bench-json:
 	$(GO) run ./cmd/benchperf -pr 5 -o BENCH_PR5.json
 	$(GO) run ./cmd/benchperf -pr 6 -o BENCH_PR6.json
 	$(GO) run ./cmd/benchperf -pr 7 -o BENCH_PR7.json
+	$(GO) run ./cmd/benchperf -pr 8 -o BENCH_PR8.json
 
 # smoke runs a short droidfleet campaign against droidbrokerd over TCP
 # loopback and asserts clean execution and shutdown.
@@ -52,6 +53,13 @@ smoke:
 # runtime-parameter dimension (param_writes > 0 in the status report).
 smoke-params:
 	./scripts/smoke_params.sh
+
+# smoke-clone runs a short lineage-enabled campaign (checkpoint fan-out +
+# batch pristine resets) in both the plain and the sanitize build and
+# asserts the fleet actually forked lineages (lineage_execs > 0 in the
+# status report).
+smoke-clone:
+	./scripts/smoke_clone.sh
 
 check: build vet race sanitize
 

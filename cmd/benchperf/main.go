@@ -31,9 +31,15 @@
 // param-gated sysfs store sites covered — 0 by construction for the
 // ablation, which is the point being measured.
 //
+// -pr 8 runs the PR 8 portable-checkpoint benchmarks and writes
+// BENCH_PR8.json: clone-based fleet standup against serial boot standup
+// (8 devices either way), broker-level lineage fan-out against flat
+// prefix re-execution, and the per-exec overhead of -reset=exec pristine
+// mode against -reset=never, bounded by the light-dirty restore cost.
+//
 // Usage:
 //
-//	go run ./cmd/benchperf [-pr 1|3|5|6|7] [-short] [-o FILE] [-benchtime 1s]
+//	go run ./cmd/benchperf [-pr 1|3|5|6|7|8] [-short] [-o FILE] [-benchtime 1s]
 package main
 
 import (
@@ -126,7 +132,7 @@ func measure(name string, f func(*testing.B)) measurement {
 }
 
 func main() {
-	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3, 5, 6 or 7)")
+	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3, 5, 6, 7 or 8)")
 	out := flag.String("o", "", "output file (default BENCH_PR<n>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	short := flag.Bool("short", false, "smoke subset: skip the 1/2/4-engine fleet points (-pr 5 only)")
@@ -276,8 +282,58 @@ func main() {
 		summary = fmt.Sprintf("gated sysfs sites %.0f/run vs %.0f ioctl-only, kernel cover %.2fx",
 			full.GatedPCsPerRun, donly.GatedPCsPerRun,
 			rep.Speedups["KernelCoverVsIoctlOnly"])
+	case 8:
+		rep.Description = "portable checkpoints: hot-device cloning, lineage fan-out, pristine-reset overhead"
+		benches := []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"BootStandup8", perf.BootStandup8},
+			{"CloneStandup8", perf.CloneStandup8},
+			{"FlatPrefixReexec", perf.FlatPrefixReexec},
+			{"LineageFanout", perf.LineageFanout},
+			{"NeverResetExec", perf.NeverResetExec},
+			{"PristineExec", perf.PristineExec},
+			// ResetLightDirty rides along as the bound for the pristine
+			// overhead: exec mode pays one light restore per execution.
+			{"ResetLightDirty", perf.ResetLightDirty},
+		}
+		if *short {
+			// The CI smoke run keeps the three comparisons but drops the
+			// engine-level pristine pair (its 200-exec warm-up dominates a
+			// short benchtime); the broker pairs assert the same floors.
+			benches = []struct {
+				name string
+				body func(*testing.B)
+			}{
+				{"BootStandup8", perf.BootStandup8},
+				{"CloneStandup8", perf.CloneStandup8},
+				{"FlatPrefixReexec", perf.FlatPrefixReexec},
+				{"LineageFanout", perf.LineageFanout},
+			}
+		}
+		for _, b := range benches {
+			rep.Benchmarks[b.name] = measure(b.name, b.body)
+		}
+		rep.Speedups = map[string]float64{
+			"CloneStandup": round2(rep.Benchmarks["BootStandup8"].NsPerOp /
+				rep.Benchmarks["CloneStandup8"].NsPerOp),
+			"LineageFanout": round2(rep.Benchmarks["LineageFanout"].ExecsPerSec /
+				rep.Benchmarks["FlatPrefixReexec"].ExecsPerSec),
+		}
+		summary = fmt.Sprintf("clone standup %.2fx, lineage fan-out %.2fx execs/sec",
+			rep.Speedups["CloneStandup"], rep.Speedups["LineageFanout"])
+		if !*short {
+			overhead := rep.Benchmarks["PristineExec"].NsPerOp -
+				rep.Benchmarks["NeverResetExec"].NsPerOp
+			rep.Speedups["PristineOverheadNsPerExec"] = round2(overhead)
+			rep.Speedups["PristineOverheadVsLightRestore"] = round2(overhead /
+				rep.Benchmarks["ResetLightDirty"].NsPerOp)
+			summary += fmt.Sprintf(", pristine overhead %.2fx light restore",
+				rep.Speedups["PristineOverheadVsLightRestore"])
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3, 5, 6 or 7)\n", *pr)
+		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3, 5, 6, 7 or 8)\n", *pr)
 		os.Exit(1)
 	}
 

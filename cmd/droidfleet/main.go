@@ -6,6 +6,7 @@
 //
 //	droidfleet -devices A1,B,D -iters 20000 [-seed 1] [-workers 4]
 //	           [-pipeline 4] [-batch 32] [-window 8] [-params]
+//	           [-reset never|exec|batch] [-lineage K] [-lineage-len L]
 //	           [-rounds 4] [-corpus DIR] [-status status.json]
 //	droidfleet -remote 127.0.0.1:7100,127.0.0.1:7101 -iters 20000 ...
 //
@@ -25,6 +26,16 @@
 // relation graph learns knob↔ioctl couplings; the status report then
 // carries the fleet-wide param-write count. Off by default — campaigns
 // without it are bit-identical to pre-params builds.
+//
+// -reset selects the pristine-reset campaign mode: "never" (default)
+// resets only on crash fallout, "exec" snapshot-restores before every
+// unbatched execution so each program runs against pristine state, and
+// "batch" restores once per execution batch. -lineage K forks K cloned
+// mutation lineages from the post-prefix device state whenever a program
+// is admitted with new kernel coverage, and -lineage-len bounds each
+// lineage's mutation chain (0 = the engine default). Both ride the
+// checkpoint Export/Import path, so they work unchanged against -remote
+// brokers; the status report gains the fleet-wide lineage_execs count.
 //
 // With -remote, the fleet drives broker daemons (droidbrokerd) over TCP
 // instead of booting devices in-process: each address is dialed through a
@@ -61,17 +72,25 @@ func main() {
 		batch     = flag.Int("batch", 0, "programs per execution batch (0 = per-program execution; needs -pipeline)")
 		window    = flag.Int("window", 0, "in-flight requests per remote connection (0 = transport default)")
 		rounds    = flag.Int("rounds", 4, "status-report slices to split the campaign into")
-		params    = flag.Bool("params", false, "enable the runtime-parameter dimension (sysfs knob writes in the mutation surface)")
-		corpusDir = flag.String("corpus", "", "directory to save per-device corpora (optional)")
-		statusOut = flag.String("status", "", "file to write the final JSON status report (optional)")
+		params     = flag.Bool("params", false, "enable the runtime-parameter dimension (sysfs knob writes in the mutation surface)")
+		reset      = flag.String("reset", "never", "pristine-reset campaign mode: never, exec, or batch")
+		lineage    = flag.Int("lineage", 0, "lineage fan-out width K: clone the post-prefix state K ways per new-coverage admission (0 = off)")
+		lineageLen = flag.Int("lineage-len", 0, "mutations per lineage (0 = engine default)")
+		corpusDir  = flag.String("corpus", "", "directory to save per-device corpora (optional)")
+		statusOut  = flag.String("status", "", "file to write the final JSON status report (optional)")
 	)
 	flag.Parse()
+	if !engine.ValidResetMode(*reset) {
+		fmt.Fprintf(os.Stderr, "droidfleet: invalid -reset %q (want never, exec, or batch)\n", *reset)
+		os.Exit(2)
+	}
 
 	cfg := fleetConfig{
 		devices: *devices, remote: *remote,
 		iters: *iters, seed: *seed, workers: *workers,
 		pipeline: *pipeline, batch: *batch, window: *window,
 		rounds: *rounds, params: *params,
+		reset: *reset, lineage: *lineage, lineageLen: *lineageLen,
 		corpusDir: *corpusDir, statusOut: *statusOut,
 	}
 	if err := run(cfg); err != nil {
@@ -89,10 +108,13 @@ type fleetConfig struct {
 	pipeline  int
 	batch     int
 	window    int
-	rounds    int
-	params    bool
-	corpusDir string
-	statusOut string
+	rounds     int
+	params     bool
+	reset      string
+	lineage    int
+	lineageLen int
+	corpusDir  string
+	statusOut  string
 }
 
 // validate rejects flag values that would silently misbehave: negative
@@ -151,7 +173,10 @@ func run(cfg fleetConfig) error {
 		}
 	} else {
 		for i, id := range splitList(cfg.devices) {
-			if err := d.AddDevice(id, engine.Config{Seed: cfg.seed + int64(i), Params: cfg.params}); err != nil {
+			if err := d.AddDevice(id, engine.Config{
+				Seed: cfg.seed + int64(i), Params: cfg.params,
+				Reset: cfg.reset, LineageK: cfg.lineage, LineageLen: cfg.lineageLen,
+			}); err != nil {
 				return err
 			}
 		}
@@ -242,7 +267,10 @@ func attachRemotes(d *daemon.Daemon, cfg fleetConfig) (map[string]*adb.Resilient
 		if err != nil {
 			return nil, fmt.Errorf("attach %s: %w", addr, err)
 		}
-		if err := d.AttachExecutor(id, r, seeds, engine.Config{Seed: cfg.seed + int64(i), Params: cfg.params}); err != nil {
+		if err := d.AttachExecutor(id, r, seeds, engine.Config{
+			Seed: cfg.seed + int64(i), Params: cfg.params,
+			Reset: cfg.reset, LineageK: cfg.lineage, LineageLen: cfg.lineageLen,
+		}); err != nil {
 			return nil, err
 		}
 		remotes[id] = r

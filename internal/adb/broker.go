@@ -41,6 +41,19 @@ type Executor interface {
 	Target() *dsl.Target
 }
 
+// Cloner is the optional checkpoint-portability extension of Executor.
+// Broker, Conn, and Resilient all implement it; engines type-assert and
+// fall back to flat scheduling when the executor cannot clone.
+type Cloner interface {
+	// ExportCheckpoint serializes the device's current state into a
+	// portable, model-tagged blob (device.Checkpoint in gob form).
+	ExportCheckpoint() ([]byte, error)
+	// ImportCheckpoint re-materializes an exported blob onto the device,
+	// which must be of the same model. The imported state becomes the
+	// device's reset point until the next reboot or import.
+	ImportCheckpoint(blob []byte) error
+}
+
 // Info is the executor handshake payload: enough for a host-side engine to
 // verify it is talking to the device it thinks it is, with the interface
 // surface it generated programs against.
@@ -75,6 +88,7 @@ type Broker struct {
 var (
 	_ Executor      = (*Broker)(nil)
 	_ BatchExecutor = (*Broker)(nil)
+	_ Cloner        = (*Broker)(nil)
 )
 
 // NewBroker attaches a broker to the device. The target must contain every
@@ -149,6 +163,19 @@ func (b *Broker) Reset() (bool, error) {
 	b.dev.Reboot()
 	b.applyGate()
 	return false, nil
+}
+
+// ExportCheckpoint implements Cloner by serializing the attached device's
+// current state.
+func (b *Broker) ExportCheckpoint() ([]byte, error) {
+	return b.dev.ExportCheckpoint()
+}
+
+// ImportCheckpoint implements Cloner. The kernel object survives an import
+// exactly as it survives a restore, so an installed ioctl-only gate stays
+// in place.
+func (b *Broker) ImportCheckpoint(blob []byte) error {
+	return b.dev.ImportCheckpoint(blob)
 }
 
 // Ping implements Executor; the in-process broker is always reachable.

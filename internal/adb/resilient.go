@@ -79,6 +79,7 @@ type Resilient struct {
 var (
 	_ Executor      = (*Resilient)(nil)
 	_ BatchExecutor = (*Resilient)(nil)
+	_ Cloner        = (*Resilient)(nil)
 )
 
 // DialResilient connects to a broker daemon at addr and performs the
@@ -314,6 +315,27 @@ func (r *Resilient) Reset() (bool, error) {
 		return e
 	})
 	return restored, err
+}
+
+// ExportCheckpoint implements Cloner with reconnect-and-retry; the export
+// is read-only on the device, so retrying after a dropped link is safe.
+func (r *Resilient) ExportCheckpoint() ([]byte, error) {
+	var blob []byte
+	err := r.do(func(c *Conn) error {
+		var e error
+		blob, e = c.ExportCheckpoint()
+		return e
+	})
+	return blob, err
+}
+
+// ImportCheckpoint implements Cloner with reconnect-and-retry; importing
+// the same blob twice is idempotent, so a retry after an ambiguous
+// transport failure cannot corrupt device state.
+func (r *Resilient) ImportCheckpoint(blob []byte) error {
+	return r.do(func(c *Conn) error {
+		return c.ImportCheckpoint(blob)
+	})
 }
 
 // Info implements Executor with a live round trip; on failure it returns

@@ -54,17 +54,29 @@ type rpcRequest struct {
 	Reset    bool
 	Info     bool
 	Describe bool
+	Export   bool
+	Import   *ImportRequest
+}
+
+// ImportRequest carries a portable checkpoint to re-materialize on the
+// device-side broker. The blob is an opaque pre-encoded device.Checkpoint:
+// the rpc layer never decodes it, so checkpoint evolution does not touch
+// the wire format.
+type ImportRequest struct {
+	Blob []byte
 }
 
 type rpcReply struct {
-	Tag      uint64
-	Result   *ExecResult
-	Batch    *ExecBatchReply
-	Pong     bool
-	Restored bool
-	Info     *Info
-	Describe *DescribeReply
-	Err      string
+	Tag        uint64
+	Result     *ExecResult
+	Batch      *ExecBatchReply
+	Pong       bool
+	Restored   bool
+	Info       *Info
+	Describe   *DescribeReply
+	Checkpoint []byte
+	Imported   bool
+	Err        string
 }
 
 // DescribeReply is the attach-time handshake payload: the device identity
@@ -127,6 +139,7 @@ type Conn struct {
 var (
 	_ Executor      = (*Conn)(nil)
 	_ BatchExecutor = (*Conn)(nil)
+	_ Cloner        = (*Conn)(nil)
 )
 
 // Dial wraps an established byte stream as the host end.
@@ -416,6 +429,32 @@ func (c *Conn) Reset() (bool, error) {
 	return rep.Restored, nil
 }
 
+// ExportCheckpoint implements Cloner: the device-side broker serializes
+// its device state and ships the opaque blob back.
+func (c *Conn) ExportCheckpoint() ([]byte, error) {
+	rep, err := c.roundTrip(rpcRequest{Export: true})
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Checkpoint) == 0 {
+		return nil, &RemoteError{Msg: "adb: empty checkpoint reply"}
+	}
+	return rep.Checkpoint, nil
+}
+
+// ImportCheckpoint implements Cloner: the device-side broker
+// re-materializes the blob onto its (same-model) device.
+func (c *Conn) ImportCheckpoint(blob []byte) error {
+	rep, err := c.roundTrip(rpcRequest{Import: &ImportRequest{Blob: blob}})
+	if err != nil {
+		return err
+	}
+	if !rep.Imported {
+		return &RemoteError{Msg: "adb: checkpoint import not acknowledged"}
+	}
+	return nil
+}
+
 // Info implements Executor with a live identity round trip.
 func (c *Conn) Info() (Info, error) {
 	rep, err := c.roundTrip(rpcRequest{Info: true})
@@ -570,6 +609,29 @@ func (s *Server) handle(req rpcRequest, st *connState) (rep rpcReply) {
 			Info:  info,
 			Calls: s.X.Target().Calls(),
 			Seeds: s.Seeds,
+		}
+	case req.Export:
+		cl, ok := s.X.(Cloner)
+		if !ok {
+			rep.Err = "adb: executor does not support checkpoints"
+			break
+		}
+		blob, err := cl.ExportCheckpoint()
+		if err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Checkpoint = blob
+		}
+	case req.Import != nil:
+		cl, ok := s.X.(Cloner)
+		if !ok {
+			rep.Err = "adb: executor does not support checkpoints"
+			break
+		}
+		if err := cl.ImportCheckpoint(req.Import.Blob); err != nil {
+			rep.Err = err.Error()
+		} else {
+			rep.Imported = true
 		}
 	case req.Exec != nil:
 		res, err := s.X.Exec(*req.Exec)

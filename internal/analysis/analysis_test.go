@@ -31,8 +31,8 @@ func fixtureConfig() analysis.Config {
 		}},
 		LockTypes:        []string{"vettest/locks.A", "vettest/locks.B"},
 		WireRoots:        []string{"vettest/wire.Frame"},
-		SnapshotTypes:    []string{"vettest/snap.View", "vettest/snap.ParamState"},
-		SnapshotBuilders: []string{"vettest/snap.New", "vettest/snap.View.Refresh", "vettest/snap.NewParamState"},
+		SnapshotTypes:    []string{"vettest/snap.View", "vettest/snap.ParamState", "vettest/snap.Blob"},
+		SnapshotBuilders: []string{"vettest/snap.New", "vettest/snap.View.Refresh", "vettest/snap.NewParamState", "vettest/snap.NewBlob"},
 		// No manifest by default; TestWireManifestLifecycle covers it.
 	}
 }
@@ -191,6 +191,49 @@ func TestSnapshotPassFlagsUnregisteredParamStateWrite(t *testing.T) {
 	for _, b := range []string{
 		"droidfuzz/internal/drivers.Knobs.Checkpoint",
 		"droidfuzz/internal/drivers.Knobs.Restore",
+	} {
+		if !slices.Contains(cfg.SnapshotBuilders, b) {
+			t.Errorf("DefaultConfig missing snapshot builder %s", b)
+		}
+	}
+}
+
+func TestSnapshotPassFlagsImportedCheckpointWrite(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+	// WriteThroughImported mutates a blob that clone twins share after
+	// import; exactly its two sites in the import fixture file are flagged.
+	if got := matching(diags, analysis.PassSnapshot, "import.go", "Blob"); len(got) != 2 {
+		dump(t, got)
+		t.Errorf("imported-blob findings = %d, want exactly 2", len(got))
+	}
+	// The copy-then-mutate import pattern and the registered NewBlob
+	// builder stay clean.
+	if got := matching(diags, analysis.PassSnapshot, "export.go", ""); len(got) != 0 {
+		dump(t, got)
+		t.Errorf("export builder flagged: %d findings", len(got))
+	}
+
+	// The real config must carry the PR 8 exported-state types and their
+	// Export builders, or a write through an imported checkpoint in the
+	// repo would go unflagged (TestDefaultConfigOnRepo enforces zero
+	// findings against DefaultConfig).
+	cfg := analysis.DefaultConfig()
+	for _, wantType := range []string{
+		"droidfuzz/internal/device.Checkpoint",
+		"droidfuzz/internal/vkernel.KernelExport",
+		"droidfuzz/internal/kasan.HeapExport",
+		"droidfuzz/internal/binder.SMExport",
+		"droidfuzz/internal/hal.ProcExport",
+		"droidfuzz/internal/drivers.KnobsExport",
+	} {
+		if !slices.Contains(cfg.SnapshotTypes, wantType) {
+			t.Errorf("DefaultConfig missing snapshot type %s", wantType)
+		}
+	}
+	for _, b := range []string{
+		"droidfuzz/internal/device.rebindSnapshot",
+		"droidfuzz/internal/vkernel.Kernel.Export",
+		"droidfuzz/internal/drivers.Knobs.Export",
 	} {
 		if !slices.Contains(cfg.SnapshotBuilders, b) {
 			t.Errorf("DefaultConfig missing snapshot builder %s", b)

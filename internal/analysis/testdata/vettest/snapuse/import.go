@@ -1,0 +1,22 @@
+package snapuse
+
+import "vettest/snap"
+
+// WriteThroughImported mutates a checkpoint blob after import — the PR 8
+// ownership violation: the blob is shared by every clone twin that
+// imported it, so both sites must be flagged.
+func WriteThroughImported(b *snap.Blob) {
+	b.Regs[0] = 0xdead
+	b.Name = "tampered"
+}
+
+// ImportByCopy is the sanctioned import pattern: deep-copy the blob into
+// private state and mutate only the copy. Never flagged.
+func ImportByCopy(b *snap.Blob) []uint64 {
+	regs := make([]uint64, len(b.Regs))
+	copy(regs, b.Regs)
+	if len(regs) > 0 {
+		regs[0]++
+	}
+	return regs
+}

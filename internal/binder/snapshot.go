@@ -35,3 +35,37 @@ func (sm *ServiceManager) Restore(s any) {
 	}
 	sm.observer = st.observer
 }
+
+// SMExport is the ServiceManager's portable checkpoint blob. Service
+// identity cannot cross devices — registered services hold pointers into
+// the source device — so the blob carries only the descriptor set, which
+// Import checks against the receiver's own same-model registry.
+type SMExport struct {
+	Descriptors []string // sorted
+}
+
+// Export implements snap.Subsystem.
+func (sm *ServiceManager) Export() any {
+	ds := sm.List()
+	if len(ds) == 0 {
+		ds = nil // canonical: empty exports as nil (gob round-trip shape)
+	}
+	return &SMExport{Descriptors: ds}
+}
+
+// Import implements snap.Subsystem. The receiver keeps its own service
+// instances (they are rebuilt per twin by the hal.Process subsystems);
+// Import only guards against cross-model misuse.
+func (sm *ServiceManager) Import(b any) {
+	e := b.(*SMExport)
+	own := sm.List()
+	if len(own) != len(e.Descriptors) {
+		panic("binder: checkpoint service registry does not match this device model")
+	}
+	for i, d := range own {
+		if d != e.Descriptors[i] {
+			panic("binder: checkpoint service registry does not match this device model")
+		}
+	}
+	sm.Touch()
+}

@@ -320,6 +320,10 @@ type statusReport struct {
 	// ParamWrites aggregates executed runtime-parameter writes across the
 	// fleet; zero in a param-enabled campaign flags a dead dimension.
 	ParamWrites uint64 `json:"param_writes"`
+	// LineageExecs aggregates fork-style lineage executions across the
+	// fleet; zero in a lineage-enabled campaign flags a dead fan-out path
+	// (executor without checkpoint support, or no kernel-new admissions).
+	LineageExecs uint64 `json:"lineage_execs"`
 	Relations  struct {
 		Vertices int    `json:"vertices"`
 		Edges    int    `json:"edges"`
@@ -344,6 +348,7 @@ func (d *Daemon) WriteStatus(w io.Writer) error {
 	for _, st := range rep.Devices {
 		rep.ExecErrors += st.ExecErrors
 		rep.ParamWrites += st.ParamWrites
+		rep.LineageExecs += st.LineageExecs
 	}
 	rep.Relations.Vertices = d.graph.Len()
 	rep.Relations.Edges = d.graph.Edges()

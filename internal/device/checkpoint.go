@@ -1,0 +1,273 @@
+package device
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"droidfuzz/internal/binder"
+	"droidfuzz/internal/drivers"
+	"droidfuzz/internal/ebpf"
+	"droidfuzz/internal/hal"
+	"droidfuzz/internal/kasan"
+	"droidfuzz/internal/snap"
+	"droidfuzz/internal/vkernel"
+)
+
+// Portable checkpoints. A Checkpoint is the gob-serialized, device-
+// independent counterpart of a Snapshot: one exported blob per subsystem
+// in the device's deterministic subsystem order. It can be re-materialized
+// onto any booted device of the same model — locally via ImportCheckpoint
+// or Clone, remotely via the adb Export/ImportCheckpoint RPCs — which is
+// what makes fork-style corpus fan-out and remote cloning possible.
+//
+// Ownership rules: blobs are immutable once exported. Import never aliases
+// blob memory into live state (each subsystem's Import converts the blob
+// back to its checkpoint payload and runs the ordinary copying Restore),
+// so one decoded Checkpoint may be imported into any number of twins.
+
+// Checkpoint is the portable form of a device snapshot.
+type Checkpoint struct {
+	Model string
+	Blobs []any
+}
+
+func init() {
+	// Concrete blob types crossing the []any in Checkpoint. The rpc layer
+	// never sees these — checkpoints travel pre-encoded as []byte.
+	gob.Register(&vkernel.KernelExport{})
+	gob.Register(&kasan.HeapExport{})
+	gob.Register(&drivers.TCPCExport{})
+	gob.Register(&drivers.HCIExport{})
+	gob.Register(&drivers.V4L2Export{})
+	gob.Register(&drivers.AudioExport{})
+	gob.Register(&drivers.GPUExport{})
+	gob.Register(&drivers.WLANExport{})
+	gob.Register(&drivers.SensorExport{})
+	gob.Register(&drivers.NFCExport{})
+	gob.Register(&drivers.ThermalExport{})
+	gob.Register(&drivers.TouchExport{})
+	gob.Register(&drivers.KnobsExport{})
+	gob.Register(&hal.ProcExport{})
+	gob.Register(&binder.SMExport{})
+}
+
+// exportBlobs exports every subsystem in order.
+func (d *Device) exportBlobs() []any {
+	blobs := make([]any, len(d.subs))
+	for i, sub := range d.subs {
+		blobs[i] = sub.Export()
+	}
+	return blobs
+}
+
+// ExportCheckpoint serializes the device's current state into a portable
+// checkpoint. The blob and the subsystem generations at export time are
+// remembered so an immediate self-import (the lineage scheduler's
+// post-prefix fork point) can skip the decode — see ImportCheckpoint.
+func (d *Device) ExportCheckpoint() ([]byte, error) {
+	ck := &Checkpoint{Model: d.Model.ID, Blobs: d.exportBlobs()}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("device: encode checkpoint: %w", err)
+	}
+	data := buf.Bytes()
+	d.exportBlob = data
+	if d.exportGens = d.exportGens[:0]; cap(d.exportGens) < len(d.subs) {
+		d.exportGens = make([]uint64, 0, len(d.subs))
+	}
+	for _, sub := range d.subs {
+		d.exportGens = append(d.exportGens, sub.Gen())
+	}
+	return data, nil
+}
+
+// ImportCheckpoint re-materializes a checkpoint exported from a same-model
+// device onto this one. The imported state also becomes the device's new
+// reset point: a subsequent Restore winds back to it, which is exactly
+// what a lineage wants when a mid-lineage crash must return to the
+// post-prefix state rather than to boot.
+//
+// Two byte-identity fast paths keep the lineage scheduler's hot loop off
+// the gob decoder (sanitize builds skip both so every import stays fully
+// cross-verified):
+//
+//   - Re-importing a blob whose snapshot is still in the import cache is
+//     a generation-checked restore against that snapshot — O(dirty), no
+//     decode. Sound because generations are monotonic: a subsystem whose
+//     generation still equals the one a snapshot recorded has exactly the
+//     recorded state, no matter what was restored in between.
+//   - Importing a blob the device itself just exported, with no subsystem
+//     dirtied since, only needs the reset point moved: the live state
+//     already equals the blob, so a snapshot recapture replaces the
+//     decode-and-import entirely.
+func (d *Device) ImportCheckpoint(data []byte) error {
+	if !SanitizeEnabled {
+		for i := range d.snapCache {
+			c := d.snapCache[i]
+			if c.snap == nil || !bytes.Equal(data, c.blob) {
+				continue
+			}
+			prev := d.snap
+			d.snap = c.snap
+			if d.Restore() {
+				d.snapPristine = false
+				d.cacheSnap(c.blob, c.snap) // move to front
+				return nil
+			}
+			d.snap = prev
+		}
+		if d.exportBlob != nil && bytes.Equal(data, d.exportBlob) && gensMatch(d.subs, d.exportGens) {
+			d.snap = captureSnapshot(d.subs)
+			d.snapPristine = false
+			d.cacheSnap(data, d.snap)
+			return nil
+		}
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return fmt.Errorf("device: decode checkpoint: %w", err)
+	}
+	if ck.Model != d.Model.ID {
+		return fmt.Errorf("device: checkpoint is for model %s, this device is %s", ck.Model, d.Model.ID)
+	}
+	if len(ck.Blobs) != len(d.subs) {
+		return fmt.Errorf("device: checkpoint has %d subsystems, device has %d", len(ck.Blobs), len(d.subs))
+	}
+	d.importBlobs(ck.Blobs)
+	d.cacheSnap(data, d.snap)
+	return nil
+}
+
+// snapCacheEntry pairs an imported checkpoint's exact bytes with the
+// snapshot captured when it was materialized.
+type snapCacheEntry struct {
+	blob []byte
+	snap *Snapshot
+}
+
+// cacheSnap records blob→snapshot most-recently-used; the two slots cover
+// the lineage scheduler's alternation between a post-prefix and a pristine
+// checkpoint.
+func (d *Device) cacheSnap(blob []byte, s *Snapshot) {
+	if d.snapCache[0].snap == s || (d.snapCache[0].snap != nil && bytes.Equal(d.snapCache[0].blob, blob)) {
+		d.snapCache[0] = snapCacheEntry{blob: blob, snap: s}
+		return
+	}
+	d.snapCache[1] = d.snapCache[0]
+	d.snapCache[0] = snapCacheEntry{blob: blob, snap: s}
+}
+
+// gensMatch reports whether no subsystem's dirty generation moved since
+// gens was recorded.
+func gensMatch(subs []snap.Subsystem, gens []uint64) bool {
+	if len(gens) != len(subs) {
+		return false
+	}
+	for i, sub := range subs {
+		if sub.Gen() != gens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// importBlobs applies one blob per subsystem and recaptures the snapshot
+// so the imported state is what Restore winds back to.
+func (d *Device) importBlobs(blobs []any) {
+	for i, sub := range d.subs {
+		sub.Import(blobs[i])
+	}
+	d.snap = captureSnapshot(d.subs)
+	d.snapPristine = false
+	verifyImport(d, blobs)
+}
+
+// Clone stamps out n twins of this device in its *current* state,
+// amortizing boot and probe cost: the subsystem trees are constructed
+// fresh (object identity never crosses devices) but the captured snapshot
+// payloads are shared copy-on-write — they are immutable by the snapshot
+// contract and identical across twins, so one deep copy serves the whole
+// fan-out. Each twin gets its own eBPF hub; brokers attach probes and
+// syscall gates per twin as usual.
+func (d *Device) Clone(n int) []*Device {
+	if n <= 0 {
+		return nil
+	}
+	// A pristine source with nothing dirtied since boot is bit-identical to
+	// a fresh boot of the same model (boot is deterministic, and every
+	// state mutation bumps a subsystem generation), so twins are plain
+	// boots — no export, no imports. This is the fleet-standup case: probe
+	// once, clone the probed device N ways. Sanitize builds take the full
+	// import path so every clone stays cross-verified.
+	if !SanitizeEnabled && d.snapPristine && gensClean(d.snap) {
+		twins := make([]*Device, n)
+		twins[0] = New(d.Model)
+		for i := 1; i < n; i++ {
+			// Boot is deterministic, so twin 0's captured payloads describe
+			// every sibling's pristine state; share them copy-on-write just
+			// like the hot-clone path does.
+			t := &Device{Model: d.Model, Hub: ebpf.NewHub()}
+			t.bootTree()
+			t.snap = rebindSnapshot(twins[0].snap, t.subs)
+			t.snapPristine = true
+			twins[i] = t
+		}
+		return twins
+	}
+	blobs := d.exportBlobs()
+	twins := make([]*Device, n)
+	var shared *Snapshot
+	for i := range twins {
+		t := &Device{Model: d.Model, Hub: ebpf.NewHub()}
+		t.bootTree()
+		for j, sub := range t.subs {
+			sub.Import(blobs[j])
+		}
+		if i == 0 {
+			shared = captureSnapshot(t.subs)
+			t.snap = shared
+		} else {
+			// Twins imported identical blobs, so twin 0's captured
+			// payloads describe every twin's state; only the subsystem
+			// pointers and generation bookkeeping are per-twin.
+			t.snap = rebindSnapshot(shared, t.subs)
+		}
+		t.snapPristine = false
+		verifyImport(t, blobs)
+		twins[i] = t
+	}
+	return twins
+}
+
+// gensClean reports whether no subsystem was dirtied since the snapshot
+// was captured.
+func gensClean(s *Snapshot) bool {
+	if s == nil {
+		return false
+	}
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.sub.Gen() != e.gen {
+			return false
+		}
+	}
+	return true
+}
+
+// rebindSnapshot builds a twin's snapshot from a sibling's captured
+// payloads: shared immutable state, own subsystem pointers, own
+// generations. The binder registry is the one subsystem whose payload
+// carries device-local identity (registered services point into their own
+// device), so it is re-checkpointed per twin instead of shared.
+func rebindSnapshot(src *Snapshot, subs []snap.Subsystem) *Snapshot {
+	s := &Snapshot{entries: make([]snapEntry, len(subs))}
+	for i, sub := range subs {
+		state := src.entries[i].state
+		if _, local := sub.(*binder.ServiceManager); local {
+			state = sub.Checkpoint()
+		}
+		s.entries[i] = snapEntry{sub: sub, state: state, gen: sub.Gen()}
+	}
+	return s
+}

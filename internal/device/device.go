@@ -193,9 +193,25 @@ type Device struct {
 	FW    *hal.Framework
 
 	// subs lists every snapshot-capable subsystem in deterministic order;
-	// snap holds the pristine post-boot checkpoint Restore winds back to.
-	subs []snap.Subsystem
-	snap *Snapshot
+	// snap holds the checkpoint Restore winds back to: the post-boot state
+	// after boot/Reboot, or the imported state after ImportCheckpoint.
+	// snapPristine records which of the two it is (the sanitize build only
+	// cross-checks restores against a fresh boot when it is the former).
+	subs         []snap.Subsystem
+	snap         *Snapshot
+	snapPristine bool
+
+	// Byte-identity bookkeeping for the ImportCheckpoint fast paths:
+	// snapCache holds the snapshots captured by the most recent imports,
+	// keyed by the exact blob bytes, so re-importing one of them (the
+	// lineage scheduler alternates between a post-prefix and a pristine
+	// blob) rewinds by generation-checked restore instead of a gob decode.
+	// exportBlob/exportGens record the last ExportCheckpoint and the
+	// subsystem generations at that moment. All cleared on boot — they
+	// refer to the previous subsystem tree.
+	snapCache  [2]snapCacheEntry
+	exportBlob []byte
+	exportGens []uint64
 
 	// knobSets is the live runtime-parameter state per driver family, in
 	// model driver-list order.
@@ -203,8 +219,9 @@ type Device struct {
 
 	// Counters are atomics: the broker reads them for Info/Stats while
 	// another goroutine may be resetting the device.
-	reboots  atomic.Int64
-	restores atomic.Int64
+	reboots   atomic.Int64
+	restores  atomic.Int64
+	halDeaths atomic.Int64
 }
 
 // HAL process PIDs start here; the native executor uses NativePID.
@@ -295,6 +312,19 @@ func newHALService(desc string, sys *hal.Sys, b bugs.Set) halService {
 }
 
 func (d *Device) boot() {
+	d.bootTree()
+	// The checkpoint is taken at the very end of boot, so every Reboot —
+	// including the probing pass's trailing one — refreshes the snapshot.
+	d.snap = captureSnapshot(d.subs)
+	d.snapPristine = true
+	d.snapCache = [2]snapCacheEntry{}
+	d.exportBlob, d.exportGens = nil, nil
+}
+
+// bootTree constructs the subsystem tree without capturing a snapshot.
+// Clone twins boot their tree, import the source checkpoint, and only then
+// capture (or share) a snapshot of the imported state.
+func (d *Device) bootTree() {
 	k := vkernel.New()
 	subs := make([]snap.Subsystem, 0, 2+len(d.Model.Drivers)+len(d.Model.HALs)+3)
 	subs = append(subs, k, k.Heap)
@@ -326,6 +356,10 @@ func (d *Device) boot() {
 		proc.SetRebuild(func() binder.Service {
 			return newHALService(desc, sys, d.Model.Bugs)
 		})
+		// The device plays the framework's death-recipient role: every
+		// HAL death is counted, and respawn paths (reboot here, Restore
+		// in hal) re-arm the one-shot notification.
+		proc.LinkToDeath(func() { d.halDeaths.Add(1) })
 		d.Procs = append(d.Procs, proc)
 		sm.Register(proc)
 		subs = append(subs, proc)
@@ -334,9 +368,6 @@ func (d *Device) boot() {
 	d.FW = hal.NewFramework(sm)
 	subs = append(subs, sm, d.FW, d.Hub)
 	d.subs = subs
-	// The checkpoint is taken at the very end of boot, so every Reboot —
-	// including the probing pass's trailing one — refreshes the snapshot.
-	d.snap = captureSnapshot(subs)
 }
 
 // Reboot tears the device down and boots fresh kernel and HAL state, as the
@@ -352,6 +383,11 @@ func (d *Device) Reboots() int { return int(d.reboots.Load()) }
 
 // Restores reports how many times the device was snapshot-restored.
 func (d *Device) Restores() int { return int(d.restores.Load()) }
+
+// HALDeaths reports how many HAL death notifications the device received.
+// Each alive→dead transition of a process with an armed recipient counts
+// once; respawn paths (reboot, restore) re-arm.
+func (d *Device) HALDeaths() int { return int(d.halDeaths.Load()) }
 
 // Healthy reports whether the kernel is not wedged and every HAL process is
 // alive.

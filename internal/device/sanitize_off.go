@@ -9,3 +9,7 @@ const SanitizeEnabled = false
 // from Restore entirely. Build with -tags droidfuzz_sanitize to cross-check
 // every restored device against a freshly booted one.
 func verifyRestore(*Device) {}
+
+// verifyImport is a no-op in normal builds. Build with -tags
+// droidfuzz_sanitize to cross-check every checkpoint import by re-export.
+func verifyImport(*Device, []any) {}

@@ -21,6 +21,11 @@ const SanitizeEnabled = true
 // mutation path or an incomplete Restore — and panics with the offending
 // subsystem.
 func verifyRestore(d *Device) {
+	if !d.snapPristine {
+		// The reset point is an imported checkpoint, not a fresh boot;
+		// import fidelity is cross-checked by verifyImport instead.
+		return
+	}
 	fresh := New(d.Model)
 	if len(fresh.subs) != len(d.subs) {
 		panic(fmt.Sprintf("droidfuzz_sanitize: restored device has %d subsystems, fresh boot has %d",
@@ -62,5 +67,20 @@ func verifyRestore(d *Device) {
 	}
 	if !d.Healthy() {
 		panic("droidfuzz_sanitize: restored device not healthy")
+	}
+}
+
+// verifyImport cross-checks checkpoint-import fidelity: after importing,
+// re-exporting every subsystem must reproduce the source blobs exactly.
+// A mismatch means an Export/Import pair drops or distorts state — the
+// round trip is the invariant that makes clone twins equivalent to the
+// source device.
+func verifyImport(d *Device, blobs []any) {
+	for i, sub := range d.subs {
+		got := sub.Export()
+		if !reflect.DeepEqual(got, blobs[i]) {
+			panic(fmt.Sprintf("droidfuzz_sanitize: subsystem %d (%T) re-export %#v != imported blob %#v",
+				i, sub, got, blobs[i]))
+		}
 	}
 }

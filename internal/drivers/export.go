@@ -1,0 +1,433 @@
+package drivers
+
+import "sort"
+
+// Portable checkpoint export/import for every driver family. Each blob is
+// an exported-field mirror of the checkpoint state in snapshot.go so it
+// survives a gob round-trip; maps become slices sorted by key so the
+// encoding is deterministic. Like checkpoint payloads, exported blobs are
+// immutable once built — one blob may be imported into many clone twins,
+// so Import converts back to the unexported state type and reuses Restore
+// (which copies, never aliases).
+
+// --- TCPC ---
+
+// TCPCExport is the TCPC driver's portable checkpoint blob.
+type TCPCExport struct {
+	Mode      uint64
+	VoltageMV uint64
+	Toggling  bool
+	Attached  bool
+	AlertMask uint64
+	VbusOn    bool
+	Probed    bool
+	I2CRegs   [256]byte
+	Opens     int
+}
+
+// Export implements snap.Subsystem.
+func (d *TCPCDriver) Export() any {
+	st := d.Checkpoint().(*tcpcState)
+	return &TCPCExport{
+		Mode: st.mode, VoltageMV: st.voltageMV, Toggling: st.toggling,
+		Attached: st.attached, AlertMask: st.alertMask, VbusOn: st.vbusOn,
+		Probed: st.probed, I2CRegs: st.i2cRegs, Opens: st.opens,
+	}
+}
+
+// Import implements snap.Subsystem.
+func (d *TCPCDriver) Import(b any) {
+	e := b.(*TCPCExport)
+	d.Restore(&tcpcState{
+		mode: e.Mode, voltageMV: e.VoltageMV, toggling: e.Toggling,
+		attached: e.Attached, alertMask: e.AlertMask, vbusOn: e.VbusOn,
+		probed: e.Probed, i2cRegs: e.I2CRegs, opens: e.Opens,
+	})
+	d.Touch()
+}
+
+// --- HCI ---
+
+// HCIConnExport is one connection entry in an HCIExport.
+type HCIConnExport struct {
+	Handle uint64
+	Peer   uint64
+	SSP    bool
+	State  uint64
+	Obj    uint64
+}
+
+// HCIExport is the HCI driver's portable checkpoint blob.
+type HCIExport struct {
+	Up         bool
+	ScanMode   uint64
+	Inquiring  bool
+	CodecTable uint64
+	CodecStale bool
+	Conns      []HCIConnExport // sorted by handle
+	AcceptQ    []uint64
+	NextHandle uint64
+	Name       string
+}
+
+// Export implements snap.Subsystem.
+func (d *HCIDriver) Export() any {
+	st := d.Checkpoint().(*hciState)
+	e := &HCIExport{
+		Up: st.up, ScanMode: st.scanMode, Inquiring: st.inquiring,
+		CodecTable: st.codecTable, CodecStale: st.codecStale,
+		Conns:      make([]HCIConnExport, 0, len(st.conns)),
+		NextHandle: st.nextHandle, Name: st.name,
+	}
+	for h, conn := range st.conns { //droidvet:nondet collect-then-sort map export
+		e.Conns = append(e.Conns, HCIConnExport{
+			Handle: h, Peer: conn.peer, SSP: conn.ssp,
+			State: uint64(conn.state), Obj: conn.obj,
+		})
+	}
+	sort.Slice(e.Conns, func(i, j int) bool { return e.Conns[i].Handle < e.Conns[j].Handle })
+	if len(e.Conns) == 0 {
+		e.Conns = nil // canonical: empty exports as nil (gob round-trip shape)
+	}
+	if st.acceptQ != nil {
+		e.AcceptQ = append([]uint64(nil), st.acceptQ...)
+	}
+	return e
+}
+
+// Import implements snap.Subsystem.
+func (d *HCIDriver) Import(b any) {
+	e := b.(*HCIExport)
+	conns := make(map[uint64]hciConnection, len(e.Conns))
+	for _, ce := range e.Conns {
+		conns[ce.Handle] = hciConnection{
+			handle: ce.Handle, peer: ce.Peer, ssp: ce.SSP,
+			state: hciConnState(ce.State), obj: ce.Obj,
+		}
+	}
+	d.Restore(&hciState{
+		up: e.Up, scanMode: e.ScanMode, inquiring: e.Inquiring,
+		codecTable: e.CodecTable, codecStale: e.CodecStale,
+		conns: conns, acceptQ: e.AcceptQ,
+		nextHandle: e.NextHandle, name: e.Name,
+	})
+	d.Touch()
+}
+
+// --- L2CAP ---
+
+// Export implements snap.Subsystem. All L2CAP state is per-fd and dies
+// with the kernel fd table.
+func (d *L2CAPDriver) Export() any { return nil }
+
+// Import implements snap.Subsystem.
+func (d *L2CAPDriver) Import(any) {}
+
+// --- V4L2 ---
+
+// V4L2Export is the V4L2 driver's portable checkpoint blob.
+type V4L2Export struct {
+	Width     uint64
+	Height    uint64
+	Pixfmt    uint64
+	NBufs     uint64
+	Queued    []uint64
+	Streaming bool
+	Frames    uint64
+	CtrlIDs   []uint64 // sorted; CtrlVals is parallel
+	CtrlVals  []uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *V4L2Driver) Export() any {
+	st := d.Checkpoint().(*v4l2State)
+	e := &V4L2Export{
+		Width: st.width, Height: st.height, Pixfmt: st.pixfmt, NBufs: st.nbufs,
+		Streaming: st.streaming, Frames: st.frames,
+		CtrlIDs: make([]uint64, 0, len(st.ctrls)),
+	}
+	if st.queued != nil {
+		e.Queued = append([]uint64(nil), st.queued...)
+	}
+	for id := range st.ctrls { //droidvet:nondet collect-then-sort map export
+		e.CtrlIDs = append(e.CtrlIDs, id)
+	}
+	sort.Slice(e.CtrlIDs, func(i, j int) bool { return e.CtrlIDs[i] < e.CtrlIDs[j] })
+	if len(e.CtrlIDs) == 0 {
+		e.CtrlIDs = nil // canonical: empty exports as nil (gob round-trip shape)
+		return e
+	}
+	e.CtrlVals = make([]uint64, len(e.CtrlIDs))
+	for i, id := range e.CtrlIDs {
+		e.CtrlVals[i] = st.ctrls[id]
+	}
+	return e
+}
+
+// Import implements snap.Subsystem.
+func (d *V4L2Driver) Import(b any) {
+	e := b.(*V4L2Export)
+	ctrls := make(map[uint64]uint64, len(e.CtrlIDs))
+	for i, id := range e.CtrlIDs {
+		ctrls[id] = e.CtrlVals[i]
+	}
+	d.Restore(&v4l2State{
+		width: e.Width, height: e.Height, pixfmt: e.Pixfmt, nbufs: e.NBufs,
+		queued: e.Queued, streaming: e.Streaming, frames: e.Frames, ctrls: ctrls,
+	})
+	d.Touch()
+}
+
+// --- Audio ---
+
+// AudioExport is the audio driver's portable checkpoint blob.
+type AudioExport struct {
+	State    uint64
+	Rate     uint64
+	Channels uint64
+	Period   uint64
+	Buffered uint64
+	Volume   uint64
+	Pos      uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *AudioDriver) Export() any {
+	st := d.Checkpoint().(*audioState)
+	return &AudioExport{
+		State: uint64(st.state), Rate: st.rate, Channels: st.channels,
+		Period: st.period, Buffered: st.buffered, Volume: st.volume, Pos: st.pos,
+	}
+}
+
+// Import implements snap.Subsystem.
+func (d *AudioDriver) Import(b any) {
+	e := b.(*AudioExport)
+	d.Restore(&audioState{
+		state: pcmState(e.State), rate: e.Rate, channels: e.Channels,
+		period: e.Period, buffered: e.Buffered, volume: e.Volume, pos: e.Pos,
+	})
+	d.Touch()
+}
+
+// --- GPU ---
+
+// GPUExport is the GPU driver's portable checkpoint blob. Buffers and
+// sizes share a key space, so one sorted handle slice indexes both.
+type GPUExport struct {
+	BufHandles []uint64 // sorted; BufRefs/BufSizes are parallel
+	BufRefs    []uint64
+	BufSizes   []uint64
+	NextBuf    uint64
+	Fence      uint64
+	CtxPrio    uint64
+	Submits    uint64
+	MapCount   uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *GPUDriver) Export() any {
+	st := d.Checkpoint().(*gpuState)
+	e := &GPUExport{
+		BufHandles: make([]uint64, 0, len(st.buffers)),
+		NextBuf:    st.nextBuf, Fence: st.fence, CtxPrio: st.ctxPrio,
+		Submits: st.submits, MapCount: st.mapCount,
+	}
+	for h := range st.buffers { //droidvet:nondet collect-then-sort map export
+		e.BufHandles = append(e.BufHandles, h)
+	}
+	sort.Slice(e.BufHandles, func(i, j int) bool { return e.BufHandles[i] < e.BufHandles[j] })
+	if len(e.BufHandles) == 0 {
+		e.BufHandles = nil // canonical: empty exports as nil (gob round-trip shape)
+		return e
+	}
+	e.BufRefs = make([]uint64, len(e.BufHandles))
+	e.BufSizes = make([]uint64, len(e.BufHandles))
+	for i, h := range e.BufHandles {
+		e.BufRefs[i] = st.buffers[h]
+		e.BufSizes[i] = st.sizes[h]
+	}
+	return e
+}
+
+// Import implements snap.Subsystem.
+func (d *GPUDriver) Import(b any) {
+	e := b.(*GPUExport)
+	buffers := make(map[uint64]uint64, len(e.BufHandles))
+	sizes := make(map[uint64]uint64, len(e.BufHandles))
+	for i, h := range e.BufHandles {
+		buffers[h] = e.BufRefs[i]
+		sizes[h] = e.BufSizes[i]
+	}
+	d.Restore(&gpuState{
+		buffers: buffers, sizes: sizes,
+		nextBuf: e.NextBuf, fence: e.Fence, ctxPrio: e.CtxPrio,
+		submits: e.Submits, mapCount: e.MapCount,
+	})
+	d.Touch()
+}
+
+// --- WLAN ---
+
+// WLANExport is the WLAN driver's portable checkpoint blob.
+type WLANExport struct {
+	Scanned  bool
+	Assoc    bool
+	WasAssoc bool
+	BSSID    uint64
+	RateMask uint64
+	Channel  uint64
+	Power    uint64
+	TxFrames uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *WLANDriver) Export() any {
+	st := d.Checkpoint().(*wlanState)
+	return &WLANExport{
+		Scanned: st.scanned, Assoc: st.assoc, WasAssoc: st.wasAssoc,
+		BSSID: st.bssid, RateMask: st.rateMask, Channel: st.channel,
+		Power: st.power, TxFrames: st.txFrames,
+	}
+}
+
+// Import implements snap.Subsystem.
+func (d *WLANDriver) Import(b any) {
+	e := b.(*WLANExport)
+	d.Restore(&wlanState{
+		scanned: e.Scanned, assoc: e.Assoc, wasAssoc: e.WasAssoc,
+		bssid: e.BSSID, rateMask: e.RateMask, channel: e.Channel,
+		power: e.Power, txFrames: e.TxFrames,
+	})
+	d.Touch()
+}
+
+// --- Sensor hub ---
+
+// SensorExport is the sensor hub's portable checkpoint blob.
+type SensorExport struct {
+	Enabled  [8]bool
+	Freq     uint64
+	Triggers uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *SensorDriver) Export() any {
+	st := d.Checkpoint().(*sensorState)
+	return &SensorExport{Enabled: st.enabled, Freq: st.freq, Triggers: st.triggers}
+}
+
+// Import implements snap.Subsystem.
+func (d *SensorDriver) Import(b any) {
+	e := b.(*SensorExport)
+	d.Restore(&sensorState{enabled: e.Enabled, freq: e.Freq, triggers: e.Triggers})
+	d.Touch()
+}
+
+// --- NFC ---
+
+// NFCExport is the NFC driver's portable checkpoint blob.
+type NFCExport struct {
+	Powered bool
+	FwLen   uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *NFCDriver) Export() any {
+	st := d.Checkpoint().(*nfcState)
+	return &NFCExport{Powered: st.powered, FwLen: st.fwLen}
+}
+
+// Import implements snap.Subsystem.
+func (d *NFCDriver) Import(b any) {
+	e := b.(*NFCExport)
+	d.Restore(&nfcState{powered: e.Powered, fwLen: e.FwLen})
+	d.Touch()
+}
+
+// --- Thermal ---
+
+// ThermalExport is the thermal driver's portable checkpoint blob.
+type ThermalExport struct {
+	Trips  [4]uint64
+	Policy uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *ThermalDriver) Export() any {
+	st := d.Checkpoint().(*thermalState)
+	return &ThermalExport{Trips: st.trips, Policy: st.policy}
+}
+
+// Import implements snap.Subsystem.
+func (d *ThermalDriver) Import(b any) {
+	e := b.(*ThermalExport)
+	d.Restore(&thermalState{trips: e.Trips, policy: e.Policy})
+	d.Touch()
+}
+
+// --- Touch ---
+
+// TouchExport is the touch controller's portable checkpoint blob.
+type TouchExport struct {
+	Calibrated bool
+	Mode       uint64
+	GridW      uint64
+	GridH      uint64
+	FwVersion  uint64
+	Events     uint64
+	SelfTests  uint64
+}
+
+// Export implements snap.Subsystem.
+func (d *TouchDriver) Export() any {
+	st := d.Checkpoint().(*touchState)
+	return &TouchExport{
+		Calibrated: st.calibrated, Mode: st.mode, GridW: st.gridW, GridH: st.gridH,
+		FwVersion: st.fwVersion, Events: st.events, SelfTests: st.selfTests,
+	}
+}
+
+// Import implements snap.Subsystem.
+func (d *TouchDriver) Import(b any) {
+	e := b.(*TouchExport)
+	d.Restore(&touchState{
+		calibrated: e.Calibrated, mode: e.Mode, gridW: e.GridW, gridH: e.GridH,
+		fwVersion: e.FwVersion, events: e.Events, selfTests: e.SelfTests,
+	})
+	d.Touch()
+}
+
+// --- Runtime-parameter knobs ---
+
+// KnobsExport is the portable checkpoint blob for one driver's sysfs
+// knobs. Slots are positional: spec tables are model-independent per
+// family, so index i means the same knob on every same-model twin.
+type KnobsExport struct {
+	Family string
+	Ints   []uint64
+	Strs   []string
+}
+
+// Export implements snap.Subsystem.
+func (ks *Knobs) Export() any {
+	st := ks.Checkpoint().(*knobsState)
+	return &KnobsExport{
+		Family: ks.family,
+		Ints:   append([]uint64(nil), st.ints...),
+		Strs:   append([]string(nil), st.strs...),
+	}
+}
+
+// Import implements snap.Subsystem.
+func (ks *Knobs) Import(b any) {
+	e := b.(*KnobsExport)
+	if e.Family != ks.family || len(e.Ints) != len(ks.specs) {
+		panic("drivers: knob checkpoint does not match this driver family")
+	}
+	ks.Restore(&knobsState{
+		ints: append([]uint64(nil), e.Ints...),
+		strs: append([]string(nil), e.Strs...),
+	})
+	ks.Touch()
+}

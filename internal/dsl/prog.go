@@ -259,6 +259,9 @@ func RandomArg(t Type, rng *rand.Rand) Arg {
 		rng.Read(b)
 		return Arg{Data: b}
 	case KindString:
+		if len(t.StrWeights) == len(t.StrChoices) && len(t.StrChoices) > 0 {
+			return weightedStringArg(t, rng)
+		}
 		if len(t.StrChoices) > 0 && rng.Intn(4) != 0 {
 			return Arg{Str: t.StrChoices[rng.Intn(len(t.StrChoices))]}
 		}
@@ -280,6 +283,49 @@ func RandomArg(t Type, rng *rand.Rand) Arg {
 	default:
 		return Arg{}
 	}
+}
+
+// weightedStringArg draws a string choice by probe-observed weight, then
+// occasionally applies a grammar-adjacent mutation — a single byte flip or
+// a splice with another weighted choice — so generation concentrates on
+// the values real init traffic writes while still probing the parser
+// around them. Only types whose probing pass attached weights take this
+// path, so weight-free targets replay bit-identically to historical seeds.
+func weightedStringArg(t Type, rng *rand.Rand) Arg {
+	s := t.StrChoices[weightedIndex(t.StrWeights, rng)]
+	switch rng.Intn(8) {
+	case 0:
+		if len(s) > 0 {
+			b := []byte(s)
+			b[rng.Intn(len(b))] ^= byte(1 << uint(rng.Intn(8)))
+			s = string(b)
+		}
+	case 1:
+		d := t.StrChoices[weightedIndex(t.StrWeights, rng)]
+		s = s[:rng.Intn(len(s)+1)] + d[rng.Intn(len(d)+1):]
+	}
+	return Arg{Str: s}
+}
+
+// weightedIndex draws an index with probability proportional to w. Probe
+// normalization keeps every weight positive; a degenerate all-zero slice
+// falls back to a uniform draw.
+func weightedIndex(w []float64, rng *rand.Rand) int {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		return rng.Intn(len(w))
+	}
+	x := rng.Float64() * total
+	for i, v := range w {
+		x -= v
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(w) - 1
 }
 
 // FixupLens recomputes every KindLen argument of the call from the current

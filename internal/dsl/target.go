@@ -139,6 +139,11 @@ func (t *Target) Hash() uint64 {
 			for _, s := range f.Type.StrChoices {
 				fmt.Fprintf(h, "%s,", s)
 			}
+			// Weights hash only when present, so weight-free targets keep
+			// their historical fingerprints.
+			for _, w := range f.Type.StrWeights {
+				fmt.Fprintf(h, "%g;", w)
+			}
 		}
 	}
 	return h.Sum64()

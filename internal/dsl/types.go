@@ -64,7 +64,12 @@ type Type struct {
 	BufLen     int      // KindBuffer maximum length
 	Res        string   // KindResource resource kind, e.g. "fd_tcpc", "hal_layer"
 	StrChoices []string // KindFilename / KindString candidates
-	Val        uint64   // KindConst value
+	// StrWeights, when parallel to StrChoices, biases KindString draws by
+	// probe-observed occurrence weight (the string-knob grammar: values a
+	// vendor init script actually writes dominate, the rest stay live).
+	// Empty means uniform draws — the historical behavior.
+	StrWeights []float64
+	Val        uint64 // KindConst value
 	LenOf      string   // KindLen: name of the buffer field measured
 	// Hints are argument values observed in real traffic (the probing
 	// pass harvests them from framework→HAL IPC); generation draws from

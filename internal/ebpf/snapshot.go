@@ -12,5 +12,12 @@ func (h *Hub) Checkpoint() any { return nil }
 // Restore implements snap.Subsystem.
 func (h *Hub) Restore(any) {}
 
+// Export implements snap.Subsystem. Probes are harness wiring, not device
+// state: each twin's broker installs its own.
+func (h *Hub) Export() any { return nil }
+
+// Import implements snap.Subsystem.
+func (h *Hub) Import(any) {}
+
 // Gen implements snap.Subsystem.
 func (h *Hub) Gen() uint64 { return 0 }

@@ -82,6 +82,24 @@ type Config struct {
 	// subsampling keeps the ordering guidance at a bounded dilution cost.
 	// Set to Disabled to never admit direction-only novelty.
 	DirAdmitProb float64
+	// Reset selects the pristine-reset campaign mode: "" or ResetNever
+	// accumulates device state within a boot (historical behavior),
+	// ResetExec restores the pristine checkpoint before every program, and
+	// ResetBatch before every batch (every DefaultBatchSize executions in
+	// unbatched modes). The exec/batch modes lean on the snapshot restore
+	// path, so their steady-state cost is an O(dirty-state) rewind per
+	// reset, not a reboot.
+	Reset string
+	// LineageK, when positive and the executor supports checkpoint
+	// portability (adb.Cloner), enables fork-style corpus fan-out: a
+	// corpus admission carrying new kernel coverage checkpoints the
+	// post-prefix device state and runs LineageK independent mutation
+	// lineages against it, each inheriting the prefix's device state
+	// without re-executing the prefix. 0 disables fan-out.
+	LineageK int
+	// LineageLen is the number of mutants each lineage executes
+	// (default 8 when LineageK is set).
+	LineageLen int
 	// Gen forwards generation options.
 	Gen gen.Options
 }
@@ -124,18 +142,25 @@ func (c *Config) defaults() {
 	if c.MaxMinimizeExecs == 0 {
 		c.MaxMinimizeExecs = 12
 	}
+	if c.Reset == "" {
+		c.Reset = ResetNever
+	}
+	if c.LineageK > 0 && c.LineageLen <= 0 {
+		c.LineageLen = 8
+	}
 	c.Gen.NoRelations = c.NoRelations
 }
 
 // Stats are engine counters.
 type Stats struct {
-	Execs       uint64
-	Generated   uint64
-	Mutated     uint64
-	NewSignal   uint64
-	ExecErrors  uint64
-	ParamWrites uint64
-	CorpusSize  int
+	Execs        uint64
+	Generated    uint64
+	Mutated      uint64
+	NewSignal    uint64
+	ExecErrors   uint64
+	ParamWrites  uint64
+	LineageExecs uint64
+	CorpusSize   int
 	Crashes     int
 	UniqueBugs  int
 	Reboots     int
@@ -168,18 +193,25 @@ type Engine struct {
 	// Serial campaigns leave it nil and learn synchronously.
 	learnBuf *relation.LearnBuffer
 
+	// pristine caches the campaign's pristine checkpoint blob so lineage
+	// fan-outs can wind the device back without re-exporting it every
+	// time; inLineage guards against a fan-out triggering another fan-out.
+	pristine  []byte
+	inLineage bool
+
 	// Counters are atomics so the daemon's status path can snapshot them
 	// mid-campaign without stalling the engine goroutine. Only the engine
 	// itself writes them.
-	execs       atomic.Uint64
-	generated   atomic.Uint64
-	mutated     atomic.Uint64
-	newSig      atomic.Uint64
-	execErrors  atomic.Uint64
-	paramWrites atomic.Uint64
-	crashes    atomic.Int64
-	reboots    atomic.Int64
-	restores   atomic.Int64
+	execs        atomic.Uint64
+	generated    atomic.Uint64
+	mutated      atomic.Uint64
+	newSig       atomic.Uint64
+	execErrors   atomic.Uint64
+	paramWrites  atomic.Uint64
+	lineageExecs atomic.Uint64
+	crashes      atomic.Int64
+	reboots      atomic.Int64
+	restores     atomic.Int64
 }
 
 // New builds an engine over an executor whose target already includes
@@ -267,13 +299,14 @@ func (e *Engine) Execs() uint64 { return e.execs.Load() }
 // short independent lock.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Execs:       e.execs.Load(),
-		Generated:   e.generated.Load(),
-		Mutated:     e.mutated.Load(),
-		NewSignal:   e.newSig.Load(),
-		ExecErrors:  e.execErrors.Load(),
-		ParamWrites: e.paramWrites.Load(),
-		CorpusSize:  e.corpus.Len(),
+		Execs:        e.execs.Load(),
+		Generated:    e.generated.Load(),
+		Mutated:      e.mutated.Load(),
+		NewSignal:    e.newSig.Load(),
+		ExecErrors:   e.execErrors.Load(),
+		ParamWrites:  e.paramWrites.Load(),
+		LineageExecs: e.lineageExecs.Load(),
+		CorpusSize:   e.corpus.Len(),
 		Crashes:     int(e.crashes.Load()),
 		UniqueBugs:  e.dedup.Len(),
 		Reboots:     int(e.reboots.Load()),
@@ -412,6 +445,7 @@ func (e *Engine) Step() {
 // is pooled — the steady state allocates only when the program is actually
 // admitted.
 func (e *Engine) stepWith(p *dsl.Prog, generated bool) {
+	e.preExecReset()
 	res, sig := e.exec(p)
 	e.feed(p, generated, res, sig)
 }
@@ -427,6 +461,7 @@ func (e *Engine) feed(p *dsl.Prog, generated bool, res *adb.ExecResult, sig *fee
 		e.mutated.Add(1)
 	}
 
+	var lineageSeed *dsl.Prog
 	newElems := e.acc.MergeNew(sig)
 	if newElems.Len() > 0 {
 		e.newSig.Add(1)
@@ -440,6 +475,12 @@ func (e *Engine) feed(p *dsl.Prog, generated bool, res *adb.ExecResult, sig *fee
 			if !e.cfg.NoRelations {
 				e.learn(admitted)
 			}
+			// Kernel-productive admissions are fan-out points: the lineage
+			// scheduler forks the post-prefix device state K ways once the
+			// pooled per-execution state is released below.
+			if e.cfg.LineageK > 0 && !e.inLineage && newElems.KernelLen() > 0 {
+				lineageSeed = admitted
+			}
 		}
 		// Direction-only novelty below the subsample was already folded
 		// into the accumulator by MergeNew, so it stops counting as new
@@ -448,6 +489,10 @@ func (e *Engine) feed(p *dsl.Prog, generated bool, res *adb.ExecResult, sig *fee
 	newElems.Release()
 	sig.Release()
 	res.Release()
+
+	if lineageSeed != nil {
+		e.lineage(lineageSeed)
+	}
 
 	if e.cfg.DecayEvery > 0 && e.execs.Load()%e.cfg.DecayEvery == 0 {
 		e.graph.Decay(e.cfg.DecayFactor, 0.01)
@@ -603,6 +648,7 @@ func (e *Engine) consumeBatched(ch chan pending, bx adb.BatchExecutor, batch int
 		if len(items) == 0 {
 			return
 		}
+		e.preBatchReset()
 		results, _ := bx.ExecBatch(adb.ExecBatchRequest{Progs: texts, Summary: true})
 		for i := range items {
 			var res *adb.ExecResult

@@ -226,6 +226,14 @@ type Process struct {
 	mu      sync.Mutex
 	dead    bool
 	crashes []Crash
+
+	// deathFn is the installed death recipient (binderLinkToDeath): fired
+	// once per alive→dead transition, then disarmed until the process is
+	// respawned — a reboot constructs fresh armed processes, and Restore
+	// re-arms explicitly (a restored-to-alive process must notify again if
+	// it dies on the next exec).
+	deathFn    func()
+	deathArmed bool
 }
 
 // NewProcess wraps a service in a process with the given PID.
@@ -240,6 +248,17 @@ func NewProcess(pid int, svc binder.Service, label string) *Process {
 func (p *Process) SetRebuild(f func() binder.Service) {
 	p.mu.Lock()
 	p.rebuild = f
+	p.mu.Unlock()
+}
+
+// LinkToDeath installs fn as the process's death recipient, as a client
+// registering binderLinkToDeath would. The recipient fires once on the
+// next alive→dead transition (outside process locks) and is re-armed by
+// respawn paths: reboot and Restore.
+func (p *Process) LinkToDeath(fn func()) {
+	p.mu.Lock()
+	p.deathFn = fn
+	p.deathArmed = fn != nil
 	p.mu.Unlock()
 }
 
@@ -284,7 +303,17 @@ func (p *Process) Transact(code uint32, in, out *binder.Parcel) (st binder.Statu
 			p.mu.Lock()
 			p.dead = true
 			p.crashes = append(p.crashes, c)
+			var death func()
+			if p.deathArmed {
+				p.deathArmed = false
+				death = p.deathFn
+			}
 			p.mu.Unlock()
+			// One-shot death notification, delivered outside p.mu: the
+			// recipient may inspect arbitrary device state.
+			if death != nil {
+				death()
+			}
 			st = binder.StatusDeadObject
 		}
 	}()

@@ -21,7 +21,11 @@ func (p *Process) Checkpoint() any {
 }
 
 // Restore implements snap.Subsystem. Undrained crash records are dropped
-// along with the dead service instance.
+// along with the dead service instance. The death recipient is re-armed:
+// a restore respawns the process the same way init does after a crash, so
+// a HAL that died mid-batch and was wound back to alive must deliver a
+// fresh notification if it dies again on the next exec — previously only
+// the reboot fallback (which constructs new armed processes) did this.
 func (p *Process) Restore(s any) {
 	st := s.(*procState)
 	p.mu.Lock()
@@ -31,6 +35,28 @@ func (p *Process) Restore(s any) {
 	}
 	p.dead = st.dead
 	p.crashes = nil
+	p.deathArmed = p.deathFn != nil && !st.dead
+}
+
+// ProcExport is the Process's portable checkpoint blob. The service
+// internals are opaque, so the only transferable state is liveness; the
+// importing twin rebuilds its own same-model service instance.
+type ProcExport struct {
+	Dead bool
+}
+
+// Export implements snap.Subsystem.
+func (p *Process) Export() any {
+	st := p.Checkpoint().(*procState)
+	return &ProcExport{Dead: st.dead}
+}
+
+// Import implements snap.Subsystem. The receiver keeps its own rebuild
+// closure and death recipient; Restore re-arms the latter.
+func (p *Process) Import(b any) {
+	e := b.(*ProcExport)
+	p.Restore(&procState{dead: e.Dead})
+	p.Touch()
 }
 
 // Framework is a stateless dispatcher over the ServiceManager; it has
@@ -42,6 +68,12 @@ func (f *Framework) Checkpoint() any { return nil }
 
 // Restore implements snap.Subsystem.
 func (f *Framework) Restore(any) {}
+
+// Export implements snap.Subsystem.
+func (f *Framework) Export() any { return nil }
+
+// Import implements snap.Subsystem.
+func (f *Framework) Import(any) {}
 
 // Gen implements snap.Subsystem.
 func (f *Framework) Gen() uint64 { return 0 }

@@ -1,0 +1,89 @@
+package kasan
+
+import "sort"
+
+// Portable checkpoint export/import. The blob mirrors heapState with
+// exported fields only; live objects become a slice sorted by ID so the
+// encoding is deterministic regardless of map iteration order.
+
+// HeapObjectExport is one live or quarantined allocation in a HeapExport.
+type HeapObjectExport struct {
+	ID        uint64
+	Size      int
+	Data      []byte
+	Freed     bool
+	AllocSite string
+	FreeSite  string
+}
+
+// HeapExport is the Heap's portable checkpoint blob.
+type HeapExport struct {
+	Objects    []HeapObjectExport // sorted by ID
+	NextID     uint64
+	Quarantine []uint64
+	QuarCap    int
+	Allocs     uint64
+	Frees      uint64
+}
+
+// Export implements snap.Subsystem.
+func (h *Heap) Export() any {
+	st := h.Checkpoint().(*heapState)
+	e := &HeapExport{
+		Objects: make([]HeapObjectExport, 0, len(st.objects)),
+		NextID:  st.nextID,
+		QuarCap: st.quarCap,
+		Allocs:  st.allocs,
+		Frees:   st.frees,
+	}
+	for id, obj := range st.objects { //droidvet:nondet collect-then-sort map export
+		e.Objects = append(e.Objects, HeapObjectExport{
+			ID:        id,
+			Size:      obj.size,
+			Data:      obj.data, // checkpoint already deep-copied
+			Freed:     obj.state == stateFreed,
+			AllocSite: obj.allocSite,
+			FreeSite:  obj.freeSite,
+		})
+	}
+	sort.Slice(e.Objects, func(i, j int) bool { return e.Objects[i].ID < e.Objects[j].ID })
+	if len(e.Objects) == 0 {
+		// Canonical form: empty collections export as nil, matching what a
+		// gob round trip decodes — sanitize builds compare re-exports
+		// against decoded blobs with reflect.DeepEqual.
+		e.Objects = nil
+	}
+	if st.quarantine != nil {
+		e.Quarantine = append([]uint64(nil), st.quarantine...)
+	}
+	return e
+}
+
+// Import implements snap.Subsystem.
+func (h *Heap) Import(b any) {
+	e := b.(*HeapExport)
+	objects := make(map[uint64]object, len(e.Objects))
+	for _, oe := range e.Objects {
+		st := stateLive
+		if oe.Freed {
+			st = stateFreed
+		}
+		objects[oe.ID] = object{
+			id:        oe.ID,
+			size:      oe.Size,
+			data:      oe.Data, // Restore deep-copies out of the payload
+			state:     st,
+			allocSite: oe.AllocSite,
+			freeSite:  oe.FreeSite,
+		}
+	}
+	h.Restore(&heapState{
+		objects:    objects,
+		nextID:     e.NextID,
+		quarantine: e.Quarantine,
+		quarCap:    e.QuarCap,
+		allocs:     e.Allocs,
+		frees:      e.Frees,
+	})
+	h.Touch()
+}

@@ -1,0 +1,253 @@
+// PR 8 portable-checkpoint benchmarks: hot-device cloning against serial
+// fleet boot, lineage fan-out against flat prefix re-execution, and the
+// per-exec cost of pristine-reset campaign mode.
+//
+// The standup pair measures what Clone exists to amortize: producing N
+// ready fuzzing devices. The boot baseline pays N full standups (boot +
+// HAL probe + target extension); the clone path pays one and stamps out
+// twins, sharing the probed target and the captured snapshot payloads.
+//
+// The fan-out pair measures the lineage scheduler's core trade at the
+// broker level: to evaluate K*L mutations of a common prefix, the flat
+// path re-resets and re-executes prefix+tail every time, while the
+// checkpoint path executes the prefix once, exports, and re-imports the
+// post-prefix state per lineage — each tail then runs alone.
+package perf
+
+import (
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/crash"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/probe"
+	"droidfuzz/internal/relation"
+)
+
+// CloneFleetN is the fleet size both standup benchmarks produce per
+// operation; the PR 8 acceptance floor is stated for this N.
+const CloneFleetN = 8
+
+// standupOne is one full device standup the way the daemon does it: boot,
+// probe the HALs, extend the target with the probed interfaces.
+func standupOne(modelID string) (*device.Device, *dsl.Target, error) {
+	model, err := device.ModelByID(modelID)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := device.New(model)
+	target, err := dsl.NewTarget(dev.SyscallDescs()...)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr, err := probe.Run(dev, probe.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	target, err = target.Extend(pr.Interfaces...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dev, target, nil
+}
+
+// BootStandup8 is the baseline: stand up CloneFleetN ready devices by
+// booting and probing each one independently.
+func BootStandup8(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < CloneFleetN; n++ {
+			dev, target, err := standupOne("A1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = adb.NewBroker(dev, target)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "standups/sec")
+}
+
+// CloneStandup8 stands up the same fleet by probing once and cloning: one
+// full standup, then Clone(N) twins sharing the probed target and the
+// snapshot payloads. The single source standup is inside the timed region
+// — the comparison is fleet-from-scratch either way.
+func CloneStandup8(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, target, err := standupOne("A1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, twin := range src.Clone(CloneFleetN) {
+			_ = adb.NewBroker(twin, target)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "standups/sec")
+}
+
+// Fan-out workload: an 18-call prefix building tcpc and gpu state — the
+// length of a typical corpus-admitted program, near the lineage concat cap
+// — and a self-contained 2-call tail standing in for a mutated
+// continuation. The lineage scheduler's real tails are mutations of the
+// prefix; a fixed tail keeps the pair deterministic and measures pure
+// scheduling cost.
+const (
+	fanPrefix = `r0 = open$tcpc(path="/dev/tcpc0")
+ioctl$TCPC_SET_MODE(fd=r0, req=0xa102, mode=0x3)
+ioctl$TCPC_SET_VOLTAGE(fd=r0, req=0xa103, mv=0x1388)
+ioctl$TCPC_SET_MODE(fd=r0, req=0xa102, mode=0x1)
+ioctl$TCPC_SET_VOLTAGE(fd=r0, req=0xa103, mv=0x2328)
+r5 = open$gpu(path="/dev/gpu0")
+r6 = ioctl$GPU_ALLOC(fd=r5, req=0xa601, size=0x1000)
+ioctl$GPU_MAP(fd=r5, req=0xa603, handle=r6)
+r8 = ioctl$GPU_ALLOC(fd=r5, req=0xa601, size=0x2000)
+ioctl$GPU_MAP(fd=r5, req=0xa603, handle=r8)
+r10 = ioctl$GPU_ALLOC(fd=r5, req=0xa601, size=0x800)
+ioctl$GPU_MAP(fd=r5, req=0xa603, handle=r10)
+r12 = ioctl$GPU_ALLOC(fd=r5, req=0xa601, size=0x400)
+ioctl$GPU_MAP(fd=r5, req=0xa603, handle=r12)
+r14 = ioctl$GPU_ALLOC(fd=r5, req=0xa601, size=0x1800)
+ioctl$GPU_MAP(fd=r5, req=0xa603, handle=r14)
+r16 = ioctl$GPU_ALLOC(fd=r5, req=0xa601, size=0xc00)
+ioctl$GPU_MAP(fd=r5, req=0xa603, handle=r16)
+`
+	fanTail = `r0 = open$gpu(path="/dev/gpu0")
+r1 = ioctl$GPU_ALLOC(fd=r0, req=0xa601, size=0x800)
+`
+	// fanFull is the prefix plus the tail in one program (result labels
+	// renumbered — the DSL requires rN to match the call index).
+	fanFull = fanPrefix + `r18 = open$gpu(path="/dev/gpu0")
+r19 = ioctl$GPU_ALLOC(fd=r18, req=0xa601, size=0x800)
+`
+	fanK = 4 // lineages per fan-out
+	fanL = 8 // tail executions per lineage
+)
+
+func newFanRig(b *testing.B) (*adb.Broker, *dsl.Prog, *dsl.Prog, *dsl.Prog) {
+	dev, target, err := standupOne("A1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	broker := adb.NewBroker(dev, target)
+	prefix, err := dsl.ParseProg(target, fanPrefix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tail, err := dsl.ParseProg(target, fanTail)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := dsl.ParseProg(target, fanFull)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return broker, prefix, tail, full
+}
+
+// FlatPrefixReexec is the no-checkpoint way to evaluate tails against a
+// common prefix state: every execution resets to pristine and replays
+// prefix+tail in full. One benchmark op is one tail evaluated.
+func FlatPrefixReexec(b *testing.B) {
+	broker, _, _, full := newFanRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broker.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := broker.ExecProg(full); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// LineageFanout evaluates the same tails through the checkpoint path the
+// lineage scheduler uses: per fan-out window, rewind to pristine, execute
+// the prefix once, export the post-prefix state, then per lineage import
+// it and run L bare tails. The window sequence — including the pristine
+// re-import that keeps state from accumulating across windows — is
+// exactly the engine scheduler's. One benchmark op is one tail evaluated.
+func LineageFanout(b *testing.B) {
+	broker, prefix, tail, _ := newFanRig(b)
+	pristine, err := broker.ExportCheckpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	execs := 0
+	for execs < b.N {
+		if err := broker.ImportCheckpoint(pristine); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := broker.ExecProg(prefix); err != nil {
+			b.Fatal(err)
+		}
+		post, err := broker.ExportCheckpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < fanK && execs < b.N; k++ {
+			if err := broker.ImportCheckpoint(post); err != nil {
+				b.Fatal(err)
+			}
+			for l := 0; l < fanL && execs < b.N; l++ {
+				if _, err := broker.ExecProg(tail); err != nil {
+					b.Fatal(err)
+				}
+				execs++
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// newBenchEngineReset is NewBenchEngine with a reset campaign mode.
+func newBenchEngineReset(modelID string, seed int64, reset string) (*engine.Engine, error) {
+	dev, target, err := standupOne(modelID)
+	if err != nil {
+		return nil, err
+	}
+	broker := adb.NewBroker(dev, target)
+	return engine.New(broker, relation.New(), crash.NewDedup(),
+		engine.Config{Seed: seed, Reset: reset}), nil
+}
+
+// NeverResetExec measures steady-state engine iterations with resets only
+// on crash fallout — the -reset=never baseline for the pristine pair.
+func NeverResetExec(b *testing.B) {
+	benchEngineSteps(b, engine.ResetNever)
+}
+
+// PristineExec measures the same iterations under -reset=exec: a snapshot
+// restore before every execution. The per-exec overhead against
+// NeverResetExec is the price of pristine mode, and must stay bounded by
+// the light-dirty restore cost (ResetLightDirty) — the reset itself, not
+// scheduling, is the expense.
+func PristineExec(b *testing.B) {
+	benchEngineSteps(b, engine.ResetExec)
+}
+
+func benchEngineSteps(b *testing.B, reset string) {
+	e, err := newBenchEngineReset("A1", 1, reset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(200) // warm pools, corpus, and relation graph
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}

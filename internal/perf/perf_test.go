@@ -51,3 +51,10 @@ func BenchmarkResetHeavyDirty(b *testing.B) { ResetHeavyDirty(b) }
 
 func BenchmarkParamCampaign(b *testing.B)          { ParamCampaign(b) }
 func BenchmarkParamCampaignIoctlOnly(b *testing.B) { ParamCampaignIoctlOnly(b) }
+
+func BenchmarkBootStandup8(b *testing.B)     { BootStandup8(b) }
+func BenchmarkCloneStandup8(b *testing.B)    { CloneStandup8(b) }
+func BenchmarkFlatPrefixReexec(b *testing.B) { FlatPrefixReexec(b) }
+func BenchmarkLineageFanout(b *testing.B)    { LineageFanout(b) }
+func BenchmarkNeverResetExec(b *testing.B)   { NeverResetExec(b) }
+func BenchmarkPristineExec(b *testing.B)     { PristineExec(b) }

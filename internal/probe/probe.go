@@ -231,6 +231,7 @@ func probeParams(dev *device.Device, opts Options, res *Result, counts map[strin
 		}
 	}
 	k := dev.K
+	strCounts := make(map[string]map[string]int)
 	for _, path := range k.ParamPaths() {
 		mode, ok := k.ParamMode(path)
 		if !ok || mode&0o200 == 0 {
@@ -248,11 +249,52 @@ func probeParams(dev *device.Device, opts Options, res *Result, counts map[strin
 					continue
 				}
 				counts[d.Name]++
+				if d.Args[0].Type.Kind == dsl.KindString {
+					m := strCounts[d.Name]
+					if m == nil {
+						m = make(map[string]int)
+						strCounts[d.Name] = m
+					}
+					m[call.Args[0].Str]++
+				}
 				if round == 0 && i == 0 {
 					res.Seeds = append(res.Seeds, &dsl.Prog{Calls: []*dsl.Call{call}})
 				}
 			}
 		}
+	}
+	applyStrWeights(res.Params, strCounts, opts)
+}
+
+// applyStrWeights converts per-choice observation counts into StrWeights
+// parallel to each string knob's choice list, normalized onto
+// [MinWeight, MaxWeight] exactly like interface weights: the values boot
+// traffic actually writes dominate generation's draws, the never-observed
+// choices stay live at the floor weight. Knobs with no observed writes
+// keep an empty StrWeights and draw uniformly, so their descriptions (and
+// the target hash) are untouched.
+func applyStrWeights(params []*dsl.CallDesc, strCounts map[string]map[string]int, opts Options) {
+	for _, d := range params {
+		seen := strCounts[d.Name]
+		t := &d.Args[0].Type
+		if len(seen) == 0 || t.Kind != dsl.KindString || len(t.StrChoices) == 0 {
+			continue
+		}
+		maxCount := 0
+		for _, c := range seen {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		if maxCount == 0 {
+			continue
+		}
+		w := make([]float64, len(t.StrChoices))
+		for i, s := range t.StrChoices {
+			w[i] = opts.MinWeight +
+				(opts.MaxWeight-opts.MinWeight)*float64(seen[s])/float64(maxCount)
+		}
+		t.StrWeights = w
 	}
 }
 

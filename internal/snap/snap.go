@@ -31,8 +31,19 @@ func (d *Dirty) Gen() uint64 { return d.gen.Load() }
 // copies it back, leaving the receiver exactly as it was at checkpoint
 // time. The state value is reused across many restores and must never be
 // aliased mutably by either side.
+//
+// Export/Import are the portable counterpart: Export deep-copies the live
+// state into a device-independent blob — exported fields only (it must
+// survive a gob round-trip) and no pointers into the source device — or
+// nil for stateless subsystems. Import re-materializes an exported blob
+// onto the receiver, which must belong to a device of the same model, and
+// marks the receiver dirty. Imported blobs are immutable by the same
+// contract as checkpoint payloads: one blob may be imported into many
+// twins, so Import must copy, never alias.
 type Subsystem interface {
 	Checkpoint() any
 	Restore(any)
+	Export() any
+	Import(any)
 	Gen() uint64
 }

@@ -1,0 +1,26 @@
+package vkernel
+
+// Portable checkpoint export/import. The exported blob mirrors kernelState
+// with exported fields so it survives a gob round-trip; like the checkpoint
+// payload it is immutable once built (one blob may seed many clone twins).
+
+// KernelExport is the Kernel's portable checkpoint blob.
+type KernelExport struct {
+	StepBudget int
+}
+
+// Export implements snap.Subsystem.
+func (k *Kernel) Export() any {
+	st := k.Checkpoint().(*kernelState)
+	return &KernelExport{StepBudget: st.stepBudget}
+}
+
+// Import implements snap.Subsystem. The device tree, tracer, and syscall
+// gate are boot-time wiring and survive an import unchanged, exactly as
+// they survive a Restore — so a gated broker stays gated after receiving a
+// checkpoint.
+func (k *Kernel) Import(b any) {
+	e := b.(*KernelExport)
+	k.Restore(&kernelState{stepBudget: e.StepBudget})
+	k.Touch()
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Checkpoint/lineage smoke test: run a short in-process droidfleet campaign
+# with lineage fan-out and batch pristine resets in the plain build and
+# again under the droidfuzz_sanitize tag (where every checkpoint import is
+# cross-verified against a re-export and the byte-identity fast paths are
+# disabled), and assert from the JSON status report that the fleet actually
+# forked lineages (lineage_execs > 0) — a wiring regression anywhere along
+# device export/import → broker Cloner → engine scheduler would zero the
+# counter long before any per-layer test fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+check_status() {
+    local label="$1" status="$2"
+    python3 - "$status" "$label" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+label = sys.argv[2]
+lineage = rep.get("lineage_execs", 0)
+if lineage <= 0:
+    sys.exit(f"FAIL({label}): lineage_execs = {lineage}, want > 0")
+execs = sum(d.get("Execs", 0) for d in rep.get("devices", {}).values())
+if execs <= lineage:
+    sys.exit(f"FAIL({label}): execs ({execs}) should exceed lineage execs ({lineage})")
+print(f"OK({label}): lineage_execs={lineage} execs={execs}")
+PY
+}
+
+go build -o "$WORK/droidfleet" ./cmd/droidfleet
+"$WORK/droidfleet" -devices A1,B -iters 800 -rounds 1 \
+    -lineage 2 -lineage-len 4 -reset batch \
+    -status "$WORK/status.json" >"$WORK/fleet.log"
+check_status plain "$WORK/status.json"
+
+go build -tags droidfuzz_sanitize -o "$WORK/droidfleet_san" ./cmd/droidfleet
+"$WORK/droidfleet_san" -devices A1,B -iters 800 -rounds 1 \
+    -lineage 2 -lineage-len 4 -reset batch \
+    -status "$WORK/status_san.json" >"$WORK/fleet_san.log"
+check_status sanitize "$WORK/status_san.json"
+
+echo "PASS: lineage-enabled smoke campaigns (plain + sanitize)"
