@@ -8,10 +8,13 @@ build:
 	$(GO) build ./...
 
 # vet runs the toolchain's vet followed by droidvet, the project-specific
-# analyzer (determinism, pool lifecycles, lock order, wire-frame layout).
+# analyzer (determinism, pool lifecycles, lock order, wire-frame layout,
+# snapshot immutability, atomic discipline, checkpoint completeness, and
+# goroutine lifetimes). All eight passes share one module load and one
+# declaration index; droidvet -v prints per-pass wall time.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/droidvet ./...
+	$(GO) run ./cmd/droidvet -v ./...
 
 test:
 	$(GO) test ./...

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Pass names, used both for dispatch and as waiver keys.
@@ -16,7 +17,27 @@ const (
 	PassLockorder   = "lockorder"
 	PassTaggedField = "wire"
 	PassSnapshot    = "snapshot"
+	PassAtomics     = "atomics"
+	PassCheckpoint  = "checkpoint"
+	PassGoLifetime  = "golifetime"
+	// PassWaiver reports malformed waiver comments themselves: a
+	// //droidvet: annotation naming a pass that does not exist suppresses
+	// nothing and would otherwise rot silently.
+	PassWaiver = "waiver"
 )
+
+// knownPasses is the set of valid waiver keys.
+var knownPasses = map[string]bool{
+	PassDeterminism: true,
+	PassPoolcheck:   true,
+	PassLockorder:   true,
+	PassTaggedField: true,
+	PassSnapshot:    true,
+	PassAtomics:     true,
+	PassCheckpoint:  true,
+	PassGoLifetime:  true,
+	PassWaiver:      true,
+}
 
 // Diagnostic is one droidvet finding.
 type Diagnostic struct {
@@ -67,6 +88,23 @@ type Config struct {
 	// write snapshot fields: construction under the master lock, before
 	// publication.
 	SnapshotBuilders []string
+	// AtomicTypes are the fully qualified struct types whose fields the
+	// atomics pass holds to atomic access discipline: atomic-typed fields
+	// stay inside their Load/Store API, plain fields touched through
+	// sync/atomic anywhere are atomic everywhere, and atomic.Pointer[T]
+	// fields make T publish-immutable.
+	AtomicTypes []string
+	// CheckpointIface is the fully qualified snapshot subsystem interface
+	// ("droidfuzz/internal/snap.Subsystem"); every implementing struct gets
+	// checkpoint field-set completeness checks. Empty disables the pass.
+	CheckpointIface string
+	// GoroutineRoots are the package paths whose transitive module-internal
+	// import closure the golifetime pass scans for `go` statements.
+	GoroutineRoots []string
+	// GoShutdownChans are the channel identifier/field/method names the
+	// daemon's close sequence is known to signal; an unbounded goroutine
+	// loop must receive from one of them to count as shutdown-tied.
+	GoShutdownChans []string
 }
 
 // DefaultConfig returns the production rule set for the droidfuzz module.
@@ -218,19 +256,69 @@ func DefaultConfig() Config {
 			"droidfuzz/internal/adb.rpcReply",
 		},
 		WireManifest: "internal/adb/wire.lock",
+		AtomicTypes: []string{
+			// The fleet's lock-free hot state: engine step counters, the
+			// two coverage collectors, dirty generations, crash-dedup
+			// tallies, the graph's published-snapshot pointer, and the
+			// sysfs knob values ioctl handlers read concurrently.
+			"droidfuzz/internal/engine.Engine",
+			"droidfuzz/internal/kcov.Bitmap",
+			"droidfuzz/internal/kcov.Collector",
+			"droidfuzz/internal/snap.Dirty",
+			"droidfuzz/internal/crash.Dedup",
+			"droidfuzz/internal/relation.Graph",
+			"droidfuzz/internal/drivers.Knobs",
+		},
+		CheckpointIface: "droidfuzz/internal/snap.Subsystem",
+		GoroutineRoots: []string{
+			"droidfuzz/internal/daemon",
+			"droidfuzz/internal/adb",
+			"droidfuzz/internal/engine",
+		},
+		GoShutdownChans: []string{
+			// quit: the transport writeLoop's poison channel (Conn.fail
+			// closes it). stopApply: the daemon's learn-applier stop signal,
+			// closed at the end of RunParallel. Done: context.Context.Done()
+			// for any future ctx-threaded worker.
+			"quit",
+			"stopApply",
+			"Done",
+		},
 	}
+}
+
+// PassTiming records one pass's wall-clock cost; droidvet -v prints them.
+type PassTiming struct {
+	Pass     string
+	Duration time.Duration
 }
 
 // Analyze runs every configured pass over the loaded program and returns
 // the surviving (un-waived) findings sorted by position.
 func Analyze(prog *Program, cfg Config) []Diagnostic {
-	w := collectWaivers(prog)
-	var diags []Diagnostic
-	diags = append(diags, checkDeterminism(prog, cfg)...)
-	diags = append(diags, checkPools(prog, cfg)...)
-	diags = append(diags, checkLockOrder(prog, cfg)...)
-	diags = append(diags, checkWireFrames(prog, cfg)...)
-	diags = append(diags, checkSnapshots(prog, cfg)...)
+	diags, _ := AnalyzeTimed(prog, cfg)
+	return diags
+}
+
+// AnalyzeTimed is Analyze plus per-pass wall-clock timings, in run order.
+// The program load (parsing + go/types) happens once in Load and the
+// declaration index once on first use, so timings measure pass logic only.
+func AnalyzeTimed(prog *Program, cfg Config) ([]Diagnostic, []PassTiming) {
+	w, diags := collectWaivers(prog)
+	var timings []PassTiming
+	run := func(pass string, check func(*Program, Config) []Diagnostic) {
+		start := time.Now()
+		diags = append(diags, check(prog, cfg)...)
+		timings = append(timings, PassTiming{Pass: pass, Duration: time.Since(start)})
+	}
+	run(PassDeterminism, checkDeterminism)
+	run(PassPoolcheck, checkPools)
+	run(PassLockorder, checkLockOrder)
+	run(PassTaggedField, checkWireFrames)
+	run(PassSnapshot, checkSnapshots)
+	run(PassAtomics, checkAtomics)
+	run(PassCheckpoint, checkCheckpoints)
+	run(PassGoLifetime, checkGoLifetime)
 	diags = w.filter(diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -242,13 +330,18 @@ func Analyze(prog *Program, cfg Config) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	return diags, timings
 }
 
-// waivers records //droidvet:<pass> comments. A waiver suppresses findings
-// of its pass on the comment's own line and on the immediately following
-// line (so it can ride at end-of-line or stand alone above the statement).
-// The file-scoped form //droidvet:<pass>-file waives the whole file.
+// waivers records //droidvet:<pass> comments. A waiver comment must START
+// with the droidvet: marker (after the comment opener) — a prose mention of
+// the syntax inside a doc comment is not a waiver. It suppresses findings
+// of its pass from its own line through the line after its comment group,
+// so it can ride at end-of-line, stand alone above the statement, or stack
+// with waivers for other passes above a single statement. The file-scoped
+// form //droidvet:<pass>-file waives the whole file. Trailing text after
+// the pass name is the human rationale ("ephemeral <why>", "pre-publication
+// <why>") and is not parsed.
 type waivers struct {
 	// line maps file -> pass -> waived line set.
 	line map[string]map[string]map[int]bool
@@ -256,56 +349,92 @@ type waivers struct {
 	file map[string]map[string]bool
 }
 
-func collectWaivers(prog *Program) *waivers {
+// collectWaivers gathers every waiver in the program and reports malformed
+// ones — a droidvet: comment naming an unknown pass suppresses nothing, so
+// letting it sit silently would leave the finding it meant to own live.
+func collectWaivers(prog *Program) (*waivers, []Diagnostic) {
 	w := &waivers{
 		line: make(map[string]map[string]map[int]bool),
 		file: make(map[string]map[string]bool),
 	}
+	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
+				groupEnd := prog.Fset.Position(cg.End()).Line
 				for _, c := range cg.List {
-					w.add(prog.Fset, c)
+					diags = append(diags, w.add(prog.Fset, c, groupEnd)...)
 				}
 			}
 		}
 	}
-	return w
+	return w, diags
 }
 
-func (w *waivers) add(fset *token.FileSet, c *ast.Comment) {
+func (w *waivers) add(fset *token.FileSet, c *ast.Comment, groupEnd int) []Diagnostic {
 	const marker = "droidvet:"
 	text := c.Text
-	i := strings.Index(text, marker)
-	if i < 0 {
-		return
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
 	}
-	word := text[i+len(marker):]
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, marker) {
+		return nil
+	}
+	word := text[len(marker):]
 	if j := strings.IndexAny(word, " \t"); j >= 0 {
 		word = word[:j]
 	}
 	pos := fset.Position(c.Pos())
-	if pass, ok := strings.CutSuffix(word, "-file"); ok {
+	pass, fileScoped := strings.CutSuffix(word, "-file")
+	if !knownPasses[pass] {
+		return []Diagnostic{{
+			Pos:  pos,
+			Pass: PassWaiver,
+			Message: fmt.Sprintf(
+				"//droidvet:%s names no known pass and waives nothing; valid passes: %s",
+				word, strings.Join(sortedPassNames(), ", ")),
+		}}
+	}
+	if fileScoped {
 		byPass := w.file[pos.Filename]
 		if byPass == nil {
 			byPass = make(map[string]bool)
 			w.file[pos.Filename] = byPass
 		}
 		byPass[pass] = true
-		return
+		return nil
 	}
 	byPass := w.line[pos.Filename]
 	if byPass == nil {
 		byPass = make(map[string]map[int]bool)
 		w.line[pos.Filename] = byPass
 	}
-	lines := byPass[word]
+	lines := byPass[pass]
 	if lines == nil {
 		lines = make(map[int]bool)
-		byPass[word] = lines
+		byPass[pass] = lines
 	}
-	lines[pos.Line] = true
-	lines[pos.Line+1] = true
+	// The waiver's own line through the line after its comment group: an
+	// end-of-line waiver covers its statement, a standalone one covers the
+	// line below, and a stack of waivers above a statement all reach it.
+	for l := pos.Line; l <= groupEnd+1; l++ {
+		lines[l] = true
+	}
+	return nil
+}
+
+// sortedPassNames lists the known pass names for the malformed-waiver hint.
+func sortedPassNames() []string {
+	out := make([]string, 0, len(knownPasses))
+	for p := range knownPasses {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (w *waivers) waived(d Diagnostic) bool {

@@ -23,7 +23,7 @@ func loadFixture(t *testing.T) *analysis.Program {
 
 func fixtureConfig() analysis.Config {
 	return analysis.Config{
-		DeterminismRoots: []string{"vettest/det"},
+		DeterminismRoots: []string{"vettest/det", "vettest/waiv"},
 		Pooled: []analysis.PooledType{{
 			TypePath:      "vettest/pool.Obj",
 			ReleaseMethod: "Release",
@@ -32,7 +32,11 @@ func fixtureConfig() analysis.Config {
 		LockTypes:        []string{"vettest/locks.A", "vettest/locks.B"},
 		WireRoots:        []string{"vettest/wire.Frame"},
 		SnapshotTypes:    []string{"vettest/snap.View", "vettest/snap.ParamState", "vettest/snap.Blob"},
-		SnapshotBuilders: []string{"vettest/snap.New", "vettest/snap.View.Refresh", "vettest/snap.NewParamState", "vettest/snap.NewBlob"},
+		SnapshotBuilders: []string{"vettest/snap.New", "vettest/snap.View.Refresh", "vettest/snap.NewParamState", "vettest/snap.NewBlob", "vettest/atomics.BuildState"},
+		AtomicTypes:      []string{"vettest/atomics.Counter", "vettest/atomics.Board"},
+		CheckpointIface:  "vettest/cpt.Subsystem",
+		GoroutineRoots:   []string{"vettest/golife"},
+		GoShutdownChans:  []string{"done", "Done"},
 		// No manifest by default; TestWireManifestLifecycle covers it.
 	}
 }
@@ -241,6 +245,158 @@ func TestSnapshotPassFlagsImportedCheckpointWrite(t *testing.T) {
 	}
 }
 
+func TestWaiverGrammarOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	// The end-of-line, line-above, and stacked waivers each own their
+	// clock read; only the prose-mention site stays flagged.
+	nondet := matching(diags, analysis.PassDeterminism, "waiv.go", "")
+	if len(nondet) != 1 {
+		dump(t, nondet)
+		t.Errorf("waiv.go determinism findings = %d, want exactly 1 (ProseMention)", len(nondet))
+	}
+	// Malformed waivers are findings of their own, one per unknown name.
+	bad := matching(diags, analysis.PassWaiver, "waiv.go", "")
+	if len(bad) != 2 {
+		dump(t, bad)
+		t.Fatalf("waiver findings = %d, want 2 (nosuchpass + typo'd -file)", len(bad))
+	}
+	if !strings.Contains(bad[0].Message, "nosuchpass") || !strings.Contains(bad[0].Message, "waives nothing") {
+		t.Errorf("unknown-pass message = %q", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, "nondet-flie") {
+		t.Errorf("typo'd-suffix message = %q", bad[1].Message)
+	}
+	// The hint lists the valid pass names.
+	if !strings.Contains(bad[0].Message, "golifetime") || !strings.Contains(bad[0].Message, "nondet") {
+		t.Errorf("unknown-pass hint does not list valid passes: %q", bad[0].Message)
+	}
+	// The known -file form still works (det fixture's waived_file.go) and
+	// known line waivers are never reported as malformed.
+	if got := matching(diags, analysis.PassWaiver, "", ""); len(got) != 2 {
+		dump(t, got)
+		t.Errorf("total waiver findings = %d, want exactly the 2 seeded ones", len(got))
+	}
+}
+
+func TestAtomicsPassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	// The mixed-discipline verdict: the buffer is atomically stored in
+	// atomics.go, so the plain element read and write in atomuse.go are
+	// flagged, each citing the atomic site.
+	mixed := matching(diags, analysis.PassAtomics, "atomuse.go", "accessed through sync/atomic")
+	if len(mixed) != 2 {
+		dump(t, diags)
+		t.Errorf("mixed-discipline findings = %d, want 2 (plain read + plain write)", len(mixed))
+	}
+	for _, d := range mixed {
+		if !strings.Contains(d.Message, "atomics.go") {
+			t.Errorf("mixed-discipline finding does not cite the atomic site: %q", d.Message)
+		}
+	}
+	// Copying an atomic-typed field out of its API.
+	if got := matching(diags, analysis.PassAtomics, "atomuse.go", "outside its Load/Store API"); len(got) != 1 {
+		dump(t, diags)
+		t.Errorf("atomic-typed misuse findings = %d, want 1 (Steal)", len(got))
+	}
+	// Writes through the atomic.Pointer-published State: the assignment and
+	// the delete. The published set is derived, not configured.
+	if got := matching(diags, analysis.PassAtomics, "atomuse.go", "published through an atomic.Pointer"); len(got) != 2 {
+		dump(t, diags)
+		t.Errorf("published-write findings = %d, want 2 (assign + delete)", len(got))
+	}
+	// Nothing else: the waived pre-publication store, the API reads, and
+	// the copy-then-mutate pattern all stay clean.
+	if got := matching(diags, analysis.PassAtomics, "atomuse.go", ""); len(got) != 5 {
+		dump(t, got)
+		t.Errorf("atomuse.go atomics findings = %d, want exactly 5", len(got))
+	}
+	// The clean half: API-disciplined code and the registered builder.
+	if got := matching(diags, analysis.PassAtomics, "atomics.go", ""); len(got) != 0 {
+		dump(t, got)
+		t.Errorf("clean atomics package produced %d findings, want 0", len(got))
+	}
+}
+
+func TestCheckpointPassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	// Bad.leak: stateful, never captured, not annotated.
+	if got := matching(diags, analysis.PassCheckpoint, "bad.go", "stateful field cpt.Bad.leak"); len(got) != 1 {
+		dump(t, diags)
+		t.Errorf("uncaptured-field findings = %d, want 1 (Bad.leak)", len(got))
+	}
+	// badState.c never round-trips at all: all four legs flag it.
+	for _, want := range []string{
+		"never populated by cpt.Bad.Checkpoint",
+		"never read back by cpt.Bad.Restore",
+		"does not reach the portable blob",
+		"never re-materialized by cpt.Bad.Import",
+	} {
+		got := matching(diags, analysis.PassCheckpoint, "bad.go", want)
+		found := false
+		for _, d := range got {
+			if strings.Contains(d.Message, "badState.c") {
+				found = true
+			}
+		}
+		if !found {
+			dump(t, diags)
+			t.Errorf("badState.c missing %q finding", want)
+		}
+	}
+	// badState.b survives the in-memory legs but is dropped on the portable
+	// ones: exactly the Export and Import checks fire for it.
+	var bFindings []string
+	for _, d := range matching(diags, analysis.PassCheckpoint, "bad.go", "badState.b") {
+		bFindings = append(bFindings, d.Message)
+	}
+	if len(bFindings) != 2 {
+		dump(t, diags)
+		t.Errorf("badState.b findings = %d, want 2 (export + import legs)", len(bFindings))
+	}
+	// BadExport.Orphan: never filled by Export, never consumed by Import.
+	if got := matching(diags, analysis.PassCheckpoint, "bad.go", "Orphan"); len(got) != 2 {
+		dump(t, diags)
+		t.Errorf("Orphan blob findings = %d, want 2", len(got))
+	}
+	// Exactly the nine seeded findings; Bad.waived is owned by its waiver.
+	if got := matching(diags, analysis.PassCheckpoint, "bad.go", ""); len(got) != 9 {
+		dump(t, got)
+		t.Errorf("bad.go checkpoint findings = %d, want exactly 9", len(got))
+	}
+	// Good round-trips completely; Idle's wiring is annotated; the sync
+	// mutex, the sub-subsystem, and the embedded pattern are auto-exempt.
+	if got := matching(diags, analysis.PassCheckpoint, "cpt.go", ""); len(got) != 0 {
+		dump(t, got)
+		t.Errorf("complete subsystem produced %d findings, want 0", len(got))
+	}
+}
+
+func TestGoLifetimePassOnFixture(t *testing.T) {
+	diags := analysis.Analyze(loadFixture(t), fixtureConfig())
+
+	// The three loop leaks: no exit at all, ticker-only select, and a
+	// select exiting on an unregistered channel.
+	if got := matching(diags, analysis.PassGoLifetime, "golife.go", "unbounded for loop"); len(got) != 3 {
+		dump(t, diags)
+		t.Errorf("unbounded-loop findings = %d, want 3 (Leak, Tick, Unregistered)", len(got))
+	}
+	// The dynamic spawn.
+	if got := matching(diags, analysis.PassGoLifetime, "golife.go", "dynamically resolved"); len(got) != 1 {
+		dump(t, diags)
+		t.Errorf("dynamic-spawn findings = %d, want 1", len(got))
+	}
+	// Nothing else: the registered-done select, the bounded loop, the
+	// channel range, the named error-exit loop, and the waived leak are
+	// all clean.
+	if got := matching(diags, analysis.PassGoLifetime, "golife.go", ""); len(got) != 4 {
+		dump(t, got)
+		t.Errorf("golife.go findings = %d, want exactly 4", len(got))
+	}
+}
+
 func TestWireManifestLifecycle(t *testing.T) {
 	prog := loadFixture(t)
 	cfg := fixtureConfig()
@@ -314,5 +470,40 @@ func TestDefaultConfigOnRepo(t *testing.T) {
 	diags := analysis.Analyze(prog, analysis.DefaultConfig())
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestDefaultConfigCoversNewPasses pins the droidvet v2 configuration: the
+// atomics, checkpoint, and golifetime passes are only as strong as the type
+// and root lists they are pointed at, and a dropped entry silently disables
+// coverage without failing any build.
+func TestDefaultConfigCoversNewPasses(t *testing.T) {
+	cfg := analysis.DefaultConfig()
+	for _, want := range []string{
+		"droidfuzz/internal/kcov.Bitmap",
+		"droidfuzz/internal/kcov.Collector",
+		"droidfuzz/internal/engine.Engine",
+		"droidfuzz/internal/drivers.Knobs",
+	} {
+		if !slices.Contains(cfg.AtomicTypes, want) {
+			t.Errorf("DefaultConfig missing atomic type %s", want)
+		}
+	}
+	if cfg.CheckpointIface != "droidfuzz/internal/snap.Subsystem" {
+		t.Errorf("CheckpointIface = %q, want droidfuzz/internal/snap.Subsystem", cfg.CheckpointIface)
+	}
+	for _, want := range []string{
+		"droidfuzz/internal/daemon",
+		"droidfuzz/internal/adb",
+		"droidfuzz/internal/engine",
+	} {
+		if !slices.Contains(cfg.GoroutineRoots, want) {
+			t.Errorf("DefaultConfig missing goroutine root %s", want)
+		}
+	}
+	for _, want := range []string{"quit", "stopApply"} {
+		if !slices.Contains(cfg.GoShutdownChans, want) {
+			t.Errorf("DefaultConfig missing shutdown channel %s", want)
+		}
 	}
 }

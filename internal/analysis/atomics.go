@@ -1,0 +1,369 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkAtomics enforces atomic access discipline for the configured types
+// (engine counters, the coverage bitmap and collector, dirty generations,
+// crash-dedup bookkeeping, relation snapshot pointers). The fleet's hot
+// state is lock-free on purpose, and lock-free only works when EVERY access
+// to a shared field goes through the atomic API — one plain read mixed in
+// is a data race the race detector only catches if a campaign happens to
+// interleave it. The pass proves the discipline statically:
+//
+//   - a field whose type is a sync/atomic value (atomic.Uint64,
+//     atomic.Pointer[T], ... — directly or as an array/slice element) may
+//     only be touched through a method call on it (.Load/.Store/.Add/...),
+//     ranged over by index, or measured with len/cap; any other use —
+//     copying it out, reassigning it, taking it apart — is flagged;
+//   - a plain-typed field that is accessed through sync/atomic package
+//     functions anywhere (atomic.StoreUint32(&c.buf[i], pc)) is atomic
+//     everywhere: every plain read or write of the same field elsewhere is
+//     flagged, citing the atomic site that established the discipline;
+//   - a field of type atomic.Pointer[T] publishes *T to concurrent readers
+//     on Store, so T inherits the snapshot pass's publish-immutability
+//     contract automatically: writes reaching a value of T outside a
+//     registered SnapshotBuilder are flagged without T having to be listed
+//     in SnapshotTypes (the compile-time generalization of the PR 5
+//     sanitize publish fingerprints).
+//
+// Constructor writes normally happen through composite literals, which
+// never select a field and therefore never trip the pass; a provably
+// pre-publication plain access can be waived with //droidvet:atomics.
+func checkAtomics(prog *Program, cfg Config) []Diagnostic {
+	if len(cfg.AtomicTypes) == 0 {
+		return nil
+	}
+	guarded := make(map[*types.TypeName]bool)
+	for _, tp := range cfg.AtomicTypes {
+		if tn := lookupNamed(prog, tp); tn != nil {
+			guarded[tn] = true
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	owners := fieldOwners(guarded)
+
+	var diags []Diagnostic
+	diags = append(diags, atomicFieldDiscipline(prog, owners)...)
+	diags = append(diags, publishedPointerWrites(prog, cfg, guarded)...)
+	return diags
+}
+
+// atomicValueType reports whether t is a named type from sync/atomic
+// (atomic.Bool, atomic.Uint64, atomic.Pointer[T], atomic.Value, ...).
+func atomicValueType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// atomicElemType reports whether t is an atomic value type directly or an
+// array/slice of one (kcov.Bitmap's block array, the Knobs value slices).
+func atomicElemType(t types.Type) bool {
+	if atomicValueType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return atomicValueType(u.Elem())
+	case *types.Slice:
+		return atomicValueType(u.Elem())
+	}
+	return false
+}
+
+// fieldAccess is one selector access of a guarded field, with enough parent
+// context to classify it.
+type fieldAccess struct {
+	pos    Diagnostic // position pre-filled; message set by the caller
+	atomic bool       // reached through the atomic API
+}
+
+// atomicFieldDiscipline runs the two per-field checks over every module
+// package: atomic-typed fields used outside their API, and mixed
+// atomic/plain access to plain-typed fields.
+func atomicFieldDiscipline(prog *Program, owners map[*types.Var]*types.TypeName) []Diagnostic {
+	var diags []Diagnostic
+	// plainFieldSites classifies every access of plain-typed guarded
+	// fields, keyed by field, so the mixed-discipline verdict can be made
+	// after the whole module is seen.
+	type site struct {
+		pos    Diagnostic
+		atomic bool
+	}
+	plainSites := make(map[*types.Var][]site)
+
+	for _, path := range prog.SortedPaths() {
+		pkg := prog.Pkgs[path]
+		for _, f := range pkg.Files {
+			// parents tracks the ancestor chain during the walk so a
+			// selector can look outward at its use context.
+			var parents []ast.Node
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				if n == nil {
+					parents = parents[:len(parents)-1]
+					return true
+				}
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						if fv, ok := s.Obj().(*types.Var); ok {
+							if tn, hit := owners[fv]; hit {
+								d := Diagnostic{
+									Pos:  prog.Fset.Position(sel.Pos()),
+									Pass: PassAtomics,
+								}
+								if atomicElemType(fv.Type()) {
+									if !atomicAPIUse(sel, parents) {
+										d.Message = fmt.Sprintf(
+											"field %s.%s has an atomic type but is used outside its Load/Store API; atomic values must never be copied or reassigned",
+											shortName(tn), fv.Name())
+										diags = append(diags, d)
+									}
+								} else if !headerOnlyUse(sel, parents) {
+									// len/cap and index-only ranges read the
+									// slice header, not the guarded elements,
+									// so they count for neither discipline.
+									plainSites[fv] = append(plainSites[fv], site{pos: d, atomic: atomicFuncArg(pkg.Info, sel, parents)})
+								}
+							}
+						}
+					}
+				}
+				parents = append(parents, n)
+				return true
+			}
+			ast.Inspect(f, walk)
+		}
+	}
+
+	// Mixed-discipline verdicts: a plain-typed field with at least one
+	// sync/atomic access makes every plain access a finding.
+	fields := make([]*types.Var, 0, len(plainSites))
+	for fv := range plainSites {
+		fields = append(fields, fv)
+	}
+	// Deterministic field order: by declaration position.
+	sortFieldVars(fields)
+	for _, fv := range fields {
+		sites := plainSites[fv]
+		var atomicAt *Diagnostic
+		for i := range sites {
+			if sites[i].atomic {
+				atomicAt = &sites[i].pos
+				break
+			}
+		}
+		if atomicAt == nil {
+			continue // never atomic: an ordinary field, nothing to enforce
+		}
+		for _, s := range sites {
+			if s.atomic {
+				continue
+			}
+			d := s.pos
+			d.Message = fmt.Sprintf(
+				"field %s.%s is accessed through sync/atomic (%s:%d) but read or written plainly here; use the atomic API everywhere or waive a pre-publication site",
+				shortName(owners[fv]), fv.Name(), atomicAt.Pos.Filename, atomicAt.Pos.Line)
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+// sortFieldVars orders fields by source position for stable output.
+func sortFieldVars(fields []*types.Var) {
+	for i := 1; i < len(fields); i++ {
+		for j := i; j > 0 && fields[j].Pos() < fields[j-1].Pos(); j-- {
+			fields[j], fields[j-1] = fields[j-1], fields[j]
+		}
+	}
+}
+
+// atomicAPIUse reports whether the guarded selector is consumed through the
+// atomic API: a method call on the (possibly indexed) atomic value, a
+// len/cap measurement, or an index-only range.
+func atomicAPIUse(sel *ast.SelectorExpr, parents []ast.Node) bool {
+	cur := ast.Node(sel)
+	i := len(parents)
+	next := func() ast.Node {
+		i--
+		if i < 0 {
+			return nil
+		}
+		return parents[i]
+	}
+	for {
+		p := next()
+		switch pn := p.(type) {
+		case *ast.ParenExpr:
+			cur = pn
+			continue
+		case *ast.IndexExpr:
+			if pn.X != cur {
+				return false // used as someone else's index: a read
+			}
+			cur = pn
+			continue
+		case *ast.StarExpr:
+			cur = pn
+			continue
+		case *ast.UnaryExpr:
+			// &field or &field[i]: allowed only when feeding a sync/atomic
+			// function, which atomicFuncArg classifies for plain fields;
+			// for atomic-typed values taking the address to pass around
+			// escapes the discipline, except as a receiver (handled by the
+			// method-call case because selections auto-address).
+			return false
+		case *ast.SelectorExpr:
+			if pn.X != cur {
+				return false
+			}
+			// Method call on the atomic value: parent of this selector
+			// must be the call using it as Fun.
+			if call, ok := next().(*ast.CallExpr); ok && call.Fun == pn {
+				return true
+			}
+			return false
+		case *ast.CallExpr:
+			// len(x.f) / cap(x.f) on an atomic-element slice or array.
+			if id, ok := ast.Unparen(pn.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				return true
+			}
+			return false
+		case *ast.RangeStmt:
+			// `for i := range x.f` is index iteration; copying the values
+			// out (two-variable form) is flagged.
+			return pn.X == cur && pn.Value == nil
+		default:
+			return false
+		}
+	}
+}
+
+// headerOnlyUse reports whether the selector is consumed only as a slice or
+// array header: len/cap, or the index-only form of range.
+func headerOnlyUse(sel *ast.SelectorExpr, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	switch pn := parents[len(parents)-1].(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(pn.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return true
+		}
+	case *ast.RangeStmt:
+		return pn.X == sel && pn.Value == nil
+	}
+	return false
+}
+
+// atomicFuncArg reports whether the selector (or an element of it) is the
+// &-argument of a sync/atomic package function call, i.e. an atomic access
+// of a plain-typed field: atomic.StoreUint32(&c.buf[i], pc).
+func atomicFuncArg(info *types.Info, sel *ast.SelectorExpr, parents []ast.Node) bool {
+	cur := ast.Node(sel)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch pn := parents[i].(type) {
+		case *ast.ParenExpr, *ast.IndexExpr, *ast.StarExpr:
+			cur = pn
+			continue
+		case *ast.UnaryExpr:
+			if pn.X != cur {
+				return false
+			}
+			cur = pn
+			continue
+		case *ast.CallExpr:
+			if path, _ := pkgLevelCall(info, pn); path == "sync/atomic" {
+				for _, arg := range pn.Args {
+					if ast.Unparen(arg) == cur {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// publishedPointerWrites derives the published set: for every guarded type
+// field of type atomic.Pointer[T] (directly or as an array/slice element)
+// where T is a module-internal named struct, T is published state and
+// writes through it outside a registered builder are flagged. Types already
+// listed in SnapshotTypes are skipped — the snapshot pass owns those
+// findings.
+func publishedPointerWrites(prog *Program, cfg Config, guarded map[*types.TypeName]bool) []Diagnostic {
+	already := make(map[string]bool, len(cfg.SnapshotTypes))
+	for _, tp := range cfg.SnapshotTypes {
+		already[tp] = true
+	}
+	published := make(map[*types.TypeName]string)
+	for _, tn := range sortedTypeNames(guarded) {
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			t := st.Field(i).Type()
+			switch u := t.Underlying().(type) {
+			case *types.Array:
+				t = u.Elem()
+			case *types.Slice:
+				t = u.Elem()
+			}
+			named := namedOf(t)
+			if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" || named.Obj().Name() != "Pointer" {
+				continue
+			}
+			args := named.TypeArgs()
+			if args == nil || args.Len() != 1 {
+				continue
+			}
+			target := namedOf(args.At(0))
+			if target == nil || target.Obj().Pkg() == nil {
+				continue
+			}
+			path := target.Obj().Pkg().Path()
+			if _, internal := prog.Pkgs[path]; !internal {
+				continue
+			}
+			if already[path+"."+target.Obj().Name()] {
+				continue
+			}
+			published[target.Obj()] = shortName(target.Obj())
+		}
+	}
+	if len(published) == 0 {
+		return nil
+	}
+	builders := make(map[string]bool, len(cfg.SnapshotBuilders))
+	for _, b := range cfg.SnapshotBuilders {
+		builders[b] = true
+	}
+	var diags []Diagnostic
+	for _, path := range prog.SortedPaths() {
+		pkg := prog.Pkgs[path]
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn := funcFor(pkg, fd); fn != nil && isSnapshotBuilder(fn, builders) {
+					continue
+				}
+				diags = append(diags, mutationsThrough(prog, pkg, fd, published, PassAtomics,
+					"is published through an atomic.Pointer and read lock-free after Store")...)
+			}
+		}
+	}
+	return diags
+}

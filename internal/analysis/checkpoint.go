@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// checkCheckpoints proves field-set completeness for every type that
+// implements the configured snap.Subsystem interface: the PR 6/PR 8
+// restore≡reboot and clone-twin equivalence guarantees only hold if every
+// stateful field a campaign can mutate is wound back, and "added a field,
+// forgot the checkpoint" is invisible to the compiler and only flaky at
+// runtime. The pass closes that hole with field-name closure diffing:
+//
+//   - subsystem completeness: every stateful field of the implementing
+//     struct must be touched by the Checkpoint or Restore method closure
+//     (methods of the same type reachable from them). Fields that are
+//     deliberately not checkpoint state carry an explicit
+//     //droidvet:checkpoint ephemeral <why> annotation on their
+//     declaration line (or the line above);
+//   - state round-trip: the checkpoint payload types (named structs
+//     constructed or asserted to inside Checkpoint/Restore) must have
+//     every field populated by Checkpoint and read back by Restore —
+//     deleting a single field capture fails vet instead of restore;
+//   - export round-trip: the same payload fields must reach the portable
+//     blob (read somewhere in Export's own closure, Checkpoint excluded so
+//     delegation cannot satisfy the check trivially) and be re-materialized
+//     by Import; and every field of the export blob types (named structs
+//     built in Export) must be populated by Export and consumed by Import,
+//     so a blob field cannot silently stop round-tripping through gob.
+//
+// Auto-exempt: embedded fields (the snap.Dirty generation counter), sync
+// package types (mutexes guard state, they are not state), and fields whose
+// own type implements the subsystem interface (sub-subsystems, e.g. a
+// driver's *Knobs, are checkpointed by their own methods).
+func checkCheckpoints(prog *Program, cfg Config) []Diagnostic {
+	if cfg.CheckpointIface == "" {
+		return nil
+	}
+	tn := lookupNamed(prog, cfg.CheckpointIface)
+	if tn == nil {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	idx := prog.index()
+
+	var diags []Diagnostic
+	for _, impl := range subsystemImplementers(prog, iface) {
+		diags = append(diags, checkOneSubsystem(prog, idx, iface, impl)...)
+	}
+	return diags
+}
+
+// subsystemImplementers returns the module-internal named struct types
+// implementing iface (by value or pointer receiver), in deterministic
+// order.
+func subsystemImplementers(prog *Program, iface *types.Interface) []*types.TypeName {
+	set := make(map[*types.TypeName]bool)
+	for _, path := range prog.SortedPaths() {
+		pkg := prog.Pkgs[path]
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if _, isStruct := tn.Type().Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			if types.Implements(tn.Type(), iface) || types.Implements(types.NewPointer(tn.Type()), iface) {
+				set[tn] = true
+			}
+		}
+	}
+	return sortedTypeNames(set)
+}
+
+// The snap.Subsystem method names; closures for one root never descend into
+// the others, so each leg of the round-trip is proven by its own code.
+var subsystemMethods = map[string]bool{
+	"Checkpoint": true, "Restore": true, "Export": true, "Import": true, "Gen": true,
+}
+
+func checkOneSubsystem(prog *Program, idx *declIndex, iface *types.Interface, impl *types.TypeName) []Diagnostic {
+	closureOf := func(root string) []bodyDecl {
+		skip := make(map[string]bool, len(subsystemMethods))
+		for m := range subsystemMethods {
+			if m != root {
+				skip[m] = true
+			}
+		}
+		return idx.methodClosure(impl, []string{root}, skip)
+	}
+	cpBodies := closureOf("Checkpoint")
+	reBodies := closureOf("Restore")
+	exBodies := closureOf("Export")
+	imBodies := closureOf("Import")
+
+	var diags []Diagnostic
+	report := func(f *types.Var, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     prog.Fset.Position(f.Pos()),
+			Pass:    PassCheckpoint,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Subsystem completeness: every stateful field of the implementing
+	// struct is touched by Checkpoint or Restore.
+	own := map[*types.TypeName]bool{impl: true}
+	ownOwners := fieldOwners(own)
+	ownUses := make(map[*types.Var]int)
+	collectFieldUses(append(append([]bodyDecl{}, cpBodies...), reBodies...), ownOwners, ownUses)
+	st := impl.Type().Underlying().(*types.Struct)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if exemptField(iface, f) {
+			continue
+		}
+		if ownUses[f] == 0 {
+			report(f, "stateful field %s.%s is neither captured by Checkpoint nor reset by Restore; checkpoint it or annotate the field //droidvet:checkpoint ephemeral <why>",
+				shortName(impl), f.Name())
+		}
+	}
+
+	// State payload types: what Restore asserts its `any` argument down to.
+	// Each payload field must round-trip both the in-memory checkpoint
+	// (populated by Checkpoint, read by Restore) and the portable one (read
+	// by Export, populated by Import).
+	states := assertedStructsIn(prog, append(append([]bodyDecl{}, cpBodies...), reBodies...))
+	delete(states, impl)
+	stripImplementers(iface, states)
+	if len(states) > 0 {
+		stOwners := fieldOwners(states)
+		cpUses := make(map[*types.Var]int)
+		reUses := make(map[*types.Var]int)
+		exUses := make(map[*types.Var]int)
+		imUses := make(map[*types.Var]int)
+		collectFieldUses(cpBodies, stOwners, cpUses)
+		collectFieldUses(reBodies, stOwners, reUses)
+		collectFieldUses(exBodies, stOwners, exUses)
+		collectFieldUses(imBodies, stOwners, imUses)
+		for _, stn := range sortedTypeNames(states) {
+			ss := stn.Type().Underlying().(*types.Struct)
+			for i := 0; i < ss.NumFields(); i++ {
+				f := ss.Field(i)
+				if exemptField(iface, f) {
+					continue
+				}
+				if cpUses[f]&(useKey|useWrite) == 0 {
+					report(f, "checkpoint state field %s.%s is never populated by %s.Checkpoint; the restore reference is incomplete",
+						shortName(stn), f.Name(), shortName(impl))
+				}
+				if reUses[f]&useRead == 0 {
+					report(f, "checkpoint state field %s.%s is never read back by %s.Restore; restore≡reboot cannot hold",
+						shortName(stn), f.Name(), shortName(impl))
+				}
+				if exUses[f]&useRead == 0 {
+					report(f, "checkpoint state field %s.%s does not reach the portable blob built by %s.Export",
+						shortName(stn), f.Name(), shortName(impl))
+				}
+				if imUses[f]&(useKey|useWrite) == 0 {
+					report(f, "checkpoint state field %s.%s is never re-materialized by %s.Import",
+						shortName(stn), f.Name(), shortName(impl))
+				}
+			}
+		}
+
+		// Export blob types: what Import asserts down to (minus payloads).
+		// Their fields must be populated by Export and consumed by Import.
+		blobs := assertedStructsIn(prog, append(append([]bodyDecl{}, exBodies...), imBodies...))
+		delete(blobs, impl)
+		stripImplementers(iface, blobs)
+		for stn := range states {
+			delete(blobs, stn)
+		}
+		if len(blobs) > 0 {
+			blobOwners := fieldOwners(blobs)
+			exBlob := make(map[*types.Var]int)
+			imBlob := make(map[*types.Var]int)
+			collectFieldUses(exBodies, blobOwners, exBlob)
+			collectFieldUses(imBodies, blobOwners, imBlob)
+			for _, btn := range sortedTypeNames(blobs) {
+				bs := btn.Type().Underlying().(*types.Struct)
+				for i := 0; i < bs.NumFields(); i++ {
+					f := bs.Field(i)
+					if exemptField(iface, f) {
+						continue
+					}
+					if exBlob[f]&(useKey|useWrite) == 0 {
+						report(f, "export blob field %s.%s is never populated by %s.Export",
+							shortName(btn), f.Name(), shortName(impl))
+					}
+					if imBlob[f]&useRead == 0 {
+						report(f, "export blob field %s.%s is never consumed by %s.Import",
+							shortName(btn), f.Name(), shortName(impl))
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// stripImplementers removes types that are themselves subsystems from a
+// derived payload set (an Import that delegates to a sibling subsystem is
+// not constructing a payload).
+func stripImplementers(iface *types.Interface, set map[*types.TypeName]bool) {
+	for tn := range set {
+		if types.Implements(tn.Type(), iface) || types.Implements(types.NewPointer(tn.Type()), iface) {
+			delete(set, tn)
+		}
+	}
+}
+
+// exemptField reports whether a field is auto-exempt from checkpoint
+// completeness: embedded (the snap.Dirty generation counter pattern), a
+// sync package type (locks guard state, they are not state), or itself a
+// subsystem (checkpointed by its own methods).
+func exemptField(iface *types.Interface, f *types.Var) bool {
+	if f.Embedded() {
+		return true
+	}
+	t := f.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named := namedOf(t); named != nil {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+			return true
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			return true
+		}
+	}
+	return false
+}

@@ -50,6 +50,9 @@ type Program struct {
 	RootDir    string
 	// Pkgs maps import path to package for module packages only.
 	Pkgs map[string]*Package
+	// idx is the lazily built declaration index shared by every pass in an
+	// Analyze run (see Program.index).
+	idx *declIndex
 }
 
 // SortedPaths returns the module package paths in lexical order, for

@@ -83,31 +83,40 @@ func isSnapshotBuilder(fn *types.Func, builders map[string]bool) bool {
 }
 
 func snapshotWritesIn(prog *Program, pkg *Package, fd *ast.FuncDecl, snap map[*types.TypeName]string) []Diagnostic {
+	return mutationsThrough(prog, pkg, fd, snap, PassSnapshot, "is immutable once published")
+}
+
+// mutationsThrough flags every mutation (assignment, ++/--, delete) whose
+// target descends through a value of one of the owned types, reporting under
+// the given pass. It is the shared published-set walker: the snapshot pass
+// runs it over the registered SnapshotTypes, and the atomics pass runs it
+// over types derived from atomic.Pointer[T] fields of guarded types.
+func mutationsThrough(prog *Program, pkg *Package, fd *ast.FuncDecl, owned map[*types.TypeName]string, pass, why string) []Diagnostic {
 	var diags []Diagnostic
 	report := func(n ast.Node, name, how string) {
 		diags = append(diags, Diagnostic{
 			Pos:  prog.Fset.Position(n.Pos()),
-			Pass: PassSnapshot,
-			Message: fmt.Sprintf("%s %s, but snapshots are immutable once published; "+
-				"build in a registered builder or copy before mutating", how, name),
+			Pass: pass,
+			Message: fmt.Sprintf("%s %s, which %s; "+
+				"build in a registered builder or copy before mutating", how, name, why),
 		})
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				if name, ok := snapshotOwned(pkg.Info, lhs, snap); ok {
+				if name, ok := snapshotOwned(pkg.Info, lhs, owned); ok {
 					report(n, name, "assignment writes into snapshot type")
 				}
 			}
 		case *ast.IncDecStmt:
-			if name, ok := snapshotOwned(pkg.Info, n.X, snap); ok {
+			if name, ok := snapshotOwned(pkg.Info, n.X, owned); ok {
 				report(n, name, "++/-- mutates snapshot type")
 			}
 		case *ast.CallExpr:
 			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
 				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
-					if name, ok := snapshotOwned(pkg.Info, n.Args[0], snap); ok {
+					if name, ok := snapshotOwned(pkg.Info, n.Args[0], owned); ok {
 						report(n, name, "delete() removes from a map owned by snapshot type")
 					}
 				}

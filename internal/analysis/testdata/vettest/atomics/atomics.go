@@ -1,0 +1,63 @@
+// Package atomics is the clean half of the atomics-pass fixture: guarded
+// types whose every access stays inside the atomic discipline. The misuse
+// sites live in vettest/atomuse.
+package atomics
+
+import "sync/atomic"
+
+// Counter mirrors the kcov collector shape: an atomic-typed counter plus a
+// plain-typed buffer whose elements are accessed through sync/atomic
+// package functions.
+type Counter struct {
+	Hits atomic.Uint64
+	Buf  []uint32
+	Max  int
+}
+
+// New builds a counter; composite-literal construction never selects a
+// field, so it is discipline-neutral by design.
+func New(max int) *Counter {
+	return &Counter{Buf: make([]uint32, max), Max: max}
+}
+
+// Hit is the clean hot path: method call on the atomic field, atomic store
+// into the plain buffer.
+func (c *Counter) Hit(i int, pc uint32) {
+	c.Hits.Add(1)
+	atomic.StoreUint32(&c.Buf[i], pc)
+}
+
+// Snapshot reads the buffer back atomically; len and the index-only range
+// touch the slice header, not the guarded elements.
+func (c *Counter) Snapshot() []uint32 {
+	out := make([]uint32, 0, len(c.Buf))
+	for i := range c.Buf {
+		out = append(out, atomic.LoadUint32(&c.Buf[i]))
+	}
+	return out
+}
+
+// State is published through Board's atomic pointer, so it inherits
+// publish-immutability without being listed in SnapshotTypes.
+type State struct {
+	Edges   int
+	Weights map[string]int
+}
+
+// Board publishes State values to lock-free readers.
+type Board struct {
+	cur atomic.Pointer[State]
+}
+
+// BuildState is the registered builder: its construction writes are exempt.
+func BuildState(n int) *State {
+	s := &State{Weights: make(map[string]int, n)}
+	s.Edges = n
+	return s
+}
+
+// Publish swings the pointer; Current hands the immutable view out.
+func (b *Board) Publish(n int) { b.cur.Store(BuildState(n)) }
+
+// Current returns the latest published state.
+func (b *Board) Current() *State { return b.cur.Load() }

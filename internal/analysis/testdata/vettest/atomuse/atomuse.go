@@ -1,0 +1,57 @@
+// Package atomuse seeds the atomics-pass violations against the guarded
+// types declared in vettest/atomics.
+package atomuse
+
+import (
+	"sync/atomic"
+
+	"vettest/atomics"
+)
+
+// PlainRead reads an element of a buffer that is atomically written
+// elsewhere: mixed discipline, flagged.
+func PlainRead(c *atomics.Counter) uint32 {
+	return c.Buf[0]
+}
+
+// PlainWrite stores into the same buffer without sync/atomic: flagged.
+func PlainWrite(c *atomics.Counter, v uint32) {
+	c.Buf[1] = v
+}
+
+// Steal copies an atomic-typed field out of its API: flagged.
+func Steal(c *atomics.Counter) atomic.Uint64 {
+	return c.Hits
+}
+
+// ReadClean goes through the API and stays clean.
+func ReadClean(c *atomics.Counter) uint64 {
+	return c.Hits.Load()
+}
+
+// WaivedInit is a provably pre-publication plain store, waived.
+func WaivedInit() *atomics.Counter {
+	c := atomics.New(4)
+	c.Buf[2] = 1 //droidvet:atomics pre-publication init, c unpublished here
+	return c
+}
+
+// MutatePublished writes through a value published via atomic.Pointer:
+// flagged by the published-set extension of the snapshot contract.
+func MutatePublished(b *atomics.Board) {
+	s := b.Current()
+	s.Edges = 9
+}
+
+// DropWeight delete()s from a map owned by a published value: flagged.
+func DropWeight(b *atomics.Board) {
+	delete(b.Current().Weights, "k")
+}
+
+// CopyThenMutate reads the published value into plain locals and mutates
+// only those: the sanctioned pattern, never flagged.
+func CopyThenMutate(b *atomics.Board) *atomics.State {
+	edges := b.Current().Edges
+	edges++
+	return atomics.BuildState(edges)
+}

@@ -1,0 +1,59 @@
+package cpt
+
+// badState is Bad's checkpoint payload; field c never round-trips at all
+// and field b is dropped on the portable legs.
+type badState struct {
+	a uint64
+	b uint64
+	c uint64
+}
+
+// BadExport drops everything but A; Orphan is dead weight Export never
+// fills and Import never reads.
+type BadExport struct {
+	A      uint64
+	Orphan uint64
+}
+
+// Bad seeds one violation of every checkpoint check: leak is stateful but
+// never captured (and not annotated), waived is the same shape with an
+// explicit waiver.
+type Bad struct {
+	a      uint64
+	b      uint64
+	leak   uint64
+	waived uint64 //droidvet:checkpoint deliberate fixture omission
+}
+
+// Checkpoint implements Subsystem: badState.c is never populated.
+func (d *Bad) Checkpoint() any {
+	return badState{a: d.a, b: d.b}
+}
+
+// Restore implements Subsystem: badState.c is never read back.
+func (d *Bad) Restore(s any) {
+	st := s.(badState)
+	d.a = st.a
+	d.b = st.b
+}
+
+// Export implements Subsystem: only badState.a reaches the blob, and
+// BadExport.Orphan is never populated.
+func (d *Bad) Export() any {
+	st := d.Checkpoint().(badState)
+	return BadExport{A: st.a}
+}
+
+// Import implements Subsystem: only badState.a is re-materialized, and
+// BadExport.Orphan is never consumed.
+func (d *Bad) Import(b any) {
+	e := b.(BadExport)
+	d.Restore(badState{a: e.A})
+}
+
+// Gen implements Subsystem.
+func (d *Bad) Gen() uint64 { return 0 }
+
+// Leaked keeps the un-checkpointed fields live so the fixture is honest
+// about them being real state.
+func (d *Bad) Leaked() uint64 { return d.leak + d.waived }

@@ -1,0 +1,115 @@
+// Package golife fixes the goroutine-lifecycle pass: spawns whose loops
+// are tied to the registered done channel (or bounded) stay clean; leaks,
+// unregistered exits, and dynamic spawns are flagged.
+package golife
+
+import "time"
+
+// Worker owns the fixture channels: done is registered in the fixture
+// config's GoShutdownChans, myStop deliberately is not.
+type Worker struct {
+	done   chan struct{}
+	myStop chan struct{}
+	queue  chan int
+}
+
+// Leak spawns an unbounded loop with no exit at all: flagged.
+func (w *Worker) Leak() {
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// Tick spawns the classic ticker leak — a select loop whose only case is
+// the tick: flagged.
+func (w *Worker) Tick() {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.queue <- 0
+			}
+		}
+	}()
+}
+
+// Unregistered exits on a channel the daemon's close sequence does not
+// signal: the return is real, but the tie is unprovable — flagged.
+func (w *Worker) Unregistered() {
+	go func() {
+		for {
+			select {
+			case <-w.myStop:
+				return
+			case v := <-w.queue:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Dynamic spawns through a function value; the body cannot be resolved —
+// flagged.
+func Dynamic(fn func()) {
+	go fn()
+}
+
+// Tied selects on the registered done channel: clean.
+func (w *Worker) Tied() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			case v := <-w.queue:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Bounded runs a condition-bounded loop: clean.
+func (w *Worker) Bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			w.queue <- i
+		}
+	}()
+}
+
+// Drain ranges over a channel, which ends when the daemon closes it: clean.
+func (w *Worker) Drain() {
+	go func() {
+		for range w.queue {
+		}
+	}()
+}
+
+// Pump spawns a named method whose select-free loop exits through a plain
+// return on channel close — the transport readLoop idiom: clean.
+func (w *Worker) Pump() {
+	go w.pump()
+}
+
+func (w *Worker) pump() {
+	for {
+		v, ok := <-w.queue
+		if !ok {
+			return
+		}
+		_ = v
+	}
+}
+
+// WaivedLeak is a deliberate leak owned by a waiver: clean.
+func (w *Worker) WaivedLeak() {
+	go func() { //droidvet:golifetime intentional fixture leak
+		for {
+			w.queue <- 1
+		}
+	}()
+}

@@ -1,0 +1,39 @@
+// Package waiv fixes the waiver grammar edge cases: end-of-line vs
+// line-above placement, stacked waivers for different passes above one
+// statement, prose mentions that must not parse as waivers, and unknown
+// pass names that must be rejected.
+package waiv
+
+import "time"
+
+// EOLWaived carries its waiver at end of line.
+func EOLWaived() int64 {
+	return time.Now().UnixNano() //droidvet:nondet fixture: deliberate clock read
+}
+
+// LineAboveWaived carries its waiver on the line above.
+func LineAboveWaived() int64 {
+	//droidvet:nondet fixture: deliberate clock read
+	return time.Now().UnixNano()
+}
+
+// Stacked carries waivers for two passes above one statement; the first
+// must reach past its sibling to the statement.
+func Stacked() int64 {
+	//droidvet:nondet fixture: first of a stacked pair
+	//droidvet:poolcheck fixture: second of a stacked pair
+	return time.Now().UnixNano()
+}
+
+// ProseMention must stay flagged: the marker below sits mid-comment, so it
+// is documentation, not a waiver.
+func ProseMention() int64 {
+	// a real waiver would be //droidvet:nondet at the comment start
+	return time.Now().UnixNano()
+}
+
+// Unknown pass names waive nothing and are themselves findings.
+func UnknownPass() {
+	//droidvet:nosuchpass this must be rejected
+	//droidvet:nondet-flie typo'd file suffix is just an unknown pass too
+}

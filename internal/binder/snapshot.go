@@ -6,7 +6,15 @@ package binder
 // the generation check makes its restore free.
 
 type smState struct {
+	// Service identity cannot cross devices, so the portable round-trip is
+	// descriptor-set only (see SMExport): Export ships the sorted
+	// descriptors, Import verifies them against the receiver's own
+	// registry, and each twin keeps its own rebuilt service instances.
+	//droidvet:checkpoint portable blob carries the descriptor set only
 	services map[string]Service // shallow: Service identity is the state
+	// Observers are harness wiring, re-armed by the probing pass per
+	// device; an imported twin starts unobserved on purpose.
+	//droidvet:checkpoint observers never cross devices
 	observer Observer
 }
 

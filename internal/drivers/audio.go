@@ -40,7 +40,7 @@ const (
 // never terminates when the vendor low-latency path allowed a zero period
 // size: the soft-lockup watchdog reports an infinite loop in the driver.
 type AudioDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu       sync.Mutex

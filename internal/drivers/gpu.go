@@ -29,7 +29,7 @@ const GPUCmdMagic uint32 = 0x43555047
 // reservation lock whose subclass derives from the stream's nesting depth
 // (bug №3: "BUG: looking up invalid subclass: NUM").
 type GPUDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu       sync.Mutex

@@ -59,7 +59,7 @@ type hciConnection struct {
 // reproducing bug №7; the accept queue keeps freed connection objects
 // linked, reproducing bug №11.
 type HCIDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu         sync.Mutex

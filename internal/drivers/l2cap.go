@@ -30,7 +30,7 @@ const (
 // shallow — reachable by a plain syscall fuzzer, matching the paper's
 // finding that Syzkaller discovers 2 kernel bugs.
 type L2CAPDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 	mu sync.Mutex
 

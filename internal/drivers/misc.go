@@ -19,7 +19,7 @@ const (
 
 // SensorDriver models an IIO sensor hub with 8 channels.
 type SensorDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu       sync.Mutex
@@ -161,7 +161,7 @@ const (
 
 // NFCDriver models an NFC controller with a firmware-download path.
 type NFCDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu      sync.Mutex
@@ -272,7 +272,7 @@ const (
 
 // ThermalDriver models a thermal-zone controller with 4 zones.
 type ThermalDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu     sync.Mutex

@@ -79,7 +79,7 @@ func ParamDSLName(family, knob string) string {
 // Knobs is the live runtime-parameter state of one driver instance.
 type Knobs struct {
 	snap.Dirty
-	family string
+	family string //droidvet:checkpoint ephemeral instance identity, fixed at construction
 	specs  []Knob
 	ints   []atomic.Uint64
 	strs   []atomic.Pointer[string]

@@ -49,7 +49,7 @@ const (
 // TCPCDriver is the Type-C port controller driver. Adapter state is shared
 // across all open fds, as the real single-port hardware would be.
 type TCPCDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu        sync.Mutex

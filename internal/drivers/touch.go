@@ -34,7 +34,7 @@ const PathTouch = "/dev/touch0"
 // modes, a firmware-update path with a vendor header, and an event stream.
 // Injected events arrive via write() as (x, y, pressure) triples.
 type TouchDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu         sync.Mutex

@@ -38,7 +38,7 @@ const (
 // streaming with nonzero reserved field) is moderately shallow so that
 // syscall-only fuzzing can reach it, matching Table II.
 type V4L2Driver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu        sync.Mutex

@@ -23,7 +23,7 @@ const (
 // is the rate_control_rate_init WARN when association proceeds with an
 // all-zero configured rate mask after a completed scan.
 type WLANDriver struct {
-	bugs bugs.Set
+	bugs bugs.Set //droidvet:checkpoint ephemeral injected fault set, fixed at construction
 	snap.Dirty
 
 	mu       sync.Mutex

@@ -122,7 +122,7 @@ func (p *Probe) deliver(ev vkernel.Event) {
 // paper's probing pass does around each Poke trial.
 type Hub struct {
 	mu     sync.Mutex
-	probes []*Probe
+	probes []*Probe //droidvet:checkpoint ephemeral probes are harness wiring, not device state (see snapshot.go)
 }
 
 // NewHub returns an empty hub.

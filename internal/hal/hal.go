@@ -217,11 +217,11 @@ func (b *Base) segfault(site string) {
 // assigns the PID, recovers native crashes, and refuses transactions while
 // dead (DEAD_OBJECT), until the device reboots and reconstructs it.
 type Process struct {
-	PID int
+	PID int //droidvet:checkpoint ephemeral assigned by init at spawn; a restore keeps the same process
 	snap.Dirty
 
 	inner   binder.Service
-	label   string
+	label   string //droidvet:checkpoint ephemeral service identity, fixed at construction
 	rebuild func() binder.Service // reconstructs a pristine service on restore
 	mu      sync.Mutex
 	dead    bool

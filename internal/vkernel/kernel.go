@@ -147,11 +147,11 @@ type Kernel struct {
 	snap.Dirty
 
 	mu      sync.Mutex
-	devs    map[string]Driver
-	params  map[string]*Param
+	devs    map[string]Driver //droidvet:checkpoint ephemeral boot wiring; drivers checkpoint themselves as subsystems
+	params  map[string]*Param //droidvet:checkpoint ephemeral registry wiring; knob values are the Knobs subsystem's state
 	files   map[int]*openFile
 	nextFD  int
-	tracer  TraceFunc
+	tracer  TraceFunc //droidvet:checkpoint ephemeral harness callback, not device state
 	seq     uint64
 	crashes []Crash
 	wedged  bool
@@ -170,6 +170,7 @@ type Kernel struct {
 	// gate, when non-nil, vetoes syscalls before dispatch (used by the
 	// DROIDFUZZ-D ioctl-only variant, paper §V-C2). Vetoed syscalls fail
 	// with EPERM and are still traced.
+	//droidvet:checkpoint ephemeral variant configuration, fixed for a campaign
 	gate func(origin Origin, nr string) bool
 
 	// StepBudget bounds driver-internal loop iterations per syscall before
