@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race sanitize bench bench-json smoke smoke-params smoke-clone check clean
+.PHONY: all build vet test race sanitize bench bench-json smoke smoke-params smoke-clone smoke-coord check clean
 
 all: check
 
@@ -45,6 +45,7 @@ bench-json:
 	$(GO) run ./cmd/benchperf -pr 6 -o BENCH_PR6.json
 	$(GO) run ./cmd/benchperf -pr 7 -o BENCH_PR7.json
 	$(GO) run ./cmd/benchperf -pr 8 -o BENCH_PR8.json
+	$(GO) run ./cmd/benchperf -pr 10 -o BENCH_PR10.json
 
 # smoke runs a short droidfleet campaign against droidbrokerd over TCP
 # loopback and asserts clean execution and shutdown.
@@ -63,6 +64,13 @@ smoke-params:
 # status report).
 smoke-clone:
 	./scripts/smoke_clone.sh
+
+# smoke-coord stands up a coordinator with two droidfleet hosts over
+# loopback TCP in both the plain and the sanitize build and asserts the
+# federated campaign converged (equal nonzero corpus fingerprints, all
+# shards done, federation bytes in both directions).
+smoke-coord:
+	./scripts/smoke_coord.sh
 
 check: build vet race sanitize
 

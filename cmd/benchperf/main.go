@@ -37,9 +37,18 @@
 // prefix re-execution, and the per-exec overhead of -reset=exec pristine
 // mode against -reset=never, bounded by the light-dirty restore cost.
 //
+// -pr 10 runs the PR 10 distributed-fleet benchmarks and writes
+// BENCH_PR10.json: complete coordinated campaigns on 1-, 2- and 4-host
+// fleets with a fixed simulated per-execution device latency (aggregate
+// execs/sec, so the 2-vs-1 ratio is the fleet-scaling factor), and the
+// federation uplink comparison — cursor-tracked delta batches with
+// delta/varint-coded learn records against naive full-state gob
+// synchronization, in bytes per epoch. With -short the 4-host point is
+// dropped.
+//
 // Usage:
 //
-//	go run ./cmd/benchperf [-pr 1|3|5|6|7|8] [-short] [-o FILE] [-benchtime 1s]
+//	go run ./cmd/benchperf [-pr 1|3|5|6|7|8|10] [-short] [-o FILE] [-benchtime 1s]
 package main
 
 import (
@@ -73,7 +82,10 @@ type measurement struct {
 	// PCs accumulated per campaign run.
 	GatedPCsPerRun  float64 `json:"gated_pcs_per_run,omitempty"`
 	KernelCovPerRun float64 `json:"kernel_cov_per_run,omitempty"`
-	Iterations   int     `json:"iterations"`
+	// UplinkBytesPerEpoch is the PR 10 federation metric: bytes one host
+	// ships per federation epoch under the encoding being measured.
+	UplinkBytesPerEpoch float64 `json:"uplink_bytes_per_epoch,omitempty"`
+	Iterations          int     `json:"iterations"`
 }
 
 // seedEngineStep is the EngineStep measurement taken on the PR 0 seed tree
@@ -128,11 +140,14 @@ func measure(name string, f func(*testing.B)) measurement {
 	if v, ok := r.Extra["cover/run"]; ok {
 		m.KernelCovPerRun = v
 	}
+	if v, ok := r.Extra["uplinkB/epoch"]; ok {
+		m.UplinkBytesPerEpoch = v
+	}
 	return m
 }
 
 func main() {
-	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3, 5, 6, 7 or 8)")
+	pr := flag.Int("pr", 1, "which PR's benchmark suite to run (1, 3, 5, 6, 7, 8 or 10)")
 	out := flag.String("o", "", "output file (default BENCH_PR<n>.json)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target run time")
 	short := flag.Bool("short", false, "smoke subset: skip the 1/2/4-engine fleet points (-pr 5 only)")
@@ -332,8 +347,48 @@ func main() {
 			summary += fmt.Sprintf(", pristine overhead %.2fx light restore",
 				rep.Speedups["PristineOverheadVsLightRestore"])
 		}
+	case 10:
+		rep.Description = "distributed fleet: latency-bound multi-host scaling + delta-coded federation uplink"
+		benches := []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"FedHost1", perf.FedHost1},
+			{"FedHost2", perf.FedHost2},
+			{"FedHost4", perf.FedHost4},
+			{"FedUplinkDelta", perf.FedUplinkDelta},
+			{"FedUplinkFull", perf.FedUplinkFull},
+		}
+		if *short {
+			// The smoke run keeps the 2-vs-1 scaling pair and the uplink
+			// pair — the two floors CI asserts — and drops the 4-host point.
+			benches = []struct {
+				name string
+				body func(*testing.B)
+			}{
+				{"FedHost1", perf.FedHost1},
+				{"FedHost2", perf.FedHost2},
+				{"FedUplinkDelta", perf.FedUplinkDelta},
+				{"FedUplinkFull", perf.FedUplinkFull},
+			}
+		}
+		for _, b := range benches {
+			rep.Benchmarks[b.name] = measure(b.name, b.body)
+		}
+		rep.Speedups = map[string]float64{
+			"Fed2HostExecsPerSec": round2(rep.Benchmarks["FedHost2"].ExecsPerSec /
+				rep.Benchmarks["FedHost1"].ExecsPerSec),
+			"FedUplinkBytesVsFull": round2(rep.Benchmarks["FedUplinkFull"].UplinkBytesPerEpoch /
+				rep.Benchmarks["FedUplinkDelta"].UplinkBytesPerEpoch),
+		}
+		if !*short {
+			rep.Speedups["Fed4HostExecsPerSec"] = round2(rep.Benchmarks["FedHost4"].ExecsPerSec /
+				rep.Benchmarks["FedHost1"].ExecsPerSec)
+		}
+		summary = fmt.Sprintf("2-host fleet %.2fx execs/sec, federation uplink %.2fx fewer bytes/epoch",
+			rep.Speedups["Fed2HostExecsPerSec"], rep.Speedups["FedUplinkBytesVsFull"])
 	default:
-		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3, 5, 6, 7 or 8)\n", *pr)
+		fmt.Fprintf(os.Stderr, "benchperf: unknown -pr %d (want 1, 3, 5, 6, 7, 8 or 10)\n", *pr)
 		os.Exit(1)
 	}
 

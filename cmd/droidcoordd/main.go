@@ -1,0 +1,133 @@
+// Command droidcoordd runs the fleet coordinator: it shards one campaign
+// across registering droidfleet hosts, hands shards out with work stealing,
+// evicts hosts that go silent (requeuing their shards warm, checkpoint and
+// all), and federates the fleet's learned state — corpus admissions
+// deduplicated by canonical-text hash and delta-coded relation learn
+// records merged into one journal.
+//
+// Usage:
+//
+//	droidcoordd -listen :7200 -hosts 2 -models A1,B -shards 4
+//	            -devices 2 -iters 20000 [-epoch 256] [-seed 1]
+//	            [-evict-after 10s] [-linger 30s]
+//
+// Hosts connect with `droidfleet -coord <addr>`. The coordinator exits once
+// every shard has completed and the live hosts' federation cursors have
+// drained (bounded by -linger), printing the campaign summary: per-host
+// execution/steal counts, eviction count, federated corpus size and
+// fingerprint, and the merged relation graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"droidfuzz/internal/coord"
+	"droidfuzz/internal/device"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7200", "TCP address to serve hosts on")
+		hosts      = flag.Int("hosts", 2, "expected fleet size (shards are pre-partitioned across this many hosts)")
+		models     = flag.String("models", "A1,B", "comma-separated device model IDs, assigned to shards round-robin")
+		shards     = flag.Int("shards", 0, "total shard count (0 = one per model)")
+		devices    = flag.Int("devices", 1, "devices per shard")
+		iters      = flag.Int("iters", 20000, "fuzzing iterations per device per shard")
+		epoch      = flag.Int("epoch", 256, "federation cadence: iterations per device between uplink/downlink exchanges")
+		seed       = flag.Int64("seed", 1, "campaign base seed (each device gets a disjoint derived seed)")
+		evictAfter = flag.Duration("evict-after", 10*time.Second, "silence window after which a host is evicted and its shards requeued")
+		linger     = flag.Duration("linger", 30*time.Second, "how long to wait after campaign completion for hosts to drain the final federation delta")
+	)
+	flag.Parse()
+	if err := run(*listen, *models, *hosts, *shards, *devices, *iters, *epoch, *seed, *evictAfter, *linger); err != nil {
+		fmt.Fprintln(os.Stderr, "droidcoordd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, models string, hosts, shards, devices, iters, epoch int, seed int64, evictAfter, linger time.Duration) error {
+	var ids []string
+	valid := device.IDs()
+	for _, part := range strings.Split(models, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		ok := false
+		for _, v := range valid {
+			if v == part {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown device model %q (valid: %s)", part, strings.Join(valid, ", "))
+		}
+		ids = append(ids, part)
+	}
+
+	c, err := coord.New(coord.Campaign{
+		Models: ids, Shards: shards, Devices: devices,
+		Iters: iters, Seed: seed, EpochIters: epoch,
+	}, coord.Options{Hosts: hosts, EvictAfter: evictAfter})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	srv := &coord.Server{C: c}
+	go srv.ServeTCP(ln)
+
+	st, _ := c.Snapshot()
+	fmt.Printf("coordinator: %s serving %d shards (%s, %d devices each, %d iters, epoch %d) for %d hosts\n",
+		ln.Addr(), st.ShardsTotal, strings.Join(ids, ","), devices, iters, epoch, hosts)
+
+	progress := time.NewTicker(5 * time.Second)
+	defer progress.Stop()
+	for {
+		select {
+		case <-c.Done():
+		case <-progress.C:
+			st, hs := c.Snapshot()
+			fmt.Printf("  shards %d/%d done, hosts %d live/%d, steals=%d evictions=%d corpus=%d\n",
+				st.ShardsDone, st.ShardsTotal, st.Live, st.Hosts, st.Steals, st.Evictions, st.CorpusSize)
+			_ = hs
+			continue
+		}
+		break
+	}
+
+	// Campaign done; give hosts the linger window to drain the final
+	// federation delta before the listener goes away.
+	deadline := time.Now().Add(linger)
+	for !c.Drained() && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	st, hostRows := c.Snapshot()
+	fmt.Println()
+	fmt.Printf("campaign complete: %d shards, %d steals, %d evictions\n",
+		st.ShardsDone, st.Steals, st.Evictions)
+	fmt.Printf("federation: corpus=%d fingerprint=%#x journal=%d ops, %dB in / %dB out\n",
+		st.CorpusSize, st.CorpusFingerprint, st.LearnOps, st.BytesIn, st.BytesOut)
+	fmt.Printf("merged relations: %v\n", c.Merged())
+	for _, h := range hostRows {
+		state := "live"
+		if h.Evicted {
+			state = "evicted"
+		}
+		fmt.Printf("  %-4s %-12s %-8s execs=%d steals=%d health=%.2f\n",
+			h.ID, h.Name, state, h.Execs, h.Steals, h.Health)
+	}
+	if !c.Drained() {
+		fmt.Println("warning: some hosts did not drain the final federation delta before -linger expired")
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	           [-reset never|exec|batch] [-lineage K] [-lineage-len L]
 //	           [-rounds 4] [-corpus DIR] [-status status.json]
 //	droidfleet -remote 127.0.0.1:7100,127.0.0.1:7101 -iters 20000 ...
+//	droidfleet -coord 127.0.0.1:7200 [-host-name lab-3] ...
 //
 // -workers bounds how many device engines run at once (0 = one worker per
 // CPU, capped at the fleet size). -pipeline sets each engine's generation
@@ -43,6 +44,14 @@
 // device's interface surface and probing seeds, and a broker that dies
 // mid-campaign degrades only its own engine (visible as execerrs) while
 // the rest of the fleet finishes.
+//
+// With -coord, this process becomes one host of a multi-host fleet: it
+// registers with a droidcoordd coordinator, leases campaign shards (models,
+// seed ranges, and iteration budgets come from the coordinator — the local
+// -devices/-iters/-seed flags are ignored), runs them with work stealing,
+// and exchanges federation deltas every epoch. The status report gains the
+// fleet block (host ID, shard epochs, federation bytes, steals, and the
+// converged corpus fingerprint).
 package main
 
 import (
@@ -52,8 +61,10 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"time"
 
 	"droidfuzz/internal/adb"
+	"droidfuzz/internal/coord"
 	"droidfuzz/internal/crash"
 	"droidfuzz/internal/daemon"
 	"droidfuzz/internal/device"
@@ -63,8 +74,10 @@ import (
 
 func main() {
 	var (
-		devices   = flag.String("devices", "A1,B,D", "comma-separated device model IDs (ignored with -remote)")
+		devices   = flag.String("devices", "A1,B,D", "comma-separated device model IDs (ignored with -remote/-coord)")
 		remote    = flag.String("remote", "", "comma-separated droidbrokerd addresses to drive instead of in-process devices")
+		coordAddr = flag.String("coord", "", "droidcoordd address: join a multi-host fleet as one coordinated host")
+		hostName  = flag.String("host-name", "", "advisory host label sent to the coordinator (default: os hostname)")
 		iters     = flag.Int("iters", 20000, "fuzzing iterations per device")
 		seed      = flag.Int64("seed", 1, "base RNG seed (device i uses seed+i)")
 		workers   = flag.Int("workers", 0, "max concurrent device engines (0 = NumCPU)")
@@ -87,6 +100,7 @@ func main() {
 
 	cfg := fleetConfig{
 		devices: *devices, remote: *remote,
+		coord: *coordAddr, hostName: *hostName,
 		iters: *iters, seed: *seed, workers: *workers,
 		pipeline: *pipeline, batch: *batch, window: *window,
 		rounds: *rounds, params: *params,
@@ -102,6 +116,8 @@ func main() {
 type fleetConfig struct {
 	devices   string
 	remote    string
+	coord     string
+	hostName  string
 	iters     int
 	seed      int64
 	workers   int
@@ -136,8 +152,11 @@ func (c *fleetConfig) validate() error {
 	case c.batch > 1 && c.pipeline <= 0:
 		return fmt.Errorf("-batch %d needs -pipeline > 0 (batches are fed by the generation look-ahead)", c.batch)
 	}
-	if c.remote != "" {
-		return nil // device IDs come from the remote handshakes
+	if c.remote != "" && c.coord != "" {
+		return fmt.Errorf("-remote and -coord are mutually exclusive")
+	}
+	if c.remote != "" || c.coord != "" {
+		return nil // device IDs come from the remote handshakes / coordinator
 	}
 	valid := device.IDs()
 	for _, id := range splitList(c.devices) {
@@ -163,6 +182,9 @@ func splitList(s string) []string {
 func run(cfg fleetConfig) error {
 	if err := cfg.validate(); err != nil {
 		return err
+	}
+	if cfg.coord != "" {
+		return runCoordinated(cfg)
 	}
 	d := daemon.New()
 	var remotes map[string]*adb.Resilient
@@ -212,6 +234,62 @@ func run(cfg fleetConfig) error {
 	}
 	printWireStats(remotes)
 
+	fmt.Println()
+	fmt.Println(crash.Table(d.Bugs()))
+	fmt.Printf("relation table: %v\n", d.Graph())
+	if cfg.corpusDir != "" {
+		if err := d.SaveCorpora(cfg.corpusDir); err != nil {
+			return err
+		}
+		fmt.Printf("corpora saved to %s\n", cfg.corpusDir)
+	}
+	if cfg.statusOut != "" {
+		f, err := os.Create(cfg.statusOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := d.WriteStatus(f); err != nil {
+			return err
+		}
+		fmt.Printf("status written to %s\n", cfg.statusOut)
+	}
+	return nil
+}
+
+// runCoordinated joins a droidcoordd fleet as one host: shard leases,
+// work stealing, and federation epochs all come from the coordinator, and
+// the local flags only tune this host's execution layer.
+func runCoordinated(cfg fleetConfig) error {
+	name := cfg.hostName
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	cl, err := coord.DialClient(cfg.coord, coord.ClientOptions{})
+	if err != nil {
+		return fmt.Errorf("coordinator %s: %w", cfg.coord, err)
+	}
+	defer cl.Close()
+	h := coord.NewHost(cl, coord.HostOptions{
+		Name:           name,
+		Workers:        cfg.workers,
+		Pipeline:       cfg.pipeline,
+		Batch:          cfg.batch,
+		HeartbeatEvery: time.Second,
+		Engine: engine.Config{
+			Params: cfg.params, Reset: cfg.reset,
+			LineageK: cfg.lineage, LineageLen: cfg.lineageLen,
+		},
+	})
+	fmt.Printf("fleet: coordinated host %q -> %s (workers=%d pipeline=%d batch=%d)\n",
+		name, cfg.coord, cfg.workers, cfg.pipeline, cfg.batch)
+	if err := h.Run(); err != nil {
+		return err
+	}
+	d := h.Daemon()
+	fmt.Printf("host %s done: %d shard steal(s), corpus fingerprint %#x\n",
+		h.ID(), h.Steals(), h.Fingerprint())
+	printStats(d)
 	fmt.Println()
 	fmt.Println(crash.Table(d.Bugs()))
 	fmt.Printf("relation table: %v\n", d.Graph())

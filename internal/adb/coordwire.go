@@ -1,0 +1,177 @@
+package adb
+
+// Coordinator wire protocol (fleet federation). A multi-host campaign runs
+// one droidcoordd; every host speaks this request/reply vocabulary to it
+// over the same gob stream discipline as the broker protocol — lock-step
+// frames, ErrTransport on stream failures, *RemoteError on coordinator
+// rejections. The frame roots are droidvet wire-frame roots: any layout
+// drift must be deliberate and lands in wire.lock.
+//
+// The vocabulary mirrors the shard lifecycle: a host Registers once, then
+// loops Lease → (Progress…) → Complete per shard, Heartbeats in the
+// background, and finishes with a Sync that drains the remaining
+// federation delta. Every Lease, Progress, and Sync reply carries the
+// coordinator's downlink — the merged-novelty delta the host lacks — so
+// federation needs no extra round trips.
+
+// CoordRequest is one host→coordinator frame; exactly one field is set.
+type CoordRequest struct {
+	Register  *CoordRegister
+	Heartbeat *CoordHeartbeat
+	Lease     *CoordLeaseRequest
+	Progress  *CoordProgress
+	Complete  *CoordComplete
+	Sync      *CoordSync
+}
+
+// CoordReply is one coordinator→host frame: the field matching the request
+// kind is set, or Err carries a coordinator-side rejection (the stream
+// stays healthy — clients surface it as *RemoteError).
+type CoordReply struct {
+	Registered *CoordRegistered
+	Beat       *CoordBeat
+	Shard      *CoordShard
+	Ack        *CoordAck
+	Err        string
+}
+
+// CoordRegister announces a host joining the campaign.
+type CoordRegister struct {
+	// Name is an advisory operator label; the coordinator assigns the ID.
+	Name string
+}
+
+// CoordRegistered is the registration outcome.
+type CoordRegistered struct {
+	// HostID is the coordinator-assigned identity. Hosts prefix their
+	// device IDs with it, which is what makes (device, seq) learn keys
+	// globally unique across the fleet.
+	HostID string
+	// EpochIters is the federation cadence: iterations per device between
+	// a host's uplink/downlink exchanges.
+	EpochIters int
+}
+
+// CoordHeartbeat is the background liveness beacon.
+type CoordHeartbeat struct {
+	HostID string
+	// Execs is the host's lifetime execution count, for health scoring.
+	Execs uint64
+}
+
+// CoordBeat answers a heartbeat.
+type CoordBeat struct {
+	// Health is the coordinator's current score for the host in [0, 1].
+	Health float64
+}
+
+// CoordLeaseRequest asks for the next shard.
+type CoordLeaseRequest struct {
+	HostID string
+}
+
+// CoordShard is one leased campaign shard plus its warm-start payload.
+type CoordShard struct {
+	// Done means the campaign is drained; no other field is set.
+	Done bool
+	// Wait means no shard is available right now but others still hold
+	// leases (their shards may yet be requeued) — poll again shortly.
+	Wait bool
+
+	ID      int
+	Model   string
+	Devices int
+	// Iters is the remaining per-device iteration budget: a requeued shard
+	// resumes where its previous owner's last Progress report left it.
+	Iters int
+	// Seed is the shard's base RNG seed; device j runs Seed + j.
+	Seed int64
+	// Stolen marks a shard taken from another host's queue (or requeued
+	// from an evicted host) rather than from the leasing host's own.
+	Stolen bool
+	// Checkpoint, when non-nil, is the portable device checkpoint from the
+	// shard's previous owner's last Progress report; importing it into the
+	// shard's fresh devices resumes warm instead of cold.
+	Checkpoint []byte
+	// Batch is the federation downlink: merged novelty this host lacks,
+	// shipped with the lease so even a stolen shard starts from the
+	// fleet's current corpus.
+	Batch *FedBatch
+}
+
+// CoordProgress reports in-flight shard progress and carries the host's
+// periodic federation uplink.
+type CoordProgress struct {
+	HostID  string
+	ShardID int
+	// ExecsDone is the per-device iteration count completed under the
+	// current lease; the coordinator adds inherited progress itself and
+	// uses the sum to requeue the remainder if this host dies.
+	ExecsDone int
+	// Checkpoint is the current portable device checkpoint (optional); the
+	// latest one rides along with the shard if it is requeued.
+	Checkpoint []byte
+	// Batch is the uplink delta: corpus admissions, vertices, and learn
+	// records new since the host's previous exchange.
+	Batch *FedBatch
+}
+
+// CoordComplete reports a finished shard with its final uplink.
+type CoordComplete struct {
+	HostID  string
+	ShardID int
+	Batch   *FedBatch
+}
+
+// CoordSync is a pure federation exchange outside any shard: the optional
+// uplink delta in, the downlink delta out. Hosts use it to drain the final
+// merged state after the campaign is done.
+type CoordSync struct {
+	HostID string
+	Batch  *FedBatch
+}
+
+// CoordAck acknowledges Progress, Complete, and Sync, carrying the
+// downlink delta.
+type CoordAck struct {
+	Batch *FedBatch
+}
+
+// FedBatch is one federation delta: everything one side learned that the
+// other has not seen. All three sections are deduplicated by the sender
+// against what it knows the receiver holds, so steady-state batches carry
+// only genuine novelty.
+type FedBatch struct {
+	// Progs are canonical corpus program texts, identified fleet-wide by
+	// their 64-bit FNV-1a text hash (corpus.Hash).
+	Progs []string
+	// Verts registers relation-graph vertices (the union graph's node set;
+	// receivers that cannot generate a vertex simply ignore learns naming
+	// it).
+	Verts []FedVertex
+	// Learns is the delta/varint-coded learn-record block.
+	Learns FedLearns
+}
+
+// FedVertex is one relation-graph vertex spec.
+type FedVertex struct {
+	Name   string
+	Weight float64
+}
+
+// FedLearns is a block of (device, seq)-stamped relation learn records in
+// columnar delta/varint coding: each record's vertex pair and device are
+// table indexes, and the four index/seq columns ride the kcov zigzag-varint
+// delta codec — the same machinery that compresses coverage traces, applied
+// to the federation uplink. Encode/decode live in internal/coord.
+type FedLearns struct {
+	// Names is the vertex name table; Devices the device-ID table. Both
+	// are local to this block and ordered by first appearance.
+	Names   []string
+	Devices []string
+	// A, B, Dev, and Seq are delta-coded uint32 columns of Count entries
+	// each: indexes into Names (A, B), indexes into Devices (Dev), and the
+	// per-device learn sequence numbers (Seq).
+	A, B, Dev, Seq []byte
+	Count          int
+}

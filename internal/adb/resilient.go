@@ -3,6 +3,7 @@ package adb
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -74,6 +75,11 @@ type Resilient struct {
 	// wire accumulates the uplink accounting of connections already
 	// retired; the live connection's share is added on read.
 	wire WireStats
+	// now and rng are the backoff clock and jitter source; nil means wall
+	// clock and a wall-clock-seeded generator. Tests inject deterministic
+	// ones to exercise the cooldown envelope without sleeping.
+	now func() time.Time
+	rng *rand.Rand
 }
 
 var (
@@ -172,7 +178,7 @@ func (r *Resilient) get() (*Conn, error) {
 	// Reconnect backoff is wall-clock by nature: it gates transport
 	// redials, never a fuzzing decision, and replay runs in-process
 	// without a Resilient client at all.
-	if now := time.Now(); now.Before(r.downUntil) { //droidvet:nondet wall-clock backoff gate
+	if now := r.clockLocked()(); now.Before(r.downUntil) {
 		return nil, fmt.Errorf("%w: %s down, retry in %v",
 			ErrTransport, r.addr, r.downUntil.Sub(now).Round(time.Millisecond))
 	}
@@ -200,16 +206,53 @@ func (r *Resilient) get() (*Conn, error) {
 	return conn, nil
 }
 
-// noteFailureLocked arms the reconnect cooldown with exponential backoff.
+// noteFailureLocked arms the reconnect cooldown: an exponential envelope
+// with full jitter. The envelope bounds how hard a dead broker is hammered;
+// the jitter spreads N clients that lost the same broker at the same moment
+// (a coordinator or broker restart) across the whole window instead of
+// letting them thunder back in lockstep on identical schedules.
 func (r *Resilient) noteFailureLocked() {
-	d := r.opts.BackoffBase << r.failStreak
-	if d > r.opts.BackoffMax || d <= 0 {
-		d = r.opts.BackoffMax
-	}
+	d := BackoffJitter(r.jitterLocked(), r.opts.BackoffBase, r.opts.BackoffMax, r.failStreak)
 	if r.failStreak < 30 {
 		r.failStreak++
 	}
-	r.downUntil = time.Now().Add(d) //droidvet:nondet wall-clock backoff arm
+	r.downUntil = r.clockLocked()().Add(d)
+}
+
+// clockLocked returns the backoff clock, defaulting to the wall clock on
+// first use (the backoff gates transport redials, never a fuzzing
+// decision; see the get() comment).
+func (r *Resilient) clockLocked() func() time.Time {
+	if r.now == nil {
+		r.now = time.Now //droidvet:nondet wall-clock backoff clock
+	}
+	return r.now
+}
+
+// jitterLocked returns the jitter source, seeding one from the wall clock
+// on first use so every client draws an independent schedule.
+func (r *Resilient) jitterLocked() *rand.Rand {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(time.Now().UnixNano())) //droidvet:nondet per-client jitter seed
+	}
+	return r.rng
+}
+
+// BackoffJitter computes one full-jitter reconnect delay: uniform in
+// [0, min(base<<streak, max)]. Full jitter (over the equal-jitter
+// base/2+rand variant) gives the fastest desynchronization of a herd while
+// keeping the same exponential cap, and a zero draw is harmless — the next
+// failure re-arms with a doubled envelope. Shared by Resilient and the
+// coordinator client, which follows the same reconnect discipline.
+func BackoffJitter(rng *rand.Rand, base, max time.Duration, streak int) time.Duration {
+	d := base << streak
+	if d > max || d <= 0 {
+		d = max
+	}
+	if rng == nil || d <= 0 {
+		return d
+	}
+	return time.Duration(rng.Int63n(int64(d) + 1))
 }
 
 // drop discards a connection after a transport failure (unless a newer

@@ -2,6 +2,7 @@ package adb
 
 import (
 	"errors"
+	"math/rand"
 	"net"
 	"testing"
 	"time"
@@ -187,5 +188,112 @@ func TestResilientRejectsChangedBroker(t *testing.T) {
 			t.Fatalf("fatal rejection never surfaced: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// newJitterClient builds an unconnected Resilient with a pinned fake clock
+// and a seeded jitter source, for driving the backoff bookkeeping directly.
+func newJitterClient(seed int64, now func() time.Time) *Resilient {
+	opts := ResilientOptions{BackoffBase: 100 * time.Millisecond, BackoffMax: 2 * time.Second}
+	opts.defaults()
+	r := &Resilient{addr: "jitter-test", opts: opts}
+	r.now = now
+	r.rng = rand.New(rand.NewSource(seed))
+	return r
+}
+
+// TestResilientBackoffFullJitter pins the full-jitter cooldown against a
+// fake clock: every delay stays inside the exponential envelope
+// [0, min(base<<streak, max)], the envelope itself is reachable and capped,
+// and the schedule is deterministic per seed.
+func TestResilientBackoffFullJitter(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return epoch }
+
+	r := newJitterClient(7, clock)
+	for k := 0; k < 12; k++ {
+		env := r.opts.BackoffBase << k
+		if env > r.opts.BackoffMax || env <= 0 {
+			env = r.opts.BackoffMax
+		}
+		r.mu.Lock()
+		r.noteFailureLocked()
+		d := r.downUntil.Sub(epoch)
+		r.mu.Unlock()
+		if d < 0 || d > env {
+			t.Fatalf("streak %d: cooldown %v outside [0, %v]", k, d, env)
+		}
+	}
+
+	// Same seed, same failure history => same schedule (the test seam the
+	// golden campaigns rely on).
+	a, b := newJitterClient(11, clock), newJitterClient(11, clock)
+	for k := 0; k < 8; k++ {
+		a.mu.Lock()
+		a.noteFailureLocked()
+		da := a.downUntil
+		a.mu.Unlock()
+		b.mu.Lock()
+		b.noteFailureLocked()
+		db := b.downUntil
+		b.mu.Unlock()
+		if !da.Equal(db) {
+			t.Fatalf("streak %d: same seed diverged: %v vs %v", k, da, db)
+		}
+	}
+}
+
+// TestResilientBackoffDesynchronizesHerd is the thundering-herd property:
+// N clients that lose the same coordinator at the same instant, with
+// identical failure streaks, must not share a wake-up schedule. With full
+// jitter over a 100ms..2s envelope, 16 clients colliding on every one of 6
+// rounds is astronomically unlikely; any spread proves desynchronization.
+func TestResilientBackoffDesynchronizesHerd(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return epoch }
+	const herd = 16
+
+	clients := make([]*Resilient, herd)
+	for i := range clients {
+		clients[i] = newJitterClient(int64(1000+i), clock)
+	}
+	for round := 0; round < 6; round++ {
+		wake := make(map[time.Time]int)
+		for _, r := range clients {
+			r.mu.Lock()
+			r.noteFailureLocked()
+			wake[r.downUntil]++
+			r.mu.Unlock()
+		}
+		if len(wake) > 1 {
+			return // schedules diverged: the herd is broken up
+		}
+	}
+	t.Fatal("16 clients kept identical backoff schedules across 6 rounds")
+}
+
+// TestBackoffJitterEnvelope pins the helper itself: nil rng returns the
+// deterministic envelope, the cap holds for huge streaks (including the
+// shift overflowing), and draws never exceed the envelope.
+func TestBackoffJitterEnvelope(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	if d := BackoffJitter(nil, base, max, 0); d != base {
+		t.Fatalf("nil rng streak 0: got %v, want %v", d, base)
+	}
+	if d := BackoffJitter(nil, base, max, 20); d != max {
+		t.Fatalf("nil rng streak 20: got %v, want capped %v", d, max)
+	}
+	if d := BackoffJitter(nil, base, max, 62); d != max {
+		t.Fatalf("nil rng overflowing shift: got %v, want capped %v", d, max)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 40; k++ {
+		env := base << (k % 8)
+		if env > max {
+			env = max
+		}
+		if d := BackoffJitter(rng, base, max, k%8); d < 0 || d > env {
+			t.Fatalf("streak %d: draw %v outside [0, %v]", k%8, d, env)
+		}
 	}
 }

@@ -254,6 +254,8 @@ func DefaultConfig() Config {
 		WireRoots: []string{
 			"droidfuzz/internal/adb.rpcRequest",
 			"droidfuzz/internal/adb.rpcReply",
+			"droidfuzz/internal/adb.CoordRequest",
+			"droidfuzz/internal/adb.CoordReply",
 		},
 		WireManifest: "internal/adb/wire.lock",
 		AtomicTypes: []string{
@@ -274,6 +276,7 @@ func DefaultConfig() Config {
 			"droidfuzz/internal/daemon",
 			"droidfuzz/internal/adb",
 			"droidfuzz/internal/engine",
+			"droidfuzz/internal/coord",
 		},
 		GoShutdownChans: []string{
 			// quit: the transport writeLoop's poison channel (Conn.fail

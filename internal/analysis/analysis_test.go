@@ -496,6 +496,7 @@ func TestDefaultConfigCoversNewPasses(t *testing.T) {
 		"droidfuzz/internal/daemon",
 		"droidfuzz/internal/adb",
 		"droidfuzz/internal/engine",
+		"droidfuzz/internal/coord",
 	} {
 		if !slices.Contains(cfg.GoroutineRoots, want) {
 			t.Errorf("DefaultConfig missing goroutine root %s", want)
@@ -504,6 +505,17 @@ func TestDefaultConfigCoversNewPasses(t *testing.T) {
 	for _, want := range []string{"quit", "stopApply"} {
 		if !slices.Contains(cfg.GoShutdownChans, want) {
 			t.Errorf("DefaultConfig missing shutdown channel %s", want)
+		}
+	}
+	// The coordinator protocol vocabulary must stay under the wire manifest:
+	// without these roots a CoordShard or FedBatch field change would ship
+	// without a wire.lock diff.
+	for _, want := range []string{
+		"droidfuzz/internal/adb.CoordRequest",
+		"droidfuzz/internal/adb.CoordReply",
+	} {
+		if !slices.Contains(cfg.WireRoots, want) {
+			t.Errorf("DefaultConfig missing wire root %s", want)
 		}
 	}
 }

@@ -1,0 +1,725 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/corpus"
+	"droidfuzz/internal/relation"
+)
+
+// Campaign describes one multi-host fuzzing campaign as the coordinator
+// shards it.
+type Campaign struct {
+	// Models are the device models under test; shard i fuzzes
+	// Models[i%len(Models)].
+	Models []string
+	// Shards is the total shard count.
+	Shards int
+	// Devices is the device count per shard.
+	Devices int
+	// Iters is the per-device iteration budget of every shard.
+	Iters int
+	// Seed is the campaign base seed: shard i's devices run
+	// Seed + i*Devices + j, so no two devices in the fleet share an RNG
+	// stream.
+	Seed int64
+	// EpochIters is the federation cadence handed to hosts: iterations per
+	// device between uplink/downlink exchanges (default 256).
+	EpochIters int
+}
+
+func (c *Campaign) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = len(c.Models)
+	}
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.EpochIters <= 0 {
+		c.EpochIters = 256
+	}
+}
+
+// Options tune the coordinator.
+type Options struct {
+	// Hosts is the expected fleet size; registration pre-partitions the
+	// shard list into that many queues (extra hosts start empty and
+	// steal).
+	Hosts int
+	// EvictAfter is how long a host may stay silent before it is declared
+	// dead and its shards are requeued (default 10s).
+	EvictAfter time.Duration
+	// HeartbeatEvery is the cadence hosts are expected to beat at; it only
+	// scales the health score (default 1s).
+	HeartbeatEvery time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Hosts <= 0 {
+		o.Hosts = 1
+	}
+	if o.EvictAfter <= 0 {
+		o.EvictAfter = 10 * time.Second
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+}
+
+// ShardSpec is one (model, seed-range, device-count) unit of campaign work.
+type ShardSpec struct {
+	ID      int
+	Model   string
+	Devices int
+	Iters   int
+	Seed    int64
+}
+
+// shardState tracks one shard through its lifecycle: queued (on a host's
+// queue or the unassigned pool) → leased → done, with requeues on
+// eviction. progress/checkpoint come from the owner's last report and make
+// a requeued shard resume warm.
+type shardState struct {
+	spec       ShardSpec
+	owner      string // host ID while leased, "" otherwise
+	done       bool
+	progress   int // per-device iterations completed so far
+	leaseBase  int // progress at the moment of the current lease
+	checkpoint []byte
+	stolen     bool // last lease came from another host's queue
+}
+
+// hostState is the coordinator's book on one registered host.
+type hostState struct {
+	id      string
+	name    string
+	queue   []int // shard IDs waiting for this host (head = next lease)
+	leased  map[int]struct{}
+	seen    time.Time
+	health  float64
+	evicted bool
+	execs   uint64
+	steals  uint64
+	// Federation cursors: what this host already holds. corpusKnown also
+	// contains everything the host itself uplinked, so downlinks never
+	// echo a host's own programs back at it.
+	corpusKnown corpus.HashSet
+	corpusSent  int // index into the coordinator's admission order
+	vertSent    int
+	logSent     int
+	// drained is set by an empty-uplink, empty-downlink Sync after the
+	// campaign completed — the host's explicit "I have everything" — and
+	// cleared whenever a later merge gives it something new to fetch.
+	drained bool
+}
+
+// Coordinator shards a campaign across registered hosts and merges their
+// federated state. All state lives behind one mutex — coordinator RPCs are
+// rare (per epoch, not per exec) and lock-step, so contention is not a
+// concern; determinism of the merged state is, and it comes from the
+// journal, not from locking.
+type Coordinator struct {
+	mu     sync.Mutex
+	camp   Campaign
+	opts   Options
+	now    func() time.Time // test clock seam
+	hosts  map[string]*hostState
+	order  []string
+	nextID int
+	shards []*shardState
+	// unassigned holds shard IDs owned by nobody: not yet partitioned to a
+	// registrant, or requeued from an evicted host. Survivors lease from
+	// it before stealing from each other.
+	unassigned []int
+	// Federated corpus: text by hash, plus the admission journal (hash
+	// order) every downlink cursor indexes into.
+	corpusText  map[uint64]string
+	corpusOrder []uint64
+	corpusFrom  map[uint64]string // admitting host, for diagnostics
+	// Federated relation state: the union vertex set in first-seen order
+	// and the accepted learn journal. merged caches the replay; nil means
+	// dirty.
+	verts     map[string]float64
+	vertOrder []string
+	log       *relation.Log
+	// accepted is the exact (device, seq) set already in the journal. A
+	// per-device high-water mark would be smaller, but it silently drops
+	// records that arrive out of order — an exact set keeps the merge
+	// commutative under ANY uplink arrival order, and it costs no more
+	// than the journal that stores the ops themselves.
+	accepted map[string]map[uint64]struct{}
+	merged   *relation.Graph
+	// Counters.
+	steals    uint64
+	evictions int
+	bytesIn   uint64
+	bytesOut  uint64
+	doneOnce  sync.Once
+	done      chan struct{}
+}
+
+// New builds a coordinator for the campaign. The shard list is fixed up
+// front: work distribution is dynamic (stealing, eviction requeues), the
+// work itself is not.
+func New(camp Campaign, opts Options) (*Coordinator, error) {
+	camp.defaults()
+	opts.defaults()
+	if len(camp.Models) == 0 {
+		return nil, fmt.Errorf("coord: campaign has no models")
+	}
+	if camp.Iters <= 0 {
+		return nil, fmt.Errorf("coord: campaign iters must be positive, got %d", camp.Iters)
+	}
+	c := &Coordinator{
+		camp:       camp,
+		opts:       opts,
+		now:        time.Now, //droidvet:nondet wall-clock host liveness
+		hosts:      make(map[string]*hostState),
+		corpusText: make(map[uint64]string),
+		corpusFrom: make(map[uint64]string),
+		verts:      make(map[string]float64),
+		log:        relation.NewLog(),
+		accepted:   make(map[string]map[uint64]struct{}),
+		done:       make(chan struct{}),
+	}
+	for i := 0; i < camp.Shards; i++ {
+		c.shards = append(c.shards, &shardState{spec: ShardSpec{
+			ID:      i,
+			Model:   camp.Models[i%len(camp.Models)],
+			Devices: camp.Devices,
+			Iters:   camp.Iters,
+			Seed:    camp.Seed + int64(i*camp.Devices),
+		}})
+		c.unassigned = append(c.unassigned, i)
+	}
+	return c, nil
+}
+
+// Done is closed when every shard has completed.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Register admits a host, assigning its ID and an initial queue: an even
+// chunk of the unassigned pool, sized for the expected fleet. Late hosts
+// beyond the expected count start with empty queues and live off stealing.
+func (c *Coordinator) Register(name string) (*adb.CoordRegistered, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	h := &hostState{
+		id:          fmt.Sprintf("h%d", c.nextID),
+		name:        name,
+		leased:      make(map[int]struct{}),
+		seen:        c.now(),
+		health:      1,
+		corpusKnown: corpus.NewHashSet(),
+	}
+	chunk := (len(c.shards) + c.opts.Hosts - 1) / c.opts.Hosts
+	if chunk > len(c.unassigned) {
+		chunk = len(c.unassigned)
+	}
+	h.queue = append(h.queue, c.unassigned[:chunk]...)
+	c.unassigned = c.unassigned[chunk:]
+	c.hosts[h.id] = h
+	c.order = append(c.order, h.id)
+	return &adb.CoordRegistered{HostID: h.id, EpochIters: c.camp.EpochIters}, nil
+}
+
+// Heartbeat refreshes a host's liveness and returns its health score.
+func (c *Coordinator) Heartbeat(hostID string, execs uint64) (*adb.CoordBeat, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, err := c.hostLocked(hostID)
+	if err != nil {
+		return nil, err
+	}
+	c.touchLocked(h)
+	h.execs = execs
+	c.evictStaleLocked()
+	return &adb.CoordBeat{Health: h.health}, nil
+}
+
+// hostLocked resolves a live host or explains why it cannot act.
+func (c *Coordinator) hostLocked(hostID string) (*hostState, error) {
+	h, ok := c.hosts[hostID]
+	if !ok {
+		return nil, fmt.Errorf("coord: unknown host %q", hostID)
+	}
+	if h.evicted {
+		return nil, fmt.Errorf("coord: host %s was evicted (silent > %v); re-register", hostID, c.opts.EvictAfter)
+	}
+	return h, nil
+}
+
+// touchLocked refreshes liveness and nudges the health EMA. A host beating
+// on schedule converges to 1; one that only shows up after long silences
+// hovers low even before eviction triggers.
+func (c *Coordinator) touchLocked(h *hostState) {
+	now := c.now()
+	gap := now.Sub(h.seen)
+	score := 1.0
+	if late := gap - 2*c.opts.HeartbeatEvery; late > 0 {
+		// Linearly discount a late arrival, to zero at the eviction bound.
+		score = 1 - float64(late)/float64(c.opts.EvictAfter)
+		if score < 0 {
+			score = 0
+		}
+	}
+	h.health = 0.7*h.health + 0.3*score
+	h.seen = now
+}
+
+// evictStaleLocked declares hosts silent past EvictAfter dead and requeues
+// their shards — queued and in-flight alike — onto the unassigned pool,
+// where surviving hosts pick them up on their next lease. In-flight shards
+// keep their reported progress and checkpoint, so a survivor resumes them
+// warm.
+func (c *Coordinator) evictStaleLocked() {
+	now := c.now()
+	for _, id := range c.order {
+		h := c.hosts[id]
+		if h.evicted || now.Sub(h.seen) <= c.opts.EvictAfter {
+			continue
+		}
+		h.evicted = true
+		h.health = 0
+		c.evictions++
+		c.unassigned = append(c.unassigned, h.queue...)
+		h.queue = nil
+		inflight := make([]int, 0, len(h.leased))
+		for sid := range h.leased { //droidvet:nondet requeue order fixed by sort below
+			inflight = append(inflight, sid)
+		}
+		sort.Ints(inflight)
+		for _, sid := range inflight {
+			c.shards[sid].owner = ""
+			c.unassigned = append(c.unassigned, sid)
+		}
+		h.leased = make(map[int]struct{})
+	}
+}
+
+// Lease hands hostID its next shard: the head of its own queue first, then
+// the unassigned pool (eviction requeues and late-registration leftovers),
+// then — work stealing — the tail of the longest live sibling queue. When
+// nothing is available but shards are still in flight elsewhere the reply
+// says Wait (the holder may die and its work requeue); once every shard is
+// done it says Done.
+func (c *Coordinator) Lease(hostID string) (*adb.CoordShard, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, err := c.hostLocked(hostID)
+	if err != nil {
+		return nil, err
+	}
+	c.touchLocked(h)
+	c.evictStaleLocked()
+
+	var sid int
+	stolen := false
+	switch {
+	case len(h.queue) > 0:
+		sid, h.queue = h.queue[0], h.queue[1:]
+	case len(c.unassigned) > 0:
+		// Adopting orphaned work counts as a steal: it came off another
+		// host's plate (eviction) or was never claimed, and the shard
+		// should surface as rebalanced in status.
+		sid, c.unassigned = c.unassigned[0], c.unassigned[1:]
+		stolen = true
+	default:
+		victim := c.longestQueueLocked(h.id)
+		if victim == nil {
+			if c.inflightLocked() > 0 {
+				return &adb.CoordShard{Wait: true}, nil
+			}
+			c.doneOnce.Do(func() { close(c.done) })
+			return &adb.CoordShard{Done: true}, nil
+		}
+		// Steal from the tail: the victim keeps draining its head
+		// untouched, so the two hosts never contend for the same next
+		// shard.
+		sid = victim.queue[len(victim.queue)-1]
+		victim.queue = victim.queue[:len(victim.queue)-1]
+		stolen = true
+	}
+	if stolen {
+		c.steals++
+		h.steals++
+	}
+
+	sh := c.shards[sid]
+	sh.owner = h.id
+	sh.stolen = stolen
+	sh.leaseBase = sh.progress
+	h.leased[sid] = struct{}{}
+	rep := &adb.CoordShard{
+		ID:         sh.spec.ID,
+		Model:      sh.spec.Model,
+		Devices:    sh.spec.Devices,
+		Iters:      sh.spec.Iters - sh.progress,
+		Seed:       sh.spec.Seed,
+		Stolen:     stolen,
+		Checkpoint: sh.checkpoint,
+		Batch:      c.downlinkLocked(h),
+	}
+	return rep, nil
+}
+
+// longestQueueLocked returns the live host (other than self) with the most
+// queued shards, or nil when every other queue is empty. Host order breaks
+// ties deterministically.
+func (c *Coordinator) longestQueueLocked(self string) *hostState {
+	var victim *hostState
+	for _, id := range c.order {
+		h := c.hosts[id]
+		if h.id == self || h.evicted || len(h.queue) == 0 {
+			continue
+		}
+		if victim == nil || len(h.queue) > len(victim.queue) {
+			victim = h
+		}
+	}
+	return victim
+}
+
+// inflightLocked counts leased, unfinished shards.
+func (c *Coordinator) inflightLocked() int {
+	n := 0
+	for _, sh := range c.shards {
+		if sh.owner != "" && !sh.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Progress records an in-flight shard's state and exchanges federation
+// deltas: the host's uplink is merged, the merged-novelty downlink comes
+// back in the ack.
+func (c *Coordinator) Progress(p *adb.CoordProgress) (*adb.CoordAck, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, err := c.hostLocked(p.HostID)
+	if err != nil {
+		return nil, err
+	}
+	c.touchLocked(h)
+	c.evictStaleLocked()
+	if p.ShardID < 0 || p.ShardID >= len(c.shards) {
+		return nil, fmt.Errorf("coord: progress on unknown shard %d", p.ShardID)
+	}
+	sh := c.shards[p.ShardID]
+	if sh.owner == h.id {
+		// ExecsDone counts per-device iterations under the current lease;
+		// leaseBase folds in progress inherited from an evicted prior owner.
+		if np := sh.leaseBase + p.ExecsDone; np > sh.progress {
+			sh.progress = np
+		}
+		if len(p.Checkpoint) > 0 {
+			sh.checkpoint = p.Checkpoint
+		}
+	}
+	c.mergeLocked(h, p.Batch)
+	return &adb.CoordAck{Batch: c.downlinkLocked(h)}, nil
+}
+
+// Complete marks a shard finished after merging its final uplink.
+func (c *Coordinator) Complete(q *adb.CoordComplete) (*adb.CoordAck, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, err := c.hostLocked(q.HostID)
+	if err != nil {
+		return nil, err
+	}
+	c.touchLocked(h)
+	if q.ShardID < 0 || q.ShardID >= len(c.shards) {
+		return nil, fmt.Errorf("coord: complete on unknown shard %d", q.ShardID)
+	}
+	c.mergeLocked(h, q.Batch)
+	sh := c.shards[q.ShardID]
+	if sh.owner == h.id || !sh.done {
+		sh.done = true
+		sh.owner = ""
+		sh.progress = sh.spec.Iters
+	}
+	delete(h.leased, q.ShardID)
+	c.evictStaleLocked()
+	return &adb.CoordAck{Batch: c.downlinkLocked(h)}, nil
+}
+
+// Sync is the shard-free federation exchange: merge the optional uplink,
+// return the downlink. Hosts call it after Done to drain the final merged
+// state.
+func (c *Coordinator) Sync(s *adb.CoordSync) (*adb.CoordAck, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, err := c.hostLocked(s.HostID)
+	if err != nil {
+		return nil, err
+	}
+	c.touchLocked(h)
+	c.evictStaleLocked()
+	c.mergeLocked(h, s.Batch)
+	dl := c.downlinkLocked(h)
+	if emptyBatch(s.Batch) && emptyBatch(dl) && c.shardsDoneLocked() == len(c.shards) {
+		// Nothing in, nothing out, campaign over: this host has confirmed
+		// it holds the complete federated state.
+		h.drained = true
+	}
+	return &adb.CoordAck{Batch: dl}, nil
+}
+
+// shardsDoneLocked counts completed shards.
+func (c *Coordinator) shardsDoneLocked() int {
+	n := 0
+	for _, sh := range c.shards {
+		if sh.done {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeLocked folds one uplink into the federated state. Everything is
+// idempotent — corpus texts dedup by hash, vertices by name, learn records
+// by their exact (device, seq) key — so a host retrying an uplink after an
+// ambiguous transport failure cannot duplicate state.
+func (c *Coordinator) mergeLocked(h *hostState, b *adb.FedBatch) {
+	if emptyBatch(b) {
+		return
+	}
+	c.bytesIn += uint64(BatchBytes(b))
+	for _, text := range b.Progs {
+		key := corpus.Hash(text)
+		h.corpusKnown.Add(key)
+		if _, dup := c.corpusText[key]; dup {
+			continue
+		}
+		c.corpusText[key] = text
+		c.corpusOrder = append(c.corpusOrder, key)
+		c.corpusFrom[key] = h.id
+	}
+	for _, v := range b.Verts {
+		if _, dup := c.verts[v.Name]; dup {
+			continue
+		}
+		c.verts[v.Name] = v.Weight
+		c.vertOrder = append(c.vertOrder, v.Name)
+		c.merged = nil
+	}
+	ops, err := DecodeLearns(b.Learns)
+	if err != nil {
+		// A corrupt learn block poisons nothing: relations are advisory
+		// guidance, so the coordinator drops the block and keeps the
+		// host's corpus contribution.
+		return
+	}
+	fresh := ops[:0]
+	for _, op := range ops {
+		devSeen := c.accepted[op.Device]
+		if devSeen == nil {
+			devSeen = make(map[uint64]struct{})
+			c.accepted[op.Device] = devSeen
+		}
+		if _, dup := devSeen[op.Seq]; dup {
+			continue // duplicate of an already-accepted record
+		}
+		devSeen[op.Seq] = struct{}{}
+		fresh = append(fresh, op)
+	}
+	if len(fresh) > 0 {
+		c.log.Append(fresh...)
+		c.merged = nil
+	}
+}
+
+// downlinkLocked assembles the delta this host lacks and advances its
+// cursors: corpus texts it neither uplinked nor received, vertices past its
+// cursor, and other hosts' accepted learn records. The learn exclusion is
+// by device prefix — host device IDs start with "<hostID>/" — so a host
+// never replays its own learns a second time.
+func (c *Coordinator) downlinkLocked(h *hostState) *adb.FedBatch {
+	b := &adb.FedBatch{}
+	for _, key := range c.corpusOrder[h.corpusSent:] {
+		if h.corpusKnown.Add(key) {
+			b.Progs = append(b.Progs, c.corpusText[key])
+		}
+	}
+	h.corpusSent = len(c.corpusOrder)
+	for _, name := range c.vertOrder[h.vertSent:] {
+		b.Verts = append(b.Verts, adb.FedVertex{Name: name, Weight: c.verts[name]})
+	}
+	h.vertSent = len(c.vertOrder)
+	var foreign []relation.LearnOp
+	for _, op := range c.log.Since(h.logSent) {
+		if !strings.HasPrefix(op.Device, h.id+"/") {
+			foreign = append(foreign, op)
+		}
+	}
+	h.logSent = c.log.Len()
+	if fl, err := EncodeLearns(foreign); err == nil {
+		b.Learns = fl
+	}
+	if emptyBatch(b) {
+		return nil
+	}
+	c.bytesOut += uint64(BatchBytes(b))
+	return b
+}
+
+// Merged rebuilds (or returns the cached) merged relation graph: a fresh
+// graph over the union vertex set, replaying the full accepted learn
+// journal in (device, seq) order. Rebuild-by-replay is what makes the
+// merge commutative — the journal deduplicates to the same record set in
+// any arrival order, and the sorted replay is a pure function of that set.
+func (c *Coordinator) Merged() *relation.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.merged != nil {
+		return c.merged
+	}
+	g := relation.New()
+	for _, name := range c.vertOrder {
+		g.AddVertex(name, c.verts[name])
+	}
+	relation.Replay(g, c.log.Ops())
+	c.merged = g
+	return g
+}
+
+// LearnJournal returns the accepted learn records in acceptance order —
+// the recorded learn order the golden test replays.
+func (c *Coordinator) LearnJournal() []relation.LearnOp { return c.log.Ops() }
+
+// CorpusJournal returns the federated corpus admissions in acceptance
+// order as (hash, admitting host) pairs.
+func (c *Coordinator) CorpusJournal() (hashes []uint64, from []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hashes = append(hashes, c.corpusOrder...)
+	for _, key := range c.corpusOrder {
+		from = append(from, c.corpusFrom[key])
+	}
+	return hashes, from
+}
+
+// Vertices returns the union vertex set in first-seen order with weights.
+func (c *Coordinator) Vertices() []adb.FedVertex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]adb.FedVertex, 0, len(c.vertOrder))
+	for _, name := range c.vertOrder {
+		out = append(out, adb.FedVertex{Name: name, Weight: c.verts[name]})
+	}
+	return out
+}
+
+// Fingerprint returns the order-independent digest of the federated corpus.
+func (c *Coordinator) Fingerprint() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := corpus.NewHashSet()
+	for _, key := range c.corpusOrder {
+		s.Add(key)
+	}
+	return s.Fingerprint()
+}
+
+// Stats is a coordinator status snapshot.
+type Stats struct {
+	Hosts, Live             int
+	ShardsTotal, ShardsDone int
+	Steals                  uint64
+	Evictions               int
+	CorpusSize              int
+	CorpusFingerprint       uint64
+	Vertices, Edges         int
+	LearnOps                int
+	BytesIn, BytesOut       uint64
+	Done                    bool
+}
+
+// HostInfo is one host's row in the coordinator summary.
+type HostInfo struct {
+	ID, Name string
+	Health   float64
+	Evicted  bool
+	Execs    uint64
+	Steals   uint64
+	Queued   int
+	Leased   int
+}
+
+// Snapshot returns coordinator stats plus per-host rows in registration
+// order.
+func (c *Coordinator) Snapshot() (Stats, []HostInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Hosts:       len(c.hosts),
+		ShardsTotal: len(c.shards),
+		Steals:      c.steals,
+		Evictions:   c.evictions,
+		CorpusSize:  len(c.corpusOrder),
+		LearnOps:    c.log.Len(),
+		BytesIn:     c.bytesIn,
+		BytesOut:    c.bytesOut,
+		Vertices:    len(c.vertOrder),
+	}
+	if c.merged != nil {
+		st.Edges = c.merged.Edges()
+	}
+	done := 0
+	for _, sh := range c.shards {
+		if sh.done {
+			done++
+		}
+	}
+	st.ShardsDone = done
+	st.Done = done == len(c.shards)
+	s := corpus.NewHashSet()
+	for _, key := range c.corpusOrder {
+		s.Add(key)
+	}
+	st.CorpusFingerprint = s.Fingerprint()
+	var hosts []HostInfo
+	for _, id := range c.order {
+		h := c.hosts[id]
+		if !h.evicted {
+			st.Live++
+		}
+		hosts = append(hosts, HostInfo{
+			ID: h.id, Name: h.name, Health: h.health, Evicted: h.evicted,
+			Execs: h.execs, Steals: h.steals, Queued: len(h.queue), Leased: len(h.leased),
+		})
+	}
+	return st, hosts
+}
+
+// Drained reports whether the campaign is done AND every live host has
+// confirmed — via a final empty-uplink, empty-downlink Sync — that it holds
+// the complete federated state, so the coordinator can exit without
+// stranding a host mid-drain.
+func (c *Coordinator) Drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sh := range c.shards {
+		if !sh.done {
+			return false
+		}
+	}
+	for _, id := range c.order {
+		h := c.hosts[id]
+		if h.evicted {
+			continue
+		}
+		if !h.drained || h.corpusSent < len(c.corpusOrder) || h.logSent < c.log.Len() {
+			return false
+		}
+	}
+	return true
+}

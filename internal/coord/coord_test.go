@@ -1,0 +1,444 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/corpus"
+	"droidfuzz/internal/relation"
+)
+
+// fakeClock is an injectable coordinator clock.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestCoordinator(t *testing.T, camp Campaign, opts Options) (*Coordinator, *fakeClock) {
+	t.Helper()
+	c, err := New(camp, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fc := &fakeClock{t: time.Unix(1700000000, 0)}
+	c.now = fc.now
+	return c, fc
+}
+
+func mustRegister(t *testing.T, c *Coordinator, name string) string {
+	t.Helper()
+	reg, err := c.Register(name)
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	return reg.HostID
+}
+
+func TestRegisterPartitionsShards(t *testing.T) {
+	c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1", "B"}, Shards: 6, Iters: 10}, Options{Hosts: 2})
+	a := mustRegister(t, c, "alpha")
+	b := mustRegister(t, c, "beta")
+	if a == b {
+		t.Fatalf("hosts share an ID: %s", a)
+	}
+	// Each host drains 3 shards from its own queue with no steals.
+	for i := 0; i < 3; i++ {
+		for _, id := range []string{a, b} {
+			sh, err := c.Lease(id)
+			if err != nil {
+				t.Fatalf("lease %s: %v", id, err)
+			}
+			if sh.Done || sh.Wait {
+				t.Fatalf("lease %s round %d: unexpected done/wait %+v", id, i, sh)
+			}
+			if sh.Stolen {
+				t.Fatalf("lease %s round %d: stolen from own queue", id, i)
+			}
+		}
+	}
+	st, _ := c.Snapshot()
+	if st.Steals != 0 {
+		t.Fatalf("steals = %d before any queue ran dry", st.Steals)
+	}
+	// Shard models alternate through the model list.
+	sh := c.shards
+	if sh[0].spec.Model != "A1" || sh[1].spec.Model != "B" || sh[2].spec.Model != "A1" {
+		t.Fatalf("model round-robin broken: %s %s %s", sh[0].spec.Model, sh[1].spec.Model, sh[2].spec.Model)
+	}
+	// Seed ranges are disjoint per shard.
+	if sh[1].spec.Seed != sh[0].spec.Seed+int64(sh[0].spec.Devices) {
+		t.Fatalf("seed ranges overlap: shard0 %d devices %d, shard1 %d", sh[0].spec.Seed, sh[0].spec.Devices, sh[1].spec.Seed)
+	}
+}
+
+func TestWorkStealingFromLongestQueue(t *testing.T) {
+	// One expected host: registration gives the first host everything; a
+	// late second host must live off stealing from the first's tail.
+	c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 4, Iters: 10}, Options{Hosts: 1})
+	a := mustRegister(t, c, "alpha")
+	b := mustRegister(t, c, "beta")
+
+	sh, err := c.Lease(b)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if !sh.Stolen {
+		t.Fatal("late host's lease not marked stolen")
+	}
+	if sh.ID != 3 {
+		t.Fatalf("steal took shard %d, want the tail shard 3", sh.ID)
+	}
+	// The victim still leases its own head untouched.
+	own, err := c.Lease(a)
+	if err != nil {
+		t.Fatalf("lease victim: %v", err)
+	}
+	if own.Stolen || own.ID != 0 {
+		t.Fatalf("victim lease disturbed: %+v", own)
+	}
+	st, hosts := c.Snapshot()
+	if st.Steals != 1 {
+		t.Fatalf("steals = %d, want 1", st.Steals)
+	}
+	if hosts[1].Steals != 1 {
+		t.Fatalf("thief's steal count = %d", hosts[1].Steals)
+	}
+}
+
+func TestLeaseWaitThenDone(t *testing.T) {
+	c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 1, Iters: 10}, Options{Hosts: 2})
+	a := mustRegister(t, c, "alpha")
+	b := mustRegister(t, c, "beta")
+	sh, err := c.Lease(a)
+	if err != nil || sh.ID != 0 {
+		t.Fatalf("lease: %+v, %v", sh, err)
+	}
+	// The only shard is in flight: the second host must Wait, not Done —
+	// the holder might die and the shard requeue.
+	w, err := c.Lease(b)
+	if err != nil || !w.Wait {
+		t.Fatalf("want wait, got %+v, %v", w, err)
+	}
+	if _, err := c.Complete(&adb.CoordComplete{HostID: a, ShardID: 0}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	d, err := c.Lease(b)
+	if err != nil || !d.Done {
+		t.Fatalf("want done, got %+v, %v", d, err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("Done channel not closed after campaign drained")
+	}
+	// Drained requires the handshake: each live host must report one
+	// empty-uplink, empty-downlink Sync after completion.
+	if c.Drained() {
+		t.Fatal("coordinator drained before hosts confirmed via final Sync")
+	}
+	for _, id := range []string{a, b} {
+		if _, err := c.Sync(&adb.CoordSync{HostID: id}); err != nil {
+			t.Fatalf("final sync %s: %v", id, err)
+		}
+	}
+	if !c.Drained() {
+		t.Fatal("coordinator not drained after both hosts' empty final Sync")
+	}
+}
+
+func TestEvictionRequeuesWarmShard(t *testing.T) {
+	c, fc := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 2, Iters: 100},
+		Options{Hosts: 2, EvictAfter: 5 * time.Second})
+	a := mustRegister(t, c, "alpha")
+	b := mustRegister(t, c, "beta")
+
+	sh, err := c.Lease(a)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	ckpt := []byte("portable-checkpoint-blob")
+	if _, err := c.Progress(&adb.CoordProgress{HostID: a, ShardID: sh.ID, ExecsDone: 40, Checkpoint: ckpt}); err != nil {
+		t.Fatalf("progress: %v", err)
+	}
+
+	// Host A goes silent past the eviction bound; B's next activity evicts
+	// it and requeues both its in-flight shard and its queued one.
+	fc.advance(6 * time.Second)
+	if _, err := c.Heartbeat(b, 0); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	st, hosts := c.Snapshot()
+	if st.Evictions != 1 || !hosts[0].Evicted {
+		t.Fatalf("host A not evicted: %+v %+v", st, hosts)
+	}
+	if _, err := c.Lease(a); err == nil {
+		t.Fatal("evicted host could still lease")
+	}
+
+	// B drains its own queue first, then adopts A's work warm.
+	seen := map[int]*adb.CoordShard{}
+	for {
+		got, err := c.Lease(b)
+		if err != nil {
+			t.Fatalf("lease b: %v", err)
+		}
+		if got.Done || got.Wait {
+			break
+		}
+		seen[got.ID] = got
+		if _, err := c.Complete(&adb.CoordComplete{HostID: b, ShardID: got.ID}); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+	}
+	re, ok := seen[sh.ID]
+	if !ok {
+		t.Fatalf("evicted host's in-flight shard %d never requeued (saw %v)", sh.ID, seen)
+	}
+	if !re.Stolen {
+		t.Fatal("requeued shard not marked stolen")
+	}
+	if re.Iters != 60 {
+		t.Fatalf("requeued shard resumes with %d iters, want 100-40=60", re.Iters)
+	}
+	if string(re.Checkpoint) != string(ckpt) {
+		t.Fatal("requeued shard lost its warm checkpoint")
+	}
+	if len(seen) != 2 {
+		t.Fatalf("survivor completed %d shards, want 2", len(seen))
+	}
+}
+
+// TestMergeIdempotentOnRetry pins the retry-safety contract: a host
+// resending the same uplink after an ambiguous transport failure must not
+// duplicate corpus entries or learn records.
+func TestMergeIdempotentOnRetry(t *testing.T) {
+	c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 1, Iters: 10}, Options{})
+	a := mustRegister(t, c, "alpha")
+	ops := []relation.LearnOp{
+		{A: "x", B: "y", Device: a + "/s0.0/A1", Seq: 0},
+		{A: "y", B: "z", Device: a + "/s0.0/A1", Seq: 1},
+	}
+	fl, err := EncodeLearns(ops)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	batch := &adb.FedBatch{
+		Progs:  []string{"prog-one", "prog-two"},
+		Verts:  []adb.FedVertex{{Name: "x", Weight: 1}, {Name: "y", Weight: 1}, {Name: "z", Weight: 1}},
+		Learns: fl,
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Sync(&adb.CoordSync{HostID: a, Batch: batch}); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	st, _ := c.Snapshot()
+	if st.CorpusSize != 2 {
+		t.Fatalf("corpus size %d after triple uplink, want 2", st.CorpusSize)
+	}
+	if st.LearnOps != 2 {
+		t.Fatalf("journal holds %d ops after triple uplink, want 2", st.LearnOps)
+	}
+	if st.Vertices != 3 {
+		t.Fatalf("vertex union %d, want 3", st.Vertices)
+	}
+}
+
+// TestDownlinkExcludesOwnContributions: a host must never receive its own
+// programs or learn records back.
+func TestDownlinkExcludesOwnContributions(t *testing.T) {
+	c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 2, Iters: 10}, Options{Hosts: 2})
+	a := mustRegister(t, c, "alpha")
+	b := mustRegister(t, c, "beta")
+
+	aOps := []relation.LearnOp{{A: "x", B: "y", Device: a + "/s0.0/A1", Seq: 0}}
+	aFl, _ := EncodeLearns(aOps)
+	ack, err := c.Sync(&adb.CoordSync{HostID: a, Batch: &adb.FedBatch{Progs: []string{"from-a"}, Learns: aFl}})
+	if err != nil {
+		t.Fatalf("sync a: %v", err)
+	}
+	if !emptyBatch(ack.Batch) {
+		t.Fatalf("host A got its own contribution back: %+v", ack.Batch)
+	}
+
+	// B's downlink carries A's novelty exactly once.
+	ack, err = c.Sync(&adb.CoordSync{HostID: b, Batch: nil})
+	if err != nil {
+		t.Fatalf("sync b: %v", err)
+	}
+	if ack.Batch == nil || len(ack.Batch.Progs) != 1 || ack.Batch.Progs[0] != "from-a" {
+		t.Fatalf("host B downlink: %+v", ack.Batch)
+	}
+	got, err := DecodeLearns(ack.Batch.Learns)
+	if err != nil || len(got) != 1 || got[0] != aOps[0] {
+		t.Fatalf("host B learn downlink: %+v, %v", got, err)
+	}
+	// Second sync: cursors advanced, nothing new.
+	ack, err = c.Sync(&adb.CoordSync{HostID: b, Batch: nil})
+	if err != nil || !emptyBatch(ack.Batch) {
+		t.Fatalf("host B re-received the delta: %+v, %v", ack.Batch, err)
+	}
+}
+
+// TestMergeCommutativity is the property test: whatever order host uplinks
+// arrive in, the coordinator's merged relation graph and corpus fingerprint
+// are identical, because the merge is defined as a replay of the deduped
+// journal in (device, seq) order.
+func TestMergeCommutativity(t *testing.T) {
+	const trials = 8
+	type batch struct {
+		host  int
+		progs []string
+		verts []adb.FedVertex
+		ops   []relation.LearnOp
+	}
+
+	// One fixed contribution set, split into per-host batches.
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"v0", "v1", "v2", "v3", "v4", "v5"}
+	var batches []batch
+	for hostIdx := 0; hostIdx < 3; hostIdx++ {
+		seqs := map[string]uint64{}
+		for chunk := 0; chunk < 4; chunk++ {
+			bt := batch{host: hostIdx}
+			for p := 0; p < 3; p++ {
+				bt.progs = append(bt.progs, fmt.Sprintf("prog-%d-%d", hostIdx, rng.Intn(8)))
+			}
+			for v := 0; v < 2; v++ {
+				n := names[rng.Intn(len(names))]
+				bt.verts = append(bt.verts, adb.FedVertex{Name: n, Weight: 1})
+			}
+			dev := fmt.Sprintf("h%d/s0.0/A1", hostIdx+1)
+			for o := 0; o < 6; o++ {
+				bt.ops = append(bt.ops, relation.LearnOp{
+					A: names[rng.Intn(len(names))], B: names[rng.Intn(len(names))],
+					Device: dev, Seq: seqs[dev],
+				})
+				seqs[dev]++
+			}
+			batches = append(batches, bt)
+		}
+	}
+
+	// edgeDump renders a graph as its full sorted edge list with weights, so
+	// the comparison below is edge-for-edge, not just counts.
+	edgeDump := func(g *relation.Graph) string {
+		var lines []string
+		for _, name := range g.Names() {
+			for _, e := range g.Successors(name) {
+				lines = append(lines, fmt.Sprintf("%s->%s=%.9f", e.From, e.To, e.Weight))
+			}
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+
+	var wantFP uint64
+	var wantGraph string
+	for trial := 0; trial < trials; trial++ {
+		c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 1, Iters: 1}, Options{Hosts: 3})
+		ids := []string{mustRegister(t, c, "a"), mustRegister(t, c, "b"), mustRegister(t, c, "c")}
+
+		order := rand.New(rand.NewSource(int64(trial))).Perm(len(batches))
+		for _, bi := range order {
+			bt := batches[bi]
+			fl, err := EncodeLearns(bt.ops)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			_, err = c.Sync(&adb.CoordSync{HostID: ids[bt.host], Batch: &adb.FedBatch{
+				Progs: bt.progs, Verts: bt.verts, Learns: fl,
+			}})
+			if err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+		}
+		fp := c.Fingerprint()
+		g := c.Merged().String() + "\n" + edgeDump(c.Merged())
+		if trial == 0 {
+			wantFP, wantGraph = fp, g
+			continue
+		}
+		if fp != wantFP {
+			t.Fatalf("trial %d: corpus fingerprint %#x != %#x", trial, fp, wantFP)
+		}
+		if g != wantGraph {
+			t.Fatalf("trial %d: merged graph diverged under arrival order:\n%s\nvs\n%s", trial, g, wantGraph)
+		}
+	}
+}
+
+// TestMergedReplayMatchesManual verifies the merged graph equals a fresh
+// graph fed the same journal — edge for edge.
+func TestMergedReplayMatchesManual(t *testing.T) {
+	c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 1, Iters: 1}, Options{})
+	a := mustRegister(t, c, "alpha")
+	ops := sampleOps(300, 5)
+	fl, _ := EncodeLearns(ops)
+	verts := []adb.FedVertex{
+		{Name: "open_tcpc", Weight: 2}, {Name: "ioctl_role_set", Weight: 1},
+		{Name: "close_tcpc", Weight: 1}, {Name: "hci_open", Weight: 1}, {Name: "hci_cmd", Weight: 1},
+	}
+	if _, err := c.Sync(&adb.CoordSync{HostID: a, Batch: &adb.FedBatch{Verts: verts, Learns: fl}}); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	manual := relation.New()
+	for _, v := range verts {
+		manual.AddVertex(v.Name, v.Weight)
+	}
+	relation.Replay(manual, c.LearnJournal())
+	got := c.Merged()
+	if got.String() != manual.String() {
+		t.Fatalf("merged graph != manual replay:\n%s\nvs\n%s", got.String(), manual.String())
+	}
+	if got.Edges() == 0 {
+		t.Fatal("merged graph learned nothing")
+	}
+}
+
+func TestHealthScoreDecaysWhenLate(t *testing.T) {
+	c, fc := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 1, Iters: 1},
+		Options{EvictAfter: 10 * time.Second, HeartbeatEvery: time.Second})
+	a := mustRegister(t, c, "alpha")
+	beat, err := c.Heartbeat(a, 0)
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if beat.Health < 0.99 {
+		t.Fatalf("on-time host health %f, want ~1", beat.Health)
+	}
+	fc.advance(9 * time.Second) // late but inside the eviction bound
+	beat, err = c.Heartbeat(a, 0)
+	if err != nil {
+		t.Fatalf("late heartbeat: %v", err)
+	}
+	if beat.Health >= 0.99 {
+		t.Fatalf("late host health %f did not decay", beat.Health)
+	}
+	if beat.Health < 0 || beat.Health > 1 {
+		t.Fatalf("health %f outside [0,1]", beat.Health)
+	}
+}
+
+func TestCorpusJournalTracksOrigins(t *testing.T) {
+	c, _ := newTestCoordinator(t, Campaign{Models: []string{"A1"}, Shards: 1, Iters: 1}, Options{Hosts: 2})
+	a := mustRegister(t, c, "alpha")
+	b := mustRegister(t, c, "beta")
+	c.Sync(&adb.CoordSync{HostID: a, Batch: &adb.FedBatch{Progs: []string{"p1"}}})
+	c.Sync(&adb.CoordSync{HostID: b, Batch: &adb.FedBatch{Progs: []string{"p2", "p1"}}})
+	hashes, from := c.CorpusJournal()
+	if len(hashes) != 2 {
+		t.Fatalf("journal length %d, want 2 (p1 deduped)", len(hashes))
+	}
+	if hashes[0] != corpus.Hash("p1") || from[0] != a {
+		t.Fatalf("first admission: %#x from %s", hashes[0], from[0])
+	}
+	if hashes[1] != corpus.Hash("p2") || from[1] != b {
+		t.Fatalf("second admission: %#x from %s", hashes[1], from[1])
+	}
+}

@@ -1,0 +1,137 @@
+package coord
+
+import (
+	"encoding/gob"
+	"io"
+	"math/rand"
+	"testing"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/relation"
+)
+
+func sampleOps(n int, seed int64) []relation.LearnOp {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"open_tcpc", "ioctl_role_set", "close_tcpc", "hci_open", "hci_cmd"}
+	devs := []string{"h1/s0.0/A1", "h1/s0.1/A1", "h2/s1.0/B"}
+	seqs := make(map[string]uint64)
+	ops := make([]relation.LearnOp, n)
+	for i := range ops {
+		dev := devs[rng.Intn(len(devs))]
+		ops[i] = relation.LearnOp{
+			A:      names[rng.Intn(len(names))],
+			B:      names[rng.Intn(len(names))],
+			Device: dev,
+			Seq:    seqs[dev],
+		}
+		seqs[dev]++
+	}
+	return ops
+}
+
+func TestLearnCodecRoundTrip(t *testing.T) {
+	ops := sampleOps(500, 7)
+	fl, err := EncodeLearns(ops)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeLearns(fl)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("round trip count: got %d want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: got %+v want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestLearnCodecEmpty(t *testing.T) {
+	fl, err := EncodeLearns(nil)
+	if err != nil {
+		t.Fatalf("encode empty: %v", err)
+	}
+	if fl.Count != 0 {
+		t.Fatalf("empty block has count %d", fl.Count)
+	}
+	got, err := DecodeLearns(fl)
+	if err != nil || got != nil {
+		t.Fatalf("decode empty: got %v, %v", got, err)
+	}
+}
+
+func TestLearnCodecSeqOverflow(t *testing.T) {
+	_, err := EncodeLearns([]relation.LearnOp{{A: "a", B: "b", Device: "d", Seq: 1 << 33}})
+	if err == nil {
+		t.Fatal("encode accepted a sequence number beyond uint32")
+	}
+}
+
+func TestLearnCodecRejectsCorruptBlocks(t *testing.T) {
+	ops := sampleOps(50, 3)
+	fl, err := EncodeLearns(ops)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cases := map[string]func(adb.FedLearns) adb.FedLearns{
+		"negative count":   func(f adb.FedLearns) adb.FedLearns { f.Count = -1; return f },
+		"short column":     func(f adb.FedLearns) adb.FedLearns { f.A = f.A[:len(f.A)/2]; return f },
+		"count mismatch":   func(f adb.FedLearns) adb.FedLearns { f.Count++; return f },
+		"missing names":    func(f adb.FedLearns) adb.FedLearns { f.Names = f.Names[:1]; return f },
+		"missing devices":  func(f adb.FedLearns) adb.FedLearns { f.Devices = nil; return f },
+		"truncated column": func(f adb.FedLearns) adb.FedLearns { f.Seq = nil; return f },
+	}
+	for name, mutate := range cases {
+		if _, err := DecodeLearns(mutate(fl)); err == nil {
+			t.Errorf("%s: decode accepted the corrupt block", name)
+		}
+	}
+}
+
+// TestLearnCodecCompression pins the tentpole claim at the codec level: the
+// columnar delta block is far smaller than flat gob encoding of the same
+// records (the naive full-state sync baseline ships).
+func TestLearnCodecCompression(t *testing.T) {
+	ops := sampleOps(2000, 11)
+	fl, err := EncodeLearns(ops)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	delta := BatchBytes(&adb.FedBatch{Learns: fl})
+
+	var cw countWriter
+	if err := gob.NewEncoder(&cw).Encode(ops); err != nil {
+		t.Fatalf("gob baseline: %v", err)
+	}
+	if int(cw) < delta*5 {
+		t.Fatalf("delta block %dB not >=5x smaller than gob %dB", delta, int(cw))
+	}
+}
+
+type countWriter int
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countWriter)(nil)
+
+func TestBatchBytes(t *testing.T) {
+	if BatchBytes(nil) != 0 {
+		t.Fatal("nil batch has nonzero size")
+	}
+	b := &adb.FedBatch{Progs: []string{"abcd"}, Verts: []adb.FedVertex{{Name: "xy"}}}
+	if got := BatchBytes(b); got != 4+8+2+8 {
+		t.Fatalf("BatchBytes = %d, want %d", got, 4+8+2+8)
+	}
+	if !emptyBatch(nil) || !emptyBatch(&adb.FedBatch{}) {
+		t.Fatal("empty batches not detected")
+	}
+	if emptyBatch(b) {
+		t.Fatal("non-empty batch reported empty")
+	}
+}

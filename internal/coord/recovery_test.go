@@ -1,0 +1,137 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/corpus"
+	"droidfuzz/internal/relation"
+)
+
+// TestKillHostMidEpochRecovery: host A leases a shard, uplinks half an
+// epoch's worth of state, and dies silently. After eviction, host B (a real
+// Host over the real wire) steals the warm shard, finishes the campaign,
+// and the final federated corpus is the exact union of both hosts'
+// contributions — A's uplinked programs survive exactly once, nothing is
+// lost, nothing duplicated.
+func TestKillHostMidEpochRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real devices; skip in -short")
+	}
+	coord, err := New(
+		Campaign{Models: []string{"A1"}, Shards: 2, Devices: 1, Iters: 40, EpochIters: 20, Seed: 3},
+		Options{Hosts: 2, EvictAfter: 5 * time.Second},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fc := &fakeClock{t: time.Unix(1700000000, 0)}
+	coord.now = fc.now
+
+	// Host A: driven at the protocol level so the test controls exactly
+	// when it goes silent.
+	regA, err := coord.Register("doomed")
+	if err != nil {
+		t.Fatalf("register A: %v", err)
+	}
+	shA, err := coord.Lease(regA.HostID)
+	if err != nil || shA.Wait || shA.Done {
+		t.Fatalf("lease A: %+v, %v", shA, err)
+	}
+	aProgs := []string{"prog-from-doomed-host-1", "prog-from-doomed-host-2"}
+	aOps := []relation.LearnOp{
+		{A: "x", B: "y", Device: regA.HostID + "/s0.0/A1", Seq: 0},
+	}
+	aFl, err := EncodeLearns(aOps)
+	if err != nil {
+		t.Fatalf("encode A ops: %v", err)
+	}
+	ckpt := []byte("warm-state-from-a")
+	if _, err := coord.Progress(&adb.CoordProgress{
+		HostID: regA.HostID, ShardID: shA.ID, ExecsDone: 20, Checkpoint: ckpt,
+		Batch: &adb.FedBatch{
+			Progs:  aProgs,
+			Verts:  []adb.FedVertex{{Name: "x", Weight: 1}, {Name: "y", Weight: 1}},
+			Learns: aFl,
+		},
+	}); err != nil {
+		t.Fatalf("progress A: %v", err)
+	}
+	// A dies here: no Complete, no further heartbeats.
+	fc.advance(6 * time.Second)
+
+	// Host B: a real host over the real wire, registered after A went dark.
+	srv := &Server{C: coord}
+	hostB := NewHost(newPipeClient(t, srv), HostOptions{
+		Name:       "survivor",
+		LeaseRetry: 5 * time.Millisecond,
+	})
+	if err := hostB.Run(); err != nil {
+		t.Fatalf("host B run: %v", err)
+	}
+
+	st, hosts := coord.Snapshot()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if !hosts[0].Evicted {
+		t.Fatal("host A not marked evicted")
+	}
+	if !st.Done || st.ShardsDone != 2 {
+		t.Fatalf("campaign not finished by survivor: %+v", st)
+	}
+	if hostB.Steals() == 0 {
+		t.Fatal("survivor reports no steals after adopting the orphaned shard")
+	}
+
+	// The stolen shard resumed warm: its total progress folds in A's 20
+	// iterations plus B's remaining 20, and B completed it after a lease
+	// that carried A's checkpoint remainder.
+	if got := coord.shards[shA.ID].progress; got != 40 {
+		t.Fatalf("orphaned shard progress %d, want 40 (20 inherited + 20 resumed)", got)
+	}
+
+	// Exact union, no loss: A's programs are in the federated corpus
+	// exactly once each, and B holds them too (downlink reached it).
+	hashes, from := coord.CorpusJournal()
+	counts := map[uint64]int{}
+	for _, h := range hashes {
+		counts[h]++
+	}
+	for _, p := range aProgs {
+		switch counts[corpus.Hash(p)] {
+		case 1: // good
+		case 0:
+			t.Fatalf("dead host's program %q lost from the federated corpus", p)
+		default:
+			t.Fatalf("dead host's program %q duplicated (%d admissions)", p, counts[corpus.Hash(p)])
+		}
+	}
+	for h, n := range counts {
+		if n != 1 {
+			t.Fatalf("corpus hash %#x admitted %d times", h, n)
+		}
+	}
+	_ = from
+	if hostB.Fingerprint() != coord.Fingerprint() {
+		t.Fatal("survivor's corpus did not converge with the coordinator's")
+	}
+
+	// A's learn record survived in the journal exactly once; everything
+	// else is B's.
+	journal := coord.LearnJournal()
+	aCount := 0
+	for _, op := range journal {
+		if strings.HasPrefix(op.Device, regA.HostID+"/") {
+			aCount++
+		}
+	}
+	if aCount != 1 {
+		t.Fatalf("dead host's journal records = %d, want exactly 1", aCount)
+	}
+	if len(journal) <= 1 {
+		t.Fatal("survivor contributed no learn records")
+	}
+}

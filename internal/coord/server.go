@@ -1,0 +1,102 @@
+package coord
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"droidfuzz/internal/adb"
+)
+
+// The coordinator wire layer mirrors the adb transport's device protocol:
+// gob frames over any byte stream, lock-step request/reply. Coordinator
+// RPCs happen per epoch (hundreds of milliseconds to seconds apart), not
+// per execution, so there is no windowed pipeline here — one in-flight
+// request per connection keeps both ends trivially in sync.
+
+// Server serves a Coordinator over gob streams.
+type Server struct {
+	C *Coordinator
+}
+
+// Serve runs the coordinator side of the protocol over rw until the stream
+// ends: nil on clean EOF, an adb.ErrTransport-wrapped error on garbage or a
+// mid-stream hangup. Handler panics become per-request error replies, so
+// one hostile frame cannot take the coordinator down.
+func (s *Server) Serve(rw io.ReadWriter) error {
+	enc := gob.NewEncoder(rw)
+	dec := gob.NewDecoder(rw)
+	for {
+		req, err := decodeCoordRequest(dec)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("%w: coord serve decode: %v", adb.ErrTransport, err)
+		}
+		rep := s.handle(req)
+		if err := enc.Encode(&rep); err != nil {
+			return fmt.Errorf("%w: coord serve encode: %v", adb.ErrTransport, err)
+		}
+	}
+}
+
+// decodeCoordRequest reads one frame, converting decoder panics on hostile
+// input into errors.
+func decodeCoordRequest(dec *gob.Decoder) (req adb.CoordRequest, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("decode panic: %v", r)
+		}
+	}()
+	err = dec.Decode(&req)
+	return req, err
+}
+
+// handle dispatches one request to the coordinator, mapping Go errors to
+// the reply's Err string (the client rehydrates them as *adb.RemoteError).
+func (s *Server) handle(req adb.CoordRequest) (rep adb.CoordReply) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = adb.CoordReply{Err: fmt.Sprintf("coord: request panic: %v", r)}
+		}
+	}()
+	var err error
+	switch {
+	case req.Register != nil:
+		rep.Registered, err = s.C.Register(req.Register.Name)
+	case req.Heartbeat != nil:
+		rep.Beat, err = s.C.Heartbeat(req.Heartbeat.HostID, req.Heartbeat.Execs)
+	case req.Lease != nil:
+		rep.Shard, err = s.C.Lease(req.Lease.HostID)
+	case req.Progress != nil:
+		rep.Ack, err = s.C.Progress(req.Progress)
+	case req.Complete != nil:
+		rep.Ack, err = s.C.Complete(req.Complete)
+	case req.Sync != nil:
+		rep.Ack, err = s.C.Sync(req.Sync)
+	default:
+		err = errors.New("coord: empty request")
+	}
+	if err != nil {
+		rep = adb.CoordReply{Err: err.Error()}
+	}
+	return rep
+}
+
+// ServeTCP listens on ln and serves each accepted host connection until
+// the listener closes. Per-connection failures end that connection only.
+func (s *Server) ServeTCP(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer c.Close()
+			_ = s.Serve(c)
+		}()
+	}
+}

@@ -1,0 +1,104 @@
+package corpus
+
+// Federation surface: the corpus's canonical-text FNV-1a hash doubles as a
+// program's fleet-wide wire identity, so hosts and the coordinator diff
+// corpora by exchanging 8-byte hashes and ship full text only for programs
+// the other side genuinely lacks.
+
+// Hash returns the 64-bit FNV-1a hash of a canonical program text — the
+// same key Add dedups admissions under.
+func Hash(text string) uint64 { return fnv1a64(text) }
+
+// Texts returns the canonical texts of the entries from index `from` on,
+// in admission order. The corpus is append-only, so a previous Len() value
+// is a stable high-water mark: the federation uplink scans only what was
+// admitted since its last exchange.
+func (c *Corpus) Texts(from int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(c.entries) {
+		return nil
+	}
+	out := make([]string, 0, len(c.entries)-from)
+	for _, e := range c.entries[from:] {
+		out = append(out, e.Prog.String())
+	}
+	return out
+}
+
+// Contains reports whether a program with the given canonical-text hash
+// was ever admitted.
+func (c *Corpus) Contains(h uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.seen[h]
+	return ok
+}
+
+// Hashes returns the admitted programs' canonical-text hashes in admission
+// order.
+func (c *Corpus) Hashes() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, fnv1a64(e.Prog.String()))
+	}
+	return out
+}
+
+// HashSet is a set of canonical-text hashes — the compact corpus identity
+// the federation layer diffs and fingerprints instead of shipping program
+// text. Not safe for concurrent use; callers hold their own lock.
+type HashSet map[uint64]struct{}
+
+// NewHashSet returns an empty set.
+func NewHashSet() HashSet { return make(HashSet) }
+
+// Add inserts h, reporting whether it was new.
+func (s HashSet) Add(h uint64) bool {
+	if _, dup := s[h]; dup {
+		return false
+	}
+	s[h] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (s HashSet) Has(h uint64) bool {
+	_, ok := s[h]
+	return ok
+}
+
+// Len reports the set size.
+func (s HashSet) Len() int { return len(s) }
+
+// Fingerprint folds the set into one order-independent 64-bit digest: each
+// member is finalized through a splitmix64-style mixer and XOR-combined.
+// Two hosts holding the same program set report the same fingerprint
+// regardless of admission order — the cross-host convergence check the
+// smoke test and fleet status use. (XOR cancellation needs a duplicated
+// member; a set cannot have one.)
+func (s HashSet) Fingerprint() uint64 {
+	var fp uint64
+	// XOR is commutative, so the fold is identical in any iteration order.
+	for h := range s { //droidvet:nondet order-independent XOR fold
+		fp ^= mix64(h)
+	}
+	return fp
+}
+
+// mix64 is the splitmix64 finalizer: without it, structured hash sets
+// (e.g. differing in one low bit) would XOR-fold to weakly separated
+// fingerprints.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

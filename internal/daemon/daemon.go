@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"droidfuzz/internal/adb"
@@ -43,6 +44,12 @@ type Daemon struct {
 	// ship programs in executor batches of this size — over a remote link
 	// that is the windowed wire-frame + summary-uplink mode.
 	batchSize int
+	// learnLog, when set, journals every learn op the parallel applier
+	// lands in the shared graph — the federation uplink's export feed.
+	learnLog *relation.Log
+	// fleet is the multi-host status block a coordinator host publishes;
+	// an atomic pointer keeps WriteStatus's never-blocks guarantee.
+	fleet atomic.Pointer[FleetStatus]
 }
 
 // New returns an empty daemon with fresh shared state.
@@ -61,42 +68,51 @@ func (d *Daemon) Graph() *relation.Graph { return d.graph }
 // Dedup exposes the global unique-bug collector.
 func (d *Daemon) Dedup() *crash.Dedup { return d.dedup }
 
-// AddDevice boots the model, runs the probing pass, and attaches an engine.
-// cfg.Seed should differ per device for independent exploration.
+// AddDevice boots the model, runs the probing pass, and attaches an engine
+// keyed by the model ID. cfg.Seed should differ per device for independent
+// exploration.
+func (d *Daemon) AddDevice(modelID string, cfg engine.Config) error {
+	return d.AddDeviceAs(modelID, modelID, cfg)
+}
+
+// AddDeviceAs is AddDevice with an explicit engine key, so a fleet shard
+// can attach several devices of one model under distinct IDs (a coordinator
+// host uses "<hostID>/s<shard>.<j>/<model>", which also makes the learn
+// records' (device, seq) keys globally unique across the fleet).
 //
 // Boot and probing are the slow part and run outside the daemon lock, so
 // attaching a fleet of devices never serializes on d.mu (and a status read
 // during startup never waits behind a probe). The shared graph and dedup
 // are concurrency-safe, so the probing pass may learn into them before the
 // engine is registered.
-func (d *Daemon) AddDevice(modelID string, cfg engine.Config) error {
+func (d *Daemon) AddDeviceAs(id, modelID string, cfg engine.Config) error {
 	model, err := device.ModelByID(modelID)
 	if err != nil {
 		return err
 	}
 	d.mu.Lock()
-	if _, dup := d.engines[modelID]; dup {
+	if _, dup := d.engines[id]; dup {
 		d.mu.Unlock()
-		return fmt.Errorf("daemon: device %s already attached", modelID)
+		return fmt.Errorf("daemon: device %s already attached", id)
 	}
 	d.mu.Unlock()
 
 	dev := device.New(model)
 	eng, err := baseline.NewDroidFuzz(dev, d.graph, d.dedup, cfg)
 	if err != nil {
-		return fmt.Errorf("daemon: attach %s: %w", modelID, err)
+		return fmt.Errorf("daemon: attach %s: %w", id, err)
 	}
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, dup := d.engines[modelID]; dup {
-		// A concurrent attach of the same model won the race while we were
+	if _, dup := d.engines[id]; dup {
+		// A concurrent attach of the same id won the race while we were
 		// probing; keep the winner.
-		return fmt.Errorf("daemon: device %s already attached", modelID)
+		return fmt.Errorf("daemon: device %s already attached", id)
 	}
-	d.engines[modelID] = eng
-	d.devices[modelID] = dev
-	d.order = append(d.order, modelID)
+	d.engines[id] = eng
+	d.devices[id] = dev
+	d.order = append(d.order, id)
 	return nil
 }
 
@@ -171,29 +187,55 @@ func (d *Daemon) SetBatchSize(n int) {
 	d.mu.Unlock()
 }
 
+// SetLearnLog journals every learn op the parallel applier lands in the
+// shared graph into l (nil disables journaling). A coordinator host sets
+// one so the federation uplink can export (device, seq)-stamped learn
+// records exactly as they were applied locally.
+func (d *Daemon) SetLearnLog(l *relation.Log) {
+	d.mu.Lock()
+	d.learnLog = l
+	d.mu.Unlock()
+}
+
 // Run executes iters fuzzing iterations on every attached engine. With
 // parallel set, engines are distributed over a bounded worker pool (at most
 // SetMaxWorkers goroutines, defaulting to GOMAXPROCS — the deployment shape
 // of §IV-A without one unbounded goroutine per device); otherwise serially
 // in attach order, which is deterministic for a fixed set of seeds.
 func (d *Daemon) Run(iters int, parallel bool) {
+	_ = d.RunOn(nil, iters, parallel)
+}
+
+// RunOn is Run restricted to the engines with the given IDs (nil means
+// every attached engine, in attach order). A coordinator host runs one
+// shard's device subset per federation epoch while engines of completed
+// shards stay attached for status reporting. Unknown IDs are an error.
+func (d *Daemon) RunOn(ids []string, iters int, parallel bool) error {
 	d.mu.Lock()
-	ids := make([]string, len(d.order))
-	copy(ids, d.order)
-	engines := make([]*engine.Engine, 0, len(d.order))
-	for _, id := range d.order {
-		engines = append(engines, d.engines[id])
+	if ids == nil {
+		ids = make([]string, len(d.order))
+		copy(ids, d.order)
+	}
+	engines := make([]*engine.Engine, 0, len(ids))
+	for _, id := range ids {
+		e, ok := d.engines[id]
+		if !ok {
+			d.mu.Unlock()
+			return fmt.Errorf("daemon: run: no engine %q attached", id)
+		}
+		engines = append(engines, e)
 	}
 	workers := d.maxWorkers
 	depth := d.pipelineDepth
 	batch := d.batchSize
+	llog := d.learnLog
 	d.mu.Unlock()
 
 	if !parallel {
 		for _, e := range engines {
 			e.Run(iters)
 		}
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -206,11 +248,23 @@ func (d *Daemon) Run(iters int, parallel bool) {
 	// goroutine below periodically drains every buffer into the shared
 	// graph in (device, sequence) order. Engines therefore never contend
 	// on the graph lock mid-step — their generators read published
-	// snapshots, and learning is append-to-own-buffer.
+	// snapshots, and learning is append-to-own-buffer. With a learn log
+	// set, every applied op is journaled in its applied batch order — the
+	// export feed federation uplinks slice by index.
 	bufs := make([]*relation.LearnBuffer, len(engines))
 	for i, e := range engines {
 		bufs[i] = relation.NewLearnBuffer(ids[i])
 		e.SetLearnBuffer(bufs[i])
+	}
+	apply := func() {
+		ops := relation.DrainAll(bufs...)
+		if len(ops) == 0 {
+			return
+		}
+		d.graph.ApplyOps(ops)
+		if llog != nil {
+			llog.Append(ops...)
+		}
 	}
 	stopApply := make(chan struct{})
 	applierDone := make(chan struct{})
@@ -223,7 +277,7 @@ func (d *Daemon) Run(iters int, parallel bool) {
 			case <-stopApply:
 				return
 			case <-tick.C:
-				d.graph.ApplyBuffered(bufs...)
+				apply()
 			}
 		}
 	}()
@@ -257,10 +311,11 @@ func (d *Daemon) Run(iters int, parallel bool) {
 	// Final drain: everything recorded after the applier's last tick still
 	// lands in the graph before Run returns, and the engines go back to
 	// synchronous learning for any subsequent serial run.
-	d.graph.ApplyBuffered(bufs...)
+	apply()
 	for _, e := range engines {
 		e.SetLearnBuffer(nil)
 	}
+	return nil
 }
 
 // learnApplyInterval is the applier's drain cadence during parallel runs.
@@ -310,8 +365,58 @@ func (d *Daemon) SaveCorpora(dir string) error {
 // Bugs returns the global unique findings in discovery order.
 func (d *Daemon) Bugs() []*crash.Record { return d.dedup.Records() }
 
+// FleetStatus is the multi-host block of the status report: the identity
+// and federation counters a coordinator host publishes alongside the
+// per-device stats, so a whole-fleet dashboard still polls one JSON
+// document per host.
+type FleetStatus struct {
+	// HostID is the coordinator-assigned host identity.
+	HostID string `json:"host_id"`
+	// ShardEpoch counts completed federation epochs (uplink/downlink
+	// exchanges) across every shard this host ran.
+	ShardEpoch uint64 `json:"shard_epoch"`
+	// FedBytesIn / FedBytesOut are cumulative federation payload bytes
+	// received from and sent to the coordinator.
+	FedBytesIn  uint64 `json:"fed_bytes_in"`
+	FedBytesOut uint64 `json:"fed_bytes_out"`
+	// Steals counts shards this host leased out of other hosts' queues
+	// (including requeued shards of evicted hosts).
+	Steals uint64 `json:"steals"`
+	// CorpusHash is the order-independent fingerprint of the host's view
+	// of the federated corpus; equal values across hosts mean their corpus
+	// sets converged.
+	CorpusHash uint64 `json:"corpus_hash"`
+	// Shards summarizes every shard this host leased, in lease order.
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is one leased shard's summary in the fleet status block.
+type ShardStatus struct {
+	ID      int    `json:"id"`
+	Model   string `json:"model"`
+	Devices int    `json:"devices"`
+	// Execs is the per-device iteration count this host completed on the
+	// shard.
+	Execs int `json:"execs"`
+	// Stolen marks shards leased from another host's queue.
+	Stolen bool `json:"stolen,omitempty"`
+	// State is "running" or "done" (from this host's perspective).
+	State string `json:"state"`
+}
+
+// UpdateFleet publishes the fleet status block (a copy) for WriteStatus.
+// The block lives behind an atomic pointer: publishing never takes the
+// daemon lock and a concurrent WriteStatus never blocks on it.
+func (d *Daemon) UpdateFleet(fs FleetStatus) {
+	cp := fs
+	cp.Shards = slices.Clone(fs.Shards)
+	d.fleet.Store(&cp)
+}
+
 // statusReport is the JSON shape of WriteStatus.
 type statusReport struct {
+	// Fleet is the multi-host block; absent for single-host campaigns.
+	Fleet *FleetStatus `json:"fleet,omitempty"`
 	Devices map[string]engine.Stats `json:"devices"`
 	// ExecErrors aggregates broker execution errors across the fleet; a
 	// nonzero value flags transport or program-build trouble that per-device
@@ -344,7 +449,7 @@ type bugSummary struct {
 // WriteStatus emits a machine-readable status snapshot as JSON, the feed a
 // monitoring dashboard would poll.
 func (d *Daemon) WriteStatus(w io.Writer) error {
-	rep := statusReport{Devices: d.Stats()}
+	rep := statusReport{Devices: d.Stats(), Fleet: d.fleet.Load()}
 	for _, st := range rep.Devices {
 		rep.ExecErrors += st.ExecErrors
 		rep.ParamWrites += st.ParamWrites

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"droidfuzz/internal/engine"
+	"droidfuzz/internal/relation"
 )
 
 func TestDaemonLifecycle(t *testing.T) {
@@ -210,5 +211,121 @@ func TestDaemonLoadCorpora(t *testing.T) {
 	}
 	if counts["B"] == 0 {
 		t.Fatalf("nothing loaded (saved %d)", saved)
+	}
+}
+
+// TestAddDeviceAsAndRunOn attaches two devices of the same model under
+// distinct IDs — the coordinator-shard shape AddDevice's model keying
+// cannot express — and runs only a subset of the fleet.
+func TestAddDeviceAsAndRunOn(t *testing.T) {
+	d := New()
+	if err := d.AddDeviceAs("h1/s0.0/B", "B", engine.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDeviceAs("h1/s0.1/B", "B", engine.Config{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDeviceAs("h1/s0.0/B", "B", engine.Config{Seed: 3}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := d.AddDeviceAs("h1/s1.0/Z9", "Z9", engine.Config{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	// Corpus seeding at attach already executes programs, so compare
+	// against the post-attach baseline rather than zero.
+	before := d.Stats()
+	if err := d.RunOn([]string{"h1/s0.0/B"}, 150, true); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st["h1/s0.0/B"].Execs <= before["h1/s0.0/B"].Execs {
+		t.Fatal("selected engine idle")
+	}
+	if got, was := st["h1/s0.1/B"].Execs, before["h1/s0.1/B"].Execs; got != was {
+		t.Fatalf("unselected engine ran %d extra execs", got-was)
+	}
+	if err := d.RunOn([]string{"nope"}, 10, false); err == nil {
+		t.Fatal("RunOn accepted an unknown id")
+	}
+}
+
+// TestRunOnJournalsLearnLog checks the applier's export feed: with a learn
+// log set, parallel runs journal the applied ops, and replaying the journal
+// into a fresh graph with the same vertex set reproduces the shared graph's
+// learn count.
+func TestRunOnJournalsLearnLog(t *testing.T) {
+	d := New()
+	if err := d.AddDeviceAs("h1/s0.0/A1", "A1", engine.Config{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	llog := relation.NewLog()
+	d.SetLearnLog(llog)
+	learnedBefore := d.Graph().Learns()
+	if err := d.RunOn(nil, 400, true); err != nil {
+		t.Fatal(err)
+	}
+	ops := llog.Ops()
+	if len(ops) == 0 {
+		t.Skip("campaign produced no buffered learns at this budget")
+	}
+	// The journal records every buffered op; the graph's learn counter
+	// skips self-pairs, so it can only trail the journal.
+	learned := d.Graph().Learns() - learnedBefore
+	if uint64(len(ops)) < learned {
+		t.Fatalf("journal has %d ops but the graph learned %d", len(ops), learned)
+	}
+	for _, op := range ops {
+		if op.Device != "h1/s0.0/A1" {
+			t.Fatalf("journaled op carries device %q", op.Device)
+		}
+	}
+	// Replaying the journal into a fresh graph with the same vertex set
+	// reproduces the learn count — the skip behavior is deterministic.
+	replica := relation.New()
+	for _, name := range d.Graph().Names() {
+		replica.AddVertex(name, d.Graph().Vertex(name).Weight)
+	}
+	relation.Replay(replica, ops)
+	if replica.Learns() != learned {
+		t.Fatalf("replayed graph learned %d, campaign learned %d", replica.Learns(), learned)
+	}
+}
+
+// TestWriteStatusFleetBlock checks satellite behavior: UpdateFleet's block
+// lands in the status JSON, and a status without one omits the field.
+func TestWriteStatusFleetBlock(t *testing.T) {
+	d := New()
+	if err := d.AddDevice("B", engine.Config{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteStatus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"fleet"`)) {
+		t.Fatalf("single-host status carries a fleet block: %s", buf.String())
+	}
+
+	d.UpdateFleet(FleetStatus{
+		HostID: "h1", ShardEpoch: 3, FedBytesIn: 100, FedBytesOut: 40,
+		Steals: 1, CorpusHash: 0xabcd,
+		Shards: []ShardStatus{{ID: 2, Model: "B", Devices: 1, Execs: 500, Stolen: true, State: "done"}},
+	})
+	buf.Reset()
+	if err := d.WriteStatus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Fleet *FleetStatus `json:"fleet"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Fleet == nil || rep.Fleet.HostID != "h1" || rep.Fleet.ShardEpoch != 3 ||
+		rep.Fleet.Steals != 1 || rep.Fleet.CorpusHash != 0xabcd {
+		t.Fatalf("fleet block wrong: %+v", rep.Fleet)
+	}
+	if len(rep.Fleet.Shards) != 1 || !rep.Fleet.Shards[0].Stolen || rep.Fleet.Shards[0].State != "done" {
+		t.Fatalf("shard summary wrong: %+v", rep.Fleet.Shards)
 	}
 }

@@ -1,0 +1,334 @@
+package perf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"droidfuzz/internal/adb"
+	"droidfuzz/internal/coord"
+	"droidfuzz/internal/daemon"
+	"droidfuzz/internal/device"
+	"droidfuzz/internal/dsl"
+	"droidfuzz/internal/engine"
+	"droidfuzz/internal/probe"
+	"droidfuzz/internal/relation"
+)
+
+// The PR 10 distributed-fleet benchmarks.
+//
+// FedHost<N> runs one complete coordinated campaign — a real Coordinator, N
+// real Hosts over net.Pipe, the full lease/progress/federation protocol —
+// with every device execution paying a fixed simulated ADB latency. The
+// latency is what makes the scaling claim honest on a small CI machine: a
+// fleet exists to multiply *device* time, not host CPU, so the benchmark is
+// device-latency-bound by construction and adding a second host with its
+// own (simulated) devices should nearly double aggregate execs/sec even on
+// one core.
+//
+// FedUplinkDelta and FedUplinkFull compare the bytes one host ships per
+// federation epoch: the cursor-tracked delta batch (new corpus admissions +
+// new vertices + delta/varint-coded learn records) against the naive
+// alternative of gob-encoding the host's entire accumulated corpus and
+// learn journal every epoch. Both push identical synthetic campaign traffic
+// through a persistent gob stream, so the ratio in BENCH_PR10.json isolates
+// the encoding, not the workload.
+
+const (
+	// fedShards is the campaign size shared by every FedHost point; it is
+	// divisible by 1, 2 and 4 so each fleet size gets equal static shares,
+	// and fine-grained enough that shard-completion tails stay balanced.
+	fedShards = 8
+	// fedLatency is the simulated per-execution device round-trip, mid-range
+	// of real ADB-over-USB latencies (1-10ms). It has to dwarf the host CPU
+	// an execution costs (a few hundred µs with early-campaign minimization
+	// and triage amortized in) for the scaling measurement to be
+	// device-bound the way a physical fleet is.
+	fedLatency = 5 * time.Millisecond
+	// fedEpochIters is the federation cadence, small enough that even short
+	// benchmark campaigns exercise several uplink/downlink exchanges.
+	fedEpochIters = 64
+	// fedMinIters is the per-shard iteration floor. Campaign standup
+	// (attach probing, corpus seeding) is a fixed cost per shard; campaigns
+	// shorter than this measure standup instead of steady-state throughput
+	// and understate the fleet-scaling factor.
+	fedMinIters = 50
+)
+
+// latencyExecutor wraps an in-process broker with a fixed per-execution
+// sleep, standing in for the ADB transport round trip a physical fleet
+// pays. It deliberately does NOT implement adb.BatchExecutor — batching
+// would amortize away exactly the cost being modeled — but passes the
+// Cloner extension through so shard handoff checkpoints still work.
+type latencyExecutor struct {
+	adb.Executor
+	delay time.Duration
+}
+
+// Exec sleeps the simulated round trip, then delegates. The result is the
+// wrapped broker's pooled result; ownership transfers to the caller, who
+// must Release it when done.
+func (l *latencyExecutor) Exec(req adb.ExecRequest) (*adb.ExecResult, error) {
+	time.Sleep(l.delay)
+	return l.Executor.Exec(req)
+}
+
+// ExecProg sleeps the simulated round trip, then delegates. The result is
+// the wrapped broker's pooled result; ownership transfers to the caller,
+// who must Release it when done.
+func (l *latencyExecutor) ExecProg(p *dsl.Prog) (*adb.ExecResult, error) {
+	time.Sleep(l.delay)
+	return l.Executor.ExecProg(p)
+}
+
+func (l *latencyExecutor) ExportCheckpoint() ([]byte, error) {
+	if cl, ok := l.Executor.(adb.Cloner); ok {
+		return cl.ExportCheckpoint()
+	}
+	return nil, fmt.Errorf("perf: wrapped executor cannot checkpoint")
+}
+
+func (l *latencyExecutor) ImportCheckpoint(blob []byte) error {
+	if cl, ok := l.Executor.(adb.Cloner); ok {
+		return cl.ImportCheckpoint(blob)
+	}
+	return fmt.Errorf("perf: wrapped executor cannot checkpoint")
+}
+
+// fedAttach builds the HostOptions.Attach hook: the standard probing-pass
+// attach (mirroring baseline.NewDroidFuzz) with the broker wrapped in a
+// latencyExecutor.
+func fedAttach(delay time.Duration) func(d *daemon.Daemon, id, model string, seed int64) error {
+	return func(d *daemon.Daemon, id, model string, seed int64) error {
+		m, err := device.ModelByID(model)
+		if err != nil {
+			return err
+		}
+		dev := device.New(m)
+		target, err := dsl.NewTarget(dev.SyscallDescs()...)
+		if err != nil {
+			return err
+		}
+		pr, err := probe.Run(dev, probe.Options{})
+		if err != nil {
+			return err
+		}
+		target, err = target.Extend(pr.Interfaces...)
+		if err != nil {
+			return err
+		}
+		broker := adb.NewBroker(dev, target)
+		x := &latencyExecutor{Executor: broker, delay: delay}
+		return d.AttachExecutor(id, x, pr.Seeds, engine.Config{Seed: seed})
+	}
+}
+
+// FedHost1, FedHost2 and FedHost4 run the fixed four-shard campaign on
+// fleets of that many hosts; cmd/benchperf -pr 10 derives the scaling
+// factor from the 2-vs-1 pair (and records the 4-host point outside
+// -short).
+func FedHost1(b *testing.B) { fedFleetBench(b, 1) }
+func FedHost2(b *testing.B) { fedFleetBench(b, 2) }
+func FedHost4(b *testing.B) { fedFleetBench(b, 4) }
+
+func fedFleetBench(b *testing.B, hosts int) {
+	iters := (b.N + fedShards - 1) / fedShards
+	if iters < fedMinIters {
+		iters = fedMinIters
+	}
+	c, err := coord.New(coord.Campaign{
+		Models: []string{"A1"}, Shards: fedShards, Devices: 1,
+		Iters: iters, Seed: 11, EpochIters: fedEpochIters,
+	}, coord.Options{Hosts: hosts, EvictAfter: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &coord.Server{C: c}
+	fleet := make([]*coord.Host, hosts)
+	for i := range fleet {
+		cl, err := coord.DialClient("pipe", coord.ClientOptions{
+			Dialer: func() (io.ReadWriteCloser, error) {
+				hostEnd, coordEnd := net.Pipe()
+				go srv.Serve(coordEnd)
+				return hostEnd, nil
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet[i] = coord.NewHost(cl, coord.HostOptions{
+			Name:       fmt.Sprintf("bench%d", i),
+			LeaseRetry: time.Millisecond,
+			Attach:     fedAttach(fedLatency),
+		})
+	}
+
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i, h := range fleet {
+		wg.Add(1)
+		go func(i int, h *coord.Host) {
+			defer wg.Done()
+			errs[i] = h.Run()
+		}(i, h)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report real device executions, not campaign iterations: one iteration
+	// fans out into several executions (mutation candidates, minimization,
+	// lineage), every one of which paid the device round-trip.
+	var execs float64
+	for _, h := range fleet {
+		for _, st := range h.Daemon().Stats() {
+			execs += float64(st.Execs)
+		}
+	}
+	b.ReportMetric(execs/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// Federation-traffic shape per epoch: what one busy host typically has to
+// say after fedEpochIters iterations per device — a couple dozen corpus
+// admissions, a handful of fresh vertices, and a batch of learn records.
+const (
+	fedEpochProgs     = 24
+	fedEpochVerts     = 2
+	fedEpochOps       = 48
+	fedCampaignEpochs = 32 // epochs per synthetic campaign before state resets
+)
+
+// fedTraffic generates the deterministic synthetic federation traffic both
+// uplink benchmarks consume, and accumulates the full-state view the naive
+// encoder ships every epoch.
+type fedTraffic struct {
+	rng      *rand.Rand
+	epoch    int
+	allProgs []string
+	allOps   []relation.LearnOp
+}
+
+func newFedTraffic() *fedTraffic {
+	return &fedTraffic{rng: rand.New(rand.NewSource(77))}
+}
+
+func (t *fedTraffic) reset() {
+	t.epoch = 0
+	t.allProgs = t.allProgs[:0]
+	t.allOps = t.allOps[:0]
+}
+
+// next produces one epoch of novelty and folds it into the cumulative
+// state. Program texts follow the canonical DSL shape (one call per line,
+// resource results feeding later calls) at realistic lengths.
+func (t *fedTraffic) next() (progs []string, verts []adb.FedVertex, ops []relation.LearnOp) {
+	t.epoch++
+	for i := 0; i < fedEpochProgs; i++ {
+		n := int(t.rng.Int63()%4) + 2
+		text := fmt.Sprintf("r0 = open(\"/dev/dri/card%d\")\n", t.rng.Int63()%4)
+		for c := 1; c < n; c++ {
+			text += fmt.Sprintf("ioctl(r0, 0x%x, 0x%x)\n", t.rng.Int63()%0xffff, t.rng.Int63())
+		}
+		progs = append(progs, text)
+	}
+	for i := 0; i < fedEpochVerts; i++ {
+		verts = append(verts, adb.FedVertex{
+			Name:   fmt.Sprintf("svc_%d_%d", t.epoch, i),
+			Weight: float64(i+1) * 0.05,
+		})
+	}
+	for i := 0; i < fedEpochOps; i++ {
+		ops = append(ops, relation.LearnOp{
+			A:      fmt.Sprintf("call_%02d", t.rng.Int63()%48),
+			B:      fmt.Sprintf("call_%02d", t.rng.Int63()%48),
+			Device: "h1/s0.0/A1",
+			Seq:    uint64(len(t.allOps) + i + 1),
+		})
+	}
+	t.allProgs = append(t.allProgs, progs...)
+	t.allOps = append(t.allOps, ops...)
+	return progs, verts, ops
+}
+
+// fedFullState is the naive synchronization payload: the host's complete
+// corpus and learn journal, re-shipped every epoch.
+type fedFullState struct {
+	Progs []string
+	Verts []adb.FedVertex
+	Ops   []relation.LearnOp
+}
+
+// FedUplinkDelta measures bytes per federation epoch for the cursor-tracked
+// delta batch: only this epoch's novelty, learn records columnar
+// delta/varint-coded, the whole batch going through the same persistent gob
+// stream the coordinator transport uses.
+func FedUplinkDelta(b *testing.B) {
+	traffic := newFedTraffic()
+	cw := &fedCountWriter{}
+	enc := gob.NewEncoder(cw)
+	var total float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%fedCampaignEpochs == 0 {
+			traffic.reset()
+		}
+		progs, verts, ops := traffic.next()
+		fl, err := coord.EncodeLearns(ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := &adb.FedBatch{Progs: progs, Verts: verts, Learns: fl}
+		before := cw.n
+		if err := enc.Encode(batch); err != nil {
+			b.Fatal(err)
+		}
+		total += float64(cw.n - before)
+	}
+	b.StopTimer()
+	b.ReportMetric(total/float64(b.N), "uplinkB/epoch")
+}
+
+// FedUplinkFull measures the naive comparator: gob-encode the entire
+// accumulated corpus and flat learn journal every epoch, the way a
+// coordinator without per-host cursors would have to synchronize state.
+func FedUplinkFull(b *testing.B) {
+	traffic := newFedTraffic()
+	cw := &fedCountWriter{}
+	enc := gob.NewEncoder(cw)
+	var total float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%fedCampaignEpochs == 0 {
+			traffic.reset()
+		}
+		_, verts, _ := traffic.next()
+		full := &fedFullState{Progs: traffic.allProgs, Verts: verts, Ops: traffic.allOps}
+		before := cw.n
+		if err := enc.Encode(full); err != nil {
+			b.Fatal(err)
+		}
+		total += float64(cw.n - before)
+	}
+	b.StopTimer()
+	b.ReportMetric(total/float64(b.N), "uplinkB/epoch")
+}
+
+// fedCountWriter counts bytes without retaining them.
+type fedCountWriter struct{ n int }
+
+func (w *fedCountWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,76 @@
+package perf
+
+import (
+	"testing"
+
+	"droidfuzz/internal/coord"
+)
+
+func BenchmarkFedHost1(b *testing.B) { FedHost1(b) }
+func BenchmarkFedHost2(b *testing.B) { FedHost2(b) }
+func BenchmarkFedHost4(b *testing.B) { FedHost4(b) }
+
+func BenchmarkFedUplinkDelta(b *testing.B) { FedUplinkDelta(b) }
+func BenchmarkFedUplinkFull(b *testing.B)  { FedUplinkFull(b) }
+
+// TestFedTrafficDeterministic pins the synthetic federation traffic: both
+// uplink benchmarks must consume the identical epoch stream or the
+// delta-vs-full ratio stops being apples-to-apples.
+func TestFedTrafficDeterministic(t *testing.T) {
+	a, b := newFedTraffic(), newFedTraffic()
+	for e := 0; e < 3; e++ {
+		pa, va, oa := a.next()
+		pb, vb, ob := b.next()
+		if len(pa) != fedEpochProgs || len(va) != fedEpochVerts || len(oa) != fedEpochOps {
+			t.Fatalf("epoch %d: shape %d/%d/%d", e, len(pa), len(va), len(oa))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("epoch %d prog %d diverged", e, i)
+			}
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("epoch %d vert %d diverged", e, i)
+			}
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("epoch %d op %d diverged", e, i)
+			}
+		}
+	}
+	if len(a.allProgs) != 3*fedEpochProgs || len(a.allOps) != 3*fedEpochOps {
+		t.Fatalf("cumulative state %d progs / %d ops", len(a.allProgs), len(a.allOps))
+	}
+	a.reset()
+	if len(a.allProgs) != 0 || len(a.allOps) != 0 || a.epoch != 0 {
+		t.Fatal("reset left state behind")
+	}
+}
+
+// TestFedTrafficLearnsEncodable: every epoch's learn batch must round-trip
+// through the columnar codec (the delta benchmark b.Fatal's otherwise, but
+// a plain test localizes the failure).
+func TestFedTrafficLearnsEncodable(t *testing.T) {
+	tr := newFedTraffic()
+	for e := 0; e < fedCampaignEpochs; e++ {
+		_, _, ops := tr.next()
+		fl, err := coord.EncodeLearns(ops)
+		if err != nil {
+			t.Fatalf("epoch %d: encode: %v", e, err)
+		}
+		back, err := coord.DecodeLearns(fl)
+		if err != nil {
+			t.Fatalf("epoch %d: decode: %v", e, err)
+		}
+		if len(back) != len(ops) {
+			t.Fatalf("epoch %d: %d ops round-tripped to %d", e, len(ops), len(back))
+		}
+		for i := range ops {
+			if back[i] != ops[i] {
+				t.Fatalf("epoch %d op %d: %+v != %+v", e, i, back[i], ops[i])
+			}
+		}
+	}
+}

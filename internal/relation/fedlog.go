@@ -1,0 +1,65 @@
+package relation
+
+import "sync"
+
+// Log is an append-only journal of learn records. Two places keep one: a
+// federated host journals the ops its applier lands in the local graph (the
+// uplink reads suffixes by index), and the coordinator journals every op
+// accepted from the fleet — its merged graph is *defined* as the replay of
+// that journal, which is what makes federation merge commutative: however
+// batches arrive, the deduplicated journal sorts to the same (device, seq)
+// sequence and replays to the same graph.
+type Log struct {
+	mu  sync.Mutex
+	ops []LearnOp
+}
+
+// NewLog returns an empty journal.
+func NewLog() *Log { return &Log{} }
+
+// Append records ops in arrival order.
+func (l *Log) Append(ops ...LearnOp) {
+	if len(ops) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.ops = append(l.ops, ops...)
+	l.mu.Unlock()
+}
+
+// Len reports how many ops the journal holds. The journal is append-only,
+// so a Len value is a stable cursor: Since(cursor) later returns exactly
+// the ops recorded after it was taken.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// Since returns a copy of the ops from index i on.
+func (l *Log) Since(i int) []LearnOp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.ops) {
+		return nil
+	}
+	out := make([]LearnOp, len(l.ops)-i)
+	copy(out, l.ops[i:])
+	return out
+}
+
+// Ops returns a copy of the whole journal in arrival order.
+func (l *Log) Ops() []LearnOp { return l.Since(0) }
+
+// Replay applies ops to g in (device, sequence) order without mutating the
+// caller's slice — the offline reconstruction path: a fresh graph with the
+// campaign's vertex set, Replayed with the recorded journal, reproduces the
+// coordinator's merged graph edge for edge.
+func Replay(g *Graph, ops []LearnOp) int {
+	cp := make([]LearnOp, len(ops))
+	copy(cp, ops)
+	return g.ApplyOps(cp)
+}

@@ -64,27 +64,48 @@ func (b *LearnBuffer) Drain() []LearnOp {
 	return ops
 }
 
-// ApplyBuffered drains every buffer and applies the collected ops sorted by
-// (device ID, sequence), so the application order — and therefore the
-// resulting edge weights, which Eq. (1) makes order-sensitive — depends only
-// on what the engines recorded, never on drain timing or goroutine
-// scheduling. It returns the number of ops applied.
-func (g *Graph) ApplyBuffered(bufs ...*LearnBuffer) int {
+// DrainAll drains every buffer, concatenating the ops in drain order.
+// Callers needing the deterministic application order sort with SortOps
+// (ApplyOps does); callers journaling for federation keep the raw drain.
+func DrainAll(bufs ...*LearnBuffer) []LearnOp {
 	var ops []LearnOp
 	for _, b := range bufs {
 		ops = append(ops, b.Drain()...)
 	}
-	if len(ops) == 0 {
-		return 0
-	}
+	return ops
+}
+
+// SortOps orders ops by (device ID, sequence) in place — the total order
+// every parallel and federated replay applies learns under. (device, seq)
+// pairs are unique fleet-wide (device IDs carry the host prefix), so the
+// order is total and the sort deterministic.
+func SortOps(ops []LearnOp) {
 	sort.Slice(ops, func(i, j int) bool {
 		if ops[i].Device != ops[j].Device {
 			return ops[i].Device < ops[j].Device
 		}
 		return ops[i].Seq < ops[j].Seq
 	})
+}
+
+// ApplyOps sorts ops by (device, sequence) in place and applies them, so
+// the application order — and therefore the resulting edge weights, which
+// Eq. (1) makes order-sensitive — depends only on what was recorded, never
+// on drain timing or goroutine scheduling. It returns the number of ops
+// applied.
+func (g *Graph) ApplyOps(ops []LearnOp) int {
+	if len(ops) == 0 {
+		return 0
+	}
+	SortOps(ops)
 	for _, op := range ops {
 		g.Learn(op.A, op.B)
 	}
 	return len(ops)
+}
+
+// ApplyBuffered drains every buffer and applies the collected ops in
+// (device, sequence) order; see ApplyOps.
+func (g *Graph) ApplyBuffered(bufs ...*LearnBuffer) int {
+	return g.ApplyOps(DrainAll(bufs...))
 }

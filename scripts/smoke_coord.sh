@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Distributed-fleet smoke test: stand up a real coordinator on a loopback
+# TCP port with two droidfleet hosts in -coord mode, first in the plain
+# build and again under the droidfuzz_sanitize tag, and assert from the
+# JSON status reports that federation actually converged — both hosts must
+# finish with the identical nonzero fleet corpus fingerprint, every shard
+# done, and federation bytes moving both directions. A drain-handshake or
+# cursor regression anywhere in coordinator/host/client would break the
+# fingerprint equality long before any unit test names the culprit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+cleanup() {
+    local job
+    for job in $(jobs -p); do
+        kill "$job" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+PORT="${SMOKE_COORD_PORT:-7341}"
+
+run_campaign() {
+    local label="$1" coordbin="$2" fleetbin="$3" port="$4"
+    "$coordbin" -listen "127.0.0.1:$port" -hosts 2 -models A1,B -shards 4 \
+        -devices 1 -iters 300 -epoch 100 -linger 30s >"$WORK/coord_$label.log" 2>&1 &
+    local cpid=$!
+    sleep 0.5
+    "$fleetbin" -coord "127.0.0.1:$port" -host-name "smokeA-$label" \
+        -status "$WORK/statusA_$label.json" >"$WORK/hostA_$label.log" 2>&1 &
+    local apid=$!
+    "$fleetbin" -coord "127.0.0.1:$port" -host-name "smokeB-$label" \
+        -status "$WORK/statusB_$label.json" >"$WORK/hostB_$label.log" 2>&1 &
+    local bpid=$!
+    wait "$apid" || { echo "FAIL($label): hostA exited nonzero"; cat "$WORK/hostA_$label.log"; exit 1; }
+    wait "$bpid" || { echo "FAIL($label): hostB exited nonzero"; cat "$WORK/hostB_$label.log"; exit 1; }
+    wait "$cpid" || { echo "FAIL($label): coordinator exited nonzero"; cat "$WORK/coord_$label.log"; exit 1; }
+    if grep -q "did not drain" "$WORK/coord_$label.log"; then
+        echo "FAIL($label): coordinator reported undrained hosts"
+        cat "$WORK/coord_$label.log"
+        exit 1
+    fi
+    check_status "$label" "$WORK/statusA_$label.json" "$WORK/statusB_$label.json"
+}
+
+check_status() {
+    local label="$1" a="$2" b="$3"
+    python3 - "$a" "$b" "$label" <<'PY'
+import json, sys
+a = json.load(open(sys.argv[1]))["fleet"]
+b = json.load(open(sys.argv[2]))["fleet"]
+label = sys.argv[3]
+if a["corpus_hash"] != b["corpus_hash"]:
+    sys.exit(f"FAIL({label}): corpus fingerprints diverge: {a['corpus_hash']:#x} vs {b['corpus_hash']:#x}")
+if a["corpus_hash"] == 0:
+    sys.exit(f"FAIL({label}): corpus fingerprint is zero — no federation happened")
+steals = a.get("steals", 0) + b.get("steals", 0)
+if steals < 0:
+    sys.exit(f"FAIL({label}): negative steal count {steals}")
+for name, rep in (("A", a), ("B", b)):
+    shards = rep.get("shards") or []
+    if not shards:
+        sys.exit(f"FAIL({label}): host {name} ran no shards")
+    for sh in shards:
+        if sh["state"] != "done":
+            sys.exit(f"FAIL({label}): host {name} shard {sh['id']} state {sh['state']!r}, want done")
+    if rep.get("fed_bytes_out", 0) <= 0 or rep.get("fed_bytes_in", 0) <= 0:
+        sys.exit(f"FAIL({label}): host {name} moved no federation bytes")
+print(f"OK({label}): corpus_hash={a['corpus_hash']:#x} "
+      f"shards={len(a.get('shards') or [])}+{len(b.get('shards') or [])} steals={steals}")
+PY
+}
+
+go build -o "$WORK/droidcoordd" ./cmd/droidcoordd
+go build -o "$WORK/droidfleet" ./cmd/droidfleet
+run_campaign plain "$WORK/droidcoordd" "$WORK/droidfleet" "$PORT"
+
+go build -tags droidfuzz_sanitize -o "$WORK/droidcoordd_san" ./cmd/droidcoordd
+go build -tags droidfuzz_sanitize -o "$WORK/droidfleet_san" ./cmd/droidfleet
+run_campaign sanitize "$WORK/droidcoordd_san" "$WORK/droidfleet_san" "$((PORT + 1))"
+
+echo "PASS: coordinated two-host campaigns converged (plain + sanitize)"
