@@ -89,11 +89,24 @@ func run(listen, models string, hosts, shards, devices, iters, epoch int, seed i
 	fmt.Printf("coordinator: %s serving %d shards (%s, %d devices each, %d iters, epoch %d) for %d hosts\n",
 		ln.Addr(), st.ShardsTotal, strings.Join(ids, ","), devices, iters, epoch, hosts)
 
+	// Maintenance ticker: eviction (and with it campaign-complete /
+	// stranded-campaign detection) must not depend on hosts calling in —
+	// a fleet that crashed wholesale never sends another RPC, and without
+	// this timer the coordinator would print progress lines forever.
+	maintEvery := evictAfter / 2
+	if maintEvery < 100*time.Millisecond {
+		maintEvery = 100 * time.Millisecond
+	}
+	maint := time.NewTicker(maintEvery)
+	defer maint.Stop()
 	progress := time.NewTicker(5 * time.Second)
 	defer progress.Stop()
 	for {
 		select {
 		case <-c.Done():
+		case <-maint.C:
+			c.Tick()
+			continue
 		case <-progress.C:
 			st, hs := c.Snapshot()
 			fmt.Printf("  shards %d/%d done, hosts %d live/%d, steals=%d evictions=%d corpus=%d\n",
@@ -102,6 +115,11 @@ func run(listen, models string, hosts, shards, devices, iters, epoch int, seed i
 			continue
 		}
 		break
+	}
+
+	if st, _ := c.Snapshot(); st.Stranded {
+		return fmt.Errorf("campaign stranded: all %d registered hosts evicted with %d/%d shards done",
+			st.Hosts, st.ShardsDone, st.ShardsTotal)
 	}
 
 	// Campaign done; give hosts the linger window to drain the final

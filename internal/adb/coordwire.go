@@ -14,8 +14,19 @@ package adb
 // coordinator's downlink — the merged-novelty delta the host lacks — so
 // federation needs no extra round trips.
 
-// CoordRequest is one host→coordinator frame; exactly one field is set.
+// CoordRequest is one host→coordinator frame; exactly one payload field is
+// set.
 type CoordRequest struct {
+	// Seq is the client's per-host request sequence number, strictly
+	// increasing across calls (0 disables duplicate detection). A transport
+	// failure after the coordinator processed a request but before the
+	// reply landed is ambiguous to the client, so it retries with the SAME
+	// Seq; the coordinator detects the duplicate and returns its cached
+	// reply verbatim instead of re-running the handler. That is what makes
+	// state-mutating RPCs — Lease hands out a shard, every downlink
+	// advances federation cursors — safe to retry.
+	Seq uint64
+
 	Register  *CoordRegister
 	Heartbeat *CoordHeartbeat
 	Lease     *CoordLeaseRequest
@@ -39,6 +50,12 @@ type CoordReply struct {
 type CoordRegister struct {
 	// Name is an advisory operator label; the coordinator assigns the ID.
 	Name string
+	// Nonce is a random client-instance identity (0 disables dedup).
+	// Registration happens before the host has an ID, so Seq-based
+	// duplicate detection cannot cover it; a retried Register with the
+	// same nonce returns the original identity instead of admitting a
+	// ghost host that would strand its pre-partitioned shard queue.
+	Nonce uint64
 }
 
 // CoordRegistered is the registration outcome.

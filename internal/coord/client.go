@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"droidfuzz/internal/adb"
@@ -70,6 +71,13 @@ type Client struct {
 	failStreak int
 	rng        *rand.Rand
 	sleep      func(time.Duration) // test seam; nil means time.Sleep
+	// seq numbers every logical call; retries of one call resend the same
+	// value, which is how the coordinator tells a retry after a lost reply
+	// from a fresh request (and answers it from its reply cache).
+	seq uint64
+	// nonce is this client instance's random registration identity; a
+	// retried Register with the same nonce gets the original host ID back.
+	nonce uint64
 }
 
 // DialClient connects to a coordinator at addr (or via opts.Dialer).
@@ -136,6 +144,11 @@ func (c *Client) jitterLocked() *rand.Rand {
 func (c *Client) call(req adb.CoordRequest) (adb.CoordReply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// One Seq per logical call, shared by every retry attempt: the
+	// coordinator uses it to return the cached reply when the previous
+	// attempt was processed but its reply got lost in the hangup.
+	c.seq++
+	req.Seq = c.seq
 	var err error
 	for attempt := 0; attempt <= c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -162,6 +175,22 @@ func (c *Client) call(req adb.CoordRequest) (adb.CoordReply, error) {
 		return rep, nil
 	}
 	return adb.CoordReply{}, err
+}
+
+// nonceCounter disambiguates nonces of clients in one process: even if two
+// clients' wall-clock-seeded RNGs collided, the counter xor keeps their
+// registration identities distinct.
+var nonceCounter atomic.Uint64
+
+// regNonce lazily draws this client's registration nonce (never 0, so the
+// coordinator always dedups it).
+func (c *Client) regNonce() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.nonce == 0 {
+		c.nonce = c.jitterLocked().Uint64() ^ nonceCounter.Add(1)
+	}
+	return c.nonce
 }
 
 // sleepLocked pauses between redials (droppable in tests).
@@ -198,7 +227,7 @@ func (c *Client) roundTripLocked(req adb.CoordRequest) (adb.CoordReply, error) {
 
 // Register announces a host and returns its assigned identity.
 func (c *Client) Register(name string) (*adb.CoordRegistered, error) {
-	rep, err := c.call(adb.CoordRequest{Register: &adb.CoordRegister{Name: name}})
+	rep, err := c.call(adb.CoordRequest{Register: &adb.CoordRegister{Name: name, Nonce: c.regNonce()}})
 	if err != nil {
 		return nil, err
 	}

@@ -116,6 +116,13 @@ type hostState struct {
 	// campaign completed — the host's explicit "I have everything" — and
 	// cleared whenever a later merge gives it something new to fetch.
 	drained bool
+	// Duplicate-retry protection: the last request Seq this host's client
+	// sent and the reply it got. Handle returns lastReply verbatim when the
+	// same Seq arrives again (the client retried after losing the reply),
+	// so handler side effects — the leased shard, the downlink cursor
+	// advances — are delivered exactly once per logical call.
+	lastSeq   uint64
+	lastReply adb.CoordReply
 }
 
 // Coordinator shards a campaign across registered hosts and merges their
@@ -154,13 +161,19 @@ type Coordinator struct {
 	// than the journal that stores the ops themselves.
 	accepted map[string]map[uint64]struct{}
 	merged   *relation.Graph
+	// regNonce dedups retried registrations: a client that lost its
+	// Register reply re-sends the same nonce and gets its original
+	// identity back.
+	regNonce map[uint64]*adb.CoordRegistered
 	// Counters.
-	steals    uint64
-	evictions int
-	bytesIn   uint64
-	bytesOut  uint64
-	doneOnce  sync.Once
-	done      chan struct{}
+	steals        uint64
+	evictions     int
+	bytesIn       uint64
+	bytesOut      uint64
+	learnsDropped uint64 // learn records lost to downlink encode failures
+	stranded      bool   // whole fleet evicted with shards unfinished
+	doneOnce      sync.Once
+	done          chan struct{}
 }
 
 // New builds a coordinator for the campaign. The shard list is fixed up
@@ -185,6 +198,7 @@ func New(camp Campaign, opts Options) (*Coordinator, error) {
 		verts:      make(map[string]float64),
 		log:        relation.NewLog(),
 		accepted:   make(map[string]map[uint64]struct{}),
+		regNonce:   make(map[uint64]*adb.CoordRegistered),
 		done:       make(chan struct{}),
 	}
 	for i := 0; i < camp.Shards; i++ {
@@ -207,8 +221,21 @@ func (c *Coordinator) Done() <-chan struct{} { return c.done }
 // chunk of the unassigned pool, sized for the expected fleet. Late hosts
 // beyond the expected count start with empty queues and live off stealing.
 func (c *Coordinator) Register(name string) (*adb.CoordRegistered, error) {
+	return c.register(name, 0)
+}
+
+// register is Register plus nonce dedup: a nonzero nonce already seen means
+// the client lost the original reply and retried, so it gets the same
+// identity back instead of a ghost registration holding queue shards nobody
+// will ever run.
+func (c *Coordinator) register(name string, nonce uint64) (*adb.CoordRegistered, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if nonce != 0 {
+		if reg, ok := c.regNonce[nonce]; ok {
+			return reg, nil
+		}
+	}
 	c.nextID++
 	h := &hostState{
 		id:          fmt.Sprintf("h%d", c.nextID),
@@ -226,7 +253,95 @@ func (c *Coordinator) Register(name string) (*adb.CoordRegistered, error) {
 	c.unassigned = c.unassigned[chunk:]
 	c.hosts[h.id] = h
 	c.order = append(c.order, h.id)
-	return &adb.CoordRegistered{HostID: h.id, EpochIters: c.camp.EpochIters}, nil
+	reg := &adb.CoordRegistered{HostID: h.id, EpochIters: c.camp.EpochIters}
+	if nonce != 0 {
+		c.regNonce[nonce] = reg
+	}
+	return reg, nil
+}
+
+// Handle dispatches one wire request. It is the server entry point and the
+// layer where retried requests are made safe: every non-Register request
+// names its host, so a Seq equal to the host's last processed one is a
+// retry after a lost reply — the cached reply goes back verbatim and the
+// handler does not run again. Without this, a retried Lease would lease a
+// second shard while the first stayed owned by this live host forever, and
+// a retried Progress/Sync would get an empty downlink in place of the lost
+// batch the cursors had already advanced past.
+func (c *Coordinator) Handle(req adb.CoordRequest) adb.CoordReply {
+	if req.Register != nil {
+		reg, err := c.register(req.Register.Name, req.Register.Nonce)
+		if err != nil {
+			return adb.CoordReply{Err: err.Error()}
+		}
+		return adb.CoordReply{Registered: reg}
+	}
+	hostID := requestHostID(&req)
+	if hostID == "" {
+		return adb.CoordReply{Err: "coord: empty request"}
+	}
+	if req.Seq != 0 {
+		c.mu.Lock()
+		if h, ok := c.hosts[hostID]; ok && !h.evicted && h.lastSeq != 0 {
+			switch {
+			case req.Seq == h.lastSeq:
+				rep := h.lastReply
+				c.mu.Unlock()
+				return rep
+			case req.Seq < h.lastSeq:
+				c.mu.Unlock()
+				return adb.CoordReply{Err: fmt.Sprintf(
+					"coord: stale request seq %d from %s (last processed %d)", req.Seq, hostID, h.lastSeq)}
+			}
+		}
+		c.mu.Unlock()
+	}
+	var (
+		rep adb.CoordReply
+		err error
+	)
+	switch {
+	case req.Heartbeat != nil:
+		rep.Beat, err = c.Heartbeat(req.Heartbeat.HostID, req.Heartbeat.Execs)
+	case req.Lease != nil:
+		rep.Shard, err = c.Lease(req.Lease.HostID)
+	case req.Progress != nil:
+		rep.Ack, err = c.Progress(req.Progress)
+	case req.Complete != nil:
+		rep.Ack, err = c.Complete(req.Complete)
+	case req.Sync != nil:
+		rep.Ack, err = c.Sync(req.Sync)
+	}
+	if err != nil {
+		rep = adb.CoordReply{Err: err.Error()}
+	}
+	if req.Seq != 0 {
+		c.mu.Lock()
+		if h, ok := c.hosts[hostID]; ok {
+			h.lastSeq = req.Seq
+			h.lastReply = rep
+		}
+		c.mu.Unlock()
+	}
+	return rep
+}
+
+// requestHostID extracts the acting host from a non-Register request ("" if
+// the frame carries no payload).
+func requestHostID(req *adb.CoordRequest) string {
+	switch {
+	case req.Heartbeat != nil:
+		return req.Heartbeat.HostID
+	case req.Lease != nil:
+		return req.Lease.HostID
+	case req.Progress != nil:
+		return req.Progress.HostID
+	case req.Complete != nil:
+		return req.Complete.HostID
+	case req.Sync != nil:
+		return req.Sync.HostID
+	}
+	return ""
 }
 
 // Heartbeat refreshes a host's liveness and returns its health score.
@@ -441,14 +556,56 @@ func (c *Coordinator) Complete(q *adb.CoordComplete) (*adb.CoordAck, error) {
 	}
 	c.mergeLocked(h, q.Batch)
 	sh := c.shards[q.ShardID]
-	if sh.owner == h.id || !sh.done {
+	switch {
+	case sh.done:
+		// Idempotent: a duplicate Complete for a finished shard just acks.
+	case sh.owner == h.id:
 		sh.done = true
 		sh.owner = ""
 		sh.progress = sh.spec.Iters
+	default:
+		// Not the caller's shard: it is queued or leased elsewhere (e.g.
+		// requeued after this host looked dead). The current owner's run is
+		// authoritative — ack the merge but leave the shard alone rather
+		// than discarding the owner's remaining work.
 	}
 	delete(h.leased, q.ShardID)
 	c.evictStaleLocked()
+	c.maybeFinishLocked()
 	return &adb.CoordAck{Batch: c.downlinkLocked(h)}, nil
+}
+
+// Tick drives time-based maintenance independently of host RPCs: a fleet
+// that crashed wholesale never sends another request, so without a
+// server-side timer nothing would ever evict the dead hosts or unblock
+// whoever waits on Done. droidcoordd calls it on a ticker.
+func (c *Coordinator) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictStaleLocked()
+	c.maybeFinishLocked()
+}
+
+// maybeFinishLocked closes Done when the campaign can end: every shard
+// completed, or — the stranded case — at least one host registered, every
+// one of them has since been evicted, and shards remain. Stranding closes
+// Done too (there is no one left to make progress), but marks the campaign
+// so droidcoordd reports the failure instead of a clean summary.
+func (c *Coordinator) maybeFinishLocked() {
+	if c.shardsDoneLocked() == len(c.shards) {
+		c.doneOnce.Do(func() { close(c.done) })
+		return
+	}
+	if len(c.hosts) == 0 {
+		return
+	}
+	for _, id := range c.order {
+		if !c.hosts[id].evicted {
+			return
+		}
+	}
+	c.stranded = true
+	c.doneOnce.Do(func() { close(c.done) })
 }
 
 // Sync is the shard-free federation exchange: merge the optional uplink,
@@ -563,6 +720,15 @@ func (c *Coordinator) downlinkLocked(h *hostState) *adb.FedBatch {
 	h.logSent = c.log.Len()
 	if fl, err := EncodeLearns(foreign); err == nil {
 		b.Learns = fl
+	} else {
+		// An unencodable record (seq past uint32) fails permanently, so
+		// holding the cursor back would just re-fail every downlink and
+		// block everything behind it. Advance, but count the loss where
+		// Stats surfaces it instead of dropping silently. (Unreachable for
+		// journal records that arrived over the wire — decode already
+		// bounds their seqs to uint32 — but kept for directly driven
+		// coordinators and future record sources.)
+		c.learnsDropped += uint64(len(foreign))
 	}
 	if emptyBatch(b) {
 		return nil
@@ -640,7 +806,13 @@ type Stats struct {
 	Vertices, Edges         int
 	LearnOps                int
 	BytesIn, BytesOut       uint64
-	Done                    bool
+	// LearnsDropped counts learn records lost to downlink encode failures
+	// (cursor advanced past records that can never ship).
+	LearnsDropped uint64
+	Done          bool
+	// Stranded means Done closed because the whole registered fleet was
+	// evicted with shards unfinished, not because the campaign completed.
+	Stranded bool
 }
 
 // HostInfo is one host's row in the coordinator summary.
@@ -660,15 +832,17 @@ func (c *Coordinator) Snapshot() (Stats, []HostInfo) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Hosts:       len(c.hosts),
-		ShardsTotal: len(c.shards),
-		Steals:      c.steals,
-		Evictions:   c.evictions,
-		CorpusSize:  len(c.corpusOrder),
-		LearnOps:    c.log.Len(),
-		BytesIn:     c.bytesIn,
-		BytesOut:    c.bytesOut,
-		Vertices:    len(c.vertOrder),
+		Hosts:         len(c.hosts),
+		ShardsTotal:   len(c.shards),
+		Steals:        c.steals,
+		Evictions:     c.evictions,
+		CorpusSize:    len(c.corpusOrder),
+		LearnOps:      c.log.Len(),
+		BytesIn:       c.bytesIn,
+		BytesOut:      c.bytesOut,
+		LearnsDropped: c.learnsDropped,
+		Vertices:      len(c.vertOrder),
+		Stranded:      c.stranded,
 	}
 	if c.merged != nil {
 		st.Edges = c.merged.Edges()

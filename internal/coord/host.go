@@ -61,6 +61,7 @@ type Host struct {
 	epochs            uint64
 	bytesIn, bytesOut uint64
 	steals            uint64
+	learnsDropped     uint64 // learn records lost to uplink encode failures
 	shards            []daemon.ShardStatus
 }
 
@@ -332,6 +333,12 @@ func (h *Host) collectUplink() *adb.FedBatch {
 	h.lMark = h.log.Len()
 	if fl, err := EncodeLearns(ops); err == nil {
 		b.Learns = fl
+	} else {
+		// An unencodable record (seq past uint32) fails permanently —
+		// keeping the cursor back would re-fail every epoch and pin the
+		// records behind it too. Advance, but count the loss so it shows up
+		// in the fleet status instead of vanishing silently.
+		h.learnsDropped += uint64(len(ops))
 	}
 	h.bytesOut += uint64(BatchBytes(b))
 	if emptyBatch(b) {
@@ -399,13 +406,14 @@ func (h *Host) applyBatch(b *adb.FedBatch) {
 func (h *Host) publish() {
 	h.mu.Lock()
 	fs := daemon.FleetStatus{
-		HostID:      h.id,
-		ShardEpoch:  h.epochs,
-		FedBytesIn:  h.bytesIn,
-		FedBytesOut: h.bytesOut,
-		Steals:      h.steals,
-		CorpusHash:  h.known.Fingerprint(),
-		Shards:      h.shards,
+		HostID:        h.id,
+		ShardEpoch:    h.epochs,
+		FedBytesIn:    h.bytesIn,
+		FedBytesOut:   h.bytesOut,
+		Steals:        h.steals,
+		LearnsDropped: h.learnsDropped,
+		CorpusHash:    h.known.Fingerprint(),
+		Shards:        h.shards,
 	}
 	h.mu.Unlock()
 	h.d.UpdateFleet(fs)

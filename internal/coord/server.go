@@ -55,35 +55,17 @@ func decodeCoordRequest(dec *gob.Decoder) (req adb.CoordRequest, err error) {
 	return req, err
 }
 
-// handle dispatches one request to the coordinator, mapping Go errors to
-// the reply's Err string (the client rehydrates them as *adb.RemoteError).
+// handle dispatches one request through Coordinator.Handle — the layer
+// that dedups retried requests — mapping Go errors to the reply's Err
+// string (the client rehydrates them as *adb.RemoteError) and converting
+// handler panics into error replies.
 func (s *Server) handle(req adb.CoordRequest) (rep adb.CoordReply) {
 	defer func() {
 		if r := recover(); r != nil {
 			rep = adb.CoordReply{Err: fmt.Sprintf("coord: request panic: %v", r)}
 		}
 	}()
-	var err error
-	switch {
-	case req.Register != nil:
-		rep.Registered, err = s.C.Register(req.Register.Name)
-	case req.Heartbeat != nil:
-		rep.Beat, err = s.C.Heartbeat(req.Heartbeat.HostID, req.Heartbeat.Execs)
-	case req.Lease != nil:
-		rep.Shard, err = s.C.Lease(req.Lease.HostID)
-	case req.Progress != nil:
-		rep.Ack, err = s.C.Progress(req.Progress)
-	case req.Complete != nil:
-		rep.Ack, err = s.C.Complete(req.Complete)
-	case req.Sync != nil:
-		rep.Ack, err = s.C.Sync(req.Sync)
-	default:
-		err = errors.New("coord: empty request")
-	}
-	if err != nil {
-		rep = adb.CoordReply{Err: err.Error()}
-	}
-	return rep
+	return s.C.Handle(req)
 }
 
 // ServeTCP listens on ln and serves each accepted host connection until

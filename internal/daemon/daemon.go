@@ -382,6 +382,10 @@ type FleetStatus struct {
 	// Steals counts shards this host leased out of other hosts' queues
 	// (including requeued shards of evicted hosts).
 	Steals uint64 `json:"steals"`
+	// LearnsDropped counts learn records that could not be encoded for
+	// uplink (cursor advanced past them); nonzero means federated relation
+	// state is lossy on this host.
+	LearnsDropped uint64 `json:"learns_dropped,omitempty"`
 	// CorpusHash is the order-independent fingerprint of the host's view
 	// of the federated corpus; equal values across hosts mean their corpus
 	// sets converged.
